@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the substrate layers: solver
+// round-trips, term interning, concrete query serving, zone loading, and
+// symbolic path exploration. Not part of the paper's evaluation; used for
+// performance regression tracking of this reproduction.
+#include <benchmark/benchmark.h>
+
+#include "src/dns/example_zones.h"
+#include "src/dnsv/verifier.h"
+#include "src/engine/engine.h"
+#include "src/sym/refine.h"
+#include "src/zonegen/zonegen.h"
+
+namespace dnsv {
+namespace {
+
+void BM_TermInterning(benchmark::State& state) {
+  for (auto _ : state) {
+    TermArena arena;
+    Term x = arena.Var("x", Sort::kInt);
+    Term acc = arena.IntConst(0);
+    for (int i = 0; i < 100; ++i) {
+      acc = arena.Add(acc, arena.Mul(x, arena.IntConst(i)));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TermInterning);
+
+void BM_SolverRoundTrip(benchmark::State& state) {
+  TermArena arena;
+  SolverSession solver(&arena);
+  Term x = arena.Var("x", Sort::kInt);
+  Term y = arena.Var("y", Sort::kInt);
+  Term condition = arena.And(arena.Lt(x, y), arena.Lt(y, arena.IntConst(100)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.CheckAssuming(condition));
+  }
+}
+BENCHMARK(BM_SolverRoundTrip);
+
+void BM_EngineCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    std::unique_ptr<CompiledEngine> engine = CompiledEngine::Compile(EngineVersion::kGolden);
+    benchmark::DoNotOptimize(engine->module().functions().size());
+  }
+}
+BENCHMARK(BM_EngineCompile);
+
+void BM_ZoneLoad(benchmark::State& state) {
+  ZoneConfig zone = KitchenSinkZone();
+  for (auto _ : state) {
+    auto server = AuthoritativeServer::Create(EngineVersion::kGolden, zone);
+    benchmark::DoNotOptimize(server.ok());
+  }
+}
+BENCHMARK(BM_ZoneLoad);
+
+void BM_ConcreteQuery(benchmark::State& state) {
+  auto server =
+      std::move(AuthoritativeServer::Create(EngineVersion::kGolden, KitchenSinkZone()).value());
+  DnsName qname = DnsName::Parse("www.example.com").value();
+  for (auto _ : state) {
+    QueryResult result = server->Query(qname, RrType::kA);
+    benchmark::DoNotOptimize(result.response.answer.size());
+  }
+}
+BENCHMARK(BM_ConcreteQuery);
+
+void BM_ConcreteQueryWildcardChase(benchmark::State& state) {
+  auto server =
+      std::move(AuthoritativeServer::Create(EngineVersion::kGolden, KitchenSinkZone()).value());
+  DnsName qname = DnsName::Parse("chain.example.com").value();
+  for (auto _ : state) {
+    QueryResult result = server->Query(qname, RrType::kA);
+    benchmark::DoNotOptimize(result.response.answer.size());
+  }
+}
+BENCHMARK(BM_ConcreteQueryWildcardChase);
+
+void BM_SpecQuery(benchmark::State& state) {
+  auto server =
+      std::move(AuthoritativeServer::Create(EngineVersion::kGolden, KitchenSinkZone()).value());
+  DnsName qname = DnsName::Parse("www.example.com").value();
+  for (auto _ : state) {
+    QueryResult result = server->QuerySpec(qname, RrType::kA);
+    benchmark::DoNotOptimize(result.response.answer.size());
+  }
+}
+BENCHMARK(BM_SpecQuery);
+
+void BM_ZoneGeneration(benchmark::State& state) {
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    ZoneConfig zone = GenerateZone(seed++);
+    benchmark::DoNotOptimize(zone.records.size());
+  }
+}
+BENCHMARK(BM_ZoneGeneration);
+
+void BM_SymbolicNameCompare(benchmark::State& state) {
+  std::unique_ptr<CompiledEngine> engine = CompiledEngine::Compile(EngineVersion::kGolden);
+  for (auto _ : state) {
+    TermArena arena;
+    SolverSession solver(&arena);
+    SymExecutor executor(&engine->module(), &arena, &solver);
+    SymbolicIntList a = MakeSymbolicIntList(&arena, "a", 4, 1, 1000);
+    SymbolicIntList b = MakeSymbolicIntList(&arena, "b", 3, 1, 1000);
+    SymState st;
+    st.pc = arena.And(a.constraints, b.constraints);
+    auto outcomes =
+        executor.Explore(*engine->module().GetFunction("nameCompare"), {a.value, b.value}, st);
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+}
+BENCHMARK(BM_SymbolicNameCompare);
+
+void BM_FullVerificationSmallZone(benchmark::State& state) {
+  ZoneConfig zone = ParseZoneText(
+      "$ORIGIN b.test.\n@ SOA ns 1\n@ NS ns.b.test.\nns A 192.0.2.1\nwww A 192.0.2.2\n")
+                        .value();
+  for (auto _ : state) {
+    VerificationReport report = VerifyEngine(EngineVersion::kGolden, zone);
+    benchmark::DoNotOptimize(report.verified);
+  }
+}
+BENCHMARK(BM_FullVerificationSmallZone)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dnsv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Table 2 reproduction: issues prevented from reaching production by
+// formal verification, across engine versions v1.0, v2.0, v3.0, and dev.
+//
+// For each version, DNS-V verifies the engine against the top-level
+// specification over a corpus of bug-revealing zones; every reported issue is
+// confirmed by concrete re-execution and classified in the paper's taxonomy
+// (Wrong Flag / Wrong Authority / Wrong Answer / Wrong rcode /
+// Wrong Additional / Runtime Error). The golden engine verifies clean.
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "src/dnsv/verifier.h"
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+// Compact zones sized for exhaustive symbolic execution that still reveal
+// every Table-2 bug (the paper uses tens of thousands of generated zones;
+// these two are the distilled equivalents).
+ZoneConfig WildcardZone() {
+  // Reveals: #1 AA on wildcard, #2 NS authority on positives, #3 MX matching,
+  // #5 wildcard glue, #6 deep wildcard search, #7 SOA-mname glue, #8 ENT
+  // wildcard fallback.
+  return ParseZoneText(R"(
+$ORIGIN corp.test.
+@        SOA  ns1 7
+@        NS   ns1.corp.test.
+ns1      A    198.51.100.1
+shop     MX   10 ns1
+shop     A    198.51.100.30
+*        TXT  99
+*        MX   20 ns1
+deep.box A    198.51.100.40
+)").value();
+}
+
+ZoneConfig DelegationZone() {
+  // Reveals: #4 multi-NS glue, #9 runtime error (NXDOMAIN under the apex
+  // with no wildcard to fall back to).
+  return ParseZoneText(R"(
+$ORIGIN corp.test.
+@        SOA  ns1 7
+@        NS   ns1.corp.test.
+ns1      A    198.51.100.1
+child    NS   ns1.child.corp.test.
+child    NS   ns2.child.corp.test.
+ns1.child A   198.51.100.51
+ns2.child A   198.51.100.52
+)").value();
+}
+
+int RunTable2() {
+  std::printf("Table 2: issues found by formal verification per engine version\n");
+  std::printf("(each issue confirmed by concrete re-execution of the counterexample)\n\n");
+  std::printf("%-8s %-10s %-28s %-30s %s\n", "Version", "Zone", "Classification",
+              "Counterexample", "Confirmed");
+
+  struct ZoneCase {
+    const char* name;
+    ZoneConfig zone;
+  };
+  std::vector<ZoneCase> zones = {{"wildcard", WildcardZone()},
+                                 {"delegation", DelegationZone()}};
+
+  std::map<std::string, std::set<std::string>> found_by_version;
+  int total_issues = 0;
+  for (EngineVersion version : AllEngineVersions()) {
+    bool any = false;
+    for (const ZoneCase& zone_case : zones) {
+      VerifyOptions options;
+      options.max_issues = 6;
+      VerificationReport report = VerifyEngine(version, zone_case.zone, options);
+      if (report.aborted) {
+        std::printf("%-8s %-10s ABORTED: %s\n", EngineVersionName(version), zone_case.name,
+                    report.abort_reason.c_str());
+        continue;
+      }
+      for (const VerificationIssue& issue : report.issues) {
+        std::string classification =
+            issue.classification.empty() ? "(unclassified)" : issue.classification;
+        std::string query = StrCat(issue.qname, " ", RrTypeDisplay(issue.qtype));
+        if (query.size() > 29) {
+          query = query.substr(0, 26) + "...";
+        }
+        std::printf("%-8s %-10s %-28s %-30s %s\n", EngineVersionName(version), zone_case.name,
+                    classification.c_str(), query.c_str(), issue.confirmed ? "yes" : "NO");
+        for (const std::string& kind : SplitString(classification, '/')) {
+          found_by_version[EngineVersionName(version)].insert(kind);
+        }
+        ++total_issues;
+        any = true;
+      }
+    }
+    if (!any) {
+      std::printf("%-8s %-10s %-28s\n", EngineVersionName(version), "(all)",
+                  "VERIFIED - no issues");
+    }
+  }
+
+  std::printf("\nClassification coverage per version (paper Table 2 expectations):\n");
+  std::printf("  v1.0  expects Wrong Flag, Wrong Authority, Wrong Answer\n");
+  std::printf("  v2.0  expects Wrong Additional, Wrong Answer/rcode\n");
+  std::printf("  v3.0  expects Wrong Answer/rcode (ENT wildcard)\n");
+  std::printf("  dev   expects Wrong Answer/rcode + Runtime Error\n");
+  std::printf("  golden expects none\n\n");
+  for (const auto& [version, kinds] : found_by_version) {
+    std::printf("  %-8s found:", version.c_str());
+    for (const std::string& kind : kinds) {
+      std::printf(" [%s]", kind.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\ntotal confirmed issues: %d\n", total_issues);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dnsv
+
+int main() { return dnsv::RunTable2(); }

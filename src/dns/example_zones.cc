@@ -1,0 +1,92 @@
+#include "src/dns/example_zones.h"
+
+#include "src/support/logging.h"
+
+namespace dnsv {
+namespace {
+
+ZoneConfig MustParseZone(const char* text) {
+  Result<ZoneConfig> zone = ParseZoneText(text);
+  DNSV_CHECK_MSG(zone.ok(), zone.error());
+  return std::move(zone).value();
+}
+
+}  // namespace
+
+ZoneConfig Figure11Zone() {
+  return MustParseZone(R"(
+$ORIGIN example.com.
+@        SOA   ns1 1
+@        NS    ns1.example.com.
+ns1      A     192.0.2.1
+www      A     192.0.2.10
+cs       A     192.0.2.20
+web.cs   A     192.0.2.21
+zoo.cs   TXT   7
+)");
+}
+
+ZoneConfig KitchenSinkZone() {
+  return MustParseZone(R"(
+$ORIGIN example.com.
+@          SOA    ns1 2024
+@          NS     ns1.example.com.
+@          NS     ns2.example.com.
+@          MX     10 mail
+ns1        A      192.0.2.1
+ns1        AAAA   11
+ns2        A      192.0.2.2
+mail       A      192.0.2.25
+www        A      192.0.2.10
+www        A      192.0.2.11
+www        TXT    42
+alias      CNAME  www
+chain      CNAME  alias
+*.dyn      A      192.0.2.99
+*.dyn      MX     5 mail
+; delegation with in-zone glue
+sub        NS     ns1.sub.example.com.
+sub        NS     ns2.sub.example.com.
+ns1.sub    A      192.0.2.51
+ns2.sub    A      192.0.2.52
+; empty non-terminal: ent.example.com exists only as an ancestor
+leaf.ent   A      192.0.2.60
+)");
+}
+
+ZoneConfig QuickstartZone() {
+  return MustParseZone(R"(
+$ORIGIN example.org.
+@     SOA  ns1 1
+@     NS   ns1.example.org.
+ns1   A    203.0.113.1
+www   A    203.0.113.80
+api   A    203.0.113.81
+)");
+}
+
+ZoneConfig BugHuntZone() {
+  return MustParseZone(R"(
+$ORIGIN corp.test.
+@          SOA    ns1 7
+@          NS     ns1.corp.test.
+@          NS     ns2.corp.test.
+ns1        A      198.51.100.1
+ns2        A      198.51.100.2
+www        A      198.51.100.10
+shop       MX     10 www
+shop       A      198.51.100.30
+*          TXT    99
+*          MX     20 www
+; wildcard + empty non-terminal interplay (bug #8): box.corp.test exists
+; only as the parent of deep.box.corp.test
+deep.box   A      198.51.100.40
+; delegation with two NS records and glue for both (bug #4)
+child      NS     ns1.child.corp.test.
+child      NS     ns2.child.corp.test.
+ns1.child  A      198.51.100.51
+ns2.child  A      198.51.100.52
+)");
+}
+
+}  // namespace dnsv

@@ -1,0 +1,82 @@
+#include "src/dns/rr.h"
+
+#include "src/support/strings.h"
+
+namespace dnsv {
+
+const char* RrTypeName(RrType type) {
+  switch (type) {
+    case RrType::kA: return "A";
+    case RrType::kNs: return "NS";
+    case RrType::kCname: return "CNAME";
+    case RrType::kSoa: return "SOA";
+    case RrType::kMx: return "MX";
+    case RrType::kTxt: return "TXT";
+    case RrType::kAaaa: return "AAAA";
+    case RrType::kAny: return "ANY";
+  }
+  return "?";
+}
+
+std::string RrTypeDisplay(RrType type) {
+  const char* name = RrTypeName(type);
+  if (name[0] != '?') {
+    return name;
+  }
+  return StrCat("TYPE", static_cast<int64_t>(type));
+}
+
+bool ParseRrType(const std::string& text, RrType* out) {
+  const std::string upper = [&] {
+    std::string u = text;
+    for (char& c : u) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return u;
+  }();
+  if (upper == "A") *out = RrType::kA;
+  else if (upper == "NS") *out = RrType::kNs;
+  else if (upper == "CNAME") *out = RrType::kCname;
+  else if (upper == "SOA") *out = RrType::kSoa;
+  else if (upper == "MX") *out = RrType::kMx;
+  else if (upper == "TXT") *out = RrType::kTxt;
+  else if (upper == "AAAA") *out = RrType::kAaaa;
+  else if (upper == "ANY") *out = RrType::kAny;
+  else return false;
+  return true;
+}
+
+const char* RcodeName(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::kNoError: return "NOERROR";
+    case Rcode::kServFail: return "SERVFAIL";
+    case Rcode::kNxDomain: return "NXDOMAIN";
+    case Rcode::kNotImp: return "NOTIMP";
+    case Rcode::kRefused: return "REFUSED";
+  }
+  return "?";
+}
+
+bool ParseIpv4(const std::string& text, int64_t* out) {
+  std::vector<std::string> parts = SplitString(text, '.');
+  if (parts.size() != 4) {
+    return false;
+  }
+  int64_t packed = 0;
+  for (const std::string& part : parts) {
+    int64_t octet = 0;
+    if (!ParseInt64(part, &octet) || octet < 0 || octet > 255) {
+      return false;
+    }
+    packed = (packed << 8) | octet;
+  }
+  *out = packed;
+  return true;
+}
+
+std::string FormatIpv4(int64_t packed) {
+  return StrCat((packed >> 24) & 0xff, ".", (packed >> 16) & 0xff, ".", (packed >> 8) & 0xff,
+                ".", packed & 0xff);
+}
+
+}  // namespace dnsv

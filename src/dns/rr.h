@@ -1,0 +1,56 @@
+// DNS resource-record model shared by the control plane, the engine layout,
+// and the top-level specification. Constants mirror the MiniGo sources in
+// src/engine (see engine/layout.h for the cross-language contract).
+#ifndef DNSV_DNS_RR_H_
+#define DNSV_DNS_RR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dnsv {
+
+// Wire-standard RR type codes (the subset the engine implements).
+enum class RrType : int64_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kMx = 15,
+  kTxt = 16,
+  kAaaa = 28,
+  kAny = 255,  // query-only pseudo-type
+};
+
+// Response codes.
+enum class Rcode : int64_t {
+  kNoError = 0,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+// Response flag bits (Response.flags in the engine).
+inline constexpr int64_t kFlagAa = 1;  // authoritative answer
+
+// Match results returned by the Name module (paper Figs. 4/10).
+inline constexpr int64_t kNoMatch = 0;
+inline constexpr int64_t kExactMatch = 1;
+inline constexpr int64_t kPartialMatch = 2;
+
+const char* RrTypeName(RrType type);
+// Like RrTypeName, but renders unknown codes as "TYPE<n>" (counterexample
+// queries may use any qtype in [1, 255]).
+std::string RrTypeDisplay(RrType type);
+// Returns false for unknown mnemonics.
+bool ParseRrType(const std::string& text, RrType* out);
+
+const char* RcodeName(Rcode rcode);
+
+// IPv4 dotted-quad <-> packed int helpers (A rdata is stored packed).
+bool ParseIpv4(const std::string& text, int64_t* out);
+std::string FormatIpv4(int64_t packed);
+
+}  // namespace dnsv
+
+#endif  // DNSV_DNS_RR_H_

@@ -1,0 +1,395 @@
+#include "src/dns/wire.h"
+
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+constexpr size_t kHeaderSize = 12;
+constexpr uint16_t kFlagQr = 0x8000;
+constexpr uint16_t kFlagAaBit = 0x0400;
+constexpr uint16_t kFlagRd = 0x0100;
+constexpr int64_t kDefaultTtl = 300;
+
+void PutU16(std::vector<uint8_t>* out, uint16_t value) {
+  out->push_back(static_cast<uint8_t>(value >> 8));
+  out->push_back(static_cast<uint8_t>(value & 0xff));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t value) {
+  PutU16(out, static_cast<uint16_t>(value >> 16));
+  PutU16(out, static_cast<uint16_t>(value & 0xffff));
+}
+
+void PutName(std::vector<uint8_t>* out, const DnsName& name) {
+  for (const std::string& label : name.labels) {
+    out->push_back(static_cast<uint8_t>(label.size()));
+    out->insert(out->end(), label.begin(), label.end());
+  }
+  out->push_back(0);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& packet) : packet_(packet) {}
+
+  bool U8(uint8_t* value) {
+    if (pos_ >= packet_.size()) {
+      return false;
+    }
+    *value = packet_[pos_++];
+    return true;
+  }
+  bool U16(uint16_t* value) {
+    uint8_t hi = 0, lo = 0;
+    if (!U8(&hi) || !U8(&lo)) {
+      return false;
+    }
+    *value = static_cast<uint16_t>((hi << 8) | lo);
+    return true;
+  }
+  bool U32(uint32_t* value) {
+    uint16_t hi = 0, lo = 0;
+    if (!U16(&hi) || !U16(&lo)) {
+      return false;
+    }
+    *value = (static_cast<uint32_t>(hi) << 16) | lo;
+    return true;
+  }
+  bool Skip(size_t n) {
+    if (pos_ + n > packet_.size()) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  // Reads a possibly-compressed name starting at the current position.
+  bool Name(DnsName* name) {
+    name->labels.clear();
+    size_t pos = pos_;
+    bool jumped = false;
+    int hops = 0;
+    while (true) {
+      if (pos >= packet_.size() || ++hops > 128) {
+        return false;  // truncated or compression loop
+      }
+      uint8_t len = packet_[pos];
+      if (len == 0) {
+        if (!jumped) {
+          pos_ = pos + 1;
+        }
+        return true;
+      }
+      if ((len & 0xC0) == 0xC0) {
+        if (pos + 1 >= packet_.size()) {
+          return false;
+        }
+        size_t target = static_cast<size_t>((len & 0x3F) << 8 | packet_[pos + 1]);
+        if (!jumped) {
+          pos_ = pos + 2;
+          jumped = true;
+        }
+        if (target >= pos) {
+          return false;  // forward pointers are malformed
+        }
+        pos = target;
+        continue;
+      }
+      if ((len & 0xC0) != 0 || pos + 1 + len > packet_.size()) {
+        return false;
+      }
+      name->labels.emplace_back(packet_.begin() + static_cast<long>(pos) + 1,
+                                packet_.begin() + static_cast<long>(pos) + 1 + len);
+      pos += 1 + static_cast<size_t>(len);
+    }
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::vector<uint8_t>& packet_;
+  size_t pos_ = 0;
+};
+
+// Encodes one resource record.
+void PutRecord(std::vector<uint8_t>* out, const RrView& rr) {
+  PutName(out, DnsName::Parse(rr.name).value());
+  PutU16(out, static_cast<uint16_t>(rr.type));
+  PutU16(out, 1);  // IN
+  PutU32(out, kDefaultTtl);
+  std::vector<uint8_t> rdata;
+  switch (rr.type) {
+    case RrType::kA:
+      PutU32(&rdata, static_cast<uint32_t>(rr.rdata_value));
+      break;
+    case RrType::kAaaa:
+      // 16 bytes; this repo's AAAA payload is an opaque int in the low 8.
+      PutU32(&rdata, 0);
+      PutU32(&rdata, 0);
+      PutU32(&rdata, static_cast<uint32_t>(rr.rdata_value >> 32));
+      PutU32(&rdata, static_cast<uint32_t>(rr.rdata_value & 0xffffffff));
+      break;
+    case RrType::kNs:
+    case RrType::kCname:
+      PutName(&rdata, DnsName::Parse(rr.rdata_name).value());
+      break;
+    case RrType::kMx:
+      PutU16(&rdata, static_cast<uint16_t>(rr.rdata_value));
+      PutName(&rdata, DnsName::Parse(rr.rdata_name).value());
+      break;
+    case RrType::kSoa: {
+      PutName(&rdata, DnsName::Parse(rr.rdata_name).value());
+      rdata.push_back(0);  // rname "." (not modeled)
+      PutU32(&rdata, static_cast<uint32_t>(rr.rdata_value));  // serial
+      PutU32(&rdata, 3600);
+      PutU32(&rdata, 900);
+      PutU32(&rdata, 604800);
+      PutU32(&rdata, 300);
+      break;
+    }
+    case RrType::kTxt: {
+      std::string text = StrCat(rr.rdata_value);
+      rdata.push_back(static_cast<uint8_t>(text.size()));
+      rdata.insert(rdata.end(), text.begin(), text.end());
+      break;
+    }
+    case RrType::kAny:
+      break;
+  }
+  PutU16(out, static_cast<uint16_t>(rdata.size()));
+  out->insert(out->end(), rdata.begin(), rdata.end());
+}
+
+bool ReadRecord(Reader* reader, RrView* rr) {
+  DnsName owner;
+  uint16_t type = 0, klass = 0, rdlength = 0;
+  uint32_t ttl = 0;
+  if (!reader->Name(&owner) || !reader->U16(&type) || !reader->U16(&klass) ||
+      !reader->U32(&ttl) || !reader->U16(&rdlength)) {
+    return false;
+  }
+  rr->name = owner.ToString();
+  rr->type = static_cast<RrType>(type);
+  rr->rdata_value = 0;
+  rr->rdata_name.clear();
+  switch (rr->type) {
+    case RrType::kA: {
+      uint32_t address = 0;
+      if (rdlength != 4 || !reader->U32(&address)) {
+        return false;
+      }
+      rr->rdata_value = address;
+      return true;
+    }
+    case RrType::kAaaa: {
+      uint32_t w0, w1, w2, w3;
+      if (rdlength != 16 || !reader->U32(&w0) || !reader->U32(&w1) || !reader->U32(&w2) ||
+          !reader->U32(&w3)) {
+        return false;
+      }
+      rr->rdata_value = (static_cast<int64_t>(w2) << 32) | w3;
+      return true;
+    }
+    case RrType::kNs:
+    case RrType::kCname: {
+      DnsName target;
+      if (!reader->Name(&target)) {
+        return false;
+      }
+      rr->rdata_name = target.ToString();
+      return true;
+    }
+    case RrType::kMx: {
+      uint16_t preference = 0;
+      DnsName exchange;
+      if (!reader->U16(&preference) || !reader->Name(&exchange)) {
+        return false;
+      }
+      rr->rdata_value = preference;
+      rr->rdata_name = exchange.ToString();
+      return true;
+    }
+    case RrType::kSoa: {
+      DnsName mname, rname;
+      uint32_t serial, refresh, retry, expire, minimum;
+      if (!reader->Name(&mname) || !reader->Name(&rname) || !reader->U32(&serial) ||
+          !reader->U32(&refresh) || !reader->U32(&retry) || !reader->U32(&expire) ||
+          !reader->U32(&minimum)) {
+        return false;
+      }
+      rr->rdata_name = mname.ToString();
+      rr->rdata_value = serial;
+      return true;
+    }
+    case RrType::kTxt: {
+      uint8_t len = 0;
+      if (!reader->U8(&len) || len + 1 != rdlength) {
+        return false;
+      }
+      std::string text;
+      for (int i = 0; i < len; ++i) {
+        uint8_t c = 0;
+        if (!reader->U8(&c)) {
+          return false;
+        }
+        text.push_back(static_cast<char>(c));
+      }
+      return ParseInt64(text, &rr->rdata_value);
+    }
+    default:
+      return reader->Skip(rdlength);
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeWireQuery(const WireQuery& query) {
+  std::vector<uint8_t> out;
+  PutU16(&out, query.id);
+  PutU16(&out, query.recursion_desired ? kFlagRd : 0);
+  PutU16(&out, 1);  // QDCOUNT
+  PutU16(&out, 0);
+  PutU16(&out, 0);
+  PutU16(&out, 0);
+  PutName(&out, query.qname);
+  PutU16(&out, static_cast<uint16_t>(query.qtype));
+  PutU16(&out, query.qclass);
+  return out;
+}
+
+Result<WireQuery> ParseWireQuery(const std::vector<uint8_t>& packet) {
+  if (packet.size() < kHeaderSize) {
+    return Result<WireQuery>::Error("packet shorter than the DNS header");
+  }
+  Reader reader(packet);
+  WireQuery query;
+  uint16_t flags = 0, qdcount = 0, other = 0;
+  reader.U16(&query.id);
+  reader.U16(&flags);
+  reader.U16(&qdcount);
+  reader.U16(&other);
+  reader.U16(&other);
+  reader.U16(&other);
+  if ((flags & kFlagQr) != 0) {
+    return Result<WireQuery>::Error("not a query (QR set)");
+  }
+  if (((flags >> 11) & 0xF) != 0) {
+    return Result<WireQuery>::Error("unsupported OPCODE");
+  }
+  if (qdcount != 1) {
+    return Result<WireQuery>::Error(StrCat("QDCOUNT must be 1, got ", qdcount));
+  }
+  query.recursion_desired = (flags & kFlagRd) != 0;
+  DnsName qname;
+  if (!reader.Name(&qname)) {
+    return Result<WireQuery>::Error("malformed question name");
+  }
+  uint16_t qtype = 0;
+  if (!reader.U16(&qtype) || !reader.U16(&query.qclass)) {
+    return Result<WireQuery>::Error("truncated question");
+  }
+  query.qname = qname;
+  query.qtype = static_cast<RrType>(qtype);
+  return query;
+}
+
+std::vector<uint8_t> EncodeWireResponse(const WireQuery& query, const ResponseView& response) {
+  std::vector<uint8_t> out;
+  PutU16(&out, query.id);
+  uint16_t flags = kFlagQr;
+  if (response.aa) {
+    flags |= kFlagAaBit;
+  }
+  if (query.recursion_desired) {
+    flags |= kFlagRd;
+  }
+  flags |= static_cast<uint16_t>(response.rcode) & 0xF;
+  PutU16(&out, flags);
+  PutU16(&out, 1);  // question echo
+  PutU16(&out, static_cast<uint16_t>(response.answer.size()));
+  PutU16(&out, static_cast<uint16_t>(response.authority.size()));
+  PutU16(&out, static_cast<uint16_t>(response.additional.size()));
+  PutName(&out, query.qname);
+  PutU16(&out, static_cast<uint16_t>(query.qtype));
+  PutU16(&out, query.qclass);
+  for (const RrView& rr : response.answer) {
+    PutRecord(&out, rr);
+  }
+  for (const RrView& rr : response.authority) {
+    PutRecord(&out, rr);
+  }
+  for (const RrView& rr : response.additional) {
+    PutRecord(&out, rr);
+  }
+  return out;
+}
+
+Result<ResponseView> ParseWireResponse(const std::vector<uint8_t>& packet,
+                                       WireQuery* echoed_query) {
+  if (packet.size() < kHeaderSize) {
+    return Result<ResponseView>::Error("packet shorter than the DNS header");
+  }
+  Reader reader(packet);
+  uint16_t id = 0, flags = 0, qdcount = 0, ancount = 0, nscount = 0, arcount = 0;
+  reader.U16(&id);
+  reader.U16(&flags);
+  reader.U16(&qdcount);
+  reader.U16(&ancount);
+  reader.U16(&nscount);
+  reader.U16(&arcount);
+  if ((flags & kFlagQr) == 0) {
+    return Result<ResponseView>::Error("not a response (QR clear)");
+  }
+  ResponseView view;
+  view.rcode = static_cast<Rcode>(flags & 0xF);
+  view.aa = (flags & kFlagAaBit) != 0;
+  if (echoed_query != nullptr) {
+    echoed_query->id = id;
+  }
+  for (int q = 0; q < qdcount; ++q) {
+    DnsName qname;
+    uint16_t qtype = 0, qclass = 0;
+    if (!reader.Name(&qname) || !reader.U16(&qtype) || !reader.U16(&qclass)) {
+      return Result<ResponseView>::Error("malformed question echo");
+    }
+    if (echoed_query != nullptr) {
+      echoed_query->qname = qname;
+      echoed_query->qtype = static_cast<RrType>(qtype);
+      echoed_query->qclass = qclass;
+    }
+  }
+  auto read_section = [&](int count, std::vector<RrView>* section) {
+    for (int i = 0; i < count; ++i) {
+      RrView rr;
+      if (!ReadRecord(&reader, &rr)) {
+        return false;
+      }
+      section->push_back(std::move(rr));
+    }
+    return true;
+  };
+  if (!read_section(ancount, &view.answer) || !read_section(nscount, &view.authority) ||
+      !read_section(arcount, &view.additional)) {
+    return Result<ResponseView>::Error("malformed record section");
+  }
+  return view;
+}
+
+std::string HexDump(const std::vector<uint8_t>& packet) {
+  std::string out;
+  char buffer[8];
+  for (size_t i = 0; i < packet.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%02x", packet[i]);
+    if (i > 0) {
+      out += (i % 16 == 0) ? '\n' : ' ';
+    }
+    out += buffer;
+  }
+  if (!out.empty()) {
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dnsv

@@ -1,0 +1,59 @@
+// DNS wire format (RFC 1035 §4): query parsing and response encoding.
+//
+// The paper's verification scope deliberately excludes packet
+// encoding/decoding (footnote 1: "traditional testing techniques for these
+// modules are enough"); this module is that excluded component, built so the
+// repo's engine can serve real packets (examples/dns_server) and covered by
+// conventional unit tests rather than symbolic execution.
+//
+// Supported: standard queries (QR=0, OPCODE=0, one question), responses with
+// answer/authority/additional sections for the engine's record types. Name
+// compression is emitted for the question echo only (pointers to offset 12);
+// decompression of arbitrary pointers is supported when parsing.
+#ifndef DNSV_DNS_WIRE_H_
+#define DNSV_DNS_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dns/heap.h"
+#include "src/dns/name.h"
+#include "src/dns/rr.h"
+#include "src/support/status.h"
+
+namespace dnsv {
+
+struct WireQuery {
+  uint16_t id = 0;
+  DnsName qname;
+  RrType qtype = RrType::kA;
+  uint16_t qclass = 1;  // IN
+  bool recursion_desired = false;
+};
+
+// Parses a wire-format query packet. Fails on truncated packets, non-query
+// opcodes, QDCOUNT != 1, or malformed names (including compression loops).
+Result<WireQuery> ParseWireQuery(const std::vector<uint8_t>& packet);
+
+// Encodes `response` (the engine's decoded view) as a wire-format answer to
+// `query`. rdata encodings: A = 4 bytes; AAAA = 16 bytes (our int payload in
+// the low 8); NS/CNAME = name; MX = preference + exchange; SOA = mname,
+// rname ".", serial + fixed timers; TXT = one character-string with the
+// token's decimal spelling.
+std::vector<uint8_t> EncodeWireResponse(const WireQuery& query, const ResponseView& response);
+
+// Parses a wire response back into a view (used for round-trip tests and by
+// client tooling). TTLs and classes are validated but not represented.
+Result<ResponseView> ParseWireResponse(const std::vector<uint8_t>& packet,
+                                       WireQuery* echoed_query);
+
+// Human-readable hex dump, 16 bytes per line (debugging aid).
+std::string HexDump(const std::vector<uint8_t>& packet);
+
+// Builds a query packet (client side).
+std::vector<uint8_t> EncodeWireQuery(const WireQuery& query);
+
+}  // namespace dnsv
+
+#endif  // DNSV_DNS_WIRE_H_

@@ -1,0 +1,257 @@
+#include "src/dns/zone.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+std::string FormatRdata(const ZoneRecord& record) {
+  switch (record.type) {
+    case RrType::kA:
+      return FormatIpv4(record.rdata.value);
+    case RrType::kAaaa:
+    case RrType::kTxt:
+      return StrCat(record.rdata.value);
+    case RrType::kNs:
+    case RrType::kCname:
+      return record.rdata.name.ToString() + ".";
+    case RrType::kMx:
+      return StrCat(record.rdata.value, " ", record.rdata.name.ToString(), ".");
+    case RrType::kSoa:
+      return StrCat(record.rdata.name.ToString(), ". ", record.rdata.value);
+    case RrType::kAny:
+      break;
+  }
+  return "?";
+}
+
+// Resolves `text` against the origin: '@' is the apex; names with a trailing
+// dot are absolute; others are relative.
+Result<DnsName> ResolveName(const std::string& text, const DnsName& origin) {
+  if (text == "@") {
+    return origin;
+  }
+  bool absolute = !text.empty() && text.back() == '.';
+  Result<DnsName> parsed = DnsName::Parse(text);
+  if (!parsed.ok()) {
+    return parsed;
+  }
+  DnsName name = std::move(parsed).value();
+  if (!absolute) {
+    name.labels.insert(name.labels.end(), origin.labels.begin(), origin.labels.end());
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string ZoneConfig::ToText() const {
+  std::string out = StrCat("$ORIGIN ", origin.ToString(), ".\n");
+  for (const ZoneRecord& record : records) {
+    out += StrCat(record.name.ToString(), ". ", RrTypeName(record.type), " ",
+                  FormatRdata(record), "\n");
+  }
+  return out;
+}
+
+Result<ZoneConfig> ParseZoneText(const std::string& text) {
+  ZoneConfig zone;
+  bool have_origin = false;
+  int line_no = 0;
+  std::istringstream stream(text);
+  std::string raw_line;
+  auto fail = [&](const std::string& what) {
+    return Result<ZoneConfig>::Error(StrCat("zone line ", line_no, ": ", what));
+  };
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty() || line[0] == ';' || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields{std::string(line)};
+    std::string first;
+    fields >> first;
+    if (first == "$ORIGIN") {
+      std::string origin_text;
+      fields >> origin_text;
+      Result<DnsName> origin = DnsName::Parse(origin_text);
+      if (!origin.ok()) {
+        return fail(origin.error());
+      }
+      zone.origin = std::move(origin).value();
+      if (zone.origin.Empty()) {
+        return fail("$ORIGIN must not be the root");
+      }
+      have_origin = true;
+      continue;
+    }
+    if (!have_origin) {
+      return fail("record before $ORIGIN");
+    }
+    std::string type_text;
+    fields >> type_text;
+    RrType type;
+    if (!ParseRrType(type_text, &type)) {
+      return fail("unknown RR type: " + type_text);
+    }
+    if (type == RrType::kAny) {
+      return fail("ANY is a query pseudo-type, not a record type");
+    }
+    Result<DnsName> owner = ResolveName(first, zone.origin);
+    if (!owner.ok()) {
+      return fail(owner.error());
+    }
+    ZoneRecord record;
+    record.name = std::move(owner).value();
+    record.type = type;
+    switch (type) {
+      case RrType::kA: {
+        std::string ip;
+        fields >> ip;
+        if (!ParseIpv4(ip, &record.rdata.value)) {
+          return fail("bad IPv4 address: " + ip);
+        }
+        break;
+      }
+      case RrType::kAaaa:
+      case RrType::kTxt: {
+        std::string value;
+        fields >> value;
+        if (!ParseInt64(value, &record.rdata.value)) {
+          return fail(StrCat(RrTypeName(type), " rdata must be an integer token"));
+        }
+        break;
+      }
+      case RrType::kNs:
+      case RrType::kCname: {
+        std::string target;
+        fields >> target;
+        if (target.empty()) {
+          return fail("missing target name");
+        }
+        Result<DnsName> parsed = ResolveName(target, zone.origin);
+        if (!parsed.ok()) {
+          return fail(parsed.error());
+        }
+        record.rdata.name = std::move(parsed).value();
+        break;
+      }
+      case RrType::kMx: {
+        std::string pref, target;
+        fields >> pref >> target;
+        if (!ParseInt64(pref, &record.rdata.value)) {
+          return fail("MX preference must be an integer");
+        }
+        Result<DnsName> parsed = ResolveName(target, zone.origin);
+        if (!parsed.ok()) {
+          return fail(parsed.error());
+        }
+        record.rdata.name = std::move(parsed).value();
+        break;
+      }
+      case RrType::kSoa: {
+        std::string mname, serial;
+        fields >> mname >> serial;
+        Result<DnsName> parsed = ResolveName(mname, zone.origin);
+        if (!parsed.ok()) {
+          return fail(parsed.error());
+        }
+        record.rdata.name = std::move(parsed).value();
+        if (!ParseInt64(serial, &record.rdata.value)) {
+          return fail("SOA serial must be an integer");
+        }
+        break;
+      }
+      case RrType::kAny:
+        break;
+    }
+    zone.records.push_back(std::move(record));
+  }
+  if (!have_origin) {
+    return Result<ZoneConfig>::Error("zone text has no $ORIGIN");
+  }
+  return zone;
+}
+
+Result<ZoneConfig> CanonicalizeZone(const ZoneConfig& zone) {
+  auto fail = [](const std::string& what) { return Result<ZoneConfig>::Error(what); };
+  if (zone.origin.Empty()) {
+    return fail("zone has no origin");
+  }
+  // Group records by (name, type), preserving first-appearance order.
+  std::vector<DnsName> name_order;
+  std::map<std::string, std::vector<const ZoneRecord*>> by_name;
+  for (const ZoneRecord& record : zone.records) {
+    if (!record.name.IsSubdomainOf(zone.origin)) {
+      return fail(StrCat("record ", record.name.ToString(), " is outside origin ",
+                         zone.origin.ToString()));
+    }
+    std::string key = record.name.ToString();
+    auto [it, inserted] = by_name.try_emplace(key);
+    if (inserted) {
+      name_order.push_back(record.name);
+    }
+    it->second.push_back(&record);
+  }
+  ZoneConfig canonical;
+  canonical.origin = zone.origin;
+  int soa_count = 0;
+  for (const DnsName& name : name_order) {
+    const auto& group = by_name.at(name.ToString());
+    // Stable-partition by type, preserving first-appearance type order.
+    std::vector<RrType> type_order;
+    for (const ZoneRecord* record : group) {
+      bool seen = false;
+      for (RrType t : type_order) {
+        if (t == record->type) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        type_order.push_back(record->type);
+      }
+    }
+    bool has_cname = false;
+    for (const ZoneRecord* record : group) {
+      has_cname = has_cname || record->type == RrType::kCname;
+    }
+    if (has_cname && type_order.size() > 1) {
+      return fail("CNAME must be the only type at " + name.ToString());
+    }
+    for (RrType type : type_order) {
+      for (const ZoneRecord* record : group) {
+        if (record->type != type) {
+          continue;
+        }
+        for (const ZoneRecord& existing : canonical.records) {
+          if (existing == *record) {
+            return fail(StrCat("duplicate record at ", name.ToString(), " type ",
+                               RrTypeName(type)));
+          }
+        }
+        if (record->type == RrType::kSoa) {
+          if (record->name != zone.origin) {
+            return fail("SOA must live at the apex");
+          }
+          ++soa_count;
+        }
+        if (record->type == RrType::kNs && record->name.labels[0] == kWildcardLabel) {
+          return fail("wildcard NS records are not supported");
+        }
+        canonical.records.push_back(*record);
+      }
+    }
+  }
+  if (soa_count != 1) {
+    return fail(StrCat("zone must have exactly one apex SOA, found ", soa_count));
+  }
+  return canonical;
+}
+
+}  // namespace dnsv

@@ -1,0 +1,67 @@
+// Zone configurations: the control-plane input (paper §6.5). A ZoneConfig is
+// parsed from a simple textual zone format or produced by the generator in
+// src/zonegen, then canonicalized and materialized into a concrete heap.
+#ifndef DNSV_DNS_ZONE_H_
+#define DNSV_DNS_ZONE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dns/name.h"
+#include "src/dns/rr.h"
+#include "src/support/status.h"
+
+namespace dnsv {
+
+// rdata payload; which fields matter depends on the type:
+//   A/AAAA: value = packed address;  NS/CNAME: name = target;
+//   MX: value = preference, name = exchange;  SOA: value = serial, name = mname;
+//   TXT: value = opaque token id.
+struct Rdata {
+  int64_t value = 0;
+  DnsName name;
+
+  bool operator==(const Rdata& other) const {
+    return value == other.value && name == other.name;
+  }
+};
+
+struct ZoneRecord {
+  DnsName name;  // absolute owner name
+  RrType type = RrType::kA;
+  Rdata rdata;
+
+  bool operator==(const ZoneRecord& other) const {
+    return name == other.name && type == other.type && rdata == other.rdata;
+  }
+};
+
+struct ZoneConfig {
+  DnsName origin;
+  std::vector<ZoneRecord> records;
+
+  std::string ToText() const;
+};
+
+// Parses the repo's zone text format:
+//   $ORIGIN example.com.
+//   @        SOA   ns1 1
+//   @        NS    ns1.example.com.
+//   www      A     192.0.2.10
+//   mail     MX    10 www
+//   *.dyn    TXT   7
+// Owner names and rdata names without a trailing dot are relative to $ORIGIN;
+// '@' denotes the apex. Lines starting with ';' or '#' are comments.
+Result<ZoneConfig> ParseZoneText(const std::string& text);
+
+// Groups records by owner name (order of first appearance) and, within a
+// name, by type (order of first appearance). Both the flat spec list and the
+// domain tree derive from this order, which is what makes the engine's
+// rrset-at-a-time answers and the spec's filter-based answers comparable
+// element-wise. Also validates: exactly one SOA at the apex, every record
+// inside the origin, CNAME exclusivity, and no duplicate records.
+Result<ZoneConfig> CanonicalizeZone(const ZoneConfig& zone);
+
+}  // namespace dnsv
+
+#endif  // DNSV_DNS_ZONE_H_

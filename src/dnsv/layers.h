@@ -1,0 +1,49 @@
+// The layer decomposition of paper Fig. 5 and the per-layer measurement used
+// by the Fig.-12 harness.
+//
+// Yellow layers (stable across versions, manually specified): Name,
+// DomainTree, Response, Section, RRSet, NodeStack. Blue layers (evolving,
+// automatically summarized): TreeSearch, Find, Wildcard, Additional. The
+// top layer Resolve is verified against the top-level specification.
+#ifndef DNSV_DNSV_LAYERS_H_
+#define DNSV_DNSV_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dns/zone.h"
+#include "src/engine/sources/sources.h"
+
+namespace dnsv {
+
+enum class LayerKind : uint8_t { kManualSpec, kSummarized, kTopLevel };
+
+struct LayerInfo {
+  std::string name;
+  LayerKind kind;
+  std::vector<std::string> functions;
+};
+
+const char* LayerKindName(LayerKind kind);
+
+// Fig. 5's module map for a given version (v1.0 has no Additional layer).
+std::vector<LayerInfo> EngineLayers(EngineVersion version);
+
+// One row of the Fig.-12 data: how long symbolic execution / summarization of
+// a layer takes on a given zone.
+struct LayerTiming {
+  std::string layer;
+  LayerKind kind = LayerKind::kManualSpec;
+  double seconds = 0;
+  int64_t paths = 0;        // explored paths / summary entries
+  int64_t solver_checks = 0;
+  bool ok = true;
+  std::string note;
+};
+
+// Measures every layer of `version` over `zone` (canonicalized internally).
+std::vector<LayerTiming> MeasureLayerTimes(EngineVersion version, const ZoneConfig& zone);
+
+}  // namespace dnsv
+
+#endif  // DNSV_DNSV_LAYERS_H_

@@ -1,0 +1,96 @@
+// DNS-V: the verification workflow of paper Fig. 6 applied to the engine.
+//
+// Given an engine version and a concrete zone configuration, the verifier
+//   1. compiles the engine + spec to AbsIR and materializes the zone as a
+//      concrete in-heap domain tree (§6.5),
+//   2. makes qname/qtype symbolic and performs full-path symbolic execution
+//      of Resolve — either monolithically or with the evolving resolution
+//      layers replaced by automatically computed summaries (§5.3),
+//   3. checks safety (no feasible path reaches a panic block) and functional
+//      correctness (every engine path agrees with every rrlookup spec path
+//      reachable under its path condition), and
+//   4. decodes each violation into a concrete counterexample query, which is
+//      re-executed on the concrete interpreter for confirmation.
+#ifndef DNSV_DNSV_VERIFIER_H_
+#define DNSV_DNSV_VERIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dns/example_zones.h"
+#include "src/engine/engine.h"
+#include "src/sym/summary.h"
+
+namespace dnsv {
+
+struct VerifyOptions {
+  // Symbolic qname capacity = zone's deepest owner + this many extra labels.
+  int extra_qname_labels = 1;
+  // Apply automated summaries to the resolution layers (§5.3) instead of
+  // inlining everything.
+  bool use_summaries = false;
+  // Substitute manually-developed specs for stable library layers (§6.3,
+  // Fig. 6 left branch). Each substitution is preceded by a refinement check
+  // spec ≡ implementation; on refinement failure the report aborts.
+  bool use_manual_specs = false;
+  // Stop after this many distinct issues.
+  int max_issues = 8;
+  // Skip the functional check (safety only).
+  bool safety_only = false;
+  // Meta-check of "full-path": engine path conditions must be pairwise
+  // disjoint and jointly cover the whole symbolic input space. Quadratic in
+  // the path count; intended for tests and audits, not the fast path.
+  bool check_path_coverage = false;
+};
+
+struct VerificationIssue {
+  enum class Kind : uint8_t { kSafety, kFunctional };
+  Kind kind = Kind::kFunctional;
+  std::string description;
+  // Decoded counterexample query.
+  std::string qname;
+  RrType qtype = RrType::kA;
+  // Concrete re-execution of the counterexample (confirmation).
+  bool confirmed = false;
+  std::string engine_behavior;  // response text or panic message
+  std::string spec_behavior;
+  // Table-2 style classification derived from the confirmed counterexample:
+  // "Runtime Error", "Wrong Flag", "Wrong Answer", "Wrong rcode",
+  // "Wrong Authority", "Wrong Additional" (possibly several, '/'-joined).
+  std::string classification;
+
+  std::string ToString() const;
+};
+
+struct VerificationReport {
+  EngineVersion version = EngineVersion::kGolden;
+  bool verified = false;  // no issues and exploration completed
+  bool aborted = false;
+  std::string abort_reason;
+  std::vector<VerificationIssue> issues;
+  // Statistics (feed the Fig.-12 and Table-2 harnesses).
+  int64_t engine_paths = 0;
+  int64_t spec_paths = 0;
+  int64_t solver_checks = 0;
+  double solve_seconds = 0;
+  double total_seconds = 0;
+  int64_t summaries_computed = 0;
+  int64_t summary_applications = 0;
+  int64_t manual_specs_verified = 0;   // refinement obligations discharged
+  int64_t spec_substitutions = 0;      // call sites served by a manual spec
+  bool path_coverage_checked = false;  // the full-path meta-check ran and held
+
+  std::string ToString() const;
+};
+
+// The Fig.-5 interface configurations for the evolving (blue) layers; these
+// are the summarization targets shared by every engine version.
+std::vector<FunctionInterface> ResolutionLayerInterfaces();
+
+VerificationReport VerifyEngine(EngineVersion version, const ZoneConfig& zone,
+                                const VerifyOptions& options = {});
+
+}  // namespace dnsv
+
+#endif  // DNSV_DNSV_VERIFIER_H_

@@ -1,0 +1,65 @@
+#include "src/engine/engine.h"
+
+#include "src/support/logging.h"
+
+namespace dnsv {
+
+std::unique_ptr<CompiledEngine> CompiledEngine::Compile(EngineVersion version) {
+  auto engine = std::unique_ptr<CompiledEngine>(new CompiledEngine());
+  engine->version_ = version;
+  engine->types_ = std::make_unique<TypeTable>();
+  engine->module_ = std::make_unique<Module>(engine->types_.get());
+  Result<CompileOutput> compiled = CompileMiniGo(EngineSources(version), engine->module_.get());
+  DNSV_CHECK_MSG(compiled.ok(), "embedded engine sources must compile: " + compiled.error());
+  DNSV_CHECK_MSG(ValidateEngineLayout(*engine->types_).ok(), "engine layout contract violated");
+  DNSV_CHECK(engine->module_->GetFunction("resolve") != nullptr);
+  DNSV_CHECK(engine->module_->GetFunction("rrlookup") != nullptr);
+  return engine;
+}
+
+const Function& CompiledEngine::resolve_fn() const { return *module_->GetFunction("resolve"); }
+const Function& CompiledEngine::rrlookup_fn() const { return *module_->GetFunction("rrlookup"); }
+
+Result<std::unique_ptr<AuthoritativeServer>> AuthoritativeServer::Create(
+    EngineVersion version, const ZoneConfig& zone) {
+  Result<ZoneConfig> canonical = CanonicalizeZone(zone);
+  if (!canonical.ok()) {
+    return Result<std::unique_ptr<AuthoritativeServer>>::Error(canonical.error());
+  }
+  auto server = std::unique_ptr<AuthoritativeServer>(new AuthoritativeServer());
+  server->engine_ = CompiledEngine::Compile(version);
+  server->zone_ = std::move(canonical).value();
+  server->image_ = BuildHeapImage(server->zone_, &server->interner_, server->engine_->types(),
+                                  &server->memory_);
+  return server;
+}
+
+QueryResult AuthoritativeServer::RunLookup(const Function& fn, std::vector<Value> args) {
+  Interpreter interp(&engine_->module(), &memory_);
+  ExecOutcome outcome = interp.Run(fn, args);
+  QueryResult result;
+  if (!outcome.ok()) {
+    result.panicked = true;
+    result.panic_message = outcome.kind == ExecOutcome::Kind::kStepLimit
+                               ? "step limit exceeded"
+                               : outcome.panic_message;
+    return result;
+  }
+  result.response =
+      DecodeResponse(outcome.return_value, memory_, interner_, engine_->types());
+  return result;
+}
+
+QueryResult AuthoritativeServer::Query(const DnsName& qname, RrType qtype) {
+  return RunLookup(engine_->resolve_fn(),
+                   {image_.apex_ptr, image_.origin_labels, QnameValue(qname, &interner_),
+                    Value::Int(static_cast<int64_t>(qtype))});
+}
+
+QueryResult AuthoritativeServer::QuerySpec(const DnsName& qname, RrType qtype) {
+  return RunLookup(engine_->rrlookup_fn(),
+                   {image_.zone_rrs, image_.origin_labels, QnameValue(qname, &interner_),
+                    Value::Int(static_cast<int64_t>(qtype))});
+}
+
+}  // namespace dnsv

@@ -1,0 +1,85 @@
+// High-level engine API: compile a version, load a zone, serve queries.
+//
+// This is the "product" surface a downstream user touches: it glues the
+// MiniGo frontend, the control plane, and the interpreter into an
+// authoritative server for one zone. The verifier (src/dnsv) works on the
+// same CompiledEngine.
+#ifndef DNSV_ENGINE_ENGINE_H_
+#define DNSV_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dns/heap.h"
+#include "src/dns/name.h"
+#include "src/dns/zone.h"
+#include "src/engine/sources/sources.h"
+#include "src/frontend/frontend.h"
+#include "src/interp/interp.h"
+#include "src/ir/function.h"
+
+namespace dnsv {
+
+// One compiled engine version: its AbsIR module plus the shared type table.
+class CompiledEngine {
+ public:
+  // Compiles `version` (engine + matching spec). Aborts on compile errors —
+  // the embedded sources are part of this repository and must always build.
+  static std::unique_ptr<CompiledEngine> Compile(EngineVersion version);
+
+  EngineVersion version() const { return version_; }
+  const Module& module() const { return *module_; }
+  Module& module() { return *module_; }
+  TypeTable& types() { return *types_; }
+  const Function& resolve_fn() const;
+  const Function& rrlookup_fn() const;
+
+ private:
+  CompiledEngine() = default;
+  EngineVersion version_ = EngineVersion::kGolden;
+  std::unique_ptr<TypeTable> types_;
+  std::unique_ptr<Module> module_;
+};
+
+struct QueryResult {
+  bool panicked = false;
+  std::string panic_message;
+  ResponseView response;
+};
+
+// A loaded authoritative zone served by one engine version. Runs queries
+// through the concrete interpreter — both via the engine's Resolve and via
+// the executable specification (for differential testing).
+class AuthoritativeServer {
+ public:
+  // `zone` is canonicalized internally; fails on invalid zones.
+  static Result<std::unique_ptr<AuthoritativeServer>> Create(EngineVersion version,
+                                                             const ZoneConfig& zone);
+
+  // Resolves qname/qtype through the engine implementation.
+  QueryResult Query(const DnsName& qname, RrType qtype);
+  // Resolves through the top-level specification (the oracle).
+  QueryResult QuerySpec(const DnsName& qname, RrType qtype);
+
+  const CompiledEngine& engine() const { return *engine_; }
+  const ZoneConfig& zone() const { return zone_; }
+  const LabelInterner& interner() const { return interner_; }
+  LabelInterner& interner() { return interner_; }
+  const HeapImage& heap_image() const { return image_; }
+  ConcreteMemory& memory() { return memory_; }
+
+ private:
+  AuthoritativeServer() = default;
+  QueryResult RunLookup(const Function& fn, std::vector<Value> args);
+
+  std::unique_ptr<CompiledEngine> engine_;
+  ZoneConfig zone_;
+  LabelInterner interner_;
+  ConcreteMemory memory_;
+  HeapImage image_;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_ENGINE_ENGINE_H_

@@ -1,0 +1,179 @@
+// MiniGo sources: the stable library modules (paper Fig. 5, yellow boxes).
+// These survive engine iterations unchanged and carry manually-written
+// specifications (src/engine/specs.h).
+#include "src/engine/sources/sources.h"
+
+namespace dnsv {
+
+const char kEngineNameMg[] = R"mg(
+// ---- name.mg: domain-name operations over interned label lists ----
+// A name is a []int of labels in root-first order. Comparison of labels is
+// plain integer comparison thanks to the order-preserving interner (§6.3).
+
+// True when the two names are identical.
+func nameEq(a []int, b []int) bool {
+  if len(a) != len(b) {
+    return false
+  }
+  for i := 0; i < len(a); i = i + 1 {
+    if a[i] != b[i] {
+      return false
+    }
+  }
+  return true
+}
+
+// True when `name` is equal to or below `zone` (zone is a root-first prefix).
+func nameIsSubdomain(name []int, zone []int) bool {
+  if len(zone) > len(name) {
+    return false
+  }
+  for i := 0; i < len(zone); i = i + 1 {
+    if name[i] != zone[i] {
+      return false
+    }
+  }
+  return true
+}
+
+// Name subtraction: the labels of `name` below `zone`, root-first.
+// Callers must ensure nameIsSubdomain(name, zone).
+func nameStrip(name []int, zone []int) []int {
+  rel := make([]int)
+  for i := len(zone); i < len(name); i = i + 1 {
+    rel = append(rel, name[i])
+  }
+  return rel
+}
+
+// Three-way comparison of full names (abstract form of the paper's
+// compareRaw, Fig. 10): EXACT when equal, PARTIAL when n1 is a proper
+// subdomain of n2, NOMATCH otherwise.
+func nameCompare(n1 []int, n2 []int) int {
+  if len(n2) > len(n1) {
+    return MATCH_NOMATCH
+  }
+  for i := 0; i < len(n2); i = i + 1 {
+    if n1[i] != n2[i] {
+      return MATCH_NOMATCH
+    }
+  }
+  if len(n1) == len(n2) {
+    return MATCH_EXACT
+  }
+  return MATCH_PARTIAL
+}
+
+// The first `k` labels of `name` — the ancestor at depth k.
+func namePrefix(name []int, k int) []int {
+  out := make([]int)
+  for i := 0; i < k; i = i + 1 {
+    out = append(out, name[i])
+  }
+  return out
+}
+
+// name with one more label appended below it.
+func nameChild(name []int, label int) []int {
+  out := make([]int)
+  for i := 0; i < len(name); i = i + 1 {
+    out = append(out, name[i])
+  }
+  out = append(out, label)
+  return out
+}
+)mg";
+
+const char kEngineNodeStackMg[] = R"mg(
+// ---- nodestack.mg: the traversal stack (paper Figs. 2/3) ----
+// push/top encapsulate their writes, but resolution code also reads `level`
+// directly — the imperfect-encapsulation pattern the flexible memory model
+// exists for.
+
+func newNodeStack() *NodeStack {
+  s := new(NodeStack)
+  s.level = 0
+  return s
+}
+
+func pushNode(s *NodeStack, n *TreeNode) {
+  s.nodes = append(s.nodes, n)
+  s.level = s.level + 1
+}
+
+// The most recently pushed node. Panics (index out of range) when empty —
+// callers must check s.level first.
+func topNode(s *NodeStack) *TreeNode {
+  return s.nodes[s.level - 1]
+}
+
+// The node `k` entries below the top.
+func nodeAtDepth(s *NodeStack, k int) *TreeNode {
+  return s.nodes[k]
+}
+)mg";
+
+const char kEngineRrsetMg[] = R"mg(
+// ---- rrset.mg: record-set lookups on a tree node ----
+
+// True when `node` owns at least one record of `rtype`.
+func hasType(node *TreeNode, rtype int) bool {
+  for i := 0; i < len(node.rrsets); i = i + 1 {
+    if node.rrsets[i].rtype == rtype {
+      return true
+    }
+  }
+  return false
+}
+
+// All records of `rtype` at `node` (empty list when absent).
+func getRRs(node *TreeNode, rtype int) []RR {
+  for i := 0; i < len(node.rrsets); i = i + 1 {
+    if node.rrsets[i].rtype == rtype {
+      return node.rrsets[i].rrs
+    }
+  }
+  return make([]RR)
+}
+
+// True when the node owns no records at all (an empty non-terminal).
+func isEmptyNode(node *TreeNode) bool {
+  return len(node.rrsets) == 0
+}
+)mg";
+
+const char kEngineResponseMg[] = R"mg(
+// ---- response.mg: Response and Section helpers ----
+
+func newResponse() *Response {
+  r := new(Response)
+  r.rcode = RCODE_NOERROR
+  r.flags = 0
+  return r
+}
+
+// Appends every record of `src` to `dst` and returns the extended section.
+func appendAll(dst []RR, src []RR) []RR {
+  for i := 0; i < len(src); i = i + 1 {
+    dst = append(dst, src[i])
+  }
+  return dst
+}
+
+// A copy of `rr` with its owner name replaced — wildcard synthesis makes a
+// copy of the wildcard RR and substitutes the actual query name (§5.3).
+func synthesizeRR(rr RR, qname []int) RR {
+  var out RR
+  out.rname = qname
+  out.rtype = rr.rtype
+  out.rdataInt = rr.rdataInt
+  out.rdataName = rr.rdataName
+  return out
+}
+
+func setAuthoritative(resp *Response) {
+  resp.flags = FLAG_AA
+}
+)mg";
+
+}  // namespace dnsv

@@ -1,0 +1,44 @@
+// MiniGo source: manually developed specification for the stable Name layer
+// (paper §6.3, the left branch of Fig. 6).
+//
+// Specs are written in the spec dialect (abstract builtins allowed). The
+// flagship abstraction: nameEq's label-by-label loop becomes a single listEq
+// predicate — one solver term instead of one fork per label, which is what
+// makes higher layers cheap to reason about (the Fig.-10 effect). DNS-V
+// proves the spec equivalent to the implementation before substituting it
+// (refinement, Fig. 1), so exploring higher layers against the spec is sound.
+#include "src/engine/sources/sources.h"
+
+namespace dnsv {
+
+const char kEngineNameSpecMg[] = R"mg(
+// ---- name_spec.mg: abstract specification for the Name layer ----
+
+// Abstract form of nameEq: whole-list equality in one predicate instead of
+// one branch per label.
+func nameEqSpec(a []int, b []int) bool {
+  return listEq(a, b)
+}
+
+// ---- domain-tree layer spec ----
+// Abstract form of findChild: an order-blind exhaustive search. The
+// refinement proof findChild == findChildSpec over a concrete heap is also a
+// proof that the control plane built the per-level BSTs consistently with
+// the label order (otherwise the BST walk would miss nodes the exhaustive
+// search finds).
+func findChildSpec(bst *TreeNode, label int) *TreeNode {
+  if bst == nil {
+    return nil
+  }
+  if bst.label == label {
+    return bst
+  }
+  left := findChildSpec(bst.left, label)
+  if left != nil {
+    return left
+  }
+  return findChildSpec(bst.right, label)
+}
+)mg";
+
+}  // namespace dnsv

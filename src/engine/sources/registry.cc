@@ -1,0 +1,67 @@
+#include "src/engine/sources/sources.h"
+
+#include "src/support/logging.h"
+
+namespace dnsv {
+
+const char* EngineVersionName(EngineVersion version) {
+  switch (version) {
+    case EngineVersion::kV1: return "v1.0";
+    case EngineVersion::kV2: return "v2.0";
+    case EngineVersion::kV3: return "v3.0";
+    case EngineVersion::kDev: return "dev";
+    case EngineVersion::kGolden: return "golden";
+    case EngineVersion::kV4: return "v4.0";
+  }
+  return "?";
+}
+
+std::vector<EngineVersion> AllEngineVersions() {
+  return {EngineVersion::kV1, EngineVersion::kV2, EngineVersion::kV3, EngineVersion::kDev,
+          EngineVersion::kGolden, EngineVersion::kV4};
+}
+
+bool EngineHasGlue(EngineVersion version) { return version != EngineVersion::kV1; }
+
+bool EngineHasNotImp(EngineVersion version) { return version == EngineVersion::kV4; }
+
+std::vector<std::pair<std::string, std::string>> EngineSources(EngineVersion version) {
+  const char* resolve_source = nullptr;
+  switch (version) {
+    case EngineVersion::kV1:
+      resolve_source = kEngineResolveV1Mg;
+      break;
+    case EngineVersion::kV2:
+      resolve_source = kEngineResolveV2Mg;
+      break;
+    case EngineVersion::kV3:
+      resolve_source = kEngineResolveV3Mg;
+      break;
+    case EngineVersion::kDev:
+      resolve_source = kEngineResolveDevMg;
+      break;
+    case EngineVersion::kGolden:
+      resolve_source = kEngineResolveGoldenMg;
+      break;
+    case EngineVersion::kV4:
+      resolve_source = kEngineResolveV4Mg;
+      break;
+  }
+  DNSV_CHECK(resolve_source != nullptr);
+  std::string feature_flags =
+      std::string(EngineHasGlue(version) ? kSpecFeatureGlueOn : kSpecFeatureGlueOff) +
+      (EngineHasNotImp(version) ? kSpecFeatureNotImpOn : kSpecFeatureNotImpOff);
+  return {
+      {"features.mg", feature_flags},
+      {"types.mg", kEngineTypesMg},
+      {"name.mg", kEngineNameMg},
+      {"nodestack.mg", kEngineNodeStackMg},
+      {"rrset.mg", kEngineRrsetMg},
+      {"response.mg", kEngineResponseMg},
+      {"name_spec.mg", kEngineNameSpecMg},
+      {"resolve.mg", resolve_source},
+      {"rrlookup.mg", kSpecRrlookupMg},
+  };
+}
+
+}  // namespace dnsv

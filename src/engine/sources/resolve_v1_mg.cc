@@ -1,0 +1,195 @@
+// MiniGo source: engine v1.0 — the base version (paper Table 2).
+//
+// Seeded bugs, verbatim from the paper's classification:
+//   #1 Wrong Flag      — AA flag missing for certain authoritative answers
+//                        (wildcard answers never set FLAG_AA)
+//   #2 Wrong Authority — extraneous NS/SOA authority (positive answers carry
+//                        the apex NS set in the authority section)
+//   #3 Wrong Answer    — incorrect resource record matching on MX (MX
+//                        answers also pull in the node's A records)
+// v1.0 predates additional-section processing: no glue anywhere.
+#include "src/engine/sources/sources.h"
+
+namespace dnsv {
+
+const char kEngineResolveV1Mg[] = R"mg(
+// ---- resolve.mg (v1.0) ----
+
+func findChild(bst *TreeNode, label int) *TreeNode {
+  cur := bst
+  for cur != nil {
+    if label == cur.label {
+      return cur
+    }
+    if label < cur.label {
+      cur = cur.left
+    } else {
+      cur = cur.right
+    }
+  }
+  return nil
+}
+
+func treeSearch(apex *TreeNode, rel []int, stopAtNS bool, out *SearchResult, stack *NodeStack) {
+  cur := apex
+  depth := 0
+  out.cut = nil
+  pushNode(stack, cur)
+  for depth < len(rel) {
+    child := findChild(cur.down, rel[depth])
+    if child == nil {
+      out.match = MATCH_PARTIAL
+      out.node = cur
+      out.depth = depth
+      return
+    }
+    cur = child
+    depth = depth + 1
+    pushNode(stack, cur)
+    if stopAtNS && hasType(cur, TYPE_NS) {
+      out.match = MATCH_PARTIAL
+      out.node = cur
+      out.depth = depth
+      out.cut = cur
+      return
+    }
+  }
+  out.match = MATCH_EXACT
+  out.node = cur
+  out.depth = depth
+}
+
+func chaseCname(apex *TreeNode, origin []int, start RR, qtype int, resp *Response) {
+  resp.answer = append(resp.answer, start)
+  target := start.rdataName
+  count := 0
+  for count < MAX_CNAME_CHASE {
+    if !nameIsSubdomain(target, origin) {
+      return
+    }
+    relt := nameStrip(target, origin)
+    sr := new(SearchResult)
+    st := newNodeStack()
+    treeSearch(apex, relt, true, sr, st)
+    if sr.cut != nil {
+      return
+    }
+    if sr.match != MATCH_EXACT {
+      return
+    }
+    rrs := getRRs(sr.node, qtype)
+    if len(rrs) > 0 {
+      resp.answer = appendAll(resp.answer, rrs)
+      return
+    }
+    next := getRRs(sr.node, TYPE_CNAME)
+    if len(next) == 0 {
+      return
+    }
+    resp.answer = append(resp.answer, next[0])
+    target = next[0].rdataName
+    count = count + 1
+  }
+}
+
+func answerExact(apex *TreeNode, origin []int, node *TreeNode, qname []int, qtype int, resp *Response) {
+  resp.rcode = RCODE_NOERROR
+  setAuthoritative(resp)
+  if qtype == TYPE_ANY {
+    for i := 0; i < len(node.rrsets); i = i + 1 {
+      resp.answer = appendAll(resp.answer, node.rrsets[i].rrs)
+    }
+    if len(resp.answer) == 0 {
+      resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+      return
+    }
+    // BUG #2 (Wrong Authority): legacy code decorates every positive answer
+    // with the zone's NS set.
+    resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_NS))
+    return
+  }
+  rrs := getRRs(node, qtype)
+  if len(rrs) > 0 {
+    resp.answer = appendAll(resp.answer, rrs)
+    if qtype == TYPE_MX {
+      // BUG #3 (Wrong Answer): an old inline-"glue" hack appends the node's
+      // own A records to MX answers.
+      resp.answer = appendAll(resp.answer, getRRs(node, TYPE_A))
+    }
+    // BUG #2 again: extraneous NS authority on positive answers.
+    resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_NS))
+    return
+  }
+  cnames := getRRs(node, TYPE_CNAME)
+  if len(cnames) > 0 {
+    chaseCname(apex, origin, cnames[0], qtype, resp)
+    return
+  }
+  resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+}
+
+func wildcardAnswer(apex *TreeNode, origin []int, wc *TreeNode, qname []int, qtype int, resp *Response) {
+  resp.rcode = RCODE_NOERROR
+  // BUG #1 (Wrong Flag): missing setAuthoritative(resp) — wildcard answers
+  // go out without the AA bit.
+  if qtype == TYPE_ANY {
+    for i := 0; i < len(wc.rrsets); i = i + 1 {
+      src := wc.rrsets[i].rrs
+      for j := 0; j < len(src); j = j + 1 {
+        resp.answer = append(resp.answer, synthesizeRR(src[j], qname))
+      }
+    }
+    if len(resp.answer) == 0 {
+      setAuthoritative(resp)
+      resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+    }
+    return
+  }
+  rrs := getRRs(wc, qtype)
+  if len(rrs) > 0 {
+    for j := 0; j < len(rrs); j = j + 1 {
+      resp.answer = append(resp.answer, synthesizeRR(rrs[j], qname))
+    }
+    return
+  }
+  cnames := getRRs(wc, TYPE_CNAME)
+  if len(cnames) > 0 {
+    chaseCname(apex, origin, synthesizeRR(cnames[0], qname), qtype, resp)
+    return
+  }
+  setAuthoritative(resp)
+  resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+}
+
+func resolve(apex *TreeNode, origin []int, qname []int, qtype int) *Response {
+  resp := newResponse()
+  if !nameIsSubdomain(qname, origin) {
+    resp.rcode = RCODE_REFUSED
+    return resp
+  }
+  rel := nameStrip(qname, origin)
+  sr := new(SearchResult)
+  stack := newNodeStack()
+  treeSearch(apex, rel, true, sr, stack)
+  if sr.cut != nil {
+    resp.rcode = RCODE_NOERROR
+    resp.authority = appendAll(resp.authority, getRRs(sr.cut, TYPE_NS))
+    return resp
+  }
+  if sr.match == MATCH_EXACT {
+    answerExact(apex, origin, sr.node, qname, qtype, resp)
+    return resp
+  }
+  wc := findChild(sr.node.down, LABEL_STAR)
+  if wc != nil {
+    wildcardAnswer(apex, origin, wc, qname, qtype, resp)
+    return resp
+  }
+  resp.rcode = RCODE_NXDOMAIN
+  setAuthoritative(resp)
+  resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+  return resp
+}
+)mg";
+
+}  // namespace dnsv

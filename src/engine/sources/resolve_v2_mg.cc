@@ -1,0 +1,228 @@
+// MiniGo source: engine v2.0 — adds additional-section (glue) processing and
+// fixes the v1.0 bugs, but the new feature code ships its own (paper Table 2):
+//   #4 Wrong Additional   — incomplete glue for certain queries (only the
+//                           first NS/MX record is processed)
+//   #5 Wrong Additional   — incomplete glue when handling wildcard
+//                           (synthesized answers skip glue entirely)
+//   #6 Wrong Answer/rcode — incorrect domain tree search for certain wildcard
+//                           domains (wildcard only consulted when exactly one
+//                           label is missing)
+//   #7 Wrong Additional   — extraneous records in the additional section
+//                           (SOA mname also treated as a glue target, and
+//                           glue attached to negative authority sections)
+#include "src/engine/sources/sources.h"
+
+namespace dnsv {
+
+const char kEngineResolveV2Mg[] = R"mg(
+// ---- resolve.mg (v2.0) ----
+
+func findChild(bst *TreeNode, label int) *TreeNode {
+  cur := bst
+  for cur != nil {
+    if label == cur.label {
+      return cur
+    }
+    if label < cur.label {
+      cur = cur.left
+    } else {
+      cur = cur.right
+    }
+  }
+  return nil
+}
+
+func treeSearch(apex *TreeNode, rel []int, stopAtNS bool, out *SearchResult, stack *NodeStack) {
+  cur := apex
+  depth := 0
+  out.cut = nil
+  pushNode(stack, cur)
+  for depth < len(rel) {
+    child := findChild(cur.down, rel[depth])
+    if child == nil {
+      out.match = MATCH_PARTIAL
+      out.node = cur
+      out.depth = depth
+      return
+    }
+    cur = child
+    depth = depth + 1
+    pushNode(stack, cur)
+    if stopAtNS && hasType(cur, TYPE_NS) {
+      out.match = MATCH_PARTIAL
+      out.node = cur
+      out.depth = depth
+      out.cut = cur
+      return
+    }
+  }
+  out.match = MATCH_EXACT
+  out.node = cur
+  out.depth = depth
+}
+
+// New in v2.0: glue processing.
+func addAdditional(apex *TreeNode, origin []int, resp *Response, rrs []RR) {
+  // BUG #4 (Wrong Additional): the loop bound was copy-pasted from a
+  // single-record prototype — only rrs[0] ever gets glue.
+  limit := len(rrs)
+  if limit > 1 {
+    limit = 1
+  }
+  for i := 0; i < limit; i = i + 1 {
+    t := rrs[i].rtype
+    // BUG #7 (Wrong Additional): SOA is not a glue-bearing type, but the
+    // condition includes it, so negative answers pick up the SOA mname's
+    // addresses.
+    if t == TYPE_NS || t == TYPE_MX || t == TYPE_SOA {
+      target := rrs[i].rdataName
+      if nameIsSubdomain(target, origin) {
+        relt := nameStrip(target, origin)
+        sr := new(SearchResult)
+        st := newNodeStack()
+        treeSearch(apex, relt, false, sr, st)
+        if sr.match == MATCH_EXACT {
+          resp.additional = appendAll(resp.additional, getRRs(sr.node, TYPE_A))
+          resp.additional = appendAll(resp.additional, getRRs(sr.node, TYPE_AAAA))
+        }
+      }
+    }
+  }
+}
+
+func chaseCname(apex *TreeNode, origin []int, start RR, qtype int, resp *Response) {
+  resp.answer = append(resp.answer, start)
+  target := start.rdataName
+  count := 0
+  for count < MAX_CNAME_CHASE {
+    if !nameIsSubdomain(target, origin) {
+      return
+    }
+    relt := nameStrip(target, origin)
+    sr := new(SearchResult)
+    st := newNodeStack()
+    treeSearch(apex, relt, true, sr, st)
+    if sr.cut != nil {
+      return
+    }
+    if sr.match != MATCH_EXACT {
+      return
+    }
+    rrs := getRRs(sr.node, qtype)
+    if len(rrs) > 0 {
+      resp.answer = appendAll(resp.answer, rrs)
+      addAdditional(apex, origin, resp, rrs)
+      return
+    }
+    next := getRRs(sr.node, TYPE_CNAME)
+    if len(next) == 0 {
+      return
+    }
+    resp.answer = append(resp.answer, next[0])
+    target = next[0].rdataName
+    count = count + 1
+  }
+}
+
+func answerExact(apex *TreeNode, origin []int, node *TreeNode, qname []int, qtype int, resp *Response) {
+  resp.rcode = RCODE_NOERROR
+  setAuthoritative(resp)
+  if qtype == TYPE_ANY {
+    for i := 0; i < len(node.rrsets); i = i + 1 {
+      resp.answer = appendAll(resp.answer, node.rrsets[i].rrs)
+    }
+    if len(resp.answer) == 0 {
+      resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+      // BUG #7 continued: glue is (wrongly) attached to the negative
+      // authority section too.
+      addAdditional(apex, origin, resp, resp.authority)
+      return
+    }
+    addAdditional(apex, origin, resp, resp.answer)
+    return
+  }
+  rrs := getRRs(node, qtype)
+  if len(rrs) > 0 {
+    resp.answer = appendAll(resp.answer, rrs)
+    addAdditional(apex, origin, resp, rrs)
+    return
+  }
+  cnames := getRRs(node, TYPE_CNAME)
+  if len(cnames) > 0 {
+    chaseCname(apex, origin, cnames[0], qtype, resp)
+    return
+  }
+  resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+  addAdditional(apex, origin, resp, resp.authority)
+}
+
+func wildcardAnswer(apex *TreeNode, origin []int, wc *TreeNode, qname []int, qtype int, resp *Response) {
+  resp.rcode = RCODE_NOERROR
+  setAuthoritative(resp)
+  if qtype == TYPE_ANY {
+    for i := 0; i < len(wc.rrsets); i = i + 1 {
+      src := wc.rrsets[i].rrs
+      for j := 0; j < len(src); j = j + 1 {
+        resp.answer = append(resp.answer, synthesizeRR(src[j], qname))
+      }
+    }
+    if len(resp.answer) == 0 {
+      resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+    }
+    // BUG #5 (Wrong Additional): no addAdditional on the wildcard path.
+    return
+  }
+  rrs := getRRs(wc, qtype)
+  if len(rrs) > 0 {
+    for j := 0; j < len(rrs); j = j + 1 {
+      resp.answer = append(resp.answer, synthesizeRR(rrs[j], qname))
+    }
+    // BUG #5 continued: synthesized MX/NS answers never get glue.
+    return
+  }
+  cnames := getRRs(wc, TYPE_CNAME)
+  if len(cnames) > 0 {
+    chaseCname(apex, origin, synthesizeRR(cnames[0], qname), qtype, resp)
+    return
+  }
+  resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+}
+
+func resolve(apex *TreeNode, origin []int, qname []int, qtype int) *Response {
+  resp := newResponse()
+  if !nameIsSubdomain(qname, origin) {
+    resp.rcode = RCODE_REFUSED
+    return resp
+  }
+  rel := nameStrip(qname, origin)
+  sr := new(SearchResult)
+  stack := newNodeStack()
+  treeSearch(apex, rel, true, sr, stack)
+  if sr.cut != nil {
+    resp.rcode = RCODE_NOERROR
+    resp.authority = appendAll(resp.authority, getRRs(sr.cut, TYPE_NS))
+    addAdditional(apex, origin, resp, resp.authority)
+    return resp
+  }
+  if sr.match == MATCH_EXACT {
+    answerExact(apex, origin, sr.node, qname, qtype, resp)
+    return resp
+  }
+  // BUG #6 (Wrong Answer/rcode): the wildcard is consulted only when exactly
+  // one label failed to match, so *.zone does not cover deeper names
+  // (a.b.zone) and they fall through to NXDOMAIN.
+  if sr.depth == len(rel) - 1 {
+    wc := findChild(sr.node.down, LABEL_STAR)
+    if wc != nil {
+      wildcardAnswer(apex, origin, wc, qname, qtype, resp)
+      return resp
+    }
+  }
+  resp.rcode = RCODE_NXDOMAIN
+  setAuthoritative(resp)
+  resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+  return resp
+}
+)mg";
+
+}  // namespace dnsv

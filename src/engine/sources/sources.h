@@ -1,0 +1,69 @@
+// Embedded MiniGo sources for the DNS authoritative engine, its stable
+// library modules, and the specifications.
+//
+// The engine exists in five versions, mirroring the paper's Table 2:
+//   v1.0    — base version (bugs #1 #2 #3)
+//   v2.0    — adds delegation glue / additional-section processing (#4-#7)
+//   v3.0    — fixes v2 bugs, adds an ENT fast path (bug #8)
+//   dev     — iteration after v3.0: attempted fix for #8 (#8 remains, adds #9)
+//   golden  — the fully repaired engine; verifies clean against the spec
+#ifndef DNSV_ENGINE_SOURCES_SOURCES_H_
+#define DNSV_ENGINE_SOURCES_SOURCES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dnsv {
+
+// Shared, version-stable modules (the paper's yellow layers).
+extern const char kEngineTypesMg[];      // struct + constant declarations
+extern const char kEngineNameMg[];       // Name: comparison & subtraction
+extern const char kEngineNodeStackMg[];  // NodeStack
+extern const char kEngineRrsetMg[];      // RRSet lookups
+extern const char kEngineResponseMg[];   // Response helpers
+extern const char kEngineNameSpecMg[];   // manual spec for the Name layer (Fig. 6 left branch)
+
+// Per-version resolution modules (the paper's blue layers).
+extern const char kEngineResolveV1Mg[];
+extern const char kEngineResolveV2Mg[];
+extern const char kEngineResolveV3Mg[];
+extern const char kEngineResolveDevMg[];
+extern const char kEngineResolveGoldenMg[];
+extern const char kEngineResolveV4Mg[];
+
+// Byte-level compareRaw (paper Fig. 4) and its abstract counterpart
+// compareAbs (Fig. 10), used by the refinement case study.
+extern const char kEngineCompareRawMg[];
+
+// Top-level specification (paper Fig. 9): rrlookup over the flat zone list.
+// Compile with kSpecFeatureGlueOn / ...Off prepended (the per-version O(10)
+// line spec adaptation from Table 3).
+extern const char kSpecRrlookupMg[];
+extern const char kSpecFeatureGlueOn[];
+extern const char kSpecFeatureGlueOff[];
+extern const char kSpecFeatureNotImpOn[];
+extern const char kSpecFeatureNotImpOff[];
+
+enum class EngineVersion { kV1, kV2, kV3, kDev, kGolden, kV4 };
+
+const char* EngineVersionName(EngineVersion version);
+
+// All versions, in release order.
+std::vector<EngineVersion> AllEngineVersions();
+
+// (file name, source) units that compile `version` of the engine together
+// with its matching top-level specification.
+std::vector<std::pair<std::string, std::string>> EngineSources(EngineVersion version);
+
+// True when this engine version performs additional-section (glue)
+// processing; selects the matching spec feature flag.
+bool EngineHasGlue(EngineVersion version);
+
+// True when this engine version answers meta query types with NOTIMP
+// (the v4.0 feature).
+bool EngineHasNotImp(EngineVersion version);
+
+}  // namespace dnsv
+
+#endif  // DNSV_ENGINE_SOURCES_SOURCES_H_

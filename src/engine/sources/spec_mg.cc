@@ -1,0 +1,247 @@
+// MiniGo source: the top-level specification (paper Fig. 9, following
+// SCALE's rrlookup formalization). Unlike the engine, the spec never touches
+// the domain tree: it computes the response by iterative filtering over the
+// flat zone record list. It is executable — the differential tester runs it
+// concretely, and the verifier executes it symbolically.
+//
+// The FEATURE_GLUE constant is the per-version spec adaptation from Table 3:
+// v1.0 predates additional-section processing, so its spec disables glue.
+#include "src/engine/sources/sources.h"
+
+namespace dnsv {
+
+const char kSpecFeatureGlueOn[] = "const FEATURE_GLUE = 1\n";
+const char kSpecFeatureGlueOff[] = "const FEATURE_GLUE = 0\n";
+const char kSpecFeatureNotImpOn[] = "const FEATURE_NOTIMP = 1\n";
+const char kSpecFeatureNotImpOff[] = "const FEATURE_NOTIMP = 0\n";
+
+const char kSpecRrlookupMg[] = R"mg(
+// ---- rrlookup.mg: top-level specification of authoritative resolution ----
+
+// True when some record owner sits at or below the name qname[0..k).
+// (k == len(qname) asks "does qname exist as a node?", which deliberately
+// includes empty non-terminals.)
+func specPrefixExists(zone []RR, qname []int, k int) bool {
+  for i := 0; i < len(zone); i = i + 1 {
+    if len(zone[i].rname) >= k {
+      ok := true
+      for j := 0; j < k; j = j + 1 {
+        if zone[i].rname[j] != qname[j] {
+          ok = false
+          break
+        }
+      }
+      if ok {
+        return true
+      }
+    }
+  }
+  return false
+}
+
+// Records with rname == owner and rtype == rtype, in canonical zone order.
+func specFilter(zone []RR, owner []int, rtype int) []RR {
+  out := make([]RR)
+  for i := 0; i < len(zone); i = i + 1 {
+    if zone[i].rtype == rtype {
+      if nameEq(zone[i].rname, owner) {
+        out = append(out, zone[i])
+      }
+    }
+  }
+  return out
+}
+
+// All records with rname == owner, any type, in canonical zone order.
+func specFilterByName(zone []RR, owner []int) []RR {
+  out := make([]RR)
+  for i := 0; i < len(zone); i = i + 1 {
+    if nameEq(zone[i].rname, owner) {
+      out = append(out, zone[i])
+    }
+  }
+  return out
+}
+
+// Length of the shallowest delegation owner (strictly below the apex) that
+// covers qname, or 0 when qname is not under any delegation.
+func specCutLen(zone []RR, origin []int, qname []int) int {
+  best := 0
+  for i := 0; i < len(zone); i = i + 1 {
+    if zone[i].rtype == TYPE_NS {
+      if len(zone[i].rname) > len(origin) {
+        if nameIsSubdomain(qname, zone[i].rname) {
+          if best == 0 || len(zone[i].rname) < best {
+            best = len(zone[i].rname)
+          }
+        }
+      }
+    }
+  }
+  return best
+}
+
+// NS records whose owner is the ancestor of qname at depth cutLen.
+func specNsAtCut(zone []RR, qname []int, cutLen int) []RR {
+  out := make([]RR)
+  for i := 0; i < len(zone); i = i + 1 {
+    if zone[i].rtype == TYPE_NS {
+      if len(zone[i].rname) == cutLen {
+        if nameIsSubdomain(qname, zone[i].rname) {
+          out = append(out, zone[i])
+        }
+      }
+    }
+  }
+  return out
+}
+
+// Glue: for each NS/MX record, the in-zone A and AAAA records of its target.
+func specAddGlue(zone []RR, origin []int, resp *Response, rrs []RR) {
+  for i := 0; i < len(rrs); i = i + 1 {
+    t := rrs[i].rtype
+    if t == TYPE_NS || t == TYPE_MX {
+      target := rrs[i].rdataName
+      if nameIsSubdomain(target, origin) {
+        resp.additional = appendAll(resp.additional, specFilter(zone, target, TYPE_A))
+        resp.additional = appendAll(resp.additional, specFilter(zone, target, TYPE_AAAA))
+      }
+    }
+  }
+}
+
+// CNAME chain inside the zone: stops at out-of-zone targets, delegations,
+// missing names, or MAX_CNAME_CHASE links.
+func specChase(zone []RR, origin []int, start RR, qtype int, resp *Response) {
+  resp.answer = append(resp.answer, start)
+  target := start.rdataName
+  count := 0
+  for count < MAX_CNAME_CHASE {
+    if !nameIsSubdomain(target, origin) {
+      return
+    }
+    if specCutLen(zone, origin, target) > 0 {
+      return
+    }
+    rrs := specFilter(zone, target, qtype)
+    if len(rrs) > 0 {
+      resp.answer = appendAll(resp.answer, rrs)
+      if FEATURE_GLUE == 1 {
+        specAddGlue(zone, origin, resp, rrs)
+      }
+      return
+    }
+    next := specFilter(zone, target, TYPE_CNAME)
+    if len(next) == 0 {
+      return
+    }
+    resp.answer = append(resp.answer, next[0])
+    target = next[0].rdataName
+    count = count + 1
+  }
+}
+
+// Positive resolution at an existing owner name. When synthesize is true the
+// records come from a wildcard owner and are rewritten to qname.
+func specAnswerAt(zone []RR, origin []int, owner []int, qname []int, qtype int, synthesize bool, resp *Response) {
+  resp.rcode = RCODE_NOERROR
+  resp.flags = FLAG_AA
+  if qtype == TYPE_ANY {
+    all := specFilterByName(zone, owner)
+    for i := 0; i < len(all); i = i + 1 {
+      if synthesize {
+        resp.answer = append(resp.answer, synthesizeRR(all[i], qname))
+      } else {
+        resp.answer = append(resp.answer, all[i])
+      }
+    }
+    if len(resp.answer) == 0 {
+      resp.authority = appendAll(resp.authority, specFilter(zone, origin, TYPE_SOA))
+      return
+    }
+    if FEATURE_GLUE == 1 {
+      specAddGlue(zone, origin, resp, resp.answer)
+    }
+    return
+  }
+  rrs := specFilter(zone, owner, qtype)
+  if len(rrs) > 0 {
+    syn := make([]RR)
+    for i := 0; i < len(rrs); i = i + 1 {
+      if synthesize {
+        syn = append(syn, synthesizeRR(rrs[i], qname))
+      } else {
+        syn = append(syn, rrs[i])
+      }
+    }
+    resp.answer = appendAll(resp.answer, syn)
+    if FEATURE_GLUE == 1 {
+      specAddGlue(zone, origin, resp, syn)
+    }
+    return
+  }
+  cnames := specFilter(zone, owner, TYPE_CNAME)
+  if len(cnames) > 0 {
+    if synthesize {
+      specChase(zone, origin, synthesizeRR(cnames[0], qname), qtype, resp)
+    } else {
+      specChase(zone, origin, cnames[0], qtype, resp)
+    }
+    return
+  }
+  resp.authority = appendAll(resp.authority, specFilter(zone, origin, TYPE_SOA))
+}
+
+// rrlookup: the whole-program specification (paper Fig. 9). Takes the zone
+// (a flat record list), the origin, and the query; returns the response the
+// engine must produce.
+func rrlookup(zone []RR, origin []int, qname []int, qtype int) *Response {
+  resp := newResponse()
+  // v4.0 spec adaptation (Table 3's O(10)-line per-version change): meta
+  // query types are answered NOTIMP once the engine implements the feature.
+  if FEATURE_NOTIMP == 1 {
+    if qtype >= TYPE_META_FIRST && qtype <= TYPE_META_LAST {
+      resp.rcode = RCODE_NOTIMP
+      return resp
+    }
+  }
+  if !nameIsSubdomain(qname, origin) {
+    resp.rcode = RCODE_REFUSED
+    return resp
+  }
+  cutLen := specCutLen(zone, origin, qname)
+  if cutLen > 0 {
+    resp.rcode = RCODE_NOERROR
+    resp.authority = appendAll(resp.authority, specNsAtCut(zone, qname, cutLen))
+    if FEATURE_GLUE == 1 {
+      specAddGlue(zone, origin, resp, resp.authority)
+    }
+    return resp
+  }
+  if specPrefixExists(zone, qname, len(qname)) {
+    specAnswerAt(zone, origin, qname, qname, qtype, false, resp)
+    return resp
+  }
+  // Closest encloser: deepest existing ancestor of qname (at worst the apex).
+  k := len(qname) - 1
+  for k > len(origin) {
+    if specPrefixExists(zone, qname, k) {
+      break
+    }
+    k = k - 1
+  }
+  // Source of synthesis: the wildcard child of the closest encloser.
+  wcOwner := namePrefix(qname, k)
+  wcOwner = append(wcOwner, LABEL_STAR)
+  if specPrefixExists(zone, wcOwner, len(wcOwner)) {
+    specAnswerAt(zone, origin, wcOwner, qname, qtype, true, resp)
+    return resp
+  }
+  resp.rcode = RCODE_NXDOMAIN
+  resp.flags = FLAG_AA
+  resp.authority = appendAll(resp.authority, specFilter(zone, origin, TYPE_SOA))
+  return resp
+}
+)mg";
+
+}  // namespace dnsv

@@ -1,0 +1,99 @@
+// MiniGo source: shared type declarations and constants ("types.mg").
+//
+// These declarations are the cross-language contract with the C++ control
+// plane (src/dns/heap.cc resolves field indices by name against them) and
+// stay identical across every engine version.
+#include "src/engine/sources/sources.h"
+
+namespace dnsv {
+
+const char kEngineTypesMg[] = R"mg(
+// ---- types.mg: data structures shared by the engine and its specification ----
+
+// A resource record. rname holds interned labels in root-first order, e.g.
+// www.example.com => [int("com"), int("example"), int("www")].
+type RR struct {
+  rname []int
+  rtype int
+  rdataInt int
+  rdataName []int
+}
+
+// All records of one type at one domain-tree node.
+type RRSet struct {
+  rtype int
+  rrs []RR
+}
+
+// One node of the in-heap domain tree: a binary search tree per level
+// (left/right by label order) with down-links to the next level.
+type TreeNode struct {
+  label int
+  left *TreeNode
+  right *TreeNode
+  down *TreeNode
+  rrsets []RRSet
+}
+
+// A DNS response: rcode, header flags, and the three record sections.
+type Response struct {
+  rcode int
+  flags int
+  answer []RR
+  authority []RR
+  additional []RR
+}
+
+// Result of walking the domain tree for a query name.
+type SearchResult struct {
+  match int       // MATCH_EXACT or MATCH_PARTIAL (node = closest encloser)
+  node *TreeNode
+  depth int       // number of relative labels matched
+  cut *TreeNode   // delegation node encountered on the way down, or nil
+}
+
+// Stack of visited nodes (paper Figs. 2/3): push encapsulates the write, but
+// production code reads `level` directly — deliberately imperfect
+// encapsulation, handled by the verifier's flexible memory model.
+type NodeStack struct {
+  nodes []*TreeNode
+  level int
+}
+
+// RR type codes.
+const TYPE_A = 1
+const TYPE_NS = 2
+const TYPE_CNAME = 5
+const TYPE_SOA = 6
+const TYPE_MX = 15
+const TYPE_TXT = 16
+const TYPE_AAAA = 28
+const TYPE_ANY = 255
+
+// Meta query types (zone transfers, legacy mail): IXFR..MAILA.
+const TYPE_META_FIRST = 251
+const TYPE_META_LAST = 254
+
+// Response codes.
+const RCODE_NOERROR = 0
+const RCODE_NXDOMAIN = 3
+const RCODE_NOTIMP = 4
+const RCODE_REFUSED = 5
+
+// Header flag bits.
+const FLAG_AA = 1
+
+// Name comparison results (paper Figs. 4/10).
+const MATCH_NOMATCH = 0
+const MATCH_EXACT = 1
+const MATCH_PARTIAL = 2
+
+// The interned code of the wildcard label "*" (fixed by the LabelInterner:
+// '*' sorts before every other allowed label byte).
+const LABEL_STAR = 2
+
+// Longest CNAME chain the engine follows inside one zone.
+const MAX_CNAME_CHASE = 8
+)mg";
+
+}  // namespace dnsv

@@ -1,0 +1,128 @@
+// MiniGo abstract syntax. Nodes carry source positions for error messages and
+// are annotated with resolved AbsIR types by the typechecker.
+#ifndef DNSV_FRONTEND_AST_H_
+#define DNSV_FRONTEND_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/frontend/token.h"
+#include "src/ir/type.h"
+
+namespace dnsv {
+
+struct TypeExpr {
+  enum class Kind { kNamed, kPtr, kList };
+  Kind kind = Kind::kNamed;
+  std::string name;                 // kNamed: "int", "bool", or a struct name
+  std::unique_ptr<TypeExpr> elem;   // kPtr / kList
+  int line = 0;
+};
+
+struct Expr {
+  enum class Kind {
+    kIntLit,
+    kBoolLit,
+    kNilLit,
+    kVarRef,    // also resolves to constants
+    kBinary,    // op, lhs, rhs
+    kUnary,     // op, lhs
+    kField,     // lhs . name
+    kIndex,     // lhs [ rhs ]
+    kCall,      // name(args...) — includes len/append/listEq builtins
+    kNew,       // new(T)
+    kMake,      // make([]T) — empty list
+  };
+  Kind kind;
+  int line = 0;
+  int column = 0;
+  int64_t int_value = 0;
+  bool bool_value = false;
+  std::string name;
+  Tok op = Tok::kEof;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+  std::vector<std::unique_ptr<Expr>> args;
+  std::unique_ptr<TypeExpr> type_expr;  // kNew / kMake
+
+  // --- filled by the typechecker ---
+  Type type;                 // resolved AbsIR type of this expression
+  bool base_needs_deref = false;  // kField: base is a pointer, auto-deref
+  bool is_const = false;     // kVarRef resolved to a const; value in int_value
+};
+
+struct Stmt {
+  enum class Kind {
+    kVarDecl,    // var name T [= init]
+    kShortDecl,  // name := init
+    kAssign,     // lhs = init
+    kIf,         // cond, body, else_body
+    kFor,        // [for_init]; [cond]; [for_post] body
+    kReturn,     // [init]
+    kBreak,
+    kContinue,
+    kExpr,       // init (a call)
+    kPanic,      // panic("text")
+    kBlock,      // body
+  };
+  Kind kind;
+  int line = 0;
+  std::string name;
+  std::unique_ptr<TypeExpr> decl_type;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> init;
+  std::unique_ptr<Expr> cond;
+  std::vector<std::unique_ptr<Stmt>> body;
+  std::vector<std::unique_ptr<Stmt>> else_body;
+  std::unique_ptr<Stmt> for_init;
+  std::unique_ptr<Stmt> for_post;
+  std::string text;  // kPanic message
+
+  // --- filled by the typechecker ---
+  Type decl_ir_type;  // kVarDecl / kShortDecl: resolved variable type
+};
+
+struct FieldDecl {
+  std::string name;
+  std::unique_ptr<TypeExpr> type;
+  int line = 0;
+};
+
+struct StructDecl {
+  std::string name;
+  std::vector<FieldDecl> fields;
+  int line = 0;
+};
+
+struct ConstDecl {
+  std::string name;
+  int64_t value = 0;
+  int line = 0;
+};
+
+struct ParamDecl {
+  std::string name;
+  std::unique_ptr<TypeExpr> type;
+  int line = 0;
+};
+
+struct FuncDecl {
+  std::string name;
+  std::vector<ParamDecl> params;
+  std::unique_ptr<TypeExpr> return_type;  // null for void
+  std::vector<std::unique_ptr<Stmt>> body;
+  int line = 0;
+};
+
+// One parsed compilation unit (possibly concatenated from several .mg files).
+struct ProgramAst {
+  std::vector<StructDecl> structs;
+  std::vector<ConstDecl> consts;
+  std::vector<FuncDecl> funcs;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_FRONTEND_AST_H_

@@ -1,0 +1,33 @@
+#include "src/frontend/frontend.h"
+
+#include "src/frontend/lower.h"
+#include "src/frontend/parser.h"
+#include "src/ir/validate.h"
+
+namespace dnsv {
+
+Result<CompileOutput> CompileMiniGo(
+    const std::vector<std::pair<std::string, std::string>>& sources, Module* module) {
+  Result<ProgramAst> ast = ParseMiniGoSources(sources);
+  if (!ast.ok()) {
+    return Result<CompileOutput>::Error(ast.error());
+  }
+  ProgramAst program = std::move(ast).value();
+  Result<CheckedProgram> checked = TypecheckMiniGo(&program, &module->types());
+  if (!checked.ok()) {
+    return Result<CompileOutput>::Error(checked.error());
+  }
+  Status lowered = LowerMiniGo(program, checked.value(), module);
+  if (!lowered.ok()) {
+    return Result<CompileOutput>::Error(lowered.message());
+  }
+  Status valid = ValidateModule(*module);
+  if (!valid.ok()) {
+    return Result<CompileOutput>::Error("internal: lowered IR invalid: " + valid.message());
+  }
+  CompileOutput output;
+  output.checked = std::move(checked).value();
+  return output;
+}
+
+}  // namespace dnsv

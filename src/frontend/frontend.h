@@ -1,0 +1,27 @@
+// One-call MiniGo compilation pipeline: lex -> parse -> typecheck -> lower.
+#ifndef DNSV_FRONTEND_FRONTEND_H_
+#define DNSV_FRONTEND_FRONTEND_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/frontend/typecheck.h"
+#include "src/ir/function.h"
+#include "src/support/status.h"
+
+namespace dnsv {
+
+struct CompileOutput {
+  CheckedProgram checked;
+};
+
+// Compiles the given (file name, source) units as one package into `module`.
+// The module's TypeTable receives all struct definitions. Validates the
+// emitted IR before returning.
+Result<CompileOutput> CompileMiniGo(
+    const std::vector<std::pair<std::string, std::string>>& sources, Module* module);
+
+}  // namespace dnsv
+
+#endif  // DNSV_FRONTEND_FRONTEND_H_

@@ -1,0 +1,299 @@
+#include "src/frontend/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+const std::unordered_map<std::string, Tok>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, Tok>{
+      {"func", Tok::kFunc},         {"var", Tok::kVar},       {"const", Tok::kConst},
+      {"type", Tok::kTypeKw},       {"struct", Tok::kStruct}, {"if", Tok::kIf},
+      {"else", Tok::kElse},         {"for", Tok::kFor},       {"return", Tok::kReturn},
+      {"break", Tok::kBreak},       {"continue", Tok::kContinue},
+      {"true", Tok::kTrue},         {"false", Tok::kFalse},   {"nil", Tok::kNil},
+      {"panic", Tok::kPanicKw},
+  };
+  return *kMap;
+}
+
+// Go's ASI rule: a newline terminates the statement when the last token is an
+// identifier, literal, one of the keywords below, or a closing delimiter.
+bool TriggersSemicolon(Tok kind) {
+  switch (kind) {
+    case Tok::kIdent:
+    case Tok::kIntLit:
+    case Tok::kStringLit:
+    case Tok::kTrue:
+    case Tok::kFalse:
+    case Tok::kNil:
+    case Tok::kReturn:
+    case Tok::kBreak:
+    case Tok::kContinue:
+    case Tok::kRParen:
+    case Tok::kRBracket:
+    case Tok::kRBrace:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* TokName(Tok kind) {
+  switch (kind) {
+    case Tok::kEof: return "end of file";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kFunc: return "'func'";
+    case Tok::kVar: return "'var'";
+    case Tok::kConst: return "'const'";
+    case Tok::kTypeKw: return "'type'";
+    case Tok::kStruct: return "'struct'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kFor: return "'for'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kBreak: return "'break'";
+    case Tok::kContinue: return "'continue'";
+    case Tok::kTrue: return "'true'";
+    case Tok::kFalse: return "'false'";
+    case Tok::kNil: return "'nil'";
+    case Tok::kPanicKw: return "'panic'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kComma: return "','";
+    case Tok::kSemi: return "';'";
+    case Tok::kDot: return "'.'";
+    case Tok::kColonEq: return "':='";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kBang: return "'!'";
+    case Tok::kAmp: return "'&'";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> LexMiniGo(std::string_view source, const std::string& file_name) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+
+  auto error = [&](const std::string& what) {
+    return Result<std::vector<Token>>::Error(
+        StrCat(file_name, ":", line, ":", column, ": ", what));
+  };
+  auto push = [&](Tok kind, std::string text = "", int64_t value = 0) {
+    tokens.push_back(Token{kind, std::move(text), value, line, column});
+  };
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](size_t offset = 0) -> char {
+    return i + offset < source.size() ? source[i + offset] : '\0';
+  };
+
+  while (i < source.size()) {
+    char c = peek();
+    if (c == '\n') {
+      if (!tokens.empty() && TriggersSemicolon(tokens.back().kind)) {
+        push(Tok::kSemi);
+      }
+      advance(1);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < source.size() && peek() != '\n') {
+        advance(1);
+      }
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance(2);
+      while (i < source.size() && !(peek() == '*' && peek(1) == '/')) {
+        advance(1);
+      }
+      if (i >= source.size()) {
+        return error("unterminated block comment");
+      }
+      advance(2);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      int start_col = column;
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+        advance(1);
+      }
+      std::string word(source.substr(start, i - start));
+      auto it = Keywords().find(word);
+      Token tok;
+      tok.kind = it != Keywords().end() ? it->second : Tok::kIdent;
+      tok.text = std::move(word);
+      tok.line = line;
+      tok.column = start_col;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      int start_col = column;
+      size_t start = i;
+      while (i < source.size() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        advance(1);
+      }
+      std::string digits(source.substr(start, i - start));
+      int64_t value = 0;
+      if (!ParseInt64(digits, &value)) {
+        return error("invalid integer literal: " + digits);
+      }
+      Token tok;
+      tok.kind = Tok::kIntLit;
+      tok.text = std::move(digits);
+      tok.int_value = value;
+      tok.line = line;
+      tok.column = start_col;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      int start_col = column;
+      advance(1);
+      std::string payload;
+      while (i < source.size() && peek() != '"' && peek() != '\n') {
+        payload += peek();
+        advance(1);
+      }
+      if (peek() != '"') {
+        return error("unterminated string literal");
+      }
+      advance(1);
+      Token tok;
+      tok.kind = Tok::kStringLit;
+      tok.text = std::move(payload);
+      tok.line = line;
+      tok.column = start_col;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    auto two = [&](char second) { return peek(1) == second; };
+    switch (c) {
+      case '(': push(Tok::kLParen); advance(1); break;
+      case ')': push(Tok::kRParen); advance(1); break;
+      case '{': push(Tok::kLBrace); advance(1); break;
+      case '}': push(Tok::kRBrace); advance(1); break;
+      case '[': push(Tok::kLBracket); advance(1); break;
+      case ']': push(Tok::kRBracket); advance(1); break;
+      case ',': push(Tok::kComma); advance(1); break;
+      case ';': push(Tok::kSemi); advance(1); break;
+      case '.': push(Tok::kDot); advance(1); break;
+      case '+': push(Tok::kPlus); advance(1); break;
+      case '-': push(Tok::kMinus); advance(1); break;
+      case '*': push(Tok::kStar); advance(1); break;
+      case '/': push(Tok::kSlash); advance(1); break;
+      case '%': push(Tok::kPercent); advance(1); break;
+      case ':':
+        if (!two('=')) {
+          return error("expected ':=' (MiniGo has no ':' token)");
+        }
+        push(Tok::kColonEq);
+        advance(2);
+        break;
+      case '=':
+        if (two('=')) {
+          push(Tok::kEq);
+          advance(2);
+        } else {
+          push(Tok::kAssign);
+          advance(1);
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(Tok::kNe);
+          advance(2);
+        } else {
+          push(Tok::kBang);
+          advance(1);
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(Tok::kLe);
+          advance(2);
+        } else {
+          push(Tok::kLt);
+          advance(1);
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(Tok::kGe);
+          advance(2);
+        } else {
+          push(Tok::kGt);
+          advance(1);
+        }
+        break;
+      case '&':
+        if (two('&')) {
+          push(Tok::kAndAnd);
+          advance(2);
+        } else {
+          push(Tok::kAmp);
+          advance(1);
+        }
+        break;
+      case '|':
+        if (!two('|')) {
+          return error("expected '||' (MiniGo has no bitwise '|')");
+        }
+        push(Tok::kOrOr);
+        advance(2);
+        break;
+      default:
+        return error(StrCat("unexpected character '", std::string(1, c), "'"));
+    }
+  }
+  if (!tokens.empty() && TriggersSemicolon(tokens.back().kind)) {
+    push(Tok::kSemi);
+  }
+  push(Tok::kEof);
+  return tokens;
+}
+
+}  // namespace dnsv

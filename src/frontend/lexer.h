@@ -1,0 +1,20 @@
+// MiniGo lexer with Go-style automatic semicolon insertion.
+#ifndef DNSV_FRONTEND_LEXER_H_
+#define DNSV_FRONTEND_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/frontend/token.h"
+#include "src/support/status.h"
+
+namespace dnsv {
+
+// Tokenizes `source`. `file_name` is used in error messages only.
+// Returns an error for unterminated comments/strings or stray characters.
+Result<std::vector<Token>> LexMiniGo(std::string_view source, const std::string& file_name);
+
+}  // namespace dnsv
+
+#endif  // DNSV_FRONTEND_LEXER_H_

@@ -1,0 +1,500 @@
+#include "src/frontend/lower.h"
+
+#include <unordered_map>
+
+#include "src/ir/builder.h"
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+class FunctionLowerer {
+ public:
+  FunctionLowerer(Module* module, const CheckedProgram& checked, const FuncDecl& decl,
+                  Function* fn)
+      : module_(module), checked_(checked), decl_(decl), fn_(fn), builder_(module, fn) {}
+
+  void Run() {
+    BlockId entry = builder_.CreateBlock("entry");
+    builder_.SetInsertPoint(entry);
+    scopes_.push_back({});
+    // Spill parameters so assignments to them work like Go locals.
+    for (size_t i = 0; i < fn_->params().size(); ++i) {
+      Operand slot = builder_.Alloca(fn_->params()[i].type);
+      builder_.Store(slot, builder_.Param(static_cast<uint32_t>(i)));
+      scopes_.back().emplace(fn_->params()[i].name, slot);
+    }
+    LowerBlock(decl_.body);
+    scopes_.pop_back();
+    if (!terminated_) {
+      if (fn_->return_type() == types().VoidType()) {
+        builder_.RetVoid();
+      } else {
+        // Go rejects this at compile time; we trap instead, and safety
+        // verification proves the trap unreachable.
+        builder_.Panic("missing return");
+      }
+    }
+  }
+
+ private:
+  TypeTable& types() { return module_->types(); }
+
+  // --- scope handling ---
+  Operand LookupSlot(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return found->second;
+      }
+    }
+    DNSV_CHECK_MSG(false, "lowering: unbound variable " + name);
+    return {};
+  }
+
+  // Called before emitting a statement: if the current block has been closed
+  // by a terminator, open an unreachable continuation block for dead code.
+  void EnsureOpenBlock() {
+    if (terminated_) {
+      BlockId dead = builder_.CreateBlock(StrCat("dead.", dead_counter_++));
+      builder_.SetInsertPoint(dead);
+      terminated_ = false;
+    }
+  }
+
+  // --- safety checks ---
+  void EmitNilCheck(Operand ptr) {
+    BlockId panic_block = builder_.GetPanicBlock("nil pointer dereference");
+    BlockId cont = builder_.CreateBlock(StrCat("nilok.", check_counter_++));
+    Operand is_nil =
+        builder_.BinaryOp(BinOp::kPtrEq, ptr, builder_.Null(ptr.type), types().BoolType());
+    builder_.Br(is_nil, panic_block, cont);
+    builder_.SetInsertPoint(cont);
+  }
+
+  void EmitBoundsCheck(Operand index, Operand length) {
+    BlockId panic_block = builder_.GetPanicBlock("index out of range");
+    BlockId cont = builder_.CreateBlock(StrCat("inbounds.", check_counter_++));
+    Operand neg = builder_.BinaryOp(BinOp::kLt, index, builder_.Int(0), types().BoolType());
+    Operand too_big = builder_.BinaryOp(BinOp::kGe, index, length, types().BoolType());
+    Operand bad = builder_.BinaryOp(BinOp::kOr, neg, too_big, types().BoolType());
+    builder_.Br(bad, panic_block, cont);
+    builder_.SetInsertPoint(cont);
+  }
+
+  void EmitDivCheck(Operand divisor) {
+    BlockId panic_block = builder_.GetPanicBlock("integer divide by zero");
+    BlockId cont = builder_.CreateBlock(StrCat("divok.", check_counter_++));
+    Operand zero = builder_.BinaryOp(BinOp::kEq, divisor, builder_.Int(0), types().BoolType());
+    builder_.Br(zero, panic_block, cont);
+    builder_.SetInsertPoint(cont);
+  }
+
+  // --- lvalues ---
+  // Returns a pointer operand through which the lvalue can be loaded/stored.
+  Operand LowerLvalue(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kVarRef:
+        return LookupSlot(expr.name);
+      case Expr::Kind::kField: {
+        Operand base;
+        Type struct_type;
+        if (expr.base_needs_deref) {
+          base = LowerExpr(*expr.lhs);  // pointer value
+          EmitNilCheck(base);
+          struct_type = types().Pointee(base.type);
+        } else {
+          base = LowerLvalue(*expr.lhs);  // pointer to struct in memory
+          struct_type = types().Pointee(base.type);
+        }
+        const StructDef& def = types().GetStruct(struct_type);
+        int index = def.FieldIndex(expr.name);
+        DNSV_CHECK(index >= 0);
+        return builder_.Gep(base, {builder_.Int(index)},
+                            def.fields[static_cast<size_t>(index)].type);
+      }
+      case Expr::Kind::kIndex: {
+        Operand base = LowerLvalue(*expr.lhs);  // pointer to list in memory
+        Type list_type = types().Pointee(base.type);
+        DNSV_CHECK(types().IsList(list_type));
+        Operand index = LowerExpr(*expr.rhs);
+        Operand list_value = builder_.Load(base);
+        Operand length = builder_.ListLen(list_value);
+        EmitBoundsCheck(index, length);
+        return builder_.Gep(base, {index}, types().ListElement(list_type));
+      }
+      default:
+        DNSV_CHECK_MSG(false, "lowering: not an lvalue");
+        return {};
+    }
+  }
+
+  // True when the expression denotes a memory location we can gep to.
+  bool IsAddressable(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kVarRef:
+        return !expr.is_const;
+      case Expr::Kind::kField:
+        return expr.base_needs_deref || IsAddressable(*expr.lhs);
+      case Expr::Kind::kIndex:
+        return IsAddressable(*expr.lhs);
+      default:
+        return false;
+    }
+  }
+
+  // --- expressions ---
+  Operand LowerExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kIntLit:
+        return builder_.Int(expr.int_value);
+      case Expr::Kind::kBoolLit:
+        return builder_.Bool(expr.bool_value);
+      case Expr::Kind::kNilLit:
+        return builder_.Null(expr.type);
+      case Expr::Kind::kVarRef:
+        if (expr.is_const) {
+          return builder_.Int(expr.int_value);
+        }
+        return builder_.Load(LookupSlot(expr.name));
+      case Expr::Kind::kUnary: {
+        Operand operand = LowerExpr(*expr.lhs);
+        if (expr.op == Tok::kBang) {
+          return builder_.UnaryOp(UnOp::kNot, operand, types().BoolType());
+        }
+        return builder_.UnaryOp(UnOp::kNeg, operand, types().IntType());
+      }
+      case Expr::Kind::kBinary:
+        return LowerBinary(expr);
+      case Expr::Kind::kField: {
+        if (expr.base_needs_deref || IsAddressable(*expr.lhs)) {
+          return builder_.Load(LowerLvalue(expr));
+        }
+        // Rvalue struct (e.g. a list element): extract without memory traffic.
+        Operand base = LowerExpr(*expr.lhs);
+        const StructDef& def = types().GetStruct(base.type);
+        int index = def.FieldIndex(expr.name);
+        DNSV_CHECK(index >= 0);
+        return builder_.FieldGet(base, index);
+      }
+      case Expr::Kind::kIndex: {
+        Operand list = LowerExpr(*expr.lhs);
+        Operand index = LowerExpr(*expr.rhs);
+        Operand length = builder_.ListLen(list);
+        EmitBoundsCheck(index, length);
+        return builder_.ListGet(list, index);
+      }
+      case Expr::Kind::kNew:
+        return builder_.NewObject(types().Pointee(expr.type));
+      case Expr::Kind::kMake:
+        return builder_.ListNew(types().ListElement(expr.type));
+      case Expr::Kind::kCall:
+        return LowerCall(expr);
+    }
+    DNSV_CHECK(false);
+    return {};
+  }
+
+  Operand LowerBinary(const Expr& expr) {
+    if (expr.op == Tok::kAndAnd || expr.op == Tok::kOrOr) {
+      return LowerShortCircuit(expr);
+    }
+    Operand lhs = LowerExpr(*expr.lhs);
+    Operand rhs = LowerExpr(*expr.rhs);
+    Type bool_type = types().BoolType();
+    Type int_type = types().IntType();
+    bool ptr_cmp = types().IsPtr(lhs.type);
+    bool bool_cmp = lhs.type == bool_type;
+    switch (expr.op) {
+      case Tok::kPlus:
+        return builder_.BinaryOp(BinOp::kAdd, lhs, rhs, int_type);
+      case Tok::kMinus:
+        return builder_.BinaryOp(BinOp::kSub, lhs, rhs, int_type);
+      case Tok::kStar:
+        return builder_.BinaryOp(BinOp::kMul, lhs, rhs, int_type);
+      case Tok::kSlash:
+        EmitDivCheck(rhs);
+        return builder_.BinaryOp(BinOp::kDiv, lhs, rhs, int_type);
+      case Tok::kPercent:
+        EmitDivCheck(rhs);
+        return builder_.BinaryOp(BinOp::kMod, lhs, rhs, int_type);
+      case Tok::kEq:
+        return builder_.BinaryOp(
+            ptr_cmp ? BinOp::kPtrEq : bool_cmp ? BinOp::kBoolEq : BinOp::kEq, lhs, rhs,
+            bool_type);
+      case Tok::kNe:
+        return builder_.BinaryOp(
+            ptr_cmp ? BinOp::kPtrNe : bool_cmp ? BinOp::kBoolNe : BinOp::kNe, lhs, rhs,
+            bool_type);
+      case Tok::kLt:
+        return builder_.BinaryOp(BinOp::kLt, lhs, rhs, bool_type);
+      case Tok::kLe:
+        return builder_.BinaryOp(BinOp::kLe, lhs, rhs, bool_type);
+      case Tok::kGt:
+        return builder_.BinaryOp(BinOp::kGt, lhs, rhs, bool_type);
+      case Tok::kGe:
+        return builder_.BinaryOp(BinOp::kGe, lhs, rhs, bool_type);
+      default:
+        DNSV_CHECK(false);
+        return {};
+    }
+  }
+
+  Operand LowerShortCircuit(const Expr& expr) {
+    // Lower `a && b` / `a || b` with control flow, like Go.
+    Operand slot = builder_.Alloca(types().BoolType());
+    BlockId eval_rhs = builder_.CreateBlock(StrCat("sc.rhs.", check_counter_));
+    BlockId short_path = builder_.CreateBlock(StrCat("sc.short.", check_counter_));
+    BlockId merge = builder_.CreateBlock(StrCat("sc.merge.", check_counter_));
+    ++check_counter_;
+    Operand lhs = LowerExpr(*expr.lhs);
+    if (expr.op == Tok::kAndAnd) {
+      builder_.Br(lhs, eval_rhs, short_path);
+    } else {
+      builder_.Br(lhs, short_path, eval_rhs);
+    }
+    builder_.SetInsertPoint(short_path);
+    builder_.Store(slot, builder_.Bool(expr.op == Tok::kOrOr));
+    builder_.Jmp(merge);
+    builder_.SetInsertPoint(eval_rhs);
+    Operand rhs = LowerExpr(*expr.rhs);
+    builder_.Store(slot, rhs);
+    builder_.Jmp(merge);
+    builder_.SetInsertPoint(merge);
+    return builder_.Load(slot);
+  }
+
+  Operand LowerCall(const Expr& expr) {
+    if (expr.name == "len") {
+      return builder_.ListLen(LowerExpr(*expr.args[0]));
+    }
+    if (expr.name == "append") {
+      Operand list = LowerExpr(*expr.args[0]);
+      Operand elem = LowerExpr(*expr.args[1]);
+      return builder_.ListAppend(list, elem);
+    }
+    std::vector<Operand> args;
+    args.reserve(expr.args.size());
+    for (const auto& arg : expr.args) {
+      args.push_back(LowerExpr(*arg));
+    }
+    return builder_.Call(expr.name, args, expr.type);
+  }
+
+  // --- statements ---
+  void LowerBlock(const std::vector<std::unique_ptr<Stmt>>& stmts) {
+    scopes_.push_back({});
+    for (const auto& stmt : stmts) {
+      EnsureOpenBlock();
+      LowerStmt(*stmt);
+    }
+    scopes_.pop_back();
+  }
+
+  void LowerStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kVarDecl: {
+        Operand slot = builder_.Alloca(stmt.decl_ir_type);
+        if (stmt.init != nullptr) {
+          builder_.Store(slot, LowerExpr(*stmt.init));
+        } else {
+          builder_.Store(slot, ZeroValue(stmt.decl_ir_type));
+        }
+        scopes_.back().emplace(stmt.name, slot);
+        break;
+      }
+      case Stmt::Kind::kShortDecl: {
+        Operand value = LowerExpr(*stmt.init);
+        Operand slot = builder_.Alloca(stmt.decl_ir_type);
+        builder_.Store(slot, value);
+        scopes_.back().emplace(stmt.name, slot);
+        break;
+      }
+      case Stmt::Kind::kAssign: {
+        Operand target = LowerLvalue(*stmt.lhs);
+        Operand value = LowerExpr(*stmt.init);
+        builder_.Store(target, value);
+        break;
+      }
+      case Stmt::Kind::kIf:
+        LowerIf(stmt);
+        break;
+      case Stmt::Kind::kFor:
+        LowerFor(stmt);
+        break;
+      case Stmt::Kind::kReturn:
+        if (stmt.init != nullptr) {
+          builder_.Ret(LowerExpr(*stmt.init));
+        } else {
+          builder_.RetVoid();
+        }
+        terminated_ = true;
+        break;
+      case Stmt::Kind::kBreak:
+        DNSV_CHECK(!loop_stack_.empty());
+        builder_.Jmp(loop_stack_.back().break_target);
+        terminated_ = true;
+        break;
+      case Stmt::Kind::kContinue:
+        DNSV_CHECK(!loop_stack_.empty());
+        builder_.Jmp(loop_stack_.back().continue_target);
+        terminated_ = true;
+        break;
+      case Stmt::Kind::kExpr:
+        LowerExpr(*stmt.init);
+        break;
+      case Stmt::Kind::kPanic:
+        builder_.Panic(stmt.text);
+        terminated_ = true;
+        break;
+      case Stmt::Kind::kBlock:
+        LowerBlock(stmt.body);
+        break;
+    }
+  }
+
+  void LowerIf(const Stmt& stmt) {
+    int id = block_counter_++;
+    BlockId then_bb = builder_.CreateBlock(StrCat("if.then.", id));
+    BlockId else_bb = builder_.CreateBlock(StrCat("if.else.", id));
+    Operand cond = LowerExpr(*stmt.cond);
+    builder_.Br(cond, then_bb, else_bb);
+
+    builder_.SetInsertPoint(then_bb);
+    terminated_ = false;
+    LowerBlock(stmt.body);
+    bool then_falls = !terminated_;
+    BlockId then_end = builder_.insert_point();
+
+    builder_.SetInsertPoint(else_bb);
+    terminated_ = false;
+    LowerBlock(stmt.else_body);
+    bool else_falls = !terminated_;
+    BlockId else_end = builder_.insert_point();
+
+    if (!then_falls && !else_falls) {
+      terminated_ = true;
+      return;
+    }
+    BlockId join = builder_.CreateBlock(StrCat("if.join.", id));
+    if (then_falls) {
+      builder_.SetInsertPoint(then_end);
+      builder_.Jmp(join);
+    }
+    if (else_falls) {
+      builder_.SetInsertPoint(else_end);
+      builder_.Jmp(join);
+    }
+    builder_.SetInsertPoint(join);
+    terminated_ = false;
+  }
+
+  void LowerFor(const Stmt& stmt) {
+    int id = block_counter_++;
+    scopes_.push_back({});  // scope for the init variable
+    if (stmt.for_init != nullptr) {
+      LowerStmt(*stmt.for_init);
+    }
+    BlockId cond_bb = builder_.CreateBlock(StrCat("for.cond.", id));
+    BlockId body_bb = builder_.CreateBlock(StrCat("for.body.", id));
+    BlockId post_bb = builder_.CreateBlock(StrCat("for.post.", id));
+    BlockId exit_bb = builder_.CreateBlock(StrCat("for.exit.", id));
+    builder_.Jmp(cond_bb);
+
+    builder_.SetInsertPoint(cond_bb);
+    if (stmt.cond != nullptr) {
+      Operand cond = LowerExpr(*stmt.cond);
+      builder_.Br(cond, body_bb, exit_bb);
+    } else {
+      builder_.Jmp(body_bb);
+    }
+
+    builder_.SetInsertPoint(body_bb);
+    terminated_ = false;
+    loop_stack_.push_back({exit_bb, post_bb});
+    LowerBlock(stmt.body);
+    loop_stack_.pop_back();
+    if (!terminated_) {
+      builder_.Jmp(post_bb);
+    }
+
+    builder_.SetInsertPoint(post_bb);
+    terminated_ = false;
+    if (stmt.for_post != nullptr) {
+      LowerStmt(*stmt.for_post);
+    }
+    builder_.Jmp(cond_bb);
+
+    builder_.SetInsertPoint(exit_bb);
+    terminated_ = false;
+    scopes_.pop_back();
+  }
+
+  // Go zero values: 0, false, nil, empty slice, zeroed struct. Struct-typed
+  // locals are zeroed field by field through a temporary slot.
+  Operand ZeroValue(Type type) {
+    TypeTable& tt = types();
+    switch (tt.kind(type)) {
+      case TypeKind::kInt:
+        return builder_.Int(0);
+      case TypeKind::kBool:
+        return builder_.Bool(false);
+      case TypeKind::kPtr:
+        return builder_.Null(type);
+      case TypeKind::kList:
+        return builder_.ListNew(tt.ListElement(type));
+      case TypeKind::kStruct: {
+        Operand slot = builder_.Alloca(type);
+        const StructDef& def = tt.GetStruct(type);
+        for (size_t i = 0; i < def.fields.size(); ++i) {
+          Operand field_ptr =
+              builder_.Gep(slot, {builder_.Int(static_cast<int64_t>(i))}, def.fields[i].type);
+          builder_.Store(field_ptr, ZeroValue(def.fields[i].type));
+        }
+        return builder_.Load(slot);
+      }
+      default:
+        DNSV_CHECK(false);
+        return {};
+    }
+  }
+
+  struct LoopTargets {
+    BlockId break_target;
+    BlockId continue_target;
+  };
+
+  Module* module_;
+  const CheckedProgram& checked_;
+  const FuncDecl& decl_;
+  Function* fn_;
+  IrBuilder builder_;
+  std::vector<std::unordered_map<std::string, Operand>> scopes_;
+  std::vector<LoopTargets> loop_stack_;
+  bool terminated_ = false;
+  int check_counter_ = 0;
+  int block_counter_ = 0;
+  int dead_counter_ = 0;
+};
+
+}  // namespace
+
+Status LowerMiniGo(const ProgramAst& program, const CheckedProgram& checked, Module* module) {
+  // Declare all functions first so calls resolve in any order.
+  for (const FuncDecl& decl : program.funcs) {
+    const FuncSignature& sig = checked.funcs.at(decl.name);
+    std::vector<Param> params;
+    for (size_t i = 0; i < sig.param_types.size(); ++i) {
+      params.push_back({sig.param_names[i], sig.param_types[i]});
+    }
+    module->AddFunction(decl.name, std::move(params), sig.return_type);
+  }
+  for (const FuncDecl& decl : program.funcs) {
+    Function* fn = module->GetFunction(decl.name);
+    FunctionLowerer lowerer(module, checked, decl, fn);
+    lowerer.Run();
+  }
+  return Status::Ok();
+}
+
+}  // namespace dnsv

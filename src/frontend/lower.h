@@ -1,0 +1,24 @@
+// Lowers type-checked MiniGo to AbsIR.
+//
+// Safety checks are inserted automatically, mirroring the panic blocks GoLLVM
+// embeds in its IR (paper §4.1): nil-pointer dereference, slice index out of
+// range, and division by zero each branch to a per-function panic block.
+// Verifying safety later reduces to proving those blocks unreachable.
+#ifndef DNSV_FRONTEND_LOWER_H_
+#define DNSV_FRONTEND_LOWER_H_
+
+#include "src/frontend/ast.h"
+#include "src/frontend/typecheck.h"
+#include "src/ir/function.h"
+#include "src/support/status.h"
+
+namespace dnsv {
+
+// Lowers every function in `program` (already annotated by TypecheckMiniGo)
+// into `module`. The module must use the same TypeTable the checker resolved
+// types against.
+Status LowerMiniGo(const ProgramAst& program, const CheckedProgram& checked, Module* module);
+
+}  // namespace dnsv
+
+#endif  // DNSV_FRONTEND_LOWER_H_

@@ -1,0 +1,484 @@
+#include "src/frontend/parser.h"
+
+#include "src/frontend/lexer.h"
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string file_name)
+      : tokens_(std::move(tokens)), file_(std::move(file_name)) {}
+
+  // Throws DnsvError on syntax errors; caller converts to Result.
+  void ParseInto(ProgramAst* program) {
+    while (!At(Tok::kEof)) {
+      SkipSemis();
+      if (At(Tok::kEof)) {
+        break;
+      }
+      if (At(Tok::kTypeKw)) {
+        program->structs.push_back(ParseStructDecl());
+      } else if (At(Tok::kConst)) {
+        program->consts.push_back(ParseConstDecl());
+      } else if (At(Tok::kFunc)) {
+        program->funcs.push_back(ParseFuncDecl());
+      } else {
+        Fail(StrCat("expected declaration, found ", TokName(Cur().kind)));
+      }
+    }
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    throw DnsvError(StrCat(file_, ":", Cur().line, ":", Cur().column, ": ", what));
+  }
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(Tok kind) const { return Cur().kind == kind; }
+  Token Advance() { return tokens_[pos_++]; }
+  Token Expect(Tok kind) {
+    if (!At(kind)) {
+      Fail(StrCat("expected ", TokName(kind), ", found ", TokName(Cur().kind)));
+    }
+    return Advance();
+  }
+  bool Accept(Tok kind) {
+    if (At(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  void SkipSemis() {
+    while (At(Tok::kSemi)) {
+      Advance();
+    }
+  }
+
+  std::unique_ptr<TypeExpr> ParseType() {
+    auto type = std::make_unique<TypeExpr>();
+    type->line = Cur().line;
+    if (Accept(Tok::kStar)) {
+      type->kind = TypeExpr::Kind::kPtr;
+      type->elem = ParseType();
+      return type;
+    }
+    if (Accept(Tok::kLBracket)) {
+      Expect(Tok::kRBracket);
+      type->kind = TypeExpr::Kind::kList;
+      type->elem = ParseType();
+      return type;
+    }
+    type->kind = TypeExpr::Kind::kNamed;
+    type->name = Expect(Tok::kIdent).text;
+    return type;
+  }
+
+  StructDecl ParseStructDecl() {
+    StructDecl decl;
+    decl.line = Expect(Tok::kTypeKw).line;
+    decl.name = Expect(Tok::kIdent).text;
+    Expect(Tok::kStruct);
+    Expect(Tok::kLBrace);
+    SkipSemis();
+    while (!At(Tok::kRBrace)) {
+      FieldDecl field;
+      field.line = Cur().line;
+      field.name = Expect(Tok::kIdent).text;
+      field.type = ParseType();
+      decl.fields.push_back(std::move(field));
+      if (!At(Tok::kRBrace)) {
+        Expect(Tok::kSemi);
+        SkipSemis();
+      }
+    }
+    Expect(Tok::kRBrace);
+    return decl;
+  }
+
+  ConstDecl ParseConstDecl() {
+    ConstDecl decl;
+    decl.line = Expect(Tok::kConst).line;
+    decl.name = Expect(Tok::kIdent).text;
+    Expect(Tok::kAssign);
+    bool negative = Accept(Tok::kMinus);
+    Token value = Expect(Tok::kIntLit);
+    decl.value = negative ? -value.int_value : value.int_value;
+    return decl;
+  }
+
+  FuncDecl ParseFuncDecl() {
+    FuncDecl decl;
+    decl.line = Expect(Tok::kFunc).line;
+    decl.name = Expect(Tok::kIdent).text;
+    Expect(Tok::kLParen);
+    if (!At(Tok::kRParen)) {
+      while (true) {
+        ParamDecl param;
+        param.line = Cur().line;
+        param.name = Expect(Tok::kIdent).text;
+        param.type = ParseType();
+        decl.params.push_back(std::move(param));
+        if (!Accept(Tok::kComma)) {
+          break;
+        }
+      }
+    }
+    Expect(Tok::kRParen);
+    if (!At(Tok::kLBrace)) {
+      decl.return_type = ParseType();
+    }
+    decl.body = ParseBlock();
+    return decl;
+  }
+
+  std::vector<std::unique_ptr<Stmt>> ParseBlock() {
+    Expect(Tok::kLBrace);
+    std::vector<std::unique_ptr<Stmt>> stmts;
+    SkipSemis();
+    while (!At(Tok::kRBrace)) {
+      stmts.push_back(ParseStmt());
+      SkipSemis();
+    }
+    Expect(Tok::kRBrace);
+    return stmts;
+  }
+
+  std::unique_ptr<Stmt> NewStmt(Stmt::Kind kind) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = kind;
+    stmt->line = Cur().line;
+    return stmt;
+  }
+
+  std::unique_ptr<Stmt> ParseStmt() {
+    switch (Cur().kind) {
+      case Tok::kVar: {
+        auto stmt = NewStmt(Stmt::Kind::kVarDecl);
+        Advance();
+        stmt->name = Expect(Tok::kIdent).text;
+        stmt->decl_type = ParseType();
+        if (Accept(Tok::kAssign)) {
+          stmt->init = ParseExpr();
+        }
+        return stmt;
+      }
+      case Tok::kIf:
+        return ParseIf();
+      case Tok::kFor:
+        return ParseFor();
+      case Tok::kReturn: {
+        auto stmt = NewStmt(Stmt::Kind::kReturn);
+        Advance();
+        if (!At(Tok::kSemi) && !At(Tok::kRBrace)) {
+          stmt->init = ParseExpr();
+        }
+        return stmt;
+      }
+      case Tok::kBreak: {
+        auto stmt = NewStmt(Stmt::Kind::kBreak);
+        Advance();
+        return stmt;
+      }
+      case Tok::kContinue: {
+        auto stmt = NewStmt(Stmt::Kind::kContinue);
+        Advance();
+        return stmt;
+      }
+      case Tok::kPanicKw: {
+        auto stmt = NewStmt(Stmt::Kind::kPanic);
+        Advance();
+        Expect(Tok::kLParen);
+        stmt->text = Expect(Tok::kStringLit).text;
+        Expect(Tok::kRParen);
+        return stmt;
+      }
+      case Tok::kLBrace: {
+        auto stmt = NewStmt(Stmt::Kind::kBlock);
+        stmt->body = ParseBlock();
+        return stmt;
+      }
+      case Tok::kAmp:
+        Fail("MiniGo does not support '&' (no address-of; allocate with new(T))");
+      default:
+        return ParseSimpleStmt();
+    }
+  }
+
+  // simpleStmt := expr | lvalue '=' expr | ident ':=' expr
+  std::unique_ptr<Stmt> ParseSimpleStmt() {
+    int line = Cur().line;
+    std::unique_ptr<Expr> expr = ParseExpr();
+    if (At(Tok::kColonEq)) {
+      if (expr->kind != Expr::Kind::kVarRef) {
+        Fail("left side of ':=' must be an identifier");
+      }
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kShortDecl;
+      stmt->line = line;
+      stmt->name = expr->name;
+      Advance();
+      stmt->init = ParseExpr();
+      return stmt;
+    }
+    if (At(Tok::kAssign)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kAssign;
+      stmt->line = line;
+      stmt->lhs = std::move(expr);
+      Advance();
+      stmt->init = ParseExpr();
+      return stmt;
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kExpr;
+    stmt->line = line;
+    stmt->init = std::move(expr);
+    return stmt;
+  }
+
+  std::unique_ptr<Stmt> ParseIf() {
+    auto stmt = NewStmt(Stmt::Kind::kIf);
+    Expect(Tok::kIf);
+    stmt->cond = ParseExpr();
+    stmt->body = ParseBlock();
+    if (Accept(Tok::kElse)) {
+      if (At(Tok::kIf)) {
+        stmt->else_body.push_back(ParseIf());
+      } else {
+        stmt->else_body = ParseBlock();
+      }
+    }
+    return stmt;
+  }
+
+  std::unique_ptr<Stmt> ParseFor() {
+    auto stmt = NewStmt(Stmt::Kind::kFor);
+    Expect(Tok::kFor);
+    if (At(Tok::kLBrace)) {
+      // for { ... } — no condition (must exit via break/return).
+      stmt->body = ParseBlock();
+      return stmt;
+    }
+    // Distinguish `for cond {` from `for init; cond; post {` by parsing a
+    // simple statement and checking for ';'.
+    std::unique_ptr<Stmt> first = ParseSimpleStmt();
+    if (At(Tok::kSemi)) {
+      Advance();
+      stmt->for_init = std::move(first);
+      if (!At(Tok::kSemi)) {
+        stmt->cond = ParseExpr();
+      }
+      Expect(Tok::kSemi);
+      if (!At(Tok::kLBrace)) {
+        stmt->for_post = ParseSimpleStmt();
+      }
+      stmt->body = ParseBlock();
+      return stmt;
+    }
+    if (first->kind != Stmt::Kind::kExpr) {
+      Fail("for-loop condition must be an expression");
+    }
+    stmt->cond = std::move(first->init);
+    stmt->body = ParseBlock();
+    return stmt;
+  }
+
+  // --- expressions (precedence climbing) ---
+
+  std::unique_ptr<Expr> NewExpr(Expr::Kind kind) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = kind;
+    expr->line = Cur().line;
+    expr->column = Cur().column;
+    return expr;
+  }
+
+  std::unique_ptr<Expr> ParseExpr() { return ParseBinary(0); }
+
+  static int Precedence(Tok op) {
+    switch (op) {
+      case Tok::kOrOr: return 1;
+      case Tok::kAndAnd: return 2;
+      case Tok::kEq: case Tok::kNe: case Tok::kLt: case Tok::kLe:
+      case Tok::kGt: case Tok::kGe: return 3;
+      case Tok::kPlus: case Tok::kMinus: return 4;
+      case Tok::kStar: case Tok::kSlash: case Tok::kPercent: return 5;
+      default: return 0;
+    }
+  }
+
+  std::unique_ptr<Expr> ParseBinary(int min_prec) {
+    std::unique_ptr<Expr> lhs = ParseUnary();
+    while (true) {
+      int prec = Precedence(Cur().kind);
+      if (prec == 0 || prec < min_prec) {
+        return lhs;
+      }
+      Tok op = Advance().kind;
+      std::unique_ptr<Expr> rhs = ParseBinary(prec + 1);
+      auto bin = std::make_unique<Expr>();
+      bin->kind = Expr::Kind::kBinary;
+      bin->line = lhs->line;
+      bin->column = lhs->column;
+      bin->op = op;
+      bin->lhs = std::move(lhs);
+      bin->rhs = std::move(rhs);
+      lhs = std::move(bin);
+    }
+  }
+
+  std::unique_ptr<Expr> ParseUnary() {
+    if (At(Tok::kBang) || At(Tok::kMinus)) {
+      auto expr = NewExpr(Expr::Kind::kUnary);
+      expr->op = Advance().kind;
+      expr->lhs = ParseUnary();
+      return expr;
+    }
+    if (At(Tok::kAmp)) {
+      Fail("MiniGo does not support '&' (no address-of; allocate with new(T))");
+    }
+    if (At(Tok::kStar)) {
+      Fail("MiniGo does not support pointer dereference '*p' (access fields directly: p.f)");
+    }
+    return ParsePostfix();
+  }
+
+  std::unique_ptr<Expr> ParsePostfix() {
+    std::unique_ptr<Expr> expr = ParsePrimary();
+    while (true) {
+      if (Accept(Tok::kDot)) {
+        auto field = std::make_unique<Expr>();
+        field->kind = Expr::Kind::kField;
+        field->line = expr->line;
+        field->column = expr->column;
+        field->name = Expect(Tok::kIdent).text;
+        field->lhs = std::move(expr);
+        expr = std::move(field);
+        continue;
+      }
+      if (Accept(Tok::kLBracket)) {
+        auto index = std::make_unique<Expr>();
+        index->kind = Expr::Kind::kIndex;
+        index->line = expr->line;
+        index->column = expr->column;
+        index->lhs = std::move(expr);
+        index->rhs = ParseExpr();
+        Expect(Tok::kRBracket);
+        expr = std::move(index);
+        continue;
+      }
+      return expr;
+    }
+  }
+
+  std::unique_ptr<Expr> ParsePrimary() {
+    switch (Cur().kind) {
+      case Tok::kIntLit: {
+        auto expr = NewExpr(Expr::Kind::kIntLit);
+        expr->int_value = Advance().int_value;
+        return expr;
+      }
+      case Tok::kTrue:
+      case Tok::kFalse: {
+        auto expr = NewExpr(Expr::Kind::kBoolLit);
+        expr->bool_value = Advance().kind == Tok::kTrue;
+        return expr;
+      }
+      case Tok::kNil: {
+        auto expr = NewExpr(Expr::Kind::kNilLit);
+        Advance();
+        return expr;
+      }
+      case Tok::kLParen: {
+        Advance();
+        std::unique_ptr<Expr> inner = ParseExpr();
+        Expect(Tok::kRParen);
+        return inner;
+      }
+      case Tok::kIdent: {
+        Token ident = Advance();
+        if (ident.text == "new" && At(Tok::kLParen)) {
+          auto expr = NewExpr(Expr::Kind::kNew);
+          expr->line = ident.line;
+          Advance();
+          expr->type_expr = ParseType();
+          Expect(Tok::kRParen);
+          return expr;
+        }
+        if (ident.text == "make" && At(Tok::kLParen)) {
+          auto expr = NewExpr(Expr::Kind::kMake);
+          expr->line = ident.line;
+          Advance();
+          expr->type_expr = ParseType();
+          if (expr->type_expr->kind != TypeExpr::Kind::kList) {
+            Fail("make() supports only slice types: make([]T)");
+          }
+          // Optional Go-style length argument; must be 0 when present.
+          if (Accept(Tok::kComma)) {
+            Token len = Expect(Tok::kIntLit);
+            if (len.int_value != 0) {
+              Fail("make([]T, n) supports only n == 0");
+            }
+          }
+          Expect(Tok::kRParen);
+          return expr;
+        }
+        if (At(Tok::kLParen)) {
+          auto expr = NewExpr(Expr::Kind::kCall);
+          expr->line = ident.line;
+          expr->name = ident.text;
+          Advance();
+          if (!At(Tok::kRParen)) {
+            while (true) {
+              expr->args.push_back(ParseExpr());
+              if (!Accept(Tok::kComma)) {
+                break;
+              }
+            }
+          }
+          Expect(Tok::kRParen);
+          return expr;
+        }
+        auto expr = NewExpr(Expr::Kind::kVarRef);
+        expr->line = ident.line;
+        expr->column = ident.column;
+        expr->name = ident.text;
+        return expr;
+      }
+      default:
+        Fail(StrCat("expected expression, found ", TokName(Cur().kind)));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::string file_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ProgramAst> ParseMiniGo(std::string_view source, const std::string& file_name) {
+  return ParseMiniGoSources({{file_name, std::string(source)}});
+}
+
+Result<ProgramAst> ParseMiniGoSources(
+    const std::vector<std::pair<std::string, std::string>>& name_and_source) {
+  ProgramAst program;
+  for (const auto& [name, source] : name_and_source) {
+    Result<std::vector<Token>> tokens = LexMiniGo(source, name);
+    if (!tokens.ok()) {
+      return Result<ProgramAst>::Error(tokens.error());
+    }
+    try {
+      Parser parser(std::move(tokens).value(), name);
+      parser.ParseInto(&program);
+    } catch (const DnsvError& e) {
+      return Result<ProgramAst>::Error(e.what());
+    }
+  }
+  return program;
+}
+
+}  // namespace dnsv

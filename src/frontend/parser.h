@@ -1,0 +1,23 @@
+// Recursive-descent parser for MiniGo.
+#ifndef DNSV_FRONTEND_PARSER_H_
+#define DNSV_FRONTEND_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/frontend/ast.h"
+#include "src/support/status.h"
+
+namespace dnsv {
+
+// Parses one source unit. `file_name` is used in diagnostics.
+Result<ProgramAst> ParseMiniGo(std::string_view source, const std::string& file_name);
+
+// Parses several sources into one program (the engine is split across module
+// files that share one namespace, like a Go package).
+Result<ProgramAst> ParseMiniGoSources(
+    const std::vector<std::pair<std::string, std::string>>& name_and_source);
+
+}  // namespace dnsv
+
+#endif  // DNSV_FRONTEND_PARSER_H_

@@ -1,0 +1,42 @@
+// Token definitions for MiniGo, the Go subset the engine and its
+// specifications are written in (our stand-in for the paper's Go + GoLLVM
+// pipeline, §4.1).
+#ifndef DNSV_FRONTEND_TOKEN_H_
+#define DNSV_FRONTEND_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dnsv {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kStringLit,   // only in panic("...") messages
+  // keywords
+  kFunc, kVar, kConst, kTypeKw, kStruct, kIf, kElse, kFor, kReturn,
+  kBreak, kContinue, kTrue, kFalse, kNil, kPanicKw,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi, kDot, kColonEq, kAssign,
+  // operators
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr, kBang,
+  kAmp,  // reserved; rejected by the parser with a helpful message
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;   // identifier name / literal spelling / string payload
+  int64_t int_value = 0;
+  int line = 0;
+  int column = 0;
+};
+
+const char* TokName(Tok kind);
+
+}  // namespace dnsv
+
+#endif  // DNSV_FRONTEND_TOKEN_H_

@@ -1,0 +1,538 @@
+#include "src/frontend/typecheck.h"
+
+#include <unordered_set>
+
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+class Checker {
+ public:
+  Checker(ProgramAst* program, TypeTable* types) : program_(program), types_(types) {}
+
+  CheckedProgram Run() {
+    RegisterStructs();
+    RegisterConsts();
+    RegisterFuncs();
+    for (FuncDecl& fn : program_->funcs) {
+      CheckFunction(&fn);
+    }
+    return std::move(checked_);
+  }
+
+ private:
+  [[noreturn]] void Fail(int line, const std::string& what) {
+    throw DnsvError(StrCat("line ", line, ": ", what));
+  }
+
+  // --- declaration tables ---
+
+  void RegisterStructs() {
+    std::unordered_set<std::string> names;
+    for (const StructDecl& decl : program_->structs) {
+      if (!names.insert(decl.name).second) {
+        Fail(decl.line, "struct redefined: " + decl.name);
+      }
+      if (decl.name == "int" || decl.name == "bool") {
+        Fail(decl.line, "cannot redefine builtin type: " + decl.name);
+      }
+    }
+    for (const StructDecl& decl : program_->structs) {
+      std::vector<StructField> fields;
+      std::unordered_set<std::string> field_names;
+      for (const FieldDecl& field : decl.fields) {
+        if (!field_names.insert(field.name).second) {
+          Fail(field.line, StrCat("field redefined in ", decl.name, ": ", field.name));
+        }
+        fields.push_back({field.name, Resolve(*field.type, names)});
+      }
+      types_->DefineStruct(decl.name, std::move(fields));
+    }
+    CheckNoValueCycles();
+  }
+
+  // A struct containing itself by value (directly or through other structs /
+  // lists) would have infinite size; pointers break cycles.
+  void CheckNoValueCycles() {
+    for (const StructDecl& decl : program_->structs) {
+      std::unordered_set<std::string> on_path;
+      WalkValueCycle(decl.name, &on_path, decl.line);
+    }
+  }
+  void WalkValueCycle(const std::string& name, std::unordered_set<std::string>* on_path,
+                      int line) {
+    if (!on_path->insert(name).second) {
+      Fail(line, "struct contains itself by value: " + name);
+    }
+    for (const StructField& field : types_->GetStruct(name).fields) {
+      Type t = field.type;
+      while (types_->IsList(t)) {
+        t = types_->ListElement(t);
+      }
+      if (types_->IsStruct(t)) {
+        WalkValueCycle(types_->node(t).struct_name, on_path, line);
+      }
+    }
+    on_path->erase(name);
+  }
+
+  Type Resolve(const TypeExpr& expr, const std::unordered_set<std::string>& struct_names) {
+    switch (expr.kind) {
+      case TypeExpr::Kind::kNamed:
+        if (expr.name == "int") {
+          return types_->IntType();
+        }
+        if (expr.name == "bool") {
+          return types_->BoolType();
+        }
+        if (struct_names.count(expr.name) == 0 && !types_->IsStructDefined(expr.name)) {
+          Fail(expr.line, "unknown type: " + expr.name);
+        }
+        return types_->StructType(expr.name);
+      case TypeExpr::Kind::kPtr:
+        return types_->PtrTo(Resolve(*expr.elem, struct_names));
+      case TypeExpr::Kind::kList:
+        return types_->ListOf(Resolve(*expr.elem, struct_names));
+    }
+    Fail(expr.line, "bad type expression");
+  }
+
+  Type ResolveNow(const TypeExpr& expr) { return Resolve(expr, {}); }
+
+  void RegisterConsts() {
+    for (const ConstDecl& decl : program_->consts) {
+      if (!checked_.consts.emplace(decl.name, decl.value).second) {
+        Fail(decl.line, "const redefined: " + decl.name);
+      }
+    }
+  }
+
+  void RegisterFuncs() {
+    for (const FuncDecl& decl : program_->funcs) {
+      FuncSignature sig;
+      sig.name = decl.name;
+      std::unordered_set<std::string> param_names;
+      for (const ParamDecl& param : decl.params) {
+        if (!param_names.insert(param.name).second) {
+          Fail(param.line, "parameter redefined: " + param.name);
+        }
+        sig.param_types.push_back(ResolveNow(*param.type));
+        sig.param_names.push_back(param.name);
+      }
+      sig.return_type = decl.return_type ? ResolveNow(*decl.return_type) : types_->VoidType();
+      if (decl.name == "len" || decl.name == "append" || decl.name == "new" ||
+          decl.name == "make" || decl.name == "listEq") {
+        Fail(decl.line, "cannot redefine builtin: " + decl.name);
+      }
+      if (!checked_.funcs.emplace(decl.name, std::move(sig)).second) {
+        Fail(decl.line, "function redefined: " + decl.name);
+      }
+    }
+  }
+
+  // --- function bodies ---
+
+  struct Scope {
+    std::unordered_map<std::string, Type> vars;
+  };
+
+  Type LookupVar(const std::string& name, int line, bool* is_const, int64_t* const_value) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->vars.find(name);
+      if (found != it->vars.end()) {
+        *is_const = false;
+        return found->second;
+      }
+    }
+    auto c = checked_.consts.find(name);
+    if (c != checked_.consts.end()) {
+      *is_const = true;
+      *const_value = c->second;
+      return types_->IntType();
+    }
+    Fail(line, "undefined variable: " + name);
+  }
+
+  void Declare(const std::string& name, Type type, int line) {
+    Scope& scope = scopes_.back();
+    if (scope.vars.count(name) != 0) {
+      Fail(line, "variable redeclared in the same scope: " + name);
+    }
+    if (checked_.consts.count(name) != 0) {
+      Fail(line, "variable shadows a constant: " + name);
+    }
+    scope.vars.emplace(name, type);
+  }
+
+  void CheckFunction(FuncDecl* fn) {
+    current_fn_ = &checked_.funcs.at(fn->name);
+    scopes_.clear();
+    scopes_.push_back({});
+    loop_depth_ = 0;
+    for (size_t i = 0; i < fn->params.size(); ++i) {
+      Declare(fn->params[i].name, current_fn_->param_types[i], fn->params[i].line);
+    }
+    CheckBlock(fn->body);
+    scopes_.pop_back();
+  }
+
+  void CheckBlock(std::vector<std::unique_ptr<Stmt>>& stmts) {
+    scopes_.push_back({});
+    for (auto& stmt : stmts) {
+      CheckStmt(stmt.get());
+    }
+    scopes_.pop_back();
+  }
+
+  void CheckStmt(Stmt* stmt) {
+    switch (stmt->kind) {
+      case Stmt::Kind::kVarDecl: {
+        Type type = ResolveNow(*stmt->decl_type);
+        if (stmt->init != nullptr) {
+          CheckAssignableExpr(type, stmt->init.get(), stmt->line);
+        }
+        stmt->decl_ir_type = type;
+        Declare(stmt->name, type, stmt->line);
+        break;
+      }
+      case Stmt::Kind::kShortDecl: {
+        if (stmt->init->kind == Expr::Kind::kNilLit) {
+          Fail(stmt->line, "cannot infer a type for nil; use 'var x *T'");
+        }
+        Type init = CheckExpr(stmt->init.get());
+        if (init == types_->VoidType()) {
+          Fail(stmt->line, "cannot assign a void call result");
+        }
+        stmt->decl_ir_type = init;
+        Declare(stmt->name, init, stmt->line);
+        break;
+      }
+      case Stmt::Kind::kAssign: {
+        Type lhs = CheckLvalue(stmt->lhs.get());
+        CheckAssignableExpr(lhs, stmt->init.get(), stmt->line);
+        break;
+      }
+      case Stmt::Kind::kIf: {
+        Type cond = CheckExpr(stmt->cond.get());
+        if (cond != types_->BoolType()) {
+          Fail(stmt->line, "if condition must be bool");
+        }
+        CheckBlock(stmt->body);
+        CheckBlock(stmt->else_body);
+        break;
+      }
+      case Stmt::Kind::kFor: {
+        scopes_.push_back({});  // scope for the init variable
+        if (stmt->for_init != nullptr) {
+          CheckStmt(stmt->for_init.get());
+        }
+        if (stmt->cond != nullptr) {
+          Type cond = CheckExpr(stmt->cond.get());
+          if (cond != types_->BoolType()) {
+            Fail(stmt->line, "for condition must be bool");
+          }
+        }
+        if (stmt->for_post != nullptr) {
+          CheckStmt(stmt->for_post.get());
+        }
+        ++loop_depth_;
+        CheckBlock(stmt->body);
+        --loop_depth_;
+        scopes_.pop_back();
+        break;
+      }
+      case Stmt::Kind::kReturn: {
+        Type expected = current_fn_->return_type;
+        if (stmt->init == nullptr) {
+          if (expected != types_->VoidType()) {
+            Fail(stmt->line, "missing return value");
+          }
+        } else {
+          CheckAssignableExpr(expected, stmt->init.get(), stmt->line);
+        }
+        break;
+      }
+      case Stmt::Kind::kBreak:
+      case Stmt::Kind::kContinue:
+        if (loop_depth_ == 0) {
+          Fail(stmt->line, "break/continue outside a loop");
+        }
+        break;
+      case Stmt::Kind::kExpr: {
+        if (stmt->init->kind != Expr::Kind::kCall) {
+          Fail(stmt->line, "expression statement must be a call");
+        }
+        CheckExpr(stmt->init.get());
+        break;
+      }
+      case Stmt::Kind::kPanic:
+        break;
+      case Stmt::Kind::kBlock:
+        CheckBlock(stmt->body);
+        break;
+    }
+  }
+
+  // Checks `value_expr` in a context expecting `target`. nil literals adopt
+  // the pointer type they are assigned to.
+  void CheckAssignableExpr(Type target, Expr* value_expr, int line) {
+    if (value_expr->kind == Expr::Kind::kNilLit) {
+      if (!types_->IsPtr(target)) {
+        Fail(line, "nil requires a pointer-typed context");
+      }
+      value_expr->type = target;
+      return;
+    }
+    Type value = CheckExpr(value_expr);
+    if (target != value) {
+      Fail(line, StrCat("type mismatch: cannot assign ", types_->ToString(value), " to ",
+                        types_->ToString(target)));
+    }
+  }
+
+  // Lvalues: variable, field chain, or list index. Rejects consts and calls.
+  Type CheckLvalue(Expr* expr) {
+    switch (expr->kind) {
+      case Expr::Kind::kVarRef: {
+        bool is_const = false;
+        int64_t value = 0;
+        Type type = LookupVar(expr->name, expr->line, &is_const, &value);
+        if (is_const) {
+          Fail(expr->line, "cannot assign to constant: " + expr->name);
+        }
+        expr->type = type;
+        return type;
+      }
+      case Expr::Kind::kField:
+      case Expr::Kind::kIndex:
+        return CheckExpr(expr);
+      default:
+        Fail(expr->line, "expression is not assignable");
+    }
+  }
+
+  Type CheckExpr(Expr* expr) {
+    Type t = CheckExprInner(expr);
+    expr->type = t;
+    return t;
+  }
+
+  Type CheckExprInner(Expr* expr) {
+    switch (expr->kind) {
+      case Expr::Kind::kIntLit:
+        return types_->IntType();
+      case Expr::Kind::kBoolLit:
+        return types_->BoolType();
+      case Expr::Kind::kNilLit:
+        // Type adopted from context by RequireAssignable / comparisons.
+        Fail(expr->line, "nil is only allowed in assignments and ==/!= comparisons");
+      case Expr::Kind::kVarRef: {
+        bool is_const = false;
+        int64_t value = 0;
+        Type type = LookupVar(expr->name, expr->line, &is_const, &value);
+        if (is_const) {
+          expr->is_const = true;
+          expr->int_value = value;
+        }
+        return type;
+      }
+      case Expr::Kind::kUnary: {
+        Type operand = CheckExpr(expr->lhs.get());
+        if (expr->op == Tok::kBang) {
+          if (operand != types_->BoolType()) {
+            Fail(expr->line, "'!' requires bool");
+          }
+          return types_->BoolType();
+        }
+        if (operand != types_->IntType()) {
+          Fail(expr->line, "unary '-' requires int");
+        }
+        return types_->IntType();
+      }
+      case Expr::Kind::kBinary:
+        return CheckBinary(expr);
+      case Expr::Kind::kField: {
+        Type base = CheckExpr(expr->lhs.get());
+        Type struct_type = base;
+        if (types_->IsPtr(base)) {
+          struct_type = types_->Pointee(base);
+          expr->base_needs_deref = true;
+        }
+        if (!types_->IsStruct(struct_type)) {
+          Fail(expr->line, "field access on non-struct type " + types_->ToString(base));
+        }
+        const StructDef& def = types_->GetStruct(struct_type);
+        int index = def.FieldIndex(expr->name);
+        if (index < 0) {
+          Fail(expr->line, StrCat("no field '", expr->name, "' in ", def.name));
+        }
+        return def.fields[static_cast<size_t>(index)].type;
+      }
+      case Expr::Kind::kIndex: {
+        Type base = CheckExpr(expr->lhs.get());
+        if (!types_->IsList(base)) {
+          Fail(expr->line, "indexing requires a slice, got " + types_->ToString(base));
+        }
+        Type index = CheckExpr(expr->rhs.get());
+        if (index != types_->IntType()) {
+          Fail(expr->line, "slice index must be int");
+        }
+        return types_->ListElement(base);
+      }
+      case Expr::Kind::kNew: {
+        Type pointee = ResolveNow(*expr->type_expr);
+        if (!types_->IsStruct(pointee)) {
+          Fail(expr->line, "new(T) requires a struct type");
+        }
+        return types_->PtrTo(pointee);
+      }
+      case Expr::Kind::kMake:
+        return ResolveNow(*expr->type_expr);
+      case Expr::Kind::kCall:
+        return CheckCall(expr);
+    }
+    Fail(expr->line, "bad expression");
+  }
+
+  Type CheckBinary(Expr* expr) {
+    // nil comparisons: one side may be the nil literal.
+    bool lhs_nil = expr->lhs->kind == Expr::Kind::kNilLit;
+    bool rhs_nil = expr->rhs->kind == Expr::Kind::kNilLit;
+    if (lhs_nil || rhs_nil) {
+      if (expr->op != Tok::kEq && expr->op != Tok::kNe) {
+        Fail(expr->line, "nil supports only == and !=");
+      }
+      if (lhs_nil && rhs_nil) {
+        Fail(expr->line, "cannot compare nil with nil");
+      }
+      Expr* other = lhs_nil ? expr->rhs.get() : expr->lhs.get();
+      Expr* nil_side = lhs_nil ? expr->lhs.get() : expr->rhs.get();
+      Type other_type = CheckExpr(other);
+      if (!types_->IsPtr(other_type)) {
+        Fail(expr->line, "nil comparison requires a pointer operand");
+      }
+      nil_side->type = other_type;
+      return types_->BoolType();
+    }
+    Type lhs = CheckExpr(expr->lhs.get());
+    Type rhs = CheckExpr(expr->rhs.get());
+    switch (expr->op) {
+      case Tok::kPlus: case Tok::kMinus: case Tok::kStar:
+      case Tok::kSlash: case Tok::kPercent:
+        if (lhs != types_->IntType() || rhs != types_->IntType()) {
+          Fail(expr->line, "arithmetic requires int operands");
+        }
+        return types_->IntType();
+      case Tok::kLt: case Tok::kLe: case Tok::kGt: case Tok::kGe:
+        if (lhs != types_->IntType() || rhs != types_->IntType()) {
+          Fail(expr->line, "ordering comparison requires int operands");
+        }
+        return types_->BoolType();
+      case Tok::kEq: case Tok::kNe:
+        if (lhs != rhs) {
+          Fail(expr->line, StrCat("cannot compare ", types_->ToString(lhs), " with ",
+                                  types_->ToString(rhs)));
+        }
+        if (lhs != types_->IntType() && lhs != types_->BoolType() && !types_->IsPtr(lhs)) {
+          Fail(expr->line,
+               "==/!= requires int, bool, or pointer operands (use listEq for slices)");
+        }
+        return types_->BoolType();
+      case Tok::kAndAnd: case Tok::kOrOr:
+        if (lhs != types_->BoolType() || rhs != types_->BoolType()) {
+          Fail(expr->line, "&&/|| require bool operands");
+        }
+        return types_->BoolType();
+      default:
+        Fail(expr->line, "bad binary operator");
+    }
+  }
+
+  Type CheckCall(Expr* expr) {
+    auto arg = [&](size_t i) { return expr->args[i].get(); };
+    if (expr->name == "len") {
+      if (expr->args.size() != 1) {
+        Fail(expr->line, "len takes one argument");
+      }
+      Type t = CheckExpr(arg(0));
+      if (!types_->IsList(t)) {
+        Fail(expr->line, "len requires a slice");
+      }
+      return types_->IntType();
+    }
+    if (expr->name == "append") {
+      if (expr->args.size() != 2) {
+        Fail(expr->line, "append takes (slice, element)");
+      }
+      Type list = CheckExpr(arg(0));
+      if (!types_->IsList(list)) {
+        Fail(expr->line, "append requires a slice");
+      }
+      Type elem = CheckExpr(arg(1));
+      if (elem != types_->ListElement(list)) {
+        Fail(expr->line, "append element type mismatch");
+      }
+      return list;
+    }
+    if (expr->name == "listEq") {
+      if (expr->args.size() != 2) {
+        Fail(expr->line, "listEq takes two slices");
+      }
+      Type a = CheckExpr(arg(0));
+      Type b = CheckExpr(arg(1));
+      if (!types_->IsList(a) || a != b) {
+        Fail(expr->line, "listEq requires two slices of the same type");
+      }
+      if (types_->ListElement(a) != types_->IntType()) {
+        Fail(expr->line, "listEq supports []int (label lists) only");
+      }
+      return types_->BoolType();
+    }
+    auto it = checked_.funcs.find(expr->name);
+    if (it == checked_.funcs.end()) {
+      Fail(expr->line, "undefined function: " + expr->name);
+    }
+    const FuncSignature& sig = it->second;
+    if (expr->args.size() != sig.param_types.size()) {
+      Fail(expr->line, StrCat("call to ", expr->name, " expects ", sig.param_types.size(),
+                              " arguments, got ", expr->args.size()));
+    }
+    for (size_t i = 0; i < expr->args.size(); ++i) {
+      if (arg(i)->kind == Expr::Kind::kNilLit) {
+        if (!types_->IsPtr(sig.param_types[i])) {
+          Fail(expr->line, "nil argument requires a pointer parameter");
+        }
+        arg(i)->type = sig.param_types[i];
+        continue;
+      }
+      Type actual = CheckExpr(arg(i));
+      if (actual != sig.param_types[i]) {
+        Fail(expr->line, StrCat("argument ", i + 1, " of ", expr->name, ": expected ",
+                                types_->ToString(sig.param_types[i]), ", got ",
+                                types_->ToString(actual)));
+      }
+    }
+    return sig.return_type;
+  }
+
+  ProgramAst* program_;
+  TypeTable* types_;
+  CheckedProgram checked_;
+  std::vector<Scope> scopes_;
+  const FuncSignature* current_fn_ = nullptr;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+Result<CheckedProgram> TypecheckMiniGo(ProgramAst* program, TypeTable* types) {
+  try {
+    Checker checker(program, types);
+    return checker.Run();
+  } catch (const DnsvError& e) {
+    return Result<CheckedProgram>::Error(e.what());
+  }
+}
+
+}  // namespace dnsv

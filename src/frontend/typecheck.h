@@ -1,0 +1,35 @@
+// MiniGo type checker: resolves struct/const/function tables, annotates the
+// AST with AbsIR types, and rejects ill-typed programs with source positions.
+#ifndef DNSV_FRONTEND_TYPECHECK_H_
+#define DNSV_FRONTEND_TYPECHECK_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/frontend/ast.h"
+#include "src/ir/type.h"
+#include "src/support/status.h"
+
+namespace dnsv {
+
+struct FuncSignature {
+  std::string name;
+  std::vector<Type> param_types;
+  std::vector<std::string> param_names;
+  Type return_type;  // VoidType for procedures
+};
+
+// Symbol tables produced by type checking; consumed by the lowerer.
+struct CheckedProgram {
+  std::unordered_map<std::string, int64_t> consts;
+  std::unordered_map<std::string, FuncSignature> funcs;
+};
+
+// Checks `program` against (and registers struct types into) `types`.
+// On success the AST is annotated in place (Expr::type etc.).
+Result<CheckedProgram> TypecheckMiniGo(ProgramAst* program, TypeTable* types);
+
+}  // namespace dnsv
+
+#endif  // DNSV_FRONTEND_TYPECHECK_H_

@@ -1,0 +1,214 @@
+#include "src/ir/builder.h"
+
+namespace dnsv {
+
+Operand IrBuilder::Emit(Instr instr) {
+  DNSV_CHECK_MSG(current_ != kInvalidBlock, "no insert point set");
+  Type result_type = instr.result_type;
+  bool produces = instr.ProducesValue();
+  uint32_t reg = function_->Append(current_, std::move(instr));
+  if (!produces) {
+    return Operand{};
+  }
+  return Operand::Reg(reg, result_type);
+}
+
+Operand IrBuilder::BinaryOp(BinOp op, Operand a, Operand b, Type result_type) {
+  Instr instr;
+  instr.op = Opcode::kBinOp;
+  instr.bin_op = op;
+  instr.result_type = result_type;
+  instr.operands = {a, b};
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::UnaryOp(UnOp op, Operand a, Type result_type) {
+  Instr instr;
+  instr.op = Opcode::kUnOp;
+  instr.un_op = op;
+  instr.result_type = result_type;
+  instr.operands = {a};
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::Alloca(Type type) {
+  Instr instr;
+  instr.op = Opcode::kAlloca;
+  instr.alloc_type = type;
+  instr.result_type = types().PtrTo(type);
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::NewObject(Type struct_type) {
+  Instr instr;
+  instr.op = Opcode::kNewObject;
+  instr.alloc_type = struct_type;
+  instr.result_type = types().PtrTo(struct_type);
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::Load(Operand ptr) {
+  DNSV_CHECK(types().IsPtr(ptr.type));
+  Instr instr;
+  instr.op = Opcode::kLoad;
+  instr.result_type = types().Pointee(ptr.type);
+  instr.operands = {ptr};
+  return Emit(std::move(instr));
+}
+
+void IrBuilder::Store(Operand ptr, Operand value) {
+  DNSV_CHECK(types().IsPtr(ptr.type));
+  DNSV_CHECK(types().Pointee(ptr.type) == value.type);
+  Instr instr;
+  instr.op = Opcode::kStore;
+  instr.result_type = types().VoidType();
+  instr.operands = {ptr, value};
+  Emit(std::move(instr));
+}
+
+Operand IrBuilder::Gep(Operand base, const std::vector<Operand>& indices, Type result_pointee) {
+  DNSV_CHECK(types().IsPtr(base.type));
+  Instr instr;
+  instr.op = Opcode::kGep;
+  instr.result_type = types().PtrTo(result_pointee);
+  instr.operands.push_back(base);
+  for (const Operand& index : indices) {
+    instr.operands.push_back(index);
+  }
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::Call(const std::string& callee, const std::vector<Operand>& args,
+                        Type result_type) {
+  Instr instr;
+  instr.op = Opcode::kCall;
+  instr.text = callee;
+  instr.result_type = result_type;
+  instr.operands = args;
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::ListNew(Type elem_type) {
+  Instr instr;
+  instr.op = Opcode::kListNew;
+  instr.alloc_type = elem_type;
+  instr.result_type = types().ListOf(elem_type);
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::ListLen(Operand list) {
+  DNSV_CHECK(types().IsList(list.type));
+  Instr instr;
+  instr.op = Opcode::kListLen;
+  instr.result_type = types().IntType();
+  instr.operands = {list};
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::ListGet(Operand list, Operand index) {
+  DNSV_CHECK(types().IsList(list.type));
+  Instr instr;
+  instr.op = Opcode::kListGet;
+  instr.result_type = types().ListElement(list.type);
+  instr.operands = {list, index};
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::ListSet(Operand list, Operand index, Operand value) {
+  DNSV_CHECK(types().IsList(list.type));
+  DNSV_CHECK(types().ListElement(list.type) == value.type);
+  Instr instr;
+  instr.op = Opcode::kListSet;
+  instr.result_type = list.type;
+  instr.operands = {list, index, value};
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::ListAppend(Operand list, Operand value) {
+  DNSV_CHECK(types().IsList(list.type));
+  DNSV_CHECK(types().ListElement(list.type) == value.type);
+  Instr instr;
+  instr.op = Opcode::kListAppend;
+  instr.result_type = list.type;
+  instr.operands = {list, value};
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::FieldGet(Operand aggregate, int64_t field_index) {
+  DNSV_CHECK(types().IsStruct(aggregate.type));
+  const StructDef& def = types().GetStruct(aggregate.type);
+  DNSV_CHECK(field_index >= 0 && static_cast<size_t>(field_index) < def.fields.size());
+  Instr instr;
+  instr.op = Opcode::kFieldGet;
+  instr.field_index = field_index;
+  instr.result_type = def.fields[static_cast<size_t>(field_index)].type;
+  instr.operands = {aggregate};
+  return Emit(std::move(instr));
+}
+
+Operand IrBuilder::Havoc(Type type) {
+  Instr instr;
+  instr.op = Opcode::kHavoc;
+  instr.result_type = type;
+  return Emit(std::move(instr));
+}
+
+void IrBuilder::Br(Operand cond, BlockId then_block, BlockId else_block) {
+  DNSV_CHECK(cond.type == types().BoolType());
+  Instr instr;
+  instr.op = Opcode::kBr;
+  instr.result_type = types().VoidType();
+  instr.operands = {cond};
+  instr.target_true = then_block;
+  instr.target_false = else_block;
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Jmp(BlockId target) {
+  Instr instr;
+  instr.op = Opcode::kJmp;
+  instr.result_type = types().VoidType();
+  instr.target_true = target;
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Ret(Operand value) {
+  Instr instr;
+  instr.op = Opcode::kRet;
+  instr.result_type = types().VoidType();
+  instr.operands = {value};
+  Emit(std::move(instr));
+}
+
+void IrBuilder::RetVoid() {
+  Instr instr;
+  instr.op = Opcode::kRet;
+  instr.result_type = types().VoidType();
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Panic(const std::string& message) {
+  Instr instr;
+  instr.op = Opcode::kPanic;
+  instr.result_type = types().VoidType();
+  instr.text = message;
+  Emit(std::move(instr));
+}
+
+BlockId IrBuilder::GetPanicBlock(const std::string& message) {
+  for (const auto& [msg, block] : panic_blocks_) {
+    if (msg == message) {
+      return block;
+    }
+  }
+  BlockId saved = current_;
+  BlockId block = CreateBlock("panic." + std::to_string(panic_blocks_.size()));
+  function_->block(block).is_panic_block = true;
+  SetInsertPoint(block);
+  Panic(message);
+  SetInsertPoint(saved);
+  panic_blocks_.emplace_back(message, block);
+  return block;
+}
+
+}  // namespace dnsv

@@ -1,0 +1,68 @@
+// Convenience emitter for AbsIR, in the style of llvm::IRBuilder.
+#ifndef DNSV_IR_BUILDER_H_
+#define DNSV_IR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace dnsv {
+
+class IrBuilder {
+ public:
+  IrBuilder(Module* module, Function* function) : module_(module), function_(function) {}
+
+  Module& module() { return *module_; }
+  Function& function() { return *function_; }
+  TypeTable& types() { return module_->types(); }
+
+  BlockId CreateBlock(const std::string& label) { return function_->AddBlock(label); }
+  void SetInsertPoint(BlockId block) { current_ = block; }
+  BlockId insert_point() const { return current_; }
+
+  // --- constants & params ---
+  Operand Int(int64_t value) { return Operand::IntConst(value, types().IntType()); }
+  Operand Bool(bool value) { return Operand::BoolConst(value, types().BoolType()); }
+  Operand Null(Type ptr_type) { return Operand::Null(ptr_type); }
+  Operand Param(uint32_t index) { return function_->ParamOperand(index); }
+
+  // --- value instructions ---
+  Operand BinaryOp(BinOp op, Operand a, Operand b, Type result_type);
+  Operand UnaryOp(UnOp op, Operand a, Type result_type);
+  Operand Alloca(Type type);
+  Operand NewObject(Type struct_type);
+  Operand Load(Operand ptr);
+  void Store(Operand ptr, Operand value);
+  Operand Gep(Operand base, const std::vector<Operand>& indices, Type result_pointee);
+  Operand Call(const std::string& callee, const std::vector<Operand>& args, Type result_type);
+  Operand ListNew(Type elem_type);
+  Operand ListLen(Operand list);
+  Operand ListGet(Operand list, Operand index);
+  Operand ListSet(Operand list, Operand index, Operand value);
+  Operand ListAppend(Operand list, Operand value);
+  Operand FieldGet(Operand aggregate, int64_t field_index);
+  Operand Havoc(Type type);
+
+  // --- terminators ---
+  void Br(Operand cond, BlockId then_block, BlockId else_block);
+  void Jmp(BlockId target);
+  void Ret(Operand value);
+  void RetVoid();
+  void Panic(const std::string& message);
+
+  // Creates a panic block (once per message per function) and returns its id.
+  BlockId GetPanicBlock(const std::string& message);
+
+ private:
+  Operand Emit(Instr instr);
+
+  Module* module_;
+  Function* function_;
+  BlockId current_ = kInvalidBlock;
+  std::vector<std::pair<std::string, BlockId>> panic_blocks_;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_IR_BUILDER_H_

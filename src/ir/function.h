@@ -1,0 +1,115 @@
+// AbsIR functions and modules.
+#ifndef DNSV_IR_FUNCTION_H_
+#define DNSV_IR_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/instr.h"
+#include "src/ir/type.h"
+
+namespace dnsv {
+
+struct Param {
+  std::string name;
+  Type type;
+};
+
+class Function {
+ public:
+  Function(std::string name, std::vector<Param> params, Type return_type)
+      : name_(std::move(name)), params_(std::move(params)), return_type_(return_type) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Param>& params() const { return params_; }
+  Type return_type() const { return return_type_; }
+
+  BlockId AddBlock(const std::string& label) {
+    blocks_.push_back(BasicBlock{label, {}, false});
+    return static_cast<BlockId>(blocks_.size() - 1);
+  }
+  BasicBlock& block(BlockId id) {
+    DNSV_CHECK(id < blocks_.size());
+    return blocks_[id];
+  }
+  const BasicBlock& block(BlockId id) const {
+    DNSV_CHECK(id < blocks_.size());
+    return blocks_[id];
+  }
+  size_t num_blocks() const { return blocks_.size(); }
+
+  // Appends an instruction to `block_id` and returns its register index.
+  uint32_t Append(BlockId block_id, Instr instr) {
+    uint32_t index = static_cast<uint32_t>(instrs_.size());
+    instrs_.push_back(std::move(instr));
+    blocks_[block_id].instrs.push_back(index);
+    return index;
+  }
+
+  const Instr& instr(uint32_t index) const {
+    DNSV_CHECK(index < instrs_.size());
+    return instrs_[index];
+  }
+  size_t num_instrs() const { return instrs_.size(); }
+
+  BlockId entry() const { return 0; }
+
+  // Parameter registers occupy the range [kParamRegBase, kParamRegBase+n);
+  // they are not instruction indices.
+  static constexpr uint32_t kParamRegBase = 1u << 30;
+  static bool IsParamReg(uint32_t reg) { return reg >= kParamRegBase; }
+  static uint32_t ParamIndex(uint32_t reg) { return reg - kParamRegBase; }
+  Operand ParamOperand(uint32_t index) const {
+    DNSV_CHECK(index < params_.size());
+    return Operand::Reg(kParamRegBase + index, params_[index].type);
+  }
+
+ private:
+  std::string name_;
+  std::vector<Param> params_;
+  Type return_type_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<Instr> instrs_;
+};
+
+// A compilation unit: shared type table plus functions. Engine code and
+// specifications compile into separate Modules over the same TypeTable so the
+// verifier can relate their values directly (paper §5.1: one unified
+// AbsLLVM domain for both frontends).
+class Module {
+ public:
+  explicit Module(TypeTable* types) : types_(types) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  TypeTable& types() { return *types_; }
+  const TypeTable& types() const { return *types_; }
+
+  Function* AddFunction(std::string name, std::vector<Param> params, Type return_type) {
+    auto fn = std::make_unique<Function>(std::move(name), std::move(params), return_type);
+    Function* raw = fn.get();
+    DNSV_CHECK_MSG(by_name_.find(raw->name()) == by_name_.end(),
+                   "function redefined: " + raw->name());
+    by_name_.emplace(raw->name(), raw);
+    functions_.push_back(std::move(fn));
+    return raw;
+  }
+
+  Function* GetFunction(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : it->second;
+  }
+
+  const std::vector<std::unique_ptr<Function>>& functions() const { return functions_; }
+
+ private:
+  TypeTable* types_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::unordered_map<std::string, Function*> by_name_;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_IR_FUNCTION_H_

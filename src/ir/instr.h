@@ -1,0 +1,108 @@
+// AbsIR instructions (paper Fig. 8).
+//
+// The IR is CFG-based and register-oriented: every value-producing
+// instruction defines a register named by its index in the owning function.
+// Locals are stack slots created by alloca and accessed with load/store (the
+// frontend does not build SSA phis, matching unoptimized GoLLVM output).
+// Panic blocks — the encoding of GoLLVM's runtime safety checks (§4.1) —
+// are ordinary blocks terminated by kPanic.
+#ifndef DNSV_IR_INSTR_H_
+#define DNSV_IR_INSTR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/type.h"
+
+namespace dnsv {
+
+enum class Opcode : uint8_t {
+  // Values
+  kBinOp,       // result = a <op> b
+  kUnOp,        // result = <op> a
+  kAlloca,      // result(ptr) = alloca T           (stack slot, function scope)
+  kNewObject,   // result(ptr) = newobject T        (heap, zero-initialized)
+  kLoad,        // result = load ptr
+  kStore,       // store ptr, value
+  kGep,         // result(ptr) = gep base, idx...   (field/element address)
+  kCall,        // result = call f(args...)
+  kListNew,     // result = empty list of elem type
+  kListLen,     // result(int) = len(list)
+  kListGet,     // result(elem) = list[idx]         (bounds-checked by frontend)
+  kListSet,     // result(list) = list with [idx]=v (functional update)
+  kListAppend,  // result(list) = list ++ [v]
+  kFieldGet,    // result = field `imm` of a struct *value* (list elements are
+                //          value-semantic, so rrs[i].rtype reads need no memory op)
+  kHavoc,       // result = unconstrained value (spec dialect only)
+  // Terminators
+  kBr,          // br cond, then_bb, else_bb
+  kJmp,         // jmp bb
+  kRet,         // ret [value]
+  kPanic,       // runtime error; message in `text`
+};
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,   // int comparisons
+  kAnd, kOr,                      // bool (non-short-circuit; frontend lowers && || via CFG)
+  kPtrEq, kPtrNe,                 // pointer identity
+  kBoolEq, kBoolNe,
+};
+
+enum class UnOp : uint8_t { kNot, kNeg };
+
+// An instruction operand: either the register defined by another instruction,
+// a literal, or null.
+struct Operand {
+  enum class Kind : uint8_t { kNone, kReg, kIntConst, kBoolConst, kNull };
+
+  Kind kind = Kind::kNone;
+  uint32_t reg = 0;    // kReg: defining instruction index
+  int64_t imm = 0;     // kIntConst / kBoolConst payload
+  Type type;           // static type (required for kNull; tracked for all)
+
+  static Operand Reg(uint32_t reg, Type type) { return {Kind::kReg, reg, 0, type}; }
+  static Operand IntConst(int64_t value, Type int_type) {
+    return {Kind::kIntConst, 0, value, int_type};
+  }
+  static Operand BoolConst(bool value, Type bool_type) {
+    return {Kind::kBoolConst, 0, value ? 1 : 0, bool_type};
+  }
+  static Operand Null(Type ptr_type) { return {Kind::kNull, 0, 0, ptr_type}; }
+
+  bool valid() const { return kind != Kind::kNone; }
+};
+
+using BlockId = uint32_t;
+inline constexpr BlockId kInvalidBlock = ~0u;
+
+struct Instr {
+  Opcode op;
+  Type result_type;               // void for non-value instructions
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNot;
+  std::vector<Operand> operands;  // see per-opcode layout above
+  Type alloc_type;                // kAlloca / kNewObject / kListNew element
+  std::string text;               // kCall callee name / kPanic message
+  int64_t field_index = 0;        // kFieldGet
+  BlockId target_true = kInvalidBlock;   // kBr then / kJmp target
+  BlockId target_false = kInvalidBlock;  // kBr else
+
+  bool IsTerminator() const {
+    return op == Opcode::kBr || op == Opcode::kJmp || op == Opcode::kRet || op == Opcode::kPanic;
+  }
+  bool ProducesValue() const {
+    return !IsTerminator() && op != Opcode::kStore;
+  }
+};
+
+struct BasicBlock {
+  std::string label;
+  std::vector<uint32_t> instrs;  // indices into Function::instrs; last is the terminator
+  bool is_panic_block = false;   // marks blocks synthesized for safety checks
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_IR_INSTR_H_

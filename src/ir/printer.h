@@ -1,0 +1,16 @@
+// Textual dump of AbsIR, for diagnostics and golden tests.
+#ifndef DNSV_IR_PRINTER_H_
+#define DNSV_IR_PRINTER_H_
+
+#include <string>
+
+#include "src/ir/function.h"
+
+namespace dnsv {
+
+std::string PrintFunction(const Module& module, const Function& function);
+std::string PrintModule(const Module& module);
+
+}  // namespace dnsv
+
+#endif  // DNSV_IR_PRINTER_H_

@@ -1,0 +1,277 @@
+#include "src/ir/validate.h"
+
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+Status Fail(const Function& fn, uint32_t instr, const std::string& what) {
+  return Status::Error(StrCat("function ", fn.name(), ", instr %", instr, ": ", what));
+}
+
+// Returns the static type of an operand, resolving registers through their
+// defining instruction.
+Type OperandType(const Function& fn, const Operand& op) {
+  if (op.kind == Operand::Kind::kReg && !Function::IsParamReg(op.reg)) {
+    return fn.instr(op.reg).result_type;
+  }
+  return op.type;
+}
+
+Status CheckInstr(const Module& module, const Function& fn, uint32_t index) {
+  const TypeTable& types = module.types();
+  const Instr& instr = fn.instr(index);
+  // Operand registers must reference earlier instructions or params.
+  for (const Operand& op : instr.operands) {
+    if (op.kind == Operand::Kind::kReg) {
+      if (Function::IsParamReg(op.reg)) {
+        if (Function::ParamIndex(op.reg) >= fn.params().size()) {
+          return Fail(fn, index, "parameter register out of range");
+        }
+      } else if (op.reg >= index) {
+        return Fail(fn, index, StrCat("operand %", op.reg, " used before definition"));
+      } else if (!fn.instr(op.reg).ProducesValue()) {
+        return Fail(fn, index, StrCat("operand %", op.reg, " does not produce a value"));
+      }
+    }
+    if (op.kind == Operand::Kind::kNull && !types.IsPtr(op.type)) {
+      return Fail(fn, index, "null operand must have pointer type");
+    }
+  }
+  auto otype = [&](size_t i) { return OperandType(fn, instr.operands[i]); };
+  switch (instr.op) {
+    case Opcode::kBinOp: {
+      if (instr.operands.size() != 2) {
+        return Fail(fn, index, "binop needs two operands");
+      }
+      Type a = otype(0), b = otype(1);
+      switch (instr.bin_op) {
+        case BinOp::kAdd: case BinOp::kSub: case BinOp::kMul: case BinOp::kDiv: case BinOp::kMod:
+          if (a != types.IntType() || b != types.IntType() ||
+              instr.result_type != types.IntType()) {
+            return Fail(fn, index, "arithmetic binop must be int x int -> int");
+          }
+          break;
+        case BinOp::kEq: case BinOp::kNe: case BinOp::kLt: case BinOp::kLe:
+        case BinOp::kGt: case BinOp::kGe:
+          if (a != types.IntType() || b != types.IntType() ||
+              instr.result_type != types.BoolType()) {
+            return Fail(fn, index, "int comparison must be int x int -> bool");
+          }
+          break;
+        case BinOp::kAnd: case BinOp::kOr: case BinOp::kBoolEq: case BinOp::kBoolNe:
+          if (a != types.BoolType() || b != types.BoolType() ||
+              instr.result_type != types.BoolType()) {
+            return Fail(fn, index, "bool binop must be bool x bool -> bool");
+          }
+          break;
+        case BinOp::kPtrEq: case BinOp::kPtrNe:
+          if (!types.IsPtr(a) || a != b || instr.result_type != types.BoolType()) {
+            return Fail(fn, index, "pointer comparison must be T* x T* -> bool");
+          }
+          break;
+      }
+      break;
+    }
+    case Opcode::kUnOp:
+      if (instr.operands.size() != 1) {
+        return Fail(fn, index, "unop needs one operand");
+      }
+      if (instr.un_op == UnOp::kNot &&
+          (otype(0) != types.BoolType() || instr.result_type != types.BoolType())) {
+        return Fail(fn, index, "not must be bool -> bool");
+      }
+      if (instr.un_op == UnOp::kNeg &&
+          (otype(0) != types.IntType() || instr.result_type != types.IntType())) {
+        return Fail(fn, index, "neg must be int -> int");
+      }
+      break;
+    case Opcode::kAlloca:
+    case Opcode::kNewObject:
+      if (!instr.alloc_type.valid() || instr.result_type != types.PtrTo(instr.alloc_type)) {
+        return Fail(fn, index, "alloc result must be pointer to alloc type");
+      }
+      break;
+    case Opcode::kLoad:
+      if (instr.operands.size() != 1 || !types.IsPtr(otype(0)) ||
+          types.Pointee(otype(0)) != instr.result_type) {
+        return Fail(fn, index, "load type mismatch");
+      }
+      break;
+    case Opcode::kStore:
+      if (instr.operands.size() != 2 || !types.IsPtr(otype(0)) ||
+          types.Pointee(otype(0)) != otype(1)) {
+        return Fail(fn, index, "store type mismatch");
+      }
+      break;
+    case Opcode::kGep: {
+      if (instr.operands.empty() || !types.IsPtr(otype(0))) {
+        return Fail(fn, index, "gep base must be a pointer");
+      }
+      // Walk the index path and confirm the result type.
+      Type current = types.Pointee(otype(0));
+      for (size_t i = 1; i < instr.operands.size(); ++i) {
+        if (types.IsStruct(current)) {
+          const Operand& idx = instr.operands[i];
+          if (idx.kind != Operand::Kind::kIntConst) {
+            return Fail(fn, index, "struct field index must be constant");
+          }
+          const StructDef& def = types.GetStruct(current);
+          if (idx.imm < 0 || static_cast<size_t>(idx.imm) >= def.fields.size()) {
+            return Fail(fn, index, "struct field index out of range");
+          }
+          current = def.fields[static_cast<size_t>(idx.imm)].type;
+        } else if (types.IsList(current)) {
+          if (otype(i) != types.IntType()) {
+            return Fail(fn, index, "list index must be int");
+          }
+          current = types.ListElement(current);
+        } else {
+          return Fail(fn, index, "gep through non-aggregate type");
+        }
+      }
+      if (instr.result_type != types.PtrTo(current)) {
+        return Fail(fn, index, StrCat("gep result type mismatch: ",
+                                      types.ToString(instr.result_type), " vs *",
+                                      types.ToString(current)));
+      }
+      break;
+    }
+    case Opcode::kCall: {
+      const Function* callee = module.GetFunction(instr.text);
+      if (callee == nullptr) {
+        // Builtins (spec dialect) are resolved by the executors; only check
+        // the well-known names.
+        if (instr.text != "listEq") {
+          return Fail(fn, index, "call to unknown function " + instr.text);
+        }
+        break;
+      }
+      if (callee->params().size() != instr.operands.size()) {
+        return Fail(fn, index, "call arity mismatch for " + instr.text);
+      }
+      for (size_t i = 0; i < instr.operands.size(); ++i) {
+        if (otype(i) != callee->params()[i].type) {
+          return Fail(fn, index, StrCat("call argument ", i, " type mismatch for ", instr.text));
+        }
+      }
+      if (instr.result_type != callee->return_type()) {
+        return Fail(fn, index, "call result type mismatch for " + instr.text);
+      }
+      break;
+    }
+    case Opcode::kListNew:
+      if (instr.result_type != types.ListOf(instr.alloc_type)) {
+        return Fail(fn, index, "listnew result type mismatch");
+      }
+      break;
+    case Opcode::kListLen:
+      if (instr.operands.size() != 1 || !types.IsList(otype(0)) ||
+          instr.result_type != types.IntType()) {
+        return Fail(fn, index, "listlen must be []T -> int");
+      }
+      break;
+    case Opcode::kListGet:
+      if (instr.operands.size() != 2 || !types.IsList(otype(0)) || otype(1) != types.IntType() ||
+          instr.result_type != types.ListElement(otype(0))) {
+        return Fail(fn, index, "listget type mismatch");
+      }
+      break;
+    case Opcode::kListSet:
+      if (instr.operands.size() != 3 || !types.IsList(otype(0)) || otype(1) != types.IntType() ||
+          otype(2) != types.ListElement(otype(0)) || instr.result_type != otype(0)) {
+        return Fail(fn, index, "listset type mismatch");
+      }
+      break;
+    case Opcode::kListAppend:
+      if (instr.operands.size() != 2 || !types.IsList(otype(0)) ||
+          otype(1) != types.ListElement(otype(0)) || instr.result_type != otype(0)) {
+        return Fail(fn, index, "listappend type mismatch");
+      }
+      break;
+    case Opcode::kFieldGet: {
+      if (instr.operands.size() != 1 || !types.IsStruct(otype(0))) {
+        return Fail(fn, index, "fieldget operand must be a struct value");
+      }
+      const StructDef& def = types.GetStruct(otype(0));
+      if (instr.field_index < 0 ||
+          static_cast<size_t>(instr.field_index) >= def.fields.size()) {
+        return Fail(fn, index, "fieldget index out of range");
+      }
+      if (instr.result_type != def.fields[static_cast<size_t>(instr.field_index)].type) {
+        return Fail(fn, index, "fieldget result type mismatch");
+      }
+      break;
+    }
+    case Opcode::kHavoc:
+      break;
+    case Opcode::kBr:
+      if (instr.operands.size() != 1 || otype(0) != types.BoolType()) {
+        return Fail(fn, index, "br condition must be bool");
+      }
+      if (instr.target_true >= fn.num_blocks() || instr.target_false >= fn.num_blocks()) {
+        return Fail(fn, index, "br target out of range");
+      }
+      break;
+    case Opcode::kJmp:
+      if (instr.target_true >= fn.num_blocks()) {
+        return Fail(fn, index, "jmp target out of range");
+      }
+      break;
+    case Opcode::kRet:
+      if (fn.return_type() == types.VoidType()) {
+        if (!instr.operands.empty()) {
+          return Fail(fn, index, "void function returns a value");
+        }
+      } else {
+        if (instr.operands.size() != 1 || otype(0) != fn.return_type()) {
+          return Fail(fn, index, "return type mismatch");
+        }
+      }
+      break;
+    case Opcode::kPanic:
+      break;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateFunction(const Module& module, const Function& function) {
+  if (function.num_blocks() == 0) {
+    return Status::Error("function " + function.name() + " has no blocks");
+  }
+  for (BlockId b = 0; b < function.num_blocks(); ++b) {
+    const BasicBlock& block = function.block(b);
+    if (block.instrs.empty()) {
+      return Status::Error(StrCat("function ", function.name(), ", bb", b, ": empty block"));
+    }
+    for (size_t i = 0; i < block.instrs.size(); ++i) {
+      const Instr& instr = function.instr(block.instrs[i]);
+      bool is_last = i + 1 == block.instrs.size();
+      if (instr.IsTerminator() != is_last) {
+        return Status::Error(StrCat("function ", function.name(), ", bb", b,
+                                    ": terminator must be exactly the last instruction"));
+      }
+    }
+  }
+  for (uint32_t i = 0; i < function.num_instrs(); ++i) {
+    Status s = CheckInstr(module, function, i);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateModule(const Module& module) {
+  for (const auto& fn : module.functions()) {
+    Status s = ValidateFunction(module, *fn);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dnsv

@@ -1,0 +1,16 @@
+// Well-formedness checks for AbsIR: every block terminated exactly once,
+// operand types consistent, branch targets in range, calls resolvable.
+#ifndef DNSV_IR_VALIDATE_H_
+#define DNSV_IR_VALIDATE_H_
+
+#include "src/ir/function.h"
+#include "src/support/status.h"
+
+namespace dnsv {
+
+Status ValidateFunction(const Module& module, const Function& function);
+Status ValidateModule(const Module& module);
+
+}  // namespace dnsv
+
+#endif  // DNSV_IR_VALIDATE_H_

@@ -1,0 +1,69 @@
+// Incremental Z3 session over TermArena terms.
+//
+// The symbolic executor drives this with push/pop following its depth-first
+// path exploration, exactly as DNS-V's verifier drives Z3 per branch (§5.2).
+// Translation from Term to Z3 ASTs is memoized per session.
+#ifndef DNSV_SMT_SOLVER_H_
+#define DNSV_SMT_SOLVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/smt/term.h"
+
+namespace dnsv {
+
+enum class SatResult { kSat, kUnsat, kUnknown };
+
+// A concrete assignment for the symbolic variables mentioned in a SAT query;
+// used to build counterexample DNS queries.
+class Model {
+ public:
+  void Set(const std::string& var, int64_t value) { values_[var] = value; }
+  // Returns true and fills *value when the model constrains `var`; unbound
+  // variables may take any value.
+  bool Get(const std::string& var, int64_t* value) const;
+  const std::unordered_map<std::string, int64_t>& values() const { return values_; }
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<std::string, int64_t> values_;
+};
+
+// RAII Z3 solver session. Create one per verification task; the arena must
+// outlive the session.
+class SolverSession {
+ public:
+  explicit SolverSession(TermArena* arena);
+  ~SolverSession();
+  SolverSession(const SolverSession&) = delete;
+  SolverSession& operator=(const SolverSession&) = delete;
+
+  void Push();
+  void Pop();
+  void Assert(Term condition);
+
+  SatResult Check();
+  // Check under an extra temporary assumption (no frame churn).
+  SatResult CheckAssuming(Term assumption);
+
+  // Valid only immediately after a kSat result.
+  Model GetModel();
+
+  // Statistics for the Fig.-12 harness.
+  int64_t num_checks() const { return num_checks_; }
+  double solve_seconds() const { return solve_seconds_; }
+
+ private:
+  struct Impl;  // hides z3++.h from the rest of the codebase
+  std::unique_ptr<Impl> impl_;
+  int64_t num_checks_ = 0;
+  double solve_seconds_ = 0;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_SMT_SOLVER_H_

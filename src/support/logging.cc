@@ -1,0 +1,68 @@
+#include "src/support/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dnsv {
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  return start;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level, std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
+
+double ElapsedSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - ProcessStart()).count();
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
+    return;
+  }
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s %8.3f %s:%d] %s\n", LevelTag(level), ElapsedSeconds(), base, line,
+               message.c_str());
+}
+
+namespace logging_internal {
+
+void CheckFailed(const char* file, int line, const char* condition, const std::string& message) {
+  LogMessage(LogLevel::kError, file, line,
+             std::string("CHECK failed: ") + condition + (message.empty() ? "" : ": " + message));
+  std::abort();
+}
+
+}  // namespace logging_internal
+}  // namespace dnsv

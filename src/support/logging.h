@@ -1,0 +1,72 @@
+// Lightweight leveled logging and invariant checks for the dnsv toolchain.
+//
+// The verifier is a batch tool, so logging goes to stderr with a monotonic
+// timestamp. CHECK-style macros are used for internal invariants only; user
+// input errors are reported via Status/Result (see status.h).
+#ifndef DNSV_SUPPORT_LOGGING_H_
+#define DNSV_SUPPORT_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dnsv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global log threshold; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes one formatted log line to stderr. Thread-safe.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Seconds since the first call to LogMessage/ElapsedSeconds in this process.
+double ElapsedSeconds();
+
+namespace logging_internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* condition,
+                              const std::string& message);
+
+}  // namespace logging_internal
+
+}  // namespace dnsv
+
+#define DNSV_LOG(level) ::dnsv::logging_internal::LogLine(::dnsv::LogLevel::level, __FILE__, __LINE__)
+
+// Internal invariant check: aborts with a diagnostic when `cond` is false.
+#define DNSV_CHECK(cond)                                                            \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      ::dnsv::logging_internal::CheckFailed(__FILE__, __LINE__, #cond, "");         \
+    }                                                                               \
+  } while (false)
+
+#define DNSV_CHECK_MSG(cond, msg)                                                   \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      ::dnsv::logging_internal::CheckFailed(__FILE__, __LINE__, #cond, (msg));      \
+    }                                                                               \
+  } while (false)
+
+#endif  // DNSV_SUPPORT_LOGGING_H_

@@ -1,0 +1,44 @@
+// Deterministic RNG (SplitMix64) so zone generation and property sweeps are
+// reproducible across runs and platforms.
+#ifndef DNSV_SUPPORT_RNG_H_
+#define DNSV_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+#include "src/support/logging.h"
+
+namespace dnsv {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    DNSV_CHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    DNSV_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // True with probability num/den.
+  bool NextChance(uint64_t num, uint64_t den) { return NextBelow(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_SUPPORT_RNG_H_

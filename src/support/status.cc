@@ -1,0 +1,3 @@
+#include "src/support/status.h"
+
+// Status/Result are header-only; this TU anchors the library target.

@@ -1,0 +1,70 @@
+// Error propagation for user-facing failures (parse errors, malformed zones,
+// ill-typed MiniGo programs). Internal invariants use DNSV_CHECK instead.
+#ifndef DNSV_SUPPORT_STATUS_H_
+#define DNSV_SUPPORT_STATUS_H_
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "src/support/logging.h"
+
+namespace dnsv {
+
+// Thrown by APIs whose contract is "valid input only"; carries a user-readable
+// description of what was malformed.
+class DnsvError : public std::runtime_error {
+ public:
+  explicit DnsvError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return !message_.has_value(); }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_.has_value() ? *message_ : kEmpty;
+  }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+// Minimal StatusOr-style result: either a value or an error message.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  static Result Error(std::string message) { return Result(Status::Error(std::move(message))); }
+
+  bool ok() const { return value_.has_value(); }
+  const std::string& error() const { return status_.message(); }
+
+  const T& value() const& {
+    DNSV_CHECK_MSG(ok(), error());
+    return *value_;
+  }
+  T& value() & {
+    DNSV_CHECK_MSG(ok(), error());
+    return *value_;
+  }
+  T&& value() && {
+    DNSV_CHECK_MSG(ok(), error());
+    return std::move(*value_);
+  }
+
+ private:
+  explicit Result(Status status) : status_(std::move(status)) {}
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_SUPPORT_STATUS_H_

@@ -1,0 +1,84 @@
+#include "src/support/strings.h"
+
+#include <cctype>
+
+namespace dnsv {
+
+std::vector<std::string> SplitString(std::string_view input, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      return parts;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out.append(sep);
+    }
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() && std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string ToLowerAscii(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  bool negative = false;
+  size_t i = 0;
+  if (text[0] == '-') {
+    negative = true;
+    i = 1;
+    if (text.size() == 1) {
+      return false;
+    }
+  }
+  int64_t value = 0;
+  for (; i < text.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return false;
+    }
+    value = value * 10 + (text[i] - '0');
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
+}  // namespace dnsv

@@ -1,0 +1,41 @@
+// Small string helpers shared across the toolchain (no locale, ASCII only).
+#ifndef DNSV_SUPPORT_STRINGS_H_
+#define DNSV_SUPPORT_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsv {
+
+// Splits on `sep`, keeping empty pieces.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+// Joins with `sep` between elements.
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view input);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+std::string ToLowerAscii(std::string_view input);
+
+// Streams all arguments into one string. StrCat(1, " + ", 2.5) == "1 + 2.5".
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+// Parses a decimal (optionally negative) integer; returns false on any
+// non-digit character or empty input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+}  // namespace dnsv
+
+#endif  // DNSV_SUPPORT_STRINGS_H_

@@ -1,0 +1,121 @@
+// Full-path symbolic execution over AbsIR (paper §5.2).
+//
+// The executor explores every feasible path of a function, forking at
+// symbolic branches (each side is checked against Z3 under the accumulated
+// path condition) and returning one PathOutcome per path: the final symbolic
+// state plus either a return value or a reached panic block. Reached panic
+// blocks ARE the safety violations — GoLLVM-style checks are lowered as
+// explicit branches, so "safety" is exactly "no feasible path ends in panic"
+// (§4.1, §6.1).
+//
+// Calls are executed inline by default; a SummaryProvider can intercept
+// call sites and apply precomputed summary specifications instead (§5.3).
+#ifndef DNSV_SYM_EXECUTOR_H_
+#define DNSV_SYM_EXECUTOR_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/function.h"
+#include "src/smt/solver.h"
+#include "src/smt/term.h"
+#include "src/sym/symvalue.h"
+
+namespace dnsv {
+
+struct SymState {
+  SymMemory memory;
+  Term pc;  // path condition (conjunction)
+};
+
+struct PathOutcome {
+  enum class Kind : uint8_t { kReturned, kPanicked };
+  Kind kind = Kind::kReturned;
+  SymState state;
+  SymValue return_value;
+  std::string panic_message;
+};
+
+struct ExecStats {
+  int64_t instrs = 0;
+  int64_t forks = 0;
+  int64_t paths = 0;
+  int64_t summary_applications = 0;
+};
+
+struct ExecLimits {
+  int64_t max_paths = 200000;
+  int64_t max_instrs = 200'000'000;
+  int max_call_depth = 128;
+};
+
+// Hook for summarization: given a call site, either applies a summary
+// (returning one successor per feasible summary entry) or declines
+// (std::nullopt) so the executor inlines the callee.
+class SummaryProvider {
+ public:
+  virtual ~SummaryProvider() = default;
+  struct Application {
+    SymState state;
+    SymValue return_value;
+    bool panics = false;
+    std::string panic_message;
+  };
+  virtual std::optional<std::vector<Application>> TryApply(
+      const std::string& callee, const std::vector<SymValue>& args, const SymState& state) = 0;
+};
+
+class SymExecutor {
+ public:
+  SymExecutor(const Module* module, TermArena* arena, SolverSession* solver,
+              ExecLimits limits = {});
+
+  // Explores `fn` from `state` with the given arguments. Global input
+  // constraints (qname length bounds etc.) should be asserted on the solver
+  // before calling. Throws DnsvError when the code violates the executor's
+  // code-pattern assumptions or a limit is hit.
+  std::vector<PathOutcome> Explore(const Function& fn, const std::vector<SymValue>& args,
+                                   SymState state);
+
+  void set_summary_provider(SummaryProvider* provider) { summaries_ = provider; }
+
+  const ExecStats& stats() const { return stats_; }
+  TermArena& arena() { return *arena_; }
+  SolverSession& solver() { return *solver_; }
+
+  // True when `condition` is satisfiable together with the path condition.
+  bool Feasible(Term pc, Term condition);
+
+ private:
+  struct Frame;
+
+  SymValue EvalOperand(const Frame& frame, const Operand& op);
+  // Executes `fn` to completion (all paths) starting from `state`.
+  std::vector<PathOutcome> ExecFunction(const Function& fn, const std::vector<SymValue>& args,
+                                        SymState state, int depth);
+  // Continues execution at (block, index) within `fn`, with frame `frame`.
+  std::vector<PathOutcome> ExecFrom(const Function& fn, Frame frame, SymState state,
+                                    BlockId block, size_t index, int depth);
+  // Concretizes an index term: constant, or unique under pc. nullopt means
+  // the index is feasible for several values and the caller must case-split.
+  std::optional<int64_t> TryUniqueIndex(Term index, Term pc);
+
+  static constexpr int64_t kIndexProbeLimit = 64;
+
+  SymValue EvalBinOp(const Instr& instr, const SymValue& a, const SymValue& b);
+  Term ListEqTerm(const SymValue& a, const SymValue& b);
+
+  const Module* module_;
+  TermArena* arena_;
+  SolverSession* solver_;
+  ExecLimits limits_;
+  SummaryProvider* summaries_ = nullptr;
+  ExecStats stats_;
+  int64_t havoc_counter_ = 0;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_SYM_EXECUTOR_H_

@@ -1,0 +1,67 @@
+// Refinement checking helpers (paper §5.2, Fig. 1): building symbolic inputs,
+// relating final states of two executions, and extracting counterexamples.
+#ifndef DNSV_SYM_REFINE_H_
+#define DNSV_SYM_REFINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sym/executor.h"
+
+namespace dnsv {
+
+// A fully symbolic []int (label list): elements var `<name>.<i>`, length var
+// `<name>.len`. Constraints: 0 <= len <= capacity, and each element within
+// [min_elem, max_elem]. The constraint term must be asserted on the solver
+// (or conjoined into the initial path condition) before exploring.
+struct SymbolicIntList {
+  SymValue value;
+  Term constraints;
+};
+
+SymbolicIntList MakeSymbolicIntList(TermArena* arena, const std::string& name, int capacity,
+                                    int64_t min_elem, int64_t max_elem);
+
+// A symbolic int variable constrained to [min, max].
+struct SymbolicInt {
+  SymValue value;
+  Term constraints;
+};
+
+SymbolicInt MakeSymbolicInt(TermArena* arena, const std::string& name, int64_t min,
+                            int64_t max);
+
+// Structural equality of two symbolic values as a boolean term. Lists are
+// compared with length equality plus guarded element equality; structs
+// recurse field-wise; pointers compare by identity (they are concrete).
+Term SymValueEqTerm(const SymValue& a, const SymValue& b, TermArena* arena);
+
+// Generic refinement check between two functions over shared symbolic
+// arguments: every path of `impl` must produce a return value (and, for
+// pointer arguments, pointed-to final state) equal to some behavior of
+// `spec` under the same inputs. Returns a human-readable list of
+// discrepancies (empty = refines). Intended for the stable library layers
+// (paper §6.3) whose specs share the implementation's argument types.
+struct RefinementMismatch {
+  std::string description;
+  Model model;  // witness inputs
+};
+
+struct RefinementResult {
+  bool ok() const { return mismatches.empty() && !aborted; }
+  std::vector<RefinementMismatch> mismatches;
+  bool aborted = false;        // executor limit / unsupported pattern
+  std::string abort_reason;
+  int64_t impl_paths = 0;
+  int64_t spec_paths = 0;
+};
+
+// Compares only return values (sufficient for the pure library functions).
+RefinementResult CheckFunctionRefinement(SymExecutor* executor, const Function& impl,
+                                         const Function& spec,
+                                         const std::vector<SymValue>& args,
+                                         const SymState& initial_state);
+
+}  // namespace dnsv
+
+#endif  // DNSV_SYM_REFINE_H_

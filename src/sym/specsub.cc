@@ -1,0 +1,43 @@
+#include "src/sym/specsub.h"
+
+#include "src/support/status.h"
+
+namespace dnsv {
+
+void SpecSubstitution::Map(const std::string& impl, const std::string& spec) {
+  DNSV_CHECK_MSG(module_->GetFunction(spec) != nullptr, "unknown spec function: " + spec);
+  spec_for_[impl] = spec;
+}
+
+std::optional<std::vector<SummaryProvider::Application>> SpecSubstitution::TryApply(
+    const std::string& callee, const std::vector<SymValue>& args, const SymState& state) {
+  auto it = spec_for_.find(callee);
+  if (it == spec_for_.end()) {
+    return std::nullopt;
+  }
+  const Function* spec = module_->GetFunction(it->second);
+  DNSV_CHECK(spec != nullptr);
+  // Execute the spec symbolically in the caller's state. A fresh executor
+  // (without providers) keeps spec execution self-contained.
+  SymExecutor executor(module_, arena_, solver_);
+  std::vector<PathOutcome> outcomes;
+  try {
+    outcomes = executor.Explore(*spec, args, state);
+  } catch (const DnsvError&) {
+    return std::nullopt;  // fall back to the implementation
+  }
+  ++substitutions_;
+  std::vector<Application> applications;
+  applications.reserve(outcomes.size());
+  for (PathOutcome& outcome : outcomes) {
+    Application app;
+    app.state = std::move(outcome.state);
+    app.return_value = std::move(outcome.return_value);
+    app.panics = outcome.kind == PathOutcome::Kind::kPanicked;
+    app.panic_message = std::move(outcome.panic_message);
+    applications.push_back(std::move(app));
+  }
+  return applications;
+}
+
+}  // namespace dnsv

@@ -1,0 +1,68 @@
+// Manual-specification substitution (the left branch of paper Fig. 6).
+//
+// Stable library layers carry hand-written abstract specifications (§6.3).
+// After a refinement check proves spec ≡ implementation, higher layers are
+// explored against the *spec*: calls to the implementation are intercepted
+// and the spec function is symbolically executed instead. Because specs are
+// written with abstract builtins (e.g. listEq instead of a byte loop), they
+// produce fewer forks and simpler path conditions — the compareAbs effect
+// from Fig. 10.
+#ifndef DNSV_SYM_SPECSUB_H_
+#define DNSV_SYM_SPECSUB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sym/executor.h"
+
+namespace dnsv {
+
+class SpecSubstitution : public SummaryProvider {
+ public:
+  SpecSubstitution(const Module* module, TermArena* arena, SolverSession* solver)
+      : module_(module), arena_(arena), solver_(solver) {}
+
+  // Routes calls to `impl` through `spec` (same signature). The caller is
+  // responsible for having discharged the refinement obligation first
+  // (CheckFunctionRefinement).
+  void Map(const std::string& impl, const std::string& spec);
+
+  std::optional<std::vector<Application>> TryApply(const std::string& callee,
+                                                   const std::vector<SymValue>& args,
+                                                   const SymState& state) override;
+
+  int64_t substitutions() const { return substitutions_; }
+
+ private:
+  const Module* module_;
+  TermArena* arena_;
+  SolverSession* solver_;
+  std::map<std::string, std::string> spec_for_;
+  int64_t substitutions_ = 0;
+};
+
+// Tries several providers in order; the first non-nullopt answer wins.
+class ChainedProvider : public SummaryProvider {
+ public:
+  void Add(SummaryProvider* provider) { providers_.push_back(provider); }
+
+  std::optional<std::vector<Application>> TryApply(const std::string& callee,
+                                                   const std::vector<SymValue>& args,
+                                                   const SymState& state) override {
+    for (SummaryProvider* provider : providers_) {
+      std::optional<std::vector<Application>> result = provider->TryApply(callee, args, state);
+      if (result.has_value()) {
+        return result;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<SummaryProvider*> providers_;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_SYM_SPECSUB_H_

@@ -1,0 +1,186 @@
+#include "src/sym/symvalue.h"
+
+#include "src/support/strings.h"
+
+namespace dnsv {
+
+std::string SymValue::ToString(const TermArena& arena) const {
+  switch (kind) {
+    case Kind::kUnit:
+      return "unit";
+    case Kind::kTerm:
+      return arena.ToString(term);
+    case Kind::kPtr: {
+      if (IsNullPtr()) {
+        return "null";
+      }
+      std::string out = StrCat("&b", block);
+      for (int64_t index : path) {
+        out += StrCat(".", index);
+      }
+      return out;
+    }
+    case Kind::kStruct: {
+      std::string out = "{";
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += elems[i].ToString(arena);
+      }
+      return out + "}";
+    }
+    case Kind::kList: {
+      std::string out = base_token >= 0 ? StrCat("[base#", base_token, " ++") : "[";
+      for (size_t i = 0; i < elems.size(); ++i) {
+        out += (i == 0 && base_token < 0) ? "" : " ";
+        out += elems[i].ToString(arena);
+      }
+      out += StrCat("; len=", arena.ToString(list_len), "]");
+      return out;
+    }
+  }
+  return "<?>";
+}
+
+SymValue* SymMemory::Resolve(BlockIndex block, const std::vector<int64_t>& path) {
+  if (block == kNullBlockIndex || block >= blocks_.size()) {
+    return nullptr;
+  }
+  SymValue* current = &blocks_[block];
+  for (int64_t index : path) {
+    if (current->kind != SymValue::Kind::kStruct && current->kind != SymValue::Kind::kList) {
+      return nullptr;
+    }
+    if (index < 0 || static_cast<size_t>(index) >= current->elems.size()) {
+      return nullptr;
+    }
+    current = &current->elems[static_cast<size_t>(index)];
+  }
+  return current;
+}
+
+SymValue LiftValue(const Value& value, TermArena* arena) {
+  switch (value.kind) {
+    case Value::Kind::kUnit:
+      return SymValue::Unit();
+    case Value::Kind::kInt:
+      return SymValue::OfTerm(arena->IntConst(value.i));
+    case Value::Kind::kBool:
+      return SymValue::OfTerm(arena->BoolConst(value.i != 0));
+    case Value::Kind::kPtr:
+      return SymValue::Ptr(value.block, value.path);
+    case Value::Kind::kStruct: {
+      std::vector<SymValue> fields;
+      fields.reserve(value.elems.size());
+      for (const Value& field : value.elems) {
+        fields.push_back(LiftValue(field, arena));
+      }
+      return SymValue::Struct(std::move(fields));
+    }
+    case Value::Kind::kList: {
+      std::vector<SymValue> elements;
+      elements.reserve(value.elems.size());
+      for (const Value& element : value.elems) {
+        elements.push_back(LiftValue(element, arena));
+      }
+      return SymValue::List(std::move(elements), arena);
+    }
+  }
+  DNSV_CHECK(false);
+  return SymValue::Unit();
+}
+
+SymMemory LiftMemory(const ConcreteMemory& memory, TermArena* arena) {
+  SymMemory lifted;
+  for (BlockIndex b = 1; b < memory.num_blocks(); ++b) {
+    const Value* block = memory.Resolve(b, {});
+    DNSV_CHECK(block != nullptr);
+    BlockIndex assigned = lifted.Alloc(LiftValue(*block, arena));
+    DNSV_CHECK(assigned == b);  // ids preserved so pointers stay valid
+  }
+  return lifted;
+}
+
+SymValue SymZeroValue(const TypeTable& types, Type type, TermArena* arena) {
+  switch (types.kind(type)) {
+    case TypeKind::kInt:
+      return SymValue::OfTerm(arena->IntConst(0));
+    case TypeKind::kBool:
+      return SymValue::OfTerm(arena->BoolConst(false));
+    case TypeKind::kPtr:
+      return SymValue::NullPtr();
+    case TypeKind::kList:
+      return SymValue::List({}, arena);
+    case TypeKind::kStruct: {
+      const StructDef& def = types.GetStruct(type);
+      std::vector<SymValue> fields;
+      fields.reserve(def.fields.size());
+      for (const StructField& field : def.fields) {
+        fields.push_back(SymZeroValue(types, field.type, arena));
+      }
+      return SymValue::Struct(std::move(fields));
+    }
+    case TypeKind::kVoid:
+      return SymValue::Unit();
+  }
+  DNSV_CHECK(false);
+  return SymValue::Unit();
+}
+
+namespace {
+
+int64_t TermToConcrete(Term t, const TermArena& arena, const Model* model) {
+  int64_t value = 0;
+  if (arena.AsIntConst(t, &value)) {
+    return value;
+  }
+  bool b = false;
+  if (arena.AsBoolConst(t, &b)) {
+    return b ? 1 : 0;
+  }
+  const TermNode& node = arena.node(t);
+  if (node.kind == TermKind::kVar && model != nullptr) {
+    int64_t v = 0;
+    if (model->Get(arena.VarName(t), &v)) {
+      return v;
+    }
+    return 0;  // unconstrained variable: any value works
+  }
+  DNSV_CHECK_MSG(false, "cannot concretize term: " + arena.ToString(t));
+  return 0;
+}
+
+}  // namespace
+
+Value ConcretizeValue(const SymValue& value, const TermArena& arena, const Model* model) {
+  switch (value.kind) {
+    case SymValue::Kind::kUnit:
+      return Value::Unit();
+    case SymValue::Kind::kTerm: {
+      int64_t v = TermToConcrete(value.term, arena, model);
+      return arena.sort(value.term) == Sort::kBool ? Value::Bool(v != 0) : Value::Int(v);
+    }
+    case SymValue::Kind::kPtr:
+      return Value::Ptr(value.block, value.path);
+    case SymValue::Kind::kStruct: {
+      std::vector<Value> fields;
+      fields.reserve(value.elems.size());
+      for (const SymValue& field : value.elems) {
+        fields.push_back(ConcretizeValue(field, arena, model));
+      }
+      return Value::Struct(std::move(fields));
+    }
+    case SymValue::Kind::kList: {
+      DNSV_CHECK_MSG(value.base_token < 0, "cannot concretize a based list");
+      int64_t len = TermToConcrete(value.list_len, arena, model);
+      std::vector<Value> elements;
+      for (int64_t i = 0; i < len && i < static_cast<int64_t>(value.elems.size()); ++i) {
+        elements.push_back(ConcretizeValue(value.elems[static_cast<size_t>(i)], arena, model));
+      }
+      return Value::List(std::move(elements));
+    }
+  }
+  DNSV_CHECK(false);
+  return Value::Unit();
+}
+
+}  // namespace dnsv

@@ -1,0 +1,115 @@
+// Symbolic runtime values and memory (paper §5.1's flexible memory model).
+//
+// SymValue mirrors interp::Value but scalar leaves are SMT terms, so a struct
+// can be *partially* abstract: some fields concrete (IntConst terms), others
+// symbolic variables — exactly the mixed state the paper needs for
+// imperfectly encapsulated data structures (Fig. 3).
+//
+// Lists follow §5.4's encoding: a fixed vector of element slots plus a
+// symbolic length term. A list may additionally be "based" on an opaque token
+// (the unknown initial contents of a summarized out-parameter): its value is
+// BASE(token) ++ elems, and its length is the base length variable + the
+// number of appended elements.
+#ifndef DNSV_SYM_SYMVALUE_H_
+#define DNSV_SYM_SYMVALUE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/interp/value.h"
+#include "src/ir/type.h"
+#include "src/smt/solver.h"
+#include "src/smt/term.h"
+
+namespace dnsv {
+
+struct SymValue {
+  enum class Kind : uint8_t { kUnit, kTerm, kPtr, kStruct, kList };
+
+  Kind kind = Kind::kUnit;
+  Term term;                      // kTerm (int- or bool-sorted)
+  BlockIndex block = kNullBlockIndex;  // kPtr (pointers are always concrete)
+  std::vector<int64_t> path;      // kPtr index path
+  std::vector<SymValue> elems;    // kStruct fields / kList appended elements
+  Term list_len;                  // kList total length (Int term)
+  int64_t base_token = -1;        // kList: opaque initial contents, -1 = none
+
+  static SymValue Unit() { return SymValue{}; }
+  static SymValue OfTerm(Term t) {
+    SymValue v;
+    v.kind = Kind::kTerm;
+    v.term = t;
+    return v;
+  }
+  static SymValue NullPtr() {
+    SymValue v;
+    v.kind = Kind::kPtr;
+    v.block = kNullBlockIndex;
+    return v;
+  }
+  static SymValue Ptr(BlockIndex block, std::vector<int64_t> path = {}) {
+    SymValue v;
+    v.kind = Kind::kPtr;
+    v.block = block;
+    v.path = std::move(path);
+    return v;
+  }
+  static SymValue Struct(std::vector<SymValue> fields) {
+    SymValue v;
+    v.kind = Kind::kStruct;
+    v.elems = std::move(fields);
+    return v;
+  }
+  // A concrete-length list (len is derived from elems).
+  static SymValue List(std::vector<SymValue> elements, TermArena* arena) {
+    SymValue v;
+    v.kind = Kind::kList;
+    v.list_len = arena->IntConst(static_cast<int64_t>(elements.size()));
+    v.elems = std::move(elements);
+    return v;
+  }
+
+  bool IsNullPtr() const { return kind == Kind::kPtr && block == kNullBlockIndex; }
+  bool IsBasedList() const { return kind == Kind::kList && base_token >= 0; }
+
+  std::string ToString(const TermArena& arena) const;
+};
+
+// Symbolic memory: block id -> SymValue tree. Block 0 is the null target.
+class SymMemory {
+ public:
+  SymMemory() { blocks_.resize(1); }
+
+  BlockIndex Alloc(SymValue initial) {
+    blocks_.push_back(std::move(initial));
+    return static_cast<BlockIndex>(blocks_.size() - 1);
+  }
+
+  SymValue* Resolve(BlockIndex block, const std::vector<int64_t>& path);
+  const SymValue* Resolve(BlockIndex block, const std::vector<int64_t>& path) const {
+    return const_cast<SymMemory*>(this)->Resolve(block, path);
+  }
+
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  std::vector<SymValue> blocks_;
+};
+
+// Lifts a concrete interpreter value into the symbolic domain (all leaves
+// become constant terms). Used to load the concrete domain-tree heap (§6.5).
+SymValue LiftValue(const Value& value, TermArena* arena);
+
+// Lifts an entire concrete memory into a SymMemory (block ids preserved).
+SymMemory LiftMemory(const ConcreteMemory& memory, TermArena* arena);
+
+// The symbolic zero value of `type` (concrete-zero leaves).
+SymValue SymZeroValue(const TypeTable& types, Type type, TermArena* arena);
+
+// Lowers a fully-concrete SymValue back to an interpreter Value; CHECK-fails
+// on symbolic leaves. `model` (optional) supplies values for variables.
+Value ConcretizeValue(const SymValue& value, const TermArena& arena, const Model* model);
+
+}  // namespace dnsv
+
+#endif  // DNSV_SYM_SYMVALUE_H_

@@ -1,0 +1,219 @@
+#include "src/zonegen/zonegen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+const char* const kLabelPool[] = {"a", "b", "c", "www", "mail", "ns1", "ns2", "api",
+                                  "cdn", "db", "x", "y", "z", "web", "cs", "zoo"};
+constexpr size_t kLabelPoolSize = sizeof(kLabelPool) / sizeof(kLabelPool[0]);
+
+std::string RandomLabel(SplitMix64* rng) { return kLabelPool[rng->NextBelow(kLabelPoolSize)]; }
+
+DnsName RandomOwner(SplitMix64* rng, const DnsName& origin, int max_depth, bool wildcard_ok) {
+  DnsName name = origin;
+  int depth = static_cast<int>(rng->NextInRange(1, max_depth));
+  for (int i = 0; i < depth; ++i) {
+    name.labels.insert(name.labels.begin(), RandomLabel(rng));
+  }
+  if (wildcard_ok && rng->NextChance(1, 4)) {
+    name.labels.insert(name.labels.begin(), kWildcardLabel);
+  }
+  return name;
+}
+
+int64_t RandomIp(SplitMix64* rng) {
+  return static_cast<int64_t>(rng->NextBelow(0xFFFFFFFFull));
+}
+
+}  // namespace
+
+ZoneConfig GenerateZone(uint64_t seed, const ZoneGenOptions& options) {
+  SplitMix64 rng(seed * 0x9e3779b97f4a7c15ULL + 0xD1CE);
+  ZoneConfig zone;
+  zone.origin = DnsName::Parse("zone.test").value();
+
+  // Apex SOA + NS (required); the nameservers are in-zone so glue paths are
+  // exercised.
+  DnsName ns1 = DnsName::Parse("ns1.zone.test").value();
+  DnsName ns2 = DnsName::Parse("ns2.zone.test").value();
+  zone.records.push_back({zone.origin, RrType::kSoa, {static_cast<int64_t>(seed % 1000), ns1}});
+  zone.records.push_back({zone.origin, RrType::kNs, {0, ns1}});
+  if (rng.NextChance(1, 2)) {
+    zone.records.push_back({zone.origin, RrType::kNs, {0, ns2}});
+    zone.records.push_back({ns2, RrType::kA, {RandomIp(&rng), {}}});
+  }
+  zone.records.push_back({ns1, RrType::kA, {RandomIp(&rng), {}}});
+
+  int num_names = static_cast<int>(rng.NextInRange(1, options.max_names));
+  std::vector<DnsName> owners;  // non-wildcard owners, usable as rdata targets
+  owners.push_back(ns1);
+  std::set<std::string> delegated;  // names at/below a cut get no more records
+
+  auto under_delegation = [&](const DnsName& name) {
+    for (const std::string& cut : delegated) {
+      DnsName cut_name = DnsName::Parse(cut).value();
+      if (name.IsSubdomainOf(cut_name) ) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int n = 0; n < num_names; ++n) {
+    DnsName owner = RandomOwner(&rng, zone.origin, options.max_depth, options.allow_wildcards);
+    if (under_delegation(owner) || owner == zone.origin) {
+      continue;
+    }
+    bool is_wildcard = owner.labels[0] == kWildcardLabel;
+    // Decide the record mix at this owner.
+    if (options.allow_delegations && !is_wildcard && rng.NextChance(1, 6)) {
+      // A delegation: 1-2 NS records, glue half the time.
+      int ns_count = static_cast<int>(rng.NextInRange(1, 2));
+      for (int k = 0; k < ns_count; ++k) {
+        DnsName target = DnsName::Parse(StrCat("ns", k + 1)).value();
+        target.labels.insert(target.labels.end(), owner.labels.begin(), owner.labels.end());
+        zone.records.push_back({owner, RrType::kNs, {0, target}});
+        if (rng.NextChance(2, 3)) {
+          zone.records.push_back({target, RrType::kA, {RandomIp(&rng), {}}});
+        }
+      }
+      delegated.insert(owner.ToString());
+      continue;
+    }
+    if (options.allow_cnames && rng.NextChance(1, 5)) {
+      // CNAME to a previous owner (chains emerge naturally) or out of zone.
+      DnsName target = rng.NextChance(1, 5)
+                           ? DnsName::Parse("external.example").value()
+                           : owners[rng.NextBelow(owners.size())];
+      zone.records.push_back({owner, RrType::kCname, {0, target}});
+      continue;  // CNAME is exclusive at its owner
+    }
+    int rr_count = static_cast<int>(rng.NextInRange(1, options.max_rrs_per_name));
+    for (int k = 0; k < rr_count; ++k) {
+      switch (rng.NextBelow(5)) {
+        case 0:
+        case 1:
+          zone.records.push_back({owner, RrType::kA, {RandomIp(&rng), {}}});
+          break;
+        case 2:
+          zone.records.push_back({owner, RrType::kAaaa, {RandomIp(&rng), {}}});
+          break;
+        case 3:
+          zone.records.push_back({owner, RrType::kTxt,
+                                  {static_cast<int64_t>(rng.NextBelow(1000)), {}}});
+          break;
+        case 4: {
+          DnsName exchange = owners[rng.NextBelow(owners.size())];
+          zone.records.push_back(
+              {owner, RrType::kMx, {static_cast<int64_t>(rng.NextInRange(1, 50)), exchange}});
+          break;
+        }
+      }
+    }
+    if (!is_wildcard) {
+      owners.push_back(owner);
+    }
+  }
+
+  // Drop duplicates the random process may have produced; canonicalization
+  // rejects them otherwise.
+  ZoneConfig dedup;
+  dedup.origin = zone.origin;
+  for (const ZoneRecord& record : zone.records) {
+    bool duplicate = false;
+    bool conflicting_cname = false;
+    for (const ZoneRecord& kept : dedup.records) {
+      if (kept == record) {
+        duplicate = true;
+        break;
+      }
+      if (kept.name == record.name &&
+          (kept.type == RrType::kCname || record.type == RrType::kCname)) {
+        conflicting_cname = true;
+        break;
+      }
+    }
+    // Also drop records that ended up under a delegation cut.
+    bool below_cut = false;
+    for (const std::string& cut : delegated) {
+      DnsName cut_name = DnsName::Parse(cut).value();
+      if (record.name != cut_name && record.name.IsSubdomainOf(cut_name)) {
+        // glue records are allowed below the cut
+        below_cut = record.type != RrType::kA && record.type != RrType::kAaaa;
+      }
+    }
+    if (!duplicate && !conflicting_cname && !below_cut) {
+      dedup.records.push_back(record);
+    }
+  }
+  Result<ZoneConfig> canonical = CanonicalizeZone(dedup);
+  DNSV_CHECK_MSG(canonical.ok(), "generated zone must canonicalize: " + canonical.error());
+  return std::move(canonical).value();
+}
+
+std::vector<DnsName> InterestingQueryNames(const ZoneConfig& zone, uint64_t seed,
+                                           int num_random_extra) {
+  SplitMix64 rng(seed ^ 0xABCDEF);
+  std::vector<DnsName> names;
+  std::set<std::string> seen;
+  auto add = [&](DnsName name) {
+    if (seen.insert(name.ToString()).second) {
+      names.push_back(std::move(name));
+    }
+  };
+  for (const ZoneRecord& record : zone.records) {
+    // The owner itself (wildcards queried literally too).
+    add(record.name);
+    // Wildcard instantiations: one and two labels.
+    if (record.name.labels[0] == kWildcardLabel) {
+      DnsName one = record.name;
+      one.labels[0] = "probe";
+      add(one);
+      DnsName two = record.name;
+      two.labels[0] = "deep";
+      two.labels.insert(two.labels.begin(), "probe");
+      add(two);
+    }
+    // Every ancestor (covers empty non-terminals).
+    DnsName ancestor = record.name;
+    while (ancestor.labels.size() > zone.origin.labels.size()) {
+      ancestor.labels.erase(ancestor.labels.begin());
+      add(ancestor);
+    }
+    // A child below the owner (NXDOMAIN or deep-wildcard probes).
+    DnsName child = record.name;
+    if (child.labels[0] == kWildcardLabel) {
+      child.labels[0] = "sub";
+    }
+    child.labels.insert(child.labels.begin(), "below");
+    add(child);
+    // rdata targets.
+    if (!record.rdata.name.Empty()) {
+      add(record.rdata.name);
+    }
+  }
+  add(zone.origin);
+  add(DnsName::Parse("not.in.this.zone.example").value());
+  for (int i = 0; i < num_random_extra; ++i) {
+    DnsName random = zone.origin;
+    int depth = static_cast<int>(rng.NextInRange(1, 3));
+    for (int d = 0; d < depth; ++d) {
+      random.labels.insert(random.labels.begin(), RandomLabel(&rng));
+    }
+    add(random);
+  }
+  return names;
+}
+
+std::vector<RrType> AllQueryTypes() {
+  return {RrType::kA,  RrType::kNs,  RrType::kCname, RrType::kSoa,
+          RrType::kMx, RrType::kTxt, RrType::kAaaa,  RrType::kAny};
+}
+
+}  // namespace dnsv

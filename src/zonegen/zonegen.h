@@ -1,0 +1,38 @@
+// Random zone-configuration generator (paper §6.5, §9): favors complex
+// domain names ('*' at various positions) and intertwined records
+// (delegations referring to each other via NS, glue targets, CNAME chains)
+// so generated domain trees cover diverse matching scenarios.
+#ifndef DNSV_ZONEGEN_ZONEGEN_H_
+#define DNSV_ZONEGEN_ZONEGEN_H_
+
+#include <vector>
+
+#include "src/dns/zone.h"
+#include "src/support/rng.h"
+
+namespace dnsv {
+
+struct ZoneGenOptions {
+  int max_names = 10;        // distinct owner names besides the apex
+  int max_depth = 3;         // labels below the origin
+  int max_rrs_per_name = 3;
+  bool allow_wildcards = true;
+  bool allow_delegations = true;
+  bool allow_cnames = true;
+};
+
+// Deterministic for a given (seed, options). The result is always
+// canonicalizable.
+ZoneConfig GenerateZone(uint64_t seed, const ZoneGenOptions& options = {});
+
+// Interesting query names for a zone: every owner, ancestors (ENTs),
+// children of owners, wildcard instantiations, and out-of-zone names.
+std::vector<DnsName> InterestingQueryNames(const ZoneConfig& zone, uint64_t seed,
+                                           int num_random_extra = 8);
+
+// The query types the engine supports, plus ANY.
+std::vector<RrType> AllQueryTypes();
+
+}  // namespace dnsv
+
+#endif  // DNSV_ZONEGEN_ZONEGEN_H_

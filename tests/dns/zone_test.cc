@@ -1,0 +1,124 @@
+#include "src/dns/zone.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dns/example_zones.h"
+
+namespace dnsv {
+namespace {
+
+TEST(ZoneParse, ParsesAllRecordTypes) {
+  Result<ZoneConfig> zone = ParseZoneText(R"(
+$ORIGIN example.com.
+@      SOA    ns1 1
+@      NS     ns1.example.com.
+ns1    A      192.0.2.1
+ns1    AAAA   77
+www    CNAME  ns1
+mail   MX     10 ns1
+note   TXT    1234
+)");
+  ASSERT_TRUE(zone.ok()) << zone.error();
+  const ZoneConfig& z = zone.value();
+  EXPECT_EQ(z.origin.ToString(), "example.com");
+  ASSERT_EQ(z.records.size(), 7u);
+  EXPECT_EQ(z.records[0].type, RrType::kSoa);
+  EXPECT_EQ(z.records[0].rdata.name.ToString(), "ns1.example.com");
+  EXPECT_EQ(z.records[2].rdata.value, (int64_t{192} << 24) + (0 << 16) + (2 << 8) + 1);
+  EXPECT_EQ(z.records[4].rdata.name.ToString(), "ns1.example.com");
+  EXPECT_EQ(z.records[5].rdata.value, 10);
+}
+
+TEST(ZoneParse, RelativeVsAbsoluteNames) {
+  ZoneConfig z = ParseZoneText(
+      "$ORIGIN zone.test.\nwww A 1.2.3.4\nother.example. NS target.zone.test.\n").value();
+  EXPECT_EQ(z.records[0].name.ToString(), "www.zone.test");
+  EXPECT_EQ(z.records[1].name.ToString(), "other.example");
+}
+
+TEST(ZoneParse, CommentsAndBlanksIgnored) {
+  Result<ZoneConfig> zone = ParseZoneText(
+      "$ORIGIN z.test.\n; comment\n\n# another\n@ SOA ns 1\n");
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone.value().records.size(), 1u);
+}
+
+TEST(ZoneParse, Errors) {
+  EXPECT_FALSE(ParseZoneText("www A 1.2.3.4\n").ok());                      // no origin
+  EXPECT_FALSE(ParseZoneText("$ORIGIN z.\nwww BOGUS x\n").ok());            // bad type
+  EXPECT_FALSE(ParseZoneText("$ORIGIN z.\nwww A 300.1.1.1\n").ok());        // bad IP
+  EXPECT_FALSE(ParseZoneText("$ORIGIN z.\nwww ANY 1\n").ok());              // pseudo-type
+  EXPECT_FALSE(ParseZoneText("$ORIGIN z.\nmail MX ten www\n").ok());        // bad pref
+}
+
+TEST(ZoneText, RoundTrips) {
+  ZoneConfig zone = KitchenSinkZone();
+  Result<ZoneConfig> reparsed = ParseZoneText(zone.ToText());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  ASSERT_EQ(reparsed.value().records.size(), zone.records.size());
+  for (size_t i = 0; i < zone.records.size(); ++i) {
+    EXPECT_EQ(reparsed.value().records[i], zone.records[i]) << "record " << i;
+  }
+}
+
+TEST(Canonicalize, GroupsByNameThenType) {
+  ZoneConfig zone = ParseZoneText(R"(
+$ORIGIN z.test.
+@    SOA ns 1
+www  A   1.1.1.1
+mail A   2.2.2.2
+www  TXT 7
+www  A   3.3.3.3
+)").value();
+  ZoneConfig canonical = CanonicalizeZone(zone).value();
+  ASSERT_EQ(canonical.records.size(), 5u);
+  // www group: A, A, TXT (type order by first appearance); then mail.
+  EXPECT_EQ(canonical.records[1].name.ToString(), "www.z.test");
+  EXPECT_EQ(canonical.records[1].type, RrType::kA);
+  EXPECT_EQ(canonical.records[2].type, RrType::kA);
+  EXPECT_EQ(canonical.records[2].rdata.value & 0xff, 3);
+  EXPECT_EQ(canonical.records[3].type, RrType::kTxt);
+  EXPECT_EQ(canonical.records[4].name.ToString(), "mail.z.test");
+}
+
+TEST(Canonicalize, RequiresExactlyOneApexSoa) {
+  EXPECT_FALSE(CanonicalizeZone(ParseZoneText("$ORIGIN z.\nwww A 1.1.1.1\n").value()).ok());
+  EXPECT_FALSE(CanonicalizeZone(
+                   ParseZoneText("$ORIGIN z.\n@ SOA a 1\n@ SOA b 2\n").value()).ok());
+  EXPECT_FALSE(CanonicalizeZone(
+                   ParseZoneText("$ORIGIN z.\nwww SOA a 1\n").value()).ok());  // not apex
+}
+
+TEST(Canonicalize, RejectsCnameCoexistence) {
+  ZoneConfig zone = ParseZoneText(R"(
+$ORIGIN z.test.
+@    SOA ns 1
+www  CNAME mail
+www  A   1.1.1.1
+)").value();
+  Result<ZoneConfig> canonical = CanonicalizeZone(zone);
+  EXPECT_FALSE(canonical.ok());
+  EXPECT_NE(canonical.error().find("CNAME"), std::string::npos);
+}
+
+TEST(Canonicalize, RejectsDuplicatesAndOutOfZone) {
+  EXPECT_FALSE(CanonicalizeZone(ParseZoneText(
+      "$ORIGIN z.test.\n@ SOA ns 1\nwww A 1.1.1.1\nwww A 1.1.1.1\n").value()).ok());
+  EXPECT_FALSE(CanonicalizeZone(ParseZoneText(
+      "$ORIGIN z.test.\n@ SOA ns 1\nother.example. A 1.1.1.1\n").value()).ok());
+}
+
+TEST(Canonicalize, RejectsWildcardNs) {
+  EXPECT_FALSE(CanonicalizeZone(ParseZoneText(
+      "$ORIGIN z.test.\n@ SOA ns 1\n* NS ns.z.test.\n").value()).ok());
+}
+
+TEST(ExampleZones, AllCanonicalizable) {
+  EXPECT_TRUE(CanonicalizeZone(Figure11Zone()).ok());
+  EXPECT_TRUE(CanonicalizeZone(KitchenSinkZone()).ok());
+  EXPECT_TRUE(CanonicalizeZone(QuickstartZone()).ok());
+  EXPECT_TRUE(CanonicalizeZone(BugHuntZone()).ok());
+}
+
+}  // namespace
+}  // namespace dnsv

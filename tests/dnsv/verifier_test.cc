@@ -1,0 +1,260 @@
+// End-to-end verification tests: the full DNS-V workflow on real zones.
+#include "src/dnsv/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dnsv/layers.h"
+#include "src/zonegen/zonegen.h"
+
+namespace dnsv {
+namespace {
+
+// A compact zone that still exercises wildcards, delegation, CNAME, and ENTs
+// — small enough for fast exhaustive symbolic execution in unit tests.
+ZoneConfig SmallVerificationZone() {
+  return ParseZoneText(R"(
+$ORIGIN v.test.
+@      SOA   ns 1
+@      NS    ns.v.test.
+ns     A     192.0.2.1
+www    A     192.0.2.2
+*      TXT   7
+)").value();
+}
+
+ZoneConfig DelegationZone() {
+  return ParseZoneText(R"(
+$ORIGIN d.test.
+@        SOA  ns 1
+@        NS   ns.d.test.
+ns       A    192.0.2.1
+sub      NS   ns.sub.d.test.
+ns.sub   A    192.0.2.9
+)").value();
+}
+
+TEST(VerifyGolden, SmallZoneVerifies) {
+  VerificationReport report = VerifyEngine(EngineVersion::kGolden, SmallVerificationZone());
+  EXPECT_TRUE(report.verified) << report.ToString();
+  EXPECT_GT(report.engine_paths, 10);
+  EXPECT_GT(report.spec_paths, 10);
+}
+
+TEST(VerifyGolden, DelegationZoneVerifies) {
+  VerificationReport report = VerifyEngine(EngineVersion::kGolden, DelegationZone());
+  EXPECT_TRUE(report.verified) << report.ToString();
+}
+
+TEST(VerifyV1, FindsWrongFlagOrAuthority) {
+  VerificationReport report = VerifyEngine(EngineVersion::kV1, SmallVerificationZone());
+  ASSERT_FALSE(report.verified) << report.ToString();
+  ASSERT_FALSE(report.aborted) << report.abort_reason;
+  // Every reported issue must be confirmed by concrete re-execution.
+  for (const VerificationIssue& issue : report.issues) {
+    EXPECT_TRUE(issue.confirmed) << issue.ToString();
+  }
+}
+
+TEST(VerifyDev, FindsRuntimeError) {
+  VerificationReport report = VerifyEngine(EngineVersion::kDev, DelegationZone());
+  ASSERT_FALSE(report.verified) << report.ToString();
+  bool found_safety = false;
+  for (const VerificationIssue& issue : report.issues) {
+    if (issue.kind == VerificationIssue::Kind::kSafety) {
+      found_safety = true;
+      EXPECT_NE(issue.description.find("index out of range"), std::string::npos);
+      EXPECT_TRUE(issue.confirmed) << issue.ToString();
+    }
+  }
+  EXPECT_TRUE(found_safety) << report.ToString();
+}
+
+TEST(VerifySafetyOnly, GoldenHasNoReachablePanics) {
+  VerifyOptions options;
+  options.safety_only = true;
+  VerificationReport report =
+      VerifyEngine(EngineVersion::kGolden, SmallVerificationZone(), options);
+  EXPECT_TRUE(report.verified) << report.ToString();
+}
+
+TEST(VerifyWithSummaries, GoldenStillVerifies) {
+  VerifyOptions options;
+  options.use_summaries = true;
+  VerificationReport report =
+      VerifyEngine(EngineVersion::kGolden, SmallVerificationZone(), options);
+  EXPECT_TRUE(report.verified) << report.ToString();
+  EXPECT_GT(report.summaries_computed, 0) << "summaries were never applied";
+  EXPECT_GT(report.summary_applications, 0);
+}
+
+TEST(VerifyWithSummaries, V1BugsStillFound) {
+  VerifyOptions options;
+  options.use_summaries = true;
+  VerificationReport report =
+      VerifyEngine(EngineVersion::kV1, SmallVerificationZone(), options);
+  ASSERT_FALSE(report.verified) << report.ToString();
+  for (const VerificationIssue& issue : report.issues) {
+    EXPECT_TRUE(issue.confirmed) << issue.ToString();
+  }
+}
+
+
+TEST(VerifyV4, NewFeatureVerifiesWithAdaptedSpec) {
+  // The porting workflow (§7): a feature iteration plus its O(10)-line spec
+  // change re-verifies clean.
+  VerificationReport report = VerifyEngine(EngineVersion::kV4, SmallVerificationZone());
+  EXPECT_TRUE(report.verified) << report.ToString();
+}
+
+
+TEST(PathCoverage, GoldenPathsPartitionTheInputSpace) {
+  VerifyOptions options;
+  options.check_path_coverage = true;
+  VerificationReport report =
+      VerifyEngine(EngineVersion::kGolden, SmallVerificationZone(), options);
+  EXPECT_TRUE(report.verified) << report.ToString();
+  EXPECT_TRUE(report.path_coverage_checked);
+}
+
+
+TEST(VerifyWithSummaries, DevRuntimeErrorStillFound) {
+  VerifyOptions options;
+  options.use_summaries = true;
+  VerificationReport report = VerifyEngine(EngineVersion::kDev, DelegationZone(), options);
+  ASSERT_FALSE(report.aborted) << report.abort_reason;
+  ASSERT_FALSE(report.verified);
+  bool found_safety = false;
+  for (const VerificationIssue& issue : report.issues) {
+    found_safety = found_safety || issue.kind == VerificationIssue::Kind::kSafety;
+  }
+  EXPECT_TRUE(found_safety) << report.ToString();
+}
+
+TEST(VerifyEngine, RejectsInvalidZoneGracefully) {
+  ZoneConfig no_soa;
+  no_soa.origin = DnsName::Parse("bad.test").value();
+  VerificationReport report = VerifyEngine(EngineVersion::kGolden, no_soa);
+  EXPECT_TRUE(report.aborted);
+  EXPECT_NE(report.abort_reason.find("SOA"), std::string::npos);
+}
+
+TEST(Layers, LayerTableMatchesFigure5) {
+  std::vector<LayerInfo> layers = EngineLayers(EngineVersion::kGolden);
+  // Yellow + blue + top.
+  std::vector<std::string> names;
+  for (const LayerInfo& layer : layers) {
+    names.push_back(layer.name);
+  }
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"Name", "NodeStack", "RRSet", "Response", "TreeSearch",
+                                      "Find", "Wildcard", "Additional", "Resolve"}));
+  // v1.0 predates the Additional layer.
+  EXPECT_EQ(EngineLayers(EngineVersion::kV1).size(), layers.size() - 1);
+}
+
+
+
+TEST(VerifyWithManualSpecs, RefinementDischargedAndSubstituted) {
+  VerifyOptions options;
+  options.use_manual_specs = true;
+  VerificationReport report =
+      VerifyEngine(EngineVersion::kGolden, SmallVerificationZone(), options);
+  EXPECT_TRUE(report.verified) << report.ToString();
+  EXPECT_EQ(report.manual_specs_verified, 1);
+  EXPECT_GT(report.spec_substitutions, 0) << "nameEq call sites should use the abstract spec";
+}
+
+TEST(VerifyWithManualSpecs, V1BugsStillFoundUnderSpecSubstitution) {
+  VerifyOptions options;
+  options.use_manual_specs = true;
+  options.use_summaries = true;  // both Fig.-6 branches at once
+  VerificationReport report =
+      VerifyEngine(EngineVersion::kV1, SmallVerificationZone(), options);
+  ASSERT_FALSE(report.aborted) << report.abort_reason;
+  ASSERT_FALSE(report.verified);
+  for (const VerificationIssue& issue : report.issues) {
+    EXPECT_TRUE(issue.confirmed) << issue.ToString();
+  }
+}
+
+// Property sweep: on randomly generated zones, the golden engine verifies
+// and monolithic vs summarization modes agree on the verdict and the number
+// of feasible paths (the ablation soundness check, run per CI).
+class RandomZoneVerify : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomZoneVerify, GoldenVerifiesBothModes) {
+  ZoneGenOptions gen_options;
+  gen_options.max_names = 3;  // compact zones keep symbolic execution fast
+  gen_options.max_depth = 2;
+  ZoneConfig zone = GenerateZone(GetParam(), gen_options);
+  VerifyOptions mono_options;
+  VerificationReport mono = VerifyEngine(EngineVersion::kGolden, zone, mono_options);
+  ASSERT_FALSE(mono.aborted) << mono.abort_reason << "\n" << zone.ToText();
+  EXPECT_TRUE(mono.verified) << mono.ToString() << zone.ToText();
+  VerifyOptions summary_options;
+  summary_options.use_summaries = true;
+  VerificationReport summ = VerifyEngine(EngineVersion::kGolden, zone, summary_options);
+  ASSERT_FALSE(summ.aborted) << summ.abort_reason;
+  EXPECT_EQ(mono.verified, summ.verified);
+  EXPECT_EQ(mono.engine_paths, summ.engine_paths)
+      << "summaries must preserve the feasible path set";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomZoneVerify,
+                         ::testing::Values(uint64_t{3}, uint64_t{5}, uint64_t{8},
+                                           uint64_t{13}));
+
+TEST(VerifyV3, FindsEntWildcardBugWithClassification) {
+  ZoneConfig zone = ParseZoneText(R"(
+$ORIGIN e.test.
+@        SOA ns 1
+@        NS  ns.e.test.
+ns       A   192.0.2.1
+*        TXT 9
+deep.box A   192.0.2.2
+)").value();
+  VerificationReport report = VerifyEngine(EngineVersion::kV3, zone);
+  ASSERT_FALSE(report.verified) << report.ToString();
+  bool classified = false;
+  for (const VerificationIssue& issue : report.issues) {
+    classified = classified || issue.classification.find("Wrong Answer") != std::string::npos;
+  }
+  EXPECT_TRUE(classified) << report.ToString();
+}
+
+TEST(VerifyReport, ToStringContainsCounterexample) {
+  ZoneConfig zone = ParseZoneText(R"(
+$ORIGIN r.test.
+@   SOA ns 1
+@   NS  ns.r.test.
+ns  A   192.0.2.1
+*   TXT 5
+)").value();
+  VerificationReport report = VerifyEngine(EngineVersion::kV1, zone);
+  ASSERT_FALSE(report.verified);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("counterexample:"), std::string::npos);
+  EXPECT_NE(text.find("confirmed on the concrete interpreter"), std::string::npos);
+}
+
+TEST(Layers, MeasureLayerTimesProducesSaneRows) {
+  ZoneConfig zone = ParseZoneText(R"(
+$ORIGIN m.test.
+@   SOA ns 1
+@   NS  ns.m.test.
+ns  A   192.0.2.1
+www A   192.0.2.2
+)").value();
+  std::vector<LayerTiming> timings = MeasureLayerTimes(EngineVersion::kGolden, zone);
+  ASSERT_EQ(timings.size(), EngineLayers(EngineVersion::kGolden).size());
+  for (const LayerTiming& timing : timings) {
+    EXPECT_TRUE(timing.ok) << timing.layer << ": " << timing.note;
+    EXPECT_GE(timing.seconds, 0.0);
+    if (timing.layer != "Response" && timing.layer != "Additional") {
+      EXPECT_GT(timing.paths, 0) << timing.layer;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,250 @@
+// Behavioral tests of the golden engine over the concrete interpreter:
+// every RFC-1034 resolution scenario the paper's engine supports.
+#include <gtest/gtest.h>
+
+#include "src/dns/example_zones.h"
+#include "src/engine/engine.h"
+
+namespace dnsv {
+namespace {
+
+class GoldenEngineTest : public ::testing::Test {
+ protected:
+  void Load(const ZoneConfig& zone) {
+    auto server = AuthoritativeServer::Create(EngineVersion::kGolden, zone);
+    ASSERT_TRUE(server.ok()) << server.error();
+    server_ = std::move(server).value();
+  }
+
+  ResponseView Query(const std::string& qname, RrType qtype) {
+    QueryResult result = server_->Query(DnsName::Parse(qname).value(), qtype);
+    EXPECT_FALSE(result.panicked) << result.panic_message;
+    return result.response;
+  }
+
+  std::unique_ptr<AuthoritativeServer> server_;
+};
+
+TEST_F(GoldenEngineTest, ExactMatchA) {
+  Load(Figure11Zone());
+  ResponseView resp = Query("www.example.com", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.aa);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  EXPECT_EQ(resp.answer[0].name, "www.example.com");
+  EXPECT_EQ(resp.answer[0].ToString(), "www.example.com A 192.0.2.10");
+  EXPECT_TRUE(resp.authority.empty());
+  EXPECT_TRUE(resp.additional.empty());
+}
+
+TEST_F(GoldenEngineTest, MultipleRecordsInAnswer) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("www.example.com", RrType::kA);
+  ASSERT_EQ(resp.answer.size(), 2u);
+  EXPECT_EQ(resp.answer[0].rdata_value & 0xff, 10);
+  EXPECT_EQ(resp.answer[1].rdata_value & 0xff, 11);
+}
+
+TEST_F(GoldenEngineTest, NxDomain) {
+  Load(Figure11Zone());
+  ResponseView resp = Query("missing.example.com", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(resp.aa);
+  EXPECT_TRUE(resp.answer.empty());
+  ASSERT_EQ(resp.authority.size(), 1u);
+  EXPECT_EQ(resp.authority[0].type, RrType::kSoa);
+}
+
+TEST_F(GoldenEngineTest, NoDataForMissingType) {
+  Load(Figure11Zone());
+  ResponseView resp = Query("www.example.com", RrType::kTxt);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.aa);
+  EXPECT_TRUE(resp.answer.empty());
+  ASSERT_EQ(resp.authority.size(), 1u);
+  EXPECT_EQ(resp.authority[0].type, RrType::kSoa);
+}
+
+TEST_F(GoldenEngineTest, EmptyNonTerminalIsNoDataNotNxDomain) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("ent.example.com", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);  // the name exists structurally
+  EXPECT_TRUE(resp.answer.empty());
+  ASSERT_EQ(resp.authority.size(), 1u);
+  EXPECT_EQ(resp.authority[0].type, RrType::kSoa);
+}
+
+TEST_F(GoldenEngineTest, RefusedOutsideZone) {
+  Load(Figure11Zone());
+  ResponseView resp = Query("www.other.org", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kRefused);
+  EXPECT_FALSE(resp.aa);
+  EXPECT_TRUE(resp.answer.empty());
+}
+
+TEST_F(GoldenEngineTest, ApexSoaAndNsQueries) {
+  Load(KitchenSinkZone());
+  ResponseView soa = Query("example.com", RrType::kSoa);
+  ASSERT_EQ(soa.answer.size(), 1u);
+  EXPECT_EQ(soa.answer[0].type, RrType::kSoa);
+  ResponseView ns = Query("example.com", RrType::kNs);
+  ASSERT_EQ(ns.answer.size(), 2u);
+  // Apex NS answers get glue for in-zone nameservers.
+  ASSERT_EQ(ns.additional.size(), 3u);  // ns1 A, ns1 AAAA, ns2 A
+  EXPECT_EQ(ns.additional[0].ToString(), "ns1.example.com A 192.0.2.1");
+  EXPECT_EQ(ns.additional[1].type, RrType::kAaaa);
+  EXPECT_EQ(ns.additional[2].ToString(), "ns2.example.com A 192.0.2.2");
+}
+
+TEST_F(GoldenEngineTest, WildcardSynthesis) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("host.dyn.example.com", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.aa);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  // Synthesized: owner rewritten to the query name.
+  EXPECT_EQ(resp.answer[0].name, "host.dyn.example.com");
+  EXPECT_EQ(resp.answer[0].rdata_value & 0xff, 99);
+}
+
+TEST_F(GoldenEngineTest, WildcardMatchesMultipleLabels) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("a.b.dyn.example.com", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  EXPECT_EQ(resp.answer[0].name, "a.b.dyn.example.com");
+}
+
+TEST_F(GoldenEngineTest, WildcardDoesNotOverrideExistingName) {
+  Load(KitchenSinkZone());
+  // dyn.example.com itself exists (as an ENT above the wildcard): NODATA.
+  ResponseView resp = Query("dyn.example.com", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.answer.empty());
+}
+
+TEST_F(GoldenEngineTest, WildcardMxGetsGlue) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("x.dyn.example.com", RrType::kMx);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  EXPECT_EQ(resp.answer[0].name, "x.dyn.example.com");
+  EXPECT_EQ(resp.answer[0].rdata_name, "mail.example.com");
+  ASSERT_EQ(resp.additional.size(), 1u);
+  EXPECT_EQ(resp.additional[0].ToString(), "mail.example.com A 192.0.2.25");
+}
+
+TEST_F(GoldenEngineTest, DirectWildcardQuery) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("*.dyn.example.com", RrType::kA);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  EXPECT_EQ(resp.answer[0].name, "*.dyn.example.com");
+}
+
+TEST_F(GoldenEngineTest, ReferralWithGlue) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("deep.sub.example.com", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  EXPECT_FALSE(resp.aa);  // not authoritative below the cut
+  EXPECT_TRUE(resp.answer.empty());
+  ASSERT_EQ(resp.authority.size(), 2u);
+  EXPECT_EQ(resp.authority[0].type, RrType::kNs);
+  ASSERT_EQ(resp.additional.size(), 2u);
+  EXPECT_EQ(resp.additional[0].ToString(), "ns1.sub.example.com A 192.0.2.51");
+  EXPECT_EQ(resp.additional[1].ToString(), "ns2.sub.example.com A 192.0.2.52");
+}
+
+TEST_F(GoldenEngineTest, QueryAtTheCutIsAlsoReferral) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("sub.example.com", RrType::kA);
+  EXPECT_FALSE(resp.aa);
+  EXPECT_TRUE(resp.answer.empty());
+  EXPECT_EQ(resp.authority.size(), 2u);
+}
+
+TEST_F(GoldenEngineTest, CnameChainFollowed) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("chain.example.com", RrType::kA);
+  ASSERT_EQ(resp.answer.size(), 4u);  // chain CNAME, alias CNAME, 2x www A
+  EXPECT_EQ(resp.answer[0].type, RrType::kCname);
+  EXPECT_EQ(resp.answer[0].rdata_name, "alias.example.com");
+  EXPECT_EQ(resp.answer[1].type, RrType::kCname);
+  EXPECT_EQ(resp.answer[1].rdata_name, "www.example.com");
+  EXPECT_EQ(resp.answer[2].type, RrType::kA);
+  EXPECT_EQ(resp.answer[3].type, RrType::kA);
+}
+
+TEST_F(GoldenEngineTest, CnameQtypeReturnsCnameItself) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("alias.example.com", RrType::kCname);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  EXPECT_EQ(resp.answer[0].type, RrType::kCname);
+}
+
+TEST_F(GoldenEngineTest, MxAnswerWithAdditional) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("example.com", RrType::kMx);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  EXPECT_EQ(resp.answer[0].type, RrType::kMx);
+  ASSERT_EQ(resp.additional.size(), 1u);
+  EXPECT_EQ(resp.additional[0].name, "mail.example.com");
+}
+
+TEST_F(GoldenEngineTest, AnyQueryReturnsAllTypes) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("www.example.com", RrType::kAny);
+  ASSERT_EQ(resp.answer.size(), 3u);  // A, A, TXT in canonical order
+  EXPECT_EQ(resp.answer[0].type, RrType::kA);
+  EXPECT_EQ(resp.answer[1].type, RrType::kA);
+  EXPECT_EQ(resp.answer[2].type, RrType::kTxt);
+}
+
+TEST_F(GoldenEngineTest, AnyAtEntIsNoData) {
+  Load(KitchenSinkZone());
+  ResponseView resp = Query("ent.example.com", RrType::kAny);
+  EXPECT_TRUE(resp.answer.empty());
+  ASSERT_EQ(resp.authority.size(), 1u);
+  EXPECT_EQ(resp.authority[0].type, RrType::kSoa);
+}
+
+TEST_F(GoldenEngineTest, NamesAreCaseInsensitive) {
+  Load(Figure11Zone());
+  ResponseView resp = Query("WWW.Example.COM", RrType::kA);
+  ASSERT_EQ(resp.answer.size(), 1u);
+}
+
+TEST_F(GoldenEngineTest, QueryBelowExistingLeafIsNxDomain) {
+  Load(Figure11Zone());
+  ResponseView resp = Query("deeper.www.example.com", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNxDomain);
+}
+
+
+TEST_F(GoldenEngineTest, V4AnswersMetaQueriesNotImp) {
+  // v4.0's feature iteration: AXFR/IXFR/MAILB/MAILA get NOTIMP; everything
+  // else behaves like golden, and the adapted spec agrees.
+  auto server =
+      std::move(AuthoritativeServer::Create(EngineVersion::kV4, KitchenSinkZone()).value());
+  DnsName qname = DnsName::Parse("www.example.com").value();
+  for (int64_t meta = 251; meta <= 254; ++meta) {
+    QueryResult impl = server->Query(qname, static_cast<RrType>(meta));
+    QueryResult spec = server->QuerySpec(qname, static_cast<RrType>(meta));
+    ASSERT_FALSE(impl.panicked);
+    EXPECT_EQ(impl.response.rcode, Rcode::kNotImp);
+    EXPECT_TRUE(impl.response.answer.empty());
+    EXPECT_EQ(impl.response, spec.response);
+  }
+  // Ordinary and ANY queries still resolve.
+  EXPECT_EQ(server->Query(qname, RrType::kA).response.rcode, Rcode::kNoError);
+  EXPECT_EQ(server->Query(qname, RrType::kAny).response.answer.size(), 3u);
+}
+
+TEST_F(GoldenEngineTest, AllVersionsCompile) {
+  for (EngineVersion version : AllEngineVersions()) {
+    std::unique_ptr<CompiledEngine> engine = CompiledEngine::Compile(version);
+    EXPECT_NE(engine->module().GetFunction("resolve"), nullptr)
+        << EngineVersionName(version);
+  }
+}
+
+}  // namespace
+}  // namespace dnsv

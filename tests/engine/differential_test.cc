@@ -1,0 +1,84 @@
+// Differential testing: the golden engine must agree with the executable
+// specification on every (zone, qname, qtype) probe — example zones plus a
+// parameterized sweep over randomly generated zones (paper §6.5's workload,
+// run concretely as the oracle for the verifier).
+#include <gtest/gtest.h>
+
+#include "src/dns/example_zones.h"
+#include "src/engine/engine.h"
+#include "src/zonegen/zonegen.h"
+
+namespace dnsv {
+namespace {
+
+// Runs the full probe matrix for one zone; returns the number of probes.
+int ExpectEngineMatchesSpec(EngineVersion version, const ZoneConfig& zone, uint64_t seed) {
+  auto server_result = AuthoritativeServer::Create(version, zone);
+  EXPECT_TRUE(server_result.ok()) << server_result.error();
+  auto server = std::move(server_result).value();
+  int probes = 0;
+  for (const DnsName& qname : InterestingQueryNames(server->zone(), seed)) {
+    for (RrType qtype : AllQueryTypes()) {
+      QueryResult impl = server->Query(qname, qtype);
+      QueryResult spec = server->QuerySpec(qname, qtype);
+      EXPECT_FALSE(spec.panicked)
+          << "spec panicked on " << qname.ToString() << ": " << spec.panic_message;
+      EXPECT_FALSE(impl.panicked)
+          << "engine panicked on " << qname.ToString() << ": " << impl.panic_message;
+      if (!impl.panicked && !spec.panicked) {
+        EXPECT_EQ(impl.response, spec.response)
+            << "divergence on " << qname.ToString() << " " << RrTypeName(qtype)
+            << "\nzone:\n" << server->zone().ToText() << "impl:\n"
+            << impl.response.ToString() << "spec:\n" << spec.response.ToString();
+      }
+      ++probes;
+    }
+  }
+  return probes;
+}
+
+TEST(DifferentialGolden, ExampleZones) {
+  EXPECT_GT(ExpectEngineMatchesSpec(EngineVersion::kGolden, Figure11Zone(), 1), 100);
+  EXPECT_GT(ExpectEngineMatchesSpec(EngineVersion::kGolden, KitchenSinkZone(), 2), 200);
+  EXPECT_GT(ExpectEngineMatchesSpec(EngineVersion::kGolden, QuickstartZone(), 3), 50);
+  EXPECT_GT(ExpectEngineMatchesSpec(EngineVersion::kGolden, BugHuntZone(), 4), 100);
+}
+
+// Property sweep over random zones (paper: "scripts to randomly generate
+// thousands of zone configurations" — a slice of that runs in CI).
+class RandomZoneDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomZoneDifferential, GoldenMatchesSpec) {
+  ZoneConfig zone = GenerateZone(GetParam());
+  ExpectEngineMatchesSpec(EngineVersion::kGolden, zone, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomZoneDifferential, ::testing::Range(uint64_t{0},
+                                                                          uint64_t{25}));
+
+// Buggy versions must diverge from the spec somewhere on the bug-hunt zone —
+// the differential oracle is sensitive enough to catch every seeded bug.
+class BuggyVersionDiverges : public ::testing::TestWithParam<EngineVersion> {};
+
+TEST_P(BuggyVersionDiverges, OnBugHuntZone) {
+  auto server = std::move(AuthoritativeServer::Create(GetParam(), BugHuntZone()).value());
+  int divergences = 0;
+  for (const DnsName& qname : InterestingQueryNames(server->zone(), 7)) {
+    for (RrType qtype : AllQueryTypes()) {
+      QueryResult impl = server->Query(qname, qtype);
+      QueryResult spec = server->QuerySpec(qname, qtype);
+      if (impl.panicked || spec.panicked || impl.response != spec.response) {
+        ++divergences;
+      }
+    }
+  }
+  EXPECT_GT(divergences, 0) << EngineVersionName(GetParam())
+                            << " should diverge from its spec on the bug-hunt zone";
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, BuggyVersionDiverges,
+                         ::testing::Values(EngineVersion::kV1, EngineVersion::kV2,
+                                           EngineVersion::kV3, EngineVersion::kDev));
+
+}  // namespace
+}  // namespace dnsv

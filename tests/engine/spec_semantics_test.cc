@@ -1,0 +1,201 @@
+// Direct unit tests of the top-level specification rrlookup (paper Fig. 9),
+// executed concretely. These pin down the *specification's* semantics
+// independently of any engine version, so a regression in the spec cannot
+// hide behind a matching regression in the engine.
+#include <gtest/gtest.h>
+
+#include "src/dns/example_zones.h"
+#include "src/engine/engine.h"
+
+namespace dnsv {
+namespace {
+
+class SpecSemanticsTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& zone_text, EngineVersion version = EngineVersion::kGolden) {
+    ZoneConfig zone = ParseZoneText(zone_text).value();
+    auto server = AuthoritativeServer::Create(version, zone);
+    ASSERT_TRUE(server.ok()) << server.error();
+    server_ = std::move(server).value();
+  }
+
+  ResponseView Spec(const std::string& qname, RrType qtype) {
+    QueryResult result = server_->QuerySpec(DnsName::Parse(qname).value(), qtype);
+    EXPECT_FALSE(result.panicked) << result.panic_message;
+    return result.response;
+  }
+
+  std::unique_ptr<AuthoritativeServer> server_;
+};
+
+constexpr char kSpecZone[] = R"(
+$ORIGIN spec.test.
+@        SOA   ns1 3
+@        NS    ns1.spec.test.
+@        MX    10 mail
+ns1      A     192.0.2.1
+mail     A     192.0.2.25
+www      A     192.0.2.80
+www      AAAA  99
+alias    CNAME www
+*.w      A     192.0.2.90
+child    NS    ns1.child.spec.test.
+ns1.child A    192.0.2.51
+a.b.c    TXT   5
+)";
+
+TEST_F(SpecSemanticsTest, ExactMatchSelectsOnlyMatchingType) {
+  Load(kSpecZone);
+  ResponseView resp = Spec("www.spec.test", RrType::kAaaa);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.aa);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  EXPECT_EQ(resp.answer[0].type, RrType::kAaaa);
+}
+
+TEST_F(SpecSemanticsTest, AnyCollectsAllTypesInZoneOrder) {
+  Load(kSpecZone);
+  ResponseView resp = Spec("www.spec.test", RrType::kAny);
+  ASSERT_EQ(resp.answer.size(), 2u);
+  EXPECT_EQ(resp.answer[0].type, RrType::kA);
+  EXPECT_EQ(resp.answer[1].type, RrType::kAaaa);
+}
+
+TEST_F(SpecSemanticsTest, NodataCarriesSoaAuthorityOnly) {
+  Load(kSpecZone);
+  ResponseView resp = Spec("www.spec.test", RrType::kTxt);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.answer.empty());
+  ASSERT_EQ(resp.authority.size(), 1u);
+  EXPECT_EQ(resp.authority[0].type, RrType::kSoa);
+  EXPECT_TRUE(resp.additional.empty());
+}
+
+TEST_F(SpecSemanticsTest, NxdomainForMissingName) {
+  Load(kSpecZone);
+  ResponseView resp = Spec("missing.spec.test", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(resp.aa);
+  ASSERT_EQ(resp.authority.size(), 1u);
+  EXPECT_EQ(resp.authority[0].type, RrType::kSoa);
+}
+
+TEST_F(SpecSemanticsTest, EmptyNonTerminalsExistAtEveryDepth) {
+  Load(kSpecZone);
+  // a.b.c.spec.test creates ENTs at b.c and c.
+  EXPECT_EQ(Spec("c.spec.test", RrType::kA).rcode, Rcode::kNoError);
+  EXPECT_EQ(Spec("b.c.spec.test", RrType::kA).rcode, Rcode::kNoError);
+  EXPECT_TRUE(Spec("b.c.spec.test", RrType::kA).answer.empty());
+  EXPECT_EQ(Spec("x.c.spec.test", RrType::kA).rcode, Rcode::kNxDomain);
+}
+
+TEST_F(SpecSemanticsTest, WildcardSynthesizesOwnerName) {
+  Load(kSpecZone);
+  ResponseView resp = Spec("deep.host.w.spec.test", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  EXPECT_EQ(resp.answer[0].name, "deep.host.w.spec.test");
+}
+
+TEST_F(SpecSemanticsTest, WildcardDoesNotApplyWhenNameExists) {
+  Load(kSpecZone);
+  // w.spec.test exists as the wildcard's parent ENT -> NODATA, not synthesis.
+  ResponseView resp = Spec("w.spec.test", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.answer.empty());
+}
+
+TEST_F(SpecSemanticsTest, DelegationBeatsEverythingBelowTheCut) {
+  Load(kSpecZone);
+  ResponseView at_cut = Spec("child.spec.test", RrType::kA);
+  EXPECT_FALSE(at_cut.aa);
+  EXPECT_TRUE(at_cut.answer.empty());
+  ASSERT_EQ(at_cut.authority.size(), 1u);
+  EXPECT_EQ(at_cut.authority[0].type, RrType::kNs);
+  ASSERT_EQ(at_cut.additional.size(), 1u);  // glue for ns1.child
+  // Even the glue name itself is below the cut: referral.
+  ResponseView below = Spec("ns1.child.spec.test", RrType::kA);
+  EXPECT_TRUE(below.answer.empty());
+  EXPECT_EQ(below.authority.size(), 1u);
+}
+
+TEST_F(SpecSemanticsTest, CnameRestartsAtTarget) {
+  Load(kSpecZone);
+  ResponseView resp = Spec("alias.spec.test", RrType::kA);
+  ASSERT_EQ(resp.answer.size(), 2u);
+  EXPECT_EQ(resp.answer[0].type, RrType::kCname);
+  EXPECT_EQ(resp.answer[1].type, RrType::kA);
+  EXPECT_EQ(resp.answer[1].name, "www.spec.test");
+}
+
+TEST_F(SpecSemanticsTest, CnameNotChasedForCnameQtype) {
+  Load(kSpecZone);
+  ResponseView resp = Spec("alias.spec.test", RrType::kCname);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  EXPECT_EQ(resp.answer[0].type, RrType::kCname);
+}
+
+TEST_F(SpecSemanticsTest, MxAnswerGetsExchangeGlue) {
+  Load(kSpecZone);
+  ResponseView resp = Spec("spec.test", RrType::kMx);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  ASSERT_EQ(resp.additional.size(), 1u);
+  EXPECT_EQ(resp.additional[0].name, "mail.spec.test");
+}
+
+TEST_F(SpecSemanticsTest, OutOfZoneIsRefused) {
+  Load(kSpecZone);
+  ResponseView resp = Spec("www.other.test", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kRefused);
+  EXPECT_FALSE(resp.aa);
+}
+
+TEST_F(SpecSemanticsTest, QueryShorterThanOriginIsRefused) {
+  Load(kSpecZone);
+  ResponseView resp = Spec("test", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kRefused);
+}
+
+TEST_F(SpecSemanticsTest, CnameLoopTerminatesAtChaseBound) {
+  Load(R"(
+$ORIGIN loop.test.
+@   SOA   ns 1
+@   NS    ns.loop.test.
+ns  A     192.0.2.1
+a   CNAME b
+b   CNAME a
+)");
+  ResponseView resp = Spec("a.loop.test", RrType::kA);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  // 1 head link + MAX_CNAME_CHASE (8) chased links.
+  EXPECT_EQ(resp.answer.size(), 9u);
+  for (const RrView& rr : resp.answer) {
+    EXPECT_EQ(rr.type, RrType::kCname);
+  }
+}
+
+TEST_F(SpecSemanticsTest, V1SpecHasNoGlue) {
+  Load(kSpecZone, EngineVersion::kV1);
+  ResponseView resp = Spec("spec.test", RrType::kMx);
+  ASSERT_EQ(resp.answer.size(), 1u);
+  EXPECT_TRUE(resp.additional.empty());  // FEATURE_GLUE = 0 for the v1 era
+}
+
+TEST_F(SpecSemanticsTest, V4SpecAnswersMetaNotImp) {
+  Load(kSpecZone, EngineVersion::kV4);
+  ResponseView resp = Spec("www.spec.test", static_cast<RrType>(252));  // AXFR
+  EXPECT_EQ(resp.rcode, Rcode::kNotImp);
+  EXPECT_TRUE(resp.answer.empty());
+}
+
+TEST_F(SpecSemanticsTest, UnknownQtypeIsNodataNotError) {
+  Load(kSpecZone);
+  ResponseView resp = Spec("www.spec.test", static_cast<RrType>(77));
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.answer.empty());
+  ASSERT_EQ(resp.authority.size(), 1u);
+  EXPECT_EQ(resp.authority[0].type, RrType::kSoa);
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,105 @@
+#include "src/frontend/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsv {
+namespace {
+
+std::vector<Tok> Kinds(const std::string& source) {
+  Result<std::vector<Token>> result = LexMiniGo(source, "test.mg");
+  EXPECT_TRUE(result.ok()) << result.error();
+  std::vector<Tok> kinds;
+  for (const Token& tok : result.value()) {
+    kinds.push_back(tok.kind);
+  }
+  return kinds;
+}
+
+TEST(Lexer, KeywordsAndIdents) {
+  auto kinds = Kinds("func foo var x");
+  EXPECT_EQ(kinds, (std::vector<Tok>{Tok::kFunc, Tok::kIdent, Tok::kVar, Tok::kIdent,
+                                     Tok::kSemi, Tok::kEof}));
+}
+
+TEST(Lexer, AutomaticSemicolonAfterIdent) {
+  auto kinds = Kinds("x := 1\ny := 2\n");
+  EXPECT_EQ(kinds, (std::vector<Tok>{Tok::kIdent, Tok::kColonEq, Tok::kIntLit, Tok::kSemi,
+                                     Tok::kIdent, Tok::kColonEq, Tok::kIntLit, Tok::kSemi,
+                                     Tok::kEof}));
+}
+
+TEST(Lexer, NoSemicolonAfterOperator) {
+  auto kinds = Kinds("x +\n1");
+  EXPECT_EQ(kinds, (std::vector<Tok>{Tok::kIdent, Tok::kPlus, Tok::kIntLit, Tok::kSemi,
+                                     Tok::kEof}));
+}
+
+TEST(Lexer, SemicolonAfterClosingBrace) {
+  auto kinds = Kinds("if x { y }\nz");
+  // '}' triggers ASI at the newline; there is no implicit ';' inside the
+  // one-line block (the parser accepts a final statement without one).
+  EXPECT_EQ(kinds, (std::vector<Tok>{Tok::kIf, Tok::kIdent, Tok::kLBrace, Tok::kIdent,
+                                     Tok::kRBrace, Tok::kSemi, Tok::kIdent, Tok::kSemi,
+                                     Tok::kEof}));
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto kinds = Kinds("a == b != c <= d >= e && f || g");
+  EXPECT_EQ(kinds[1], Tok::kEq);
+  EXPECT_EQ(kinds[3], Tok::kNe);
+  EXPECT_EQ(kinds[5], Tok::kLe);
+  EXPECT_EQ(kinds[7], Tok::kGe);
+  EXPECT_EQ(kinds[9], Tok::kAndAnd);
+  EXPECT_EQ(kinds[11], Tok::kOrOr);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto kinds = Kinds("x // trailing comment\n/* block\ncomment */ y");
+  EXPECT_EQ(kinds, (std::vector<Tok>{Tok::kIdent, Tok::kSemi, Tok::kIdent, Tok::kSemi,
+                                     Tok::kEof}));
+}
+
+TEST(Lexer, IntLiteralValue) {
+  Result<std::vector<Token>> result = LexMiniGo("12345", "t.mg");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()[0].int_value, 12345);
+}
+
+TEST(Lexer, StringLiteralForPanic) {
+  Result<std::vector<Token>> result = LexMiniGo("panic(\"boom\")", "t.mg");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()[0].kind, Tok::kPanicKw);
+  EXPECT_EQ(result.value()[2].kind, Tok::kStringLit);
+  EXPECT_EQ(result.value()[2].text, "boom");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  Result<std::vector<Token>> result = LexMiniGo("x\n  y", "t.mg");
+  ASSERT_TRUE(result.ok());
+  const auto& tokens = result.value();
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  // tokens[1] is the inserted semicolon.
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(Lexer, RejectsUnterminatedBlockComment) {
+  Result<std::vector<Token>> result = LexMiniGo("/* never ends", "t.mg");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("unterminated"), std::string::npos);
+}
+
+TEST(Lexer, RejectsStrayCharacter) {
+  Result<std::vector<Token>> result = LexMiniGo("x @ y", "t.mg");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("unexpected character"), std::string::npos);
+}
+
+TEST(Lexer, RejectsBitwiseOr) {
+  Result<std::vector<Token>> result = LexMiniGo("a | b", "t.mg");
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,184 @@
+#include "src/frontend/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsv {
+namespace {
+
+ProgramAst MustParse(const std::string& source) {
+  Result<ProgramAst> result = ParseMiniGo(source, "test.mg");
+  EXPECT_TRUE(result.ok()) << result.error();
+  return std::move(result).value();
+}
+
+std::string ParseError(const std::string& source) {
+  Result<ProgramAst> result = ParseMiniGo(source, "test.mg");
+  EXPECT_FALSE(result.ok());
+  return result.ok() ? "" : result.error();
+}
+
+TEST(Parser, StructDecl) {
+  ProgramAst p = MustParse(R"(
+type TreeNode struct {
+  label int
+  left *TreeNode
+  right *TreeNode
+  down *TreeNode
+  rrsets []RRSet
+}
+)");
+  ASSERT_EQ(p.structs.size(), 1u);
+  EXPECT_EQ(p.structs[0].name, "TreeNode");
+  ASSERT_EQ(p.structs[0].fields.size(), 5u);
+  EXPECT_EQ(p.structs[0].fields[1].type->kind, TypeExpr::Kind::kPtr);
+  EXPECT_EQ(p.structs[0].fields[4].type->kind, TypeExpr::Kind::kList);
+}
+
+TEST(Parser, ConstDecl) {
+  ProgramAst p = MustParse("const NOMATCH = 0\nconst NEG = -5\n");
+  ASSERT_EQ(p.consts.size(), 2u);
+  EXPECT_EQ(p.consts[0].name, "NOMATCH");
+  EXPECT_EQ(p.consts[0].value, 0);
+  EXPECT_EQ(p.consts[1].value, -5);
+}
+
+TEST(Parser, FuncWithParamsAndReturn) {
+  ProgramAst p = MustParse("func compare(a []int, b []int) int { return 0 }");
+  ASSERT_EQ(p.funcs.size(), 1u);
+  EXPECT_EQ(p.funcs[0].name, "compare");
+  EXPECT_EQ(p.funcs[0].params.size(), 2u);
+  ASSERT_NE(p.funcs[0].return_type, nullptr);
+  EXPECT_EQ(p.funcs[0].return_type->name, "int");
+}
+
+TEST(Parser, VoidFunc) {
+  ProgramAst p = MustParse("func f() { }");
+  EXPECT_EQ(p.funcs[0].return_type, nullptr);
+}
+
+TEST(Parser, IfElseChain) {
+  ProgramAst p = MustParse(R"(
+func f(x int) int {
+  if x == 0 {
+    return 1
+  } else if x == 1 {
+    return 2
+  } else {
+    return 3
+  }
+}
+)");
+  const Stmt& if_stmt = *p.funcs[0].body[0];
+  EXPECT_EQ(if_stmt.kind, Stmt::Kind::kIf);
+  ASSERT_EQ(if_stmt.else_body.size(), 1u);
+  EXPECT_EQ(if_stmt.else_body[0]->kind, Stmt::Kind::kIf);
+}
+
+TEST(Parser, ThreePartFor) {
+  ProgramAst p = MustParse(R"(
+func f(n int) int {
+  s := 0
+  for i := 0; i < n; i = i + 1 {
+    s = s + i
+  }
+  return s
+}
+)");
+  const Stmt& loop = *p.funcs[0].body[1];
+  EXPECT_EQ(loop.kind, Stmt::Kind::kFor);
+  EXPECT_NE(loop.for_init, nullptr);
+  EXPECT_NE(loop.cond, nullptr);
+  EXPECT_NE(loop.for_post, nullptr);
+}
+
+TEST(Parser, ConditionOnlyFor) {
+  ProgramAst p = MustParse("func f(n int) { for n > 0 { n = n - 1 } }");
+  const Stmt& loop = *p.funcs[0].body[0];
+  EXPECT_EQ(loop.for_init, nullptr);
+  EXPECT_NE(loop.cond, nullptr);
+  EXPECT_EQ(loop.for_post, nullptr);
+}
+
+TEST(Parser, InfiniteFor) {
+  ProgramAst p = MustParse("func f() { for { break } }");
+  const Stmt& loop = *p.funcs[0].body[0];
+  EXPECT_EQ(loop.cond, nullptr);
+  EXPECT_EQ(loop.body[0]->kind, Stmt::Kind::kBreak);
+}
+
+TEST(Parser, PrecedenceAndAssociativity) {
+  ProgramAst p = MustParse("func f(a int, b int, c int) bool { return a + b * c == a && true }");
+  // ((a + (b*c)) == a) && true
+  const Expr& root = *p.funcs[0].body[0]->init;
+  EXPECT_EQ(root.op, Tok::kAndAnd);
+  EXPECT_EQ(root.lhs->op, Tok::kEq);
+  EXPECT_EQ(root.lhs->lhs->op, Tok::kPlus);
+  EXPECT_EQ(root.lhs->lhs->rhs->op, Tok::kStar);
+}
+
+TEST(Parser, FieldIndexCallChains) {
+  ProgramAst p = MustParse("func f(n *TreeNode) int { return n.rrsets[0].rtype }");
+  const Expr& e = *p.funcs[0].body[0]->init;
+  EXPECT_EQ(e.kind, Expr::Kind::kField);
+  EXPECT_EQ(e.name, "rtype");
+  EXPECT_EQ(e.lhs->kind, Expr::Kind::kIndex);
+  EXPECT_EQ(e.lhs->lhs->kind, Expr::Kind::kField);
+}
+
+TEST(Parser, NewAndMake) {
+  ProgramAst p = MustParse("func f() { r := new(Response)\n l := make([]int)\n l2 := make([]int, 0) }");
+  EXPECT_EQ(p.funcs[0].body[0]->init->kind, Expr::Kind::kNew);
+  EXPECT_EQ(p.funcs[0].body[1]->init->kind, Expr::Kind::kMake);
+  EXPECT_EQ(p.funcs[0].body[2]->init->kind, Expr::Kind::kMake);
+}
+
+TEST(Parser, PanicStatement) {
+  ProgramAst p = MustParse("func f() { panic(\"unreachable\") }");
+  EXPECT_EQ(p.funcs[0].body[0]->kind, Stmt::Kind::kPanic);
+  EXPECT_EQ(p.funcs[0].body[0]->text, "unreachable");
+}
+
+TEST(Parser, IndexAssignment) {
+  ProgramAst p = MustParse("func f(s []int, i int, v int) { s[i] = v }");
+  const Stmt& assign = *p.funcs[0].body[0];
+  EXPECT_EQ(assign.kind, Stmt::Kind::kAssign);
+  EXPECT_EQ(assign.lhs->kind, Expr::Kind::kIndex);
+}
+
+TEST(Parser, RejectsAddressOf) {
+  std::string err = ParseError("func f() { x := &y }");
+  EXPECT_NE(err.find("address-of"), std::string::npos);
+}
+
+TEST(Parser, RejectsDeref) {
+  std::string err = ParseError("func f(p *T) int { return *p }");
+  EXPECT_NE(err.find("dereference"), std::string::npos);
+}
+
+TEST(Parser, RejectsColonEqOnField) {
+  std::string err = ParseError("func f(p *T) { p.x := 1 }");
+  EXPECT_NE(err.find("identifier"), std::string::npos);
+}
+
+TEST(Parser, RejectsMakeWithNonZeroLength) {
+  std::string err = ParseError("func f() { l := make([]int, 3) }");
+  EXPECT_NE(err.find("n == 0"), std::string::npos);
+}
+
+TEST(Parser, ErrorHasPosition) {
+  std::string err = ParseError("func f( {");
+  EXPECT_NE(err.find("test.mg:1:"), std::string::npos);
+}
+
+TEST(Parser, MultipleSourcesShareOnePackage) {
+  Result<ProgramAst> result = ParseMiniGoSources({
+      {"a.mg", "const A = 1\n"},
+      {"b.mg", "func useA() int { return A }"},
+  });
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().consts.size(), 1u);
+  EXPECT_EQ(result.value().funcs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,222 @@
+#include "src/frontend/typecheck.h"
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+
+namespace dnsv {
+namespace {
+
+Result<CheckedProgram> Check(const std::string& source, TypeTable* types) {
+  Result<ProgramAst> ast = ParseMiniGo(source, "test.mg");
+  EXPECT_TRUE(ast.ok()) << ast.error();
+  static std::vector<ProgramAst>* keep_alive = new std::vector<ProgramAst>();
+  keep_alive->push_back(std::move(ast).value());
+  return TypecheckMiniGo(&keep_alive->back(), types);
+}
+
+std::string CheckError(const std::string& source) {
+  TypeTable types;
+  Result<CheckedProgram> result = Check(source, &types);
+  EXPECT_FALSE(result.ok()) << "expected a type error";
+  return result.ok() ? "" : result.error();
+}
+
+void CheckOk(const std::string& source) {
+  TypeTable types;
+  Result<CheckedProgram> result = Check(source, &types);
+  EXPECT_TRUE(result.ok()) << result.error();
+}
+
+TEST(Typecheck, SimpleFunctionOk) {
+  CheckOk("func add(a int, b int) int { return a + b }");
+}
+
+TEST(Typecheck, StructAndFieldAccess) {
+  CheckOk(R"(
+type RR struct {
+  rtype int
+  rname []int
+}
+func getType(rr *RR) int { return rr.rtype }
+)");
+}
+
+TEST(Typecheck, CircularStructThroughPointerOk) {
+  CheckOk(R"(
+type TreeNode struct {
+  label int
+  down *TreeNode
+}
+func down(n *TreeNode) *TreeNode { return n.down }
+)");
+}
+
+TEST(Typecheck, RejectsStructByValueCycle) {
+  std::string err = CheckError("type A struct { b B }\ntype B struct { a A }\n");
+  EXPECT_NE(err.find("by value"), std::string::npos);
+}
+
+TEST(Typecheck, RejectsUnknownType) {
+  std::string err = CheckError("func f(x Unknown) { }");
+  EXPECT_NE(err.find("unknown type"), std::string::npos);
+}
+
+TEST(Typecheck, RejectsUndefinedVariable) {
+  std::string err = CheckError("func f() int { return missing }");
+  EXPECT_NE(err.find("undefined variable"), std::string::npos);
+}
+
+TEST(Typecheck, RejectsTypeMismatchAssign) {
+  std::string err = CheckError("func f() { var x int = true }");
+  EXPECT_NE(err.find("type mismatch"), std::string::npos);
+}
+
+TEST(Typecheck, RejectsBoolArithmetic) {
+  std::string err = CheckError("func f(a bool) bool { return a + a }");
+  EXPECT_NE(err.find("arithmetic requires int"), std::string::npos);
+}
+
+TEST(Typecheck, RejectsIntCondition) {
+  std::string err = CheckError("func f(x int) { if x { } }");
+  EXPECT_NE(err.find("must be bool"), std::string::npos);
+}
+
+TEST(Typecheck, NilOnlyForPointers) {
+  CheckOk(R"(
+type T struct { x int }
+func f(p *T) bool { return p == nil }
+)");
+  std::string err = CheckError("func f(x int) bool { return x == nil }");
+  EXPECT_NE(err.find("pointer"), std::string::npos);
+}
+
+TEST(Typecheck, NilAssignmentAdoptsPointerType) {
+  CheckOk(R"(
+type T struct { x int }
+func f() *T {
+  var p *T
+  p = nil
+  return p
+}
+)");
+}
+
+TEST(Typecheck, RejectsNilInference) {
+  std::string err = CheckError("func f() { p := nil }");
+  EXPECT_NE(err.find("infer"), std::string::npos);
+}
+
+TEST(Typecheck, ConstResolvesAsInt) {
+  CheckOk("const K = 7\nfunc f() int { return K + 1 }");
+}
+
+TEST(Typecheck, RejectsAssignToConst) {
+  std::string err = CheckError("const K = 7\nfunc f() { K = 8 }");
+  EXPECT_NE(err.find("constant"), std::string::npos);
+}
+
+TEST(Typecheck, BuiltinLenAppend) {
+  CheckOk(R"(
+func f(s []int) []int {
+  if len(s) > 0 {
+    s = append(s, 1)
+  }
+  return s
+}
+)");
+}
+
+TEST(Typecheck, RejectsAppendTypeMismatch) {
+  std::string err = CheckError("func f(s []int) []int { return append(s, true) }");
+  EXPECT_NE(err.find("element type"), std::string::npos);
+}
+
+TEST(Typecheck, RejectsLenOnInt) {
+  std::string err = CheckError("func f(x int) int { return len(x) }");
+  EXPECT_NE(err.find("requires a slice"), std::string::npos);
+}
+
+TEST(Typecheck, ListEqBuiltin) {
+  CheckOk("func f(a []int, b []int) bool { return listEq(a, b) }");
+  std::string err = CheckError("func f(a []int, b []bool) bool { return listEq(a, b) }");
+  EXPECT_NE(err.find("same type"), std::string::npos);
+}
+
+TEST(Typecheck, RejectsSliceEqualityOperator) {
+  std::string err = CheckError("func f(a []int, b []int) bool { return a == b }");
+  EXPECT_NE(err.find("listEq"), std::string::npos);
+}
+
+TEST(Typecheck, CallChecksArityAndTypes) {
+  std::string err = CheckError(R"(
+func g(x int) int { return x }
+func f() int { return g(1, 2) }
+)");
+  EXPECT_NE(err.find("expects 1"), std::string::npos);
+  err = CheckError(R"(
+func g(x int) int { return x }
+func f() int { return g(true) }
+)");
+  EXPECT_NE(err.find("expected int"), std::string::npos);
+}
+
+TEST(Typecheck, RejectsBreakOutsideLoop) {
+  std::string err = CheckError("func f() { break }");
+  EXPECT_NE(err.find("outside a loop"), std::string::npos);
+}
+
+TEST(Typecheck, RejectsRedeclarationInSameScope) {
+  std::string err = CheckError("func f() { x := 1\nx := 2 }");
+  EXPECT_NE(err.find("redeclared"), std::string::npos);
+}
+
+TEST(Typecheck, ShadowingInNestedScopeOk) {
+  CheckOk("func f() int { x := 1\nif true { x := 2\nx = x + 1 }\nreturn x }");
+}
+
+TEST(Typecheck, RejectsVoidValueUse) {
+  std::string err = CheckError(R"(
+func g() { }
+func f() { x := g() }
+)");
+  EXPECT_NE(err.find("void"), std::string::npos);
+}
+
+TEST(Typecheck, RejectsRedefiningBuiltin) {
+  std::string err = CheckError("func len(s []int) int { return 0 }");
+  EXPECT_NE(err.find("builtin"), std::string::npos);
+}
+
+TEST(Typecheck, ForLoopInitScope) {
+  CheckOk(R"(
+func f(n int) int {
+  s := 0
+  for i := 0; i < n; i = i + 1 {
+    s = s + i
+  }
+  for i := 0; i < n; i = i + 1 {
+    s = s - i
+  }
+  return s
+}
+)");
+}
+
+TEST(Typecheck, AutoDerefAnnotation) {
+  TypeTable types;
+  Result<ProgramAst> ast = ParseMiniGo(R"(
+type T struct { x int }
+func f(p *T, v T) int { return p.x + v.x }
+)", "t.mg");
+  ASSERT_TRUE(ast.ok());
+  ProgramAst program = std::move(ast).value();
+  Result<CheckedProgram> checked = TypecheckMiniGo(&program, &types);
+  ASSERT_TRUE(checked.ok()) << checked.error();
+  const Expr& sum = *program.funcs[0].body[0]->init;
+  EXPECT_TRUE(sum.lhs->base_needs_deref);   // p.x
+  EXPECT_FALSE(sum.rhs->base_needs_deref);  // v.x
+}
+
+}  // namespace
+}  // namespace dnsv

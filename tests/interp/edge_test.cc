@@ -1,0 +1,215 @@
+// Edge-case tests of MiniGo semantics through the full pipeline: nested
+// aggregates, recursion limits, scoping corners, and Go-value-semantics
+// subtleties that the engine relies on.
+#include <gtest/gtest.h>
+
+#include "src/frontend/frontend.h"
+#include "src/interp/interp.h"
+
+namespace dnsv {
+namespace {
+
+class EdgeTest : public ::testing::Test {
+ protected:
+  ExecOutcome Run(const std::string& source, const std::string& fn,
+                  const std::vector<Value>& args) {
+    types_ = std::make_unique<TypeTable>();
+    module_ = std::make_unique<Module>(types_.get());
+    Result<CompileOutput> compiled = CompileMiniGo({{"test.mg", source}}, module_.get());
+    EXPECT_TRUE(compiled.ok()) << compiled.error();
+    memory_ = std::make_unique<ConcreteMemory>();
+    Interpreter interp(module_.get(), memory_.get());
+    return interp.Run(*module_->GetFunction(fn), args);
+  }
+
+  int64_t RunInt(const std::string& source, const std::string& fn,
+                 const std::vector<Value>& args) {
+    ExecOutcome outcome = Run(source, fn, args);
+    EXPECT_TRUE(outcome.ok()) << outcome.panic_message;
+    return outcome.return_value.i;
+  }
+
+  std::unique_ptr<TypeTable> types_;
+  std::unique_ptr<Module> module_;
+  std::unique_ptr<ConcreteMemory> memory_;
+};
+
+TEST_F(EdgeTest, NestedLists) {
+  EXPECT_EQ(RunInt(R"(
+func f() int {
+  grid := make([][]int)
+  for r := 0; r < 3; r = r + 1 {
+    row := make([]int)
+    for c := 0; c < 3; c = c + 1 {
+      row = append(row, r*3 + c)
+    }
+    grid = append(grid, row)
+  }
+  return grid[1][2] + grid[2][0]
+}
+)", "f", {}),
+            5 + 6);
+}
+
+TEST_F(EdgeTest, StructInStructByValue) {
+  EXPECT_EQ(RunInt(R"(
+type Inner struct { v int }
+type Outer struct { a Inner; b Inner }
+func f() int {
+  var o Outer
+  o.a.v = 3
+  o.b = o.a
+  o.a.v = 10
+  return o.b.v
+}
+)", "f", {}),
+            3);  // b received a copy
+}
+
+TEST_F(EdgeTest, RecursionDepthLimitTrapsCleanly) {
+  ExecOutcome outcome = Run(R"(
+func down(n int) int {
+  return down(n + 1)
+}
+)", "down", {Value::Int(0)});
+  ASSERT_EQ(outcome.kind, ExecOutcome::Kind::kPanicked);
+  EXPECT_NE(outcome.panic_message.find("call depth"), std::string::npos);
+}
+
+TEST_F(EdgeTest, ForInitVariableScopedPerLoop) {
+  EXPECT_EQ(RunInt(R"(
+func f() int {
+  total := 0
+  for i := 0; i < 3; i = i + 1 {
+    total = total + i
+  }
+  for i := 10; i < 13; i = i + 1 {
+    total = total + i
+  }
+  return total
+}
+)", "f", {}),
+            0 + 1 + 2 + 10 + 11 + 12);
+}
+
+TEST_F(EdgeTest, ShadowedVariableRestoredAfterBlock) {
+  EXPECT_EQ(RunInt(R"(
+func f() int {
+  x := 1
+  {
+    x := 100
+    x = x + 1
+  }
+  return x
+}
+)", "f", {}),
+            1);
+}
+
+TEST_F(EdgeTest, ListOfPointersTraversal) {
+  EXPECT_EQ(RunInt(R"(
+type Node struct { v int }
+func f() int {
+  nodes := make([]*Node, 0)
+  for i := 0; i < 4; i = i + 1 {
+    n := new(Node)
+    n.v = i * i
+    nodes = append(nodes, n)
+  }
+  nodes[2].v = 99
+  s := 0
+  for i := 0; i < len(nodes); i = i + 1 {
+    s = s + nodes[i].v
+  }
+  return s
+}
+)", "f", {}),
+            0 + 1 + 99 + 9);
+}
+
+TEST_F(EdgeTest, PointerAliasingThroughList) {
+  // Unlike lists (value semantics), pointers alias: mutating through one
+  // copy of the pointer is visible through the other.
+  EXPECT_EQ(RunInt(R"(
+type Node struct { v int }
+func f() int {
+  a := new(Node)
+  b := a
+  b.v = 42
+  return a.v
+}
+)", "f", {}),
+            42);
+}
+
+TEST_F(EdgeTest, NegativeNumbersAndUnaryMinus) {
+  EXPECT_EQ(RunInt("const NEG = -7\nfunc f(x int) int { return -x + NEG }", "f",
+                   {Value::Int(3)}),
+            -10);
+}
+
+TEST_F(EdgeTest, ListSetThroughIndexAssignment) {
+  EXPECT_EQ(RunInt(R"(
+func f() int {
+  xs := make([]int)
+  for i := 0; i < 5; i = i + 1 {
+    xs = append(xs, 0)
+  }
+  for i := 0; i < 5; i = i + 1 {
+    xs[i] = i * 2
+  }
+  return xs[4]
+}
+)", "f", {}),
+            8);
+}
+
+TEST_F(EdgeTest, WhileStyleLoopWithComplexCondition) {
+  EXPECT_EQ(RunInt(R"(
+func f(n int) int {
+  steps := 0
+  for n != 1 && steps < 100 {
+    if n % 2 == 0 {
+      n = n / 2
+    } else {
+      n = 3*n + 1
+    }
+    steps = steps + 1
+  }
+  return steps
+}
+)", "f", {Value::Int(6)}),
+            8);  // 6 -> 3 -> 10 -> 5 -> 16 -> 8 -> 4 -> 2 -> 1
+}
+
+TEST_F(EdgeTest, EarlyReturnInsideNestedLoops) {
+  EXPECT_EQ(RunInt(R"(
+func find(grid [][]int, needle int) int {
+  for r := 0; r < len(grid); r = r + 1 {
+    row := grid[r]
+    for c := 0; c < len(row); c = c + 1 {
+      if row[c] == needle {
+        return r * 100 + c
+      }
+    }
+  }
+  return -1
+}
+func f() int {
+  grid := make([][]int)
+  row0 := make([]int)
+  row0 = append(row0, 5)
+  row0 = append(row0, 6)
+  grid = append(grid, row0)
+  row1 := make([]int)
+  row1 = append(row1, 7)
+  row1 = append(row1, 8)
+  grid = append(grid, row1)
+  return find(grid, 8)
+}
+)", "f", {}),
+            101);
+}
+
+}  // namespace
+}  // namespace dnsv

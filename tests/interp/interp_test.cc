@@ -1,0 +1,374 @@
+// End-to-end pipeline tests: MiniGo source -> AbsIR -> concrete execution.
+#include "src/interp/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/frontend.h"
+
+namespace dnsv {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  // Compiles `source` and runs `fn` with `args`.
+  ExecOutcome Run(const std::string& source, const std::string& fn,
+                  const std::vector<Value>& args) {
+    types_ = std::make_unique<TypeTable>();
+    module_ = std::make_unique<Module>(types_.get());
+    Result<CompileOutput> compiled = CompileMiniGo({{"test.mg", source}}, module_.get());
+    EXPECT_TRUE(compiled.ok()) << compiled.error();
+    memory_ = std::make_unique<ConcreteMemory>();
+    Interpreter interp(module_.get(), memory_.get());
+    Function* function = module_->GetFunction(fn);
+    EXPECT_NE(function, nullptr);
+    return interp.Run(*function, args);
+  }
+
+  int64_t RunInt(const std::string& source, const std::string& fn,
+                 const std::vector<Value>& args) {
+    ExecOutcome outcome = Run(source, fn, args);
+    EXPECT_TRUE(outcome.ok()) << outcome.panic_message;
+    EXPECT_EQ(outcome.return_value.kind, Value::Kind::kInt);
+    return outcome.return_value.i;
+  }
+
+  std::unique_ptr<TypeTable> types_;
+  std::unique_ptr<Module> module_;
+  std::unique_ptr<ConcreteMemory> memory_;
+};
+
+TEST_F(PipelineTest, Arithmetic) {
+  EXPECT_EQ(RunInt("func f(a int, b int) int { return a*b + a - b/2 }", "f",
+                   {Value::Int(7), Value::Int(4)}),
+            7 * 4 + 7 - 2);
+}
+
+TEST_F(PipelineTest, GoDivModSemantics) {
+  EXPECT_EQ(RunInt("func f(a int, b int) int { return a / b }", "f",
+                   {Value::Int(-7), Value::Int(2)}),
+            -3);
+  EXPECT_EQ(RunInt("func f(a int, b int) int { return a % b }", "f",
+                   {Value::Int(-7), Value::Int(2)}),
+            -1);
+}
+
+TEST_F(PipelineTest, Recursion) {
+  EXPECT_EQ(RunInt(R"(
+func fib(n int) int {
+  if n < 2 {
+    return n
+  }
+  return fib(n-1) + fib(n-2)
+}
+)", "fib", {Value::Int(10)}),
+            55);
+}
+
+TEST_F(PipelineTest, LoopsAndBreakContinue) {
+  EXPECT_EQ(RunInt(R"(
+func f(n int) int {
+  s := 0
+  for i := 0; i < n; i = i + 1 {
+    if i % 2 == 0 {
+      continue
+    }
+    if i > 7 {
+      break
+    }
+    s = s + i
+  }
+  return s
+}
+)", "f", {Value::Int(100)}),
+            1 + 3 + 5 + 7);
+}
+
+TEST_F(PipelineTest, ShortCircuitDoesNotEvaluateRhs) {
+  // rhs would panic via division by zero if evaluated.
+  EXPECT_EQ(RunInt(R"(
+func f(x int) int {
+  if x > 0 || 1/x > 0 {
+    return 1
+  }
+  return 0
+}
+)", "f", {Value::Int(5)}),
+            1);
+}
+
+TEST_F(PipelineTest, ListBuildAndSum) {
+  EXPECT_EQ(RunInt(R"(
+func f(n int) int {
+  l := make([]int)
+  for i := 0; i < n; i = i + 1 {
+    l = append(l, i*i)
+  }
+  s := 0
+  for i := 0; i < len(l); i = i + 1 {
+    s = s + l[i]
+  }
+  return s
+}
+)", "f", {Value::Int(5)}),
+            0 + 1 + 4 + 9 + 16);
+}
+
+TEST_F(PipelineTest, ListEqBuiltin) {
+  EXPECT_EQ(RunInt(R"(
+func f() int {
+  a := make([]int)
+  a = append(a, 1)
+  a = append(a, 2)
+  b := make([]int)
+  b = append(b, 1)
+  b = append(b, 2)
+  if listEq(a, b) {
+    return 1
+  }
+  return 0
+}
+)", "f", {}),
+            1);
+}
+
+TEST_F(PipelineTest, StructsOnHeap) {
+  EXPECT_EQ(RunInt(R"(
+type Response struct {
+  rcode int
+  answers []int
+}
+func f() int {
+  r := new(Response)
+  r.rcode = 3
+  r.answers = append(r.answers, 10)
+  r.answers = append(r.answers, 20)
+  return r.rcode + r.answers[1]
+}
+)", "f", {}),
+            23);
+}
+
+TEST_F(PipelineTest, LinkedStructTraversal) {
+  EXPECT_EQ(RunInt(R"(
+type Node struct {
+  value int
+  next *Node
+}
+func f(n int) int {
+  var head *Node
+  for i := 0; i < n; i = i + 1 {
+    fresh := new(Node)
+    fresh.value = i
+    fresh.next = head
+    head = fresh
+  }
+  s := 0
+  cur := head
+  for cur != nil {
+    s = s + cur.value
+    cur = cur.next
+  }
+  return s
+}
+)", "f", {Value::Int(5)}),
+            0 + 1 + 2 + 3 + 4);
+}
+
+TEST_F(PipelineTest, ValueSemanticsOfStructLocals) {
+  // Copies do not alias — MiniGo structs/lists are value types.
+  EXPECT_EQ(RunInt(R"(
+type P struct { x int }
+func f() int {
+  var a P
+  a.x = 1
+  b := a
+  b.x = 99
+  return a.x
+}
+)", "f", {}),
+            1);
+}
+
+TEST_F(PipelineTest, CustomStackFromThePaper) {
+  // Figures 2/3: push stores at the level index, then increments it; the
+  // external isFull check reads the level field directly.
+  EXPECT_EQ(RunInt(R"(
+type Stack struct {
+  data []int
+  level int
+}
+func push(s *Stack, v int) {
+  s.data[s.level] = v
+  s.level = s.level + 1
+}
+func f() int {
+  s := new(Stack)
+  for i := 0; i < 8; i = i + 1 {
+    s.data = append(s.data, 0)
+  }
+  push(s, 5)
+  push(s, 7)
+  if s.level != 2 {
+    return -1
+  }
+  return s.data[0] * 100 + s.data[1]
+}
+)", "f", {}),
+            507);
+}
+
+TEST_F(PipelineTest, NilDereferencePanics) {
+  ExecOutcome outcome = Run(R"(
+type T struct { x int }
+func f(p *T) int { return p.x }
+)", "f", {Value::NullPtr()});
+  ASSERT_EQ(outcome.kind, ExecOutcome::Kind::kPanicked);
+  EXPECT_EQ(outcome.panic_message, "nil pointer dereference");
+}
+
+TEST_F(PipelineTest, IndexOutOfRangePanics) {
+  ExecOutcome outcome = Run(R"(
+func f(i int) int {
+  l := make([]int)
+  l = append(l, 1)
+  return l[i]
+}
+)", "f", {Value::Int(5)});
+  ASSERT_EQ(outcome.kind, ExecOutcome::Kind::kPanicked);
+  EXPECT_EQ(outcome.panic_message, "index out of range");
+}
+
+TEST_F(PipelineTest, NegativeIndexPanics) {
+  ExecOutcome outcome = Run(R"(
+func f(i int) int {
+  l := make([]int)
+  l = append(l, 1)
+  return l[i]
+}
+)", "f", {Value::Int(-1)});
+  ASSERT_EQ(outcome.kind, ExecOutcome::Kind::kPanicked);
+  EXPECT_EQ(outcome.panic_message, "index out of range");
+}
+
+TEST_F(PipelineTest, DivideByZeroPanics) {
+  ExecOutcome outcome = Run("func f(a int, b int) int { return a / b }", "f",
+                            {Value::Int(1), Value::Int(0)});
+  ASSERT_EQ(outcome.kind, ExecOutcome::Kind::kPanicked);
+  EXPECT_EQ(outcome.panic_message, "integer divide by zero");
+}
+
+TEST_F(PipelineTest, ExplicitPanic) {
+  ExecOutcome outcome = Run(R"(
+func f(x int) int {
+  if x == 42 {
+    panic("the answer")
+  }
+  return x
+}
+)", "f", {Value::Int(42)});
+  ASSERT_EQ(outcome.kind, ExecOutcome::Kind::kPanicked);
+  EXPECT_EQ(outcome.panic_message, "the answer");
+}
+
+TEST_F(PipelineTest, StepLimitStopsInfiniteLoop) {
+  ExecOutcome outcome = Run("func f() { for { } }", "f", {});
+  EXPECT_EQ(outcome.kind, ExecOutcome::Kind::kStepLimit);
+}
+
+TEST_F(PipelineTest, MissingReturnTrap) {
+  ExecOutcome outcome = Run("func f(x int) int { if x > 0 { return 1 } }", "f",
+                            {Value::Int(-5)});
+  ASSERT_EQ(outcome.kind, ExecOutcome::Kind::kPanicked);
+  EXPECT_EQ(outcome.panic_message, "missing return");
+}
+
+TEST_F(PipelineTest, ListOfStructs) {
+  EXPECT_EQ(RunInt(R"(
+type RR struct {
+  rtype int
+  value int
+}
+func f() int {
+  rrs := make([]RR)
+  var rr RR
+  rr.rtype = 1
+  rr.value = 100
+  rrs = append(rrs, rr)
+  rr.rtype = 28
+  rr.value = 200
+  rrs = append(rrs, rr)
+  s := 0
+  for i := 0; i < len(rrs); i = i + 1 {
+    if rrs[i].rtype == 28 {
+      s = s + rrs[i].value
+    }
+  }
+  return s
+}
+)", "f", {}),
+            200);
+}
+
+// Byte-level domain-name comparison from paper Fig. 4, exercised concretely.
+// Names are byte lists; labels separated by '.' (46); comparison walks from
+// the last byte.
+TEST_F(PipelineTest, CompareRawStyleLoop) {
+  const std::string source = R"(
+const NOMATCH = 0
+const EXACTMATCH = 1
+const PARTIALMATCH = 2
+func compareRaw(n1 []int, n2 []int) int {
+  i := len(n1) - 1
+  j := len(n2) - 1
+  matched := 0
+  for i >= 0 && j >= 0 {
+    if n1[i] != n2[j] {
+      if matched > 0 {
+        return PARTIALMATCH
+      }
+      return NOMATCH
+    }
+    if n1[i] == 46 {
+      matched = matched + 1
+    }
+    i = i - 1
+    j = j - 1
+  }
+  if i < 0 && j < 0 {
+    return EXACTMATCH
+  }
+  if j < 0 && n1[i] == 46 {
+    return PARTIALMATCH
+  }
+  if i < 0 && n2[j] == 46 {
+    return PARTIALMATCH
+  }
+  if matched > 0 {
+    return PARTIALMATCH
+  }
+  return NOMATCH
+}
+func harness(which int) int {
+  a := make([]int)
+  a = append(a, 119)  // w
+  a = append(a, 119)
+  a = append(a, 119)
+  a = append(a, 46)   // .
+  a = append(a, 99)   // c
+  b := make([]int)
+  b = append(b, 99)
+  if which == 0 {
+    return compareRaw(a, a)
+  }
+  if which == 1 {
+    return compareRaw(a, b)
+  }
+  return compareRaw(b, b)
+}
+)";
+  EXPECT_EQ(RunInt(source, "harness", {Value::Int(0)}), 1);  // EXACTMATCH
+  EXPECT_EQ(RunInt(source, "harness", {Value::Int(1)}), 2);  // suffix "c" after a dot
+}
+
+}  // namespace
+}  // namespace dnsv

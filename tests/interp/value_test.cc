@@ -1,0 +1,66 @@
+#include "src/interp/value.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsv {
+namespace {
+
+TEST(Value, EqualityBasics) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+  EXPECT_NE(Value::Int(1), Value::Bool(true));
+  EXPECT_EQ(Value::NullPtr(), Value::NullPtr());
+  EXPECT_NE(Value::Ptr(1), Value::NullPtr());
+  EXPECT_NE(Value::Ptr(1, {0}), Value::Ptr(1, {1}));
+}
+
+TEST(Value, AggregateEquality) {
+  Value a = Value::Struct({Value::Int(1), Value::List({Value::Int(2)})});
+  Value b = Value::Struct({Value::Int(1), Value::List({Value::Int(2)})});
+  EXPECT_EQ(a, b);
+  b.elems[1].elems.push_back(Value::Int(3));
+  EXPECT_NE(a, b);
+}
+
+TEST(Value, ToStringReadable) {
+  Value v = Value::Struct({Value::Int(7), Value::List({Value::Bool(true)}), Value::NullPtr()});
+  EXPECT_EQ(v.ToString(), "{7, [true], null}");
+  EXPECT_EQ(Value::Ptr(3, {1, 0}).ToString(), "&b3.1.0");
+}
+
+TEST(ZeroValue, AllKinds) {
+  TypeTable types;
+  Type node = types.StructType("Node");
+  types.DefineStruct("Node", {{"x", types.IntType()},
+                              {"flag", types.BoolType()},
+                              {"next", types.PtrTo(node)},
+                              {"labels", types.ListOf(types.IntType())}});
+  Value zero = ZeroValueOf(types, node);
+  ASSERT_EQ(zero.kind, Value::Kind::kStruct);
+  ASSERT_EQ(zero.elems.size(), 4u);
+  EXPECT_EQ(zero.elems[0], Value::Int(0));
+  EXPECT_EQ(zero.elems[1], Value::Bool(false));
+  EXPECT_TRUE(zero.elems[2].IsNullPtr());
+  EXPECT_EQ(zero.elems[3], Value::List());
+}
+
+TEST(ConcreteMemory, AllocAndResolve) {
+  ConcreteMemory memory;
+  BlockIndex b = memory.Alloc(Value::Struct({Value::Int(1), Value::List({Value::Int(5)})}));
+  ASSERT_NE(memory.Resolve(b, {}), nullptr);
+  EXPECT_EQ(*memory.Resolve(b, {0}), Value::Int(1));
+  EXPECT_EQ(*memory.Resolve(b, {1, 0}), Value::Int(5));
+  EXPECT_EQ(memory.Resolve(b, {1, 3}), nullptr);   // beyond list length
+  EXPECT_EQ(memory.Resolve(b, {0, 0}), nullptr);   // through a scalar
+  EXPECT_EQ(memory.Resolve(kNullBlockIndex, {}), nullptr);
+}
+
+TEST(ConcreteMemory, StoresThroughResolvedPointer) {
+  ConcreteMemory memory;
+  BlockIndex b = memory.Alloc(Value::List({Value::Int(1), Value::Int(2)}));
+  *memory.Resolve(b, {1}) = Value::Int(9);
+  EXPECT_EQ(*memory.Resolve(b, {1}), Value::Int(9));
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,124 @@
+#include "src/ir/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/printer.h"
+#include "src/ir/validate.h"
+
+namespace dnsv {
+namespace {
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  BuilderTest() : module_(&types_) {}
+  TypeTable types_;
+  Module module_;
+};
+
+TEST_F(BuilderTest, BuildsStraightLineFunction) {
+  // func addOne(x int) int { return x + 1 }
+  Function* fn = module_.AddFunction("addOne", {{"x", types_.IntType()}}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  BlockId entry = b.CreateBlock("entry");
+  b.SetInsertPoint(entry);
+  Operand sum = b.BinaryOp(BinOp::kAdd, b.Param(0), b.Int(1), types_.IntType());
+  b.Ret(sum);
+  EXPECT_TRUE(ValidateFunction(module_, *fn).ok());
+  std::string text = PrintFunction(module_, *fn);
+  EXPECT_NE(text.find("add %x, 1"), std::string::npos);
+  EXPECT_NE(text.find("ret %0"), std::string::npos);
+}
+
+TEST_F(BuilderTest, BuildsBranchAndLocals) {
+  // func max(a, b int) int { var m int; if a < b { m = b } else { m = a }; return m }
+  Function* fn = module_.AddFunction(
+      "max", {{"a", types_.IntType()}, {"b", types_.IntType()}}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  BlockId entry = b.CreateBlock("entry");
+  BlockId then_bb = b.CreateBlock("then");
+  BlockId else_bb = b.CreateBlock("else");
+  BlockId join = b.CreateBlock("join");
+  b.SetInsertPoint(entry);
+  Operand m = b.Alloca(types_.IntType());
+  Operand lt = b.BinaryOp(BinOp::kLt, b.Param(0), b.Param(1), types_.BoolType());
+  b.Br(lt, then_bb, else_bb);
+  b.SetInsertPoint(then_bb);
+  b.Store(m, b.Param(1));
+  b.Jmp(join);
+  b.SetInsertPoint(else_bb);
+  b.Store(m, b.Param(0));
+  b.Jmp(join);
+  b.SetInsertPoint(join);
+  Operand result = b.Load(m);
+  b.Ret(result);
+  EXPECT_TRUE(ValidateFunction(module_, *fn).ok());
+}
+
+TEST_F(BuilderTest, ListOperations) {
+  Function* fn = module_.AddFunction("listOps", {}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  Operand list = b.ListNew(types_.IntType());
+  Operand list2 = b.ListAppend(list, b.Int(7));
+  Operand list3 = b.ListAppend(list2, b.Int(9));
+  Operand elem = b.ListGet(list3, b.Int(1));
+  Operand len = b.ListLen(list3);
+  Operand sum = b.BinaryOp(BinOp::kAdd, elem, len, types_.IntType());
+  b.Ret(sum);
+  EXPECT_TRUE(ValidateFunction(module_, *fn).ok());
+}
+
+TEST_F(BuilderTest, GepThroughStructAndList) {
+  Type rr = types_.StructType("RR");
+  types_.DefineStruct("RR", {{"rtype", types_.IntType()},
+                             {"labels", types_.ListOf(types_.IntType())}});
+  Function* fn =
+      module_.AddFunction("firstLabel", {{"rr", types_.PtrTo(rr)}}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  Operand labels_ptr = b.Gep(b.Param(0), {b.Int(1)}, types_.ListOf(types_.IntType()));
+  Operand labels = b.Load(labels_ptr);
+  Operand first = b.ListGet(labels, b.Int(0));
+  b.Ret(first);
+  EXPECT_TRUE(ValidateFunction(module_, *fn).ok());
+}
+
+TEST_F(BuilderTest, PanicBlockDeduplicated) {
+  Function* fn = module_.AddFunction("checked", {{"i", types_.IntType()}}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  BlockId entry = b.CreateBlock("entry");
+  b.SetInsertPoint(entry);
+  BlockId p1 = b.GetPanicBlock("index out of range");
+  BlockId p2 = b.GetPanicBlock("index out of range");
+  BlockId p3 = b.GetPanicBlock("nil pointer dereference");
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, p3);
+  EXPECT_TRUE(fn->block(p1).is_panic_block);
+  // Entry still needs a terminator for validation.
+  BlockId done = b.CreateBlock("done");
+  Operand neg = b.BinaryOp(BinOp::kLt, b.Param(0), b.Int(0), types_.BoolType());
+  b.Br(neg, p1, done);
+  b.SetInsertPoint(done);
+  b.Ret(b.Param(0));
+  EXPECT_TRUE(ValidateFunction(module_, *fn).ok());
+}
+
+TEST_F(BuilderTest, CallBetweenFunctions) {
+  Function* callee = module_.AddFunction("id", {{"x", types_.IntType()}}, types_.IntType());
+  {
+    IrBuilder b(&module_, callee);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    b.Ret(b.Param(0));
+  }
+  Function* caller = module_.AddFunction("caller", {}, types_.IntType());
+  {
+    IrBuilder b(&module_, caller);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    Operand r = b.Call("id", {b.Int(5)}, types_.IntType());
+    b.Ret(r);
+  }
+  EXPECT_TRUE(ValidateModule(module_).ok());
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,41 @@
+#include "src/ir/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/frontend.h"
+
+namespace dnsv {
+namespace {
+
+TEST(Printer, GoldenDumpOfCompiledFunction) {
+  TypeTable types;
+  Module module(&types);
+  Result<CompileOutput> compiled = CompileMiniGo(
+      {{"t.mg", "func inc(x int) int { return x + 1 }"}}, &module);
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+  std::string text = PrintFunction(module, *module.GetFunction("inc"));
+  // The exact shape of the -O0-style lowering: spill, load, add, ret.
+  EXPECT_EQ(text,
+            "func inc(x int) int {\n"
+            "bb0:  ; entry\n"
+            "  %0 = alloca int\n"
+            "  store %0, %x\n"
+            "  %2 = load %0\n"
+            "  %3 = add %2, 1\n"
+            "  ret %3\n"
+            "}\n");
+}
+
+TEST(Printer, PanicBlocksAreMarked) {
+  TypeTable types;
+  Module module(&types);
+  Result<CompileOutput> compiled = CompileMiniGo(
+      {{"t.mg", "func get(s []int, i int) int { return s[i] }"}}, &module);
+  ASSERT_TRUE(compiled.ok());
+  std::string text = PrintModule(module);
+  EXPECT_NE(text.find("[panic]"), std::string::npos);
+  EXPECT_NE(text.find("panic \"index out of range\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,63 @@
+#include "src/ir/type.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsv {
+namespace {
+
+class TypeTest : public ::testing::Test {
+ protected:
+  TypeTable types_;
+};
+
+TEST_F(TypeTest, PrimitivesAreInterned) {
+  EXPECT_EQ(types_.IntType(), types_.IntType());
+  EXPECT_NE(types_.IntType(), types_.BoolType());
+  EXPECT_NE(types_.IntType(), types_.VoidType());
+}
+
+TEST_F(TypeTest, PtrAndListIntern) {
+  Type p1 = types_.PtrTo(types_.IntType());
+  Type p2 = types_.PtrTo(types_.IntType());
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, types_.PtrTo(types_.BoolType()));
+  EXPECT_EQ(types_.ListOf(types_.IntType()), types_.ListOf(types_.IntType()));
+  EXPECT_NE(types_.ListOf(types_.IntType()), types_.PtrTo(types_.IntType()));
+}
+
+TEST_F(TypeTest, PointeeAndElementAccessors) {
+  Type p = types_.PtrTo(types_.ListOf(types_.IntType()));
+  EXPECT_TRUE(types_.IsPtr(p));
+  Type l = types_.Pointee(p);
+  EXPECT_TRUE(types_.IsList(l));
+  EXPECT_EQ(types_.ListElement(l), types_.IntType());
+}
+
+TEST_F(TypeTest, CircularStructViaPointer) {
+  // TreeNode { left, right, down *TreeNode } — the paper's domain tree shape.
+  Type node_type = types_.StructType("TreeNode");
+  Type node_ptr = types_.PtrTo(node_type);
+  types_.DefineStruct("TreeNode", {{"left", node_ptr}, {"right", node_ptr}, {"down", node_ptr}});
+  const StructDef& def = types_.GetStruct("TreeNode");
+  EXPECT_EQ(def.fields.size(), 3u);
+  EXPECT_EQ(def.fields[0].type, node_ptr);
+  EXPECT_EQ(def.FieldIndex("down"), 2);
+  EXPECT_EQ(def.FieldIndex("missing"), -1);
+}
+
+TEST_F(TypeTest, ForwardDeclaredStructHandleStable) {
+  Type before = types_.StructType("Response");
+  types_.DefineStruct("Response", {{"rcode", types_.IntType()}});
+  Type after = types_.StructType("Response");
+  EXPECT_EQ(before, after);
+  EXPECT_TRUE(types_.IsStructDefined("Response"));
+  EXPECT_FALSE(types_.IsStructDefined("Nope"));
+}
+
+TEST_F(TypeTest, ToStringReadable) {
+  Type t = types_.PtrTo(types_.ListOf(types_.StructType("RR")));
+  EXPECT_EQ(types_.ToString(t), "*[]RR");
+}
+
+}  // namespace
+}  // namespace dnsv

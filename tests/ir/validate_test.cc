@@ -1,0 +1,135 @@
+#include "src/ir/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+
+namespace dnsv {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  ValidateTest() : module_(&types_) {}
+  TypeTable types_;
+  Module module_;
+};
+
+TEST_F(ValidateTest, RejectsEmptyFunction) {
+  Function* fn = module_.AddFunction("empty", {}, types_.VoidType());
+  Status s = ValidateFunction(module_, *fn);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("no blocks"), std::string::npos);
+}
+
+TEST_F(ValidateTest, RejectsMissingTerminator) {
+  Function* fn = module_.AddFunction("f", {{"x", types_.IntType()}}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.BinaryOp(BinOp::kAdd, b.Param(0), b.Int(1), types_.IntType());
+  // no ret
+  Status s = ValidateFunction(module_, *fn);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("terminator"), std::string::npos);
+}
+
+TEST_F(ValidateTest, RejectsReturnTypeMismatch) {
+  Function* fn = module_.AddFunction("f", {}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Ret(b.Bool(true));
+  Status s = ValidateFunction(module_, *fn);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("return type"), std::string::npos);
+}
+
+TEST_F(ValidateTest, RejectsUnknownCallee) {
+  Function* fn = module_.AddFunction("f", {}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  Operand r = b.Call("doesNotExist", {}, types_.IntType());
+  b.Ret(r);
+  Status s = ValidateFunction(module_, *fn);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown function"), std::string::npos);
+}
+
+TEST_F(ValidateTest, RejectsCallArityMismatch) {
+  Function* callee = module_.AddFunction("g", {{"x", types_.IntType()}}, types_.IntType());
+  {
+    IrBuilder b(&module_, callee);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    b.Ret(b.Param(0));
+  }
+  Function* fn = module_.AddFunction("f", {}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  Operand r = b.Call("g", {}, types_.IntType());
+  b.Ret(r);
+  Status s = ValidateFunction(module_, *fn);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("arity"), std::string::npos);
+}
+
+TEST_F(ValidateTest, RejectsNonConstantStructFieldIndex) {
+  Type rr = types_.StructType("S");
+  types_.DefineStruct("S", {{"a", types_.IntType()}, {"b", types_.IntType()}});
+  Function* fn =
+      module_.AddFunction("f", {{"p", types_.PtrTo(rr)}, {"i", types_.IntType()}},
+                          types_.IntType());
+  IrBuilder b(&module_, fn);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  // gep with a dynamic index into a struct is ill-formed.
+  Instr gep;
+  gep.op = Opcode::kGep;
+  gep.result_type = types_.PtrTo(types_.IntType());
+  gep.operands = {b.Param(0), b.Param(1)};
+  uint32_t reg = fn->Append(b.insert_point(), std::move(gep));
+  b.Ret(b.Load(Operand::Reg(reg, types_.PtrTo(types_.IntType()))));
+  Status s = ValidateFunction(module_, *fn);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("constant"), std::string::npos);
+}
+
+TEST_F(ValidateTest, RejectsUseBeforeDef) {
+  Function* fn = module_.AddFunction("f", {}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  // Forge an operand referencing a later register.
+  Instr add;
+  add.op = Opcode::kBinOp;
+  add.bin_op = BinOp::kAdd;
+  add.result_type = types_.IntType();
+  add.operands = {Operand::Reg(99, types_.IntType()), Operand::IntConst(1, types_.IntType())};
+  uint32_t reg = fn->Append(b.insert_point(), std::move(add));
+  b.Ret(Operand::Reg(reg, types_.IntType()));
+  Status s = ValidateFunction(module_, *fn);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("before definition"), std::string::npos);
+}
+
+TEST_F(ValidateTest, RejectsBadBranchTarget) {
+  Function* fn = module_.AddFunction("f", {}, types_.VoidType());
+  IrBuilder b(&module_, fn);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  Instr jmp;
+  jmp.op = Opcode::kJmp;
+  jmp.result_type = types_.VoidType();
+  jmp.target_true = 42;
+  fn->Append(b.insert_point(), std::move(jmp));
+  Status s = ValidateFunction(module_, *fn);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("target out of range"), std::string::npos);
+}
+
+TEST_F(ValidateTest, AcceptsListEqBuiltin) {
+  Type int_list = types_.ListOf(types_.IntType());
+  Function* fn = module_.AddFunction("f", {{"a", int_list}, {"b", int_list}}, types_.BoolType());
+  IrBuilder b(&module_, fn);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  Operand eq = b.Call("listEq", {b.Param(0), b.Param(1)}, types_.BoolType());
+  b.Ret(eq);
+  EXPECT_TRUE(ValidateFunction(module_, *fn).ok());
+}
+
+}  // namespace
+}  // namespace dnsv

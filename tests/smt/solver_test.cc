@@ -1,0 +1,127 @@
+#include "src/smt/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/smt/term.h"
+
+namespace dnsv {
+namespace {
+
+class SolverTest : public ::testing::Test {
+ protected:
+  SolverTest() : solver_(&arena_) {}
+  TermArena arena_;
+  SolverSession solver_;
+};
+
+TEST_F(SolverTest, TrivialSat) {
+  Term x = arena_.Var("x", Sort::kInt);
+  solver_.Assert(arena_.Eq(x, arena_.IntConst(3)));
+  EXPECT_EQ(solver_.Check(), SatResult::kSat);
+  Model m = solver_.GetModel();
+  int64_t v = 0;
+  ASSERT_TRUE(m.Get("x", &v));
+  EXPECT_EQ(v, 3);
+}
+
+TEST_F(SolverTest, TrivialUnsat) {
+  Term x = arena_.Var("x", Sort::kInt);
+  solver_.Assert(arena_.Lt(x, arena_.IntConst(0)));
+  solver_.Assert(arena_.Lt(arena_.IntConst(0), x));
+  EXPECT_EQ(solver_.Check(), SatResult::kUnsat);
+}
+
+TEST_F(SolverTest, PushPopRestoresState) {
+  Term x = arena_.Var("x", Sort::kInt);
+  solver_.Assert(arena_.Le(arena_.IntConst(0), x));
+  solver_.Push();
+  solver_.Assert(arena_.Lt(x, arena_.IntConst(0)));
+  EXPECT_EQ(solver_.Check(), SatResult::kUnsat);
+  solver_.Pop();
+  EXPECT_EQ(solver_.Check(), SatResult::kSat);
+}
+
+TEST_F(SolverTest, CheckAssumingDoesNotPersist) {
+  Term x = arena_.Var("x", Sort::kInt);
+  solver_.Assert(arena_.Eq(x, arena_.IntConst(1)));
+  EXPECT_EQ(solver_.CheckAssuming(arena_.Eq(x, arena_.IntConst(2))), SatResult::kUnsat);
+  EXPECT_EQ(solver_.Check(), SatResult::kSat);
+}
+
+TEST_F(SolverTest, GoDivisionSemantics) {
+  // -7 / 2 == -3 and -7 % 2 == -1 under Go truncation.
+  Term a = arena_.Var("a", Sort::kInt);
+  Term q = arena_.Var("q", Sort::kInt);
+  Term r = arena_.Var("r", Sort::kInt);
+  solver_.Assert(arena_.Eq(a, arena_.IntConst(-7)));
+  solver_.Assert(arena_.Eq(q, arena_.Div(a, arena_.IntConst(2))));
+  solver_.Assert(arena_.Eq(r, arena_.Mod(a, arena_.IntConst(2))));
+  ASSERT_EQ(solver_.Check(), SatResult::kSat);
+  Model m = solver_.GetModel();
+  int64_t v = 0;
+  ASSERT_TRUE(m.Get("q", &v));
+  EXPECT_EQ(v, -3);
+  ASSERT_TRUE(m.Get("r", &v));
+  EXPECT_EQ(v, -1);
+}
+
+// Property sweep: symbolic div/mod must agree with C++'s (== Go's) semantics
+// for every sign combination.
+class DivModParamTest : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(DivModParamTest, MatchesTruncatedSemantics) {
+  auto [a_val, b_val] = GetParam();
+  TermArena arena;
+  SolverSession solver(&arena);
+  Term a = arena.Var("a", Sort::kInt);
+  Term b = arena.Var("b", Sort::kInt);
+  solver.Assert(arena.Eq(a, arena.IntConst(a_val)));
+  solver.Assert(arena.Eq(b, arena.IntConst(b_val)));
+  // Claim the symbolic result differs from the concrete one: must be UNSAT.
+  Term bad = arena.OrN({arena.Ne(arena.Div(a, b), arena.IntConst(a_val / b_val)),
+                        arena.Ne(arena.Mod(a, b), arena.IntConst(a_val % b_val))});
+  solver.Assert(bad);
+  EXPECT_EQ(solver.Check(), SatResult::kUnsat)
+      << "a=" << a_val << " b=" << b_val;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SignCombinations, DivModParamTest,
+    ::testing::Values(std::pair<int64_t, int64_t>{7, 2}, std::pair<int64_t, int64_t>{-7, 2},
+                      std::pair<int64_t, int64_t>{7, -2}, std::pair<int64_t, int64_t>{-7, -2},
+                      std::pair<int64_t, int64_t>{6, 3}, std::pair<int64_t, int64_t>{-6, 3},
+                      std::pair<int64_t, int64_t>{6, -3}, std::pair<int64_t, int64_t>{-6, -3},
+                      std::pair<int64_t, int64_t>{0, 5}, std::pair<int64_t, int64_t>{1, 1},
+                      std::pair<int64_t, int64_t>{-1, 1}, std::pair<int64_t, int64_t>{13, 5},
+                      std::pair<int64_t, int64_t>{-13, 5}, std::pair<int64_t, int64_t>{13, -5},
+                      std::pair<int64_t, int64_t>{-13, -5}));
+
+TEST_F(SolverTest, ModelForBooleanVars) {
+  Term p = arena_.Var("p", Sort::kBool);
+  solver_.Assert(p);
+  ASSERT_EQ(solver_.Check(), SatResult::kSat);
+  Model m = solver_.GetModel();
+  int64_t v = 0;
+  ASSERT_TRUE(m.Get("p", &v));
+  EXPECT_EQ(v, 1);
+}
+
+TEST_F(SolverTest, LinearArithmetic) {
+  // The paper's summaries produce conjunctions of simple LIA constraints;
+  // make sure a representative one solves instantly.
+  Term n0 = arena_.Var("n0", Sort::kInt);
+  Term n1 = arena_.Var("n1", Sort::kInt);
+  Term len = arena_.Var("nameLen", Sort::kInt);
+  std::vector<Term> cond = {
+      arena_.Ge(len, arena_.IntConst(3)),
+      arena_.Eq(n0, arena_.IntConst(100)),   // int("com")
+      arena_.Eq(n1, arena_.IntConst(200)),   // int("example")
+  };
+  solver_.Assert(arena_.AndN(cond));
+  EXPECT_EQ(solver_.Check(), SatResult::kSat);
+  solver_.Assert(arena_.Lt(len, arena_.IntConst(3)));
+  EXPECT_EQ(solver_.Check(), SatResult::kUnsat);
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,87 @@
+// Tests for TermArena::Substitute — the mechanism that rebinds a summary's
+// formal input variables to a caller's actual terms (paper §5.3).
+#include <gtest/gtest.h>
+
+#include "src/smt/solver.h"
+#include "src/smt/term.h"
+
+namespace dnsv {
+namespace {
+
+class SubstTest : public ::testing::Test {
+ protected:
+  TermArena arena_;
+};
+
+TEST_F(SubstTest, ReplacesVariables) {
+  Term x = arena_.Var("x", Sort::kInt);
+  Term y = arena_.Var("y", Sort::kInt);
+  Term e = arena_.Add(x, arena_.Mul(y, arena_.IntConst(2)));
+  Term replaced = arena_.Substitute(e, {{x.id(), arena_.IntConst(3)},
+                                        {y.id(), arena_.IntConst(5)}});
+  int64_t v = 0;
+  ASSERT_TRUE(arena_.AsIntConst(replaced, &v));
+  EXPECT_EQ(v, 13);
+}
+
+TEST_F(SubstTest, UntouchedTermReturnsSameHandle) {
+  Term x = arena_.Var("x", Sort::kInt);
+  Term z = arena_.Var("z", Sort::kInt);
+  Term e = arena_.Lt(x, arena_.IntConst(10));
+  // Substituting an unrelated variable changes nothing — same interned term.
+  EXPECT_EQ(arena_.Substitute(e, {{z.id(), arena_.IntConst(1)}}), e);
+}
+
+TEST_F(SubstTest, VariableForVariable) {
+  Term x = arena_.Var("x", Sort::kInt);
+  Term y = arena_.Var("y", Sort::kInt);
+  Term e = arena_.Le(x, arena_.IntConst(4));
+  Term replaced = arena_.Substitute(e, {{x.id(), y}});
+  EXPECT_EQ(arena_.ToString(replaced), "(<= y 4)");
+}
+
+TEST_F(SubstTest, SimplifiesDuringRebuild) {
+  Term p = arena_.Var("p", Sort::kBool);
+  Term q = arena_.Var("q", Sort::kBool);
+  Term e = arena_.And(p, q);
+  // p := true collapses the conjunction to q.
+  EXPECT_EQ(arena_.Substitute(e, {{p.id(), arena_.True()}}), q);
+  // p := false collapses the whole thing.
+  EXPECT_EQ(arena_.Substitute(e, {{p.id(), arena_.False()}}), arena_.False());
+}
+
+TEST_F(SubstTest, NestedBooleanStructure) {
+  Term a = arena_.Var("a", Sort::kInt);
+  Term b = arena_.Var("b", Sort::kInt);
+  Term cond = arena_.Or(arena_.Lt(a, b), arena_.Eq(a, arena_.IntConst(0)));
+  Term replaced = arena_.Substitute(cond, {{a.id(), arena_.IntConst(0)}});
+  // (0 < b) || (0 == 0) simplifies to true.
+  EXPECT_EQ(replaced, arena_.True());
+}
+
+TEST_F(SubstTest, IteAndComparisonOperands) {
+  Term c = arena_.Var("c", Sort::kBool);
+  Term x = arena_.Var("x", Sort::kInt);
+  Term e = arena_.Ite(c, x, arena_.IntConst(7));
+  Term replaced = arena_.Substitute(e, {{c.id(), arena_.True()},
+                                        {x.id(), arena_.IntConst(9)}});
+  int64_t v = 0;
+  ASSERT_TRUE(arena_.AsIntConst(replaced, &v));
+  EXPECT_EQ(v, 9);
+}
+
+TEST_F(SubstTest, SemanticEquivalenceUnderSolver) {
+  // forall y: subst(e, x:=y+1) must equal e[x -> y+1] semantically.
+  Term x = arena_.Var("x", Sort::kInt);
+  Term y = arena_.Var("y", Sort::kInt);
+  Term e = arena_.Mul(arena_.Add(x, arena_.IntConst(1)), x);
+  Term replaced = arena_.Substitute(e, {{x.id(), arena_.Add(y, arena_.IntConst(1))}});
+  Term expected = arena_.Mul(arena_.Add(arena_.Add(y, arena_.IntConst(1)), arena_.IntConst(1)),
+                             arena_.Add(y, arena_.IntConst(1)));
+  SolverSession solver(&arena_);
+  solver.Assert(arena_.Ne(replaced, expected));
+  EXPECT_EQ(solver.Check(), SatResult::kUnsat);
+}
+
+}  // namespace
+}  // namespace dnsv

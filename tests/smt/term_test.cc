@@ -1,0 +1,114 @@
+#include "src/smt/term.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsv {
+namespace {
+
+class TermTest : public ::testing::Test {
+ protected:
+  TermArena arena_;
+};
+
+TEST_F(TermTest, HashConsingDeduplicates) {
+  Term a = arena_.Var("x", Sort::kInt);
+  Term b = arena_.Var("y", Sort::kInt);
+  EXPECT_EQ(arena_.Add(a, b), arena_.Add(a, b));
+  EXPECT_EQ(arena_.IntConst(5), arena_.IntConst(5));
+  EXPECT_NE(arena_.IntConst(5), arena_.IntConst(6));
+}
+
+TEST_F(TermTest, VarReuseByName) {
+  Term x1 = arena_.Var("qtype", Sort::kInt);
+  Term x2 = arena_.Var("qtype", Sort::kInt);
+  EXPECT_EQ(x1, x2);
+  EXPECT_EQ(arena_.VarName(x1), "qtype");
+}
+
+TEST_F(TermTest, ConstantFolding) {
+  int64_t v = 0;
+  EXPECT_TRUE(arena_.AsIntConst(arena_.Add(arena_.IntConst(2), arena_.IntConst(3)), &v));
+  EXPECT_EQ(v, 5);
+  EXPECT_TRUE(arena_.AsIntConst(arena_.Mul(arena_.IntConst(4), arena_.IntConst(-3)), &v));
+  EXPECT_EQ(v, -12);
+  EXPECT_TRUE(arena_.AsIntConst(arena_.Sub(arena_.IntConst(1), arena_.IntConst(9)), &v));
+  EXPECT_EQ(v, -8);
+}
+
+TEST_F(TermTest, GoDivModConstants) {
+  int64_t v = 0;
+  EXPECT_TRUE(arena_.AsIntConst(arena_.Div(arena_.IntConst(-7), arena_.IntConst(2)), &v));
+  EXPECT_EQ(v, -3);  // trunc toward zero
+  EXPECT_TRUE(arena_.AsIntConst(arena_.Mod(arena_.IntConst(-7), arena_.IntConst(2)), &v));
+  EXPECT_EQ(v, -1);  // sign of dividend
+}
+
+TEST_F(TermTest, IdentitySimplifications) {
+  Term x = arena_.Var("x", Sort::kInt);
+  EXPECT_EQ(arena_.Add(x, arena_.IntConst(0)), x);
+  EXPECT_EQ(arena_.Add(arena_.IntConst(0), x), x);
+  EXPECT_EQ(arena_.Mul(x, arena_.IntConst(1)), x);
+  EXPECT_EQ(arena_.Mul(x, arena_.IntConst(0)), arena_.IntConst(0));
+  EXPECT_EQ(arena_.Sub(x, x), arena_.IntConst(0));
+}
+
+TEST_F(TermTest, ComparisonSimplifications) {
+  Term x = arena_.Var("x", Sort::kInt);
+  EXPECT_EQ(arena_.Eq(x, x), arena_.True());
+  EXPECT_EQ(arena_.Lt(x, x), arena_.False());
+  EXPECT_EQ(arena_.Le(x, x), arena_.True());
+  EXPECT_EQ(arena_.Eq(arena_.IntConst(1), arena_.IntConst(2)), arena_.False());
+}
+
+TEST_F(TermTest, EqIsOrderCanonical) {
+  Term x = arena_.Var("x", Sort::kInt);
+  Term y = arena_.Var("y", Sort::kInt);
+  EXPECT_EQ(arena_.Eq(x, y), arena_.Eq(y, x));
+}
+
+TEST_F(TermTest, BooleanSimplifications) {
+  Term p = arena_.Var("p", Sort::kBool);
+  EXPECT_EQ(arena_.And(p, arena_.True()), p);
+  EXPECT_EQ(arena_.And(p, arena_.False()), arena_.False());
+  EXPECT_EQ(arena_.Or(p, arena_.False()), p);
+  EXPECT_EQ(arena_.Or(p, arena_.True()), arena_.True());
+  EXPECT_EQ(arena_.Not(arena_.Not(p)), p);
+  EXPECT_EQ(arena_.And(p, arena_.Not(p)), arena_.False());
+  EXPECT_EQ(arena_.Or(p, arena_.Not(p)), arena_.True());
+}
+
+TEST_F(TermTest, AndFlattensAndDedups) {
+  Term p = arena_.Var("p", Sort::kBool);
+  Term q = arena_.Var("q", Sort::kBool);
+  Term r = arena_.Var("r", Sort::kBool);
+  Term pq = arena_.And(p, q);
+  Term all = arena_.And(pq, arena_.And(q, r));
+  const TermNode& n = arena_.node(all);
+  EXPECT_EQ(n.kind, TermKind::kAnd);
+  EXPECT_EQ(n.operands.size(), 3u);  // p, q, r — q deduped
+}
+
+TEST_F(TermTest, IteSimplifications) {
+  Term x = arena_.Var("x", Sort::kInt);
+  Term y = arena_.Var("y", Sort::kInt);
+  Term p = arena_.Var("p", Sort::kBool);
+  EXPECT_EQ(arena_.Ite(arena_.True(), x, y), x);
+  EXPECT_EQ(arena_.Ite(arena_.False(), x, y), y);
+  EXPECT_EQ(arena_.Ite(p, x, x), x);
+}
+
+TEST_F(TermTest, BoolEqSimplifications) {
+  Term p = arena_.Var("p", Sort::kBool);
+  EXPECT_EQ(arena_.Eq(p, arena_.True()), p);
+  EXPECT_EQ(arena_.Eq(p, arena_.False()), arena_.Not(p));
+  EXPECT_EQ(arena_.Eq(arena_.True(), arena_.False()), arena_.False());
+}
+
+TEST_F(TermTest, ToStringReadable) {
+  Term x = arena_.Var("x", Sort::kInt);
+  Term e = arena_.Lt(arena_.Add(x, arena_.IntConst(1)), arena_.IntConst(10));
+  EXPECT_EQ(arena_.ToString(e), "(< (+ x 1) 10)");
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,47 @@
+#include "src/support/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsv {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, NextInRangeStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(SplitMix64, NextBelowCoversSmallRange) {
+  SplitMix64 rng(123);
+  bool seen[5] = {};
+  for (int i = 0; i < 200; ++i) {
+    seen[rng.NextBelow(5)] = true;
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+}  // namespace
+}  // namespace dnsv

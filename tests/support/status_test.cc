@@ -1,0 +1,39 @@
+#include "src/support/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsv {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = Status::Error("bad zone line 3");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad zone line 3");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(41);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 41);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Result<int>::Error("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "nope");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+}  // namespace
+}  // namespace dnsv

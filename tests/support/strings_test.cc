@@ -1,0 +1,56 @@
+#include "src/support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsv {
+namespace {
+
+TEST(SplitString, BasicSplit) {
+  EXPECT_EQ(SplitString("a.b.c", '.'), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitString, KeepsEmptyPieces) {
+  EXPECT_EQ(SplitString("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitString("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString(".", '.'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(JoinStrings, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"www", "example", "com"};
+  EXPECT_EQ(JoinStrings(parts, "."), "www.example.com");
+  EXPECT_EQ(SplitString(JoinStrings(parts, "."), '.'), parts);
+}
+
+TEST(TrimWhitespace, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(StartsWith("example.com", "exam"));
+  EXPECT_FALSE(StartsWith("exam", "example"));
+  EXPECT_TRUE(EndsWith("www.example.com", ".com"));
+  EXPECT_FALSE(EndsWith("com", ".com"));
+}
+
+TEST(ToLowerAscii, LowersOnlyAscii) {
+  EXPECT_EQ(ToLowerAscii("WwW.ExAmPlE"), "www.example");
+}
+
+TEST(StrCat, MixedTypes) { EXPECT_EQ(StrCat("n=", 42, ", x=", 1.5), "n=42, x=1.5"); }
+
+TEST(ParseInt64, ValidAndInvalid) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("12345", &v));
+  EXPECT_EQ(v, 12345);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("-", &v));
+  EXPECT_FALSE(ParseInt64("12a", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,256 @@
+// Refinement-checking tests, including the paper's compareRaw/compareAbs
+// case study (Figs. 4 and 10) at the heart of §6.3.
+#include "src/sym/refine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/engine/sources/sources.h"
+#include "src/frontend/frontend.h"
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+class RefineTest : public ::testing::Test {
+ protected:
+  void Compile(const std::string& source) {
+    types_ = std::make_unique<TypeTable>();
+    module_ = std::make_unique<Module>(types_.get());
+    Result<CompileOutput> compiled = CompileMiniGo({{"test.mg", source}}, module_.get());
+    ASSERT_TRUE(compiled.ok()) << compiled.error();
+    arena_ = std::make_unique<TermArena>();
+    solver_ = std::make_unique<SolverSession>(arena_.get());
+    executor_ = std::make_unique<SymExecutor>(module_.get(), arena_.get(), solver_.get());
+  }
+
+  RefinementResult Check(const std::string& impl, const std::string& spec,
+                         const std::vector<SymValue>& args, Term constraints) {
+    SymState state;
+    state.pc = constraints.valid() ? constraints : arena_->True();
+    return CheckFunctionRefinement(executor_.get(), *module_->GetFunction(impl),
+                                   *module_->GetFunction(spec), args, state);
+  }
+
+  std::unique_ptr<TypeTable> types_;
+  std::unique_ptr<Module> module_;
+  std::unique_ptr<TermArena> arena_;
+  std::unique_ptr<SolverSession> solver_;
+  std::unique_ptr<SymExecutor> executor_;
+};
+
+TEST_F(RefineTest, EquivalentImplementationsRefine) {
+  Compile(R"(
+func implMax(a int, b int) int {
+  if a < b {
+    return b
+  }
+  return a
+}
+func specMax(a int, b int) int {
+  m := a
+  if b > m {
+    m = b
+  }
+  return m
+}
+)");
+  SymbolicInt a = MakeSymbolicInt(arena_.get(), "a", -1000, 1000);
+  SymbolicInt b = MakeSymbolicInt(arena_.get(), "b", -1000, 1000);
+  RefinementResult result = Check("implMax", "specMax", {a.value, b.value},
+                                  arena_->And(a.constraints, b.constraints));
+  EXPECT_TRUE(result.ok()) << (result.mismatches.empty() ? result.abort_reason
+                                                         : result.mismatches[0].description);
+  EXPECT_EQ(result.impl_paths, 2);
+}
+
+TEST_F(RefineTest, BuggyImplementationCaught) {
+  Compile(R"(
+func implMax(a int, b int) int {
+  if a <= b {
+    return a
+  }
+  return a
+}
+func specMax(a int, b int) int {
+  if a < b {
+    return b
+  }
+  return a
+}
+)");
+  SymbolicInt a = MakeSymbolicInt(arena_.get(), "a", -10, 10);
+  SymbolicInt b = MakeSymbolicInt(arena_.get(), "b", -10, 10);
+  RefinementResult result = Check("implMax", "specMax", {a.value, b.value},
+                                  arena_->And(a.constraints, b.constraints));
+  ASSERT_FALSE(result.ok());
+  // The witness must actually distinguish them: a < b.
+  int64_t wa = 0, wb = 0;
+  ASSERT_TRUE(result.mismatches[0].model.Get("a", &wa));
+  ASSERT_TRUE(result.mismatches[0].model.Get("b", &wb));
+  EXPECT_LT(wa, wb);
+}
+
+TEST_F(RefineTest, PanicInImplementationIsAMismatch) {
+  Compile(R"(
+func impl(xs []int, i int) int { return xs[i] }
+func spec(xs []int, i int) int { return 0 }
+)");
+  SymbolicIntList xs = MakeSymbolicIntList(arena_.get(), "xs", 2, 0, 9);
+  SymbolicInt i = MakeSymbolicInt(arena_.get(), "i", -5, 5);
+  RefinementResult result = Check("impl", "spec", {xs.value, i.value},
+                                  arena_->And(xs.constraints, i.constraints));
+  ASSERT_FALSE(result.ok());
+  bool found_panic = false;
+  for (const RefinementMismatch& mismatch : result.mismatches) {
+    found_panic = found_panic ||
+                  mismatch.description.find("panic") != std::string::npos;
+  }
+  EXPECT_TRUE(found_panic);
+}
+
+// The paper's loop-heavy vs abstract name comparison (§6.3): nameCompare
+// (the engine library) against a hand-written linear-arithmetic spec.
+TEST_F(RefineTest, NameCompareAgainstAbstractSpec) {
+  std::string source = StrCat(kEngineTypesMg, R"(
+func nameCompareImpl(n1 []int, n2 []int) int {
+  if len(n2) > len(n1) {
+    return MATCH_NOMATCH
+  }
+  for i := 0; i < len(n2); i = i + 1 {
+    if n1[i] != n2[i] {
+      return MATCH_NOMATCH
+    }
+  }
+  if len(n1) == len(n2) {
+    return MATCH_EXACT
+  }
+  return MATCH_PARTIAL
+}
+// Abstract spec specialized for a concrete n2 of length 2 (like Fig. 10's
+// "www.example.com" example): all branch conditions are simple comparisons.
+func nameCompareSpec2(n1 []int, a int, b int) int {
+  if len(n1) < 2 {
+    return MATCH_NOMATCH
+  }
+  if n1[0] != a {
+    return MATCH_NOMATCH
+  }
+  if n1[1] != b {
+    return MATCH_NOMATCH
+  }
+  if len(n1) == 2 {
+    return MATCH_EXACT
+  }
+  return MATCH_PARTIAL
+}
+func nameCompareImplWrap(n1 []int, a int, b int) int {
+  n2 := make([]int)
+  n2 = append(n2, a)
+  n2 = append(n2, b)
+  return nameCompareImpl(n1, n2)
+}
+)");
+  Compile(source);
+  SymbolicIntList n1 = MakeSymbolicIntList(arena_.get(), "n1", 4, 1, 1000);
+  SymbolicInt a = MakeSymbolicInt(arena_.get(), "a", 1, 1000);
+  SymbolicInt b = MakeSymbolicInt(arena_.get(), "b", 1, 1000);
+  Term constraints = arena_->AndN({n1.constraints, a.constraints, b.constraints});
+  RefinementResult result =
+      Check("nameCompareImplWrap", "nameCompareSpec2", {n1.value, a.value, b.value},
+            constraints);
+  EXPECT_TRUE(result.ok()) << (result.mismatches.empty() ? result.abort_reason
+                                                         : result.mismatches[0].description);
+}
+
+// Fig. 4 vs Fig. 10: compareRaw over raw bytes against compareAbs over
+// interned labels, related by a byte<->label abstraction. The relation here
+// encodes each label as its byte sequence; the harness quantifies over all
+// two-label byte names with single-character labels, which exercises every
+// compareRaw path shape (equal, suffix, mismatch, dot alignment).
+TEST_F(RefineTest, CompareRawRefinesCompareAbs) {
+  std::string source = StrCat(kEngineCompareRawMg, R"(
+// Builds the raw byte form "y.x" (display order) of the reversed label list
+// [x, y] where each label is one byte; then compares with compareRaw. The
+// abstraction maps single-byte labels to their byte value as the label code.
+func rawOfTwo(x int, y int) []int {
+  out := make([]int)
+  out = append(out, y)
+  out = append(out, DOT)
+  out = append(out, x)
+  return out
+}
+func rawOfOne(x int) []int {
+  out := make([]int)
+  out = append(out, x)
+  return out
+}
+// impl side: compare the byte encodings of [a1,a2] vs [b1] (two labels vs one).
+func implTwoVsOne(a1 int, a2 int, b1 int) int {
+  return compareRaw(rawOfTwo(a1, a2), rawOfOne(b1))
+}
+// spec side: compareAbs on the abstract label lists.
+func specTwoVsOne(a1 int, a2 int, b1 int) int {
+  la := make([]int)
+  la = append(la, a1)
+  la = append(la, a2)
+  lb := make([]int)
+  lb = append(lb, b1)
+  return compareAbs(la, lb)
+}
+func implTwoVsTwo(a1 int, a2 int, b1 int, b2 int) int {
+  return compareRaw(rawOfTwo(a1, a2), rawOfTwo(b1, b2))
+}
+func specTwoVsTwo(a1 int, a2 int, b1 int, b2 int) int {
+  la := make([]int)
+  la = append(la, a1)
+  la = append(la, a2)
+  lb := make([]int)
+  lb = append(lb, b1)
+  lb = append(lb, b2)
+  return compareAbs(la, lb)
+}
+)");
+  Compile(source);
+  // Label bytes are letters: 'a'..'z' (so never equal to DOT=46).
+  SymbolicInt a1 = MakeSymbolicInt(arena_.get(), "a1", 97, 122);
+  SymbolicInt a2 = MakeSymbolicInt(arena_.get(), "a2", 97, 122);
+  SymbolicInt b1 = MakeSymbolicInt(arena_.get(), "b1", 97, 122);
+  SymbolicInt b2 = MakeSymbolicInt(arena_.get(), "b2", 97, 122);
+  Term c3 = arena_->AndN({a1.constraints, a2.constraints, b1.constraints});
+  RefinementResult two_vs_one =
+      Check("implTwoVsOne", "specTwoVsOne", {a1.value, a2.value, b1.value}, c3);
+  EXPECT_TRUE(two_vs_one.ok())
+      << (two_vs_one.mismatches.empty() ? two_vs_one.abort_reason
+                                        : two_vs_one.mismatches[0].description);
+  Term c4 = arena_->AndN({a1.constraints, a2.constraints, b1.constraints, b2.constraints});
+  RefinementResult two_vs_two = Check(
+      "implTwoVsTwo", "specTwoVsTwo", {a1.value, a2.value, b1.value, b2.value}, c4);
+  EXPECT_TRUE(two_vs_two.ok())
+      << (two_vs_two.mismatches.empty() ? two_vs_two.abort_reason
+                                        : two_vs_two.mismatches[0].description);
+}
+
+TEST_F(RefineTest, SymValueEqTermOnStructs) {
+  TermArena arena;
+  SymValue a = SymValue::Struct({SymValue::OfTerm(arena.Var("x", Sort::kInt)),
+                                 SymValue::OfTerm(arena.IntConst(3))});
+  SymValue b = SymValue::Struct({SymValue::OfTerm(arena.IntConst(5)),
+                                 SymValue::OfTerm(arena.IntConst(3))});
+  Term eq = SymValueEqTerm(a, b, &arena);
+  SolverSession solver(&arena);
+  solver.Assert(eq);
+  ASSERT_EQ(solver.Check(), SatResult::kSat);
+  int64_t x = 0;
+  EXPECT_TRUE(solver.GetModel().Get("x", &x));
+  EXPECT_EQ(x, 5);
+}
+
+TEST_F(RefineTest, SymValueEqTermDifferentShapesIsFalse) {
+  TermArena arena;
+  SymValue a = SymValue::Struct({SymValue::OfTerm(arena.IntConst(1))});
+  SymValue b = SymValue::OfTerm(arena.IntConst(1));
+  EXPECT_EQ(SymValueEqTerm(a, b, &arena), arena.False());
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,281 @@
+// Unit tests of the summarizer (paper §5.3): computed input-effect pairs,
+// caching per concrete binding, application fidelity against inlining, panic
+// entries, and the decline conditions for unsupported effect patterns.
+#include "src/sym/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/frontend.h"
+#include "src/sym/refine.h"
+
+namespace dnsv {
+namespace {
+
+class SummaryTest : public ::testing::Test {
+ protected:
+  void Compile(const std::string& source) {
+    types_ = std::make_unique<TypeTable>();
+    module_ = std::make_unique<Module>(types_.get());
+    Result<CompileOutput> compiled = CompileMiniGo({{"test.mg", source}}, module_.get());
+    ASSERT_TRUE(compiled.ok()) << compiled.error();
+    arena_ = std::make_unique<TermArena>();
+    solver_ = std::make_unique<SolverSession>(arena_.get());
+  }
+
+  // Summarizer over an empty shared heap unless one is provided.
+  std::unique_ptr<Summarizer> MakeSummarizer(SymMemory heap = SymMemory(), int cap = 3,
+                                             int64_t max_label = 1000) {
+    return std::make_unique<Summarizer>(module_.get(), arena_.get(), solver_.get(),
+                                        std::move(heap), cap, max_label);
+  }
+
+  std::unique_ptr<TypeTable> types_;
+  std::unique_ptr<Module> module_;
+  std::unique_ptr<TermArena> arena_;
+  std::unique_ptr<SolverSession> solver_;
+};
+
+constexpr char kClassifySource[] = R"(
+type Out struct {
+  code int
+  flag bool
+}
+func classify(x int, out *Out) {
+  if x < 0 {
+    out.code = 0
+    return
+  }
+  if x < 10 {
+    out.code = 1
+    out.flag = true
+    return
+  }
+  out.code = 2
+}
+// Summaries are applied at call sites; the driver provides one.
+func classifyDriver(x int, out *Out) {
+  classify(x, out)
+}
+)";
+
+TEST_F(SummaryTest, ComputesOneEntryPerPath) {
+  Compile(kClassifySource);
+  auto summarizer = MakeSummarizer();
+  summarizer->Configure({"classify", {ParamMode::kSymbolicInt, ParamMode::kOutStruct}});
+  const FunctionSummary* summary =
+      summarizer->GetOrCompute("classify", {SymValue::Unit(), SymValue::Unit()});
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->entries.size(), 3u);
+  // Each entry writes `code`; the middle one also writes `flag`.
+  int flag_writes = 0;
+  for (const SummaryEntry& entry : summary->entries) {
+    bool wrote_code = false;
+    for (const auto& write : entry.writes) {
+      wrote_code = wrote_code || write.field == 0;
+      flag_writes += write.field == 1 ? 1 : 0;
+    }
+    EXPECT_TRUE(wrote_code);
+  }
+  EXPECT_EQ(flag_writes, 1);
+}
+
+TEST_F(SummaryTest, ApplicationMatchesInlining) {
+  Compile(kClassifySource);
+  auto summarizer = MakeSummarizer();
+  summarizer->Configure({"classify", {ParamMode::kSymbolicInt, ParamMode::kOutStruct}});
+
+  // Driver that calls classify; explore once with summaries and once inline,
+  // and compare the reachable (pc, out.code) sets.
+  auto explore = [&](bool use_summaries) {
+    SymExecutor executor(module_.get(), arena_.get(), solver_.get());
+    if (use_summaries) {
+      executor.set_summary_provider(summarizer.get());
+    }
+    SymState state;
+    state.pc = arena_->True();
+    Type out_type = types_->StructType("Out");
+    BlockIndex out_block =
+        state.memory.Alloc(SymZeroValue(*types_, out_type, arena_.get()));
+    SymbolicInt x = MakeSymbolicInt(arena_.get(), "x", -100, 100);
+    state.pc = x.constraints;
+    auto outcomes = executor.Explore(*module_->GetFunction("classifyDriver"),
+                                     {x.value, SymValue::Ptr(out_block)}, state);
+    // Collect (model of x -> final code) samples per path.
+    std::vector<std::pair<int64_t, int64_t>> samples;
+    for (const PathOutcome& outcome : outcomes) {
+      EXPECT_EQ(outcome.kind, PathOutcome::Kind::kReturned);
+      if (solver_->CheckAssuming(outcome.state.pc) != SatResult::kSat) {
+        continue;
+      }
+      Model model = solver_->GetModel();
+      const SymValue* code = outcome.state.memory.Resolve(out_block, {0});
+      Value concrete = ConcretizeValue(*code, *arena_, &model);
+      int64_t xv = 0;
+      model.Get("x", &xv);
+      samples.emplace_back(xv, concrete.i);
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples;
+  };
+
+  auto inline_samples = explore(false);
+  auto summary_samples = explore(true);
+  ASSERT_EQ(inline_samples.size(), 3u);
+  ASSERT_EQ(summary_samples.size(), 3u);
+  // The per-path witnesses must classify identically under both modes.
+  for (const auto& [xv, code] : inline_samples) {
+    int64_t expected = xv < 0 ? 0 : xv < 10 ? 1 : 2;
+    EXPECT_EQ(code, expected);
+  }
+  for (const auto& [xv, code] : summary_samples) {
+    int64_t expected = xv < 0 ? 0 : xv < 10 ? 1 : 2;
+    EXPECT_EQ(code, expected);
+  }
+  EXPECT_GT(summarizer->stats().applications, 0);
+}
+
+TEST_F(SummaryTest, CachedPerConcreteBinding) {
+  Compile(R"(
+type Out struct { v int }
+func scale(k int, x int, out *Out) {
+  out.v = k * x
+}
+)");
+  auto summarizer = MakeSummarizer();
+  summarizer->Configure(
+      {"scale", {ParamMode::kConcrete, ParamMode::kSymbolicInt, ParamMode::kOutStruct}});
+  SymValue k2 = SymValue::OfTerm(arena_->IntConst(2));
+  SymValue k3 = SymValue::OfTerm(arena_->IntConst(3));
+  const FunctionSummary* s2 =
+      summarizer->GetOrCompute("scale", {k2, SymValue::Unit(), SymValue::Unit()});
+  const FunctionSummary* s2_again =
+      summarizer->GetOrCompute("scale", {k2, SymValue::Unit(), SymValue::Unit()});
+  const FunctionSummary* s3 =
+      summarizer->GetOrCompute("scale", {k3, SymValue::Unit(), SymValue::Unit()});
+  ASSERT_NE(s2, nullptr);
+  EXPECT_EQ(s2, s2_again);  // cache hit
+  EXPECT_NE(s2, s3);        // distinct concrete binding
+  EXPECT_EQ(summarizer->stats().summaries_computed, 2);
+  EXPECT_EQ(summarizer->stats().cache_hits, 1);
+}
+
+TEST_F(SummaryTest, PanicPathsBecomePanicEntries) {
+  Compile(R"(
+type Out struct { v int }
+func risky(xs []int, i int, out *Out) {
+  out.v = xs[i]
+}
+)");
+  auto summarizer = MakeSummarizer();
+  summarizer->Configure({"risky", {ParamMode::kSymbolicIntList, ParamMode::kSymbolicInt,
+                                   ParamMode::kOutStruct}});
+  const FunctionSummary* summary = summarizer->GetOrCompute(
+      "risky", {SymValue::Unit(), SymValue::Unit(), SymValue::Unit()});
+  ASSERT_NE(summary, nullptr);
+  bool has_panic = false;
+  bool has_return = false;
+  for (const SummaryEntry& entry : summary->entries) {
+    has_panic = has_panic || entry.panics;
+    has_return = has_return || !entry.panics;
+  }
+  EXPECT_TRUE(has_panic);
+  EXPECT_TRUE(has_return);
+}
+
+TEST_F(SummaryTest, ListAppendEffectCaptured) {
+  Compile(R"(
+type Out struct { xs []int }
+func push2(a int, b int, out *Out) {
+  out.xs = append(out.xs, a)
+  out.xs = append(out.xs, b)
+}
+)");
+  auto summarizer = MakeSummarizer();
+  summarizer->Configure(
+      {"push2", {ParamMode::kSymbolicInt, ParamMode::kSymbolicInt, ParamMode::kOutStruct}});
+  const FunctionSummary* summary = summarizer->GetOrCompute(
+      "push2", {SymValue::Unit(), SymValue::Unit(), SymValue::Unit()});
+  ASSERT_NE(summary, nullptr);
+  ASSERT_EQ(summary->entries.size(), 1u);
+  ASSERT_EQ(summary->entries[0].writes.size(), 1u);
+  const SymValue& list = summary->entries[0].writes[0].value;
+  ASSERT_EQ(list.kind, SymValue::Kind::kList);
+  EXPECT_EQ(list.elems.size(), 2u);
+}
+
+TEST_F(SummaryTest, DeclinesWhenReturnEscapesFreshAllocation) {
+  Compile(R"(
+type Out struct { v int }
+func makeOut(x int) *Out {
+  o := new(Out)
+  o.v = x
+  return o
+}
+)");
+  auto summarizer = MakeSummarizer();
+  summarizer->Configure({"makeOut", {ParamMode::kSymbolicInt}});
+  EXPECT_EQ(summarizer->GetOrCompute("makeOut", {SymValue::Unit()}), nullptr);
+  EXPECT_EQ(summarizer->stats().summaries_failed, 1);
+}
+
+TEST_F(SummaryTest, DeclinesOnSharedHeapWrite) {
+  Compile(R"(
+type Cell struct { v int }
+func poke(c *Cell, x int) {
+  c.v = x
+}
+)");
+  // `c` bound concretely to a shared-heap block: writing it violates the
+  // stateless assumption (paper §9).
+  SymMemory heap;
+  Type cell = types_->StructType("Cell");
+  BlockIndex cell_block = heap.Alloc(SymZeroValue(*types_, cell, arena_.get()));
+  auto summarizer = MakeSummarizer(heap);
+  summarizer->Configure({"poke", {ParamMode::kConcrete, ParamMode::kSymbolicInt}});
+  EXPECT_EQ(summarizer->GetOrCompute("poke", {SymValue::Ptr(cell_block), SymValue::Unit()}),
+            nullptr);
+}
+
+TEST_F(SummaryTest, ApplyDeclinesWhenOutListNotEmpty) {
+  Compile(R"(
+type Out struct { xs []int }
+func push(a int, out *Out) {
+  out.xs = append(out.xs, a)
+}
+func driver(a int, out *Out) {
+  push(a, out)
+  push(a, out)
+}
+)");
+  auto summarizer = MakeSummarizer();
+  summarizer->Configure({"push", {ParamMode::kSymbolicInt, ParamMode::kOutStruct}});
+  SymExecutor executor(module_.get(), arena_.get(), solver_.get());
+  executor.set_summary_provider(summarizer.get());
+  SymState state;
+  state.pc = arena_->True();
+  BlockIndex out_block =
+      state.memory.Alloc(SymZeroValue(*types_, types_->StructType("Out"), arena_.get()));
+  SymbolicInt a = MakeSymbolicInt(arena_.get(), "a", 0, 9);
+  state.pc = a.constraints;
+  // First push applies the summary (empty list); the second sees a non-empty
+  // list, declines, and the executor inlines — final list must have BOTH
+  // elements either way.
+  auto outcomes = executor.Explore(*module_->GetFunction("driver"),
+                                   {a.value, SymValue::Ptr(out_block)}, state);
+  ASSERT_EQ(outcomes.size(), 1u);
+  const SymValue* xs = outcomes[0].state.memory.Resolve(out_block, {0});
+  ASSERT_NE(xs, nullptr);
+  EXPECT_EQ(xs->elems.size(), 2u);
+}
+
+TEST_F(SummaryTest, UnconfiguredFunctionNotIntercepted) {
+  Compile(kClassifySource);
+  auto summarizer = MakeSummarizer();
+  SymState state;
+  state.pc = arena_->True();
+  EXPECT_EQ(summarizer->TryApply("classify", {SymValue::Unit(), SymValue::Unit()}, state),
+            std::nullopt);
+}
+
+}  // namespace
+}  // namespace dnsv

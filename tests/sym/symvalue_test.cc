@@ -1,0 +1,85 @@
+#include "src/sym/symvalue.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsv {
+namespace {
+
+class SymValueTest : public ::testing::Test {
+ protected:
+  TermArena arena_;
+};
+
+TEST_F(SymValueTest, LiftConcreteValue) {
+  Value v = Value::Struct({Value::Int(7), Value::Bool(true), Value::NullPtr(),
+                           Value::List({Value::Int(1), Value::Int(2)})});
+  SymValue lifted = LiftValue(v, &arena_);
+  ASSERT_EQ(lifted.kind, SymValue::Kind::kStruct);
+  int64_t iv = 0;
+  EXPECT_TRUE(arena_.AsIntConst(lifted.elems[0].term, &iv));
+  EXPECT_EQ(iv, 7);
+  bool bv = false;
+  EXPECT_TRUE(arena_.AsBoolConst(lifted.elems[1].term, &bv));
+  EXPECT_TRUE(bv);
+  EXPECT_TRUE(lifted.elems[2].IsNullPtr());
+  ASSERT_EQ(lifted.elems[3].kind, SymValue::Kind::kList);
+  EXPECT_TRUE(arena_.AsIntConst(lifted.elems[3].list_len, &iv));
+  EXPECT_EQ(iv, 2);
+}
+
+TEST_F(SymValueTest, LiftMemoryPreservesBlockIds) {
+  ConcreteMemory memory;
+  BlockIndex a = memory.Alloc(Value::Int(1));
+  BlockIndex b = memory.Alloc(Value::List({Value::Int(9)}));
+  SymMemory lifted = LiftMemory(memory, &arena_);
+  EXPECT_EQ(lifted.num_blocks(), memory.num_blocks());
+  int64_t v = 0;
+  EXPECT_TRUE(arena_.AsIntConst(lifted.Resolve(a, {})->term, &v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(arena_.AsIntConst(lifted.Resolve(b, {0})->term, &v));
+  EXPECT_EQ(v, 9);
+}
+
+TEST_F(SymValueTest, ConcretizeRoundTrip) {
+  Value v = Value::Struct({Value::Int(5), Value::List({Value::Bool(false)})});
+  SymValue lifted = LiftValue(v, &arena_);
+  Value back = ConcretizeValue(lifted, arena_, nullptr);
+  EXPECT_EQ(back, v);
+}
+
+TEST_F(SymValueTest, ConcretizeUsesModel) {
+  SymValue sym = SymValue::OfTerm(arena_.Var("x", Sort::kInt));
+  Model model;
+  model.Set("x", 42);
+  EXPECT_EQ(ConcretizeValue(sym, arena_, &model), Value::Int(42));
+}
+
+TEST_F(SymValueTest, ConcretizeSymbolicLengthList) {
+  SymValue list;
+  list.kind = SymValue::Kind::kList;
+  list.list_len = arena_.Var("len", Sort::kInt);
+  list.elems = {SymValue::OfTerm(arena_.Var("e0", Sort::kInt)),
+                SymValue::OfTerm(arena_.Var("e1", Sort::kInt)),
+                SymValue::OfTerm(arena_.Var("e2", Sort::kInt))};
+  Model model;
+  model.Set("len", 2);
+  model.Set("e0", 10);
+  model.Set("e1", 20);
+  Value v = ConcretizeValue(list, arena_, &model);
+  ASSERT_EQ(v.elems.size(), 2u);
+  EXPECT_EQ(v.elems[0], Value::Int(10));
+  EXPECT_EQ(v.elems[1], Value::Int(20));
+}
+
+TEST_F(SymValueTest, SymZeroValueMatchesConcreteZero) {
+  TypeTable types;
+  Type node = types.StructType("N");
+  types.DefineStruct("N", {{"x", types.IntType()},
+                           {"next", types.PtrTo(node)},
+                           {"xs", types.ListOf(types.IntType())}});
+  SymValue zero = SymZeroValue(types, node, &arena_);
+  EXPECT_EQ(ConcretizeValue(zero, arena_, nullptr), ZeroValueOf(types, node));
+}
+
+}  // namespace
+}  // namespace dnsv

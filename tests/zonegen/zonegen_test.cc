@@ -1,0 +1,117 @@
+#include "src/zonegen/zonegen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dnsv {
+namespace {
+
+TEST(ZoneGen, DeterministicForSeed) {
+  ZoneConfig a = GenerateZone(42);
+  ZoneConfig b = GenerateZone(42);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i], b.records[i]);
+  }
+}
+
+TEST(ZoneGen, SeedsDiffer) {
+  EXPECT_NE(GenerateZone(1).ToText(), GenerateZone(2).ToText());
+}
+
+// Every generated zone must already be canonical (the generator promises a
+// canonicalizable config and canonicalizes internally).
+class ZoneGenSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZoneGenSweep, AlwaysCanonical) {
+  ZoneConfig zone = GenerateZone(GetParam());
+  Result<ZoneConfig> canonical = CanonicalizeZone(zone);
+  ASSERT_TRUE(canonical.ok()) << canonical.error() << "\n" << zone.ToText();
+  // Canonicalizing a canonical zone is a fixpoint.
+  EXPECT_EQ(canonical.value().ToText(), zone.ToText());
+}
+
+TEST_P(ZoneGenSweep, HasApexInfrastructure) {
+  ZoneConfig zone = GenerateZone(GetParam());
+  int apex_soa = 0;
+  int apex_ns = 0;
+  for (const ZoneRecord& record : zone.records) {
+    if (record.name == zone.origin) {
+      apex_soa += record.type == RrType::kSoa ? 1 : 0;
+      apex_ns += record.type == RrType::kNs ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(apex_soa, 1);
+  EXPECT_GE(apex_ns, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZoneGenSweep, ::testing::Range(uint64_t{0}, uint64_t{40}));
+
+TEST(ZoneGen, CorpusCoversDiverseScenarios) {
+  // The paper favors complex names ('*' at various positions) and
+  // intertwined records (§9); over a modest corpus, all features must appear.
+  bool any_wildcard = false, any_delegation = false, any_cname = false, any_mx = false,
+       any_deep = false;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    ZoneConfig zone = GenerateZone(seed);
+    for (const ZoneRecord& record : zone.records) {
+      any_wildcard = any_wildcard || record.name.labels[0] == kWildcardLabel;
+      any_cname = any_cname || record.type == RrType::kCname;
+      any_mx = any_mx || record.type == RrType::kMx;
+      any_delegation =
+          any_delegation || (record.type == RrType::kNs && record.name != zone.origin);
+      any_deep = any_deep || record.name.NumLabels() >= zone.origin.NumLabels() + 3;
+    }
+  }
+  EXPECT_TRUE(any_wildcard);
+  EXPECT_TRUE(any_delegation);
+  EXPECT_TRUE(any_cname);
+  EXPECT_TRUE(any_mx);
+  EXPECT_TRUE(any_deep);
+}
+
+TEST(ZoneGen, OptionsDisableFeatures) {
+  ZoneGenOptions options;
+  options.allow_wildcards = false;
+  options.allow_delegations = false;
+  options.allow_cnames = false;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    ZoneConfig zone = GenerateZone(seed, options);
+    for (const ZoneRecord& record : zone.records) {
+      EXPECT_NE(record.name.labels[0], kWildcardLabel);
+      EXPECT_NE(record.type, RrType::kCname);
+      if (record.type == RrType::kNs) {
+        EXPECT_EQ(record.name, zone.origin);
+      }
+    }
+  }
+}
+
+TEST(InterestingQueryNames, CoversOwnersAncestorsAndProbes) {
+  ZoneConfig zone = GenerateZone(7);
+  std::vector<DnsName> names = InterestingQueryNames(zone, 7);
+  std::set<std::string> set;
+  for (const DnsName& name : names) {
+    set.insert(name.ToString());
+  }
+  // Every owner appears.
+  for (const ZoneRecord& record : zone.records) {
+    EXPECT_TRUE(set.count(record.name.ToString())) << record.name.ToString();
+  }
+  // The apex and an out-of-zone probe appear.
+  EXPECT_TRUE(set.count(zone.origin.ToString()));
+  EXPECT_TRUE(set.count("not.in.this.zone.example"));
+  // No duplicates by construction.
+  EXPECT_EQ(set.size(), names.size());
+}
+
+TEST(AllQueryTypes, IncludesAnyAndConcreteTypes) {
+  std::vector<RrType> types = AllQueryTypes();
+  EXPECT_NE(std::find(types.begin(), types.end(), RrType::kAny), types.end());
+  EXPECT_NE(std::find(types.begin(), types.end(), RrType::kA), types.end());
+  EXPECT_GE(types.size(), 8u);
+}
+
+}  // namespace
+}  // namespace dnsv
