@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_summarization.dir/ablation_summarization.cc.o"
+  "CMakeFiles/ablation_summarization.dir/ablation_summarization.cc.o.d"
+  "ablation_summarization"
+  "ablation_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_bench.cc" "bench/CMakeFiles/micro_bench.dir/micro_bench.cc.o" "gcc" "bench/CMakeFiles/micro_bench.dir/micro_bench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnsv/CMakeFiles/dnsv_dnsv.dir/DependInfo.cmake"
+  "/root/repo/build/src/zonegen/CMakeFiles/dnsv_zonegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dnsv_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/dnsv_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/dnsv_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/dnsv_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsv_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dnsv_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dnsv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dnsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

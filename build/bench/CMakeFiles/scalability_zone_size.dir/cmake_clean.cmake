@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_zone_size.dir/scalability_zone_size.cc.o"
+  "CMakeFiles/scalability_zone_size.dir/scalability_zone_size.cc.o.d"
+  "scalability_zone_size"
+  "scalability_zone_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_zone_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_treesearch_paths.dir/table1_treesearch_paths.cc.o"
+  "CMakeFiles/table1_treesearch_paths.dir/table1_treesearch_paths.cc.o.d"
+  "table1_treesearch_paths"
+  "table1_treesearch_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_treesearch_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_bug_finding.dir/table2_bug_finding.cc.o"
+  "CMakeFiles/table2_bug_finding.dir/table2_bug_finding.cc.o.d"
+  "table2_bug_finding"
+  "table2_bug_finding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bug_finding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_server.dir/dns_server.cpp.o"
+  "CMakeFiles/dns_server.dir/dns_server.cpp.o.d"
+  "dns_server"
+  "dns_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_gate.dir/release_gate.cpp.o"
+  "CMakeFiles/release_gate.dir/release_gate.cpp.o.d"
+  "release_gate"
+  "release_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolve_cli.dir/resolve_cli.cpp.o"
+  "CMakeFiles/resolve_cli.dir/resolve_cli.cpp.o.d"
+  "resolve_cli"
+  "resolve_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolve_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

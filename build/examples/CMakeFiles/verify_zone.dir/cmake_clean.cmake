@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_zone.dir/verify_zone.cpp.o"
+  "CMakeFiles/verify_zone.dir/verify_zone.cpp.o.d"
+  "verify_zone"
+  "verify_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

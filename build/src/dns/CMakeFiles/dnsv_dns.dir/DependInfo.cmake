@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/example_zones.cc" "src/dns/CMakeFiles/dnsv_dns.dir/example_zones.cc.o" "gcc" "src/dns/CMakeFiles/dnsv_dns.dir/example_zones.cc.o.d"
+  "/root/repo/src/dns/heap.cc" "src/dns/CMakeFiles/dnsv_dns.dir/heap.cc.o" "gcc" "src/dns/CMakeFiles/dnsv_dns.dir/heap.cc.o.d"
+  "/root/repo/src/dns/name.cc" "src/dns/CMakeFiles/dnsv_dns.dir/name.cc.o" "gcc" "src/dns/CMakeFiles/dnsv_dns.dir/name.cc.o.d"
+  "/root/repo/src/dns/rr.cc" "src/dns/CMakeFiles/dnsv_dns.dir/rr.cc.o" "gcc" "src/dns/CMakeFiles/dnsv_dns.dir/rr.cc.o.d"
+  "/root/repo/src/dns/wire.cc" "src/dns/CMakeFiles/dnsv_dns.dir/wire.cc.o" "gcc" "src/dns/CMakeFiles/dnsv_dns.dir/wire.cc.o.d"
+  "/root/repo/src/dns/zone.cc" "src/dns/CMakeFiles/dnsv_dns.dir/zone.cc.o" "gcc" "src/dns/CMakeFiles/dnsv_dns.dir/zone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/dnsv_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dnsv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dnsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsv_dns.dir/example_zones.cc.o"
+  "CMakeFiles/dnsv_dns.dir/example_zones.cc.o.d"
+  "CMakeFiles/dnsv_dns.dir/heap.cc.o"
+  "CMakeFiles/dnsv_dns.dir/heap.cc.o.d"
+  "CMakeFiles/dnsv_dns.dir/name.cc.o"
+  "CMakeFiles/dnsv_dns.dir/name.cc.o.d"
+  "CMakeFiles/dnsv_dns.dir/rr.cc.o"
+  "CMakeFiles/dnsv_dns.dir/rr.cc.o.d"
+  "CMakeFiles/dnsv_dns.dir/wire.cc.o"
+  "CMakeFiles/dnsv_dns.dir/wire.cc.o.d"
+  "CMakeFiles/dnsv_dns.dir/zone.cc.o"
+  "CMakeFiles/dnsv_dns.dir/zone.cc.o.d"
+  "libdnsv_dns.a"
+  "libdnsv_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsv_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsv_dnsv.dir/layers.cc.o"
+  "CMakeFiles/dnsv_dnsv.dir/layers.cc.o.d"
+  "CMakeFiles/dnsv_dnsv.dir/verifier.cc.o"
+  "CMakeFiles/dnsv_dnsv.dir/verifier.cc.o.d"
+  "libdnsv_dnsv.a"
+  "libdnsv_dnsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsv_dnsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

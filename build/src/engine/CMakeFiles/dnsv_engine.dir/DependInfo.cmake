@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/dnsv_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/sources/compare_raw_mg.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/compare_raw_mg.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/compare_raw_mg.cc.o.d"
+  "/root/repo/src/engine/sources/library_mg.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/library_mg.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/library_mg.cc.o.d"
+  "/root/repo/src/engine/sources/name_spec_mg.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/name_spec_mg.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/name_spec_mg.cc.o.d"
+  "/root/repo/src/engine/sources/registry.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/registry.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/registry.cc.o.d"
+  "/root/repo/src/engine/sources/resolve_dev_mg.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_dev_mg.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_dev_mg.cc.o.d"
+  "/root/repo/src/engine/sources/resolve_golden_mg.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_golden_mg.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_golden_mg.cc.o.d"
+  "/root/repo/src/engine/sources/resolve_v1_mg.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_v1_mg.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_v1_mg.cc.o.d"
+  "/root/repo/src/engine/sources/resolve_v2_mg.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_v2_mg.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_v2_mg.cc.o.d"
+  "/root/repo/src/engine/sources/resolve_v3_mg.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_v3_mg.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_v3_mg.cc.o.d"
+  "/root/repo/src/engine/sources/resolve_v4_mg.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_v4_mg.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/resolve_v4_mg.cc.o.d"
+  "/root/repo/src/engine/sources/spec_mg.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/spec_mg.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/spec_mg.cc.o.d"
+  "/root/repo/src/engine/sources/types_mg.cc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/types_mg.cc.o" "gcc" "src/engine/CMakeFiles/dnsv_engine.dir/sources/types_mg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dnsv_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/dnsv_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dnsv_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dnsv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dnsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsv_engine.dir/engine.cc.o"
+  "CMakeFiles/dnsv_engine.dir/engine.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/compare_raw_mg.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/compare_raw_mg.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/library_mg.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/library_mg.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/name_spec_mg.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/name_spec_mg.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/registry.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/registry.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_dev_mg.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_dev_mg.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_golden_mg.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_golden_mg.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_v1_mg.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_v1_mg.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_v2_mg.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_v2_mg.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_v3_mg.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_v3_mg.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_v4_mg.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/resolve_v4_mg.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/spec_mg.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/spec_mg.cc.o.d"
+  "CMakeFiles/dnsv_engine.dir/sources/types_mg.cc.o"
+  "CMakeFiles/dnsv_engine.dir/sources/types_mg.cc.o.d"
+  "libdnsv_engine.a"
+  "libdnsv_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsv_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsv_frontend.dir/frontend.cc.o"
+  "CMakeFiles/dnsv_frontend.dir/frontend.cc.o.d"
+  "CMakeFiles/dnsv_frontend.dir/lexer.cc.o"
+  "CMakeFiles/dnsv_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/dnsv_frontend.dir/lower.cc.o"
+  "CMakeFiles/dnsv_frontend.dir/lower.cc.o.d"
+  "CMakeFiles/dnsv_frontend.dir/parser.cc.o"
+  "CMakeFiles/dnsv_frontend.dir/parser.cc.o.d"
+  "CMakeFiles/dnsv_frontend.dir/typecheck.cc.o"
+  "CMakeFiles/dnsv_frontend.dir/typecheck.cc.o.d"
+  "libdnsv_frontend.a"
+  "libdnsv_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsv_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

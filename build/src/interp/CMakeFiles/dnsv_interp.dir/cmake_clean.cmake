@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsv_interp.dir/interp.cc.o"
+  "CMakeFiles/dnsv_interp.dir/interp.cc.o.d"
+  "CMakeFiles/dnsv_interp.dir/value.cc.o"
+  "CMakeFiles/dnsv_interp.dir/value.cc.o.d"
+  "libdnsv_interp.a"
+  "libdnsv_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsv_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

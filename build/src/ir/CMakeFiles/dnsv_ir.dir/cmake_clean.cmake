@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsv_ir.dir/builder.cc.o"
+  "CMakeFiles/dnsv_ir.dir/builder.cc.o.d"
+  "CMakeFiles/dnsv_ir.dir/printer.cc.o"
+  "CMakeFiles/dnsv_ir.dir/printer.cc.o.d"
+  "CMakeFiles/dnsv_ir.dir/type.cc.o"
+  "CMakeFiles/dnsv_ir.dir/type.cc.o.d"
+  "CMakeFiles/dnsv_ir.dir/validate.cc.o"
+  "CMakeFiles/dnsv_ir.dir/validate.cc.o.d"
+  "libdnsv_ir.a"
+  "libdnsv_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsv_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

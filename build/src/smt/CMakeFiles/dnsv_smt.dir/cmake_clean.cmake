@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsv_smt.dir/solver.cc.o"
+  "CMakeFiles/dnsv_smt.dir/solver.cc.o.d"
+  "CMakeFiles/dnsv_smt.dir/term.cc.o"
+  "CMakeFiles/dnsv_smt.dir/term.cc.o.d"
+  "libdnsv_smt.a"
+  "libdnsv_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsv_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

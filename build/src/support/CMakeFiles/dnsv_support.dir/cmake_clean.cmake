@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsv_support.dir/logging.cc.o"
+  "CMakeFiles/dnsv_support.dir/logging.cc.o.d"
+  "CMakeFiles/dnsv_support.dir/status.cc.o"
+  "CMakeFiles/dnsv_support.dir/status.cc.o.d"
+  "CMakeFiles/dnsv_support.dir/strings.cc.o"
+  "CMakeFiles/dnsv_support.dir/strings.cc.o.d"
+  "libdnsv_support.a"
+  "libdnsv_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsv_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sym/executor.cc" "src/sym/CMakeFiles/dnsv_sym.dir/executor.cc.o" "gcc" "src/sym/CMakeFiles/dnsv_sym.dir/executor.cc.o.d"
+  "/root/repo/src/sym/refine.cc" "src/sym/CMakeFiles/dnsv_sym.dir/refine.cc.o" "gcc" "src/sym/CMakeFiles/dnsv_sym.dir/refine.cc.o.d"
+  "/root/repo/src/sym/specsub.cc" "src/sym/CMakeFiles/dnsv_sym.dir/specsub.cc.o" "gcc" "src/sym/CMakeFiles/dnsv_sym.dir/specsub.cc.o.d"
+  "/root/repo/src/sym/summary.cc" "src/sym/CMakeFiles/dnsv_sym.dir/summary.cc.o" "gcc" "src/sym/CMakeFiles/dnsv_sym.dir/summary.cc.o.d"
+  "/root/repo/src/sym/symvalue.cc" "src/sym/CMakeFiles/dnsv_sym.dir/symvalue.cc.o" "gcc" "src/sym/CMakeFiles/dnsv_sym.dir/symvalue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/dnsv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dnsv_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/dnsv_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dnsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsv_sym.dir/executor.cc.o"
+  "CMakeFiles/dnsv_sym.dir/executor.cc.o.d"
+  "CMakeFiles/dnsv_sym.dir/refine.cc.o"
+  "CMakeFiles/dnsv_sym.dir/refine.cc.o.d"
+  "CMakeFiles/dnsv_sym.dir/specsub.cc.o"
+  "CMakeFiles/dnsv_sym.dir/specsub.cc.o.d"
+  "CMakeFiles/dnsv_sym.dir/summary.cc.o"
+  "CMakeFiles/dnsv_sym.dir/summary.cc.o.d"
+  "CMakeFiles/dnsv_sym.dir/symvalue.cc.o"
+  "CMakeFiles/dnsv_sym.dir/symvalue.cc.o.d"
+  "libdnsv_sym.a"
+  "libdnsv_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsv_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsv_zonegen.dir/zonegen.cc.o"
+  "CMakeFiles/dnsv_zonegen.dir/zonegen.cc.o.d"
+  "libdnsv_zonegen.a"
+  "libdnsv_zonegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsv_zonegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnsv_zonegen.a"
+)

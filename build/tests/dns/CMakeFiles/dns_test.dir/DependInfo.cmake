@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dns/heap_test.cc" "tests/dns/CMakeFiles/dns_test.dir/heap_test.cc.o" "gcc" "tests/dns/CMakeFiles/dns_test.dir/heap_test.cc.o.d"
+  "/root/repo/tests/dns/name_test.cc" "tests/dns/CMakeFiles/dns_test.dir/name_test.cc.o" "gcc" "tests/dns/CMakeFiles/dns_test.dir/name_test.cc.o.d"
+  "/root/repo/tests/dns/wire_test.cc" "tests/dns/CMakeFiles/dns_test.dir/wire_test.cc.o" "gcc" "tests/dns/CMakeFiles/dns_test.dir/wire_test.cc.o.d"
+  "/root/repo/tests/dns/zone_test.cc" "tests/dns/CMakeFiles/dns_test.dir/zone_test.cc.o" "gcc" "tests/dns/CMakeFiles/dns_test.dir/zone_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dnsv_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dnsv_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dnsv_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/dnsv_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dnsv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dnsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

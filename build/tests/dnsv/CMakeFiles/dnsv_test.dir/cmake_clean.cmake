@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsv_test.dir/crosscheck_test.cc.o"
+  "CMakeFiles/dnsv_test.dir/crosscheck_test.cc.o.d"
+  "CMakeFiles/dnsv_test.dir/verifier_test.cc.o"
+  "CMakeFiles/dnsv_test.dir/verifier_test.cc.o.d"
+  "dnsv_test"
+  "dnsv_test.pdb"
+  "dnsv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

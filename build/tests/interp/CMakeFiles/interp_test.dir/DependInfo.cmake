@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interp/edge_test.cc" "tests/interp/CMakeFiles/interp_test.dir/edge_test.cc.o" "gcc" "tests/interp/CMakeFiles/interp_test.dir/edge_test.cc.o.d"
+  "/root/repo/tests/interp/interp_test.cc" "tests/interp/CMakeFiles/interp_test.dir/interp_test.cc.o" "gcc" "tests/interp/CMakeFiles/interp_test.dir/interp_test.cc.o.d"
+  "/root/repo/tests/interp/value_test.cc" "tests/interp/CMakeFiles/interp_test.dir/value_test.cc.o" "gcc" "tests/interp/CMakeFiles/interp_test.dir/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/dnsv_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/dnsv_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dnsv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dnsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/builder_test.cc" "tests/ir/CMakeFiles/ir_test.dir/builder_test.cc.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/builder_test.cc.o.d"
+  "/root/repo/tests/ir/printer_test.cc" "tests/ir/CMakeFiles/ir_test.dir/printer_test.cc.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/printer_test.cc.o.d"
+  "/root/repo/tests/ir/type_test.cc" "tests/ir/CMakeFiles/ir_test.dir/type_test.cc.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/type_test.cc.o.d"
+  "/root/repo/tests/ir/validate_test.cc" "tests/ir/CMakeFiles/ir_test.dir/validate_test.cc.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/validate_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/dnsv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/dnsv_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dnsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

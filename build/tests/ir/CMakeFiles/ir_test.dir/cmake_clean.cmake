@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_test.dir/builder_test.cc.o"
+  "CMakeFiles/ir_test.dir/builder_test.cc.o.d"
+  "CMakeFiles/ir_test.dir/printer_test.cc.o"
+  "CMakeFiles/ir_test.dir/printer_test.cc.o.d"
+  "CMakeFiles/ir_test.dir/type_test.cc.o"
+  "CMakeFiles/ir_test.dir/type_test.cc.o.d"
+  "CMakeFiles/ir_test.dir/validate_test.cc.o"
+  "CMakeFiles/ir_test.dir/validate_test.cc.o.d"
+  "ir_test"
+  "ir_test.pdb"
+  "ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

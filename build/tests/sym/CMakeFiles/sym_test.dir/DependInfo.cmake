@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sym/executor_test.cc" "tests/sym/CMakeFiles/sym_test.dir/executor_test.cc.o" "gcc" "tests/sym/CMakeFiles/sym_test.dir/executor_test.cc.o.d"
+  "/root/repo/tests/sym/refine_test.cc" "tests/sym/CMakeFiles/sym_test.dir/refine_test.cc.o" "gcc" "tests/sym/CMakeFiles/sym_test.dir/refine_test.cc.o.d"
+  "/root/repo/tests/sym/summary_test.cc" "tests/sym/CMakeFiles/sym_test.dir/summary_test.cc.o" "gcc" "tests/sym/CMakeFiles/sym_test.dir/summary_test.cc.o.d"
+  "/root/repo/tests/sym/symvalue_test.cc" "tests/sym/CMakeFiles/sym_test.dir/symvalue_test.cc.o" "gcc" "tests/sym/CMakeFiles/sym_test.dir/symvalue_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sym/CMakeFiles/dnsv_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/dnsv_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dnsv_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/dnsv_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsv_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dnsv_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dnsv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dnsv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zonegen_test.dir/zonegen_test.cc.o"
+  "CMakeFiles/zonegen_test.dir/zonegen_test.cc.o.d"
+  "zonegen_test"
+  "zonegen_test.pdb"
+  "zonegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zonegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
