@@ -8,7 +8,7 @@
 // calling context.
 #include <cstdio>
 
-#include "src/dnsv/verifier.h"
+#include "src/dnsv/pipeline.h"
 #include "src/zonegen/zonegen.h"
 
 namespace dnsv {
@@ -52,18 +52,19 @@ ns.sub A   192.0.2.9
 )").value()});
   cases.push_back({"generated (seed 11)", GenerateZone(11, {.max_names = 4, .max_depth = 2})});
 
+  VerifyContext context;  // the golden engine compiles once for all runs below
   for (const Case& test_case : cases) {
     VerificationReport mono;
     VerificationReport summ;
     {
       VerifyOptions options;
       options.use_summaries = false;
-      mono = VerifyEngine(EngineVersion::kGolden, test_case.zone, options);
+      mono = RunVerifyPipeline(&context, EngineVersion::kGolden, test_case.zone, options);
     }
     {
       VerifyOptions options;
       options.use_summaries = true;
-      summ = VerifyEngine(EngineVersion::kGolden, test_case.zone, options);
+      summ = RunVerifyPipeline(&context, EngineVersion::kGolden, test_case.zone, options);
     }
     const char* agreement = mono.verified == summ.verified ? "agree" : "DISAGREE";
     std::printf("%-24s %8zu | %10.3f %10lld %10lld | %10.3f %10lld %10lld | %s\n",

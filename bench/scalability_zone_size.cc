@@ -4,7 +4,7 @@
 // record count because rrlookup filters the whole list per path.
 #include <cstdio>
 
-#include "src/dnsv/verifier.h"
+#include "src/dnsv/pipeline.h"
 #include "src/zonegen/zonegen.h"
 
 namespace dnsv {
@@ -15,12 +15,13 @@ int RunScalability() {
   std::printf("Scalability: golden-engine verification time vs zone size\n\n");
   std::printf("%8s %8s %10s %12s %14s %12s\n", "names", "records", "time (s)",
               "engine paths", "solver checks", "verdict");
+  VerifyContext context;  // one golden-engine compile across the whole sweep
   for (int names : {2, 4, 6, 8}) {
     ZoneGenOptions options;
     options.max_names = names;
     options.max_depth = 2;
     ZoneConfig zone = GenerateZone(17, options);  // same seed: nested workloads
-    VerificationReport report = VerifyEngine(EngineVersion::kGolden, zone);
+    VerificationReport report = RunVerifyPipeline(&context, EngineVersion::kGolden, zone);
     std::printf("%8d %8zu %10.2f %12lld %14lld %12s\n", names, zone.records.size(),
                 report.total_seconds, static_cast<long long>(report.engine_paths),
                 static_cast<long long>(report.solver_checks),

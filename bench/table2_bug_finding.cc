@@ -10,7 +10,7 @@
 #include <map>
 #include <set>
 
-#include "src/dnsv/verifier.h"
+#include "src/dnsv/pipeline.h"
 #include "src/support/strings.h"
 
 namespace dnsv {
@@ -66,12 +66,13 @@ int RunTable2() {
 
   std::map<std::string, std::set<std::string>> found_by_version;
   int total_issues = 0;
+  VerifyContext context;  // each version compiles once, reused across both zones
   for (EngineVersion version : AllEngineVersions()) {
     bool any = false;
     for (const ZoneCase& zone_case : zones) {
       VerifyOptions options;
       options.max_issues = 6;
-      VerificationReport report = VerifyEngine(version, zone_case.zone, options);
+      VerificationReport report = RunVerifyPipeline(&context, version, zone_case.zone, options);
       if (report.aborted) {
         std::printf("%-8s %-10s ABORTED: %s\n", EngineVersionName(version), zone_case.name,
                     report.abort_reason.c_str());
@@ -113,6 +114,12 @@ int RunTable2() {
     std::printf("\n");
   }
   std::printf("\ntotal confirmed issues: %d\n", total_issues);
+  const VerifyContext::CacheStats& cache = context.cache_stats();
+  std::printf("pipeline cache: %lld compiles (%lld hits), %lld zone lifts (%lld hits)\n",
+              static_cast<long long>(cache.engine_compiles),
+              static_cast<long long>(cache.engine_cache_hits),
+              static_cast<long long>(cache.zone_lifts),
+              static_cast<long long>(cache.zone_cache_hits));
   return 0;
 }
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 test suite in the normal configuration, then again under
+# AddressSanitizer + UndefinedBehaviorSanitizer (DNSV_SANITIZE). The sanitized
+# pass exists mainly for the concurrent exploration workers: data races on a
+# TermArena or a Z3 context show up as ASan/UBSan reports long before they
+# show up as wrong verdicts.
+#
+#   $ ci/check.sh            # both passes
+#   $ ci/check.sh --fast     # normal pass only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_pass() {
+  local build_dir=$1
+  shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+echo "=== pass 1: normal build + ctest ==="
+run_pass build
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "=== --fast: skipping sanitizer pass ==="
+  exit 0
+fi
+
+echo "=== pass 2: DNSV_SANITIZE=address,undefined build + ctest ==="
+# halt_on_error: fail the test on the first UBSan report instead of printing
+# and continuing; detect_leaks stays on (the engine cache is reachable at
+# exit, so it does not trip LeakSanitizer).
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+run_pass build-asan -DDNSV_SANITIZE=address,undefined
+
+echo "=== all checks passed ==="

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/dnsv/verifier.h"
+#include "src/dnsv/pipeline.h"
 #include "src/zonegen/zonegen.h"
 
 int main(int argc, char** argv) {
@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   std::printf("release gate: verifying each engine iteration over %d generated zones\n\n",
               num_zones);
   bool all_expected = true;
+  VerifyContext context;  // N versions x M zones -> N compiles, M lifts per version
   for (EngineVersion version : AllEngineVersions()) {
     int clean = 0;
     VerificationIssue first_issue;
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
       ZoneConfig zone = GenerateZone(static_cast<uint64_t>(1000 + i), gen_options);
       VerifyOptions options;
       options.max_issues = 1;
-      VerificationReport report = VerifyEngine(version, zone, options);
+      VerificationReport report = RunVerifyPipeline(&context, version, zone, options);
       if (report.aborted) {
         std::printf("  %-7s zone #%d: aborted (%s)\n", EngineVersionName(version), i,
                     report.abort_reason.c_str());

@@ -43,13 +43,13 @@ std::vector<LayerInfo> EngineLayers(EngineVersion version) {
 
 namespace {
 
-// Shared measurement context: compiled engine, lifted heap, symbolic query.
+// Per-measurement symbolic session on top of the pipeline's shared immutable
+// state (compiled engine + lifted zone). The arena/solver/summarizer are
+// private to this measurement, mirroring the ExploreStage worker isolation
+// rule: shared state is read-only, every session owns its solver.
 struct LayerContext {
-  std::unique_ptr<CompiledEngine> engine;
-  ZoneConfig zone;
-  LabelInterner interner;
-  ConcreteMemory concrete_memory;
-  HeapImage image;
+  std::shared_ptr<const CompiledEngine> engine;
+  std::shared_ptr<const LiftedZone> lifted;
   std::unique_ptr<TermArena> arena;
   std::unique_ptr<SolverSession> solver;
   SymMemory base_memory;
@@ -60,7 +60,7 @@ struct LayerContext {
   SymbolicIntList FreshList(const std::string& name, int capacity) {
     SymbolicIntList list =
         MakeSymbolicIntList(arena.get(), name, capacity, LabelInterner::kWildcardCode,
-                            interner.max_code());
+                            lifted->interner.max_code());
     solver->Assert(list.constraints);
     return list;
   }
@@ -71,26 +71,21 @@ struct LayerContext {
   }
 };
 
-std::unique_ptr<LayerContext> MakeContext(EngineVersion version, const ZoneConfig& zone) {
+std::unique_ptr<LayerContext> MakeContext(VerifyContext* verify_context, EngineVersion version,
+                                          const ZoneConfig& zone) {
   auto ctx = std::make_unique<LayerContext>();
-  ctx->engine = CompiledEngine::Compile(version);
-  ctx->zone = CanonicalizeZone(zone).value();
-  ctx->image =
-      BuildHeapImage(ctx->zone, &ctx->interner, ctx->engine->types(), &ctx->concrete_memory);
+  ctx->engine = verify_context->GetEngine(version);
+  ctx->lifted = verify_context->GetLiftedZone(version, zone).value();
   ctx->arena = std::make_unique<TermArena>();
   ctx->solver = std::make_unique<SolverSession>(ctx->arena.get());
-  ctx->base_memory = LiftMemory(ctx->concrete_memory, ctx->arena.get());
-  ctx->apex = LiftValue(ctx->image.apex_ptr, ctx->arena.get());
-  ctx->origin = LiftValue(ctx->image.origin_labels, ctx->arena.get());
-  ctx->zone_rrs = LiftValue(ctx->image.zone_rrs, ctx->arena.get());
-  size_t max_labels = ctx->zone.origin.NumLabels();
-  for (const ZoneRecord& record : ctx->zone.records) {
-    max_labels = std::max(max_labels, record.name.NumLabels());
-  }
-  ctx->qname_capacity = static_cast<int>(max_labels) + 1;
+  ctx->base_memory = LiftMemory(ctx->lifted->memory, ctx->arena.get());
+  ctx->apex = LiftValue(ctx->lifted->image.apex_ptr, ctx->arena.get());
+  ctx->origin = LiftValue(ctx->lifted->image.origin_labels, ctx->arena.get());
+  ctx->zone_rrs = LiftValue(ctx->lifted->image.zone_rrs, ctx->arena.get());
+  ctx->qname_capacity = static_cast<int>(ctx->lifted->max_owner_labels) + 1;
   ctx->summarizer = std::make_unique<Summarizer>(
       &ctx->engine->module(), ctx->arena.get(), ctx->solver.get(), ctx->base_memory,
-      ctx->qname_capacity, ctx->interner.max_code());
+      ctx->qname_capacity, ctx->lifted->interner.max_code());
   for (FunctionInterface& interface_config : ResolutionLayerInterfaces()) {
     ctx->summarizer->Configure(std::move(interface_config));
   }
@@ -109,6 +104,7 @@ void ExploreInto(LayerContext* ctx, const std::string& fn, const std::vector<Sym
     return;
   }
   double start = ElapsedSeconds();
+  double solve_before = ctx->solver->solve_seconds();
   SymExecutor executor(&ctx->engine->module(), ctx->arena.get(), ctx->solver.get());
   SymState state;
   state.memory = ctx->base_memory;
@@ -121,6 +117,7 @@ void ExploreInto(LayerContext* ctx, const std::string& fn, const std::vector<Sym
     timing->note += StrCat(fn, ": ", e.what(), "; ");
   }
   timing->seconds += ElapsedSeconds() - start;
+  timing->solve_seconds += ctx->solver->solve_seconds() - solve_before;
 }
 
 // Summarizes `fn` for the given concrete arguments.
@@ -130,8 +127,10 @@ void SummarizeInto(LayerContext* ctx, const std::string& fn,
     return;
   }
   double start = ElapsedSeconds();
+  double solve_before = ctx->solver->solve_seconds();
   const FunctionSummary* summary = ctx->summarizer->GetOrCompute(fn, args);
   timing->seconds += ElapsedSeconds() - start;
+  timing->solve_seconds += ctx->solver->solve_seconds() - solve_before;
   if (summary == nullptr) {
     timing->ok = false;
     timing->note += fn + ": summarization declined; ";
@@ -143,7 +142,7 @@ void SummarizeInto(LayerContext* ctx, const std::string& fn,
 // All tree node pointers (blocks 1..num_tree_nodes are TreeNode blocks).
 std::vector<SymValue> TreeNodePtrs(const LayerContext& ctx) {
   std::vector<SymValue> nodes;
-  for (int b = 1; b <= ctx.image.num_tree_nodes; ++b) {
+  for (int b = 1; b <= ctx.lifted->image.num_tree_nodes; ++b) {
     nodes.push_back(SymValue::Ptr(static_cast<BlockIndex>(b)));
   }
   return nodes;
@@ -151,10 +150,11 @@ std::vector<SymValue> TreeNodePtrs(const LayerContext& ctx) {
 
 }  // namespace
 
-std::vector<LayerTiming> MeasureLayerTimes(EngineVersion version, const ZoneConfig& zone) {
-  std::unique_ptr<LayerContext> ctx = MakeContext(version, zone);
+LayerMeasurement MeasureLayers(VerifyContext* verify_context, EngineVersion version,
+                               const ZoneConfig& zone) {
+  std::unique_ptr<LayerContext> ctx = MakeContext(verify_context, version, zone);
   TermArena& arena = *ctx->arena;
-  std::vector<LayerTiming> results;
+  LayerMeasurement measurement;
 
   for (const LayerInfo& layer : EngineLayers(version)) {
     LayerTiming timing;
@@ -188,6 +188,7 @@ std::vector<LayerTiming> MeasureLayerTimes(EngineVersion version, const ZoneConf
           continue;
         }
         double start = ElapsedSeconds();
+        double solve_before = ctx->solver->solve_seconds();
         SymExecutor executor(&ctx->engine->module(), ctx->arena.get(), ctx->solver.get());
         std::vector<SymValue> args = {SymValue::Ptr(stack_block)};
         if (std::string(fn) == "nodeAtDepth") {
@@ -205,6 +206,7 @@ std::vector<LayerTiming> MeasureLayerTimes(EngineVersion version, const ZoneConf
           timing.note += StrCat(fn, ": ", e.what(), "; ");
         }
         timing.seconds += ElapsedSeconds() - start;
+        timing.solve_seconds += ctx->solver->solve_seconds() - solve_before;
       }
     } else if (layer.name == "RRSet") {
       SymbolicInt rtype = ctx->FreshInt("L.rtype", 1, 255);
@@ -223,7 +225,7 @@ std::vector<LayerTiming> MeasureLayerTimes(EngineVersion version, const ZoneConf
         ExploreInto(ctx.get(), "appendAll", {rr_list, rr_list}, &timing);
       }
     } else if (layer.name == "TreeSearch") {
-      SymbolicInt label = ctx->FreshInt("L.label", 1, ctx->interner.max_code());
+      SymbolicInt label = ctx->FreshInt("L.label", 1, ctx->lifted->interner.max_code());
       const SymValue* apex_node = ctx->base_memory.Resolve(ctx->apex.block, {});
       StructLayout node_layout(ctx->engine->types(), kStructTreeNode);
       ExploreInto(ctx.get(), "findChild",
@@ -270,23 +272,34 @@ std::vector<LayerTiming> MeasureLayerTimes(EngineVersion version, const ZoneConf
                      SymValue::List(ns_rrs, &arena)},
                     &timing);
     } else if (layer.name == "Resolve") {
+      // The whole-engine check is a full pipeline run; it reuses the already
+      // compiled engine and lifted zone through the shared context.
       double start = ElapsedSeconds();
       VerifyOptions options;
       options.use_summaries = true;
       options.max_issues = 1;
-      VerificationReport report = VerifyEngine(version, ctx->zone, options);
+      VerificationReport report =
+          RunVerifyPipeline(verify_context, version, ctx->lifted->zone, options);
       timing.seconds += ElapsedSeconds() - start;
+      timing.solve_seconds += report.solve_seconds;
+      timing.solver_checks += report.solver_checks;
       timing.paths += report.engine_paths + report.spec_paths;
       if (report.aborted) {
         timing.ok = false;
         timing.note += report.abort_reason;
       }
+      measurement.resolve_report = std::move(report);
     }
 
-    timing.solver_checks = ctx->solver->num_checks() - checks_before;
-    results.push_back(std::move(timing));
+    timing.solver_checks += ctx->solver->num_checks() - checks_before;
+    measurement.rows.push_back(std::move(timing));
   }
-  return results;
+  return measurement;
+}
+
+std::vector<LayerTiming> MeasureLayerTimes(EngineVersion version, const ZoneConfig& zone) {
+  VerifyContext context;
+  return MeasureLayers(&context, version, zone).rows;
 }
 
 }  // namespace dnsv

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/dns/zone.h"
+#include "src/dnsv/pipeline.h"
 #include "src/engine/sources/sources.h"
 
 namespace dnsv {
@@ -34,14 +35,29 @@ std::vector<LayerInfo> EngineLayers(EngineVersion version);
 struct LayerTiming {
   std::string layer;
   LayerKind kind = LayerKind::kManualSpec;
-  double seconds = 0;
-  int64_t paths = 0;        // explored paths / summary entries
+  double seconds = 0;        // wall clock, solver time included
+  double solve_seconds = 0;  // portion of `seconds` spent inside Z3
+  int64_t paths = 0;         // explored paths / summary entries
   int64_t solver_checks = 0;
   bool ok = true;
   std::string note;
 };
 
+// The Fig.-12 measurement plus the full pipeline report that backed the
+// Resolve row (per-stage breakdowns, for harnesses that print them).
+struct LayerMeasurement {
+  std::vector<LayerTiming> rows;
+  VerificationReport resolve_report;
+};
+
 // Measures every layer of `version` over `zone` (canonicalized internally).
+// Compilation and zone lifting are served from `context`, so repeated
+// measurements — and the embedded whole-engine Resolve check — reuse the
+// compiled engine instead of paying setup per layer.
+LayerMeasurement MeasureLayers(VerifyContext* context, EngineVersion version,
+                               const ZoneConfig& zone);
+
+// Convenience wrapper with a throwaway context.
 std::vector<LayerTiming> MeasureLayerTimes(EngineVersion version, const ZoneConfig& zone);
 
 }  // namespace dnsv

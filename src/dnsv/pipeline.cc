@@ -1,0 +1,553 @@
+#include "src/dnsv/pipeline.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "src/sym/refine.h"
+#include "src/sym/specsub.h"
+#include "src/sym/summary.h"
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+size_t MaxOwnerLabels(const ZoneConfig& zone) {
+  size_t max_labels = zone.origin.NumLabels();
+  for (const ZoneRecord& record : zone.records) {
+    max_labels = std::max(max_labels, record.name.NumLabels());
+  }
+  return max_labels;
+}
+
+std::string DecodeQname(const SymValue& qname, const Model& model, const TermArena& arena,
+                        const LabelInterner& interner) {
+  Value concrete = ConcretizeValue(qname, arena, &model);
+  std::vector<std::string> labels;  // concrete is root-first
+  for (auto it = concrete.elems.rbegin(); it != concrete.elems.rend(); ++it) {
+    labels.push_back(interner.DecodeApprox(it->i));
+  }
+  return labels.empty() ? "." : JoinStrings(labels, ".");
+}
+
+// The symbolic inputs shared by the engine and spec workers. Both workers
+// (and the compare stage) create these variables with identical names, so
+// TermImporter unifies them; everything else a worker generates is renamed
+// into a per-worker namespace on import.
+bool IsSharedInputVar(const std::string& name) {
+  return name == "qtype" || name.rfind("qname.", 0) == 0;
+}
+
+// One explored path, exported from a worker's private arena.
+struct ExploredPath {
+  PathOutcome::Kind kind = PathOutcome::Kind::kReturned;
+  Term pc;            // in the worker's arena
+  SymValue response;  // resolved *Response contents (returned paths only)
+  std::string panic_message;
+};
+
+// Everything a worker hands back to the pipeline. The arena stays alive so
+// the exported terms remain valid until the compare stage has imported them.
+struct ExploreResult {
+  bool aborted = false;
+  std::string abort_reason;
+  std::unique_ptr<TermArena> arena;
+  std::vector<ExploredPath> paths;
+  double seconds = 0;
+  int64_t solver_checks = 0;
+  double solve_seconds = 0;
+  int64_t summaries_computed = 0;
+  int64_t summary_applications = 0;
+  int64_t manual_specs_verified = 0;
+  int64_t spec_substitutions = 0;
+};
+
+// ExploreStage worker: full-path symbolic execution of either the engine's
+// Resolve (spec_side=false) or the rrlookup specification (spec_side=true),
+// in a freshly built, fully private symbolic session.
+ExploreResult RunExploreWorker(const CompiledEngine& engine, const LiftedZone& lifted,
+                               const VerifyOptions& options, bool spec_side) {
+  ExploreResult result;
+  double start = ElapsedSeconds();
+  result.arena = std::make_unique<TermArena>();
+  TermArena& arena = *result.arena;
+  SolverSession solver(&arena);
+
+  SymMemory base_memory = LiftMemory(lifted.memory, &arena);
+  SymValue apex = LiftValue(lifted.image.apex_ptr, &arena);
+  SymValue origin = LiftValue(lifted.image.origin_labels, &arena);
+  SymValue zone_rrs = LiftValue(lifted.image.zone_rrs, &arena);
+
+  int qname_capacity =
+      static_cast<int>(lifted.max_owner_labels) + options.extra_qname_labels;
+  SymbolicIntList qname =
+      MakeSymbolicIntList(&arena, "qname", qname_capacity, LabelInterner::kWildcardCode,
+                          lifted.interner.max_code());
+  SymbolicInt qtype = MakeSymbolicInt(&arena, "qtype", 1, 255);
+  solver.Assert(qname.constraints);
+  solver.Assert(qtype.constraints);
+
+  ExecLimits limits;
+  SymExecutor executor(&engine.module(), &arena, &solver, limits);
+  ChainedProvider providers;
+  std::unique_ptr<Summarizer> summarizer;
+  std::unique_ptr<SpecSubstitution> spec_substitution;
+  bool any_provider = false;
+  if (options.use_summaries) {
+    summarizer = std::make_unique<Summarizer>(&engine.module(), &arena, &solver, base_memory,
+                                              qname_capacity, lifted.interner.max_code());
+    for (FunctionInterface& interface_config : ResolutionLayerInterfaces()) {
+      summarizer->Configure(std::move(interface_config));
+    }
+    providers.Add(summarizer.get());
+    any_provider = true;
+  }
+  if (options.use_manual_specs) {
+    // Discharge the refinement obligation (spec ≡ impl, Fig. 1), then route
+    // library calls through the abstract spec. Each worker proves it against
+    // its own solver; the obligation is counted once (engine side).
+    const std::pair<const char*, const char*> manual_specs[] = {{"nameEq", "nameEqSpec"}};
+    spec_substitution = std::make_unique<SpecSubstitution>(&engine.module(), &arena, &solver);
+    for (const auto& [impl_name, spec_name] : manual_specs) {
+      SymbolicIntList a = MakeSymbolicIntList(&arena, StrCat("ref.", impl_name, ".a"),
+                                              qname_capacity, LabelInterner::kWildcardCode,
+                                              lifted.interner.max_code());
+      SymbolicIntList b = MakeSymbolicIntList(&arena, StrCat("ref.", impl_name, ".b"),
+                                              qname_capacity, LabelInterner::kWildcardCode,
+                                              lifted.interner.max_code());
+      SymState ref_state;
+      ref_state.pc = arena.And(a.constraints, b.constraints);
+      RefinementResult refinement = CheckFunctionRefinement(
+          &executor, *engine.module().GetFunction(impl_name),
+          *engine.module().GetFunction(spec_name), {a.value, b.value}, ref_state);
+      if (!refinement.ok()) {
+        result.aborted = true;
+        result.abort_reason = StrCat("manual spec for ", impl_name, " does not refine: ",
+                                     refinement.aborted ? refinement.abort_reason
+                                                        : refinement.mismatches[0].description);
+        result.seconds = ElapsedSeconds() - start;
+        return result;
+      }
+      spec_substitution->Map(impl_name, spec_name);
+      ++result.manual_specs_verified;
+    }
+    providers.Add(spec_substitution.get());
+    any_provider = true;
+  }
+  if (any_provider) {
+    executor.set_summary_provider(&providers);
+  }
+
+  const Function& entry = spec_side ? engine.rrlookup_fn() : engine.resolve_fn();
+  std::vector<SymValue> args =
+      spec_side ? std::vector<SymValue>{zone_rrs, origin, qname.value, qtype.value}
+                : std::vector<SymValue>{apex, origin, qname.value, qtype.value};
+
+  std::vector<PathOutcome> outcomes;
+  try {
+    SymState state;
+    state.memory = base_memory;
+    state.pc = arena.True();
+    outcomes = executor.Explore(entry, args, std::move(state));
+  } catch (const DnsvError& e) {
+    result.aborted = true;
+    result.abort_reason =
+        StrCat(spec_side ? "spec" : "engine", " exploration: ", e.what());
+    result.seconds = ElapsedSeconds() - start;
+    return result;
+  }
+
+  result.paths.reserve(outcomes.size());
+  for (const PathOutcome& outcome : outcomes) {
+    ExploredPath path;
+    path.kind = outcome.kind;
+    path.pc = outcome.state.pc;
+    if (outcome.kind == PathOutcome::Kind::kPanicked) {
+      path.panic_message = outcome.panic_message;
+    } else {
+      const SymValue& response_ptr = outcome.return_value;
+      DNSV_CHECK(response_ptr.kind == SymValue::Kind::kPtr && !response_ptr.IsNullPtr());
+      const SymValue* response =
+          outcome.state.memory.Resolve(response_ptr.block, response_ptr.path);
+      DNSV_CHECK(response != nullptr);
+      path.response = *response;
+    }
+    result.paths.push_back(std::move(path));
+  }
+
+  if (summarizer != nullptr) {
+    result.summaries_computed = summarizer->stats().summaries_computed;
+    result.summary_applications = summarizer->stats().applications;
+  }
+  if (spec_substitution != nullptr) {
+    result.spec_substitutions = spec_substitution->substitutions();
+  }
+  result.solver_checks = solver.num_checks();
+  result.solve_seconds = solver.solve_seconds();
+  result.seconds = ElapsedSeconds() - start;
+  return result;
+}
+
+// Imports a worker's paths into the compare arena, renaming worker-internal
+// variables into the `tag` namespace.
+std::vector<ExploredPath> ImportPaths(const ExploreResult& worker, const char* tag,
+                                      TermArena* arena) {
+  TermImporter importer(worker.arena.get(), arena, [tag](const std::string& name) {
+    return IsSharedInputVar(name) ? name : StrCat(tag, "!", name);
+  });
+  std::vector<ExploredPath> paths;
+  paths.reserve(worker.paths.size());
+  for (const ExploredPath& path : worker.paths) {
+    ExploredPath imported;
+    imported.kind = path.kind;
+    imported.pc = importer.Import(path.pc);
+    imported.panic_message = path.panic_message;
+    if (path.kind == PathOutcome::Kind::kReturned) {
+      imported.response = ImportSymValue(path.response, &importer);
+    }
+    paths.push_back(std::move(imported));
+  }
+  return paths;
+}
+
+// ConfirmStage state: decodes counterexample models into concrete queries,
+// re-executes them on the interpreter, classifies (Table 2), and dedupes.
+class Confirmer {
+ public:
+  Confirmer(const CompiledEngine& engine, const LiftedZone& lifted, const TermArena& arena,
+            const SymValue& qname, const SymValue& qtype, VerificationReport* report,
+            int max_issues)
+      : engine_(engine),
+        lifted_(lifted),
+        arena_(arena),
+        qname_(qname),
+        qtype_(qtype),
+        memory_(lifted.memory),  // private copy: interpretation allocates
+        interp_(&engine.module(), &memory_),
+        report_(report),
+        max_issues_(max_issues) {}
+
+  bool full() const { return static_cast<int>(report_->issues.size()) >= max_issues_; }
+  double seconds() const { return seconds_; }
+
+  // Decodes + confirms + classifies `issue` against `model` (when present),
+  // then appends it unless it duplicates an already-reported behavior.
+  void Add(VerificationIssue issue, const Model* model) {
+    double start = ElapsedSeconds();
+    if (model != nullptr) {
+      Decode(&issue, *model);
+    }
+    // One issue per behavior classification: Table-2 granularity. Distinct
+    // bugs of the same classification are surfaced by re-running after a fix,
+    // which is how the paper's workflow uses DNS-V too.
+    std::string key = StrCat(static_cast<int>(issue.kind), "|", issue.description, "|",
+                             issue.classification);
+    if (seen_.insert(key).second && !full()) {
+      report_->issues.push_back(std::move(issue));
+    }
+    seconds_ += ElapsedSeconds() - start;
+  }
+
+ private:
+  void Decode(VerificationIssue* issue, const Model& model) {
+    Value cq = ConcretizeValue(qname_, arena_, &model);
+    Value qtype_value = ConcretizeValue(qtype_, arena_, &model);
+    int64_t ct = qtype_value.i;
+    issue->qname = DecodeQname(qname_, model, arena_, lifted_.interner);
+    issue->qtype = static_cast<RrType>(ct);
+    ExecOutcome engine_run =
+        interp_.Run(engine_.resolve_fn(),
+                    {lifted_.image.apex_ptr, lifted_.image.origin_labels, cq, Value::Int(ct)});
+    ExecOutcome spec_run =
+        interp_.Run(engine_.rrlookup_fn(),
+                    {lifted_.image.zone_rrs, lifted_.image.origin_labels, cq, Value::Int(ct)});
+    issue->engine_behavior =
+        engine_run.ok()
+            ? DecodeResponse(engine_run.return_value, memory_, lifted_.interner, engine_.types())
+                  .ToString()
+            : "panic: " + engine_run.panic_message;
+    issue->spec_behavior =
+        spec_run.ok()
+            ? DecodeResponse(spec_run.return_value, memory_, lifted_.interner, engine_.types())
+                  .ToString()
+            : "panic: " + spec_run.panic_message;
+    issue->confirmed = issue->engine_behavior != issue->spec_behavior;
+    // Table-2 classification from the structured views.
+    std::vector<std::string> kinds;
+    if (!engine_run.ok()) {
+      kinds.push_back("Runtime Error");
+    } else if (spec_run.ok()) {
+      ResponseView ev =
+          DecodeResponse(engine_run.return_value, memory_, lifted_.interner, engine_.types());
+      ResponseView sv =
+          DecodeResponse(spec_run.return_value, memory_, lifted_.interner, engine_.types());
+      if (ev.rcode != sv.rcode) kinds.push_back("Wrong rcode");
+      if (ev.aa != sv.aa) kinds.push_back("Wrong Flag");
+      if (ev.answer != sv.answer) kinds.push_back("Wrong Answer");
+      if (ev.authority != sv.authority) kinds.push_back("Wrong Authority");
+      if (ev.additional != sv.additional) kinds.push_back("Wrong Additional");
+    }
+    issue->classification = JoinStrings(kinds, "/");
+  }
+
+  const CompiledEngine& engine_;
+  const LiftedZone& lifted_;
+  const TermArena& arena_;
+  SymValue qname_, qtype_;
+  ConcreteMemory memory_;
+  Interpreter interp_;
+  VerificationReport* report_;
+  int max_issues_;
+  std::set<std::string> seen_;
+  double seconds_ = 0;
+};
+
+StageStats MakeStage(const char* name, double seconds, int64_t checks = 0,
+                     double solve_seconds = 0, bool from_cache = false) {
+  StageStats stage;
+  stage.stage = name;
+  stage.seconds = seconds;
+  stage.solver_checks = checks;
+  stage.solve_seconds = solve_seconds;
+  stage.from_cache = from_cache;
+  return stage;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledEngine> VerifyContext::GetEngine(EngineVersion version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(version);
+  if (it != engines_.end()) {
+    ++stats_.engine_cache_hits;
+    return it->second;
+  }
+  std::shared_ptr<const CompiledEngine> engine = CompiledEngine::Compile(version);
+  ++stats_.engine_compiles;
+  engines_.emplace(version, engine);
+  return engine;
+}
+
+Result<std::shared_ptr<const LiftedZone>> VerifyContext::GetLiftedZone(EngineVersion version,
+                                                                       const ZoneConfig& zone) {
+  Result<ZoneConfig> canonical = CanonicalizeZone(zone);
+  if (!canonical.ok()) {
+    return Result<std::shared_ptr<const LiftedZone>>::Error(canonical.error());
+  }
+  std::string key = StrCat(EngineVersionName(version), "|", canonical.value().ToText());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = zones_.find(key);
+    if (it != zones_.end()) {
+      ++stats_.zone_cache_hits;
+      return it->second;
+    }
+  }
+  // Build outside the lock: lifting is the expensive part and GetEngine
+  // below takes the same mutex.
+  std::shared_ptr<const CompiledEngine> engine = GetEngine(version);
+  auto lifted = std::make_shared<LiftedZone>();
+  lifted->zone = std::move(canonical).value();
+  lifted->image =
+      BuildHeapImage(lifted->zone, &lifted->interner, engine->types(), &lifted->memory);
+  lifted->max_owner_labels = MaxOwnerLabels(lifted->zone);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = zones_.emplace(key, lifted);
+  if (inserted) {
+    ++stats_.zone_lifts;
+  } else {
+    ++stats_.zone_cache_hits;  // another thread lifted it first; use theirs
+  }
+  return std::shared_ptr<const LiftedZone>(it->second);
+}
+
+VerifyContext::CacheStats VerifyContext::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion version,
+                                     const ZoneConfig& zone, const VerifyOptions& options) {
+  VerificationReport report;
+  report.version = version;
+  double start = ElapsedSeconds();
+
+  // --- CompileStage ---
+  VerifyContext::CacheStats stats_before = context->cache_stats();
+  std::shared_ptr<const CompiledEngine> engine = context->GetEngine(version);
+  VerifyContext::CacheStats stats_mid = context->cache_stats();
+  report.stages.push_back(MakeStage(
+      "compile", ElapsedSeconds() - start, 0, 0,
+      stats_mid.engine_cache_hits > stats_before.engine_cache_hits));
+
+  // --- ZoneLiftStage ---
+  double lift_start = ElapsedSeconds();
+  Result<std::shared_ptr<const LiftedZone>> lifted_result =
+      context->GetLiftedZone(version, zone);
+  if (!lifted_result.ok()) {
+    report.aborted = true;
+    report.abort_reason = lifted_result.error();
+    report.total_seconds = ElapsedSeconds() - start;
+    return report;
+  }
+  std::shared_ptr<const LiftedZone> lifted = std::move(lifted_result).value();
+  VerifyContext::CacheStats stats_after = context->cache_stats();
+  report.stages.push_back(MakeStage(
+      "lift", ElapsedSeconds() - lift_start, 0, 0,
+      stats_after.zone_cache_hits > stats_mid.zone_cache_hits));
+
+  // --- ExploreStage: engine and spec workers, serial or concurrent ---
+  // Workers are fully isolated (private TermArena + SolverSession + lifted
+  // heap), so the parallel schedule produces byte-identical results.
+  bool spec_needed = !options.safety_only;
+  ExploreResult engine_side;
+  ExploreResult spec_side;
+  report.explored_in_parallel = options.parallel_explore && spec_needed;
+  if (report.explored_in_parallel) {
+    std::thread spec_thread(
+        [&] { spec_side = RunExploreWorker(*engine, *lifted, options, /*spec_side=*/true); });
+    engine_side = RunExploreWorker(*engine, *lifted, options, /*spec_side=*/false);
+    spec_thread.join();
+  } else {
+    engine_side = RunExploreWorker(*engine, *lifted, options, /*spec_side=*/false);
+    if (spec_needed) {
+      spec_side = RunExploreWorker(*engine, *lifted, options, /*spec_side=*/true);
+    }
+  }
+  report.stages.push_back(MakeStage("explore.engine", engine_side.seconds,
+                                    engine_side.solver_checks, engine_side.solve_seconds));
+  if (spec_needed) {
+    report.stages.push_back(MakeStage("explore.spec", spec_side.seconds,
+                                      spec_side.solver_checks, spec_side.solve_seconds));
+  }
+  report.solver_checks = engine_side.solver_checks + spec_side.solver_checks;
+  report.solve_seconds = engine_side.solve_seconds + spec_side.solve_seconds;
+  report.summaries_computed = engine_side.summaries_computed + spec_side.summaries_computed;
+  report.summary_applications =
+      engine_side.summary_applications + spec_side.summary_applications;
+  report.manual_specs_verified = engine_side.manual_specs_verified;
+  report.spec_substitutions = engine_side.spec_substitutions + spec_side.spec_substitutions;
+  if (engine_side.aborted || spec_side.aborted) {
+    report.aborted = true;
+    report.abort_reason =
+        engine_side.aborted ? engine_side.abort_reason : spec_side.abort_reason;
+    report.total_seconds = ElapsedSeconds() - start;
+    return report;
+  }
+  report.engine_paths = static_cast<int64_t>(engine_side.paths.size());
+  report.spec_paths = spec_needed ? static_cast<int64_t>(spec_side.paths.size()) : 0;
+
+  // --- CompareStage ---
+  // A fresh arena + solver; both workers' paths are imported into it with
+  // their internal variables renamed apart and the shared inputs unified.
+  double compare_start = ElapsedSeconds();
+  TermArena arena;
+  SolverSession solver(&arena);
+  int qname_capacity =
+      static_cast<int>(lifted->max_owner_labels) + options.extra_qname_labels;
+  SymbolicIntList qname =
+      MakeSymbolicIntList(&arena, "qname", qname_capacity, LabelInterner::kWildcardCode,
+                          lifted->interner.max_code());
+  SymbolicInt qtype = MakeSymbolicInt(&arena, "qtype", 1, 255);
+  solver.Assert(qname.constraints);
+  solver.Assert(qtype.constraints);
+  std::vector<ExploredPath> engine_paths = ImportPaths(engine_side, "eng", &arena);
+  std::vector<ExploredPath> spec_paths = ImportPaths(spec_side, "spec", &arena);
+  engine_side.arena.reset();
+  spec_side.arena.reset();
+
+  if (options.check_path_coverage) {
+    // Full-path meta-check: the disjunction of path conditions covers the
+    // input constraints, and no two paths overlap.
+    std::vector<Term> pcs;
+    pcs.reserve(engine_paths.size());
+    for (const ExploredPath& path : engine_paths) {
+      pcs.push_back(path.pc);
+    }
+    Term covered = arena.OrN(pcs);
+    if (solver.CheckAssuming(arena.Not(covered)) != SatResult::kUnsat) {
+      report.aborted = true;
+      report.abort_reason = "full-path meta-check failed: inputs escape every path";
+      report.total_seconds = ElapsedSeconds() - start;
+      return report;
+    }
+    for (size_t i = 0; i < pcs.size(); ++i) {
+      for (size_t j = i + 1; j < pcs.size(); ++j) {
+        if (solver.CheckAssuming(arena.And(pcs[i], pcs[j])) != SatResult::kUnsat) {
+          report.aborted = true;
+          report.abort_reason =
+              StrCat("full-path meta-check failed: paths ", i, " and ", j, " overlap");
+          report.total_seconds = ElapsedSeconds() - start;
+          return report;
+        }
+      }
+    }
+    report.path_coverage_checked = true;
+  }
+
+  Confirmer confirmer(*engine, *lifted, arena, qname.value, qtype.value, &report,
+                      options.max_issues);
+
+  // Safety: feasible engine paths into a panic block.
+  for (const ExploredPath& engine_path : engine_paths) {
+    if (confirmer.full()) break;
+    if (engine_path.kind != PathOutcome::Kind::kPanicked) continue;
+    if (solver.CheckAssuming(engine_path.pc) != SatResult::kSat) {
+      continue;  // defensive; forks only take feasible sides
+    }
+    Model model = solver.GetModel();
+    VerificationIssue issue;
+    issue.kind = VerificationIssue::Kind::kSafety;
+    issue.description = "reachable panic block: " + engine_path.panic_message;
+    confirmer.Add(std::move(issue), &model);
+  }
+
+  // Safety on the specification side, then functional equivalence of every
+  // compatible (engine path, spec path) pair.
+  if (spec_needed) {
+    for (const ExploredPath& spec_path : spec_paths) {
+      if (confirmer.full()) break;
+      if (spec_path.kind != PathOutcome::Kind::kPanicked) continue;
+      VerificationIssue issue;
+      issue.kind = VerificationIssue::Kind::kSafety;
+      issue.description = "specification panics: " + spec_path.panic_message;
+      if (solver.CheckAssuming(spec_path.pc) == SatResult::kSat) {
+        Model model = solver.GetModel();
+        confirmer.Add(std::move(issue), &model);
+      } else {
+        confirmer.Add(std::move(issue), nullptr);
+      }
+    }
+    for (const ExploredPath& engine_path : engine_paths) {
+      if (confirmer.full()) break;
+      if (engine_path.kind != PathOutcome::Kind::kReturned) continue;
+      for (const ExploredPath& spec_path : spec_paths) {
+        if (confirmer.full()) break;
+        if (spec_path.kind != PathOutcome::Kind::kReturned) continue;
+        Term equal = SymValueEqTerm(engine_path.response, spec_path.response, &arena);
+        Term mismatch = arena.AndN({engine_path.pc, spec_path.pc, arena.Not(equal)});
+        if (solver.CheckAssuming(mismatch) == SatResult::kSat) {
+          Model model = solver.GetModel();
+          VerificationIssue issue;
+          issue.kind = VerificationIssue::Kind::kFunctional;
+          issue.description = "engine response differs from rrlookup specification";
+          confirmer.Add(std::move(issue), &model);
+        }
+      }
+    }
+  }
+
+  double compare_wall = ElapsedSeconds() - compare_start;
+  report.stages.push_back(MakeStage("compare", compare_wall - confirmer.seconds(),
+                                    solver.num_checks(), solver.solve_seconds()));
+  report.stages.push_back(MakeStage("confirm", confirmer.seconds()));
+  report.solver_checks += solver.num_checks();
+  report.solve_seconds += solver.solve_seconds();
+
+  report.total_seconds = ElapsedSeconds() - start;
+  report.verified = !report.aborted && report.issues.empty();
+  return report;
+}
+
+}  // namespace dnsv

@@ -1,35 +1,9 @@
 #include "src/dnsv/verifier.h"
 
-#include <algorithm>
-#include <set>
-
-#include "src/sym/refine.h"
-#include "src/sym/specsub.h"
+#include "src/dnsv/pipeline.h"
 #include "src/support/strings.h"
 
 namespace dnsv {
-namespace {
-
-// Largest owner depth in the zone, in labels.
-size_t MaxOwnerLabels(const ZoneConfig& zone) {
-  size_t max_labels = zone.origin.NumLabels();
-  for (const ZoneRecord& record : zone.records) {
-    max_labels = std::max(max_labels, record.name.NumLabels());
-  }
-  return max_labels;
-}
-
-std::string DecodeQname(const SymValue& qname, const Model& model, const TermArena& arena,
-                        const LabelInterner& interner) {
-  Value concrete = ConcretizeValue(qname, arena, &model);
-  std::vector<std::string> labels;  // concrete is root-first
-  for (auto it = concrete.elems.rbegin(); it != concrete.elems.rend(); ++it) {
-    labels.push_back(interner.DecodeApprox(it->i));
-  }
-  return labels.empty() ? "." : JoinStrings(labels, ".");
-}
-
-}  // namespace
 
 std::string VerificationIssue::ToString() const {
   std::string out =
@@ -38,6 +12,17 @@ std::string VerificationIssue::ToString() const {
                 confirmed ? "  (confirmed on the concrete interpreter)" : "", "\n");
   out += "  engine: " + engine_behavior + "\n";
   out += "  spec:   " + spec_behavior + "\n";
+  return out;
+}
+
+std::string StageStats::ToString() const {
+  std::string out = StrCat("    ", stage, ": ", seconds, "s");
+  if (from_cache) {
+    out += " (cached)";
+  }
+  if (solver_checks > 0) {
+    out += StrCat(", ", solver_checks, " solver checks (", solve_seconds, "s)");
+  }
   return out;
 }
 
@@ -63,6 +48,13 @@ std::string VerificationReport::ToString() const {
     out += StrCat("  manual specs: ", manual_specs_verified, " refinement obligation(s) ",
                   "discharged, ", spec_substitutions, " call sites substituted\n");
   }
+  if (!stages.empty()) {
+    out += StrCat("  stages (", explored_in_parallel ? "parallel" : "serial",
+                  " exploration):\n");
+    for (const StageStats& stage : stages) {
+      out += stage.ToString() + "\n";
+    }
+  }
   return out;
 }
 
@@ -85,276 +77,10 @@ std::vector<FunctionInterface> ResolutionLayerInterfaces() {
 
 VerificationReport VerifyEngine(EngineVersion version, const ZoneConfig& zone,
                                 const VerifyOptions& options) {
-  VerificationReport report;
-  report.version = version;
-  double start = ElapsedSeconds();
-
-  // --- setup: compile, build the concrete heap, lift it ---
-  Result<ZoneConfig> canonical_result = CanonicalizeZone(zone);
-  if (!canonical_result.ok()) {
-    report.aborted = true;
-    report.abort_reason = canonical_result.error();
-    return report;
-  }
-  ZoneConfig canonical = std::move(canonical_result).value();
-  std::unique_ptr<CompiledEngine> engine = CompiledEngine::Compile(version);
-  LabelInterner interner;
-  ConcreteMemory concrete_memory;
-  HeapImage image = BuildHeapImage(canonical, &interner, engine->types(), &concrete_memory);
-
-  TermArena arena;
-  SolverSession solver(&arena);
-  SymMemory base_memory = LiftMemory(concrete_memory, &arena);
-  SymValue apex = LiftValue(image.apex_ptr, &arena);
-  SymValue origin = LiftValue(image.origin_labels, &arena);
-  SymValue zone_rrs = LiftValue(image.zone_rrs, &arena);
-
-  // --- symbolic query (§6.1): any qname up to the zone depth + slack, any
-  // qtype in the wire range ---
-  int qname_capacity =
-      static_cast<int>(MaxOwnerLabels(canonical)) + options.extra_qname_labels;
-  SymbolicIntList qname =
-      MakeSymbolicIntList(&arena, "qname", qname_capacity, LabelInterner::kWildcardCode,
-                          interner.max_code());
-  SymbolicInt qtype = MakeSymbolicInt(&arena, "qtype", 1, 255);
-  solver.Assert(qname.constraints);
-  solver.Assert(qtype.constraints);
-
-  ExecLimits limits;
-  SymExecutor executor(&engine->module(), &arena, &solver, limits);
-  ChainedProvider providers;
-  std::unique_ptr<Summarizer> summarizer;
-  std::unique_ptr<SpecSubstitution> spec_substitution;
-  bool any_provider = false;
-  if (options.use_summaries) {
-    summarizer = std::make_unique<Summarizer>(&engine->module(), &arena, &solver, base_memory,
-                                              qname_capacity, interner.max_code());
-    for (FunctionInterface& interface_config : ResolutionLayerInterfaces()) {
-      summarizer->Configure(std::move(interface_config));
-    }
-    providers.Add(summarizer.get());
-    any_provider = true;
-  }
-  if (options.use_manual_specs) {
-    // Discharge the refinement obligation (spec ≡ impl, Fig. 1), then route
-    // library calls through the abstract spec.
-    const std::pair<const char*, const char*> manual_specs[] = {{"nameEq", "nameEqSpec"}};
-    spec_substitution = std::make_unique<SpecSubstitution>(&engine->module(), &arena, &solver);
-    for (const auto& [impl_name, spec_name] : manual_specs) {
-      SymbolicIntList a = MakeSymbolicIntList(&arena, StrCat("ref.", impl_name, ".a"),
-                                              qname_capacity, LabelInterner::kWildcardCode,
-                                              interner.max_code());
-      SymbolicIntList b = MakeSymbolicIntList(&arena, StrCat("ref.", impl_name, ".b"),
-                                              qname_capacity, LabelInterner::kWildcardCode,
-                                              interner.max_code());
-      SymState ref_state;
-      ref_state.pc = arena.And(a.constraints, b.constraints);
-      RefinementResult refinement = CheckFunctionRefinement(
-          &executor, *engine->module().GetFunction(impl_name),
-          *engine->module().GetFunction(spec_name), {a.value, b.value}, ref_state);
-      if (!refinement.ok()) {
-        report.aborted = true;
-        report.abort_reason = StrCat("manual spec for ", impl_name, " does not refine: ",
-                                     refinement.aborted ? refinement.abort_reason
-                                                        : refinement.mismatches[0].description);
-        return report;
-      }
-      spec_substitution->Map(impl_name, spec_name);
-      ++report.manual_specs_verified;
-    }
-    providers.Add(spec_substitution.get());
-    any_provider = true;
-  }
-  if (any_provider) {
-    executor.set_summary_provider(&providers);
-  }
-
-  // --- interpreter for counterexample confirmation ---
-  Interpreter interp(&engine->module(), &concrete_memory);
-  StructLayout response_layout(engine->types(), kStructResponse);
-  auto confirm = [&](const Model& model, VerificationIssue* issue) {
-    Value cq = ConcretizeValue(qname.value, arena, &model);
-    int64_t ct = 0;
-    Value qtype_value = ConcretizeValue(qtype.value, arena, &model);
-    ct = qtype_value.i;
-    issue->qname = DecodeQname(qname.value, model, arena, interner);
-    issue->qtype = static_cast<RrType>(ct);
-    ExecOutcome engine_run = interp.Run(
-        engine->resolve_fn(), {image.apex_ptr, image.origin_labels, cq, Value::Int(ct)});
-    ExecOutcome spec_run = interp.Run(
-        engine->rrlookup_fn(), {image.zone_rrs, image.origin_labels, cq, Value::Int(ct)});
-    issue->engine_behavior =
-        engine_run.ok()
-            ? DecodeResponse(engine_run.return_value, concrete_memory, interner,
-                             engine->types())
-                  .ToString()
-            : "panic: " + engine_run.panic_message;
-    issue->spec_behavior =
-        spec_run.ok() ? DecodeResponse(spec_run.return_value, concrete_memory, interner,
-                                       engine->types())
-                            .ToString()
-                      : "panic: " + spec_run.panic_message;
-    issue->confirmed = issue->engine_behavior != issue->spec_behavior;
-    // Table-2 classification from the structured views.
-    std::vector<std::string> kinds;
-    if (!engine_run.ok()) {
-      kinds.push_back("Runtime Error");
-    } else if (spec_run.ok()) {
-      ResponseView ev = DecodeResponse(engine_run.return_value, concrete_memory, interner,
-                                       engine->types());
-      ResponseView sv = DecodeResponse(spec_run.return_value, concrete_memory, interner,
-                                       engine->types());
-      if (ev.rcode != sv.rcode) kinds.push_back("Wrong rcode");
-      if (ev.aa != sv.aa) kinds.push_back("Wrong Flag");
-      if (ev.answer != sv.answer) kinds.push_back("Wrong Answer");
-      if (ev.authority != sv.authority) kinds.push_back("Wrong Authority");
-      if (ev.additional != sv.additional) kinds.push_back("Wrong Additional");
-    }
-    issue->classification = JoinStrings(kinds, "/");
-  };
-
-  std::set<std::string> seen_issues;
-  auto add_issue = [&](VerificationIssue issue) {
-    // One issue per behavior classification: Table-2 granularity. Distinct
-    // bugs of the same classification are surfaced by re-running after a fix,
-    // which is how the paper's workflow uses DNS-V too.
-    std::string key = StrCat(static_cast<int>(issue.kind), "|", issue.description, "|",
-                             issue.classification);
-    if (seen_issues.insert(key).second &&
-        static_cast<int>(report.issues.size()) < options.max_issues) {
-      report.issues.push_back(std::move(issue));
-    }
-  };
-
-  // --- full-path symbolic execution of Resolve ---
-  std::vector<PathOutcome> engine_outcomes;
-  try {
-    SymState state;
-    state.memory = base_memory;
-    state.pc = arena.True();
-    engine_outcomes =
-        executor.Explore(engine->resolve_fn(),
-                         {apex, origin, qname.value, qtype.value}, std::move(state));
-  } catch (const DnsvError& e) {
-    report.aborted = true;
-    report.abort_reason = StrCat("engine exploration: ", e.what());
-    return report;
-  }
-  report.engine_paths = static_cast<int64_t>(engine_outcomes.size());
-
-  if (options.check_path_coverage) {
-    // Full-path meta-check: the disjunction of path conditions covers the
-    // input constraints, and no two paths overlap.
-    std::vector<Term> pcs;
-    pcs.reserve(engine_outcomes.size());
-    for (const PathOutcome& outcome : engine_outcomes) {
-      pcs.push_back(outcome.state.pc);
-    }
-    Term covered = arena.OrN(pcs);
-    if (solver.CheckAssuming(arena.Not(covered)) != SatResult::kUnsat) {
-      report.aborted = true;
-      report.abort_reason = "full-path meta-check failed: inputs escape every path";
-      return report;
-    }
-    for (size_t i = 0; i < pcs.size(); ++i) {
-      for (size_t j = i + 1; j < pcs.size(); ++j) {
-        if (solver.CheckAssuming(arena.And(pcs[i], pcs[j])) != SatResult::kUnsat) {
-          report.aborted = true;
-          report.abort_reason =
-              StrCat("full-path meta-check failed: paths ", i, " and ", j, " overlap");
-          return report;
-        }
-      }
-    }
-    report.path_coverage_checked = true;
-  }
-
-  for (const PathOutcome& engine_path : engine_outcomes) {
-    if (static_cast<int>(report.issues.size()) >= options.max_issues) {
-      break;
-    }
-    // Safety: a feasible path into a panic block.
-    if (engine_path.kind == PathOutcome::Kind::kPanicked) {
-      if (solver.CheckAssuming(engine_path.state.pc) != SatResult::kSat) {
-        continue;  // defensive; forks only take feasible sides
-      }
-      VerificationIssue issue;
-      issue.kind = VerificationIssue::Kind::kSafety;
-      issue.description = "reachable panic block: " + engine_path.panic_message;
-      confirm(solver.GetModel(), &issue);
-      add_issue(std::move(issue));
-      continue;
-    }
-    if (options.safety_only) {
-      continue;
-    }
-    // Functional correctness: explore the spec under this path condition.
-    const SymValue& response_ptr = engine_path.return_value;
-    DNSV_CHECK(response_ptr.kind == SymValue::Kind::kPtr && !response_ptr.IsNullPtr());
-    const SymValue* engine_response =
-        engine_path.state.memory.Resolve(response_ptr.block, response_ptr.path);
-    DNSV_CHECK(engine_response != nullptr);
-
-    std::vector<PathOutcome> spec_outcomes;
-    try {
-      SymState spec_state;
-      spec_state.memory = base_memory;
-      spec_state.pc = engine_path.state.pc;
-      SymExecutor spec_executor(&engine->module(), &arena, &solver, limits);
-      if (any_provider) {
-        spec_executor.set_summary_provider(&providers);
-      }
-      spec_outcomes = spec_executor.Explore(
-          engine->rrlookup_fn(), {zone_rrs, origin, qname.value, qtype.value},
-          std::move(spec_state));
-      report.spec_paths += static_cast<int64_t>(spec_outcomes.size());
-    } catch (const DnsvError& e) {
-      report.aborted = true;
-      report.abort_reason = StrCat("spec exploration: ", e.what());
-      return report;
-    }
-    for (const PathOutcome& spec_path : spec_outcomes) {
-      if (static_cast<int>(report.issues.size()) >= options.max_issues) {
-        break;
-      }
-      if (spec_path.kind == PathOutcome::Kind::kPanicked) {
-        VerificationIssue issue;
-        issue.kind = VerificationIssue::Kind::kSafety;
-        issue.description = "specification panics: " + spec_path.panic_message;
-        if (solver.CheckAssuming(spec_path.state.pc) == SatResult::kSat) {
-          confirm(solver.GetModel(), &issue);
-        }
-        add_issue(std::move(issue));
-        continue;
-      }
-      const SymValue& spec_ptr = spec_path.return_value;
-      const SymValue* spec_response =
-          spec_path.state.memory.Resolve(spec_ptr.block, spec_ptr.path);
-      DNSV_CHECK(spec_response != nullptr);
-      Term equal = SymValueEqTerm(*engine_response, *spec_response, &arena);
-      Term mismatch = arena.And(spec_path.state.pc, arena.Not(equal));
-      if (solver.CheckAssuming(mismatch) == SatResult::kSat) {
-        VerificationIssue issue;
-        issue.kind = VerificationIssue::Kind::kFunctional;
-        issue.description = "engine response differs from rrlookup specification";
-        confirm(solver.GetModel(), &issue);
-        add_issue(std::move(issue));
-      }
-    }
-  }
-
-  report.solver_checks = solver.num_checks();
-  report.solve_seconds = solver.solve_seconds();
-  if (summarizer != nullptr) {
-    report.summaries_computed = summarizer->stats().summaries_computed;
-    report.summary_applications = summarizer->stats().applications;
-  }
-  if (spec_substitution != nullptr) {
-    report.spec_substitutions = spec_substitution->substitutions();
-  }
-  report.total_seconds = ElapsedSeconds() - start;
-  report.verified = !report.aborted && report.issues.empty();
-  return report;
+  // One-shot entry point: a throwaway context (no reuse across calls). Batch
+  // callers create a VerifyContext and use RunVerifyPipeline directly.
+  VerifyContext context;
+  return RunVerifyPipeline(&context, version, zone, options);
 }
 
 }  // namespace dnsv

@@ -42,6 +42,12 @@ struct VerifyOptions {
   // disjoint and jointly cover the whole symbolic input space. Quadratic in
   // the path count; intended for tests and audits, not the fast path.
   bool check_path_coverage = false;
+  // Run the engine-path and spec-path explorations on separate worker
+  // threads. Each worker owns a private TermArena + SolverSession (Z3
+  // contexts are not thread-safe, so the isolation is mandatory either way);
+  // results are merged deterministically, so the issue list is byte-identical
+  // to serial mode.
+  bool parallel_explore = true;
 };
 
 struct VerificationIssue {
@@ -63,6 +69,17 @@ struct VerificationIssue {
   std::string ToString() const;
 };
 
+// Wall-clock / solver breakdown of one pipeline stage (paper Fig. 6 box).
+struct StageStats {
+  std::string stage;  // compile | lift | explore.engine | explore.spec | compare | confirm
+  double seconds = 0;
+  int64_t solver_checks = 0;
+  double solve_seconds = 0;   // portion of `seconds` spent inside Z3
+  bool from_cache = false;    // compile/lift: served from the VerifyContext cache
+
+  std::string ToString() const;
+};
+
 struct VerificationReport {
   EngineVersion version = EngineVersion::kGolden;
   bool verified = false;  // no issues and exploration completed
@@ -80,6 +97,10 @@ struct VerificationReport {
   int64_t manual_specs_verified = 0;   // refinement obligations discharged
   int64_t spec_substitutions = 0;      // call sites served by a manual spec
   bool path_coverage_checked = false;  // the full-path meta-check ran and held
+  // Per-stage observability: one entry per executed pipeline stage, in
+  // execution order (explore.engine/explore.spec may have run concurrently).
+  std::vector<StageStats> stages;
+  bool explored_in_parallel = false;
 
   std::string ToString() const;
 };

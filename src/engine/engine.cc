@@ -1,10 +1,19 @@
 #include "src/engine/engine.h"
 
+#include <atomic>
+#include <map>
+#include <mutex>
+
 #include "src/support/logging.h"
 
 namespace dnsv {
 
+namespace {
+std::atomic<int64_t> g_num_compiles{0};
+}  // namespace
+
 std::unique_ptr<CompiledEngine> CompiledEngine::Compile(EngineVersion version) {
+  g_num_compiles.fetch_add(1, std::memory_order_relaxed);
   auto engine = std::unique_ptr<CompiledEngine>(new CompiledEngine());
   engine->version_ = version;
   engine->types_ = std::make_unique<TypeTable>();
@@ -17,6 +26,22 @@ std::unique_ptr<CompiledEngine> CompiledEngine::Compile(EngineVersion version) {
   return engine;
 }
 
+std::shared_ptr<const CompiledEngine> CompiledEngine::GetCached(EngineVersion version) {
+  static std::mutex mu;
+  static std::map<EngineVersion, std::shared_ptr<const CompiledEngine>>* cache =
+      new std::map<EngineVersion, std::shared_ptr<const CompiledEngine>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(version);
+  if (it == cache->end()) {
+    it = cache->emplace(version, Compile(version)).first;
+  }
+  return it->second;
+}
+
+int64_t CompiledEngine::num_compiles() {
+  return g_num_compiles.load(std::memory_order_relaxed);
+}
+
 const Function& CompiledEngine::resolve_fn() const { return *module_->GetFunction("resolve"); }
 const Function& CompiledEngine::rrlookup_fn() const { return *module_->GetFunction("rrlookup"); }
 
@@ -27,7 +52,7 @@ Result<std::unique_ptr<AuthoritativeServer>> AuthoritativeServer::Create(
     return Result<std::unique_ptr<AuthoritativeServer>>::Error(canonical.error());
   }
   auto server = std::unique_ptr<AuthoritativeServer>(new AuthoritativeServer());
-  server->engine_ = CompiledEngine::Compile(version);
+  server->engine_ = CompiledEngine::GetCached(version);
   server->zone_ = std::move(canonical).value();
   server->image_ = BuildHeapImage(server->zone_, &server->interner_, server->engine_->types(),
                                   &server->memory_);

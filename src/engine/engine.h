@@ -22,15 +22,27 @@
 namespace dnsv {
 
 // One compiled engine version: its AbsIR module plus the shared type table.
+// Immutable after Compile() returns, so a single instance can be shared
+// across threads and verification runs.
 class CompiledEngine {
  public:
   // Compiles `version` (engine + matching spec). Aborts on compile errors —
   // the embedded sources are part of this repository and must always build.
   static std::unique_ptr<CompiledEngine> Compile(EngineVersion version);
 
+  // Process-wide cache: compiles `version` on first use, then returns the
+  // shared instance. Thread-safe. Server startup and other "just give me the
+  // engine" callers use this so they stop paying full recompilation.
+  static std::shared_ptr<const CompiledEngine> GetCached(EngineVersion version);
+
+  // Total Compile() calls in this process; lets tests assert compilation
+  // reuse (N versions x M zones must compile exactly N times).
+  static int64_t num_compiles();
+
   EngineVersion version() const { return version_; }
   const Module& module() const { return *module_; }
   Module& module() { return *module_; }
+  const TypeTable& types() const { return *types_; }
   TypeTable& types() { return *types_; }
   const Function& resolve_fn() const;
   const Function& rrlookup_fn() const;
@@ -73,7 +85,7 @@ class AuthoritativeServer {
   AuthoritativeServer() = default;
   QueryResult RunLookup(const Function& fn, std::vector<Value> args);
 
-  std::unique_ptr<CompiledEngine> engine_;
+  std::shared_ptr<const CompiledEngine> engine_;
   ZoneConfig zone_;
   LabelInterner interner_;
   ConcreteMemory memory_;

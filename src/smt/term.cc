@@ -481,4 +481,75 @@ std::string TermArena::ToString(Term t) const {
   return "<?>";
 }
 
+Term TermImporter::Import(Term t) {
+  DNSV_CHECK(t.valid());
+  auto memo_it = memo_.find(t.id());
+  if (memo_it != memo_.end()) {
+    return memo_it->second;
+  }
+  const TermNode& n = from_->node(t);
+  auto op = [&](size_t i) { return Import(n.operands[i]); };
+  Term result;
+  switch (n.kind) {
+    case TermKind::kIntConst:
+      result = to_->IntConst(n.int_value);
+      break;
+    case TermKind::kBoolConst:
+      result = to_->BoolConst(n.int_value != 0);
+      break;
+    case TermKind::kVar: {
+      const std::string& name = from_->VarName(t);
+      result = to_->Var(rename_ ? rename_(name) : name, n.sort);
+      break;
+    }
+    case TermKind::kAdd:
+      result = to_->Add(op(0), op(1));
+      break;
+    case TermKind::kSub:
+      result = to_->Sub(op(0), op(1));
+      break;
+    case TermKind::kMul:
+      result = to_->Mul(op(0), op(1));
+      break;
+    case TermKind::kDiv:
+      result = to_->Div(op(0), op(1));
+      break;
+    case TermKind::kMod:
+      result = to_->Mod(op(0), op(1));
+      break;
+    case TermKind::kEq:
+    case TermKind::kBoolEq:
+      result = to_->Eq(op(0), op(1));
+      break;
+    case TermKind::kLt:
+      result = to_->Lt(op(0), op(1));
+      break;
+    case TermKind::kLe:
+      result = to_->Le(op(0), op(1));
+      break;
+    case TermKind::kAnd: {
+      std::vector<Term> ops;
+      ops.reserve(n.operands.size());
+      for (size_t i = 0; i < n.operands.size(); ++i) ops.push_back(op(i));
+      result = to_->AndN(ops);
+      break;
+    }
+    case TermKind::kOr: {
+      std::vector<Term> ops;
+      ops.reserve(n.operands.size());
+      for (size_t i = 0; i < n.operands.size(); ++i) ops.push_back(op(i));
+      result = to_->OrN(ops);
+      break;
+    }
+    case TermKind::kNot:
+      result = to_->Not(op(0));
+      break;
+    case TermKind::kIte:
+      result = to_->Ite(op(0), op(1), op(2));
+      break;
+  }
+  memo_.emplace(t.id(), result);
+  return result;
+}
+
 }  // namespace dnsv

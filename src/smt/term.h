@@ -9,6 +9,7 @@
 #define DNSV_SMT_TERM_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -136,6 +137,28 @@ class TermArena {
   std::vector<Sort> var_sorts_;
   Term true_;
   Term false_;
+};
+
+// Copies terms from one arena into another, rebuilding bottom-up through the
+// destination's simplifying constructors. Variables are carried over by name;
+// an optional rename hook maps source variable names to destination names, so
+// two isolated worker arenas can be merged into one comparison arena without
+// capturing each other's internally generated variables (pad.*, havoc.*, …)
+// while still unifying the shared symbolic inputs (qname.*, qtype).
+// Memoized per importer; one importer per (source, destination) pair.
+class TermImporter {
+ public:
+  using VarRename = std::function<std::string(const std::string&)>;
+  TermImporter(const TermArena* from, TermArena* to, VarRename rename = nullptr)
+      : from_(from), to_(to), rename_(std::move(rename)) {}
+
+  Term Import(Term t);
+
+ private:
+  const TermArena* from_;
+  TermArena* to_;
+  VarRename rename_;
+  std::unordered_map<uint32_t, Term> memo_;
 };
 
 }  // namespace dnsv

@@ -183,4 +183,18 @@ Value ConcretizeValue(const SymValue& value, const TermArena& arena, const Model
   return Value::Unit();
 }
 
+SymValue ImportSymValue(const SymValue& value, TermImporter* importer) {
+  SymValue out = value;
+  if (out.term.valid()) {
+    out.term = importer->Import(value.term);
+  }
+  if (out.list_len.valid()) {
+    out.list_len = importer->Import(value.list_len);
+  }
+  for (size_t i = 0; i < out.elems.size(); ++i) {
+    out.elems[i] = ImportSymValue(value.elems[i], importer);
+  }
+  return out;
+}
+
 }  // namespace dnsv

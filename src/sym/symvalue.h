@@ -110,6 +110,12 @@ SymValue SymZeroValue(const TypeTable& types, Type type, TermArena* arena);
 // on symbolic leaves. `model` (optional) supplies values for variables.
 Value ConcretizeValue(const SymValue& value, const TermArena& arena, const Model* model);
 
+// Rebuilds `value` with every term leaf routed through `importer`, so a value
+// produced in one worker's arena can be used in another arena. Block indices
+// are preserved (both arenas were lifted from the same concrete heap) and so
+// are list base tokens.
+SymValue ImportSymValue(const SymValue& value, TermImporter* importer);
+
 }  // namespace dnsv
 
 #endif  // DNSV_SYM_SYMVALUE_H_

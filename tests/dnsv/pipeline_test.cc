@@ -1,0 +1,230 @@
+// Pipeline-specific tests: stage caching, parallel-vs-serial determinism,
+// per-stage reporting, and the process-wide compiled-engine cache.
+#include "src/dnsv/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+
+namespace dnsv {
+namespace {
+
+ZoneConfig ZoneA() {
+  return ParseZoneText(R"(
+$ORIGIN pa.test.
+@   SOA ns 1
+@   NS  ns.pa.test.
+ns  A   192.0.2.1
+www A   192.0.2.2
+)").value();
+}
+
+ZoneConfig ZoneB() {
+  return ParseZoneText(R"(
+$ORIGIN pb.test.
+@   SOA ns 1
+@   NS  ns.pb.test.
+ns  A   192.0.2.3
+*   TXT 7
+)").value();
+}
+
+// A zone on which v1.0 reports several confirmed issues — used to compare
+// parallel and serial exploration on a non-trivial issue list.
+ZoneConfig BuggyZone() {
+  return ParseZoneText(R"(
+$ORIGIN pc.test.
+@   SOA ns 1
+@   NS  ns.pc.test.
+ns  A   192.0.2.1
+www A   192.0.2.2
+*   TXT 7
+)").value();
+}
+
+TEST(PipelineCache, TwoZonesOneVersionCompileOnce) {
+  VerifyContext context;
+  int64_t compiles_before = CompiledEngine::num_compiles();
+  VerificationReport a = RunVerifyPipeline(&context, EngineVersion::kGolden, ZoneA());
+  VerificationReport b = RunVerifyPipeline(&context, EngineVersion::kGolden, ZoneB());
+  EXPECT_TRUE(a.verified) << a.ToString();
+  EXPECT_TRUE(b.verified) << b.ToString();
+  EXPECT_EQ(CompiledEngine::num_compiles() - compiles_before, 1)
+      << "two zones over one version must compile the engine exactly once";
+  const VerifyContext::CacheStats& stats = context.cache_stats();
+  EXPECT_EQ(stats.engine_compiles, 1);
+  // Later stages re-fetch the engine from the cache (lift needs the type
+  // table), so hits exceed one-per-run; what matters is no recompile.
+  EXPECT_GE(stats.engine_cache_hits, 1);
+  EXPECT_EQ(stats.zone_lifts, 2);  // distinct zones: no lift reuse
+}
+
+TEST(PipelineCache, AllVersionsOneZoneCompileOncePerVersion) {
+  VerifyContext context;
+  int64_t compiles_before = CompiledEngine::num_compiles();
+  int num_versions = 0;
+  for (EngineVersion version : AllEngineVersions()) {
+    VerifyOptions options;
+    options.max_issues = 1;  // verdict only: keep the sweep fast
+    VerificationReport report = RunVerifyPipeline(&context, version, ZoneA(), options);
+    EXPECT_FALSE(report.aborted) << report.abort_reason;
+    ++num_versions;
+  }
+  EXPECT_EQ(num_versions, 6);
+  EXPECT_EQ(CompiledEngine::num_compiles() - compiles_before, 6)
+      << "verifying all 6 versions over one zone must perform exactly 6 compilations";
+  EXPECT_EQ(context.cache_stats().engine_compiles, 6);
+}
+
+TEST(PipelineCache, RepeatedRunHitsBothCaches) {
+  VerifyContext context;
+  RunVerifyPipeline(&context, EngineVersion::kGolden, ZoneA());
+  VerificationReport second = RunVerifyPipeline(&context, EngineVersion::kGolden, ZoneA());
+  EXPECT_TRUE(second.verified) << second.ToString();
+  const VerifyContext::CacheStats& stats = context.cache_stats();
+  EXPECT_EQ(stats.engine_compiles, 1);
+  EXPECT_EQ(stats.zone_lifts, 1);
+  EXPECT_GE(stats.zone_cache_hits, 1);
+  // The cached run must say so in its stage breakdown.
+  bool compile_cached = false;
+  bool lift_cached = false;
+  for (const StageStats& stage : second.stages) {
+    if (stage.stage == "compile") compile_cached = stage.from_cache;
+    if (stage.stage == "lift") lift_cached = stage.from_cache;
+  }
+  EXPECT_TRUE(compile_cached) << second.ToString();
+  EXPECT_TRUE(lift_cached) << second.ToString();
+}
+
+TEST(PipelineCache, ProcessWideGetCachedReturnsSameEngine) {
+  std::shared_ptr<const CompiledEngine> first = CompiledEngine::GetCached(EngineVersion::kV2);
+  int64_t compiles_after_first = CompiledEngine::num_compiles();
+  std::shared_ptr<const CompiledEngine> second = CompiledEngine::GetCached(EngineVersion::kV2);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(CompiledEngine::num_compiles(), compiles_after_first);
+}
+
+// The acceptance criterion on determinism: with isolated per-worker arenas
+// and a post-join fixed-order merge, parallel exploration must yield a
+// byte-identical issue list to serial exploration.
+TEST(PipelineParallel, IssueListsByteIdenticalToSerial) {
+  VerifyContext context;
+  VerifyOptions serial;
+  serial.parallel_explore = false;
+  VerifyOptions parallel;
+  parallel.parallel_explore = true;
+  VerificationReport serial_report =
+      RunVerifyPipeline(&context, EngineVersion::kV1, BuggyZone(), serial);
+  VerificationReport parallel_report =
+      RunVerifyPipeline(&context, EngineVersion::kV1, BuggyZone(), parallel);
+  ASSERT_FALSE(serial_report.aborted) << serial_report.abort_reason;
+  ASSERT_FALSE(serial_report.verified);
+  EXPECT_FALSE(serial_report.explored_in_parallel);
+  EXPECT_TRUE(parallel_report.explored_in_parallel);
+  ASSERT_EQ(serial_report.issues.size(), parallel_report.issues.size());
+  for (size_t i = 0; i < serial_report.issues.size(); ++i) {
+    EXPECT_EQ(serial_report.issues[i].ToString(), parallel_report.issues[i].ToString()) << i;
+  }
+  EXPECT_EQ(serial_report.engine_paths, parallel_report.engine_paths);
+  EXPECT_EQ(serial_report.spec_paths, parallel_report.spec_paths);
+}
+
+TEST(PipelineParallel, CleanVerdictMatchesSerial) {
+  VerifyContext context;
+  VerifyOptions serial;
+  serial.parallel_explore = false;
+  serial.use_summaries = true;
+  serial.use_manual_specs = true;
+  VerifyOptions parallel = serial;
+  parallel.parallel_explore = true;
+  VerificationReport serial_report =
+      RunVerifyPipeline(&context, EngineVersion::kGolden, ZoneB(), serial);
+  VerificationReport parallel_report =
+      RunVerifyPipeline(&context, EngineVersion::kGolden, ZoneB(), parallel);
+  EXPECT_TRUE(serial_report.verified) << serial_report.ToString();
+  EXPECT_TRUE(parallel_report.verified) << parallel_report.ToString();
+  EXPECT_EQ(serial_report.engine_paths, parallel_report.engine_paths);
+  EXPECT_EQ(serial_report.spec_paths, parallel_report.spec_paths);
+  EXPECT_EQ(serial_report.manual_specs_verified, parallel_report.manual_specs_verified);
+  EXPECT_EQ(serial_report.summaries_computed, parallel_report.summaries_computed);
+}
+
+TEST(PipelineStages, ReportCarriesEveryStage) {
+  VerifyContext context;
+  VerificationReport report = RunVerifyPipeline(&context, EngineVersion::kGolden, ZoneA());
+  ASSERT_FALSE(report.aborted) << report.abort_reason;
+  std::vector<std::string> names;
+  for (const StageStats& stage : report.stages) {
+    names.push_back(stage.stage);
+    EXPECT_GE(stage.seconds, 0.0) << stage.stage;
+    EXPECT_GE(stage.solve_seconds, 0.0) << stage.stage;
+    EXPECT_LE(stage.solve_seconds, stage.seconds + 1e-9) << stage.stage;
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"compile", "lift", "explore.engine",
+                                             "explore.spec", "compare", "confirm"}));
+  // The compare stage is where solver checks happen on a clean zone.
+  int64_t stage_checks = 0;
+  for (const StageStats& stage : report.stages) {
+    stage_checks += stage.solver_checks;
+  }
+  EXPECT_EQ(stage_checks, report.solver_checks)
+      << "per-stage solver checks must add up to the report total";
+}
+
+TEST(PipelineStages, SafetyOnlySkipsSpecExploration) {
+  VerifyContext context;
+  VerifyOptions options;
+  options.safety_only = true;
+  VerificationReport report =
+      RunVerifyPipeline(&context, EngineVersion::kGolden, ZoneA(), options);
+  EXPECT_TRUE(report.verified) << report.ToString();
+  for (const StageStats& stage : report.stages) {
+    EXPECT_NE(stage.stage, "explore.spec") << "safety-only must not explore the spec";
+  }
+}
+
+// Golden test for the new per-stage report rendering: handcrafted report, so
+// the exact string is stable across machines.
+TEST(PipelineStages, ReportToStringGolden) {
+  VerificationReport report;
+  report.version = EngineVersion::kGolden;
+  report.verified = true;
+  report.engine_paths = 12;
+  report.spec_paths = 9;
+  report.solver_checks = 34;
+  report.solve_seconds = 0.5;
+  report.total_seconds = 1.5;
+  report.explored_in_parallel = true;
+  StageStats compile;
+  compile.stage = "compile";
+  compile.seconds = 0.25;
+  compile.from_cache = true;
+  StageStats explore;
+  explore.stage = "explore.engine";
+  explore.seconds = 1;
+  explore.solver_checks = 34;
+  explore.solve_seconds = 0.5;
+  report.stages = {compile, explore};
+  EXPECT_EQ(report.ToString(),
+            "=== DNS-V report: engine golden ===\n"
+            "VERIFIED: safety and functional correctness hold on this zone\n"
+            "  engine paths: 12, spec paths: 9, solver checks: 34 (0.5s), total 1.5s\n"
+            "  stages (parallel exploration):\n"
+            "    compile: 0.25s (cached)\n"
+            "    explore.engine: 1s, 34 solver checks (0.5s)\n");
+}
+
+TEST(PipelineAbort, InvalidZoneAbortsInLiftStage) {
+  VerifyContext context;
+  ZoneConfig no_soa;
+  no_soa.origin = DnsName::Parse("bad.test").value();
+  VerificationReport report = RunVerifyPipeline(&context, EngineVersion::kGolden, no_soa);
+  EXPECT_TRUE(report.aborted);
+  EXPECT_NE(report.abort_reason.find("SOA"), std::string::npos);
+  // Failed lifts must not be cached: the compile stage ran, the lift did not
+  // populate the zone cache.
+  EXPECT_EQ(context.cache_stats().zone_cache_hits, 0);
+}
+
+}  // namespace
+}  // namespace dnsv
