@@ -18,6 +18,8 @@ run_pass() {
   cmake -B "$build_dir" -S . "$@"
   cmake --build "$build_dir" -j "$jobs"
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  # MiniGo lint gate: the embedded engine sources must stay diagnostic-free.
+  "$build_dir"/tools/dnsv-lint --werror
 }
 
 echo "=== pass 1: normal build + ctest ==="

@@ -1,0 +1,140 @@
+#include "src/analysis/cfg.h"
+
+#include <algorithm>
+
+namespace dnsv {
+namespace {
+
+const Instr& Terminator(const Function& fn, BlockId block) {
+  const BasicBlock& bb = fn.block(block);
+  DNSV_CHECK(!bb.instrs.empty());
+  return fn.instr(bb.instrs.back());
+}
+
+// Depth-first postorder from the entry; `post` receives reachable blocks.
+void Postorder(const Function& fn, std::vector<BlockId>* post) {
+  std::vector<bool> visited(fn.num_blocks(), false);
+  // Explicit stack: (block, next successor index to visit).
+  std::vector<std::pair<BlockId, size_t>> stack;
+  visited[fn.entry()] = true;
+  stack.emplace_back(fn.entry(), 0);
+  while (!stack.empty()) {
+    auto& [block, next] = stack.back();
+    std::vector<BlockId> succs = Successors(fn, block);
+    if (next < succs.size()) {
+      BlockId succ = succs[next++];
+      if (!visited[succ]) {
+        visited[succ] = true;
+        stack.emplace_back(succ, 0);
+      }
+    } else {
+      post->push_back(block);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<BlockId> Successors(const Function& fn, BlockId block) {
+  const Instr& term = Terminator(fn, block);
+  switch (term.op) {
+    case Opcode::kBr:
+      if (term.target_true == term.target_false) {
+        return {term.target_true};
+      }
+      return {term.target_true, term.target_false};
+    case Opcode::kJmp:
+      return {term.target_true};
+    default:
+      return {};
+  }
+}
+
+std::vector<std::vector<BlockId>> Predecessors(const Function& fn) {
+  std::vector<std::vector<BlockId>> preds(fn.num_blocks());
+  for (BlockId b = 0; b < fn.num_blocks(); ++b) {
+    for (BlockId succ : Successors(fn, b)) {
+      std::vector<BlockId>& list = preds[succ];
+      if (std::find(list.begin(), list.end(), b) == list.end()) {
+        list.push_back(b);
+      }
+    }
+  }
+  return preds;
+}
+
+std::vector<bool> ReachableBlocks(const Function& fn) {
+  std::vector<bool> reachable(fn.num_blocks(), false);
+  std::vector<BlockId> stack = {fn.entry()};
+  reachable[fn.entry()] = true;
+  while (!stack.empty()) {
+    BlockId block = stack.back();
+    stack.pop_back();
+    for (BlockId succ : Successors(fn, block)) {
+      if (!reachable[succ]) {
+        reachable[succ] = true;
+        stack.push_back(succ);
+      }
+    }
+  }
+  return reachable;
+}
+
+std::vector<BlockId> ReversePostorder(const Function& fn) {
+  std::vector<BlockId> post;
+  Postorder(fn, &post);
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+DominatorTree::DominatorTree(const Function& fn) : idom_(fn.num_blocks(), kInvalidBlock) {
+  std::vector<BlockId> rpo = ReversePostorder(fn);
+  std::vector<int> rpo_index(fn.num_blocks(), -1);
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index[rpo[i]] = static_cast<int>(i);
+  }
+  std::vector<std::vector<BlockId>> preds = Predecessors(fn);
+  idom_[fn.entry()] = fn.entry();
+
+  // Cooper–Harvey–Kennedy: intersect processed predecessors until fixpoint.
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom_[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom_[b];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId block : rpo) {
+      if (block == fn.entry()) continue;
+      BlockId new_idom = kInvalidBlock;
+      for (BlockId pred : preds[block]) {
+        if (rpo_index[pred] < 0 || idom_[pred] == kInvalidBlock) {
+          continue;  // unreachable or not yet processed
+        }
+        new_idom = new_idom == kInvalidBlock ? pred : intersect(pred, new_idom);
+      }
+      if (new_idom != kInvalidBlock && idom_[block] != new_idom) {
+        idom_[block] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::Dominates(BlockId a, BlockId b) const {
+  if (a >= idom_.size() || b >= idom_.size()) return false;
+  if (idom_[a] == kInvalidBlock || idom_[b] == kInvalidBlock) return false;
+  BlockId cur = b;
+  while (true) {
+    if (cur == a) return true;
+    BlockId up = idom_[cur];
+    if (up == cur) return false;  // reached the entry
+    cur = up;
+  }
+}
+
+}  // namespace dnsv

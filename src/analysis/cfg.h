@@ -1,0 +1,51 @@
+// CFG utilities over AbsIR functions: successor/predecessor maps, reverse
+// postorder, reachability, and a dominator tree. These are the graph
+// substrate shared by every dataflow pass in src/analysis/ (and by the
+// pruning rebuild, which drops CFG-unreachable blocks).
+#ifndef DNSV_ANALYSIS_CFG_H_
+#define DNSV_ANALYSIS_CFG_H_
+
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace dnsv {
+
+// Successor block ids of `block`, in terminator order (br: true then false;
+// jmp: target; ret/panic: none). A br with both targets equal yields one
+// entry.
+std::vector<BlockId> Successors(const Function& fn, BlockId block);
+
+// Predecessor lists for every block, indexed by block id. Each predecessor
+// appears once even when it branches to the block on both edges.
+std::vector<std::vector<BlockId>> Predecessors(const Function& fn);
+
+// Blocks reachable from the entry by following terminator edges.
+std::vector<bool> ReachableBlocks(const Function& fn);
+
+// Reverse postorder of the reachable blocks, starting at the entry. Visiting
+// blocks in this order propagates forward-dataflow facts with the fewest
+// worklist iterations.
+std::vector<BlockId> ReversePostorder(const Function& fn);
+
+// Immediate-dominator tree (Cooper–Harvey–Kennedy over reverse postorder).
+// Unreachable blocks have no dominator and dominate nothing.
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Function& fn);
+
+  // Immediate dominator of `block`; the entry's idom is itself.
+  // kInvalidBlock for unreachable blocks.
+  BlockId idom(BlockId block) const { return idom_[block]; }
+
+  // True when `a` dominates `b` (reflexive). False when either block is
+  // unreachable.
+  bool Dominates(BlockId a, BlockId b) const;
+
+ private:
+  std::vector<BlockId> idom_;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_ANALYSIS_CFG_H_

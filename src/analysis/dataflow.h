@@ -1,0 +1,93 @@
+// Generic forward-dataflow engine over the AbsIR CFG.
+//
+// A pass supplies a Domain with
+//
+//   using State = ...;                       // abstract state, == comparable
+//   State EntryState(const Function& fn);
+//   // Executes `block` on `in` and appends one (successor, edge state) pair
+//   // per CFG edge the abstract semantics considers feasible. Edges the
+//   // domain proves infeasible are simply not emitted.
+//   void Transfer(const Function& fn, BlockId block, const State& in,
+//                 std::vector<std::pair<BlockId, State>>* out);
+//   // Merges `incoming` into `*into`; returns true when *into changed.
+//   // `visits` counts how often the target block has been taken off the
+//   // worklist — domains switch from join to widening once it passes their
+//   // threshold, which is what guarantees termination on loops.
+//   bool Join(State* into, const State& incoming, const Function& fn, BlockId at, int visits);
+//
+// and gets back the fixpoint in-state of every reached block. The solver
+// processes blocks in reverse postorder (loop heads before bodies), which is
+// the standard iteration order for forward problems.
+#ifndef DNSV_ANALYSIS_DATAFLOW_H_
+#define DNSV_ANALYSIS_DATAFLOW_H_
+
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/ir/function.h"
+
+namespace dnsv {
+
+template <typename Domain>
+struct DataflowResult {
+  // Fixpoint in-state per block; nullopt for blocks the abstract execution
+  // never reached (CFG-unreachable, or cut off by infeasible edges).
+  std::vector<std::optional<typename Domain::State>> block_in;
+  bool converged = true;  // false: a block exceeded max_visits; states are
+                          // unreliable and callers must not act on them
+  int64_t transfers = 0;  // block transfer-function evaluations
+};
+
+template <typename Domain>
+DataflowResult<Domain> SolveForwardDataflow(const Function& fn, Domain* domain,
+                                            int max_visits_per_block = 64) {
+  using State = typename Domain::State;
+  DataflowResult<Domain> result;
+  result.block_in.resize(fn.num_blocks());
+
+  std::vector<BlockId> rpo = ReversePostorder(fn);
+  std::vector<int> rpo_index(fn.num_blocks(), -1);
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index[rpo[i]] = static_cast<int>(i);
+  }
+  std::vector<int> visits(fn.num_blocks(), 0);
+
+  // Worklist keyed by RPO position: loop heads come off before their bodies.
+  std::set<std::pair<int, BlockId>> worklist;
+  result.block_in[fn.entry()] = domain->EntryState(fn);
+  worklist.insert({rpo_index[fn.entry()], fn.entry()});
+
+  std::vector<std::pair<BlockId, State>> edges;
+  while (!worklist.empty()) {
+    BlockId block = worklist.begin()->second;
+    worklist.erase(worklist.begin());
+    if (++visits[block] > max_visits_per_block) {
+      result.converged = false;
+      return result;
+    }
+    edges.clear();
+    domain->Transfer(fn, block, *result.block_in[block], &edges);
+    ++result.transfers;
+    for (auto& [succ, state] : edges) {
+      DNSV_CHECK(succ < fn.num_blocks());
+      bool changed;
+      if (!result.block_in[succ].has_value()) {
+        result.block_in[succ] = std::move(state);
+        changed = true;
+      } else {
+        changed = domain->Join(&*result.block_in[succ], state, fn, succ, visits[succ]);
+      }
+      if (changed && rpo_index[succ] >= 0) {
+        worklist.insert({rpo_index[succ], succ});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dnsv
+
+#endif  // DNSV_ANALYSIS_DATAFLOW_H_

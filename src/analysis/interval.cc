@@ -1,0 +1,108 @@
+#include "src/analysis/interval.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+constexpr int64_t kNegInf = Interval::kNegInf;
+constexpr int64_t kPosInf = Interval::kPosInf;
+
+int64_t Clamp128(__int128 v) {
+  if (v <= static_cast<__int128>(kNegInf)) return kNegInf;
+  if (v >= static_cast<__int128>(kPosInf)) return kPosInf;
+  return static_cast<int64_t>(v);
+}
+
+// Extended-integer addition of two bounds. An infinite addend dominates; when
+// both infinities meet (only possible through top-level Top inputs), the
+// caller picks the sound direction via `toward`.
+int64_t AddBound(int64_t a, int64_t b, int64_t toward) {
+  if (a == kNegInf || b == kNegInf) {
+    if (a == kPosInf || b == kPosInf) return toward;  // -inf + +inf: ambiguous
+    return kNegInf;
+  }
+  if (a == kPosInf || b == kPosInf) return kPosInf;
+  return Clamp128(static_cast<__int128>(a) + b);
+}
+
+// Extended-integer product of two bounds with the convention inf * 0 = 0,
+// which is the correct rule for interval corner products.
+int64_t MulBound(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  bool negative = (a < 0) != (b < 0);
+  if (a == kNegInf || a == kPosInf || b == kNegInf || b == kPosInf) {
+    return negative ? kNegInf : kPosInf;
+  }
+  return Clamp128(static_cast<__int128>(a) * b);
+}
+
+int64_t NegBound(int64_t a) {
+  if (a == kNegInf) return kPosInf;
+  if (a == kPosInf) return kNegInf;
+  return -a;  // |a| < 2^63 - 1 here, so negation cannot overflow
+}
+
+}  // namespace
+
+Interval Interval::Range(int64_t lo, int64_t hi) {
+  DNSV_CHECK_MSG(lo <= hi, "empty interval");
+  return {lo, hi};
+}
+
+std::string Interval::ToString() const {
+  std::string l = lo == kNegInf ? "-inf" : StrCat(lo);
+  std::string h = hi == kPosInf ? "+inf" : StrCat(hi);
+  return StrCat("[", l, ", ", h, "]");
+}
+
+Interval Join(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval Widen(const Interval& prev, const Interval& next) {
+  Interval joined = Join(prev, next);
+  return {joined.lo < prev.lo ? kNegInf : joined.lo, joined.hi > prev.hi ? kPosInf : joined.hi};
+}
+
+std::optional<Interval> Meet(const Interval& a, const Interval& b) {
+  int64_t lo = std::max(a.lo, b.lo);
+  int64_t hi = std::min(a.hi, b.hi);
+  if (lo > hi) return std::nullopt;
+  return Interval{lo, hi};
+}
+
+Interval IntervalAdd(const Interval& a, const Interval& b) {
+  return {AddBound(a.lo, b.lo, kNegInf), AddBound(a.hi, b.hi, kPosInf)};
+}
+
+Interval IntervalSub(const Interval& a, const Interval& b) {
+  return {AddBound(a.lo, NegBound(b.hi), kNegInf), AddBound(a.hi, NegBound(b.lo), kPosInf)};
+}
+
+Interval IntervalMul(const Interval& a, const Interval& b) {
+  int64_t c[4] = {MulBound(a.lo, b.lo), MulBound(a.lo, b.hi), MulBound(a.hi, b.lo),
+                  MulBound(a.hi, b.hi)};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval IntervalNeg(const Interval& a) {
+  return {NegBound(a.hi), NegBound(a.lo)};
+}
+
+bool ProvablyLt(const Interval& a, const Interval& b) {
+  return a.hi != kPosInf && b.lo != kNegInf && a.hi < b.lo;
+}
+
+bool ProvablyLe(const Interval& a, const Interval& b) {
+  return a.hi != kPosInf && b.lo != kNegInf && a.hi <= b.lo;
+}
+
+bool ProvablyNe(const Interval& a, const Interval& b) {
+  return ProvablyLt(a, b) || ProvablyLt(b, a);
+}
+
+}  // namespace dnsv

@@ -1,0 +1,69 @@
+// Integer-interval lattice for the AbsIR dataflow passes.
+//
+// An Interval is a pair [lo, hi] of extended integers. The sentinel values
+// kNegInf / kPosInf (INT64_MIN / INT64_MAX) denote unbounded ends; a bound
+// that would reach either sentinel saturates to it, so the concrete extremes
+// INT64_MIN and INT64_MAX are absorbed into "unbounded" — a sound (if
+// slightly imprecise) treatment that keeps every operation total without a
+// separate infinity representation. The empty interval is not representable;
+// operations that can produce it (Meet) return std::nullopt instead, which
+// the panic-discharge domain reads as "this edge is infeasible".
+#ifndef DNSV_ANALYSIS_INTERVAL_H_
+#define DNSV_ANALYSIS_INTERVAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dnsv {
+
+struct Interval {
+  static constexpr int64_t kNegInf = INT64_MIN;
+  static constexpr int64_t kPosInf = INT64_MAX;
+
+  int64_t lo = kNegInf;
+  int64_t hi = kPosInf;
+
+  static Interval Top() { return {kNegInf, kPosInf}; }
+  static Interval Const(int64_t v) { return {v, v}; }
+  // Builds [lo, hi]; callers must pass lo <= hi.
+  static Interval Range(int64_t lo, int64_t hi);
+
+  bool IsTop() const { return lo == kNegInf && hi == kPosInf; }
+  bool IsConst() const { return lo == hi && lo != kNegInf && hi != kPosInf; }
+  bool Contains(int64_t v) const { return lo <= v && v <= hi; }
+
+  bool operator==(const Interval& other) const { return lo == other.lo && hi == other.hi; }
+  bool operator!=(const Interval& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+};
+
+// Least upper bound: the smallest interval containing both.
+Interval Join(const Interval& a, const Interval& b);
+
+// Widening: any bound of `next` that moved past the corresponding bound of
+// `prev` jumps straight to the matching infinity. Join followed by Widen at
+// loop heads guarantees the solver terminates.
+Interval Widen(const Interval& prev, const Interval& next);
+
+// Intersection; nullopt when the intervals are disjoint (the empty interval).
+std::optional<Interval> Meet(const Interval& a, const Interval& b);
+
+// Abstract arithmetic. All results are sound over-approximations; bounds
+// saturate to the infinities instead of wrapping.
+Interval IntervalAdd(const Interval& a, const Interval& b);
+Interval IntervalSub(const Interval& a, const Interval& b);
+Interval IntervalMul(const Interval& a, const Interval& b);
+Interval IntervalNeg(const Interval& a);
+
+// Definite comparisons: true only when every pair of concrete values from
+// the two intervals satisfies the relation. (Unbounded ends never prove
+// anything, since the sentinels also absorb the concrete extremes.)
+bool ProvablyLt(const Interval& a, const Interval& b);
+bool ProvablyLe(const Interval& a, const Interval& b);
+bool ProvablyNe(const Interval& a, const Interval& b);
+
+}  // namespace dnsv
+
+#endif  // DNSV_ANALYSIS_INTERVAL_H_

@@ -1,0 +1,287 @@
+#include "src/analysis/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <tuple>
+
+#include "src/frontend/parser.h"
+#include "src/frontend/typecheck.h"
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+// Constant folding over literal expressions only. References to named
+// constants return nullopt on purpose — see the header: constant conditions
+// built from feature flags are configuration, not bugs.
+struct FoldedValue {
+  bool is_bool = false;
+  int64_t value = 0;  // bools: 0/1
+};
+
+std::optional<FoldedValue> FoldLiteral(const Expr* expr) {
+  if (expr == nullptr) return std::nullopt;
+  switch (expr->kind) {
+    case Expr::Kind::kIntLit:
+      return FoldedValue{false, expr->int_value};
+    case Expr::Kind::kBoolLit:
+      return FoldedValue{true, expr->bool_value ? 1 : 0};
+    case Expr::Kind::kUnary: {
+      std::optional<FoldedValue> v = FoldLiteral(expr->lhs.get());
+      if (!v) return std::nullopt;
+      if (expr->op == Tok::kBang && v->is_bool) return FoldedValue{true, v->value ? 0 : 1};
+      if (expr->op == Tok::kMinus && !v->is_bool) return FoldedValue{false, -v->value};
+      return std::nullopt;
+    }
+    case Expr::Kind::kBinary: {
+      std::optional<FoldedValue> a = FoldLiteral(expr->lhs.get());
+      std::optional<FoldedValue> b = FoldLiteral(expr->rhs.get());
+      if (!a || !b || a->is_bool != b->is_bool) return std::nullopt;
+      int64_t x = a->value;
+      int64_t y = b->value;
+      if (a->is_bool) {
+        switch (expr->op) {
+          case Tok::kAndAnd: return FoldedValue{true, (x && y) ? 1 : 0};
+          case Tok::kOrOr: return FoldedValue{true, (x || y) ? 1 : 0};
+          case Tok::kEq: return FoldedValue{true, x == y ? 1 : 0};
+          case Tok::kNe: return FoldedValue{true, x != y ? 1 : 0};
+          default: return std::nullopt;
+        }
+      }
+      switch (expr->op) {
+        case Tok::kPlus: return FoldedValue{false, x + y};
+        case Tok::kMinus: return FoldedValue{false, x - y};
+        case Tok::kStar: return FoldedValue{false, x * y};
+        case Tok::kSlash: return y == 0 ? std::nullopt : std::optional(FoldedValue{false, x / y});
+        case Tok::kPercent:
+          return y == 0 ? std::nullopt : std::optional(FoldedValue{false, x % y});
+        case Tok::kEq: return FoldedValue{true, x == y ? 1 : 0};
+        case Tok::kNe: return FoldedValue{true, x != y ? 1 : 0};
+        case Tok::kLt: return FoldedValue{true, x < y ? 1 : 0};
+        case Tok::kLe: return FoldedValue{true, x <= y ? 1 : 0};
+        case Tok::kGt: return FoldedValue{true, x > y ? 1 : 0};
+        case Tok::kGe: return FoldedValue{true, x >= y ? 1 : 0};
+        default: return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// Per-function lint walk. The use-before-assign analysis is a forward "may
+// be unassigned" pass over the AST: if/else merges keep a variable
+// unassigned when either branch leaves it unassigned, and loop bodies are
+// analyzed against the loop-entry environment (the body may not run).
+class FunctionLinter {
+ public:
+  FunctionLinter(const TypeTable& types, const FuncDecl& fn, std::vector<LintDiagnostic>* out)
+      : types_(types), fn_(fn), out_(out) {}
+
+  void Run() {
+    // `unassigned` holds locals declared without an initializer that no
+    // assignment has definitely reached yet.
+    std::set<std::string> unassigned;
+    WalkStmts(fn_.body, &unassigned);
+    for (const auto& [name, var] : locals_) {
+      if (!var.read) {
+        Report(var.line, "unused-local", StrCat("local '", name, "' declared and not used"));
+      }
+    }
+  }
+
+ private:
+  struct Local {
+    int line = 0;
+    bool read = false;
+  };
+
+  void Report(int line, const char* category, std::string message) {
+    LintDiagnostic diag;
+    diag.file = fn_.file;
+    diag.line = line;
+    diag.category = category;
+    diag.function = fn_.name;
+    diag.message = std::move(message);
+    out_->push_back(std::move(diag));
+  }
+
+  bool IsScalar(Type type) const {
+    if (!type.valid()) return false;
+    TypeKind kind = types_.kind(type);
+    return kind == TypeKind::kInt || kind == TypeKind::kBool || kind == TypeKind::kPtr;
+  }
+
+  // Records reads (unused-local) and flags use-before-assign.
+  void ReadExpr(const Expr* expr, const std::set<std::string>& unassigned) {
+    if (expr == nullptr) return;
+    if (expr->kind == Expr::Kind::kVarRef && !expr->is_const) {
+      auto it = locals_.find(expr->name);
+      if (it != locals_.end()) {
+        it->second.read = true;
+        if (unassigned.count(expr->name) && reported_.insert(expr->name).second) {
+          Report(expr->line, "use-before-assign",
+                 StrCat("local '", expr->name, "' may be read before assignment"));
+        }
+      }
+      return;
+    }
+    ReadExpr(expr->lhs.get(), unassigned);
+    ReadExpr(expr->rhs.get(), unassigned);
+    for (const auto& arg : expr->args) {
+      ReadExpr(arg.get(), unassigned);
+    }
+  }
+
+  void CheckCondition(const Expr* cond) {
+    if (cond == nullptr) return;
+    std::optional<FoldedValue> folded = FoldLiteral(cond);
+    if (folded && folded->is_bool) {
+      Report(cond->line, "constant-condition",
+             StrCat("condition is always ", folded->value ? "true" : "false"));
+    }
+  }
+
+  // Walks one statement; returns true when it terminates the current path
+  // (return/panic/break/continue, or an if whose branches both do).
+  bool WalkStmt(const Stmt* stmt, std::set<std::string>* unassigned) {
+    switch (stmt->kind) {
+      case Stmt::Kind::kVarDecl:
+        locals_.try_emplace(stmt->name, Local{stmt->line, false});
+        if (stmt->init != nullptr) {
+          ReadExpr(stmt->init.get(), *unassigned);
+        } else if (IsScalar(stmt->decl_ir_type)) {
+          unassigned->insert(stmt->name);
+        }
+        return false;
+      case Stmt::Kind::kShortDecl:
+        ReadExpr(stmt->init.get(), *unassigned);
+        locals_.try_emplace(stmt->name, Local{stmt->line, false});
+        unassigned->erase(stmt->name);
+        return false;
+      case Stmt::Kind::kAssign:
+        ReadExpr(stmt->init.get(), *unassigned);
+        if (stmt->lhs->kind == Expr::Kind::kVarRef) {
+          unassigned->erase(stmt->lhs->name);  // definite assignment
+        } else {
+          // x[i] = v / x.f = v read the current aggregate before updating.
+          ReadExpr(stmt->lhs.get(), *unassigned);
+        }
+        return false;
+      case Stmt::Kind::kIf: {
+        ReadExpr(stmt->cond.get(), *unassigned);
+        CheckCondition(stmt->cond.get());
+        std::set<std::string> then_env = *unassigned;
+        std::set<std::string> else_env = *unassigned;
+        bool then_terminates = WalkStmts(stmt->body, &then_env);
+        bool else_terminates = WalkStmts(stmt->else_body, &else_env);
+        // Merge: a variable stays maybe-unassigned when any non-terminating
+        // branch leaves it so.
+        if (then_terminates && else_terminates) {
+          return true;
+        }
+        if (then_terminates) {
+          *unassigned = std::move(else_env);
+        } else if (else_terminates) {
+          *unassigned = std::move(then_env);
+        } else {
+          std::set<std::string> merged = std::move(then_env);
+          merged.insert(else_env.begin(), else_env.end());
+          *unassigned = std::move(merged);
+        }
+        return false;
+      }
+      case Stmt::Kind::kFor: {
+        if (stmt->for_init != nullptr) {
+          WalkStmt(stmt->for_init.get(), unassigned);
+        }
+        ReadExpr(stmt->cond.get(), *unassigned);
+        CheckCondition(stmt->cond.get());
+        // The body may execute zero times: analyze it on a copy and keep the
+        // entry environment afterwards.
+        std::set<std::string> body_env = *unassigned;
+        WalkStmts(stmt->body, &body_env);
+        if (stmt->for_post != nullptr) {
+          WalkStmt(stmt->for_post.get(), &body_env);
+        }
+        return false;
+      }
+      case Stmt::Kind::kReturn:
+        ReadExpr(stmt->init.get(), *unassigned);
+        return true;
+      case Stmt::Kind::kBreak:
+      case Stmt::Kind::kContinue:
+        return true;
+      case Stmt::Kind::kPanic:
+        return true;
+      case Stmt::Kind::kExpr:
+        ReadExpr(stmt->init.get(), *unassigned);
+        return false;
+      case Stmt::Kind::kBlock:
+        return WalkStmts(stmt->body, unassigned);
+    }
+    return false;
+  }
+
+  // Walks a statement list; flags the first statement after a terminator.
+  bool WalkStmts(const std::vector<std::unique_ptr<Stmt>>& body,
+                 std::set<std::string>* unassigned) {
+    bool terminated = false;
+    bool reported_dead = false;
+    for (const auto& stmt : body) {
+      if (terminated && !reported_dead) {
+        Report(stmt->line, "dead-statement", "statement is unreachable");
+        reported_dead = true;  // one report per dead region, not per statement
+      }
+      if (WalkStmt(stmt.get(), unassigned)) {
+        terminated = true;
+      }
+    }
+    return terminated;
+  }
+
+  const TypeTable& types_;
+  const FuncDecl& fn_;
+  std::vector<LintDiagnostic>* out_;
+  std::map<std::string, Local> locals_;
+  std::set<std::string> reported_;  // use-before-assign: once per variable
+};
+
+}  // namespace
+
+std::string LintDiagnostic::ToString() const {
+  return StrCat(file, ":", line, ": [", category, "] ", message, " (in ", function, ")");
+}
+
+Result<std::vector<LintDiagnostic>> LintMiniGoSources(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  Result<ProgramAst> ast = ParseMiniGoSources(sources);
+  if (!ast.ok()) {
+    return Result<std::vector<LintDiagnostic>>::Error(ast.error());
+  }
+  ProgramAst program = std::move(ast).value();
+  TypeTable types;
+  Result<CheckedProgram> checked = TypecheckMiniGo(&program, &types);
+  if (!checked.ok()) {
+    return Result<std::vector<LintDiagnostic>>::Error(checked.error());
+  }
+  std::vector<LintDiagnostic> diagnostics;
+  for (const FuncDecl& fn : program.funcs) {
+    FunctionLinter(types, fn, &diagnostics).Run();
+  }
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const LintDiagnostic& a, const LintDiagnostic& b) {
+              return std::tie(a.file, a.line, a.category, a.message) <
+                     std::tie(b.file, b.line, b.category, b.message);
+            });
+  return diagnostics;
+}
+
+Result<std::vector<LintDiagnostic>> LintMiniGoSource(const std::string& file_name,
+                                                     const std::string& source) {
+  return LintMiniGoSources({{file_name, source}});
+}
+
+}  // namespace dnsv

@@ -1,0 +1,58 @@
+// MiniGo source lint: the AST-level sibling of the AbsIR dataflow passes.
+//
+// Four diagnostic categories, chosen because each one corresponds to a
+// defect class the verifier can only surface indirectly (as extra paths or
+// as a confusing counterexample) while the AST sees it directly:
+//
+//   use-before-assign   a scalar local declared without an initializer is
+//                       read on some path before any assignment. Struct and
+//                       list locals are exempt: their MiniGo zero value is
+//                       well-defined and idiomatic (as in Go).
+//   dead-statement      a statement follows return/panic/break/continue (or
+//                       an if whose branches all terminate) in the same
+//                       block, so it can never execute.
+//   unused-local        a local is declared but never read (assignments are
+//                       not uses, matching Go's rule).
+//   constant-condition  an if/for condition made of literals folds to a
+//                       constant. Conditions referencing named constants are
+//                       deliberately NOT flagged: `if featureX == 1` is how
+//                       engine versions configure themselves, the MiniGo
+//                       analogue of Go's `if debug { ... }`.
+//
+// Surfaced through the dnsv-lint CLI (tools/dnsv_lint.cpp) and the ci/check
+// `--werror` gate over src/engine/sources/.
+#ifndef DNSV_ANALYSIS_LINT_H_
+#define DNSV_ANALYSIS_LINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace dnsv {
+
+struct LintDiagnostic {
+  std::string file;
+  int line = 0;
+  std::string category;  // one of the four categories above
+  std::string function;  // enclosing function
+  std::string message;
+
+  // "file:line: [category] message (in function)" — stable, sortable.
+  std::string ToString() const;
+};
+
+// Lints several sources parsed and typechecked together as one unit (the
+// engine is one package split across files). Diagnostics come back sorted by
+// (file, line, category, message). Parse/typecheck failures are errors — the
+// lint only runs on well-formed programs.
+Result<std::vector<LintDiagnostic>> LintMiniGoSources(
+    const std::vector<std::pair<std::string, std::string>>& sources);
+
+Result<std::vector<LintDiagnostic>> LintMiniGoSource(const std::string& file_name,
+                                                     const std::string& source);
+
+}  // namespace dnsv
+
+#endif  // DNSV_ANALYSIS_LINT_H_

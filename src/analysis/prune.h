@@ -1,0 +1,56 @@
+// Prove-and-prune: statically discharge GoLLVM safety checks before the
+// symbolic executor sees them.
+//
+// Two passes over each function, both driven by the PruneDomain fixpoint:
+//
+//  1. Panic discharge — a conditional branch guarding a panic block whose
+//     panic side the abstract state proves infeasible (index in [0, len),
+//     divisor nonzero, pointer non-nil) is rewritten into an unconditional
+//     jmp to the safe side. The symbolic executor pays two solver checks per
+//     symbolic br and zero per jmp, so every discharged check saves solver
+//     work on every path that crosses it — for every version x zone verified.
+//     Branches whose *safe* side is infeasible (a genuinely reachable panic)
+//     are left untouched: the verifier must still report them.
+//
+//  2. Unreachable-block elimination — blocks no terminator edge reaches
+//     (orphaned panic blocks after discharge, plus frontend-emitted dead
+//     continuations) are deleted and the function is compactly rebuilt.
+//
+// PruneFunction re-validates the result (with the reachability invariant on)
+// before returning; soundness is additionally guarded by the differential
+// interpreter tests in tests/analysis/.
+#ifndef DNSV_ANALYSIS_PRUNE_H_
+#define DNSV_ANALYSIS_PRUNE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/ir/function.h"
+
+namespace dnsv {
+
+struct PruneStats {
+  int64_t functions_analyzed = 0;
+  int64_t functions_skipped = 0;     // escaping allocas or non-convergence
+  int64_t panics_discharged = 0;     // safety-check brs rewritten into jmps
+  int64_t blocks_removed = 0;        // unreachable blocks deleted
+  int64_t panic_blocks_removed = 0;  // subset of blocks_removed
+
+  // The static measure reported as `paths_pruned`: CFG exits the executor
+  // will never fork into again (one per discharged guard) plus whole blocks
+  // it can no longer enter.
+  int64_t PathsPruned() const { return panics_discharged + blocks_removed; }
+
+  PruneStats& operator+=(const PruneStats& other);
+  std::string ToString() const;
+};
+
+// Prunes one function in place. The module is needed for re-validation.
+PruneStats PruneFunction(const Module& module, Function* fn);
+
+// Prunes every function of the module and aggregates the stats.
+PruneStats PruneModule(Module* module);
+
+}  // namespace dnsv
+
+#endif  // DNSV_ANALYSIS_PRUNE_H_

@@ -329,13 +329,45 @@ std::shared_ptr<const CompiledEngine> VerifyContext::GetEngine(EngineVersion ver
   return engine;
 }
 
+std::shared_ptr<const PrunedEngine> VerifyContext::GetPrunedEngine(EngineVersion version) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pruned_engines_.find(version);
+    if (it != pruned_engines_.end()) {
+      ++stats_.prune_cache_hits;
+      return it->second;
+    }
+  }
+  // Compile + prune outside the lock. A private compilation, not the shared
+  // GetEngine entry: PruneModule rewrites the module in place and the
+  // unpruned cache must keep serving the frontend's exact output.
+  auto pruned = std::make_shared<PrunedEngine>();
+  double start = ElapsedSeconds();
+  std::unique_ptr<CompiledEngine> fresh = CompiledEngine::Compile(version);
+  pruned->compile_seconds = ElapsedSeconds() - start;
+  start = ElapsedSeconds();
+  pruned->stats = PruneModule(&fresh->module());
+  pruned->prune_seconds = ElapsedSeconds() - start;
+  pruned->engine = std::shared_ptr<const CompiledEngine>(std::move(fresh));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = pruned_engines_.emplace(version, pruned);
+  if (inserted) {
+    ++stats_.engine_prunes;
+  } else {
+    ++stats_.prune_cache_hits;  // another thread pruned it first; use theirs
+  }
+  return it->second;
+}
+
 Result<std::shared_ptr<const LiftedZone>> VerifyContext::GetLiftedZone(EngineVersion version,
-                                                                       const ZoneConfig& zone) {
+                                                                       const ZoneConfig& zone,
+                                                                       bool pruned) {
   Result<ZoneConfig> canonical = CanonicalizeZone(zone);
   if (!canonical.ok()) {
     return Result<std::shared_ptr<const LiftedZone>>::Error(canonical.error());
   }
-  std::string key = StrCat(EngineVersionName(version), "|", canonical.value().ToText());
+  std::string key = StrCat(EngineVersionName(version), pruned ? "|pruned|" : "|",
+                           canonical.value().ToText());
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = zones_.find(key);
@@ -346,7 +378,8 @@ Result<std::shared_ptr<const LiftedZone>> VerifyContext::GetLiftedZone(EngineVer
   }
   // Build outside the lock: lifting is the expensive part and GetEngine
   // below takes the same mutex.
-  std::shared_ptr<const CompiledEngine> engine = GetEngine(version);
+  std::shared_ptr<const CompiledEngine> engine =
+      pruned ? GetPrunedEngine(version)->engine : GetEngine(version);
   auto lifted = std::make_shared<LiftedZone>();
   lifted->zone = std::move(canonical).value();
   lifted->image =
@@ -373,18 +406,37 @@ VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion versi
   report.version = version;
   double start = ElapsedSeconds();
 
-  // --- CompileStage ---
+  // --- CompileStage (+ PruneStage when options.prune) ---
   VerifyContext::CacheStats stats_before = context->cache_stats();
-  std::shared_ptr<const CompiledEngine> engine = context->GetEngine(version);
-  VerifyContext::CacheStats stats_mid = context->cache_stats();
-  report.stages.push_back(MakeStage(
-      "compile", ElapsedSeconds() - start, 0, 0,
-      stats_mid.engine_cache_hits > stats_before.engine_cache_hits));
+  std::shared_ptr<const CompiledEngine> engine;
+  if (options.prune) {
+    std::shared_ptr<const PrunedEngine> pruned = context->GetPrunedEngine(version);
+    engine = pruned->engine;
+    VerifyContext::CacheStats stats_mid = context->cache_stats();
+    bool cached = stats_mid.prune_cache_hits > stats_before.prune_cache_hits;
+    report.stages.push_back(
+        MakeStage("compile", cached ? 0 : pruned->compile_seconds, 0, 0, cached));
+    StageStats prune_stage =
+        MakeStage("prune", cached ? 0 : pruned->prune_seconds, 0, 0, cached);
+    prune_stage.panics_discharged = pruned->stats.panics_discharged;
+    prune_stage.paths_pruned = pruned->stats.PathsPruned();
+    report.stages.push_back(prune_stage);
+    report.pruned = true;
+    report.panics_discharged = pruned->stats.panics_discharged;
+    report.paths_pruned = pruned->stats.PathsPruned();
+  } else {
+    engine = context->GetEngine(version);
+    VerifyContext::CacheStats stats_mid = context->cache_stats();
+    report.stages.push_back(MakeStage(
+        "compile", ElapsedSeconds() - start, 0, 0,
+        stats_mid.engine_cache_hits > stats_before.engine_cache_hits));
+  }
 
   // --- ZoneLiftStage ---
+  VerifyContext::CacheStats stats_mid = context->cache_stats();
   double lift_start = ElapsedSeconds();
   Result<std::shared_ptr<const LiftedZone>> lifted_result =
-      context->GetLiftedZone(version, zone);
+      context->GetLiftedZone(version, zone, options.prune);
   if (!lifted_result.ok()) {
     report.aborted = true;
     report.abort_reason = lifted_result.error();

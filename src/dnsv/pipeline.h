@@ -34,6 +34,7 @@
 #include <mutex>
 #include <string>
 
+#include "src/analysis/prune.h"
 #include "src/dnsv/verifier.h"
 
 namespace dnsv {
@@ -50,6 +51,17 @@ struct LiftedZone {
   size_t max_owner_labels = 0;
 };
 
+// One engine version with the dataflow pruner applied (options.prune). A
+// separate compilation from the unpruned cache entry: pruning mutates the
+// module in place, and callers that did not opt in must keep seeing the
+// frontend's exact output.
+struct PrunedEngine {
+  std::shared_ptr<const CompiledEngine> engine;
+  PruneStats stats;
+  double compile_seconds = 0;
+  double prune_seconds = 0;
+};
+
 // Cross-run state of the pipeline: compiled engines per version, lifted
 // heaps per (version, canonical zone). Thread-safe; create one per long-lived
 // workload (bench harness, release gate, server fleet) and pass it to every
@@ -63,14 +75,23 @@ class VerifyContext {
   // CompileStage: compiles on first use, then serves the cached module.
   std::shared_ptr<const CompiledEngine> GetEngine(EngineVersion version);
 
+  // PruneStage input: compiles a private copy of `version` and runs
+  // PruneModule over it on first use, then serves the cached result.
+  std::shared_ptr<const PrunedEngine> GetPrunedEngine(EngineVersion version);
+
   // ZoneLiftStage: canonicalizes + materializes on first use. Errors
-  // (invalid zones) are not cached.
+  // (invalid zones) are not cached. Pruned and unpruned lifts are cached
+  // under distinct keys — the heap image is built against the respective
+  // engine's type table.
   Result<std::shared_ptr<const LiftedZone>> GetLiftedZone(EngineVersion version,
-                                                          const ZoneConfig& zone);
+                                                          const ZoneConfig& zone,
+                                                          bool pruned = false);
 
   struct CacheStats {
     int64_t engine_compiles = 0;
     int64_t engine_cache_hits = 0;
+    int64_t engine_prunes = 0;
+    int64_t prune_cache_hits = 0;
     int64_t zone_lifts = 0;
     int64_t zone_cache_hits = 0;
   };
@@ -79,6 +100,7 @@ class VerifyContext {
  private:
   mutable std::mutex mu_;
   std::map<EngineVersion, std::shared_ptr<const CompiledEngine>> engines_;
+  std::map<EngineVersion, std::shared_ptr<const PrunedEngine>> pruned_engines_;
   std::map<std::string, std::shared_ptr<const LiftedZone>> zones_;
   CacheStats stats_;
 };

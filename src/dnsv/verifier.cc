@@ -20,8 +20,12 @@ std::string StageStats::ToString() const {
   if (from_cache) {
     out += " (cached)";
   }
-  if (solver_checks > 0) {
-    out += StrCat(", ", solver_checks, " solver checks (", solve_seconds, "s)");
+  // Always report the count: "0 solver checks" and "no entry" mean different
+  // things to a reader diffing two reports, so zero is printed, not omitted.
+  out += StrCat(", ", solver_checks, " solver checks (", solve_seconds, "s)");
+  if (stage == "prune") {
+    out += StrCat(", ", panics_discharged, " panics discharged, ", paths_pruned,
+                  " paths pruned");
   }
   return out;
 }
@@ -47,6 +51,10 @@ std::string VerificationReport::ToString() const {
   if (manual_specs_verified > 0) {
     out += StrCat("  manual specs: ", manual_specs_verified, " refinement obligation(s) ",
                   "discharged, ", spec_substitutions, " call sites substituted\n");
+  }
+  if (pruned) {
+    out += StrCat("  prune: ", panics_discharged, " panics discharged, ", paths_pruned,
+                  " paths pruned\n");
   }
   if (!stages.empty()) {
     out += StrCat("  stages (", explored_in_parallel ? "parallel" : "serial",

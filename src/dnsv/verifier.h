@@ -48,6 +48,13 @@ struct VerifyOptions {
   // results are merged deterministically, so the issue list is byte-identical
   // to serial mode.
   bool parallel_explore = true;
+  // Run the AbsIR dataflow pruner (src/analysis) over the compiled module
+  // before symbolic execution: panic guards the abstract interpretation
+  // discharges become jmps, and unreachable blocks are deleted. Sound by
+  // construction — a guard is only rewritten when its panic side is proved
+  // infeasible — so verdicts and counterexamples are identical with the flag
+  // on or off; only the solver-check count shrinks.
+  bool prune = false;
 };
 
 struct VerificationIssue {
@@ -71,11 +78,16 @@ struct VerificationIssue {
 
 // Wall-clock / solver breakdown of one pipeline stage (paper Fig. 6 box).
 struct StageStats {
-  std::string stage;  // compile | lift | explore.engine | explore.spec | compare | confirm
+  std::string stage;  // compile | prune | lift | explore.engine | explore.spec
+                      // | compare | confirm
   double seconds = 0;
   int64_t solver_checks = 0;
   double solve_seconds = 0;   // portion of `seconds` spent inside Z3
-  bool from_cache = false;    // compile/lift: served from the VerifyContext cache
+  bool from_cache = false;    // compile/prune/lift: served from the VerifyContext cache
+  // Prune stage only: guards proved safe and rewritten, and total paths the
+  // rewrite removes from exploration (discharged guards + deleted blocks).
+  int64_t panics_discharged = 0;
+  int64_t paths_pruned = 0;
 
   std::string ToString() const;
 };
@@ -97,6 +109,9 @@ struct VerificationReport {
   int64_t manual_specs_verified = 0;   // refinement obligations discharged
   int64_t spec_substitutions = 0;      // call sites served by a manual spec
   bool path_coverage_checked = false;  // the full-path meta-check ran and held
+  bool pruned = false;                 // exploration ran on the pruned module
+  int64_t panics_discharged = 0;       // guards proved safe by the pruner
+  int64_t paths_pruned = 0;            // discharged guards + removed blocks
   // Per-stage observability: one entry per executed pipeline stage, in
   // execution order (explore.engine/explore.spec may have run concurrently).
   std::vector<StageStats> stages;

@@ -114,6 +114,7 @@ struct FuncDecl {
   std::unique_ptr<TypeExpr> return_type;  // null for void
   std::vector<std::unique_ptr<Stmt>> body;
   int line = 0;
+  std::string file;  // source unit the function came from (for diagnostics)
 };
 
 // One parsed compilation unit (possibly concatenated from several .mg files).

@@ -24,6 +24,7 @@ class Parser {
         program->consts.push_back(ParseConstDecl());
       } else if (At(Tok::kFunc)) {
         program->funcs.push_back(ParseFuncDecl());
+        program->funcs.back().file = file_;
       } else {
         Fail(StrCat("expected declaration, found ", TokName(Cur().kind)));
       }

@@ -52,7 +52,24 @@ class Function {
     DNSV_CHECK(index < instrs_.size());
     return instrs_[index];
   }
+  // Mutable access for analysis passes that rewrite instructions in place
+  // (e.g. pruning turns a discharged safety-check br into a jmp). The caller
+  // is responsible for keeping the function valid — re-run ValidateFunction
+  // after a batch of rewrites.
+  Instr& mutable_instr(uint32_t index) {
+    DNSV_CHECK(index < instrs_.size());
+    return instrs_[index];
+  }
   size_t num_instrs() const { return instrs_.size(); }
+
+  // Replaces the entire body. Used by passes that rebuild the function with
+  // blocks/instructions removed; `blocks` indexes into `instrs` and block 0
+  // must remain the entry.
+  void ReplaceBody(std::vector<BasicBlock> blocks, std::vector<Instr> instrs) {
+    DNSV_CHECK(!blocks.empty());
+    blocks_ = std::move(blocks);
+    instrs_ = std::move(instrs);
+  }
 
   BlockId entry() const { return 0; }
 

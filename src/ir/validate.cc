@@ -237,7 +237,8 @@ Status CheckInstr(const Module& module, const Function& fn, uint32_t index) {
 
 }  // namespace
 
-Status ValidateFunction(const Module& module, const Function& function) {
+Status ValidateFunction(const Module& module, const Function& function,
+                        const ValidateOptions& options) {
   if (function.num_blocks() == 0) {
     return Status::Error("function " + function.name() + " has no blocks");
   }
@@ -254,6 +255,14 @@ Status ValidateFunction(const Module& module, const Function& function) {
                                     ": terminator must be exactly the last instruction"));
       }
     }
+    // Panic blocks encode GoLLVM safety checks: they are terminal by
+    // construction, and the analysis layer's discharge pass relies on a
+    // panic block having no successor edges.
+    if (block.is_panic_block &&
+        function.instr(block.instrs.back()).op != Opcode::kPanic) {
+      return Status::Error(StrCat("function ", function.name(), ", bb", b,
+                                  ": panic block must terminate with panic"));
+    }
   }
   for (uint32_t i = 0; i < function.num_instrs(); ++i) {
     Status s = CheckInstr(module, function, i);
@@ -261,12 +270,37 @@ Status ValidateFunction(const Module& module, const Function& function) {
       return s;
     }
   }
+  if (options.require_reachable) {
+    // Local DFS over terminator edges (validate must not depend on the
+    // analysis layer above it).
+    std::vector<bool> reachable(function.num_blocks(), false);
+    std::vector<BlockId> stack = {function.entry()};
+    reachable[function.entry()] = true;
+    while (!stack.empty()) {
+      BlockId b = stack.back();
+      stack.pop_back();
+      const Instr& term = function.instr(function.block(b).instrs.back());
+      BlockId targets[2] = {term.target_true, term.target_false};
+      for (BlockId t : targets) {
+        if (t != kInvalidBlock && t < function.num_blocks() && !reachable[t]) {
+          reachable[t] = true;
+          stack.push_back(t);
+        }
+      }
+    }
+    for (BlockId b = 0; b < function.num_blocks(); ++b) {
+      if (!reachable[b]) {
+        return Status::Error(StrCat("function ", function.name(), ", bb", b,
+                                    ": unreachable block after pruning"));
+      }
+    }
+  }
   return Status::Ok();
 }
 
-Status ValidateModule(const Module& module) {
+Status ValidateModule(const Module& module, const ValidateOptions& options) {
   for (const auto& fn : module.functions()) {
-    Status s = ValidateFunction(module, *fn);
+    Status s = ValidateFunction(module, *fn, options);
     if (!s.ok()) {
       return s;
     }

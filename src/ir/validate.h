@@ -8,8 +8,17 @@
 
 namespace dnsv {
 
-Status ValidateFunction(const Module& module, const Function& function);
-Status ValidateModule(const Module& module);
+struct ValidateOptions {
+  // Require every non-entry block to be reachable from the entry by
+  // terminator edges. Off by default: the frontend legitimately emits
+  // unreachable continuation blocks (code after a terminating statement);
+  // the pruning pass turns this on after it deletes orphaned blocks.
+  bool require_reachable = false;
+};
+
+Status ValidateFunction(const Module& module, const Function& function,
+                        const ValidateOptions& options = {});
+Status ValidateModule(const Module& module, const ValidateOptions& options = {});
 
 }  // namespace dnsv
 

@@ -1,0 +1,90 @@
+#include "src/analysis/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+
+namespace dnsv {
+namespace {
+
+// A diamond with a dead tail:
+//   entry -> (then | else) -> join -> exit ; orphan (unreachable)
+class CfgTest : public ::testing::Test {
+ protected:
+  CfgTest() : module_(&types_) {
+    fn_ = module_.AddFunction("diamond", {{"flag", types_.BoolType()}}, types_.IntType());
+    IrBuilder b(&module_, fn_);
+    entry_ = b.CreateBlock("entry");
+    then_ = b.CreateBlock("then");
+    else_ = b.CreateBlock("else");
+    join_ = b.CreateBlock("join");
+    orphan_ = b.CreateBlock("orphan");
+    b.SetInsertPoint(entry_);
+    b.Br(b.Param(0), then_, else_);
+    b.SetInsertPoint(then_);
+    b.Jmp(join_);
+    b.SetInsertPoint(else_);
+    b.Jmp(join_);
+    b.SetInsertPoint(join_);
+    b.Ret(b.Int(0));
+    b.SetInsertPoint(orphan_);
+    b.Ret(b.Int(1));
+  }
+
+  TypeTable types_;
+  Module module_;
+  Function* fn_ = nullptr;
+  BlockId entry_, then_, else_, join_, orphan_;
+};
+
+TEST_F(CfgTest, SuccessorsFollowTerminators) {
+  EXPECT_EQ(Successors(*fn_, entry_), (std::vector<BlockId>{then_, else_}));
+  EXPECT_EQ(Successors(*fn_, then_), (std::vector<BlockId>{join_}));
+  EXPECT_TRUE(Successors(*fn_, join_).empty());
+}
+
+TEST_F(CfgTest, PredecessorsInvertSuccessors) {
+  std::vector<std::vector<BlockId>> preds = Predecessors(*fn_);
+  EXPECT_TRUE(preds[entry_].empty());
+  EXPECT_EQ(preds[join_], (std::vector<BlockId>{then_, else_}));
+  EXPECT_TRUE(preds[orphan_].empty());
+}
+
+TEST_F(CfgTest, ReachabilityExcludesOrphan) {
+  std::vector<bool> reachable = ReachableBlocks(*fn_);
+  EXPECT_TRUE(reachable[entry_]);
+  EXPECT_TRUE(reachable[join_]);
+  EXPECT_FALSE(reachable[orphan_]);
+}
+
+TEST_F(CfgTest, ReversePostorderVisitsPredecessorsFirst) {
+  std::vector<BlockId> rpo = ReversePostorder(*fn_);
+  ASSERT_EQ(rpo.size(), 4u);  // orphan excluded
+  EXPECT_EQ(rpo.front(), entry_);
+  EXPECT_EQ(rpo.back(), join_);
+  std::vector<int> pos(fn_->num_blocks(), -1);
+  for (size_t i = 0; i < rpo.size(); ++i) pos[rpo[i]] = static_cast<int>(i);
+  EXPECT_LT(pos[entry_], pos[then_]);
+  EXPECT_LT(pos[entry_], pos[else_]);
+  EXPECT_LT(pos[then_], pos[join_]);
+  EXPECT_LT(pos[else_], pos[join_]);
+}
+
+TEST_F(CfgTest, DominatorTree) {
+  DominatorTree dom(*fn_);
+  EXPECT_EQ(dom.idom(entry_), entry_);
+  EXPECT_EQ(dom.idom(then_), entry_);
+  EXPECT_EQ(dom.idom(else_), entry_);
+  // Neither branch dominates the join; only the entry does.
+  EXPECT_EQ(dom.idom(join_), entry_);
+  EXPECT_TRUE(dom.Dominates(entry_, join_));
+  EXPECT_TRUE(dom.Dominates(join_, join_));
+  EXPECT_FALSE(dom.Dominates(then_, join_));
+  // Unreachable blocks have no dominator and dominate nothing.
+  EXPECT_EQ(dom.idom(orphan_), kInvalidBlock);
+  EXPECT_FALSE(dom.Dominates(entry_, orphan_));
+  EXPECT_FALSE(dom.Dominates(orphan_, join_));
+}
+
+}  // namespace
+}  // namespace dnsv

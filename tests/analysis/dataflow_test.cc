@@ -1,0 +1,162 @@
+#include "src/analysis/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/ir/builder.h"
+
+namespace dnsv {
+namespace {
+
+// A domain that records which blocks each path has crossed: Transfer adds the
+// current block, Join unions. Exercises edge emission, state adoption on
+// first reach, and join-driven re-queuing without any IR semantics.
+struct TraceDomain {
+  using State = std::set<BlockId>;
+
+  State EntryState(const Function&) { return {}; }
+
+  void Transfer(const Function& fn, BlockId block, const State& in,
+                std::vector<std::pair<BlockId, State>>* out) {
+    State next = in;
+    next.insert(block);
+    const Instr& term = fn.instr(fn.block(block).instrs.back());
+    for (BlockId target : {term.target_true, term.target_false}) {
+      if (target != kInvalidBlock) out->emplace_back(target, next);
+    }
+  }
+
+  bool Join(State* into, const State& incoming, const Function&, BlockId, int) {
+    size_t before = into->size();
+    into->insert(incoming.begin(), incoming.end());
+    return into->size() != before;
+  }
+};
+
+// A deliberately non-converging domain: the state strictly grows on every
+// visit, so the solver must hit max_visits and report converged = false.
+struct DivergingDomain {
+  using State = int64_t;
+  State EntryState(const Function&) { return 0; }
+  void Transfer(const Function& fn, BlockId block, const State& in,
+                std::vector<std::pair<BlockId, State>>* out) {
+    const Instr& term = fn.instr(fn.block(block).instrs.back());
+    for (BlockId target : {term.target_true, term.target_false}) {
+      if (target != kInvalidBlock) out->emplace_back(target, in + 1);
+    }
+  }
+  bool Join(State* into, const State& incoming, const Function&, BlockId, int) {
+    if (incoming > *into) {
+      *into = incoming;
+      return true;
+    }
+    return false;
+  }
+};
+
+// The same domain with a widening threshold: once a block has been visited
+// enough times, Join clamps instead of growing — the solver converges.
+struct WideningDomain : DivergingDomain {
+  bool Join(State* into, const State& incoming, const Function&, BlockId, int visits) {
+    int64_t next = visits >= 3 ? 1000 : incoming;  // widen: jump to the cap
+    if (*into >= 1000) return false;  // widened: stable
+    if (next > *into) {
+      *into = next >= 1000 ? 1000 : next;
+      return true;
+    }
+    return false;
+  }
+};
+
+class DataflowTest : public ::testing::Test {
+ protected:
+  DataflowTest() : module_(&types_) {}
+
+  // entry -> (then | else) -> join ; plus an unreachable orphan.
+  Function* BuildDiamond() {
+    Function* fn =
+        module_.AddFunction("diamond", {{"flag", types_.BoolType()}}, types_.IntType());
+    IrBuilder b(&module_, fn);
+    BlockId entry = b.CreateBlock("entry");
+    BlockId then_bb = b.CreateBlock("then");
+    BlockId else_bb = b.CreateBlock("else");
+    BlockId join = b.CreateBlock("join");
+    BlockId orphan = b.CreateBlock("orphan");
+    b.SetInsertPoint(entry);
+    b.Br(b.Param(0), then_bb, else_bb);
+    b.SetInsertPoint(then_bb);
+    b.Jmp(join);
+    b.SetInsertPoint(else_bb);
+    b.Jmp(join);
+    b.SetInsertPoint(join);
+    b.Ret(b.Int(0));
+    b.SetInsertPoint(orphan);
+    b.Ret(b.Int(1));
+    return fn;
+  }
+
+  // entry -> head; head -> (body | exit); body -> head.
+  Function* BuildLoop() {
+    Function* fn = module_.AddFunction("loop", {{"flag", types_.BoolType()}}, types_.IntType());
+    IrBuilder b(&module_, fn);
+    BlockId entry = b.CreateBlock("entry");
+    BlockId head = b.CreateBlock("head");
+    BlockId body = b.CreateBlock("body");
+    BlockId exit = b.CreateBlock("exit");
+    b.SetInsertPoint(entry);
+    b.Jmp(head);
+    b.SetInsertPoint(head);
+    b.Br(b.Param(0), body, exit);
+    b.SetInsertPoint(body);
+    b.Jmp(head);
+    b.SetInsertPoint(exit);
+    b.Ret(b.Int(0));
+    return fn;
+  }
+
+  TypeTable types_;
+  Module module_;
+};
+
+TEST_F(DataflowTest, DiamondReachesFixpointWithMergedStates) {
+  Function* fn = BuildDiamond();
+  TraceDomain domain;
+  DataflowResult<TraceDomain> result = SolveForwardDataflow(*fn, &domain);
+  EXPECT_TRUE(result.converged);
+  ASSERT_TRUE(result.block_in[3].has_value());  // join
+  // Both branch blocks flow into the join; the union carries all three.
+  EXPECT_EQ(*result.block_in[3], (std::set<BlockId>{0, 1, 2}));
+  // The orphan is never reached by any emitted edge.
+  EXPECT_FALSE(result.block_in[4].has_value());
+  // One transfer per reachable block: the diamond needs no iteration beyond
+  // the join's two incoming edges.
+  EXPECT_GE(result.transfers, 4);
+}
+
+TEST_F(DataflowTest, EntryStateSeedsTheEntryBlock) {
+  Function* fn = BuildDiamond();
+  TraceDomain domain;
+  DataflowResult<TraceDomain> result = SolveForwardDataflow(*fn, &domain);
+  ASSERT_TRUE(result.block_in[0].has_value());
+  EXPECT_TRUE(result.block_in[0]->empty());
+}
+
+TEST_F(DataflowTest, NonConvergingDomainBailsOut) {
+  Function* fn = BuildLoop();
+  DivergingDomain domain;
+  DataflowResult<DivergingDomain> result = SolveForwardDataflow(*fn, &domain, 8);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST_F(DataflowTest, WideningDomainConverges) {
+  Function* fn = BuildLoop();
+  WideningDomain domain;
+  DataflowResult<WideningDomain> result = SolveForwardDataflow(*fn, &domain);
+  EXPECT_TRUE(result.converged);
+  ASSERT_TRUE(result.block_in[1].has_value());  // head
+  EXPECT_EQ(*result.block_in[1], 1000);         // the widened cap, not a runaway count
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,86 @@
+#include "src/analysis/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsv {
+namespace {
+
+TEST(Interval, ConstructorsAndPredicates) {
+  EXPECT_TRUE(Interval::Top().IsTop());
+  EXPECT_FALSE(Interval::Top().IsConst());
+  Interval c = Interval::Const(7);
+  EXPECT_TRUE(c.IsConst());
+  EXPECT_TRUE(c.Contains(7));
+  EXPECT_FALSE(c.Contains(8));
+  Interval r = Interval::Range(-2, 5);
+  EXPECT_FALSE(r.IsConst());
+  EXPECT_TRUE(r.Contains(-2));
+  EXPECT_TRUE(r.Contains(5));
+  EXPECT_FALSE(r.Contains(6));
+}
+
+TEST(Interval, ExtremesAbsorbIntoInfinity) {
+  // The sentinel convention: INT64_MIN / INT64_MAX are the infinities, so a
+  // "constant" at either extreme is not Const — it reads as unbounded.
+  EXPECT_FALSE(Interval::Const(Interval::kPosInf).IsConst());
+  EXPECT_FALSE(Interval::Const(Interval::kNegInf).IsConst());
+}
+
+TEST(Interval, JoinIsLeastUpperBound) {
+  Interval j = Join(Interval::Range(0, 3), Interval::Range(5, 9));
+  EXPECT_EQ(j, Interval::Range(0, 9));
+  EXPECT_EQ(Join(Interval::Top(), Interval::Const(1)), Interval::Top());
+  EXPECT_EQ(Join(Interval::Const(4), Interval::Const(4)), Interval::Const(4));
+}
+
+TEST(Interval, MeetEmptyIsNullopt) {
+  EXPECT_EQ(Meet(Interval::Range(0, 3), Interval::Range(4, 9)), std::nullopt);
+  std::optional<Interval> m = Meet(Interval::Range(0, 5), Interval::Range(3, 9));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, Interval::Range(3, 5));
+  // Touching endpoints meet to a single point, not empty.
+  std::optional<Interval> point = Meet(Interval::Range(0, 4), Interval::Range(4, 9));
+  ASSERT_TRUE(point.has_value());
+  EXPECT_EQ(*point, Interval::Const(4));
+}
+
+TEST(Interval, WidenJumpsMovedBoundsToInfinity) {
+  Interval prev = Interval::Range(0, 3);
+  // hi moved: widen to +inf; lo stable: keep it.
+  EXPECT_EQ(Widen(prev, Interval::Range(0, 4)), (Interval{0, Interval::kPosInf}));
+  // lo moved: widen to -inf.
+  EXPECT_EQ(Widen(prev, Interval::Range(-1, 3)), (Interval{Interval::kNegInf, 3}));
+  // Nothing moved: fixpoint.
+  EXPECT_EQ(Widen(prev, Interval::Range(1, 2)), prev);
+}
+
+TEST(Interval, ArithmeticSaturates) {
+  // Addition near INT64_MAX saturates to the +inf sentinel, never wraps.
+  Interval near_max = Interval::Range(Interval::kPosInf - 2, Interval::kPosInf - 1);
+  Interval sum = IntervalAdd(near_max, Interval::Const(5));
+  EXPECT_EQ(sum.hi, Interval::kPosInf);
+  // An unbounded end stays unbounded through arithmetic.
+  Interval top_plus = IntervalAdd(Interval::Top(), Interval::Const(1));
+  EXPECT_TRUE(top_plus.IsTop());
+  EXPECT_EQ(IntervalSub(Interval::Const(3), Interval::Const(5)), Interval::Const(-2));
+  EXPECT_EQ(IntervalMul(Interval::Range(-2, 3), Interval::Const(-4)),
+            Interval::Range(-12, 8));
+  EXPECT_EQ(IntervalNeg(Interval::Range(-2, 7)), Interval::Range(-7, 2));
+  // Negating an unbounded end flips it to the other infinity.
+  EXPECT_EQ(IntervalNeg(Interval{Interval::kNegInf, 3}), (Interval{-3, Interval::kPosInf}));
+}
+
+TEST(Interval, ProvableComparisons) {
+  EXPECT_TRUE(ProvablyLt(Interval::Range(0, 3), Interval::Range(4, 9)));
+  EXPECT_FALSE(ProvablyLt(Interval::Range(0, 4), Interval::Range(4, 9)));
+  EXPECT_TRUE(ProvablyLe(Interval::Range(0, 4), Interval::Range(4, 9)));
+  EXPECT_TRUE(ProvablyNe(Interval::Range(5, 9), Interval::Range(0, 3)));
+  EXPECT_FALSE(ProvablyNe(Interval::Range(0, 5), Interval::Range(3, 9)));
+  // Unbounded ends never prove anything: the sentinels absorb the concrete
+  // extremes, so [x, +inf] might actually contain INT64_MAX.
+  EXPECT_FALSE(ProvablyLt(Interval::Top(), Interval::Top()));
+  EXPECT_FALSE(ProvablyLe(Interval{0, Interval::kPosInf}, Interval{5, Interval::kPosInf}));
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,0 +1,172 @@
+#include "src/analysis/lint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/engine/sources/sources.h"
+
+namespace dnsv {
+namespace {
+
+std::vector<LintDiagnostic> LintOk(const std::string& source) {
+  Result<std::vector<LintDiagnostic>> result = LintMiniGoSource("test.mg", source);
+  EXPECT_TRUE(result.ok()) << result.error();
+  return result.ok() ? result.value() : std::vector<LintDiagnostic>{};
+}
+
+bool HasCategory(const std::vector<LintDiagnostic>& diags, const std::string& category) {
+  for (const LintDiagnostic& diag : diags) {
+    if (diag.category == category) return true;
+  }
+  return false;
+}
+
+TEST(Lint, UseBeforeAssignOnBranchyPath) {
+  std::vector<LintDiagnostic> diags = LintOk(R"mg(
+func f(flag bool) int {
+  var x int
+  if flag {
+    x = 1
+  }
+  return x
+}
+)mg");
+  EXPECT_TRUE(HasCategory(diags, "use-before-assign"));
+}
+
+TEST(Lint, DefiniteAssignmentOnBothBranchesIsClean) {
+  std::vector<LintDiagnostic> diags = LintOk(R"mg(
+func f(flag bool) int {
+  var x int
+  if flag {
+    x = 1
+  } else {
+    x = 2
+  }
+  return x
+}
+)mg");
+  EXPECT_FALSE(HasCategory(diags, "use-before-assign"));
+}
+
+TEST(Lint, TerminatingBranchCountsAsAssigned) {
+  // The then-branch returns, so only the else-path reaches the read — and
+  // that path assigned.
+  std::vector<LintDiagnostic> diags = LintOk(R"mg(
+func f(flag bool) int {
+  var x int
+  if flag {
+    return 0
+  } else {
+    x = 2
+  }
+  return x
+}
+)mg");
+  EXPECT_FALSE(HasCategory(diags, "use-before-assign"));
+}
+
+TEST(Lint, ListLocalsExemptFromUseBeforeAssign) {
+  // A []int zero value is well-defined in MiniGo (as in Go): reading it
+  // without an explicit initializer is idiomatic, not a bug.
+  std::vector<LintDiagnostic> diags = LintOk(R"mg(
+func f() int {
+  var xs []int
+  return len(xs)
+}
+)mg");
+  EXPECT_FALSE(HasCategory(diags, "use-before-assign"));
+}
+
+TEST(Lint, DeadStatementAfterReturn) {
+  std::vector<LintDiagnostic> diags = LintOk(R"mg(
+func f() int {
+  return 1
+  var x int
+  x = 2
+  return x
+}
+)mg");
+  EXPECT_TRUE(HasCategory(diags, "dead-statement"));
+}
+
+TEST(Lint, DeadStatementAfterFullyTerminatingIf) {
+  std::vector<LintDiagnostic> diags = LintOk(R"mg(
+func f(flag bool) int {
+  if flag {
+    return 1
+  } else {
+    return 2
+  }
+  return 3
+}
+)mg");
+  EXPECT_TRUE(HasCategory(diags, "dead-statement"));
+}
+
+TEST(Lint, UnusedLocal) {
+  std::vector<LintDiagnostic> diags = LintOk(R"mg(
+func f() int {
+  var unusedValue int
+  unusedValue = 3
+  return 0
+}
+)mg");
+  EXPECT_TRUE(HasCategory(diags, "unused-local"));
+}
+
+TEST(Lint, ConstantConditionOnLiterals) {
+  std::vector<LintDiagnostic> diags = LintOk(R"mg(
+func f() int {
+  if 1 < 2 {
+    return 1
+  }
+  return 0
+}
+)mg");
+  EXPECT_TRUE(HasCategory(diags, "constant-condition"));
+}
+
+TEST(Lint, NamedConstantConditionsExempt) {
+  // `if featureX == 1` is how engine versions configure themselves — the
+  // MiniGo analogue of `if debug { ... }`. Named constants must not trip the
+  // constant-condition lint even though they fold.
+  std::vector<LintDiagnostic> diags = LintOk(R"mg(
+const featureX = 1
+
+func f() int {
+  if featureX == 1 {
+    return 1
+  }
+  return 0
+}
+)mg");
+  EXPECT_FALSE(HasCategory(diags, "constant-condition"));
+}
+
+TEST(Lint, DiagnosticRenderingIsStable) {
+  std::vector<LintDiagnostic> diags = LintOk(R"mg(
+func f() int {
+  var unusedValue int
+  unusedValue = 3
+  return 0
+}
+)mg");
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].ToString(),
+            "test.mg:3: [unused-local] local 'unusedValue' declared and not used (in f)");
+}
+
+TEST(Lint, EmbeddedEngineSourcesAreClean) {
+  // The ci/check.sh `dnsv-lint --werror` gate, as a unit test: every engine
+  // version's full compilation unit lints clean.
+  for (EngineVersion version : AllEngineVersions()) {
+    Result<std::vector<LintDiagnostic>> diags = LintMiniGoSources(EngineSources(version));
+    ASSERT_TRUE(diags.ok()) << diags.error();
+    for (const LintDiagnostic& diag : diags.value()) {
+      ADD_FAILURE() << EngineVersionName(version) << ": " << diag.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnsv

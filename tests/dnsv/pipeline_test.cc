@@ -195,22 +195,34 @@ TEST(PipelineStages, ReportToStringGolden) {
   report.solve_seconds = 0.5;
   report.total_seconds = 1.5;
   report.explored_in_parallel = true;
+  report.pruned = true;
+  report.panics_discharged = 5;
+  report.paths_pruned = 7;
   StageStats compile;
   compile.stage = "compile";
   compile.seconds = 0.25;
   compile.from_cache = true;
+  StageStats prune;
+  prune.stage = "prune";
+  prune.seconds = 0.125;
+  prune.panics_discharged = 5;
+  prune.paths_pruned = 7;
   StageStats explore;
   explore.stage = "explore.engine";
   explore.seconds = 1;
   explore.solver_checks = 34;
   explore.solve_seconds = 0.5;
-  report.stages = {compile, explore};
+  report.stages = {compile, prune, explore};
+  // Stages with zero solver checks still print "0 solver checks": a zero and
+  // a missing entry must stay distinguishable in report diffs.
   EXPECT_EQ(report.ToString(),
             "=== DNS-V report: engine golden ===\n"
             "VERIFIED: safety and functional correctness hold on this zone\n"
             "  engine paths: 12, spec paths: 9, solver checks: 34 (0.5s), total 1.5s\n"
+            "  prune: 5 panics discharged, 7 paths pruned\n"
             "  stages (parallel exploration):\n"
-            "    compile: 0.25s (cached)\n"
+            "    compile: 0.25s (cached), 0 solver checks (0s)\n"
+            "    prune: 0.125s, 0 solver checks (0s), 5 panics discharged, 7 paths pruned\n"
             "    explore.engine: 1s, 34 solver checks (0.5s)\n");
 }
 

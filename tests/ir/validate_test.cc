@@ -131,5 +131,54 @@ TEST_F(ValidateTest, AcceptsListEqBuiltin) {
   EXPECT_TRUE(ValidateFunction(module_, *fn).ok());
 }
 
+// The analysis layer's discharge pass assumes a panic block has no successor
+// edges: a block marked is_panic_block must terminate with panic, nothing
+// else.
+TEST_F(ValidateTest, RejectsPanicBlockWithoutPanicTerminator) {
+  Function* fn = module_.AddFunction("f", {}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  BlockId entry = b.CreateBlock("entry");
+  b.SetInsertPoint(entry);
+  b.Ret(b.Int(0));
+  fn->block(entry).is_panic_block = true;
+  Status s = ValidateFunction(module_, *fn);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("panic block must terminate with panic"), std::string::npos);
+}
+
+TEST_F(ValidateTest, AcceptsProperPanicBlock) {
+  Function* fn = module_.AddFunction("f", {{"flag", types_.BoolType()}}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  BlockId entry = b.CreateBlock("entry");
+  BlockId ok = b.CreateBlock("ok");
+  b.SetInsertPoint(entry);
+  BlockId panic_bb = b.GetPanicBlock("boom");
+  b.Br(b.Param(0), panic_bb, ok);
+  b.SetInsertPoint(ok);
+  b.Ret(b.Int(0));
+  EXPECT_TRUE(fn->block(panic_bb).is_panic_block);
+  EXPECT_TRUE(ValidateFunction(module_, *fn).ok());
+}
+
+// require_reachable is the post-prune invariant: off by default (the
+// frontend legitimately emits unreachable continuations), on after the
+// pruning pass compacts the function.
+TEST_F(ValidateTest, RequireReachableFlagsOrphanBlocks) {
+  Function* fn = module_.AddFunction("f", {}, types_.IntType());
+  IrBuilder b(&module_, fn);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Ret(b.Int(0));
+  b.SetInsertPoint(b.CreateBlock("orphan"));
+  b.Ret(b.Int(1));
+  // Default validation tolerates the orphan...
+  EXPECT_TRUE(ValidateFunction(module_, *fn).ok());
+  // ...the strict post-prune validation does not.
+  ValidateOptions strict;
+  strict.require_reachable = true;
+  Status s = ValidateFunction(module_, *fn, strict);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unreachable"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dnsv

@@ -1,0 +1,167 @@
+// dnsv-lint: the MiniGo lint front door (src/analysis/lint.h).
+//
+//   dnsv-lint                lint the embedded engine sources, every version
+//   dnsv-lint file.mg...     lint the given MiniGo files
+//   dnsv-lint --werror ...   exit 1 when any diagnostic is produced
+//   dnsv-lint --selftest     run the embedded one-fixture-per-category check
+//
+// Engine-source mode lints each version's compilation unit separately (the
+// versions share the library modules, so diagnostics are deduplicated by
+// their rendered form before printing).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/engine/sources/sources.h"
+
+namespace dnsv {
+namespace {
+
+int LintEngineSources(bool werror) {
+  std::set<std::string> rendered;
+  for (EngineVersion version : AllEngineVersions()) {
+    Result<std::vector<LintDiagnostic>> diags = LintMiniGoSources(EngineSources(version));
+    if (!diags.ok()) {
+      std::fprintf(stderr, "dnsv-lint: engine %s does not build: %s\n",
+                   EngineVersionName(version), diags.error().c_str());
+      return 2;
+    }
+    for (const LintDiagnostic& diag : diags.value()) {
+      rendered.insert(diag.ToString());
+    }
+  }
+  for (const std::string& line : rendered) {
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("dnsv-lint: %zu finding(s) across %zu engine version(s)\n", rendered.size(),
+              AllEngineVersions().size());
+  return werror && !rendered.empty() ? 1 : 0;
+}
+
+int LintFiles(const std::vector<std::string>& files, bool werror) {
+  size_t findings = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "dnsv-lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<std::vector<LintDiagnostic>> diags = LintMiniGoSource(path, text.str());
+    if (!diags.ok()) {
+      std::fprintf(stderr, "dnsv-lint: %s does not build: %s\n", path.c_str(),
+                   diags.error().c_str());
+      return 2;
+    }
+    for (const LintDiagnostic& diag : diags.value()) {
+      std::printf("%s\n", diag.ToString().c_str());
+      ++findings;
+    }
+  }
+  std::printf("dnsv-lint: %zu finding(s) in %zu file(s)\n", findings, files.size());
+  return werror && findings > 0 ? 1 : 0;
+}
+
+// One seeded fixture per diagnostic category; the selftest fails when a
+// category stops firing (a regression in the lint) or an unexpected
+// diagnostic appears (a precision loss).
+struct Fixture {
+  const char* category;
+  const char* source;
+};
+
+const Fixture kFixtures[] = {
+    {"use-before-assign", R"mg(
+func f(flag bool) int {
+  var x int
+  if flag {
+    x = 1
+  }
+  return x
+}
+)mg"},
+    {"dead-statement", R"mg(
+func f() int {
+  return 1
+  var x int
+  x = 2
+  return x
+}
+)mg"},
+    {"unused-local", R"mg(
+func f() int {
+  var unusedValue int
+  unusedValue = 3
+  return 0
+}
+)mg"},
+    {"constant-condition", R"mg(
+func f() int {
+  if 1 < 2 {
+    return 1
+  }
+  return 0
+}
+)mg"},
+};
+
+int SelfTest() {
+  int failures = 0;
+  for (const Fixture& fixture : kFixtures) {
+    Result<std::vector<LintDiagnostic>> diags =
+        LintMiniGoSource("fixture.mg", fixture.source);
+    if (!diags.ok()) {
+      std::fprintf(stderr, "FAIL %s: fixture does not build: %s\n", fixture.category,
+                   diags.error().c_str());
+      ++failures;
+      continue;
+    }
+    bool hit = false;
+    for (const LintDiagnostic& diag : diags.value()) {
+      if (diag.category == fixture.category) hit = true;
+    }
+    if (!hit) {
+      std::fprintf(stderr, "FAIL %s: fixture produced no such diagnostic\n",
+                   fixture.category);
+      for (const LintDiagnostic& diag : diags.value()) {
+        std::fprintf(stderr, "  got: %s\n", diag.ToString().c_str());
+      }
+      ++failures;
+    } else {
+      std::printf("ok   %s\n", fixture.category);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  bool werror = false;
+  bool selftest = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
+    } else if (std::strcmp(argv[i], "--selftest") == 0) {
+      selftest = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: dnsv-lint [--werror] [--selftest] [file.mg ...]\n");
+      return 0;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (selftest) return SelfTest();
+  if (!files.empty()) return LintFiles(files, werror);
+  return LintEngineSources(werror);
+}
+
+}  // namespace
+}  // namespace dnsv
+
+int main(int argc, char** argv) { return dnsv::Main(argc, argv); }
