@@ -18,6 +18,12 @@ run_pass() {
   cmake -B "$build_dir" -S . "$@"
   cmake --build "$build_dir" -j "$jobs"
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  # Stale-cache gate: the pipeline tests again with the full solver stack
+  # (query cache + interval pre-solver) forced on and every cached/presolved
+  # verdict re-checked against Z3 — any disagreement crashes the test
+  # (docs/SMT.md). Covers the verification pipeline end to end.
+  DNSV_SOLVER_FORCE=shadow ctest --test-dir "$build_dir" --output-on-failure \
+    -j "$jobs" -R 'Pipeline|Verify|SolverStack'
   # MiniGo lint gate: the embedded engine sources must stay diagnostic-free.
   "$build_dir"/tools/dnsv-lint --werror
 }

@@ -57,6 +57,7 @@ struct ExploreResult {
   double seconds = 0;
   int64_t solver_checks = 0;
   double solve_seconds = 0;
+  SolverStats solver;
   int64_t summaries_computed = 0;
   int64_t summary_applications = 0;
   int64_t manual_specs_verified = 0;
@@ -72,7 +73,7 @@ ExploreResult RunExploreWorker(const CompiledEngine& engine, const LiftedZone& l
   double start = ElapsedSeconds();
   result.arena = std::make_unique<TermArena>();
   TermArena& arena = *result.arena;
-  SolverSession solver(&arena);
+  SolverSession solver(&arena, options.solver);
 
   SymMemory base_memory = LiftMemory(lifted.memory, &arena);
   SymValue apex = LiftValue(lifted.image.apex_ptr, &arena);
@@ -126,6 +127,7 @@ ExploreResult RunExploreWorker(const CompiledEngine& engine, const LiftedZone& l
         result.abort_reason = StrCat("manual spec for ", impl_name, " does not refine: ",
                                      refinement.aborted ? refinement.abort_reason
                                                         : refinement.mismatches[0].description);
+        result.solver = solver.stats();
         result.seconds = ElapsedSeconds() - start;
         return result;
       }
@@ -154,6 +156,7 @@ ExploreResult RunExploreWorker(const CompiledEngine& engine, const LiftedZone& l
     result.aborted = true;
     result.abort_reason =
         StrCat(spec_side ? "spec" : "engine", " exploration: ", e.what());
+    result.solver = solver.stats();
     result.seconds = ElapsedSeconds() - start;
     return result;
   }
@@ -185,6 +188,7 @@ ExploreResult RunExploreWorker(const CompiledEngine& engine, const LiftedZone& l
   }
   result.solver_checks = solver.num_checks();
   result.solve_seconds = solver.solve_seconds();
+  result.solver = solver.stats();
   result.seconds = ElapsedSeconds() - start;
   return result;
 }
@@ -401,7 +405,13 @@ VerifyContext::CacheStats VerifyContext::cache_stats() const {
 }
 
 VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion version,
-                                     const ZoneConfig& zone, const VerifyOptions& options) {
+                                     const ZoneConfig& zone,
+                                     const VerifyOptions& caller_options) {
+  // DNSV_SOLVER_FORCE lets CI and ad-hoc runs override the solver layering
+  // without touching call sites (e.g. forcing shadow validation).
+  VerifyOptions options = caller_options;
+  options.solver = ApplySolverEnvOverride(options.solver);
+
   VerificationReport report;
   report.version = version;
   double start = ElapsedSeconds();
@@ -467,14 +477,20 @@ VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion versi
       spec_side = RunExploreWorker(*engine, *lifted, options, /*spec_side=*/true);
     }
   }
-  report.stages.push_back(MakeStage("explore.engine", engine_side.seconds,
-                                    engine_side.solver_checks, engine_side.solve_seconds));
+  StageStats engine_stage = MakeStage("explore.engine", engine_side.seconds,
+                                      engine_side.solver_checks, engine_side.solve_seconds);
+  engine_stage.solver = engine_side.solver;
+  report.stages.push_back(std::move(engine_stage));
   if (spec_needed) {
-    report.stages.push_back(MakeStage("explore.spec", spec_side.seconds,
-                                      spec_side.solver_checks, spec_side.solve_seconds));
+    StageStats spec_stage = MakeStage("explore.spec", spec_side.seconds,
+                                      spec_side.solver_checks, spec_side.solve_seconds);
+    spec_stage.solver = spec_side.solver;
+    report.stages.push_back(std::move(spec_stage));
   }
   report.solver_checks = engine_side.solver_checks + spec_side.solver_checks;
   report.solve_seconds = engine_side.solve_seconds + spec_side.solve_seconds;
+  report.solver += engine_side.solver;
+  report.solver += spec_side.solver;
   report.summaries_computed = engine_side.summaries_computed + spec_side.summaries_computed;
   report.summary_applications =
       engine_side.summary_applications + spec_side.summary_applications;
@@ -495,7 +511,7 @@ VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion versi
   // their internal variables renamed apart and the shared inputs unified.
   double compare_start = ElapsedSeconds();
   TermArena arena;
-  SolverSession solver(&arena);
+  SolverSession solver(&arena, options.solver);
   int qname_capacity =
       static_cast<int>(lifted->max_owner_labels) + options.extra_qname_labels;
   SymbolicIntList qname =
@@ -591,11 +607,14 @@ VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion versi
   }
 
   double compare_wall = ElapsedSeconds() - compare_start;
-  report.stages.push_back(MakeStage("compare", compare_wall - confirmer.seconds(),
-                                    solver.num_checks(), solver.solve_seconds()));
+  StageStats compare_stage = MakeStage("compare", compare_wall - confirmer.seconds(),
+                                       solver.num_checks(), solver.solve_seconds());
+  compare_stage.solver = solver.stats();
+  report.stages.push_back(std::move(compare_stage));
   report.stages.push_back(MakeStage("confirm", confirmer.seconds()));
   report.solver_checks += solver.num_checks();
   report.solve_seconds += solver.solve_seconds();
+  report.solver += solver.stats();
 
   report.total_seconds = ElapsedSeconds() - start;
   report.verified = !report.aborted && report.issues.empty();

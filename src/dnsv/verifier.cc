@@ -27,6 +27,18 @@ std::string StageStats::ToString() const {
     out += StrCat(", ", panics_discharged, " panics discharged, ", paths_pruned,
                   " paths pruned");
   }
+  // Solver-layer breakdown, printed only when a layer actually did something
+  // (default direct-to-Z3 runs keep the historical line byte-identical).
+  if (solver.cache_hits + solver.cache_misses + solver.presolver_discharges +
+          solver.shadow_checks >
+      0) {
+    out += StrCat(", layered: ", solver.queries, " queries, ", solver.cache_hits,
+                  " cache hits, ", solver.presolver_discharges, " presolved");
+  }
+  if (solver.unknowns > 0 || solver.timeout_retries > 0) {
+    out += StrCat(", ", solver.unknowns, " unknown(s), ", solver.timeout_retries,
+                  " timeout retries");
+  }
   return out;
 }
 
@@ -55,6 +67,22 @@ std::string VerificationReport::ToString() const {
   if (pruned) {
     out += StrCat("  prune: ", panics_discharged, " panics discharged, ", paths_pruned,
                   " paths pruned\n");
+  }
+  if (solver.cache_hits + solver.cache_misses + solver.presolver_discharges +
+          solver.shadow_checks >
+      0) {
+    out += StrCat("  solver layer: ", solver.queries, " queries, ", solver.z3_checks,
+                  " reached Z3, ", solver.cache_hits, " cache hits, ",
+                  solver.presolver_discharges, " presolver discharges, ",
+                  solver.asserts_deduped, " asserts deduped\n");
+    if (solver.shadow_checks > 0) {
+      out += StrCat("  shadow validation: ", solver.shadow_checks, " checks, ",
+                    solver.shadow_mismatches, " mismatches\n");
+    }
+  }
+  if (solver.unknowns > 0 || solver.timeout_retries > 0) {
+    out += StrCat("  solver unknowns: ", solver.unknowns, " (", solver.timeout_retries,
+                  " timeout retries)\n");
   }
   if (!stages.empty()) {
     out += StrCat("  stages (", explored_in_parallel ? "parallel" : "serial",

@@ -20,6 +20,7 @@
 
 #include "src/dns/example_zones.h"
 #include "src/engine/engine.h"
+#include "src/smt/backend.h"
 #include "src/sym/summary.h"
 
 namespace dnsv {
@@ -55,6 +56,13 @@ struct VerifyOptions {
   // infeasible — so verdicts and counterexamples are identical with the flag
   // on or off; only the solver-check count shrinks.
   bool prune = false;
+  // Solver-access policy (src/smt/backend.h): which layers sit between the
+  // sessions and Z3 (query cache, interval pre-solver), shadow validation,
+  // and the per-check timeout. Every session the pipeline creates — explore
+  // workers, compare stage, refinement checks, summarization — uses this
+  // config, so the layering is a pipeline-wide choice. The DNSV_SOLVER_FORCE
+  // environment variable overrides it at RunVerifyPipeline entry.
+  SolverConfig solver;
 };
 
 struct VerificationIssue {
@@ -88,6 +96,11 @@ struct StageStats {
   // rewrite removes from exploration (discharged guards + deleted blocks).
   int64_t panics_discharged = 0;
   int64_t paths_pruned = 0;
+  // Solver-layer counters for this stage's session(s). `solver.z3_checks`
+  // equals `solver_checks` above; the extra fields only light up when the
+  // cache / pre-solver layers are enabled, and ToString prints them only
+  // then.
+  SolverStats solver;
 
   std::string ToString() const;
 };
@@ -116,6 +129,8 @@ struct VerificationReport {
   // execution order (explore.engine/explore.spec may have run concurrently).
   std::vector<StageStats> stages;
   bool explored_in_parallel = false;
+  // Solver-layer counters aggregated over every session the run created.
+  SolverStats solver;
 
   std::string ToString() const;
 };

@@ -1,0 +1,94 @@
+#include "src/smt/caching_backend.h"
+
+#include "src/support/logging.h"
+
+namespace dnsv {
+
+CachingBackend::CachingBackend(TermArena* arena, SolverBackend* inner, QueryCache* cache,
+                               bool shadow_validate, bool shadow_fatal)
+    : arena_(arena),
+      inner_(inner),
+      cache_(cache),
+      canon_(arena),
+      shadow_validate_(shadow_validate),
+      shadow_fatal_(shadow_fatal) {}
+
+void CachingBackend::Push() {
+  frames_.emplace_back();
+  inner_->Push();
+}
+
+void CachingBackend::Pop() {
+  DNSV_CHECK(frames_.size() > 1);
+  frames_.pop_back();
+  inner_->Pop();
+}
+
+void CachingBackend::Assert(Term condition) {
+  frames_.back().push_back(condition);
+  inner_->Assert(condition);
+}
+
+SatResult CachingBackend::RunCheck(Term assumption) {
+  last_assumption_ = assumption;
+  last_answered_locally_ = false;
+
+  std::vector<Term> conjunction;
+  for (const std::vector<Term>& frame : frames_) {
+    conjunction.insert(conjunction.end(), frame.begin(), frame.end());
+  }
+  if (assumption.valid()) {
+    conjunction.push_back(assumption);
+  }
+  std::string key = canon_.CanonicalKey(conjunction);
+
+  SatResult cached = SatResult::kUnknown;
+  if (cache_->Lookup(key, &cached)) {
+    ++cache_hits_;
+    if (shadow_validate_) {
+      ++shadow_checks_;
+      SatResult truth =
+          assumption.valid() ? inner_->CheckAssuming(assumption) : inner_->Check();
+      if (truth != cached && truth != SatResult::kUnknown) {
+        ++shadow_mismatches_;
+        DNSV_LOG(kError) << "query cache shadow mismatch: cached="
+                         << static_cast<int>(cached) << " z3=" << static_cast<int>(truth)
+                         << " key=\n" << key;
+        DNSV_CHECK_MSG(!shadow_fatal_, "stale query-cache verdict (shadow validation)");
+        return truth;  // Z3's answer wins; the inner backend also holds the model
+      }
+      // The inner backend ran the query, so a follow-up GetModel needs no
+      // replay.
+      return cached;
+    }
+    last_answered_locally_ = true;
+    return cached;
+  }
+  ++cache_misses_;
+  SatResult verdict = assumption.valid() ? inner_->CheckAssuming(assumption) : inner_->Check();
+  cache_->Insert(key, verdict);
+  return verdict;
+}
+
+SatResult CachingBackend::Check() { return RunCheck(Term()); }
+
+SatResult CachingBackend::CheckAssuming(Term assumption) {
+  DNSV_CHECK(assumption.valid());
+  return RunCheck(assumption);
+}
+
+Model CachingBackend::GetModel() {
+  if (last_answered_locally_) {
+    // The last check was served from the cache: replay it on the inner
+    // backend so the model is the session's own Z3 model.
+    ++model_replays_;
+    SatResult replay = last_assumption_.valid() ? inner_->CheckAssuming(last_assumption_)
+                                                : inner_->Check();
+    DNSV_CHECK_MSG(replay == SatResult::kSat,
+                   "cached kSat verdict did not replay as sat: stale query cache");
+    last_answered_locally_ = false;
+  }
+  return inner_->GetModel();
+}
+
+}  // namespace dnsv

@@ -1,0 +1,70 @@
+// CachingBackend: memoizes sat/unsat verdicts in a process-wide QueryCache.
+//
+// Each Check/CheckAssuming canonicalizes the conjunction of the tracked
+// frame stack plus the assumption (canon.h) and consults the cache before
+// the inner backend. Assertions are always forwarded downward, so the inner
+// Z3 session stays in the exact state an unlayered session would have — a
+// cache hit only skips the check() call, and GetModel after a cached kSat
+// replays the query on the inner backend (counted as a model replay) so the
+// model is Z3's own.
+//
+// Shadow-validation mode re-runs every hit on the inner backend and compares
+// verdicts; a mismatch means the cache is stale or the canonicalizer is
+// unsound, and is either counted (bench/diagnostics) or fatal (CI).
+#ifndef DNSV_SMT_CACHING_BACKEND_H_
+#define DNSV_SMT_CACHING_BACKEND_H_
+
+#include <vector>
+
+#include "src/smt/backend.h"
+#include "src/smt/canon.h"
+#include "src/smt/query_cache.h"
+
+namespace dnsv {
+
+class CachingBackend : public SolverBackend {
+ public:
+  CachingBackend(TermArena* arena, SolverBackend* inner, QueryCache* cache,
+                 bool shadow_validate, bool shadow_fatal);
+
+  void Push() override;
+  void Pop() override;
+  void Assert(Term condition) override;
+  SatResult Check() override;
+  SatResult CheckAssuming(Term assumption) override;
+  Model GetModel() override;
+
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t cache_misses() const { return cache_misses_; }
+  int64_t model_replays() const { return model_replays_; }
+  int64_t shadow_checks() const { return shadow_checks_; }
+  int64_t shadow_mismatches() const { return shadow_mismatches_; }
+
+ private:
+  // `assumption` may be invalid (plain Check).
+  SatResult RunCheck(Term assumption);
+
+  TermArena* arena_;
+  SolverBackend* inner_;
+  QueryCache* cache_;
+  QueryCanonicalizer canon_;
+  bool shadow_validate_ = false;
+  bool shadow_fatal_ = false;
+
+  std::vector<std::vector<Term>> frames_ = {{}};
+
+  // Bookkeeping for GetModel replay: the last check's assumption and whether
+  // the inner backend saw the check (if not, GetModel must replay it).
+  Term last_assumption_;
+  bool last_answered_locally_ = false;
+
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  int64_t model_replays_ = 0;
+  int64_t shadow_checks_ = 0;
+  int64_t shadow_mismatches_ = 0;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_SMT_CACHING_BACKEND_H_

@@ -1,0 +1,143 @@
+#include "src/smt/canon.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+const char* OpName(TermKind kind) {
+  switch (kind) {
+    case TermKind::kAdd:
+      return "+";
+    case TermKind::kSub:
+      return "-";
+    case TermKind::kMul:
+      return "*";
+    case TermKind::kDiv:
+      return "div";
+    case TermKind::kMod:
+      return "mod";
+    case TermKind::kEq:
+      return "=";
+    case TermKind::kBoolEq:
+      return "iff";
+    case TermKind::kLt:
+      return "<";
+    case TermKind::kLe:
+      return "<=";
+    case TermKind::kAnd:
+      return "and";
+    case TermKind::kOr:
+      return "or";
+    case TermKind::kNot:
+      return "not";
+    case TermKind::kIte:
+      return "ite";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+void QueryCanonicalizer::Flatten(Term t, std::vector<Term>* out) const {
+  if (!t.valid()) {
+    return;
+  }
+  const TermNode& n = arena_->node(t);
+  if (n.kind == TermKind::kAnd) {
+    // The arena's AndN already flattens nested conjunctions, so one level
+    // suffices; recurse anyway for robustness against hand-built nodes.
+    for (Term operand : n.operands) {
+      Flatten(operand, out);
+    }
+    return;
+  }
+  if (n.kind == TermKind::kBoolConst && n.int_value != 0) {
+    return;  // drop literal true
+  }
+  out->push_back(t);
+}
+
+const std::string& QueryCanonicalizer::Render(Term t) {
+  auto it = render_memo_.find(t.id());
+  if (it != render_memo_.end()) {
+    return it->second;
+  }
+  const TermNode& n = arena_->node(t);
+  std::string out;
+  switch (n.kind) {
+    case TermKind::kIntConst:
+      out = StrCat(n.int_value);
+      break;
+    case TermKind::kBoolConst:
+      out = n.int_value != 0 ? "true" : "false";
+      break;
+    case TermKind::kVar:
+      // Sort-tagged placeholder token; the alpha-renaming pass rewrites
+      // these to positional $k tokens. Variable names never contain '%'.
+      out = StrCat("%", arena_->VarName(t), n.sort == Sort::kInt ? ":i%" : ":b%");
+      break;
+    default: {
+      out = StrCat("(", OpName(n.kind));
+      for (Term operand : n.operands) {
+        out += " ";
+        out += Render(operand);
+      }
+      out += ")";
+      break;
+    }
+  }
+  return render_memo_.emplace(t.id(), std::move(out)).first->second;
+}
+
+std::string QueryCanonicalizer::CanonicalKey(const std::vector<Term>& terms) {
+  std::vector<Term> conjuncts;
+  conjuncts.reserve(terms.size());
+  for (Term t : terms) {
+    Flatten(t, &conjuncts);
+  }
+  std::vector<std::string> rendered;
+  rendered.reserve(conjuncts.size());
+  for (Term t : conjuncts) {
+    rendered.push_back(Render(t));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  rendered.erase(std::unique(rendered.begin(), rendered.end()), rendered.end());
+
+  // Alpha-rename: scanning the sorted conjuncts in order, the k-th distinct
+  // variable token becomes $k (sort tag preserved). First-occurrence
+  // numbering over the *sorted* text makes the key independent of the
+  // session's real variable names.
+  std::string key;
+  std::unordered_map<std::string, std::string> alpha;
+  for (const std::string& conjunct : rendered) {
+    size_t pos = 0;
+    while (pos < conjunct.size()) {
+      size_t open = conjunct.find('%', pos);
+      if (open == std::string::npos) {
+        key.append(conjunct, pos, std::string::npos);
+        break;
+      }
+      size_t close = conjunct.find('%', open + 1);
+      DNSV_CHECK(close != std::string::npos);
+      key.append(conjunct, pos, open - pos);
+      std::string token = conjunct.substr(open, close - open + 1);
+      // token is "%name:i%" or "%name:b%"; keep the sort tag in the
+      // canonical name so differently-sorted variables stay distinct.
+      std::string sort_tag = token.substr(token.size() - 3, 2);
+      auto it = alpha.find(token);
+      if (it == alpha.end()) {
+        it = alpha.emplace(token, StrCat("$", alpha.size(), sort_tag)).first;
+      }
+      key += it->second;
+      pos = close + 1;
+    }
+    key += "\n";
+  }
+  return key;
+}
+
+}  // namespace dnsv

@@ -1,0 +1,61 @@
+// Query canonicalization for the cross-worker QueryCache.
+//
+// A query is the conjunction of every asserted term on the frame stack plus
+// the check's assumption. Two sessions — different workers, different engine
+// versions, different TermArenas — frequently pose the same query modulo
+// conjunct order, duplicate conjuncts, and the names of internally generated
+// variables (pad.*, havoc.*, s3.p1, eng!havoc.7, …). The canonical key
+// erases exactly those differences and nothing else:
+//
+//   1. flatten:  top-level kAnd nodes are split into their conjuncts,
+//   2. render:   each conjunct becomes a deterministic s-expression with
+//                variables as sort-tagged placholder tokens,
+//   3. sort+dedupe: the rendered conjuncts are sorted lexicographically and
+//                duplicates dropped (the "sorted, hash-consed conjunction"),
+//   4. alpha-rename: scanning the sorted text, the k-th distinct variable
+//                becomes $k.
+//
+// The final string fully encodes the formula structure with consistent
+// variable identities, so equal keys imply alpha-equivalent formulas and
+// therefore equal sat/unsat verdicts. (The converse does not hold — two
+// alpha-equivalent queries whose conjuncts sort differently under their real
+// names may get different keys. That costs a cache hit, never soundness.)
+//
+// Rendering is memoized per term id, so incrementally growing path
+// conditions — And(pc, cond) chains — only render the new conjunct.
+#ifndef DNSV_SMT_CANON_H_
+#define DNSV_SMT_CANON_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/smt/term.h"
+
+namespace dnsv {
+
+class QueryCanonicalizer {
+ public:
+  explicit QueryCanonicalizer(const TermArena* arena) : arena_(arena) {}
+  QueryCanonicalizer(const QueryCanonicalizer&) = delete;
+  QueryCanonicalizer& operator=(const QueryCanonicalizer&) = delete;
+
+  // Canonical cache key for the conjunction of `terms` (invalid handles are
+  // skipped). Deterministic across sessions and arenas.
+  std::string CanonicalKey(const std::vector<Term>& terms);
+
+  // Splits a term into its top-level conjuncts (kAnd flattened recursively),
+  // appending to *out.
+  void Flatten(Term t, std::vector<Term>* out) const;
+
+ private:
+  // Renders `t` with variables as "%name:sort%" tokens; memoized.
+  const std::string& Render(Term t);
+
+  const TermArena* arena_;
+  std::unordered_map<uint32_t, std::string> render_memo_;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_SMT_CANON_H_

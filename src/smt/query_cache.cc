@@ -1,0 +1,92 @@
+#include "src/smt/query_cache.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string_view>
+
+namespace dnsv {
+
+QueryCache* QueryCache::Global() {
+  static QueryCache* cache = new QueryCache();  // never destroyed: workers may
+  return cache;                                 // outlive static teardown order
+}
+
+QueryCache::Shard& QueryCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+bool QueryCache::Lookup(const std::string& key, SatResult* verdict) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      *verdict = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void QueryCache::Insert(const std::string& key, SatResult verdict) {
+  if (verdict == SatResult::kUnknown) {
+    return;  // unknowns are transient (timeouts); never memoize them
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.emplace(key, verdict);
+  if (inserted) {
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    stats.entries += static_cast<int64_t>(shard.map.size());
+  }
+  return stats;
+}
+
+void QueryCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+}
+
+SolverConfig ApplySolverEnvOverride(SolverConfig base) {
+  const char* force = std::getenv("DNSV_SOLVER_FORCE");
+  if (force == nullptr) {
+    return base;
+  }
+  std::string_view value(force);
+  if (value == "direct" || value == "off") {
+    base.layering = SolverLayering::kDirect;
+    base.shadow_validate = false;
+    base.shadow_fatal = false;
+  } else if (value == "cache") {
+    base.layering = SolverLayering::kCache;
+  } else if (value == "presolve" || value == "cache+presolve") {
+    base.layering = SolverLayering::kCachePresolve;
+  } else if (value == "shadow") {
+    // The CI stale-cache gate: full stack, every cache hit and presolver
+    // verdict re-checked on Z3, any disagreement is fatal.
+    base.layering = SolverLayering::kCachePresolve;
+    base.shadow_validate = true;
+    base.shadow_fatal = true;
+  }
+  return base;
+}
+
+}  // namespace dnsv

@@ -1,9 +1,12 @@
 #include "src/smt/solver.h"
 
-#include <z3++.h>
+#include <algorithm>
+#include <vector>
 
-#include <chrono>
-
+#include "src/smt/caching_backend.h"
+#include "src/smt/interval_presolver.h"
+#include "src/smt/query_cache.h"
+#include "src/smt/z3_backend.h"
 #include "src/support/strings.h"
 
 namespace dnsv {
@@ -27,159 +30,98 @@ std::string Model::ToString() const {
   return JoinStrings(parts, " ");
 }
 
-struct SolverSession::Impl {
-  explicit Impl(TermArena* arena_in) : arena(arena_in), solver(ctx) {}
-
-  // Go division truncates toward zero; SMT-LIB div is Euclidean (remainder in
-  // [0,|b|)). With a = q_e*b + r_e and r_e >= 0: q_trunc equals q_e unless the
-  // dividend is negative and the remainder nonzero, in which case the
-  // truncated quotient is one step closer to zero (in the direction of b's
-  // sign). Division by zero is unreachable here: the frontend guards every
-  // div/mod with a panic block.
-  z3::expr TruncatedDiv(const z3::expr& a, const z3::expr& b) {
-    z3::expr q_e = a / b;
-    z3::expr r_e = z3::mod(a, b);
-    return z3::ite(a >= 0 || r_e == 0, q_e, z3::ite(b > 0, q_e + 1, q_e - 1));
+SolverSession::SolverSession(TermArena* arena, SolverConfig config)
+    : config_(config), arena_(arena) {
+  z3_ = std::make_unique<Z3Backend>(arena, config_.check_timeout_ms);
+  top_ = z3_.get();
+  if (config_.layering != SolverLayering::kDirect) {
+    QueryCache* cache = config_.cache != nullptr ? config_.cache : QueryCache::Global();
+    caching_ = std::make_unique<CachingBackend>(arena, top_, cache, config_.shadow_validate,
+                                                config_.shadow_fatal);
+    top_ = caching_.get();
   }
-
-  z3::expr Translate(Term t) {
-    auto it = cache.find(t.id());
-    if (it != cache.end()) {
-      return exprs[it->second];
-    }
-    const TermNode& n = arena->node(t);
-    auto op = [&](size_t i) { return Translate(n.operands[i]); };
-    z3::expr result(ctx);
-    switch (n.kind) {
-      case TermKind::kIntConst:
-        result = ctx.int_val(n.int_value);
-        break;
-      case TermKind::kBoolConst:
-        result = ctx.bool_val(n.int_value != 0);
-        break;
-      case TermKind::kVar:
-        result = n.sort == Sort::kInt ? ctx.int_const(arena->VarName(t).c_str())
-                                      : ctx.bool_const(arena->VarName(t).c_str());
-        break;
-      case TermKind::kAdd:
-        result = op(0) + op(1);
-        break;
-      case TermKind::kSub:
-        result = op(0) - op(1);
-        break;
-      case TermKind::kMul:
-        result = op(0) * op(1);
-        break;
-      case TermKind::kDiv: {
-        result = TruncatedDiv(op(0), op(1));
-        break;
-      }
-      case TermKind::kMod: {
-        // Go: a % b == a - trunc(a/b)*b (remainder sign follows dividend).
-        z3::expr a = op(0), b = op(1);
-        result = a - TruncatedDiv(a, b) * b;
-        break;
-      }
-      case TermKind::kEq:
-      case TermKind::kBoolEq:
-        result = op(0) == op(1);
-        break;
-      case TermKind::kLt:
-        result = op(0) < op(1);
-        break;
-      case TermKind::kLe:
-        result = op(0) <= op(1);
-        break;
-      case TermKind::kAnd: {
-        z3::expr_vector v(ctx);
-        for (size_t i = 0; i < n.operands.size(); ++i) v.push_back(op(i));
-        result = z3::mk_and(v);
-        break;
-      }
-      case TermKind::kOr: {
-        z3::expr_vector v(ctx);
-        for (size_t i = 0; i < n.operands.size(); ++i) v.push_back(op(i));
-        result = z3::mk_or(v);
-        break;
-      }
-      case TermKind::kNot:
-        result = !op(0);
-        break;
-      case TermKind::kIte:
-        result = z3::ite(op(0), op(1), op(2));
-        break;
-    }
-    cache.emplace(t.id(), exprs.size());
-    exprs.push_back(result);
-    return result;
+  if (config_.layering == SolverLayering::kCachePresolve) {
+    presolver_ = std::make_unique<IntervalPreSolver>(arena, top_, config_.shadow_validate,
+                                                     config_.shadow_fatal);
+    top_ = presolver_.get();
   }
+}
 
-  TermArena* arena;
-  z3::context ctx;
-  z3::solver solver;
-  std::unordered_map<uint32_t, size_t> cache;
-  std::vector<z3::expr> exprs;
-};
-
-SolverSession::SolverSession(TermArena* arena) : impl_(std::make_unique<Impl>(arena)) {}
 SolverSession::~SolverSession() = default;
 
-void SolverSession::Push() { impl_->solver.push(); }
-void SolverSession::Pop() { impl_->solver.pop(); }
+void SolverSession::Push() {
+  assert_frames_.emplace_back();
+  top_->Push();
+}
+
+void SolverSession::Pop() {
+  DNSV_CHECK(assert_frames_.size() > 1);
+  for (uint32_t id : assert_frames_.back()) {
+    asserted_.erase(id);
+  }
+  assert_frames_.pop_back();
+  top_->Pop();
+}
 
 void SolverSession::Assert(Term condition) {
-  DNSV_CHECK(impl_->arena->sort(condition) == Sort::kBool);
-  impl_->solver.add(impl_->Translate(condition));
+  DNSV_CHECK(arena_->sort(condition) == Sort::kBool);
+  bool value = false;
+  if (arena_->AsBoolConst(condition, &value) && value) {
+    return;  // asserting literal true is a no-op at every layer
+  }
+  if (asserted_.count(condition.id()) != 0) {
+    // Hash-consing makes structural equality an id comparison: this exact
+    // term is already on the frame stack, so re-asserting it cannot change
+    // any verdict.
+    ++asserts_deduped_;
+    return;
+  }
+  asserted_.insert(condition.id());
+  assert_frames_.back().push_back(condition.id());
+  top_->Assert(condition);
 }
 
 SatResult SolverSession::Check() {
-  auto start = std::chrono::steady_clock::now();
-  z3::check_result r = impl_->solver.check();
-  solve_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  ++num_checks_;
-  switch (r) {
-    case z3::sat:
-      return SatResult::kSat;
-    case z3::unsat:
-      return SatResult::kUnsat;
-    default:
-      return SatResult::kUnknown;
-  }
+  ++queries_;
+  SatResult result = top_->Check();
+  if (result == SatResult::kUnknown) ++unknowns_;
+  return result;
 }
 
 SatResult SolverSession::CheckAssuming(Term assumption) {
-  auto start = std::chrono::steady_clock::now();
-  z3::expr_vector assumptions(impl_->ctx);
-  assumptions.push_back(impl_->Translate(assumption));
-  z3::check_result r = impl_->solver.check(assumptions);
-  solve_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  ++num_checks_;
-  switch (r) {
-    case z3::sat:
-      return SatResult::kSat;
-    case z3::unsat:
-      return SatResult::kUnsat;
-    default:
-      return SatResult::kUnknown;
-  }
+  ++queries_;
+  SatResult result = top_->CheckAssuming(assumption);
+  if (result == SatResult::kUnknown) ++unknowns_;
+  return result;
 }
 
-Model SolverSession::GetModel() {
-  Model model;
-  z3::model m = impl_->solver.get_model();
-  for (unsigned i = 0; i < m.num_consts(); ++i) {
-    z3::func_decl decl = m.get_const_decl(i);
-    z3::expr value = m.get_const_interp(decl);
-    if (value.is_numeral()) {
-      int64_t v = 0;
-      if (value.is_numeral_i64(v)) {
-        model.Set(decl.name().str(), v);
-      }
-    } else if (value.is_bool()) {
-      model.Set(decl.name().str(), value.is_true() ? 1 : 0);
-    }
+Model SolverSession::GetModel() { return top_->GetModel(); }
+
+int64_t SolverSession::num_checks() const { return z3_->num_checks(); }
+
+double SolverSession::solve_seconds() const { return z3_->solve_seconds(); }
+
+SolverStats SolverSession::stats() const {
+  SolverStats s;
+  s.queries = queries_;
+  s.z3_checks = z3_->num_checks();
+  s.solve_seconds = z3_->solve_seconds();
+  s.unknowns = unknowns_;
+  s.timeout_retries = z3_->timeout_retries();
+  s.asserts_deduped = asserts_deduped_;
+  if (caching_ != nullptr) {
+    s.cache_hits = caching_->cache_hits();
+    s.cache_misses = caching_->cache_misses();
+    s.model_replays = caching_->model_replays();
+    s.shadow_checks += caching_->shadow_checks();
+    s.shadow_mismatches += caching_->shadow_mismatches();
   }
-  return model;
+  if (presolver_ != nullptr) {
+    s.presolver_discharges = presolver_->discharges();
+    s.shadow_checks += presolver_->shadow_checks();
+    s.shadow_mismatches += presolver_->shadow_mismatches();
+  }
+  return s;
 }
 
 }  // namespace dnsv

@@ -1,0 +1,214 @@
+#include "src/smt/z3_backend.h"
+
+#include <z3++.h>
+
+#include <chrono>
+#include <vector>
+
+#include "src/support/strings.h"
+
+namespace dnsv {
+
+struct Z3Backend::Impl {
+  explicit Impl(TermArena* arena_in) : arena(arena_in), solver(ctx) {}
+
+  // Go division truncates toward zero; SMT-LIB div is Euclidean (remainder in
+  // [0,|b|)). With a = q_e*b + r_e and r_e >= 0: q_trunc equals q_e unless the
+  // dividend is negative and the remainder nonzero, in which case the
+  // truncated quotient is one step closer to zero (in the direction of b's
+  // sign). Division by zero is unreachable here: the frontend guards every
+  // div/mod with a panic block.
+  z3::expr TruncatedDiv(const z3::expr& a, const z3::expr& b) {
+    z3::expr q_e = a / b;
+    z3::expr r_e = z3::mod(a, b);
+    return z3::ite(a >= 0 || r_e == 0, q_e, z3::ite(b > 0, q_e + 1, q_e - 1));
+  }
+
+  z3::expr Translate(Term t) {
+    auto it = cache.find(t.id());
+    if (it != cache.end()) {
+      return exprs[it->second];
+    }
+    const TermNode& n = arena->node(t);
+    auto op = [&](size_t i) { return Translate(n.operands[i]); };
+    z3::expr result(ctx);
+    switch (n.kind) {
+      case TermKind::kIntConst:
+        result = ctx.int_val(n.int_value);
+        break;
+      case TermKind::kBoolConst:
+        result = ctx.bool_val(n.int_value != 0);
+        break;
+      case TermKind::kVar:
+        result = n.sort == Sort::kInt ? ctx.int_const(arena->VarName(t).c_str())
+                                      : ctx.bool_const(arena->VarName(t).c_str());
+        break;
+      case TermKind::kAdd:
+        result = op(0) + op(1);
+        break;
+      case TermKind::kSub:
+        result = op(0) - op(1);
+        break;
+      case TermKind::kMul:
+        result = op(0) * op(1);
+        break;
+      case TermKind::kDiv: {
+        result = TruncatedDiv(op(0), op(1));
+        break;
+      }
+      case TermKind::kMod: {
+        // Go: a % b == a - trunc(a/b)*b (remainder sign follows dividend).
+        z3::expr a = op(0), b = op(1);
+        result = a - TruncatedDiv(a, b) * b;
+        break;
+      }
+      case TermKind::kEq:
+      case TermKind::kBoolEq:
+        result = op(0) == op(1);
+        break;
+      case TermKind::kLt:
+        result = op(0) < op(1);
+        break;
+      case TermKind::kLe:
+        result = op(0) <= op(1);
+        break;
+      case TermKind::kAnd: {
+        z3::expr_vector v(ctx);
+        for (size_t i = 0; i < n.operands.size(); ++i) v.push_back(op(i));
+        result = z3::mk_and(v);
+        break;
+      }
+      case TermKind::kOr: {
+        z3::expr_vector v(ctx);
+        for (size_t i = 0; i < n.operands.size(); ++i) v.push_back(op(i));
+        result = z3::mk_or(v);
+        break;
+      }
+      case TermKind::kNot:
+        result = !op(0);
+        break;
+      case TermKind::kIte:
+        result = z3::ite(op(0), op(1), op(2));
+        break;
+    }
+    cache.emplace(t.id(), exprs.size());
+    exprs.push_back(result);
+    return result;
+  }
+
+  void SetTimeout(int timeout_ms) {
+    if (timeout_ms > 0) {
+      z3::params p(ctx);
+      p.set("timeout", static_cast<unsigned>(timeout_ms));
+      solver.set(p);
+    }
+  }
+
+  // Fresh solver object in the same context, frame stack re-asserted. The
+  // translation cache survives (it is keyed on the context, not the solver).
+  void Reset(int timeout_ms) {
+    solver = z3::solver(ctx);
+    SetTimeout(timeout_ms);
+    for (size_t i = 0; i < frames.size(); ++i) {
+      if (i > 0) {
+        solver.push();
+      }
+      for (Term t : frames[i]) {
+        solver.add(Translate(t));
+      }
+    }
+  }
+
+  TermArena* arena;
+  z3::context ctx;
+  z3::solver solver;
+  std::unordered_map<uint32_t, size_t> cache;
+  std::vector<z3::expr> exprs;
+  // The asserted terms, frame by frame (frames[0] is the base frame), kept
+  // for solver resets after a timeout.
+  std::vector<std::vector<Term>> frames = {{}};
+};
+
+Z3Backend::Z3Backend(TermArena* arena, int check_timeout_ms)
+    : impl_(std::make_unique<Impl>(arena)), check_timeout_ms_(check_timeout_ms) {
+  impl_->SetTimeout(check_timeout_ms_);
+}
+
+Z3Backend::~Z3Backend() = default;
+
+void Z3Backend::Push() {
+  impl_->solver.push();
+  impl_->frames.emplace_back();
+}
+
+void Z3Backend::Pop() {
+  impl_->solver.pop();
+  DNSV_CHECK(impl_->frames.size() > 1);
+  impl_->frames.pop_back();
+}
+
+void Z3Backend::Assert(Term condition) {
+  DNSV_CHECK(impl_->arena->sort(condition) == Sort::kBool);
+  impl_->solver.add(impl_->Translate(condition));
+  impl_->frames.back().push_back(condition);
+}
+
+SatResult Z3Backend::RunCheck(Term assumption) {
+  auto run_once = [&]() -> z3::check_result {
+    auto start = std::chrono::steady_clock::now();
+    z3::check_result r;
+    if (assumption.valid()) {
+      z3::expr_vector assumptions(impl_->ctx);
+      assumptions.push_back(impl_->Translate(assumption));
+      r = impl_->solver.check(assumptions);
+    } else {
+      r = impl_->solver.check();
+    }
+    solve_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    ++num_checks_;
+    return r;
+  };
+  z3::check_result r = run_once();
+  if (r == z3::unknown && check_timeout_ms_ > 0) {
+    // Escalation: reset the solver (same context, frames re-asserted) and
+    // retry once with double the budget.
+    ++timeout_retries_;
+    impl_->Reset(check_timeout_ms_ * 2);
+    r = run_once();
+    impl_->SetTimeout(check_timeout_ms_);
+  }
+  switch (r) {
+    case z3::sat:
+      return SatResult::kSat;
+    case z3::unsat:
+      return SatResult::kUnsat;
+    default:
+      ++unknowns_;
+      return SatResult::kUnknown;
+  }
+}
+
+SatResult Z3Backend::Check() { return RunCheck(Term()); }
+
+SatResult Z3Backend::CheckAssuming(Term assumption) { return RunCheck(assumption); }
+
+Model Z3Backend::GetModel() {
+  Model model;
+  z3::model m = impl_->solver.get_model();
+  for (unsigned i = 0; i < m.num_consts(); ++i) {
+    z3::func_decl decl = m.get_const_decl(i);
+    z3::expr value = m.get_const_interp(decl);
+    if (value.is_numeral()) {
+      int64_t v = 0;
+      if (value.is_numeral_i64(v)) {
+        model.Set(decl.name().str(), v);
+      }
+    } else if (value.is_bool()) {
+      model.Set(decl.name().str(), value.is_true() ? 1 : 0);
+    }
+  }
+  return model;
+}
+
+}  // namespace dnsv

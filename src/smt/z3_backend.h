@@ -1,0 +1,54 @@
+// The bottom of the solver stack: an incremental Z3 session over TermArena
+// terms. This is the code that used to live inside SolverSession, moved
+// behind the SolverBackend interface so caching and pre-solving layers can
+// stack in front of it. Translation from Term to Z3 ASTs is memoized per
+// backend (the z3::context outlives solver resets).
+#ifndef DNSV_SMT_Z3_BACKEND_H_
+#define DNSV_SMT_Z3_BACKEND_H_
+
+#include <memory>
+
+#include "src/smt/backend.h"
+
+namespace dnsv {
+
+class Z3Backend : public SolverBackend {
+ public:
+  // `check_timeout_ms` == 0 disables the per-check timeout. With a timeout,
+  // a check that comes back unknown resets the Z3 solver (fresh solver
+  // object, same context, frame stack re-asserted) and retries once with
+  // double the budget — Z3's internal state occasionally wedges on a query
+  // a fresh solver dispatches instantly.
+  explicit Z3Backend(TermArena* arena, int check_timeout_ms = 0);
+  ~Z3Backend() override;
+  Z3Backend(const Z3Backend&) = delete;
+  Z3Backend& operator=(const Z3Backend&) = delete;
+
+  void Push() override;
+  void Pop() override;
+  void Assert(Term condition) override;
+  SatResult Check() override;
+  SatResult CheckAssuming(Term assumption) override;
+  Model GetModel() override;
+
+  int64_t num_checks() const { return num_checks_; }
+  double solve_seconds() const { return solve_seconds_; }
+  int64_t unknowns() const { return unknowns_; }
+  int64_t timeout_retries() const { return timeout_retries_; }
+
+ private:
+  // `assumption` may be invalid (plain Check).
+  SatResult RunCheck(Term assumption);
+
+  struct Impl;  // hides z3++.h from the rest of the codebase
+  std::unique_ptr<Impl> impl_;
+  int check_timeout_ms_ = 0;
+  int64_t num_checks_ = 0;
+  double solve_seconds_ = 0;
+  int64_t unknowns_ = 0;
+  int64_t timeout_retries_ = 0;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_SMT_Z3_BACKEND_H_

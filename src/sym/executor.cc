@@ -46,7 +46,10 @@ bool SymExecutor::Feasible(Term pc, Term condition) {
   if (arena_->AsBoolConst(conjunct, &constant)) {
     return constant;
   }
-  return solver_->CheckAssuming(conjunct) == SatResult::kSat;
+  ++stats_.feasibility_checks;
+  // kUnknown (solver timeout) is treated as feasible — over-approximating the
+  // path set is sound, dropping a feasible path is not.
+  return solver_->CheckAssuming(conjunct) != SatResult::kUnsat;
 }
 
 std::optional<int64_t> SymExecutor::TryUniqueIndex(Term index, Term pc) {
@@ -61,8 +64,10 @@ std::optional<int64_t> SymExecutor::TryUniqueIndex(Term index, Term pc) {
   // §5.1).
   for (int64_t probe = 0; probe < kIndexProbeLimit; ++probe) {
     Term eq = arena_->Eq(index, arena_->IntConst(probe));
+    ++stats_.feasibility_checks;
     if (solver_->CheckAssuming(arena_->And(pc, eq)) == SatResult::kSat) {
       Term neq = arena_->Ne(index, arena_->IntConst(probe));
+      ++stats_.feasibility_checks;
       if (solver_->CheckAssuming(arena_->And(pc, neq)) == SatResult::kUnsat) {
         return probe;
       }

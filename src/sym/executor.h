@@ -43,6 +43,9 @@ struct ExecStats {
   int64_t forks = 0;
   int64_t paths = 0;
   int64_t summary_applications = 0;
+  // Feasibility probes issued to the solver layer (constant-folded probes
+  // never reach it and are not counted).
+  int64_t feasibility_checks = 0;
 };
 
 struct ExecLimits {
@@ -86,6 +89,9 @@ class SymExecutor {
   SolverSession& solver() { return *solver_; }
 
   // True when `condition` is satisfiable together with the path condition.
+  // An unknown verdict (solver timeout) counts as feasible: exploring a path
+  // that later proves infeasible is sound — its issues are killed by the
+  // compare stage's own check — while dropping a feasible path is not.
   bool Feasible(Term pc, Term condition);
 
  private:

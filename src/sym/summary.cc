@@ -438,7 +438,10 @@ std::optional<std::vector<SummaryProvider::Application>> Summarizer::TryApply(
       if (!constant) {
         continue;
       }
-    } else if (solver_->CheckAssuming(combined) != SatResult::kSat) {
+    } else if (solver_->CheckAssuming(combined) == SatResult::kUnsat) {
+      // Only a *proved* infeasible entry may be dropped; an unknown verdict
+      // (solver timeout) keeps the entry — over-approximating the successor
+      // set is sound, losing a feasible one is not.
       continue;
     }
     Application app;
