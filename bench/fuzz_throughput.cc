@@ -1,0 +1,59 @@
+// Throughput of the wire fuzzing harness (docs/WIRE.md): packets/sec for
+// the codec round-trip pass and queries/sec for the engine-vs-spec
+// differential pass. Not a paper figure — the numbers bound how much fuzzing
+// a CI minute buys, which is what sizes the --smoke configuration.
+#include <chrono>
+#include <cstdio>
+
+#include "src/dns/example_zones.h"
+#include "src/fuzz/fuzzer.h"
+
+namespace dnsv {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+int RunThroughput() {
+  std::printf("Wire fuzzing throughput (seed 0xD15EA5E, bug-hunt zone)\n\n");
+
+  // Pass 1: codec round-trip. No engine involved — this is the codec's own
+  // parse/encode fixpoint and mutant-containment machinery.
+  RoundTripOptions rt_options;
+  rt_options.iterations = 5000;  // 30k packets
+  auto rt_start = std::chrono::steady_clock::now();
+  RoundTripStats rt = RunRoundTripFuzz(rt_options, BugHuntZone());
+  double rt_seconds = Seconds(rt_start);
+  std::printf("round-trip:    %8lld packets in %6.2fs  = %9.0f packets/sec  (violations: %lld)\n",
+              static_cast<long long>(rt.packets), rt_seconds, rt.packets / rt_seconds,
+              static_cast<long long>(rt.violations));
+
+  // Pass 2: differential execution. Dominated by the concrete interpreter
+  // running engine Resolve + spec rrlookup per query per version.
+  DifferentialOptions diff_options;
+  diff_options.random_queries = 600;
+  std::vector<EngineVersion> versions = AllEngineVersions();
+  auto diff_start = std::chrono::steady_clock::now();
+  Result<DifferentialStats> diff = RunDifferentialFuzz(versions, BugHuntZone(), diff_options);
+  double diff_seconds = Seconds(diff_start);
+  if (!diff.ok()) {
+    std::printf("differential pass failed: %s\n", diff.error().c_str());
+    return 1;
+  }
+  long long executions =
+      diff.value().queries_per_version * static_cast<long long>(versions.size());
+  std::printf("differential:  %8lld queries in %6.2fs  = %9.0f queries/sec  (6 versions,\n"
+              "               engine + spec interpreter run per query; includes compiles)\n",
+              executions, diff_seconds, executions / diff_seconds);
+  for (EngineVersion version : versions) {
+    std::printf("               %-8s %4lld divergent\n", EngineVersionName(version),
+                static_cast<long long>(diff.value().DivergenceCount(version)));
+  }
+  return rt.ok() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dnsv
+
+int main() { return dnsv::RunThroughput(); }

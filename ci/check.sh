@@ -26,6 +26,11 @@ run_pass() {
     -j "$jobs" -R 'Pipeline|Verify|SolverStack'
   # MiniGo lint gate: the embedded engine sources must stay diagnostic-free.
   "$build_dir"/tools/dnsv-lint --werror
+  # Wire fuzz gate (docs/WIRE.md): fixed-seed round-trip + differential smoke
+  # over all six engine versions. Running it inside run_pass means the second
+  # invocation executes the whole harness under ASan/UBSan, which is where
+  # the no-crash/no-hang invariant is actually enforced.
+  "$build_dir"/tools/dnsv-fuzz --smoke
 }
 
 echo "=== pass 1: normal build + ctest ==="

@@ -63,7 +63,13 @@ std::vector<uint8_t> Serve(AuthoritativeServer* server, const std::vector<uint8_
   } else {
     view = result.response;
   }
-  return EncodeWireResponse(query.value(), view);
+  Result<std::vector<uint8_t>> encoded = EncodeWireResponse(query.value(), view);
+  if (!encoded.ok()) {
+    // A response we cannot put on the wire (un-encodable name): SERVFAIL.
+    std::fprintf(stderr, "encode error: %s\n", encoded.error().c_str());
+    return EncodeWireResponse(query.value(), ResponseView{.rcode = Rcode::kServFail}).value();
+  }
+  return std::move(encoded).value();
 }
 
 int RunSelfTest() {

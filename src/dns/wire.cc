@@ -8,8 +8,11 @@ namespace {
 constexpr size_t kHeaderSize = 12;
 constexpr uint16_t kFlagQr = 0x8000;
 constexpr uint16_t kFlagAaBit = 0x0400;
+constexpr uint16_t kFlagTcBit = 0x0200;
 constexpr uint16_t kFlagRd = 0x0100;
 constexpr int64_t kDefaultTtl = 300;
+constexpr size_t kMaxNameWireBytes = 255;  // RFC 1035 §2.3.4
+constexpr size_t kMaxSectionCount = 0xffff;
 
 void PutU16(std::vector<uint8_t>* out, uint16_t value) {
   out->push_back(static_cast<uint8_t>(value >> 8));
@@ -21,12 +24,37 @@ void PutU32(std::vector<uint8_t>* out, uint32_t value) {
   PutU16(out, static_cast<uint16_t>(value & 0xffff));
 }
 
+// Appends `name` uncompressed. The caller must have validated the name
+// (ValidateWireName); an invalid label here would corrupt the packet framing.
 void PutName(std::vector<uint8_t>* out, const DnsName& name) {
   for (const std::string& label : name.labels) {
     out->push_back(static_cast<uint8_t>(label.size()));
     out->insert(out->end(), label.begin(), label.end());
   }
   out->push_back(0);
+}
+
+// Splits a dotted owner string (as produced by DnsName::ToString /
+// DecodeResponse) into wire labels. Unlike DnsName::Parse this applies only
+// the wire rules — label length and name length — because response views may
+// legitimately carry names the zone-file syntax rejects (interior '*' labels
+// from wildcard counterexamples, synthesized interner labels).
+Result<DnsName> WireNameFromString(const std::string& text) {
+  DnsName name;
+  if (text.empty() || text == ".") {
+    return name;  // the root name
+  }
+  for (std::string& label : SplitString(text, '.')) {
+    if (label.empty()) {
+      return Result<DnsName>::Error("empty label in name: " + text);
+    }
+    name.labels.push_back(std::move(label));
+  }
+  Status valid = ValidateWireName(name);
+  if (!valid.ok()) {
+    return Result<DnsName>::Error(valid.message());
+  }
+  return name;
 }
 
 class Reader {
@@ -112,13 +140,27 @@ class Reader {
   size_t pos_ = 0;
 };
 
-// Encodes one resource record.
-void PutRecord(std::vector<uint8_t>* out, const RrView& rr) {
-  PutName(out, DnsName::Parse(rr.name).value());
-  PutU16(out, static_cast<uint16_t>(rr.type));
-  PutU16(out, 1);  // IN
-  PutU32(out, kDefaultTtl);
+// Encodes one resource record into a fresh byte vector, so a mid-record
+// failure never leaves a partially written packet behind.
+Result<std::vector<uint8_t>> EncodeRecord(const RrView& rr) {
+  std::vector<uint8_t> out;
+  Result<DnsName> owner = WireNameFromString(rr.name);
+  if (!owner.ok()) {
+    return Result<std::vector<uint8_t>>::Error("bad owner name: " + owner.error());
+  }
+  PutName(&out, owner.value());
+  PutU16(&out, static_cast<uint16_t>(rr.type));
+  PutU16(&out, 1);  // IN
+  PutU32(&out, kDefaultTtl);
   std::vector<uint8_t> rdata;
+  auto put_rdata_name = [&rdata, &rr]() -> Status {
+    Result<DnsName> target = WireNameFromString(rr.rdata_name);
+    if (!target.ok()) {
+      return Status::Error("bad rdata name: " + target.error());
+    }
+    PutName(&rdata, target.value());
+    return Status::Ok();
+  };
   switch (rr.type) {
     case RrType::kA:
       PutU32(&rdata, static_cast<uint32_t>(rr.rdata_value));
@@ -131,15 +173,26 @@ void PutRecord(std::vector<uint8_t>* out, const RrView& rr) {
       PutU32(&rdata, static_cast<uint32_t>(rr.rdata_value & 0xffffffff));
       break;
     case RrType::kNs:
-    case RrType::kCname:
-      PutName(&rdata, DnsName::Parse(rr.rdata_name).value());
+    case RrType::kCname: {
+      Status status = put_rdata_name();
+      if (!status.ok()) {
+        return Result<std::vector<uint8_t>>::Error(status.message());
+      }
       break;
-    case RrType::kMx:
+    }
+    case RrType::kMx: {
       PutU16(&rdata, static_cast<uint16_t>(rr.rdata_value));
-      PutName(&rdata, DnsName::Parse(rr.rdata_name).value());
+      Status status = put_rdata_name();
+      if (!status.ok()) {
+        return Result<std::vector<uint8_t>>::Error(status.message());
+      }
       break;
+    }
     case RrType::kSoa: {
-      PutName(&rdata, DnsName::Parse(rr.rdata_name).value());
+      Status status = put_rdata_name();
+      if (!status.ok()) {
+        return Result<std::vector<uint8_t>>::Error(status.message());
+      }
       rdata.push_back(0);  // rname "." (not modeled)
       PutU32(&rdata, static_cast<uint32_t>(rr.rdata_value));  // serial
       PutU32(&rdata, 3600);
@@ -157,22 +210,13 @@ void PutRecord(std::vector<uint8_t>* out, const RrView& rr) {
     case RrType::kAny:
       break;
   }
-  PutU16(out, static_cast<uint16_t>(rdata.size()));
-  out->insert(out->end(), rdata.begin(), rdata.end());
+  PutU16(&out, static_cast<uint16_t>(rdata.size()));
+  out.insert(out.end(), rdata.begin(), rdata.end());
+  return out;
 }
 
-bool ReadRecord(Reader* reader, RrView* rr) {
-  DnsName owner;
-  uint16_t type = 0, klass = 0, rdlength = 0;
-  uint32_t ttl = 0;
-  if (!reader->Name(&owner) || !reader->U16(&type) || !reader->U16(&klass) ||
-      !reader->U32(&ttl) || !reader->U16(&rdlength)) {
-    return false;
-  }
-  rr->name = owner.ToString();
-  rr->type = static_cast<RrType>(type);
-  rr->rdata_value = 0;
-  rr->rdata_name.clear();
+// Reads the type-specific rdata (RDLENGTH itself was already consumed).
+bool ReadRdata(Reader* reader, uint16_t rdlength, RrView* rr) {
   switch (rr->type) {
     case RrType::kA: {
       uint32_t address = 0;
@@ -242,7 +286,48 @@ bool ReadRecord(Reader* reader, RrView* rr) {
   }
 }
 
+bool ReadRecord(Reader* reader, RrView* rr) {
+  DnsName owner;
+  uint16_t type = 0, klass = 0, rdlength = 0;
+  uint32_t ttl = 0;
+  if (!reader->Name(&owner) || !reader->U16(&type) || !reader->U16(&klass) ||
+      !reader->U32(&ttl) || !reader->U16(&rdlength)) {
+    return false;
+  }
+  rr->name = owner.ToString();
+  rr->type = static_cast<RrType>(type);
+  rr->rdata_value = 0;
+  rr->rdata_name.clear();
+  // The rdata must consume exactly RDLENGTH bytes. Without this check a
+  // malformed RDLENGTH on a name-valued record (NS/CNAME/MX/SOA) silently
+  // desynchronizes the reader and mis-parses every subsequent record.
+  size_t rdata_start = reader->pos();
+  if (!ReadRdata(reader, rdlength, rr)) {
+    return false;
+  }
+  return reader->pos() - rdata_start == rdlength;
+}
+
 }  // namespace
+
+Status ValidateWireName(const DnsName& name) {
+  size_t wire_bytes = 1;  // terminating root label
+  for (const std::string& label : name.labels) {
+    if (label.empty()) {
+      return Status::Error("empty label in name: " + name.ToString());
+    }
+    if (label.size() > 63) {
+      return Status::Error(StrCat("label of ", label.size(),
+                                  " bytes (wire labels are 1..63) in name: ", name.ToString()));
+    }
+    wire_bytes += 1 + label.size();
+  }
+  if (wire_bytes > kMaxNameWireBytes) {
+    return Status::Error(StrCat("name of ", wire_bytes, " wire bytes (limit ",
+                                kMaxNameWireBytes, "): ", name.ToString()));
+  }
+  return Status::Ok();
+}
 
 std::vector<uint8_t> EncodeWireQuery(const WireQuery& query) {
   std::vector<uint8_t> out;
@@ -294,12 +379,82 @@ Result<WireQuery> ParseWireQuery(const std::vector<uint8_t>& packet) {
   return query;
 }
 
-std::vector<uint8_t> EncodeWireResponse(const WireQuery& query, const ResponseView& response) {
+Result<std::vector<uint8_t>> EncodeWireResponse(const WireQuery& query,
+                                                const ResponseView& response, size_t max_size) {
+  // Counts must fit the 16-bit header fields; a silent static_cast here used
+  // to alias 65536 records to an ANCOUNT of 0.
+  const std::vector<RrView>* sections[3] = {&response.answer, &response.authority,
+                                            &response.additional};
+  const char* section_names[3] = {"answer", "authority", "additional"};
+  for (int s = 0; s < 3; ++s) {
+    if (sections[s]->size() > kMaxSectionCount) {
+      return Result<std::vector<uint8_t>>::Error(
+          StrCat(section_names[s], " section count ", sections[s]->size(),
+                 " overflows the 16-bit header field"));
+    }
+  }
+  Status qname_ok = ValidateWireName(query.qname);
+  if (!qname_ok.ok()) {
+    return Result<std::vector<uint8_t>>::Error("bad question name: " + qname_ok.message());
+  }
+
+  // Encode every record up front; truncation then drops whole encodings.
+  std::vector<std::vector<uint8_t>> encoded[3];
+  size_t total = 0;
+  for (int s = 0; s < 3; ++s) {
+    encoded[s].reserve(sections[s]->size());
+    for (const RrView& rr : *sections[s]) {
+      Result<std::vector<uint8_t>> record = EncodeRecord(rr);
+      if (!record.ok()) {
+        return Result<std::vector<uint8_t>>::Error(
+            StrCat("cannot encode ", section_names[s], " record: ", record.error()));
+      }
+      total += record.value().size();
+      encoded[s].push_back(std::move(record).value());
+    }
+  }
+
+  // Fixed part: header + the echoed question (always retained, RFC 1035
+  // §4.1.1 — truncation drops records, never the question).
+  std::vector<uint8_t> question;
+  PutName(&question, query.qname);
+  PutU16(&question, static_cast<uint16_t>(query.qtype));
+  PutU16(&question, query.qclass);
+  size_t fixed = kHeaderSize + question.size();
+  if (fixed > max_size) {
+    return Result<std::vector<uint8_t>>::Error(
+        StrCat("header and question alone need ", fixed, " bytes, over the limit of ",
+               max_size));
+  }
+
+  // RFC-1035 truncation: drop whole records back to front (additional first,
+  // then authority, then answer) until the message fits, and say so with TC.
+  bool truncated = false;
+  while (fixed + total > max_size) {
+    int victim = -1;
+    for (int s = 2; s >= 0; --s) {
+      if (!encoded[s].empty()) {
+        victim = s;
+        break;
+      }
+    }
+    if (victim < 0) {
+      break;  // unreachable: fixed <= max_size was checked above
+    }
+    total -= encoded[victim].back().size();
+    encoded[victim].pop_back();
+    truncated = true;
+  }
+
   std::vector<uint8_t> out;
+  out.reserve(fixed + total);
   PutU16(&out, query.id);
   uint16_t flags = kFlagQr;
   if (response.aa) {
     flags |= kFlagAaBit;
+  }
+  if (truncated) {
+    flags |= kFlagTcBit;
   }
   if (query.recursion_desired) {
     flags |= kFlagRd;
@@ -307,26 +462,20 @@ std::vector<uint8_t> EncodeWireResponse(const WireQuery& query, const ResponseVi
   flags |= static_cast<uint16_t>(response.rcode) & 0xF;
   PutU16(&out, flags);
   PutU16(&out, 1);  // question echo
-  PutU16(&out, static_cast<uint16_t>(response.answer.size()));
-  PutU16(&out, static_cast<uint16_t>(response.authority.size()));
-  PutU16(&out, static_cast<uint16_t>(response.additional.size()));
-  PutName(&out, query.qname);
-  PutU16(&out, static_cast<uint16_t>(query.qtype));
-  PutU16(&out, query.qclass);
-  for (const RrView& rr : response.answer) {
-    PutRecord(&out, rr);
+  for (int s = 0; s < 3; ++s) {
+    PutU16(&out, static_cast<uint16_t>(encoded[s].size()));
   }
-  for (const RrView& rr : response.authority) {
-    PutRecord(&out, rr);
-  }
-  for (const RrView& rr : response.additional) {
-    PutRecord(&out, rr);
+  out.insert(out.end(), question.begin(), question.end());
+  for (int s = 0; s < 3; ++s) {
+    for (const std::vector<uint8_t>& record : encoded[s]) {
+      out.insert(out.end(), record.begin(), record.end());
+    }
   }
   return out;
 }
 
 Result<ResponseView> ParseWireResponse(const std::vector<uint8_t>& packet,
-                                       WireQuery* echoed_query) {
+                                       WireQuery* echoed_query, bool* truncated) {
   if (packet.size() < kHeaderSize) {
     return Result<ResponseView>::Error("packet shorter than the DNS header");
   }
@@ -344,8 +493,12 @@ Result<ResponseView> ParseWireResponse(const std::vector<uint8_t>& packet,
   ResponseView view;
   view.rcode = static_cast<Rcode>(flags & 0xF);
   view.aa = (flags & kFlagAaBit) != 0;
+  if (truncated != nullptr) {
+    *truncated = (flags & kFlagTcBit) != 0;
+  }
   if (echoed_query != nullptr) {
     echoed_query->id = id;
+    echoed_query->recursion_desired = (flags & kFlagRd) != 0;
   }
   for (int q = 0; q < qdcount; ++q) {
     DnsName qname;

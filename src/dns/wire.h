@@ -3,13 +3,15 @@
 // The paper's verification scope deliberately excludes packet
 // encoding/decoding (footnote 1: "traditional testing techniques for these
 // modules are enough"); this module is that excluded component, built so the
-// repo's engine can serve real packets (examples/dns_server) and covered by
-// conventional unit tests rather than symbolic execution.
+// repo's engine can serve real packets (examples/dns_server). It is covered
+// by conventional unit tests plus the adversarial wire fuzzer (src/fuzz,
+// tools/dnsv-fuzz) — see docs/WIRE.md for the codec invariants the fuzzer
+// enforces.
 //
 // Supported: standard queries (QR=0, OPCODE=0, one question), responses with
-// answer/authority/additional sections for the engine's record types. Name
-// compression is emitted for the question echo only (pointers to offset 12);
-// decompression of arbitrary pointers is supported when parsing.
+// answer/authority/additional sections for the engine's record types.
+// Decompression of arbitrary backward pointers is supported when parsing;
+// the encoder always emits uncompressed names.
 #ifndef DNSV_DNS_WIRE_H_
 #define DNSV_DNS_WIRE_H_
 
@@ -23,6 +25,9 @@
 #include "src/support/status.h"
 
 namespace dnsv {
+
+// RFC 1035 §4.2.1: the UDP payload limit responses are truncated to.
+inline constexpr size_t kMaxUdpPayload = 512;
 
 struct WireQuery {
   uint16_t id = 0;
@@ -41,18 +46,37 @@ Result<WireQuery> ParseWireQuery(const std::vector<uint8_t>& packet);
 // the low 8); NS/CNAME = name; MX = preference + exchange; SOA = mname,
 // rname ".", serial + fixed timers; TXT = one character-string with the
 // token's decimal spelling.
-std::vector<uint8_t> EncodeWireResponse(const WireQuery& query, const ResponseView& response);
+//
+// Fails (instead of emitting garbage) on names that do not fit the wire
+// format — a label over 63 bytes, an empty label, a name over 255 wire
+// bytes — and on section counts over 65535. Responses that exceed
+// `max_size` are truncated per RFC 1035 §4.1.1: whole records are dropped
+// back to front (additional, then authority, then answer) and the TC bit is
+// set; the question is always retained.
+Result<std::vector<uint8_t>> EncodeWireResponse(const WireQuery& query,
+                                                const ResponseView& response,
+                                                size_t max_size = kMaxUdpPayload);
 
-// Parses a wire response back into a view (used for round-trip tests and by
-// client tooling). TTLs and classes are validated but not represented.
+// Parses a wire response back into a view (used for round-trip tests, the
+// fuzzer, and client tooling). TTLs and classes are validated but not
+// represented. Rejects records whose rdata does not consume exactly RDLENGTH
+// bytes. When `truncated` is non-null it receives the header's TC bit.
 Result<ResponseView> ParseWireResponse(const std::vector<uint8_t>& packet,
-                                       WireQuery* echoed_query);
+                                       WireQuery* echoed_query, bool* truncated = nullptr);
 
 // Human-readable hex dump, 16 bytes per line (debugging aid).
 std::string HexDump(const std::vector<uint8_t>& packet);
 
-// Builds a query packet (client side).
+// Builds a query packet (client side). Names that violate the wire limits
+// produce a packet ParseWireQuery rejects; use ValidateWireName first when
+// the name is untrusted.
 std::vector<uint8_t> EncodeWireQuery(const WireQuery& query);
+
+// Checks that every label is 1..63 bytes and the encoded name fits in 255
+// wire bytes (RFC 1035 §2.3.4). Wire-level only: does not apply the zone
+// file's charset or wildcard-placement rules, so names decoded from
+// arbitrary packets and counterexample names with interior '*' labels pass.
+Status ValidateWireName(const DnsName& name);
 
 }  // namespace dnsv
 

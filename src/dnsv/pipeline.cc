@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/dns/wire.h"
 #include "src/sym/refine.h"
 #include "src/sym/specsub.h"
 #include "src/sym/summary.h"
@@ -229,6 +230,7 @@ class Confirmer {
         qtype_(qtype),
         memory_(lifted.memory),  // private copy: interpretation allocates
         interp_(&engine.module(), &memory_),
+        replay_interner_(lifted.interner),  // private copy: wire replay interns
         report_(report),
         max_issues_(max_issues) {}
 
@@ -293,6 +295,80 @@ class Confirmer {
       if (ev.additional != sv.additional) kinds.push_back("Wrong Additional");
     }
     issue->classification = JoinStrings(kinds, "/");
+    ReplayOnWire(issue, cq, ct);
+  }
+
+  // Closes the loop from SMT model to bytes on the wire: lowers the decoded
+  // counterexample to a wire query packet, replays it through
+  // encode -> parse -> engine -> encode, and records whether the engine's
+  // and the spec's response packets diverge (docs/WIRE.md).
+  void ReplayOnWire(VerificationIssue* issue, const Value& cq, int64_t ct) {
+    WireReplay replay;
+    // The qname is rebuilt label-by-label (cq is root-first): counterexample
+    // names routinely carry interior '*' labels that the zone-file syntax
+    // (DnsName::Parse) rejects but the wire format allows. DecodeApprox maps
+    // known codes to their exact labels and model-synthesized codes to a
+    // label at the same lexicographic position.
+    WireQuery query;
+    query.id = 0xD05E;
+    for (auto it = cq.elems.rbegin(); it != cq.elems.rend(); ++it) {
+      query.qname.labels.push_back(lifted_.interner.DecodeApprox(it->i));
+    }
+    query.qtype = static_cast<RrType>(ct);
+    Status name_ok = ValidateWireName(query.qname);
+    if (!name_ok.ok()) {
+      replay.error = name_ok.message();
+      issue->wire = std::move(replay);
+      return;
+    }
+    replay.query_packet = EncodeWireQuery(query);
+    Result<WireQuery> parsed = ParseWireQuery(replay.query_packet);
+    if (!parsed.ok()) {
+      replay.error = "query packet does not parse back: " + parsed.error();
+      issue->wire = std::move(replay);
+      return;
+    }
+    // Re-intern the parsed labels against a private copy of the zone's
+    // interner: exact labels keep their exact codes, and synthesized labels
+    // land strictly between the same interned neighbors as the model's code,
+    // so the engine's relational label comparisons behave identically.
+    Value wire_qname = QnameValue(parsed.value().qname, &replay_interner_);
+    Value wire_qtype = Value::Int(static_cast<int64_t>(parsed.value().qtype));
+    ExecOutcome engine_run =
+        interp_.Run(engine_.resolve_fn(), {lifted_.image.apex_ptr, lifted_.image.origin_labels,
+                                           wire_qname, wire_qtype});
+    ExecOutcome spec_run =
+        interp_.Run(engine_.rrlookup_fn(), {lifted_.image.zone_rrs, lifted_.image.origin_labels,
+                                            wire_qname, wire_qtype});
+    auto encode = [&](const ExecOutcome& run) -> Result<std::vector<uint8_t>> {
+      ResponseView view;
+      if (run.ok()) {
+        view = DecodeResponse(run.return_value, memory_, replay_interner_, engine_.types());
+      } else {
+        view.rcode = Rcode::kServFail;  // a panic is served as SERVFAIL (dns_server)
+      }
+      return EncodeWireResponse(parsed.value(), view);
+    };
+    Result<std::vector<uint8_t>> engine_packet = encode(engine_run);
+    Result<std::vector<uint8_t>> spec_packet = encode(spec_run);
+    if (!engine_packet.ok() || !spec_packet.ok()) {
+      replay.error = StrCat("response packet does not encode: ",
+                            engine_packet.ok() ? spec_packet.error() : engine_packet.error());
+      issue->wire = std::move(replay);
+      return;
+    }
+    WireQuery echoed;
+    if (!ParseWireResponse(engine_packet.value(), &echoed).ok() ||
+        !ParseWireResponse(spec_packet.value(), &echoed).ok()) {
+      replay.error = "response packet does not parse back";
+      issue->wire = std::move(replay);
+      return;
+    }
+    replay.engine_packet = std::move(engine_packet).value();
+    replay.spec_packet = std::move(spec_packet).value();
+    replay.attempted = true;
+    replay.reproduced = replay.engine_packet != replay.spec_packet;
+    issue->wire = std::move(replay);
   }
 
   const CompiledEngine& engine_;
@@ -301,6 +377,7 @@ class Confirmer {
   SymValue qname_, qtype_;
   ConcreteMemory memory_;
   Interpreter interp_;
+  LabelInterner replay_interner_;
   VerificationReport* report_;
   int max_issues_;
   std::set<std::string> seen_;

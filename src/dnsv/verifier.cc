@@ -5,6 +5,16 @@
 
 namespace dnsv {
 
+std::string WireReplay::ToString() const {
+  if (!attempted) {
+    return error.empty() ? std::string("not attempted")
+                         : StrCat("not replayable: ", error);
+  }
+  return StrCat(query_packet.size(), "-byte query packet; response packets ",
+                reproduced ? "diverge" : "agree", " (engine ", engine_packet.size(),
+                " bytes, spec ", spec_packet.size(), " bytes)");
+}
+
 std::string VerificationIssue::ToString() const {
   std::string out =
       StrCat(kind == Kind::kSafety ? "[SAFETY] " : "[FUNCTIONAL] ", description, "\n");
@@ -12,6 +22,7 @@ std::string VerificationIssue::ToString() const {
                 confirmed ? "  (confirmed on the concrete interpreter)" : "", "\n");
   out += "  engine: " + engine_behavior + "\n";
   out += "  spec:   " + spec_behavior + "\n";
+  out += "  wire:   " + wire.ToString() + "\n";
   return out;
 }
 

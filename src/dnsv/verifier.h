@@ -65,6 +65,23 @@ struct VerifyOptions {
   SolverConfig solver;
 };
 
+// Packet-level replay of a counterexample — the Confirm stage's last mile
+// (docs/WIRE.md). The decoded query is lowered to wire bytes, parsed back,
+// executed on the concrete interpreter for both the engine and the spec, and
+// both responses are encoded to wire. `reproduced` means the two response
+// packets differ byte for byte: the bug the verifier reported is visible on
+// the wire, not only in the verifier's decoded views.
+struct WireReplay {
+  bool attempted = false;   // false when lowering or encoding failed (see error)
+  bool reproduced = false;  // engine and spec response packets differ
+  std::string error;
+  std::vector<uint8_t> query_packet;
+  std::vector<uint8_t> engine_packet;
+  std::vector<uint8_t> spec_packet;
+
+  std::string ToString() const;
+};
+
 struct VerificationIssue {
   enum class Kind : uint8_t { kSafety, kFunctional };
   Kind kind = Kind::kFunctional;
@@ -80,6 +97,8 @@ struct VerificationIssue {
   // "Runtime Error", "Wrong Flag", "Wrong Answer", "Wrong rcode",
   // "Wrong Authority", "Wrong Additional" (possibly several, '/'-joined).
   std::string classification;
+  // Wire-level replay of the counterexample (SMT model -> bytes on the wire).
+  WireReplay wire;
 
   std::string ToString() const;
 };

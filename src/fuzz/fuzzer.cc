@@ -1,0 +1,384 @@
+#include "src/fuzz/fuzzer.h"
+
+#include <set>
+#include <utility>
+
+#include "src/engine/engine.h"
+#include "src/support/strings.h"
+#include "src/zonegen/zonegen.h"
+
+namespace dnsv {
+namespace {
+
+void Violation(RoundTripStats* stats, const RoundTripOptions& options, std::string what,
+               const std::vector<uint8_t>& packet) {
+  ++stats->violations;
+  if (static_cast<int>(stats->reports.size()) < options.max_reports) {
+    stats->reports.push_back(StrCat(what, "\n", WirePacketToHex(packet)));
+  }
+}
+
+// parse -> encode -> parse on a canonical generated response: the bytes are
+// the fixpoint witness.
+void CheckResponseFixpoint(const GeneratedPacket& packet, RoundTripStats* stats,
+                           const RoundTripOptions& options) {
+  WireQuery echoed;
+  bool tc = false;
+  Result<ResponseView> parsed = ParseWireResponse(packet.bytes, &echoed, &tc);
+  if (!parsed.ok()) {
+    Violation(stats, options, "generated response does not parse: " + parsed.error(),
+              packet.bytes);
+    return;
+  }
+  if (tc) {
+    Violation(stats, options, "generated response has TC set", packet.bytes);
+  }
+  Result<std::vector<uint8_t>> reencoded =
+      EncodeWireResponse(echoed, parsed.value(), /*max_size=*/1 << 20);
+  if (!reencoded.ok()) {
+    Violation(stats, options, "parsed view does not re-encode: " + reencoded.error(),
+              packet.bytes);
+    return;
+  }
+  if (reencoded.value() != packet.bytes) {
+    Violation(stats, options, "re-encoded response is not byte-identical", packet.bytes);
+  }
+}
+
+// RFC-1035 truncation property: any parsed view re-encoded at the UDP limit
+// must fit, keep the question, set TC exactly when records were dropped, and
+// the surviving records must be a back-to-front prefix cut.
+void CheckTruncationProperty(const WireQuery& query, const ResponseView& view,
+                             RoundTripStats* stats, const RoundTripOptions& options,
+                             const std::vector<uint8_t>& origin_packet) {
+  Result<std::vector<uint8_t>> at_udp = EncodeWireResponse(query, view, kMaxUdpPayload);
+  if (!at_udp.ok()) {
+    Violation(stats, options, "truncating encode failed: " + at_udp.error(), origin_packet);
+    return;
+  }
+  if (at_udp.value().size() > kMaxUdpPayload) {
+    Violation(stats, options, "truncated response exceeds 512 bytes", at_udp.value());
+    return;
+  }
+  WireQuery echoed;
+  bool tc = false;
+  Result<ResponseView> parsed = ParseWireResponse(at_udp.value(), &echoed, &tc);
+  if (!parsed.ok()) {
+    Violation(stats, options, "truncated response does not parse: " + parsed.error(),
+              at_udp.value());
+    return;
+  }
+  const ResponseView& small = parsed.value();
+  size_t kept = small.answer.size() + small.authority.size() + small.additional.size();
+  size_t total = view.answer.size() + view.authority.size() + view.additional.size();
+  if (tc != (kept < total)) {
+    Violation(stats, options,
+              StrCat("TC=", tc, " but ", kept, " of ", total, " records survived"),
+              at_udp.value());
+    return;
+  }
+  if (tc) {
+    ++stats->truncations;
+  }
+  // Back-to-front drop order: every surviving section is a prefix of the
+  // original, and a non-empty later section implies earlier sections intact.
+  auto is_prefix = [](const std::vector<RrView>& a, const std::vector<RrView>& b) {
+    if (a.size() > b.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  bool prefixes = is_prefix(small.answer, view.answer) &&
+                  is_prefix(small.authority, view.authority) &&
+                  is_prefix(small.additional, view.additional);
+  // Drop-order law: additional is dropped before authority, authority before
+  // answer — so if any answer was dropped, authority and additional must be
+  // empty; if any authority was dropped, additional must be empty.
+  bool order = true;
+  if (small.answer.size() < view.answer.size() &&
+      !(small.authority.empty() && small.additional.empty())) {
+    order = false;
+  }
+  if (small.authority.size() < view.authority.size() && !small.additional.empty()) {
+    order = false;
+  }
+  if (!prefixes || !order) {
+    Violation(stats, options, "truncation did not drop whole records back-to-front",
+              at_udp.value());
+  }
+}
+
+void CheckQueryMutant(const std::vector<uint8_t>& mutant, RoundTripStats* stats,
+                      const RoundTripOptions& options) {
+  Result<WireQuery> parsed = ParseWireQuery(mutant);
+  if (!parsed.ok()) {
+    ++stats->mutants_rejected;
+    return;
+  }
+  ++stats->mutants_parsed;
+  // Accepted mutants must normalize: the canonical re-encoding parses back
+  // to the same query.
+  std::vector<uint8_t> canonical = EncodeWireQuery(parsed.value());
+  Result<WireQuery> again = ParseWireQuery(canonical);
+  if (!again.ok()) {
+    Violation(stats, options, "canonical re-encode of accepted query does not parse", mutant);
+    return;
+  }
+  if (again.value().qname != parsed.value().qname ||
+      again.value().qtype != parsed.value().qtype ||
+      again.value().qclass != parsed.value().qclass || again.value().id != parsed.value().id) {
+    Violation(stats, options, "accepted query mutant does not normalize", mutant);
+  }
+}
+
+void CheckResponseMutant(const std::vector<uint8_t>& mutant, RoundTripStats* stats,
+                         const RoundTripOptions& options) {
+  WireQuery echoed;
+  Result<ResponseView> parsed = ParseWireResponse(mutant, &echoed);
+  if (!parsed.ok()) {
+    ++stats->mutants_rejected;
+    return;
+  }
+  ++stats->mutants_parsed;
+  // An accepted view must either re-encode (then round-trip view-equal), or
+  // fail with a clean error (names the wire cannot carry, e.g. a
+  // decompressed name over 255 bytes).
+  Result<std::vector<uint8_t>> reencoded =
+      EncodeWireResponse(echoed, parsed.value(), /*max_size=*/1 << 20);
+  if (!reencoded.ok()) {
+    ++stats->mutants_encode_rejected;
+    return;
+  }
+  bool tc = false;
+  WireQuery echoed2;
+  Result<ResponseView> again = ParseWireResponse(reencoded.value(), &echoed2, &tc);
+  if (!again.ok()) {
+    Violation(stats, options,
+              "re-encode of accepted response mutant does not parse: " + again.error(), mutant);
+    return;
+  }
+  if (!(again.value() == parsed.value())) {
+    Violation(stats, options, "accepted response mutant is not a view fixpoint", mutant);
+  }
+}
+
+}  // namespace
+
+std::string RoundTripStats::Summary() const {
+  std::string out = StrCat("round-trip: ", packets, " packets (", queries, " queries, ",
+                           responses, " responses, ", mutants, " mutants)\n");
+  out += StrCat("  mutants: ", mutants_rejected, " rejected, ", mutants_parsed, " parsed, ",
+                mutants_encode_rejected, " re-encode refused; truncations exercised: ",
+                truncations, "\n");
+  out += "  mutations:";
+  for (int k = 0; k < kNumMutationKinds; ++k) {
+    out += StrCat(" ", MutationKindName(static_cast<MutationKind>(k)), "=",
+                  mutation_counts[k]);
+  }
+  out += StrCat("\n  violations: ", violations, "\n");
+  for (const std::string& report : reports) {
+    out += report;
+  }
+  return out;
+}
+
+RoundTripStats RunRoundTripFuzz(const RoundTripOptions& options,
+                                const ZoneConfig& vocabulary_zone) {
+  PacketGenerator gen(options.seed, vocabulary_zone);
+  RoundTripStats stats;
+  for (int64_t i = 0; i < options.iterations; ++i) {
+    // Canonical query: must parse back to itself.
+    WireQuery query;
+    GeneratedPacket query_packet = gen.NextQueryPacket(&query);
+    ++stats.packets;
+    ++stats.queries;
+    Result<WireQuery> parsed_query = ParseWireQuery(query_packet.bytes);
+    if (!parsed_query.ok()) {
+      Violation(&stats, options, "generated query does not parse: " + parsed_query.error(),
+                query_packet.bytes);
+    } else if (parsed_query.value().qname != query.qname ||
+               parsed_query.value().qtype != query.qtype ||
+               EncodeWireQuery(parsed_query.value()) != query_packet.bytes) {
+      Violation(&stats, options, "generated query is not a fixpoint", query_packet.bytes);
+    }
+
+    // Canonical response: parse -> encode -> byte-identical, plus the
+    // truncation property at the UDP limit.
+    GeneratedPacket response_packet = gen.NextResponsePacket();
+    ++stats.packets;
+    ++stats.responses;
+    CheckResponseFixpoint(response_packet, &stats, options);
+    {
+      WireQuery echoed;
+      Result<ResponseView> parsed = ParseWireResponse(response_packet.bytes, &echoed);
+      if (parsed.ok()) {
+        CheckTruncationProperty(echoed, parsed.value(), &stats, options, response_packet.bytes);
+      }
+    }
+
+    // Mutants of both.
+    for (int m = 0; m < options.mutants_per_packet; ++m) {
+      MutationKind kind;
+      std::vector<uint8_t> mutant = gen.Mutate(query_packet, &kind);
+      ++stats.packets;
+      ++stats.mutants;
+      ++stats.mutation_counts[static_cast<int>(kind)];
+      CheckQueryMutant(mutant, &stats, options);
+
+      mutant = gen.Mutate(response_packet, &kind);
+      ++stats.packets;
+      ++stats.mutants;
+      ++stats.mutation_counts[static_cast<int>(kind)];
+      CheckResponseMutant(mutant, &stats, options);
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+std::string BehaviorText(const QueryResult& result) {
+  if (result.panicked) {
+    return "panic: " + result.panic_message;
+  }
+  return result.response.ToString();
+}
+
+bool Diverges(const QueryResult& engine, const QueryResult& spec) {
+  if (engine.panicked || spec.panicked) {
+    return !(engine.panicked && spec.panicked &&
+             engine.panic_message == spec.panic_message);
+  }
+  return !(engine.response == spec.response);
+}
+
+bool DivergesAt(AuthoritativeServer* server, const DnsName& qname, RrType qtype) {
+  QueryResult engine = server->Query(qname, qtype);
+  QueryResult spec = server->QuerySpec(qname, qtype);
+  return Diverges(engine, spec);
+}
+
+// Greedy minimization: drop labels while the divergence persists, then try
+// collapsing the qtype to A. Every step re-runs both sides concretely, so
+// the reported packet provably still diverges.
+void Minimize(AuthoritativeServer* server, DnsName* qname, RrType* qtype) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < qname->labels.size(); ++i) {
+      DnsName candidate = *qname;
+      candidate.labels.erase(candidate.labels.begin() + static_cast<long>(i));
+      if (DivergesAt(server, candidate, *qtype)) {
+        *qname = candidate;
+        changed = true;
+        break;
+      }
+    }
+    if (*qtype != RrType::kA && DivergesAt(server, *qname, RrType::kA)) {
+      *qtype = RrType::kA;
+      changed = true;
+    }
+  }
+}
+
+}  // namespace
+
+std::string WireDivergence::ToString() const {
+  return StrCat(EngineVersionName(version), ": ", qname.empty() ? "." : qname, " ",
+                RrTypeDisplay(qtype), " (", query_packet.size(), "-byte query)\n  engine: ",
+                engine_behavior, "\n  spec:   ", spec_behavior, "\n");
+}
+
+int64_t DifferentialStats::DivergenceCount(EngineVersion version) const {
+  auto it = divergent_queries.find(version);
+  return it == divergent_queries.end() ? 0 : it->second;
+}
+
+std::string DifferentialStats::Summary() const {
+  std::string out = StrCat("differential: ", queries_per_version, " queries per version\n");
+  for (const auto& [version, count] : divergent_queries) {
+    out += StrCat("  ", EngineVersionName(version), ": ", count, " divergent queries\n");
+  }
+  out += StrCat("  minimized distinct divergences: ", divergences.size(), "\n");
+  return out;
+}
+
+Result<DifferentialStats> RunDifferentialFuzz(const std::vector<EngineVersion>& versions,
+                                              const ZoneConfig& zone,
+                                              const DifferentialOptions& options) {
+  // One probe list shared by every version, so per-version results are
+  // comparable and the whole pass is a function of the seed.
+  std::vector<std::pair<DnsName, RrType>> probes;
+  if (options.include_interesting_probes) {
+    for (const DnsName& qname : InterestingQueryNames(zone, options.seed, 8)) {
+      for (RrType qtype : AllQueryTypes()) {
+        probes.emplace_back(qname, qtype);
+      }
+    }
+  }
+  PacketGenerator gen(options.seed, zone);
+  for (int64_t i = 0; i < options.random_queries; ++i) {
+    GeneratedPacket packet = gen.NextQueryPacket();
+    // Every probe travels as a real packet: what the engine sees is what
+    // ParseWireQuery recovered from the wire, not the generator's intent.
+    Result<WireQuery> parsed = ParseWireQuery(packet.bytes);
+    if (!parsed.ok()) {
+      return Result<DifferentialStats>::Error(
+          "generated query packet does not parse: " + parsed.error());
+    }
+    probes.emplace_back(parsed.value().qname, parsed.value().qtype);
+  }
+
+  DifferentialStats stats;
+  stats.queries_per_version = static_cast<int64_t>(probes.size());
+  for (EngineVersion version : versions) {
+    Result<std::unique_ptr<AuthoritativeServer>> server =
+        AuthoritativeServer::Create(version, zone);
+    if (!server.ok()) {
+      return Result<DifferentialStats>::Error(
+          StrCat("cannot serve zone on ", EngineVersionName(version), ": ", server.error()));
+    }
+    AuthoritativeServer* s = server.value().get();
+    std::set<std::string> seen;
+    int64_t collected = 0;
+    for (const auto& [qname, qtype] : probes) {
+      QueryResult engine = s->Query(qname, qtype);
+      QueryResult spec = s->QuerySpec(qname, qtype);
+      if (!Diverges(engine, spec)) {
+        continue;
+      }
+      ++stats.divergent_queries[version];
+      if (collected >= options.max_divergences) {
+        continue;
+      }
+      DnsName min_qname = qname;
+      RrType min_qtype = qtype;
+      Minimize(s, &min_qname, &min_qtype);
+      std::string key = StrCat(min_qname.ToString(), "/", static_cast<int64_t>(min_qtype));
+      if (!seen.insert(key).second) {
+        continue;
+      }
+      ++collected;
+      WireDivergence divergence;
+      divergence.version = version;
+      divergence.qname = min_qname.ToString();
+      divergence.qtype = min_qtype;
+      WireQuery wire_query;
+      wire_query.id = 0xFADE;
+      wire_query.qname = min_qname;
+      wire_query.qtype = min_qtype;
+      divergence.query_packet = EncodeWireQuery(wire_query);
+      divergence.engine_behavior = BehaviorText(s->Query(min_qname, min_qtype));
+      divergence.spec_behavior = BehaviorText(s->QuerySpec(min_qname, min_qtype));
+      stats.divergences.push_back(std::move(divergence));
+    }
+  }
+  return stats;
+}
+
+}  // namespace dnsv

@@ -1,0 +1,104 @@
+// The wire-level conformance and differential fuzzing harness (docs/WIRE.md).
+//
+// Two passes, both deterministic for a given seed:
+//
+//   Round-trip (codec conformance) — generated canonical packets must be
+//   parse/encode fixpoints; mutated packets must either be rejected cleanly
+//   or re-encode to a view-equivalent packet. Crashes are the sanitizers'
+//   department: ci/check.sh runs the same pass under ASan/UBSan.
+//
+//   Differential (engine vs spec) — every generated in-bounds query is
+//   parsed from its wire packet and executed on the concrete interpreter
+//   through both the engine's Resolve and the zone-lifted rrlookup spec;
+//   response-view disagreement (or a panic) is a divergence, reported as a
+//   minimized query packet. On the clean versions (golden, v4.0) this must
+//   find nothing; on v1.0–dev it rediscovers the Table-2 bugs from the
+//   packet side, complementing the verifier's symbolic search.
+#ifndef DNSV_FUZZ_FUZZER_H_
+#define DNSV_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/dns/zone.h"
+#include "src/engine/sources/sources.h"
+#include "src/fuzz/packet_gen.h"
+
+namespace dnsv {
+
+struct RoundTripOptions {
+  uint64_t seed = 0xD15EA5E;
+  // Each iteration exercises one query packet, one response packet, and
+  // `mutants_per_packet` mutants of each: packets per iteration =
+  // 2 * (1 + mutants_per_packet).
+  int64_t iterations = 1000;
+  int mutants_per_packet = 2;
+  int max_reports = 5;  // violation descriptions kept verbatim
+};
+
+struct RoundTripStats {
+  int64_t packets = 0;  // total packets exercised, mutants included
+  int64_t queries = 0;
+  int64_t responses = 0;
+  int64_t mutants = 0;
+  int64_t mutants_rejected = 0;        // parser refused (expected for most)
+  int64_t mutants_parsed = 0;          // parser accepted the mutant
+  int64_t mutants_encode_rejected = 0; // accepted view failed to re-encode (clean error)
+  int64_t truncations = 0;             // oversized responses exercised at 512 bytes
+  int64_t mutation_counts[kNumMutationKinds] = {};
+  int64_t violations = 0;
+  std::vector<std::string> reports;  // first max_reports violations, with hex dumps
+
+  bool ok() const { return violations == 0; }
+  std::string Summary() const;
+};
+
+// Runs the codec-conformance pass. `vocabulary_zone` only seeds the label
+// alphabet; no engine is involved.
+RoundTripStats RunRoundTripFuzz(const RoundTripOptions& options,
+                                const ZoneConfig& vocabulary_zone);
+
+// One engine/spec disagreement, minimized (greedy label dropping + qtype
+// simplification) and re-encoded as a wire query packet.
+struct WireDivergence {
+  EngineVersion version = EngineVersion::kGolden;
+  std::string qname;  // minimized; "." for the root
+  RrType qtype = RrType::kA;
+  std::vector<uint8_t> query_packet;  // EncodeWireQuery of the minimized query
+  std::string engine_behavior;  // response text, or "panic: ..."
+  std::string spec_behavior;
+
+  std::string ToString() const;
+};
+
+struct DifferentialOptions {
+  uint64_t seed = 0xD15EA5E;
+  int64_t random_queries = 400;  // per version, on top of the interesting probes
+  // Prepend zone-derived probe names (owners, ENTs, wildcard instantiations,
+  // children, out-of-zone) x the engine's query types; this is what makes a
+  // few hundred queries enough to hit every Table-2 bug deterministically.
+  bool include_interesting_probes = true;
+  int max_divergences = 32;  // minimized + deduplicated, per run
+};
+
+struct DifferentialStats {
+  int64_t queries_per_version = 0;
+  std::map<EngineVersion, int64_t> divergent_queries;  // pre-minimization counts
+  std::vector<WireDivergence> divergences;
+
+  int64_t DivergenceCount(EngineVersion version) const;
+  std::string Summary() const;
+};
+
+// Runs the differential pass over `versions` serving `zone`. Fails (Result
+// error) only on setup problems — an invalid zone; divergences are data, not
+// errors.
+Result<DifferentialStats> RunDifferentialFuzz(const std::vector<EngineVersion>& versions,
+                                              const ZoneConfig& zone,
+                                              const DifferentialOptions& options);
+
+}  // namespace dnsv
+
+#endif  // DNSV_FUZZ_FUZZER_H_

@@ -1,0 +1,363 @@
+#include "src/fuzz/packet_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+constexpr size_t kHeaderSize = 12;
+
+// Header-field replacement values, biased toward the boundary cases the
+// parser must handle (zero counts, count/size mismatches, all-ones).
+constexpr uint16_t kHeaderBoundaryValues[] = {0, 1, 2, 0x00FF, 0x8000, 0xFFFF};
+
+uint16_t ReadU16(const std::vector<uint8_t>& bytes, size_t offset) {
+  return static_cast<uint16_t>((bytes[offset] << 8) | bytes[offset + 1]);
+}
+
+void WriteU16(std::vector<uint8_t>* bytes, size_t offset, uint16_t value) {
+  (*bytes)[offset] = static_cast<uint8_t>(value >> 8);
+  (*bytes)[offset + 1] = static_cast<uint8_t>(value & 0xff);
+}
+
+// Advances past one canonical (uncompressed) name; false on malformed.
+bool SkipCanonicalName(const std::vector<uint8_t>& bytes, size_t* pos) {
+  while (*pos < bytes.size()) {
+    uint8_t len = bytes[*pos];
+    if (len == 0) {
+      ++*pos;
+      return true;
+    }
+    if (len > 63 || *pos + 1 + len > bytes.size()) {
+      return false;
+    }
+    *pos += 1 + static_cast<size_t>(len);
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kHeaderField:
+      return "header-field";
+    case MutationKind::kCompressionPointer:
+      return "compression-pointer";
+    case MutationKind::kRdlength:
+      return "rdlength";
+    case MutationKind::kTruncate:
+      return "truncate";
+    case MutationKind::kByteFlip:
+      return "byte-flip";
+  }
+  return "unknown";
+}
+
+bool IndexCanonicalResponse(const std::vector<uint8_t>& bytes, GeneratedPacket* out) {
+  out->bytes = bytes;
+  out->rdlength_offsets.clear();
+  out->name_offsets.clear();
+  if (bytes.size() < kHeaderSize) {
+    return false;
+  }
+  uint16_t qdcount = ReadU16(bytes, 4);
+  size_t records = static_cast<size_t>(ReadU16(bytes, 6)) + ReadU16(bytes, 8) + ReadU16(bytes, 10);
+  size_t pos = kHeaderSize;
+  for (uint16_t q = 0; q < qdcount; ++q) {
+    out->name_offsets.push_back(pos);
+    if (!SkipCanonicalName(bytes, &pos) || pos + 4 > bytes.size()) {
+      return false;
+    }
+    pos += 4;  // qtype + qclass
+  }
+  for (size_t r = 0; r < records; ++r) {
+    out->name_offsets.push_back(pos);
+    if (!SkipCanonicalName(bytes, &pos) || pos + 10 > bytes.size()) {
+      return false;
+    }
+    pos += 8;  // type + class + ttl
+    out->rdlength_offsets.push_back(pos);
+    uint16_t rdlength = ReadU16(bytes, pos);
+    pos += 2;
+    if (pos + rdlength > bytes.size()) {
+      return false;
+    }
+    pos += rdlength;
+  }
+  return pos == bytes.size();
+}
+
+PacketGenerator::PacketGenerator(uint64_t seed, const ZoneConfig& vocabulary_zone)
+    : rng_(seed) {
+  std::set<std::string> labels;
+  auto add_name = [&labels](const DnsName& name) {
+    for (const std::string& label : name.labels) {
+      labels.insert(label);
+    }
+  };
+  add_name(vocabulary_zone.origin);
+  for (const ZoneRecord& record : vocabulary_zone.records) {
+    add_name(record.name);
+    add_name(record.rdata.name);
+  }
+  // A few labels no zone uses, so NXDOMAIN / out-of-zone paths stay covered.
+  labels.insert("zzz-missing");
+  labels.insert("elsewhere");
+  vocabulary_.assign(labels.begin(), labels.end());
+}
+
+std::string PacketGenerator::RandomLabel() {
+  // 3:1 vocabulary over fresh random labels; fresh ones occasionally take the
+  // 63-byte boundary length.
+  if (!vocabulary_.empty() && rng_.NextChance(3, 4)) {
+    return vocabulary_[rng_.NextBelow(vocabulary_.size())];
+  }
+  size_t len = rng_.NextChance(1, 16) ? 63 : 1 + rng_.NextBelow(12);
+  std::string label;
+  for (size_t i = 0; i < len; ++i) {
+    label.push_back(static_cast<char>('a' + rng_.NextBelow(26)));
+  }
+  return label;
+}
+
+DnsName PacketGenerator::RandomName(int max_labels) {
+  DnsName name;
+  int labels = static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(max_labels) + 1));
+  for (int i = 0; i < labels; ++i) {
+    name.labels.push_back(RandomLabel());
+  }
+  // Keep within the 255-wire-byte limit the encoder enforces.
+  while (!ValidateWireName(name).ok() && !name.labels.empty()) {
+    name.labels.pop_back();
+  }
+  return name;
+}
+
+RrType PacketGenerator::RandomType(bool query_position) {
+  static constexpr RrType kKnown[] = {RrType::kA,  RrType::kNs,  RrType::kCname, RrType::kSoa,
+                                      RrType::kMx, RrType::kTxt, RrType::kAaaa};
+  if (rng_.NextChance(1, 8)) {
+    return static_cast<RrType>(rng_.NextInRange(1, 255));  // arbitrary code
+  }
+  if (query_position && rng_.NextChance(1, 5)) {
+    return RrType::kAny;
+  }
+  return kKnown[rng_.NextBelow(std::size(kKnown))];
+}
+
+WireQuery PacketGenerator::NextQuery() {
+  WireQuery query;
+  query.id = static_cast<uint16_t>(rng_.Next());
+  query.qname = RandomName(6);
+  query.qtype = RandomType(/*query_position=*/true);
+  query.qclass = rng_.NextChance(1, 16) ? static_cast<uint16_t>(rng_.Next()) : 1;
+  query.recursion_desired = rng_.NextChance(1, 2);
+  return query;
+}
+
+GeneratedPacket PacketGenerator::NextQueryPacket(WireQuery* query) {
+  WireQuery q = NextQuery();
+  if (query != nullptr) {
+    *query = q;
+  }
+  GeneratedPacket packet;
+  packet.bytes = EncodeWireQuery(q);
+  packet.name_offsets.push_back(kHeaderSize);
+  return packet;
+}
+
+ResponseView PacketGenerator::NextResponseView() {
+  ResponseView view;
+  view.rcode = static_cast<Rcode>(rng_.NextBelow(16));
+  view.aa = rng_.NextChance(1, 2);
+  std::vector<RrView>* sections[3] = {&view.answer, &view.authority, &view.additional};
+  for (std::vector<RrView>* section : sections) {
+    size_t count = rng_.NextBelow(4);
+    for (size_t i = 0; i < count; ++i) {
+      RrView rr;
+      rr.name = RandomName(4).ToString();
+      rr.type = RandomType(/*query_position=*/false);
+      // Type-appropriate rdata ranges so the view is an encode/parse fixpoint
+      // (an MX preference over 65535 would be silently narrowed on the wire).
+      switch (rr.type) {
+        case RrType::kA:
+        case RrType::kSoa:
+          rr.rdata_value = static_cast<int64_t>(rng_.Next() & 0xffffffff);
+          break;
+        case RrType::kAaaa:
+          rr.rdata_value = static_cast<int64_t>(rng_.Next() >> 2);  // < 2^62
+          break;
+        case RrType::kMx:
+          rr.rdata_value = static_cast<int64_t>(rng_.NextBelow(0x10000));
+          break;
+        case RrType::kTxt:
+          rr.rdata_value = static_cast<int64_t>(rng_.NextBelow(1000000));
+          break;
+        default:
+          rr.rdata_value = 0;  // unknown types carry empty rdata
+          break;
+      }
+      if (rr.type == RrType::kNs || rr.type == RrType::kCname || rr.type == RrType::kMx ||
+          rr.type == RrType::kSoa) {
+        rr.rdata_name = RandomName(4).ToString();
+      }
+      section->push_back(std::move(rr));
+    }
+  }
+  return view;
+}
+
+GeneratedPacket PacketGenerator::NextResponsePacket(WireQuery* query_out) {
+  WireQuery query = NextQuery();
+  query.qclass = 1;
+  ResponseView view = NextResponseView();
+  // Encode with an effectively unlimited size: the generator's job is the
+  // codec fixpoint, and a TC-truncated packet is deliberately not one (the
+  // dropped records cannot come back). Truncation is covered separately by
+  // the round-trip harness's oversized-response property.
+  Result<std::vector<uint8_t>> bytes = EncodeWireResponse(query, view, /*max_size=*/1 << 20);
+  DNSV_CHECK(bytes.ok());  // generator emits only wire-valid names/counts
+  if (query_out != nullptr) {
+    *query_out = query;
+  }
+  GeneratedPacket packet;
+  DNSV_CHECK(IndexCanonicalResponse(bytes.value(), &packet));
+  return packet;
+}
+
+std::vector<uint8_t> PacketGenerator::Mutate(const GeneratedPacket& packet,
+                                             MutationKind* kind_out) {
+  std::vector<uint8_t> bytes = packet.bytes;
+  MutationKind kind = static_cast<MutationKind>(rng_.NextBelow(kNumMutationKinds));
+  // Structure-aware families fall back to byte flips when the packet lacks
+  // the needed offsets (queries have no RDLENGTH fields).
+  if (kind == MutationKind::kRdlength && packet.rdlength_offsets.empty()) {
+    kind = MutationKind::kByteFlip;
+  }
+  if (bytes.size() <= kHeaderSize &&
+      (kind == MutationKind::kCompressionPointer || kind == MutationKind::kTruncate)) {
+    kind = MutationKind::kByteFlip;
+  }
+  switch (kind) {
+    case MutationKind::kHeaderField: {
+      size_t field = rng_.NextBelow(6);  // id, flags, qd, an, ns, ar
+      uint16_t value = rng_.NextChance(2, 3)
+                           ? kHeaderBoundaryValues[rng_.NextBelow(std::size(kHeaderBoundaryValues))]
+                           : static_cast<uint16_t>(rng_.Next());
+      if (bytes.size() >= kHeaderSize) {
+        WriteU16(&bytes, field * 2, value);
+      }
+      break;
+    }
+    case MutationKind::kCompressionPointer: {
+      // Plant a pointer at a name offset when we know one (hits the name
+      // parser for sure), else anywhere past the header. Target choices:
+      // backward (valid-ish), self (degenerate loop), forward (malformed).
+      size_t at = packet.name_offsets.empty()
+                      ? kHeaderSize + rng_.NextBelow(bytes.size() - kHeaderSize)
+                      : packet.name_offsets[rng_.NextBelow(packet.name_offsets.size())];
+      size_t target = 0;
+      switch (rng_.NextBelow(3)) {
+        case 0:
+          target = rng_.NextBelow(at + 1);  // backward or self
+          break;
+        case 1:
+          target = at;  // self loop
+          break;
+        default:
+          target = at + 1 + rng_.NextBelow(64);  // forward
+          break;
+      }
+      target &= 0x3FFF;
+      if (at + 1 < bytes.size()) {
+        bytes[at] = static_cast<uint8_t>(0xC0 | (target >> 8));
+        bytes[at + 1] = static_cast<uint8_t>(target & 0xff);
+      }
+      break;
+    }
+    case MutationKind::kRdlength: {
+      size_t offset = packet.rdlength_offsets[rng_.NextBelow(packet.rdlength_offsets.size())];
+      uint16_t rdlength = ReadU16(bytes, offset);
+      uint16_t lie;
+      switch (rng_.NextBelow(4)) {
+        case 0:
+          lie = static_cast<uint16_t>(rdlength + 1 + rng_.NextBelow(8));  // overclaim
+          break;
+        case 1:
+          lie = rdlength > 0 ? static_cast<uint16_t>(rng_.NextBelow(rdlength)) : 1;  // under
+          break;
+        case 2:
+          lie = 0xFFFF;  // past end of packet
+          break;
+        default:
+          lie = static_cast<uint16_t>(rng_.Next());
+          break;
+      }
+      WriteU16(&bytes, offset, lie);
+      break;
+    }
+    case MutationKind::kTruncate: {
+      bytes.resize(rng_.NextBelow(bytes.size()));
+      break;
+    }
+    case MutationKind::kByteFlip: {
+      size_t flips = 1 + rng_.NextBelow(4);
+      for (size_t i = 0; i < flips && !bytes.empty(); ++i) {
+        bytes[rng_.NextBelow(bytes.size())] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
+      }
+      break;
+    }
+  }
+  if (kind_out != nullptr) {
+    *kind_out = kind;
+  }
+  return bytes;
+}
+
+std::string WirePacketToHex(const std::vector<uint8_t>& packet) { return HexDump(packet); }
+
+Result<std::vector<uint8_t>> HexToWirePacket(const std::string& text) {
+  std::vector<uint8_t> bytes;
+  int nibble = -1;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '#' || c == ';') {
+      while (i < text.size() && text[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    int value;
+    if (c >= '0' && c <= '9') {
+      value = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      value = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      value = c - 'A' + 10;
+    } else if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      if (nibble >= 0) {
+        return Result<std::vector<uint8_t>>::Error(
+            StrCat("odd hex digit before whitespace at offset ", i));
+      }
+      continue;
+    } else {
+      return Result<std::vector<uint8_t>>::Error(StrCat("invalid hex character '", c, "'"));
+    }
+    if (nibble < 0) {
+      nibble = value;
+    } else {
+      bytes.push_back(static_cast<uint8_t>((nibble << 4) | value));
+      nibble = -1;
+    }
+  }
+  if (nibble >= 0) {
+    return Result<std::vector<uint8_t>>::Error("trailing unpaired hex digit");
+  }
+  return bytes;
+}
+
+}  // namespace dnsv

@@ -1,0 +1,93 @@
+// Deterministic structured DNS packet generation and mutation for the wire
+// fuzzer (docs/WIRE.md). The generator emits canonical in-bounds packets
+// through the real codec (EncodeWireQuery / EncodeWireResponse) so every
+// generated packet is a ground-truth fixpoint witness; the mutator then
+// applies the adversarial families the codec historically got wrong:
+// header-field rewrites, name-compression pointers (loops, forward jumps),
+// RDLENGTH lies, truncation, and plain byte flips.
+//
+// Everything is seed-driven (SplitMix64) and platform-independent: the same
+// seed produces the same packet sequence on every run, which is what lets CI
+// pin a fixed-seed smoke pass and lets a reported packet be replayed.
+#ifndef DNSV_FUZZ_PACKET_GEN_H_
+#define DNSV_FUZZ_PACKET_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dns/wire.h"
+#include "src/dns/zone.h"
+#include "src/support/rng.h"
+
+namespace dnsv {
+
+// The mutation families (ISSUE: header-field, name-compression, rdlength,
+// truncation) plus plain byte flips as the unstructured baseline.
+enum class MutationKind : uint8_t {
+  kHeaderField,         // rewrite one of the six header u16s
+  kCompressionPointer,  // plant a 0xC0 pointer (backward, forward, or self)
+  kRdlength,            // make an RDLENGTH field lie about its rdata
+  kTruncate,            // chop the packet at a random byte
+  kByteFlip,            // flip random bytes anywhere
+};
+inline constexpr int kNumMutationKinds = 5;
+const char* MutationKindName(MutationKind kind);
+
+// A canonical packet plus the structural offsets the mutator targets.
+struct GeneratedPacket {
+  std::vector<uint8_t> bytes;
+  // Offset of every RDLENGTH u16 (responses only; empty for queries).
+  std::vector<size_t> rdlength_offsets;
+  // Offset of every encoded name (question owner, record owners).
+  std::vector<size_t> name_offsets;
+};
+
+// Walks a canonical (encoder-produced, uncompressed) response packet and
+// records the name/RDLENGTH offsets. Returns false if the packet does not
+// have the canonical shape (the caller then falls back to byte mutations).
+bool IndexCanonicalResponse(const std::vector<uint8_t>& bytes, GeneratedPacket* out);
+
+class PacketGenerator {
+ public:
+  // `vocabulary_zone` seeds the label alphabet, so generated queries land on
+  // the interesting paths of an engine serving that zone (exact matches,
+  // wildcard instantiations, delegation children) instead of being uniformly
+  // NXDOMAIN noise.
+  PacketGenerator(uint64_t seed, const ZoneConfig& vocabulary_zone);
+
+  // A random in-bounds query: vocabulary-biased qname, qtype mixing the
+  // engine's types with arbitrary codes in [1, 255].
+  WireQuery NextQuery();
+  GeneratedPacket NextQueryPacket(WireQuery* query = nullptr);
+
+  // A random well-formed response view (wire-valid names, type-appropriate
+  // rdata ranges) and its canonical packet. `query_out`, when non-null,
+  // receives the question the packet answers.
+  ResponseView NextResponseView();
+  GeneratedPacket NextResponsePacket(WireQuery* query_out = nullptr);
+
+  // Applies one randomly chosen mutation family to a copy of `packet`.
+  std::vector<uint8_t> Mutate(const GeneratedPacket& packet, MutationKind* kind_out = nullptr);
+
+  SplitMix64& rng() { return rng_; }
+  const std::vector<std::string>& vocabulary() const { return vocabulary_; }
+
+ private:
+  std::string RandomLabel();
+  DnsName RandomName(int max_labels);
+  RrType RandomType(bool query_position);
+
+  SplitMix64 rng_;
+  std::vector<std::string> vocabulary_;
+};
+
+// Hex helpers shared by the corpus tests and the CLI's packet reports:
+// `WirePacketToHex` is HexDump-compatible; `HexToWirePacket` additionally
+// accepts whitespace and '#'/';' line comments (the corpus file format).
+std::string WirePacketToHex(const std::vector<uint8_t>& packet);
+Result<std::vector<uint8_t>> HexToWirePacket(const std::string& text);
+
+}  // namespace dnsv
+
+#endif  // DNSV_FUZZ_PACKET_GEN_H_

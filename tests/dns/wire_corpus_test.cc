@@ -1,0 +1,133 @@
+// Checked-in malformed-packet corpus for the wire codec (docs/WIRE.md).
+//
+// Every *.hex file under wire_fuzz_corpus/ is a wire packet in the fuzzer's
+// hex format ('#'/';' line comments). The filename prefix states the
+// expectation:
+//
+//   query_accept_*  ParseWireQuery must accept, and the parsed query must
+//                   round-trip through EncodeWireQuery byte-identically
+//   query_reject_*  ParseWireQuery must reject with a clean error
+//   resp_accept_*   ParseWireResponse must accept, and the view must survive
+//                   re-encode -> re-parse (compressed packets re-encode
+//                   uncompressed, so equality is at the view level)
+//   resp_reject_*   ParseWireResponse must reject with a clean error
+//
+// Independently of its prefix, every packet is fed to BOTH parsers: a
+// malformed packet may at worst be rejected, never crash or hang — under
+// ci/check.sh the same corpus runs with ASan/UBSan watching.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/dns/wire.h"
+#include "src/fuzz/packet_gen.h"
+
+namespace dnsv {
+namespace {
+
+struct CorpusFile {
+  std::string name;  // filename, e.g. "resp_reject_forward_pointer.hex"
+  std::vector<uint8_t> packet;
+};
+
+std::vector<CorpusFile> LoadCorpus() {
+  std::vector<CorpusFile> corpus;
+  for (const auto& entry : std::filesystem::directory_iterator(DNSV_WIRE_CORPUS_DIR)) {
+    if (entry.path().extension() != ".hex") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<std::vector<uint8_t>> packet = HexToWirePacket(text.str());
+    EXPECT_TRUE(packet.ok()) << entry.path() << ": " << packet.error();
+    if (packet.ok()) {
+      corpus.push_back({entry.path().filename().string(), std::move(packet).value()});
+    }
+  }
+  std::sort(corpus.begin(), corpus.end(),
+            [](const CorpusFile& a, const CorpusFile& b) { return a.name < b.name; });
+  return corpus;
+}
+
+bool HasPrefix(const std::string& name, const std::string& prefix) {
+  return name.rfind(prefix, 0) == 0;
+}
+
+TEST(WireCorpusTest, EveryPacketMeetsItsFilenameExpectation) {
+  std::vector<CorpusFile> corpus = LoadCorpus();
+  ASSERT_GE(corpus.size(), 10u) << "corpus directory missing or empty: " << DNSV_WIRE_CORPUS_DIR;
+
+  int accepts = 0, rejects = 0;
+  for (const CorpusFile& file : corpus) {
+    SCOPED_TRACE(file.name);
+    // Crash-safety: both parsers must terminate cleanly on every packet,
+    // whatever it claims to be.
+    Result<WireQuery> as_query = ParseWireQuery(file.packet);
+    WireQuery echoed;
+    Result<ResponseView> as_response = ParseWireResponse(file.packet, &echoed);
+
+    if (HasPrefix(file.name, "query_accept_")) {
+      ASSERT_TRUE(as_query.ok()) << as_query.error();
+      // Canonical queries are encode fixpoints.
+      EXPECT_EQ(EncodeWireQuery(as_query.value()), file.packet);
+      ++accepts;
+    } else if (HasPrefix(file.name, "query_reject_")) {
+      EXPECT_FALSE(as_query.ok());
+      EXPECT_FALSE(as_query.error().empty());
+      ++rejects;
+    } else if (HasPrefix(file.name, "resp_accept_")) {
+      ASSERT_TRUE(as_response.ok()) << as_response.error();
+      // The view survives re-encode -> re-parse. Byte equality is not
+      // required: the corpus may use compression, the encoder never does.
+      Result<std::vector<uint8_t>> reencoded =
+          EncodeWireResponse(echoed, as_response.value(), size_t{1} << 20);
+      ASSERT_TRUE(reencoded.ok()) << reencoded.error();
+      WireQuery echoed2;
+      Result<ResponseView> reparsed = ParseWireResponse(reencoded.value(), &echoed2);
+      ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+      EXPECT_EQ(reparsed.value(), as_response.value());
+      EXPECT_EQ(echoed2.qname, echoed.qname);
+      EXPECT_EQ(echoed2.qtype, echoed.qtype);
+      ++accepts;
+    } else if (HasPrefix(file.name, "resp_reject_")) {
+      EXPECT_FALSE(as_response.ok());
+      EXPECT_FALSE(as_response.error().empty());
+      ++rejects;
+    } else {
+      ADD_FAILURE() << "corpus filename has no accept/reject prefix: " << file.name;
+    }
+  }
+  // The corpus must keep exercising both sides of the codec's judgment.
+  EXPECT_GE(accepts, 3);
+  EXPECT_GE(rejects, 7);
+}
+
+// The three historical codec bugs each have a dedicated corpus witness; if
+// one is renamed or dropped, this test names what went missing.
+TEST(WireCorpusTest, HistoricalBugWitnessesArePresent) {
+  std::vector<CorpusFile> corpus = LoadCorpus();
+  auto has = [&corpus](const std::string& name) {
+    for (const CorpusFile& file : corpus) {
+      if (file.name == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // ReadRecord once accepted records whose rdata did not consume RDLENGTH.
+  EXPECT_TRUE(has("resp_reject_rdlength_lie.hex"));
+  // PutRecord once crashed (.value() on an error Result) on a 64-byte label.
+  EXPECT_TRUE(has("resp_reject_label_overlong.hex"));
+  // Compression loops / forward pointers must stay rejected, not hang.
+  EXPECT_TRUE(has("resp_reject_compression_self_loop.hex"));
+  EXPECT_TRUE(has("resp_reject_forward_pointer.hex"));
+}
+
+}  // namespace
+}  // namespace dnsv

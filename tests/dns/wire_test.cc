@@ -77,7 +77,9 @@ class WireResponseTest : public ::testing::Test {
     WireQuery query = MakeQuery(qname, qtype);
     QueryResult result = server_->Query(query.qname, qtype);
     ASSERT_FALSE(result.panicked);
-    std::vector<uint8_t> packet = EncodeWireResponse(query, result.response);
+    Result<std::vector<uint8_t>> encoded = EncodeWireResponse(query, result.response);
+    ASSERT_TRUE(encoded.ok()) << encoded.error();
+    const std::vector<uint8_t>& packet = encoded.value();
     WireQuery echoed;
     Result<ResponseView> parsed = ParseWireResponse(packet, &echoed);
     ASSERT_TRUE(parsed.ok()) << parsed.error() << "\n" << HexDump(packet);
@@ -106,7 +108,7 @@ TEST_F(WireResponseTest, RoundTripsEveryScenario) {
 TEST_F(WireResponseTest, HeaderFlagsReflectResponse) {
   WireQuery query = MakeQuery("missing.example.com", RrType::kA);
   QueryResult result = server_->Query(query.qname, query.qtype);
-  std::vector<uint8_t> packet = EncodeWireResponse(query, result.response);
+  std::vector<uint8_t> packet = EncodeWireResponse(query, result.response).value();
   // QR set, AA set, RCODE = 3 (NXDOMAIN).
   EXPECT_EQ(packet[2] & 0x80, 0x80);
   EXPECT_EQ(packet[2] & 0x04, 0x04);
@@ -116,11 +118,173 @@ TEST_F(WireResponseTest, HeaderFlagsReflectResponse) {
 TEST_F(WireResponseTest, CountsMatchSections) {
   WireQuery query = MakeQuery("deep.sub.example.com", RrType::kA);
   QueryResult result = server_->Query(query.qname, query.qtype);
-  std::vector<uint8_t> packet = EncodeWireResponse(query, result.response);
+  std::vector<uint8_t> packet = EncodeWireResponse(query, result.response).value();
   EXPECT_EQ((packet[4] << 8) | packet[5], 1);    // QDCOUNT
   EXPECT_EQ((packet[6] << 8) | packet[7], 0);    // ANCOUNT (referral)
   EXPECT_EQ((packet[8] << 8) | packet[9], 2);    // NSCOUNT
   EXPECT_EQ((packet[10] << 8) | packet[11], 2);  // ARCOUNT (glue)
+}
+
+// --- regression: RDLENGTH must bound the rdata exactly ---
+//
+// Before the fix, ReadRecord never checked that name-valued rdata consumed
+// exactly RDLENGTH bytes, so a lying RDLENGTH desynchronized the reader and
+// mis-parsed every subsequent record instead of failing.
+TEST(WireRdlength, RejectsRecordWhoseRdataDisagreesWithRdlength) {
+  // Response: header (QR set, ANCOUNT=2) + empty question + NS record whose
+  // RDLENGTH claims 6 bytes but whose rdata name "ab." is only 4, followed by
+  // a well-formed A record that a desynchronized reader would mis-parse.
+  std::vector<uint8_t> packet = {
+      0x12, 0x34, 0x80, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00,  // header
+      // record 1: owner "x.", NS, IN, TTL 0, RDLENGTH 6 (lie: rdata is 4)
+      0x01, 'x', 0x00, 0x00, 0x02, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x06,
+      0x02, 'a', 'b', 0x00,
+      // record 2: owner "y.", A, IN, TTL 0, RDLENGTH 4, 192.0.2.1
+      0x01, 'y', 0x00, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04,
+      0xC0, 0x00, 0x02, 0x01};
+  WireQuery echoed;
+  EXPECT_FALSE(ParseWireResponse(packet, &echoed).ok());
+  // With a truthful RDLENGTH the same packet parses fine.
+  packet[24] = 0x04;
+  Result<ResponseView> parsed = ParseWireResponse(packet, &echoed);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().answer.size(), 2u);
+  EXPECT_EQ(parsed.value().answer[1].name, "y");
+  EXPECT_EQ(parsed.value().answer[1].type, RrType::kA);
+}
+
+TEST(WireRdlength, RejectsCompressedRdataNameThatOverrunsRdlength) {
+  // MX rdata: 2-byte preference + a compression pointer back to the owner;
+  // the pointer consumes 2 bytes, so real rdata size is 4 but RDLENGTH says 9.
+  std::vector<uint8_t> packet = {
+      0x00, 0x01, 0x80, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+      // owner "m." at offset 12, MX, IN, TTL 0, RDLENGTH 9
+      0x01, 'm', 0x00, 0x00, 0x0F, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x09,
+      0x00, 0x0A, 0xC0, 0x0C};
+  WireQuery echoed;
+  EXPECT_FALSE(ParseWireResponse(packet, &echoed).ok());
+  packet[24] = 0x04;  // truthful RDLENGTH
+  Result<ResponseView> parsed = ParseWireResponse(packet, &echoed);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().answer.size(), 1u);
+  EXPECT_EQ(parsed.value().answer[0].rdata_name, "m");
+  EXPECT_EQ(parsed.value().answer[0].rdata_value, 10);
+}
+
+// --- regression: un-encodable names surface an error instead of crashing ---
+//
+// Before the fix, PutRecord called DnsName::Parse(...).value() on owner and
+// rdata names, so a 64-byte label aborted the process mid-encode.
+TEST(WireEncodeErrors, OversizedLabelIsAnErrorNotACrash) {
+  WireQuery query = MakeQuery("www.example.com", RrType::kA);
+  ResponseView response;
+  RrView rr;
+  rr.name = std::string(64, 'a') + ".example.com";  // one label over the 63-byte limit
+  rr.type = RrType::kA;
+  rr.rdata_value = 0x7F000001;
+  response.answer.push_back(rr);
+  Result<std::vector<uint8_t>> encoded = EncodeWireResponse(query, response);
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_NE(encoded.error().find("64"), std::string::npos) << encoded.error();
+
+  // The same label on the rdata side of a CNAME fails too, not just owners.
+  response.answer[0] = RrView{.name = "www.example.com",
+                              .type = RrType::kCname,
+                              .rdata_value = 0,
+                              .rdata_name = std::string(64, 'b') + ".example.com"};
+  EXPECT_FALSE(EncodeWireResponse(query, response).ok());
+
+  // Wire-valid but zone-syntax-invalid names (interior '*' labels, as
+  // produced by wildcard counterexamples) must encode fine.
+  response.answer[0] =
+      RrView{.name = "*.*.example.com", .type = RrType::kA, .rdata_value = 1, .rdata_name = ""};
+  Result<std::vector<uint8_t>> wildcard = EncodeWireResponse(query, response);
+  ASSERT_TRUE(wildcard.ok()) << wildcard.error();
+  WireQuery echoed;
+  Result<ResponseView> parsed = ParseWireResponse(wildcard.value(), &echoed);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().answer[0].name, "*.*.example.com");
+}
+
+TEST(WireEncodeErrors, NameOver255WireBytesIsRejected) {
+  WireQuery query = MakeQuery("www.example.com", RrType::kA);
+  ResponseView response;
+  std::string deep;  // 130 labels of "aa." = 391 wire bytes
+  for (int i = 0; i < 130; ++i) {
+    deep += "aa.";
+  }
+  response.answer.push_back(
+      RrView{.name = deep + "com", .type = RrType::kA, .rdata_value = 1, .rdata_name = ""});
+  EXPECT_FALSE(EncodeWireResponse(query, response).ok());
+}
+
+// --- regression: truncation and count overflow ---
+//
+// Before the fix, section counts were silently static_cast to uint16_t (65536
+// records aliased to an ANCOUNT of 0) and oversized responses went out
+// untruncated with TC clear.
+TEST(WireTruncation, SetsTcAndDropsWholeRecordsBackToFront) {
+  WireQuery query = MakeQuery("big.example.com", RrType::kAny);
+  ResponseView response;
+  response.aa = true;
+  for (int i = 0; i < 40; ++i) {
+    // ~29 wire bytes per record: 40 records ≈ 1160 bytes, well over 512.
+    response.answer.push_back(RrView{.name = "big.example.com",
+                                     .type = RrType::kA,
+                                     .rdata_value = 0x0A000000 + i,
+                                     .rdata_name = ""});
+  }
+  response.authority.push_back(RrView{.name = "example.com",
+                                      .type = RrType::kNs,
+                                      .rdata_value = 0,
+                                      .rdata_name = "ns1.example.com"});
+  Result<std::vector<uint8_t>> encoded = EncodeWireResponse(query, response);
+  ASSERT_TRUE(encoded.ok()) << encoded.error();
+  EXPECT_LE(encoded.value().size(), kMaxUdpPayload);
+  WireQuery echoed;
+  bool truncated = false;
+  Result<ResponseView> parsed = ParseWireResponse(encoded.value(), &echoed, &truncated);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_TRUE(truncated);
+  // Back-to-front: the authority record (and trailing answers) are dropped
+  // first; the surviving answers are an exact prefix.
+  EXPECT_TRUE(parsed.value().authority.empty());
+  ASSERT_GT(parsed.value().answer.size(), 0u);
+  ASSERT_LT(parsed.value().answer.size(), 40u);
+  for (size_t i = 0; i < parsed.value().answer.size(); ++i) {
+    EXPECT_EQ(parsed.value().answer[i], response.answer[i]) << "answer " << i;
+  }
+  // Flags survive truncation.
+  EXPECT_TRUE(parsed.value().aa);
+  EXPECT_EQ(parsed.value().rcode, Rcode::kNoError);
+
+  // A response that fits exactly is not truncated.
+  ResponseView small;
+  small.answer.push_back(response.answer[0]);
+  bool small_truncated = true;
+  Result<std::vector<uint8_t>> small_encoded = EncodeWireResponse(query, small);
+  ASSERT_TRUE(small_encoded.ok());
+  ASSERT_TRUE(ParseWireResponse(small_encoded.value(), &echoed, &small_truncated).ok());
+  EXPECT_FALSE(small_truncated);
+}
+
+TEST(WireTruncation, QuestionAloneOverLimitIsAnError) {
+  WireQuery query = MakeQuery("www.example.com", RrType::kA);
+  EXPECT_FALSE(EncodeWireResponse(query, ResponseView{}, /*max_size=*/16).ok());
+  // 12-byte header + 17-byte question + 4 = 33 bytes is the exact floor.
+  EXPECT_TRUE(EncodeWireResponse(query, ResponseView{}, /*max_size=*/33).ok());
+}
+
+TEST(WireTruncation, SectionCountOverflowIsRejected) {
+  WireQuery query = MakeQuery("www.example.com", RrType::kA);
+  ResponseView response;
+  response.answer.resize(65536, RrView{.name = "www.example.com",
+                                       .type = RrType::kA,
+                                       .rdata_value = 1,
+                                       .rdata_name = ""});
+  Result<std::vector<uint8_t>> encoded = EncodeWireResponse(query, response);
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_NE(encoded.error().find("overflow"), std::string::npos) << encoded.error();
 }
 
 TEST(WireHexDump, Formats) {
@@ -156,7 +320,7 @@ TEST(WireFuzz, MutatedResponsesNeverCrash) {
       AuthoritativeServer::Create(EngineVersion::kGolden, KitchenSinkZone()).value());
   WireQuery query = MakeQuery("chain.example.com", RrType::kA);
   QueryResult result = server->Query(query.qname, query.qtype);
-  std::vector<uint8_t> base = EncodeWireResponse(query, result.response);
+  std::vector<uint8_t> base = EncodeWireResponse(query, result.response).value();
   SplitMix64 rng(0xBAD);
   for (int round = 0; round < 2000; ++round) {
     std::vector<uint8_t> packet = base;

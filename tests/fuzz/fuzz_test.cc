@@ -1,0 +1,197 @@
+// Tests for the wire fuzzing harness itself (src/fuzz, docs/WIRE.md): the
+// generator must be deterministic and canonical, the mutator must cover all
+// five mutation families without breaking the parsers, the round-trip pass
+// must hold on arbitrary seeds, and the differential pass must be silent on
+// the clean engine versions while rediscovering the Table-2 bugs on the
+// buggy ones — with every reported divergence replayable from its packet.
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/dns/example_zones.h"
+#include "src/dns/wire.h"
+#include "src/engine/engine.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/packet_gen.h"
+
+namespace dnsv {
+namespace {
+
+constexpr size_t kNoTruncation = size_t{1} << 20;
+
+TEST(PacketGeneratorTest, DeterministicAcrossInstances) {
+  PacketGenerator a(42, KitchenSinkZone());
+  PacketGenerator b(42, KitchenSinkZone());
+  for (int i = 0; i < 100; ++i) {
+    GeneratedPacket qa = a.NextQueryPacket();
+    GeneratedPacket qb = b.NextQueryPacket();
+    ASSERT_EQ(qa.bytes, qb.bytes) << "query stream diverged at iteration " << i;
+    GeneratedPacket ra = a.NextResponsePacket();
+    GeneratedPacket rb = b.NextResponsePacket();
+    ASSERT_EQ(ra.bytes, rb.bytes) << "response stream diverged at iteration " << i;
+    ASSERT_EQ(a.Mutate(ra), b.Mutate(rb)) << "mutation stream diverged at iteration " << i;
+  }
+}
+
+TEST(PacketGeneratorTest, SeedChangesTheStream) {
+  PacketGenerator a(1, KitchenSinkZone());
+  PacketGenerator b(2, KitchenSinkZone());
+  bool any_difference = false;
+  for (int i = 0; i < 20 && !any_difference; ++i) {
+    any_difference = a.NextQueryPacket().bytes != b.NextQueryPacket().bytes;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(PacketGeneratorTest, GeneratedPacketsAreCanonicalFixpoints) {
+  PacketGenerator gen(7, KitchenSinkZone());
+  for (int i = 0; i < 50; ++i) {
+    GeneratedPacket query_packet = gen.NextQueryPacket();
+    Result<WireQuery> query = ParseWireQuery(query_packet.bytes);
+    ASSERT_TRUE(query.ok()) << query.error();
+    EXPECT_EQ(EncodeWireQuery(query.value()), query_packet.bytes);
+
+    GeneratedPacket response_packet = gen.NextResponsePacket();
+    WireQuery echoed;
+    Result<ResponseView> view = ParseWireResponse(response_packet.bytes, &echoed);
+    ASSERT_TRUE(view.ok()) << view.error();
+    Result<std::vector<uint8_t>> reencoded =
+        EncodeWireResponse(echoed, view.value(), kNoTruncation);
+    ASSERT_TRUE(reencoded.ok()) << reencoded.error();
+    EXPECT_EQ(reencoded.value(), response_packet.bytes);
+  }
+}
+
+TEST(PacketGeneratorTest, IndexedOffsetsMatchTheParsedStructure) {
+  PacketGenerator gen(11, KitchenSinkZone());
+  for (int i = 0; i < 50; ++i) {
+    GeneratedPacket packet = gen.NextResponsePacket();
+    Result<ResponseView> view = ParseWireResponse(packet.bytes, nullptr);
+    ASSERT_TRUE(view.ok()) << view.error();
+    size_t records = view.value().answer.size() + view.value().authority.size() +
+                     view.value().additional.size();
+    // One RDLENGTH per record; one name per record owner plus the question.
+    EXPECT_EQ(packet.rdlength_offsets.size(), records);
+    EXPECT_EQ(packet.name_offsets.size(), records + 1);
+    for (size_t offset : packet.rdlength_offsets) {
+      EXPECT_LT(offset + 1, packet.bytes.size());
+    }
+  }
+}
+
+TEST(PacketGeneratorTest, MutatorCoversEveryFamilyAndParsersNeverCrash) {
+  PacketGenerator gen(0xFEED, KitchenSinkZone());
+  std::set<MutationKind> seen;
+  for (int i = 0; i < 400; ++i) {
+    GeneratedPacket packet = i % 2 == 0 ? gen.NextResponsePacket() : gen.NextQueryPacket();
+    MutationKind kind;
+    std::vector<uint8_t> mutant = gen.Mutate(packet, &kind);
+    seen.insert(kind);
+    // Termination without a crash is the assertion; outcomes are free.
+    (void)ParseWireQuery(mutant);
+    WireQuery echoed;
+    (void)ParseWireResponse(mutant, &echoed);
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kNumMutationKinds));
+}
+
+TEST(HexFormatTest, RoundTripsAndAcceptsCorpusComments) {
+  std::vector<uint8_t> packet = {0x00, 0x12, 0xAB, 0xFF};
+  Result<std::vector<uint8_t>> round_trip = HexToWirePacket(WirePacketToHex(packet));
+  ASSERT_TRUE(round_trip.ok()) << round_trip.error();
+  EXPECT_EQ(round_trip.value(), packet);
+
+  Result<std::vector<uint8_t>> commented =
+      HexToWirePacket("12 34  # header\nab ; trailing comment\ncd\n");
+  ASSERT_TRUE(commented.ok()) << commented.error();
+  EXPECT_EQ(commented.value(), (std::vector<uint8_t>{0x12, 0x34, 0xAB, 0xCD}));
+
+  EXPECT_FALSE(HexToWirePacket("1").ok());       // unpaired digit
+  EXPECT_FALSE(HexToWirePacket("1 2").ok());     // split byte
+  EXPECT_FALSE(HexToWirePacket("zz").ok());      // not hex
+}
+
+TEST(RoundTripFuzzTest, InvariantsHoldOnArbitrarySeeds) {
+  for (uint64_t seed : {uint64_t{1}, uint64_t{0xBEEF}, uint64_t{0xD15EA5E}}) {
+    RoundTripOptions options;
+    options.seed = seed;
+    options.iterations = 200;
+    RoundTripStats stats = RunRoundTripFuzz(options, KitchenSinkZone());
+    EXPECT_TRUE(stats.ok()) << "seed " << seed << ":\n" << stats.Summary();
+    EXPECT_EQ(stats.packets,
+              options.iterations * 2 * (1 + options.mutants_per_packet));
+    EXPECT_EQ(stats.queries, options.iterations);
+    EXPECT_EQ(stats.responses, options.iterations);
+    // Mutants must land on both sides of the parser's judgment, and every
+    // mutation family must have been exercised.
+    EXPECT_GT(stats.mutants_rejected, 0);
+    EXPECT_GT(stats.mutants_parsed, 0);
+    for (int kind = 0; kind < kNumMutationKinds; ++kind) {
+      EXPECT_GT(stats.mutation_counts[kind], 0)
+          << "family never chosen: " << MutationKindName(static_cast<MutationKind>(kind));
+    }
+  }
+}
+
+// Mirrors the harness's divergence predicate for independent re-verification.
+bool StillDiverges(AuthoritativeServer* server, const DnsName& qname, RrType qtype) {
+  QueryResult engine = server->Query(qname, qtype);
+  QueryResult spec = server->QuerySpec(qname, qtype);
+  if (engine.panicked != spec.panicked) {
+    return true;
+  }
+  if (engine.panicked) {
+    return engine.panic_message != spec.panic_message;
+  }
+  return !(engine.response == spec.response);
+}
+
+TEST(DifferentialFuzzTest, CleanVersionsNeverDivergeFromTheSpec) {
+  DifferentialOptions options;
+  options.random_queries = 80;
+  Result<DifferentialStats> stats = RunDifferentialFuzz(
+      {EngineVersion::kGolden, EngineVersion::kV4}, BugHuntZone(), options);
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  EXPECT_GT(stats.value().queries_per_version, options.random_queries);
+  EXPECT_EQ(stats.value().DivergenceCount(EngineVersion::kGolden), 0);
+  EXPECT_EQ(stats.value().DivergenceCount(EngineVersion::kV4), 0);
+  EXPECT_TRUE(stats.value().divergences.empty());
+}
+
+TEST(DifferentialFuzzTest, RediscoversKnownBugsWithReplayablePackets) {
+  DifferentialOptions options;
+  options.random_queries = 120;
+  std::vector<EngineVersion> versions = {EngineVersion::kV1, EngineVersion::kDev};
+  Result<DifferentialStats> stats = RunDifferentialFuzz(versions, BugHuntZone(), options);
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  for (EngineVersion version : versions) {
+    EXPECT_GT(stats.value().DivergenceCount(version), 0)
+        << "harness is blind to the known bugs of " << EngineVersionName(version);
+  }
+
+  std::map<EngineVersion, std::unique_ptr<AuthoritativeServer>> servers;
+  for (const WireDivergence& divergence : stats.value().divergences) {
+    SCOPED_TRACE(divergence.ToString());
+    // The reported packet is a parseable query for the minimized name.
+    Result<WireQuery> parsed = ParseWireQuery(divergence.query_packet);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    EXPECT_EQ(parsed.value().qname.ToString(), divergence.qname);
+    EXPECT_EQ(parsed.value().qtype, divergence.qtype);
+    // Minimization must preserve the divergence: replay it concretely.
+    auto it = servers.find(divergence.version);
+    if (it == servers.end()) {
+      Result<std::unique_ptr<AuthoritativeServer>> server =
+          AuthoritativeServer::Create(divergence.version, BugHuntZone());
+      ASSERT_TRUE(server.ok()) << server.error();
+      it = servers.emplace(divergence.version, std::move(server).value()).first;
+    }
+    EXPECT_TRUE(StillDiverges(it->second.get(), parsed.value().qname, parsed.value().qtype));
+  }
+}
+
+}  // namespace
+}  // namespace dnsv

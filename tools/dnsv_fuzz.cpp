@@ -1,0 +1,198 @@
+// dnsv-fuzz: wire-level conformance + differential fuzzing CLI (docs/WIRE.md).
+//
+// Two passes, both deterministic for a given --seed:
+//   1. round-trip — generated canonical packets are parse/encode fixpoints;
+//      mutants (header-field, compression-pointer, rdlength, truncation,
+//      byte-flip) are rejected cleanly or normalize.
+//   2. differential — generated in-bounds queries run through the concrete
+//      interpreter on every selected engine version, engine vs spec;
+//      divergences are reported as minimized query packets.
+//
+// Modes:
+//   dnsv-fuzz --smoke            fixed-seed CI gate: >= 10k round-trip
+//                                packets, differential over all six versions
+//                                on the bug-hunt zone. Exits non-zero when a
+//                                round-trip invariant breaks, a clean version
+//                                (golden, v4.0) diverges from the spec, or a
+//                                buggy version fails to diverge (the harness
+//                                would then be blind to the Table-2 bugs).
+//   dnsv-fuzz [options]          exploratory run; exits non-zero only on
+//                                round-trip violations.
+//
+// Options: --seed=N --packets=N (round-trip total, approx) --queries=N
+//          (random differential queries per version) --zone=FILE (zone text,
+//          default: built-in bug-hunt zone) --versions=v1.0,golden,...
+//          --hex (dump minimized divergent packets)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/dns/example_zones.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/support/strings.h"
+
+namespace dnsv {
+namespace {
+
+constexpr uint64_t kSmokeSeed = 0xD15EA5E;
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  std::string prefix = StrCat("--", name, "=");
+  if (StartsWith(arg, prefix)) {
+    *value = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+bool VersionFromName(const std::string& name, EngineVersion* out) {
+  for (EngineVersion version : AllEngineVersions()) {
+    if (name == EngineVersionName(version)) {
+      *out = version;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dnsv-fuzz [--smoke] [--seed=N] [--packets=N] [--queries=N]\n"
+               "                 [--zone=FILE] [--versions=v1.0,v2.0,...] [--hex]\n");
+  return 2;
+}
+
+int RunFuzz(int argc, char** argv) {
+  bool smoke = false;
+  bool hex = false;
+  uint64_t seed = kSmokeSeed;
+  int64_t packets = 12000;
+  int64_t queries = 300;
+  std::string zone_file;
+  std::vector<EngineVersion> versions = AllEngineVersions();
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--hex") == 0) {
+      hex = true;
+    } else if (ParseFlag(argv[i], "seed", &value)) {
+      int64_t parsed = 0;
+      if (!ParseInt64(value, &parsed)) {
+        return Usage();
+      }
+      seed = static_cast<uint64_t>(parsed);
+    } else if (ParseFlag(argv[i], "packets", &value)) {
+      if (!ParseInt64(value, &packets) || packets <= 0) {
+        return Usage();
+      }
+    } else if (ParseFlag(argv[i], "queries", &value)) {
+      if (!ParseInt64(value, &queries) || queries <= 0) {
+        return Usage();
+      }
+    } else if (ParseFlag(argv[i], "zone", &value)) {
+      zone_file = value;
+    } else if (ParseFlag(argv[i], "versions", &value)) {
+      versions.clear();
+      for (const std::string& name : SplitString(value, ',')) {
+        EngineVersion version;
+        if (!VersionFromName(name, &version)) {
+          std::fprintf(stderr, "unknown version '%s'\n", name.c_str());
+          return Usage();
+        }
+        versions.push_back(version);
+      }
+    } else {
+      return Usage();
+    }
+  }
+  if (smoke) {
+    // The CI gate is a fixed configuration; flags may only scale it up.
+    seed = kSmokeSeed;
+    packets = std::max<int64_t>(packets, 12000);
+    versions = AllEngineVersions();
+  }
+
+  ZoneConfig zone;
+  if (zone_file.empty()) {
+    zone = BugHuntZone();
+  } else {
+    std::ifstream in(zone_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open zone file %s\n", zone_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<ZoneConfig> parsed = ParseZoneText(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad zone file: %s\n", parsed.error().c_str());
+      return 2;
+    }
+    zone = std::move(parsed).value();
+  }
+
+  // --- pass 1: codec round trip ---
+  RoundTripOptions rt_options;
+  rt_options.seed = seed;
+  // Each iteration exercises 2 * (1 + mutants_per_packet) packets.
+  int64_t per_iteration = 2 * (1 + rt_options.mutants_per_packet);
+  rt_options.iterations = (packets + per_iteration - 1) / per_iteration;
+  RoundTripStats rt = RunRoundTripFuzz(rt_options, zone);
+  std::printf("%s", rt.Summary().c_str());
+
+  // --- pass 2: engine vs spec differential ---
+  DifferentialOptions diff_options;
+  diff_options.seed = seed;
+  diff_options.random_queries = queries;
+  Result<DifferentialStats> diff = RunDifferentialFuzz(versions, zone, diff_options);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "differential pass failed: %s\n", diff.error().c_str());
+    return 2;
+  }
+  std::printf("%s", diff.value().Summary().c_str());
+  for (const WireDivergence& divergence : diff.value().divergences) {
+    std::printf("%s", divergence.ToString().c_str());
+    if (hex) {
+      std::printf("%s", WirePacketToHex(divergence.query_packet).c_str());
+    }
+  }
+
+  int failures = 0;
+  if (!rt.ok()) {
+    std::fprintf(stderr, "FAIL: %lld round-trip violations\n",
+                 static_cast<long long>(rt.violations));
+    ++failures;
+  }
+  if (smoke) {
+    for (EngineVersion version : versions) {
+      int64_t count = diff.value().DivergenceCount(version);
+      bool clean = version == EngineVersion::kGolden || version == EngineVersion::kV4;
+      if (clean && count != 0) {
+        std::fprintf(stderr, "FAIL: %s diverged from the spec on %lld queries\n",
+                     EngineVersionName(version), static_cast<long long>(count));
+        ++failures;
+      }
+      if (!clean && count == 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s found no divergence (harness is blind to its known bugs)\n",
+                     EngineVersionName(version));
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("%s: all invariants hold\n", smoke ? "smoke" : "fuzz");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dnsv
+
+int main(int argc, char** argv) { return dnsv::RunFuzz(argc, argv); }
