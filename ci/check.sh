@@ -31,6 +31,11 @@ run_pass() {
   # invocation executes the whole harness under ASan/UBSan, which is where
   # the no-crash/no-hang invariant is actually enforced.
   "$build_dir"/tools/dnsv-fuzz --smoke
+  # Serving-shell gate (docs/SERVER.md): a short loopback UDP throughput run
+  # at 1 worker vs N workers. Emits BENCH_server.json with the single- vs
+  # multi-worker queries/sec; under the sanitized pass this doubles as a race
+  # check on the epoll workers, the stats blocks, and the snapshot swap.
+  "$build_dir"/bench/server_throughput --smoke
 }
 
 echo "=== pass 1: normal build + ctest ==="

@@ -1,184 +1,235 @@
-// A real UDP authoritative DNS server: wire-format packets in, verified
-// engine behind, wire-format responses out.
+// An authoritative DNS server over the verified engine — a thin CLI around
+// src/server (docs/SERVER.md), which owns the sharded epoll workers, the
+// TCP fallback for truncated answers, hot zone reload, and stats.
 //
-//   $ ./examples/dns_server zones/kitchen-sink.zone 5533 &
+//   $ ./examples/dns_server zones/kitchen-sink.zone 5533 --workers 4 &
 //   $ dig @127.0.0.1 -p 5533 www.example.com A
+//   $ dig @127.0.0.1 -p 5533 +tcp www.example.com A   # TC=1 fallback path
+//   $ kill -HUP  $!   # re-read the zone file, keep serving on failure
+//   $ kill -USR1 $!   # dump aggregated stats as JSON to stderr
 //
-//   $ ./examples/dns_server --selftest        # loopback round-trip, exits 0/1
-//
-// The data plane serving these packets is the exact AbsIR program DNS-V
-// verified; the wire codec around it is the component the paper leaves to
-// conventional testing (tests/dns/wire_test.cc).
+//   $ ./examples/dns_server --selftest   # loopback UDP+TCP round trip, exits 0/1
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "src/dns/example_zones.h"
-#include "src/dns/wire.h"
-#include "src/engine/engine.h"
+#include "src/server/server.h"
+#include "src/support/strings.h"
 
 namespace {
 
 using namespace dnsv;
 
-int OpenUdpSocket(uint16_t port) {
-  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return -1;
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    std::perror("bind");
-    ::close(fd);
-    return -1;
-  }
-  return fd;
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [zone-file] [port] [--workers N] [--no-tcp]\n"
+               "       %s --selftest\n"
+               "port must be 1..65535 (default 5533); --workers defaults to 2\n",
+               argv0, argv0);
+  return 2;
 }
 
-std::vector<uint8_t> Serve(AuthoritativeServer* server, const std::vector<uint8_t>& packet) {
-  Result<WireQuery> query = ParseWireQuery(packet);
-  if (!query.ok()) {
-    // FORMERR with an empty body when we cannot even parse the question.
-    std::vector<uint8_t> err = {0, 0, 0x80, 0x01, 0, 0, 0, 0, 0, 0, 0, 0};
-    if (packet.size() >= 2) {
-      err[0] = packet[0];
-      err[1] = packet[1];
-    }
-    return err;
+Result<ZoneConfig> LoadZoneFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Result<ZoneConfig>::Error("cannot open zone file " + path);
   }
-  QueryResult result = server->Query(query.value().qname, query.value().qtype);
-  ResponseView view;
-  if (result.panicked) {
-    view.rcode = Rcode::kServFail;  // the engine crashed (a dev-version treat)
-  } else {
-    view = result.response;
-  }
-  Result<std::vector<uint8_t>> encoded = EncodeWireResponse(query.value(), view);
-  if (!encoded.ok()) {
-    // A response we cannot put on the wire (un-encodable name): SERVFAIL.
-    std::fprintf(stderr, "encode error: %s\n", encoded.error().c_str());
-    return EncodeWireResponse(query.value(), ResponseView{.rcode = Rcode::kServFail}).value();
-  }
-  return std::move(encoded).value();
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseZoneText(buffer.str());
 }
 
-int RunSelfTest() {
-  auto server =
-      std::move(AuthoritativeServer::Create(EngineVersion::kGolden, KitchenSinkZone()).value());
-  int server_fd = OpenUdpSocket(0);
-  if (server_fd < 0) {
-    std::fprintf(stderr, "selftest: cannot bind a loopback UDP socket; skipping\n");
-    return 0;  // sandboxes without loopback sockets still pass the build
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  ::getsockname(server_fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-
-  int client_fd = ::socket(AF_INET, SOCK_DGRAM, 0);
-  WireQuery query;
-  query.id = 0x4242;
-  query.qname = DnsName::Parse("chain.example.com").value();
-  query.qtype = RrType::kA;
-  std::vector<uint8_t> request = EncodeWireQuery(query);
-  ::sendto(client_fd, request.data(), request.size(), 0,
-           reinterpret_cast<sockaddr*>(&bound), bound_len);
-
-  // Server side: one packet.
-  uint8_t buffer[1500];
-  sockaddr_in peer{};
-  socklen_t peer_len = sizeof(peer);
-  ssize_t n = ::recvfrom(server_fd, buffer, sizeof(buffer), 0,
-                         reinterpret_cast<sockaddr*>(&peer), &peer_len);
-  if (n <= 0) {
-    std::fprintf(stderr, "selftest: recvfrom failed\n");
-    return 1;
-  }
-  std::vector<uint8_t> reply =
-      Serve(server.get(), std::vector<uint8_t>(buffer, buffer + n));
-  ::sendto(server_fd, reply.data(), reply.size(), 0, reinterpret_cast<sockaddr*>(&peer),
-           peer_len);
-
-  // Client side: check the answer.
-  n = ::recvfrom(client_fd, buffer, sizeof(buffer), 0, nullptr, nullptr);
-  ::close(client_fd);
-  ::close(server_fd);
-  if (n <= 0) {
-    std::fprintf(stderr, "selftest: no reply\n");
-    return 1;
-  }
-  WireQuery echoed;
-  Result<ResponseView> parsed =
-      ParseWireResponse(std::vector<uint8_t>(buffer, buffer + n), &echoed);
-  if (!parsed.ok() || echoed.id != 0x4242) {
-    std::fprintf(stderr, "selftest: bad reply: %s\n", parsed.ok() ? "id" : parsed.error().c_str());
-    return 1;
-  }
-  // chain -> alias -> www (2 CNAMEs + 2 A records).
-  if (parsed.value().answer.size() != 4 || parsed.value().rcode != Rcode::kNoError) {
-    std::fprintf(stderr, "selftest: unexpected answer\n%s", parsed.value().ToString().c_str());
-    return 1;
-  }
-  std::printf("selftest OK: 4-record CNAME chain served over UDP loopback\n");
-  return 0;
-}
+int RunSelfTest();
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--selftest") == 0) {
-    return RunSelfTest();
-  }
-  ZoneConfig zone = KitchenSinkZone();
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
-    if (!file) {
-      std::fprintf(stderr, "cannot open zone file %s\n", argv[1]);
-      return 2;
+  std::string zone_path;
+  std::string port_text;
+  ServerConfig config;
+  config.udp_workers = 2;
+  config.port = 5533;
+
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--selftest") {
+      return RunSelfTest();
+    } else if (arg == "--no-tcp") {
+      config.enable_tcp = false;
+    } else if (arg == "--workers") {
+      if (i + 1 >= argc) {
+        return Usage(argv[0]);
+      }
+      int64_t workers = 0;
+      if (!ParseInt64(argv[++i], &workers) || workers < 1 || workers > 64) {
+        std::fprintf(stderr, "--workers must be 1..64, got '%s'\n", argv[i]);
+        return 2;
+      }
+      config.udp_workers = static_cast<int>(workers);
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(arg);
     }
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    Result<ZoneConfig> parsed = ParseZoneText(buffer.str());
+  }
+  if (positional.size() > 2) {
+    return Usage(argv[0]);
+  }
+
+  ZoneConfig zone = KitchenSinkZone();
+  if (!positional.empty()) {
+    zone_path = positional[0];
+    Result<ZoneConfig> parsed = LoadZoneFile(zone_path);
     if (!parsed.ok()) {
       std::fprintf(stderr, "zone parse error: %s\n", parsed.error().c_str());
       return 2;
     }
     zone = std::move(parsed).value();
   }
-  uint16_t port = argc > 2 ? static_cast<uint16_t>(std::atoi(argv[2])) : 5533;
+  if (positional.size() > 1) {
+    Result<uint16_t> port = ParsePort(positional[1]);
+    if (!port.ok()) {
+      std::fprintf(stderr, "%s\n", port.error().c_str());
+      return 2;
+    }
+    config.port = port.value();
+  }
 
-  auto server_result = AuthoritativeServer::Create(EngineVersion::kGolden, zone);
-  if (!server_result.ok()) {
-    std::fprintf(stderr, "zone rejected: %s\n", server_result.error().c_str());
+  // Block the control signals before any thread exists, so they are only
+  // ever consumed by sigwait below (and SIGHUP by the SignalReloader).
+  sigset_t control;
+  sigemptyset(&control);
+  sigaddset(&control, SIGINT);
+  sigaddset(&control, SIGTERM);
+  sigaddset(&control, SIGUSR1);
+  pthread_sigmask(SIG_BLOCK, &control, nullptr);
+
+  Result<std::unique_ptr<DnsServer>> started = DnsServer::Start(config, zone);
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n", started.error().c_str());
     return 2;
   }
-  auto server = std::move(server_result).value();
-  int fd = OpenUdpSocket(port);
-  if (fd < 0) {
-    return 2;
+  std::unique_ptr<DnsServer> server = std::move(started).value();
+  std::unique_ptr<SignalReloader> reloader;
+  if (!zone_path.empty()) {
+    reloader = std::make_unique<SignalReloader>(server.get(), zone_path);
   }
-  std::fprintf(stderr, "serving %s on 127.0.0.1:%u (UDP)\n", zone.origin.ToString().c_str(),
-               port);
+  std::fprintf(stderr, "serving %s on %s:%u (UDP x%d%s)%s\n",
+               zone.origin.ToString().c_str(), config.bind_ip.c_str(), server->udp_port(),
+               config.udp_workers, config.enable_tcp ? " + TCP" : "",
+               zone_path.empty() ? "" : "; SIGHUP reloads the zone file");
+
   while (true) {
-    uint8_t buffer[1500];
-    sockaddr_in peer{};
-    socklen_t peer_len = sizeof(peer);
-    ssize_t n = ::recvfrom(fd, buffer, sizeof(buffer), 0, reinterpret_cast<sockaddr*>(&peer),
-                           &peer_len);
-    if (n <= 0) {
+    int sig = 0;
+    if (sigwait(&control, &sig) != 0) {
       continue;
     }
-    std::vector<uint8_t> reply =
-        Serve(server.get(), std::vector<uint8_t>(buffer, buffer + n));
-    ::sendto(fd, reply.data(), reply.size(), 0, reinterpret_cast<sockaddr*>(&peer), peer_len);
+    if (sig == SIGUSR1) {
+      std::fprintf(stderr, "%s\n", server->StatsJson().c_str());
+      continue;
+    }
+    break;  // SIGINT/SIGTERM: graceful shutdown
   }
+  reloader.reset();
+  server->Stop();
+  std::fprintf(stderr, "final stats: %s\n", server->StatsJson().c_str());
+  return 0;
 }
+
+namespace {
+
+int RunSelfTest() {
+  ServerConfig config;
+  config.port = 0;
+  config.udp_workers = 2;
+  // WideRrsetZone's www answer (40 A records) cannot fit the 512-byte UDP
+  // clamp, so the selftest exercises TC=1 plus the TCP fallback.
+  Result<std::unique_ptr<DnsServer>> started = DnsServer::Start(config, WideRrsetZone());
+  if (!started.ok()) {
+    std::fprintf(stderr, "selftest: cannot bind loopback sockets (%s); skipping\n",
+                 started.error().c_str());
+    return 0;  // sandboxes without loopback sockets still pass the build
+  }
+  std::unique_ptr<DnsServer> server = std::move(started).value();
+
+  WireQuery query;
+  query.id = 0x4242;
+  query.qname = DnsName::Parse("www.example.com").value();
+  query.qtype = RrType::kA;
+  std::vector<uint8_t> request = EncodeWireQuery(query);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server->udp_port());
+
+  // UDP: the 40-record answer exceeds 512 bytes, so we must get TC=1.
+  int udp = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ::sendto(udp, request.data(), request.size(), 0, reinterpret_cast<sockaddr*>(&addr),
+           sizeof(addr));
+  uint8_t buffer[65536];
+  ssize_t n = ::recv(udp, buffer, sizeof(buffer), 0);
+  ::close(udp);
+  if (n <= 0) {
+    std::fprintf(stderr, "selftest: no UDP reply\n");
+    return 1;
+  }
+  bool truncated = false;
+  WireQuery echoed;
+  Result<ResponseView> udp_view =
+      ParseWireResponse(std::vector<uint8_t>(buffer, buffer + n), &echoed, &truncated);
+  if (!udp_view.ok() || echoed.id != 0x4242 || !truncated) {
+    std::fprintf(stderr, "selftest: expected a TC=1 UDP answer\n");
+    return 1;
+  }
+
+  // TCP fallback: the same query served in full.
+  addr.sin_port = htons(server->tcp_port());
+  int tcp = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (::connect(tcp, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "selftest: TCP connect failed\n");
+    return 1;
+  }
+  std::vector<uint8_t> framed;
+  if (!AppendTcpFrame(&framed, request).ok()) {
+    return 1;
+  }
+  ::send(tcp, framed.data(), framed.size(), 0);
+  TcpFrameDecoder decoder;
+  std::vector<uint8_t> full;
+  while (true) {
+    n = ::recv(tcp, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      std::fprintf(stderr, "selftest: TCP stream ended early\n");
+      ::close(tcp);
+      return 1;
+    }
+    decoder.Feed(buffer, static_cast<size_t>(n));
+    if (decoder.Next(&full)) {
+      break;
+    }
+  }
+  ::close(tcp);
+  Result<ResponseView> tcp_view = ParseWireResponse(full, &echoed, &truncated);
+  if (!tcp_view.ok() || truncated || tcp_view.value().answer.size() != 40 ||
+      tcp_view.value().rcode != Rcode::kNoError) {
+    std::fprintf(stderr, "selftest: TCP fallback did not serve the full answer\n");
+    return 1;
+  }
+  server->Stop();
+  std::printf("selftest OK: TC=1 over UDP, full 40-record answer over TCP fallback\n");
+  return 0;
+}
+
+}  // namespace

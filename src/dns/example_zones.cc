@@ -89,4 +89,18 @@ ns2.child  A      198.51.100.52
 )");
 }
 
+ZoneConfig WideRrsetZone(int num_a) {
+  ZoneConfig zone;
+  zone.origin = DnsName::Parse("example.com").value();
+  DnsName ns = DnsName::Parse("ns1.example.com").value();
+  zone.records.push_back({zone.origin, RrType::kSoa, {1, ns}});
+  zone.records.push_back({zone.origin, RrType::kNs, {0, ns}});
+  zone.records.push_back({ns, RrType::kA, {0x0A000001, DnsName{}}});
+  DnsName www = DnsName::Parse("www.example.com").value();
+  for (int i = 0; i < num_a; ++i) {
+    zone.records.push_back({www, RrType::kA, {0x0A010000 + i, DnsName{}}});
+  }
+  return zone;
+}
+
 }  // namespace dnsv

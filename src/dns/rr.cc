@@ -49,6 +49,7 @@ bool ParseRrType(const std::string& text, RrType* out) {
 const char* RcodeName(Rcode rcode) {
   switch (rcode) {
     case Rcode::kNoError: return "NOERROR";
+    case Rcode::kFormErr: return "FORMERR";
     case Rcode::kServFail: return "SERVFAIL";
     case Rcode::kNxDomain: return "NXDOMAIN";
     case Rcode::kNotImp: return "NOTIMP";

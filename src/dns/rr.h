@@ -24,6 +24,7 @@ enum class RrType : int64_t {
 // Response codes.
 enum class Rcode : int64_t {
   kNoError = 0,
+  kFormErr = 1,  // wire-level only: the serving shell's answer to unparseable packets
   kServFail = 2,
   kNxDomain = 3,
   kNotImp = 4,

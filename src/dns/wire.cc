@@ -529,6 +529,40 @@ Result<ResponseView> ParseWireResponse(const std::vector<uint8_t>& packet,
   return view;
 }
 
+Status AppendTcpFrame(std::vector<uint8_t>* out, const std::vector<uint8_t>& message) {
+  if (message.size() > kMaxTcpPayload) {
+    return Status::Error(StrCat("TCP message of ", message.size(),
+                                " bytes overflows the 16-bit length prefix"));
+  }
+  PutU16(out, static_cast<uint16_t>(message.size()));
+  out->insert(out->end(), message.begin(), message.end());
+  return Status::Ok();
+}
+
+void TcpFrameDecoder::Feed(const uint8_t* data, size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool TcpFrameDecoder::Next(std::vector<uint8_t>* message) {
+  if (buffer_.size() - consumed_ < 2) {
+    return false;
+  }
+  size_t length = static_cast<size_t>(buffer_[consumed_]) << 8 | buffer_[consumed_ + 1];
+  if (buffer_.size() - consumed_ < 2 + length) {
+    return false;
+  }
+  auto begin = buffer_.begin() + static_cast<long>(consumed_ + 2);
+  message->assign(begin, begin + static_cast<long>(length));
+  consumed_ += 2 + length;
+  // Reclaim returned bytes once they dominate the buffer, so a long-lived
+  // connection does not hold every message it ever carried.
+  if (consumed_ == buffer_.size() || consumed_ > 4096) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(consumed_));
+    consumed_ = 0;
+  }
+  return true;
+}
+
 std::string HexDump(const std::vector<uint8_t>& packet) {
   std::string out;
   char buffer[8];

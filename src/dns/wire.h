@@ -29,6 +29,13 @@ namespace dnsv {
 // RFC 1035 §4.2.1: the UDP payload limit responses are truncated to.
 inline constexpr size_t kMaxUdpPayload = 512;
 
+// RFC 1035 §4.2.2: TCP messages carry a two-byte big-endian length prefix,
+// so one TCP message holds at most 65535 bytes. The TCP path encodes with
+// this limit instead of the 512-byte UDP clamp — it is the channel that
+// completes a TC=1 truncated UDP answer (docs/WIRE.md truncation laws,
+// docs/SERVER.md TCP fallback).
+inline constexpr size_t kMaxTcpPayload = 0xffff;
+
 struct WireQuery {
   uint16_t id = 0;
   DnsName qname;
@@ -63,6 +70,30 @@ Result<std::vector<uint8_t>> EncodeWireResponse(const WireQuery& query,
 // bytes. When `truncated` is non-null it receives the header's TC bit.
 Result<ResponseView> ParseWireResponse(const std::vector<uint8_t>& packet,
                                        WireQuery* echoed_query, bool* truncated = nullptr);
+
+// Appends `message` to `out` behind the RFC 1035 §4.2.2 two-byte big-endian
+// length prefix. Fails (leaving `out` untouched) when the message exceeds
+// kMaxTcpPayload — the prefix cannot express it.
+Status AppendTcpFrame(std::vector<uint8_t>* out, const std::vector<uint8_t>& message);
+
+// Incremental decoder for the RFC 1035 §4.2.2 framing on a TCP byte stream.
+// Feed() whatever read() returned; Next() pops complete messages in order
+// (several queries may be pipelined on one connection, and a length prefix
+// may arrive split across reads). A zero-length prefix yields an empty
+// message — the caller's parser rejects it like any short packet.
+class TcpFrameDecoder {
+ public:
+  void Feed(const uint8_t* data, size_t size);
+  // Moves the next complete message into *message and returns true, or
+  // returns false when the buffered bytes do not yet hold one.
+  bool Next(std::vector<uint8_t>* message);
+  // Bytes buffered but not yet returned (prefix bytes included).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already returned via Next()
+};
 
 // Human-readable hex dump, 16 bytes per line (debugging aid).
 std::string HexDump(const std::vector<uint8_t>& packet);

@@ -1,0 +1,106 @@
+#include "src/server/serve.h"
+
+#include "src/support/logging.h"
+
+namespace dnsv {
+namespace {
+
+// Wire flag bits within header byte 2 (see RFC 1035 §4.1.1).
+constexpr uint8_t kByte2Qr = 0x80;
+constexpr uint8_t kByte2OpcodeMask = 0x78;
+constexpr uint8_t kByte2Rd = 0x01;
+
+}  // namespace
+
+std::vector<uint8_t> BuildErrorResponse(const uint8_t* packet, size_t size, Rcode rcode) {
+  // Static template: ID 0, QR set, OPCODE 0, RD 0, RCODE patched below, all
+  // section counts 0. Everything else is patched from the client's bytes.
+  std::vector<uint8_t> out = {0, 0, kByte2Qr, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  if (size >= 2) {
+    out[0] = packet[0];
+    out[1] = packet[1];
+  }
+  if (size >= 4) {
+    // Echo the client's OPCODE and RD bit; keep QR=1, AA/TC/RA clear.
+    out[2] |= packet[2] & (kByte2OpcodeMask | kByte2Rd);
+  }
+  out[3] = static_cast<uint8_t>(rcode) & 0xF;
+  return out;
+}
+
+ServeOutcome ServePacket(AuthoritativeServer* shard, const uint8_t* packet, size_t size,
+                         size_t max_payload, ServerStats* stats) {
+  ServeOutcome outcome;
+  std::vector<uint8_t> bytes(packet, packet + size);
+  Result<WireQuery> query = ParseWireQuery(bytes);
+  if (!query.ok()) {
+    outcome.parse_error = true;
+    outcome.wire = BuildErrorResponse(packet, size, Rcode::kFormErr);
+    if (stats != nullptr) {
+      stats->parse_failures.fetch_add(1, std::memory_order_relaxed);
+      stats->CountRcode(static_cast<uint8_t>(Rcode::kFormErr));
+    }
+    return outcome;
+  }
+
+  QueryResult result = shard->Query(query.value().qname, query.value().qtype);
+  ResponseView view;
+  if (result.panicked) {
+    // The engine crashed (a dev-version treat): answer SERVFAIL, keep serving.
+    view.rcode = Rcode::kServFail;
+    if (stats != nullptr) {
+      stats->engine_panics.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    view = result.response;
+  }
+
+  Result<std::vector<uint8_t>> encoded = EncodeWireResponse(query.value(), view, max_payload);
+  if (!encoded.ok()) {
+    // A response we cannot put on the wire (e.g. a qname that decompressed
+    // past the 255-byte wire limit, so even the question echo is invalid).
+    // The fallback must not be allowed to fail again — use the static
+    // header-only SERVFAIL with the client's ID/OPCODE/RD patched in.
+    if (stats != nullptr) {
+      stats->encode_failures.fetch_add(1, std::memory_order_relaxed);
+      stats->servfail_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      stats->CountRcode(static_cast<uint8_t>(Rcode::kServFail));
+    }
+    outcome.servfail_fallback = true;
+    outcome.wire = BuildErrorResponse(packet, size, Rcode::kServFail);
+    return outcome;
+  }
+
+  outcome.wire = std::move(encoded).value();
+  DNSV_CHECK(outcome.wire.size() >= 4);
+  outcome.truncated = (outcome.wire[2] & 0x02) != 0;  // TC bit of the flags word
+  if (stats != nullptr) {
+    if (outcome.truncated) {
+      stats->truncated_responses.fetch_add(1, std::memory_order_relaxed);
+    }
+    stats->CountRcode(outcome.wire[3] & 0xF);
+  }
+  return outcome;
+}
+
+Result<uint16_t> ParsePort(const std::string& text) {
+  if (text.empty()) {
+    return Result<uint16_t>::Error("port is empty");
+  }
+  uint32_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Result<uint16_t>::Error("port '" + text + "' is not a decimal number");
+    }
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+    if (value > 0xffff) {
+      return Result<uint16_t>::Error("port '" + text + "' is out of range (1..65535)");
+    }
+  }
+  if (value == 0) {
+    return Result<uint16_t>::Error("port 0 is reserved (it means kernel-assigned)");
+  }
+  return static_cast<uint16_t>(value);
+}
+
+}  // namespace dnsv

@@ -1,0 +1,53 @@
+// The protocol half of the server: one wire packet in, one wire packet out,
+// no sockets. Both the UDP and TCP paths of DnsServer (src/server/server.h)
+// funnel through ServePacket, so the request pipeline is unit-testable
+// without binding a port and identical on both transports except for the
+// payload limit (kMaxUdpPayload vs kMaxTcpPayload).
+#ifndef DNSV_SERVER_SERVE_H_
+#define DNSV_SERVER_SERVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dns/wire.h"
+#include "src/engine/engine.h"
+#include "src/server/stats.h"
+
+namespace dnsv {
+
+// Builds a header-only error response: 12 bytes, QR set, RCODE = `rcode`,
+// all counts zero. The client's ID is echoed when at least 2 bytes arrived
+// and its OPCODE and RD bit when the full flags word is present (>= 4 header
+// bytes) — RFC 1035 §4.1.1 requires a responder to copy both, which the old
+// example server's hardcoded `0x80 0x01` flag bytes discarded. Infallible by
+// construction: this is also the terminal SERVFAIL fallback for the case
+// where even encoding a minimal response fails, which used to crash the
+// server via `.value()` on an error Result.
+std::vector<uint8_t> BuildErrorResponse(const uint8_t* packet, size_t size, Rcode rcode);
+
+struct ServeOutcome {
+  std::vector<uint8_t> wire;  // never empty; worst case the 12-byte header
+  bool truncated = false;     // TC=1 was set (response exceeded max_payload)
+  bool parse_error = false;   // FORMERR for an unparseable packet
+  bool servfail_fallback = false;  // static SERVFAIL template was used
+};
+
+// Serves one wire packet through `shard`: parse -> verified engine ->
+// encode, with FORMERR / SERVFAIL fallbacks that cannot fail. `max_payload`
+// is kMaxUdpPayload on the UDP path and kMaxTcpPayload on TCP (the TCP path
+// carries answers the UDP clamp would truncate — that is its purpose).
+// Updates parse/encode/rcode/truncation counters on `stats` when non-null;
+// transport-level counters (udp_queries, latency, ...) are the caller's.
+ServeOutcome ServePacket(AuthoritativeServer* shard, const uint8_t* packet, size_t size,
+                         size_t max_payload, ServerStats* stats);
+
+// Parses a decimal port, rejecting empty/non-numeric input and values
+// outside 1..65535 with a descriptive error. (The old CLI used std::atoi,
+// which silently truncated 99999 mod 2^16 and mapped "abc" to port 0 — the
+// kernel-assigned wildcard.)
+Result<uint16_t> ParsePort(const std::string& text);
+
+}  // namespace dnsv
+
+#endif  // DNSV_SERVER_SERVE_H_

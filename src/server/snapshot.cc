@@ -1,0 +1,35 @@
+#include "src/server/snapshot.h"
+
+#include "src/support/logging.h"
+
+namespace dnsv {
+
+std::unique_ptr<AuthoritativeServer> ZoneSnapshot::BuildShard(EngineVersion version) const {
+  Result<std::unique_ptr<AuthoritativeServer>> shard = AuthoritativeServer::Create(version, zone);
+  DNSV_CHECK_MSG(shard.ok(), "published snapshot must build: " + shard.error());
+  return std::move(shard).value();
+}
+
+Status SnapshotHolder::Publish(EngineVersion version, const ZoneConfig& zone,
+                               std::string source) {
+  // The expensive part — canonicalization + heap materialization — runs
+  // before the swap and off every worker's packet loop. A zone this rejects
+  // never becomes visible.
+  Result<std::unique_ptr<AuthoritativeServer>> probe = AuthoritativeServer::Create(version, zone);
+  if (!probe.ok()) {
+    return Status::Error("zone rejected: " + probe.error());
+  }
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  auto snapshot = std::make_shared<ZoneSnapshot>();
+  snapshot->zone = probe.value()->zone();  // the canonicalized form
+  snapshot->generation = generation_.load(std::memory_order_relaxed) + 1;
+  snapshot->source = std::move(source);
+  snapshot_.store(std::move(snapshot));
+  // Publish the generation after the pointer: a worker that sees the new
+  // generation is guaranteed to Load() the new snapshot.
+  generation_.store(generation_.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+  return Status::Ok();
+}
+
+}  // namespace dnsv

@@ -1,0 +1,56 @@
+// Hot zone reload (docs/SERVER.md §reload).
+//
+// A ZoneSnapshot is an immutable, validated zone publication. SnapshotHolder
+// swaps an atomic shared_ptr: Publish() canonicalizes and materializes the
+// new zone off the serving path (a full AuthoritativeServer::Create dry run,
+// so a zone that cannot be served is never published), then swaps the
+// pointer and bumps the generation counter. Workers compare the generation
+// against their shard's on every packet — one relaxed atomic load — and
+// rebuild their private shard from the new snapshot before serving the next
+// query; in-flight queries finish on the old shard, whose snapshot stays
+// alive through the shared_ptr they hold. A failed Publish leaves the old
+// snapshot serving.
+#ifndef DNSV_SERVER_SNAPSHOT_H_
+#define DNSV_SERVER_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/dns/zone.h"
+#include "src/engine/engine.h"
+
+namespace dnsv {
+
+struct ZoneSnapshot {
+  ZoneConfig zone;  // canonical (as validated by AuthoritativeServer::Create)
+  uint64_t generation = 0;
+  std::string source;  // human-readable provenance ("<initial>", a file path)
+
+  // Builds a fresh serving shard for this snapshot. Cannot fail: the zone
+  // was validated at Publish time and the engine is compile-cached.
+  std::unique_ptr<AuthoritativeServer> BuildShard(EngineVersion version) const;
+};
+
+class SnapshotHolder {
+ public:
+  // Validates `zone` end to end and atomically publishes it. On error the
+  // previous snapshot (if any) keeps serving and the holder is unchanged.
+  Status Publish(EngineVersion version, const ZoneConfig& zone, std::string source);
+
+  std::shared_ptr<const ZoneSnapshot> Load() const { return snapshot_.load(); }
+
+  // The per-packet fast-path check; 0 until the first Publish.
+  uint64_t generation() const { return generation_.load(std::memory_order_acquire); }
+
+ private:
+  std::mutex publish_mu_;  // serializes publishers; readers never take it
+  std::atomic<std::shared_ptr<const ZoneSnapshot>> snapshot_;
+  std::atomic<uint64_t> generation_{0};
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_SERVER_SNAPSHOT_H_

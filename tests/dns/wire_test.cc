@@ -334,5 +334,123 @@ TEST(WireFuzz, MutatedResponsesNeverCrash) {
   SUCCEED();
 }
 
+// --- RFC 1035 §4.2.2 TCP framing ----------------------------------------
+
+TEST(TcpFraming, AppendPrefixesTheBigEndianLength) {
+  std::vector<uint8_t> stream;
+  std::vector<uint8_t> message = {0xDE, 0xAD, 0xBE, 0xEF};
+  ASSERT_TRUE(AppendTcpFrame(&stream, message).ok());
+  ASSERT_EQ(stream.size(), 6u);
+  EXPECT_EQ(stream[0], 0x00);
+  EXPECT_EQ(stream[1], 0x04);
+  EXPECT_EQ(std::vector<uint8_t>(stream.begin() + 2, stream.end()), message);
+
+  // Frames append back to back on the same stream.
+  ASSERT_TRUE(AppendTcpFrame(&stream, {0x42}).ok());
+  ASSERT_EQ(stream.size(), 9u);
+  EXPECT_EQ(stream[6], 0x00);
+  EXPECT_EQ(stream[7], 0x01);
+  EXPECT_EQ(stream[8], 0x42);
+}
+
+TEST(TcpFraming, RejectsMessagesTheLengthFieldCannotExpress) {
+  std::vector<uint8_t> stream;
+  std::vector<uint8_t> too_big(kMaxTcpPayload + 1, 0xAA);
+  EXPECT_FALSE(AppendTcpFrame(&stream, too_big).ok());
+  EXPECT_TRUE(stream.empty()) << "a failed append must not leave partial bytes";
+  std::vector<uint8_t> exactly_max(kMaxTcpPayload, 0xAA);
+  EXPECT_TRUE(AppendTcpFrame(&stream, exactly_max).ok());
+  EXPECT_EQ(stream.size(), 2u + kMaxTcpPayload);
+}
+
+TEST(TcpFraming, DecoderReassemblesAcrossArbitrarySplitPoints) {
+  std::vector<uint8_t> message(300);
+  for (size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<uint8_t>(i);
+  }
+  std::vector<uint8_t> stream;
+  ASSERT_TRUE(AppendTcpFrame(&stream, message).ok());
+
+  // Every split point, including mid-length-prefix, yields the same message.
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    TcpFrameDecoder decoder;
+    std::vector<uint8_t> out;
+    decoder.Feed(stream.data(), split);
+    bool early = decoder.Next(&out);
+    EXPECT_EQ(early, split == stream.size()) << "split at " << split;
+    if (!early) {
+      decoder.Feed(stream.data() + split, stream.size() - split);
+      ASSERT_TRUE(decoder.Next(&out)) << "split at " << split;
+    }
+    EXPECT_EQ(out, message) << "split at " << split;
+    EXPECT_FALSE(decoder.Next(&out));
+  }
+}
+
+TEST(TcpFraming, DecoderYieldsPipelinedMessagesInOrder) {
+  std::vector<uint8_t> stream;
+  ASSERT_TRUE(AppendTcpFrame(&stream, {0x01}).ok());
+  ASSERT_TRUE(AppendTcpFrame(&stream, {0x02, 0x02}).ok());
+  ASSERT_TRUE(AppendTcpFrame(&stream, {0x03, 0x03, 0x03}).ok());
+  TcpFrameDecoder decoder;
+  // Byte-at-a-time feeding: the worst-case fragmentation.
+  for (uint8_t byte : stream) {
+    decoder.Feed(&byte, 1);
+  }
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_EQ(out, std::vector<uint8_t>({0x01}));
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_EQ(out, std::vector<uint8_t>({0x02, 0x02}));
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_EQ(out, std::vector<uint8_t>({0x03, 0x03, 0x03}));
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(TcpFraming, ZeroLengthFrameIsAValidEmptyMessage) {
+  // A 0-length frame is wire-legal; the serving layer treats the empty
+  // message as a parse failure, but the decoder must hand it through rather
+  // than stall the stream.
+  std::vector<uint8_t> stream = {0x00, 0x00};
+  ASSERT_TRUE(AppendTcpFrame(&stream, {0x07}).ok());
+  TcpFrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  std::vector<uint8_t> out = {0xFF};
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_EQ(out, std::vector<uint8_t>({0x07}));
+}
+
+TEST(TcpFraming, RoundTripsARealDnsAnswerThatUdpMustTruncate) {
+  auto server = std::move(
+      AuthoritativeServer::Create(EngineVersion::kGolden, WideRrsetZone()).value());
+  WireQuery query = MakeQuery("www.example.com", RrType::kA);
+  QueryResult result = server->Query(query.qname, query.qtype);
+  ASSERT_FALSE(result.panicked);
+
+  // Over UDP the 40-record answer truncates; over TCP framing it must not.
+  std::vector<uint8_t> udp = EncodeWireResponse(query, result.response).value();
+  EXPECT_TRUE((udp[2] & 0x02) != 0) << "expected TC=1 at the UDP clamp";
+  std::vector<uint8_t> full =
+      EncodeWireResponse(query, result.response, kMaxTcpPayload).value();
+  EXPECT_GT(full.size(), kMaxUdpPayload);
+
+  std::vector<uint8_t> stream;
+  ASSERT_TRUE(AppendTcpFrame(&stream, full).ok());
+  TcpFrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_EQ(out, full);
+  bool truncated = true;
+  WireQuery echoed;
+  Result<ResponseView> view = ParseWireResponse(out, &echoed, &truncated);
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ(view.value().answer.size(), 40u);
+}
+
 }  // namespace
 }  // namespace dnsv

@@ -1,0 +1,205 @@
+// Unit tests for the socket-free request pipeline (src/server/serve.h),
+// including regression tests for the three historical example-server bugs
+// (ISSUE 5): the crashing SERVFAIL fallback, the hardcoded FORMERR flag
+// bytes, and the unchecked atoi port parsing.
+#include "src/server/serve.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/dns/example_zones.h"
+#include "src/fuzz/packet_gen.h"
+
+namespace dnsv {
+namespace {
+
+std::unique_ptr<AuthoritativeServer> MakeShard() {
+  Result<std::unique_ptr<AuthoritativeServer>> shard =
+      AuthoritativeServer::Create(EngineVersion::kGolden, KitchenSinkZone());
+  EXPECT_TRUE(shard.ok()) << shard.error();
+  return std::move(shard).value();
+}
+
+std::vector<uint8_t> QueryPacket(const std::string& qname, RrType qtype, uint16_t id = 0x1234,
+                                 bool rd = false) {
+  WireQuery query;
+  query.id = id;
+  query.qname = DnsName::Parse(qname).value();
+  query.qtype = qtype;
+  query.recursion_desired = rd;
+  return EncodeWireQuery(query);
+}
+
+TEST(ServePacketTest, AnswersOverTheSamePathAsTheOldServer) {
+  auto shard = MakeShard();
+  ServerStats stats;
+  std::vector<uint8_t> packet = QueryPacket("chain.example.com", RrType::kA, 0x4242);
+  ServeOutcome outcome =
+      ServePacket(shard.get(), packet.data(), packet.size(), kMaxUdpPayload, &stats);
+  ASSERT_FALSE(outcome.parse_error);
+  WireQuery echoed;
+  Result<ResponseView> view = ParseWireResponse(outcome.wire, &echoed);
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_EQ(echoed.id, 0x4242);
+  EXPECT_EQ(view.value().rcode, Rcode::kNoError);
+  EXPECT_EQ(view.value().answer.size(), 4u);  // chain -> alias -> www + 2 A records
+  EXPECT_EQ(stats.rcodes[0].load(), 1u);
+}
+
+// Regression (ISSUE 5 bug 1): a qname of five 63-byte labels is parseable
+// off the wire but exceeds the 255-byte wire-name limit, so even the minimal
+// SERVFAIL response fails to encode. The old server called `.value()` on
+// that second failure and crashed on attacker-controlled input; the fallback
+// must now be the infallible header-only SERVFAIL with the ID patched in.
+TEST(ServePacketTest, ServfailFallbackIsInfallibleOnUnencodableQname) {
+  auto shard = MakeShard();
+  ServerStats stats;
+  std::string label(63, 'a');
+  std::string huge = label + "." + label + "." + label + "." + label + "." + label;
+  std::vector<uint8_t> packet = QueryPacket(huge, RrType::kA, 0xBEEF, /*rd=*/true);
+  ASSERT_TRUE(ParseWireQuery(packet).ok());  // the parser accepts it...
+  WireQuery parsed = ParseWireQuery(packet).value();
+  ASSERT_FALSE(EncodeWireResponse(parsed, ResponseView{}).ok());  // ...the encoder cannot
+
+  ServeOutcome outcome =
+      ServePacket(shard.get(), packet.data(), packet.size(), kMaxUdpPayload, &stats);
+  EXPECT_TRUE(outcome.servfail_fallback);
+  ASSERT_EQ(outcome.wire.size(), 12u);  // header-only
+  EXPECT_EQ(outcome.wire[0], 0xBE);
+  EXPECT_EQ(outcome.wire[1], 0xEF);
+  EXPECT_EQ(outcome.wire[2], 0x80 | 0x01);  // QR + echoed RD
+  EXPECT_EQ(outcome.wire[3], 0x02);         // SERVFAIL
+  for (size_t i = 4; i < 12; ++i) {
+    EXPECT_EQ(outcome.wire[i], 0) << "section count byte " << i;
+  }
+  EXPECT_EQ(stats.encode_failures.load(), 1u);
+  EXPECT_EQ(stats.servfail_fallbacks.load(), 1u);
+}
+
+// Regression (ISSUE 5 bug 2): the FORMERR path used to hardcode flag bytes
+// 0x80 0x01, discarding the client's OPCODE and RD bit that RFC 1035 §4.1.1
+// requires a responder to echo (and wrongly asserting RD for clients that
+// never set it).
+TEST(ServePacketTest, FormerrEchoesOpcodeAndRdBit) {
+  auto shard = MakeShard();
+  // OPCODE 2 (STATUS), RD set, QDCOUNT 0 -> ParseWireQuery rejects it.
+  std::vector<uint8_t> packet = {0xAB, 0xCD, 0x11, 0x00, 0, 0, 0, 0, 0, 0, 0, 0};
+  ServeOutcome outcome =
+      ServePacket(shard.get(), packet.data(), packet.size(), kMaxUdpPayload, nullptr);
+  EXPECT_TRUE(outcome.parse_error);
+  ASSERT_EQ(outcome.wire.size(), 12u);
+  EXPECT_EQ(outcome.wire[0], 0xAB);
+  EXPECT_EQ(outcome.wire[1], 0xCD);
+  EXPECT_EQ(outcome.wire[2], 0x80 | 0x11);  // QR + echoed OPCODE=2 + echoed RD
+  EXPECT_EQ(outcome.wire[3], 0x01);         // FORMERR
+
+  // A query without RD must NOT get RD reflected back.
+  std::vector<uint8_t> no_rd = {0x00, 0x01, 0x10, 0x00, 0, 0, 0, 0, 0, 0, 0, 0};
+  outcome = ServePacket(shard.get(), no_rd.data(), no_rd.size(), kMaxUdpPayload, nullptr);
+  EXPECT_TRUE(outcome.parse_error);
+  EXPECT_EQ(outcome.wire[2], 0x80 | 0x10);
+  EXPECT_EQ(outcome.wire[2] & 0x01, 0);
+}
+
+TEST(BuildErrorResponseTest, TruncatedHeadersGetBestEffortEcho) {
+  // Nothing to echo: ID stays 0, flags are just QR.
+  std::vector<uint8_t> empty = BuildErrorResponse(nullptr, 0, Rcode::kFormErr);
+  ASSERT_EQ(empty.size(), 12u);
+  EXPECT_EQ(empty[0], 0);
+  EXPECT_EQ(empty[1], 0);
+  EXPECT_EQ(empty[2], 0x80);
+  EXPECT_EQ(empty[3], 0x01);
+
+  // Two bytes: the ID is echoed, the flags word is not guessed at.
+  uint8_t two[] = {0x12, 0x34};
+  std::vector<uint8_t> id_only = BuildErrorResponse(two, sizeof(two), Rcode::kFormErr);
+  EXPECT_EQ(id_only[0], 0x12);
+  EXPECT_EQ(id_only[1], 0x34);
+  EXPECT_EQ(id_only[2], 0x80);
+}
+
+// Every query_reject_* packet in the fuzz corpus must produce a FORMERR
+// whose header echoes the client's ID/OPCODE/RD per the rules above.
+TEST(ServePacketTest, CorpusRejectPacketsGetConformantFormerr) {
+  auto shard = MakeShard();
+  int tested = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(DNSV_WIRE_CORPUS_DIR)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("query_reject_", 0) != 0) {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<std::vector<uint8_t>> packet = HexToWirePacket(text.str());
+    ASSERT_TRUE(packet.ok()) << name << ": " << packet.error();
+    const std::vector<uint8_t>& bytes = packet.value();
+    ServerStats stats;
+    ServeOutcome outcome =
+        ServePacket(shard.get(), bytes.data(), bytes.size(), kMaxUdpPayload, &stats);
+    EXPECT_TRUE(outcome.parse_error) << name;
+    ASSERT_EQ(outcome.wire.size(), 12u) << name;
+    EXPECT_EQ(outcome.wire[3], 0x01) << name;                   // FORMERR
+    EXPECT_EQ(outcome.wire[2] & 0x80, 0x80) << name;            // QR set
+    if (bytes.size() >= 2) {
+      EXPECT_EQ(outcome.wire[0], bytes[0]) << name;
+      EXPECT_EQ(outcome.wire[1], bytes[1]) << name;
+    }
+    if (bytes.size() >= 4) {
+      EXPECT_EQ(outcome.wire[2] & 0x79, bytes[2] & 0x79) << name;  // OPCODE + RD echoed
+    }
+    EXPECT_EQ(stats.parse_failures.load(), 1u) << name;
+    ++tested;
+  }
+  EXPECT_GE(tested, 4);  // the corpus ships at least 4 reject queries
+}
+
+// Regression (ISSUE 5 bug 3): `dns_server zone.txt 99999` used to truncate
+// the port mod 2^16 via atoi, and "abc" became port 0 (kernel-assigned).
+TEST(ParsePortTest, RejectsWhatAtoiSilentlyMangled) {
+  EXPECT_FALSE(ParsePort("99999").ok());   // atoi: 34463
+  EXPECT_FALSE(ParsePort("65536").ok());   // atoi: 0
+  EXPECT_FALSE(ParsePort("abc").ok());     // atoi: 0
+  EXPECT_FALSE(ParsePort("53x").ok());     // atoi: 53
+  EXPECT_FALSE(ParsePort("0").ok());       // reserved: means kernel-assigned
+  EXPECT_FALSE(ParsePort("").ok());
+  EXPECT_FALSE(ParsePort("-1").ok());
+  EXPECT_FALSE(ParsePort(" 53").ok());
+  EXPECT_FALSE(ParsePort("999999999999999999999").ok());  // would overflow int
+  ASSERT_TRUE(ParsePort("53").ok());
+  EXPECT_EQ(ParsePort("53").value(), 53);
+  ASSERT_TRUE(ParsePort("65535").ok());
+  EXPECT_EQ(ParsePort("65535").value(), 65535);
+  ASSERT_TRUE(ParsePort("1").ok());
+  EXPECT_EQ(ParsePort("1").value(), 1);
+}
+
+TEST(ServePacketTest, UdpClampTruncatesAndTcpLimitServesInFull) {
+  Result<std::unique_ptr<AuthoritativeServer>> shard =
+      AuthoritativeServer::Create(EngineVersion::kGolden, WideRrsetZone());
+  ASSERT_TRUE(shard.ok()) << shard.error();
+  ServerStats stats;
+  std::vector<uint8_t> packet = QueryPacket("www.example.com", RrType::kA);
+
+  ServeOutcome udp =
+      ServePacket(shard.value().get(), packet.data(), packet.size(), kMaxUdpPayload, &stats);
+  EXPECT_TRUE(udp.truncated);
+  EXPECT_LE(udp.wire.size(), kMaxUdpPayload);
+  EXPECT_EQ(stats.truncated_responses.load(), 1u);
+
+  ServeOutcome tcp =
+      ServePacket(shard.value().get(), packet.data(), packet.size(), kMaxTcpPayload, &stats);
+  EXPECT_FALSE(tcp.truncated);
+  WireQuery echoed;
+  Result<ResponseView> view = ParseWireResponse(tcp.wire, &echoed);
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_EQ(view.value().answer.size(), 40u);
+}
+
+}  // namespace
+}  // namespace dnsv
