@@ -1,15 +1,25 @@
 // UDP throughput of the serving shell (docs/SERVER.md): queries/sec against
-// a loopback DnsServer at 1 worker vs N workers, with per-config latency
-// percentiles from the server's own stats. Not a paper figure — the numbers
-// demonstrate that SO_REUSEPORT sharding actually scales the verified
-// engine, and bound what a `--smoke` CI second buys.
+// a loopback DnsServer across two axes — 1 worker vs N workers, and the
+// interp vs AOT-compiled execution backend (docs/BACKEND.md). Not a paper
+// figure — the numbers demonstrate that SO_REUSEPORT sharding actually
+// scales the verified engine, and that compiling the verified AbsIR buys the
+// serving path a real single-worker speedup over interpreting it.
 //
 // Besides the human-readable table, the harness writes BENCH_server.json
-// (array of {workers, clients, seconds, queries, qps, p50_us, p99_us}) into
-// the working directory for the CI gate.
+// (array of {backend, workers, clients, warmup, seconds, queries, qps,
+// p50_us, p99_us}) into the working directory for the CI gate.
 //
-//   $ bench/server_throughput            # ~2s per configuration
-//   $ bench/server_throughput --smoke    # ~0.3s per configuration (CI)
+//   $ bench/server_throughput                        # ~2s per configuration
+//   $ bench/server_throughput --smoke                # ~0.3s per configuration (CI)
+//   $ bench/server_throughput --seconds=5 --warmup=1 # explicit durations
+//   $ bench/server_throughput --trials=5             # best of 5 interleaved trials
+//
+// Trials run round-robin across configurations (trial 1 of every config,
+// then trial 2, ...) and each config reports its best trial. Interleaving
+// matters on noisy hosts: a machine-wide slowdown (VM throttling, a
+// background build) then taxes every configuration instead of whichever
+// happened to run last, and best-of-N discards the taxed trials — external
+// interference only ever makes a run slower, never faster.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -19,6 +29,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -31,8 +42,10 @@ namespace dnsv {
 namespace {
 
 struct BenchResult {
+  BackendKind backend = BackendKind::kInterp;
   int workers = 0;
   int clients = 0;
+  double warmup = 0;
   double seconds = 0;
   uint64_t queries = 0;
   double qps = 0;
@@ -75,10 +88,29 @@ void ClientLoop(uint16_t port, const std::vector<uint8_t>& request,
   ::close(fd);
 }
 
-Result<BenchResult> RunConfig(int workers, int clients, double seconds) {
+// Runs `clients` ping-pong clients against `port` until `deadline`; returns
+// the number of answered queries.
+uint64_t DriveClients(uint16_t port, const std::vector<uint8_t>& request, int clients,
+                      std::chrono::steady_clock::time_point deadline,
+                      std::atomic<uint64_t>* lost) {
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back(ClientLoop, port, std::cref(request), deadline, &answered, lost);
+  }
+  for (std::thread& client : pool) {
+    client.join();
+  }
+  return answered.load();
+}
+
+Result<BenchResult> RunConfig(BackendKind backend, int workers, int clients, double warmup,
+                              double seconds) {
   ServerConfig config;
   config.udp_workers = workers;
   config.enable_tcp = false;  // UDP throughput only
+  config.backend = backend;
   Result<std::unique_ptr<DnsServer>> started = DnsServer::Start(config, KitchenSinkZone());
   if (!started.ok()) {
     return Result<BenchResult>::Error(started.error());
@@ -92,24 +124,30 @@ Result<BenchResult> RunConfig(int workers, int clients, double seconds) {
   std::vector<uint8_t> request = EncodeWireQuery(query);
 
   BenchResult result;
+  result.backend = backend;
   result.workers = workers;
   result.clients = clients;
-  std::atomic<uint64_t> answered{0};
+  result.warmup = warmup;
   std::atomic<uint64_t> lost{0};
+
+  // Warmup: same client pool, unmeasured. Brings sockets, worker shards, and
+  // branch predictors to steady state before the timed window. (The server's
+  // latency histogram still sees warmup samples — same query, same
+  // distribution, so the percentiles stay representative.)
+  if (warmup > 0) {
+    DriveClients(server->udp_port(), request, clients,
+                 std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(warmup)),
+                 &lost);
+    lost.store(0);
+  }
+
   auto start = std::chrono::steady_clock::now();
   auto deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                               std::chrono::duration<double>(seconds));
-  std::vector<std::thread> pool;
-  pool.reserve(clients);
-  for (int c = 0; c < clients; ++c) {
-    pool.emplace_back(ClientLoop, server->udp_port(), std::cref(request), deadline,
-                      &answered, &lost);
-  }
-  for (std::thread& client : pool) {
-    client.join();
-  }
+  result.queries = DriveClients(server->udp_port(), request, clients, deadline, &lost);
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  result.queries = answered.load();
   result.qps = result.queries / result.seconds;
   StatsSnapshot stats = server->Stats();
   result.p50_us = stats.LatencyPercentileUs(0.50);
@@ -126,8 +164,7 @@ Result<BenchResult> RunConfig(int workers, int clients, double seconds) {
   return result;
 }
 
-int RunBench(bool smoke) {
-  const double seconds = smoke ? 0.3 : 2.0;
+int RunBench(double seconds, double warmup, int trials) {
   int max_workers = static_cast<int>(std::thread::hardware_concurrency());
   if (max_workers < 2) {
     max_workers = 2;
@@ -135,34 +172,64 @@ int RunBench(bool smoke) {
   if (max_workers > 4) {
     max_workers = 4;
   }
-  std::printf("Serving-shell UDP throughput (kitchen-sink zone, %.1fs per config)\n\n",
-              seconds);
+  std::printf(
+      "Serving-shell UDP throughput (kitchen-sink zone, %.1fs per config, %.1fs warmup, "
+      "best of %d trial%s)\n\n",
+      seconds, warmup, trials, trials == 1 ? "" : "s");
 
-  // The same client pool drives both configurations, so the comparison
-  // isolates the worker count; the pool is sized to keep one worker
-  // saturated. On a single hardware thread the multi-worker run measures
-  // contention overhead rather than scaling — the JSON records whichever
-  // the host can show.
-  const int clients = max_workers * 4;
-  std::vector<BenchResult> results;
-  for (int workers : {1, max_workers}) {
-    Result<BenchResult> run = RunConfig(workers, clients, seconds);
-    if (!run.ok()) {
-      // Sandboxes without loopback sockets still pass the CI gate.
-      std::fprintf(stderr, "skipping: %s\n", run.error().c_str());
-      return 0;
+  // The same client pool drives every configuration, so each comparison
+  // isolates one axis: worker count (SO_REUSEPORT scaling) or backend
+  // (interp vs compiled). The pool is sized to keep one worker saturated
+  // even on the compiled backend, whose per-query cost is a fraction of the
+  // interpreter's — too few ping-pong clients and the measurement caps at
+  // the client pool's round-trip rate instead of the server's capacity, and
+  // the worker's recvmmsg batches run partially empty, charging the fast
+  // backend more syscalls per query than the slow one (a saturated interp
+  // worker always has a full socket queue; a compiled one drains it).
+  // On a single hardware thread the multi-worker run measures contention
+  // overhead rather than scaling — the JSON records whichever the host can
+  // show.
+  const int clients = max_workers * 16;
+  struct Config {
+    BackendKind backend;
+    int workers;
+  };
+  std::vector<Config> configs;
+  for (BackendKind backend : {BackendKind::kInterp, BackendKind::kCompiled}) {
+    for (int workers : {1, max_workers}) {
+      configs.push_back({backend, workers});
     }
-    results.push_back(run.value());
-    std::printf("workers=%d  clients=%d  %8llu queries in %.2fs  = %8.0f q/s  "
-                "p50=%lluus p99=%lluus\n",
-                run.value().workers, run.value().clients,
-                static_cast<unsigned long long>(run.value().queries), run.value().seconds,
-                run.value().qps, static_cast<unsigned long long>(run.value().p50_us),
-                static_cast<unsigned long long>(run.value().p99_us));
   }
-  if (results.size() == 2 && results[0].qps > 0) {
-    std::printf("\nscaling: %.2fx at %d workers over the single-worker baseline\n",
-                results[1].qps / results[0].qps, results[1].workers);
+  std::vector<BenchResult> results(configs.size());
+  for (int trial = 0; trial < trials; ++trial) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      Result<BenchResult> run =
+          RunConfig(configs[i].backend, configs[i].workers, clients, warmup, seconds);
+      if (!run.ok()) {
+        // Sandboxes without loopback sockets still pass the CI gate.
+        std::fprintf(stderr, "skipping: %s\n", run.error().c_str());
+        return 0;
+      }
+      if (run.value().qps > results[i].qps) {
+        results[i] = run.value();
+      }
+    }
+  }
+  for (const BenchResult& r : results) {
+    std::printf("backend=%-8s workers=%d  clients=%d  %8llu queries in %.2fs  = %8.0f q/s  "
+                "p50=%lluus p99=%lluus\n",
+                BackendKindName(r.backend), r.workers, r.clients,
+                static_cast<unsigned long long>(r.queries), r.seconds, r.qps,
+                static_cast<unsigned long long>(r.p50_us),
+                static_cast<unsigned long long>(r.p99_us));
+  }
+  if (results.size() == 4 && results[0].qps > 0 && results[2].qps > 0) {
+    std::printf("\nscaling: interp %.2fx, compiled %.2fx at %d workers over 1\n",
+                results[1].qps / results[0].qps, results[3].qps / results[2].qps,
+                results[1].workers);
+    std::printf("backend: compiled is %.1fx interp at 1 worker, %.1fx at %d workers\n",
+                results[2].qps / results[0].qps, results[3].qps / results[1].qps,
+                results[1].workers);
   }
 
   std::FILE* out = std::fopen("BENCH_server.json", "w");
@@ -174,10 +241,12 @@ int RunBench(bool smoke) {
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     std::fprintf(out,
-                 "  {\"workers\": %d, \"clients\": %d, \"seconds\": %g, \"queries\": %llu, "
-                 "\"qps\": %.0f, \"p50_us\": %llu, \"p99_us\": %llu}%s\n",
-                 r.workers, r.clients, r.seconds, static_cast<unsigned long long>(r.queries),
-                 r.qps, static_cast<unsigned long long>(r.p50_us),
+                 "  {\"backend\": \"%s\", \"workers\": %d, \"clients\": %d, \"warmup\": %g, "
+                 "\"seconds\": %g, \"queries\": %llu, \"qps\": %.0f, \"p50_us\": %llu, "
+                 "\"p99_us\": %llu}%s\n",
+                 BackendKindName(r.backend), r.workers, r.clients, r.warmup, r.seconds,
+                 static_cast<unsigned long long>(r.queries), r.qps,
+                 static_cast<unsigned long long>(r.p50_us),
                  static_cast<unsigned long long>(r.p99_us), i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
@@ -186,10 +255,65 @@ int RunBench(bool smoke) {
   return 0;
 }
 
+bool ParseDoubleFlag(const char* arg, const char* name, double* value) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) {
+    return false;
+  }
+  char* end = nullptr;
+  double parsed = std::strtod(arg + prefix.size(), &end);
+  if (end == arg + prefix.size() || *end != '\0' || parsed < 0) {
+    std::fprintf(stderr, "bad value for --%s: '%s'\n", name, arg + prefix.size());
+    std::exit(2);
+  }
+  *value = parsed;
+  return true;
+}
+
 }  // namespace
 }  // namespace dnsv
 
 int main(int argc, char** argv) {
-  bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
-  return dnsv::RunBench(smoke);
+  double seconds = 2.0;
+  double warmup = 0.5;
+  double trials = 3;
+  bool seconds_set = false;
+  bool warmup_set = false;
+  bool trials_set = false;
+  for (int i = 1; i < argc; ++i) {
+    double value = 0;
+    if (std::string(argv[i]) == "--smoke") {
+      if (!seconds_set) {
+        seconds = 0.3;
+      }
+      if (!warmup_set) {
+        warmup = 0.1;
+      }
+      if (!trials_set) {
+        trials = 1;  // the CI gate checks liveness, not the ratio
+      }
+    } else if (dnsv::ParseDoubleFlag(argv[i], "seconds", &value)) {
+      seconds = value;
+      seconds_set = true;
+    } else if (dnsv::ParseDoubleFlag(argv[i], "warmup", &value)) {
+      warmup = value;
+      warmup_set = true;
+    } else if (dnsv::ParseDoubleFlag(argv[i], "trials", &value)) {
+      trials = value;
+      trials_set = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: server_throughput [--smoke] [--seconds=S] [--warmup=S] [--trials=N]\n");
+      return 2;
+    }
+  }
+  if (seconds <= 0) {
+    std::fprintf(stderr, "--seconds must be > 0\n");
+    return 2;
+  }
+  if (trials < 1 || trials != static_cast<int>(trials)) {
+    std::fprintf(stderr, "--trials must be a positive integer\n");
+    return 2;
+  }
+  return dnsv::RunBench(seconds, warmup, static_cast<int>(trials));
 }

@@ -26,10 +26,12 @@ run_pass() {
     -j "$jobs" -R 'Pipeline|Verify|SolverStack'
   # MiniGo lint gate: the embedded engine sources must stay diagnostic-free.
   "$build_dir"/tools/dnsv-lint --werror
-  # Wire fuzz gate (docs/WIRE.md): fixed-seed round-trip + differential smoke
+  # Wire fuzz gate (docs/WIRE.md): fixed-seed round-trip + engine-vs-spec
+  # differential + interp-vs-compiled backend differential (docs/BACKEND.md)
   # over all six engine versions. Running it inside run_pass means the second
-  # invocation executes the whole harness under ASan/UBSan, which is where
-  # the no-crash/no-hang invariant is actually enforced.
+  # invocation executes the whole harness — AOT-generated code included —
+  # under ASan/UBSan, which is where the no-crash/no-hang invariant is
+  # actually enforced.
   "$build_dir"/tools/dnsv-fuzz --smoke
   # Serving-shell gate (docs/SERVER.md): a short loopback UDP throughput run
   # at 1 worker vs N workers. Emits BENCH_server.json with the single- vs

@@ -33,8 +33,10 @@ using namespace dnsv;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [zone-file] [port] [--workers N] [--no-tcp]\n"
+               "          [--backend interp|compiled]\n"
                "       %s --selftest\n"
-               "port must be 1..65535 (default 5533); --workers defaults to 2\n",
+               "port must be 1..65535 (default 5533); --workers defaults to 2;\n"
+               "--backend defaults to compiled (docs/BACKEND.md)\n",
                argv0, argv0);
   return 2;
 }
@@ -59,6 +61,9 @@ int main(int argc, char** argv) {
   ServerConfig config;
   config.udp_workers = 2;
   config.port = 5533;
+  // The CLI serves the AOT-compiled backend by default — that is the point
+  // of the exercise; --backend interp gets the reference interpreter back.
+  config.backend = BackendKind::kCompiled;
 
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -77,6 +82,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.udp_workers = static_cast<int>(workers);
+    } else if (arg == "--backend") {
+      if (i + 1 >= argc) {
+        return Usage(argv[0]);
+      }
+      Result<BackendKind> backend = ParseBackendKind(argv[++i]);
+      if (!backend.ok()) {
+        std::fprintf(stderr, "%s\n", backend.error().c_str());
+        return 2;
+      }
+      config.backend = backend.value();
     } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
       return Usage(argv[0]);
     } else {
@@ -125,9 +140,10 @@ int main(int argc, char** argv) {
   if (!zone_path.empty()) {
     reloader = std::make_unique<SignalReloader>(server.get(), zone_path);
   }
-  std::fprintf(stderr, "serving %s on %s:%u (UDP x%d%s)%s\n",
+  std::fprintf(stderr, "serving %s on %s:%u (UDP x%d%s, %s backend)%s\n",
                zone.origin.ToString().c_str(), config.bind_ip.c_str(), server->udp_port(),
                config.udp_workers, config.enable_tcp ? " + TCP" : "",
+               BackendKindName(config.backend),
                zone_path.empty() ? "" : "; SIGHUP reloads the zone file");
 
   while (true) {
@@ -149,17 +165,23 @@ int main(int argc, char** argv) {
 
 namespace {
 
-int RunSelfTest() {
+// Runs the TC=1 + TCP-fallback round trip on one backend; on success stores
+// the raw UDP and TCP reply bytes so RunSelfTest can assert the backends
+// serve byte-identical wire responses. Returns 0/1 like main; -1 = skip
+// (sandboxes without loopback sockets).
+int SelfTestBackend(BackendKind backend, std::vector<uint8_t>* udp_reply,
+                    std::vector<uint8_t>* tcp_reply) {
   ServerConfig config;
   config.port = 0;
   config.udp_workers = 2;
+  config.backend = backend;
   // WideRrsetZone's www answer (40 A records) cannot fit the 512-byte UDP
   // clamp, so the selftest exercises TC=1 plus the TCP fallback.
   Result<std::unique_ptr<DnsServer>> started = DnsServer::Start(config, WideRrsetZone());
   if (!started.ok()) {
     std::fprintf(stderr, "selftest: cannot bind loopback sockets (%s); skipping\n",
                  started.error().c_str());
-    return 0;  // sandboxes without loopback sockets still pass the build
+    return -1;  // sandboxes without loopback sockets still pass the build
   }
   std::unique_ptr<DnsServer> server = std::move(started).value();
 
@@ -185,10 +207,10 @@ int RunSelfTest() {
     std::fprintf(stderr, "selftest: no UDP reply\n");
     return 1;
   }
+  *udp_reply = std::vector<uint8_t>(buffer, buffer + n);
   bool truncated = false;
   WireQuery echoed;
-  Result<ResponseView> udp_view =
-      ParseWireResponse(std::vector<uint8_t>(buffer, buffer + n), &echoed, &truncated);
+  Result<ResponseView> udp_view = ParseWireResponse(*udp_reply, &echoed, &truncated);
   if (!udp_view.ok() || echoed.id != 0x4242 || !truncated) {
     std::fprintf(stderr, "selftest: expected a TC=1 UDP answer\n");
     return 1;
@@ -227,8 +249,30 @@ int RunSelfTest() {
     std::fprintf(stderr, "selftest: TCP fallback did not serve the full answer\n");
     return 1;
   }
+  *tcp_reply = std::move(full);
   server->Stop();
-  std::printf("selftest OK: TC=1 over UDP, full 40-record answer over TCP fallback\n");
+  std::printf("selftest OK (%s backend): TC=1 over UDP, full 40-record answer over TCP\n",
+              BackendKindName(backend));
+  return 0;
+}
+
+// Both backends must pass the round trip AND serve byte-identical wire
+// responses — the CLI-level version of tests/server/backend_equiv_test.cc.
+int RunSelfTest() {
+  std::vector<uint8_t> interp_udp, interp_tcp, compiled_udp, compiled_tcp;
+  int interp_rc = SelfTestBackend(BackendKind::kInterp, &interp_udp, &interp_tcp);
+  if (interp_rc != 0) {
+    return interp_rc < 0 ? 0 : interp_rc;
+  }
+  int compiled_rc = SelfTestBackend(BackendKind::kCompiled, &compiled_udp, &compiled_tcp);
+  if (compiled_rc != 0) {
+    return compiled_rc < 0 ? 0 : compiled_rc;
+  }
+  if (interp_udp != compiled_udp || interp_tcp != compiled_tcp) {
+    std::fprintf(stderr, "selftest: interp and compiled backends served different bytes\n");
+    return 1;
+  }
+  std::printf("selftest OK: interp and compiled backends byte-identical\n");
   return 0;
 }
 

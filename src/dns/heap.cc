@@ -208,12 +208,19 @@ class HeapBuilder {
 };
 
 std::string DecodeName(const Value& labels, const LabelInterner& interner) {
-  // Engine order is root-first; display order is host order.
-  std::vector<std::string> parts;
-  for (auto it = labels.elems.rbegin(); it != labels.elems.rend(); ++it) {
-    parts.push_back(interner.Decode(it->i));
+  // Engine order is root-first; display order is host order. Built in one
+  // string — this runs per RR on the serving path.
+  if (labels.elems.empty()) {
+    return ".";
   }
-  return parts.empty() ? "." : JoinStrings(parts, ".");
+  std::string out;
+  for (auto it = labels.elems.rbegin(); it != labels.elems.rend(); ++it) {
+    if (!out.empty()) {
+      out += '.';
+    }
+    out += interner.Decode(it->i);
+  }
+  return out;
 }
 
 }  // namespace
@@ -260,36 +267,55 @@ std::string ResponseView::ToString() const {
   return out;
 }
 
-ResponseView DecodeResponse(const Value& response, const ConcreteMemory& memory,
-                            const LabelInterner& interner, const TypeTable& types) {
+ResponseDecoder::ResponseDecoder(const TypeTable& types, const LabelInterner& interner)
+    : interner_(interner),
+      response_layout_(types, kStructResponse),
+      rr_layout_(types, kStructRr),
+      f_rcode_(response_layout_.index("rcode")),
+      f_flags_(response_layout_.index("flags")),
+      f_answer_(response_layout_.index("answer")),
+      f_authority_(response_layout_.index("authority")),
+      f_additional_(response_layout_.index("additional")),
+      f_rname_(rr_layout_.index("rname")),
+      f_rtype_(rr_layout_.index("rtype")),
+      f_rdata_int_(rr_layout_.index("rdataInt")),
+      f_rdata_name_(rr_layout_.index("rdataName")) {}
+
+ResponseView ResponseDecoder::Decode(const Value& response,
+                                     const ConcreteMemory& memory) const {
   const Value* resp = &response;
   if (response.kind == Value::Kind::kPtr) {
     resp = memory.Resolve(response.block, response.path);
     DNSV_CHECK_MSG(resp != nullptr, "response pointer does not resolve");
   }
   DNSV_CHECK(resp->kind == Value::Kind::kStruct);
-  StructLayout response_layout(types, kStructResponse);
-  StructLayout rr_layout(types, kStructRr);
   ResponseView view;
-  view.rcode = static_cast<Rcode>(resp->elems[response_layout.index("rcode")].i);
-  view.aa = (resp->elems[response_layout.index("flags")].i & kFlagAa) != 0;
-  auto decode_section = [&](const char* field) {
+  view.rcode = static_cast<Rcode>(resp->elems[f_rcode_].i);
+  view.aa = (resp->elems[f_flags_].i & kFlagAa) != 0;
+  auto decode_section = [&](int field) {
     std::vector<RrView> rrs;
-    for (const Value& rr : resp->elems[response_layout.index(field)].elems) {
+    const std::vector<Value>& section = resp->elems[field].elems;
+    rrs.reserve(section.size());
+    for (const Value& rr : section) {
       RrView item;
-      item.name = DecodeName(rr.elems[rr_layout.index("rname")], interner);
-      item.type = static_cast<RrType>(rr.elems[rr_layout.index("rtype")].i);
-      item.rdata_value = rr.elems[rr_layout.index("rdataInt")].i;
-      const Value& rdata_name = rr.elems[rr_layout.index("rdataName")];
-      item.rdata_name = rdata_name.elems.empty() ? "" : DecodeName(rdata_name, interner);
+      item.name = DecodeName(rr.elems[f_rname_], interner_);
+      item.type = static_cast<RrType>(rr.elems[f_rtype_].i);
+      item.rdata_value = rr.elems[f_rdata_int_].i;
+      const Value& rdata_name = rr.elems[f_rdata_name_];
+      item.rdata_name = rdata_name.elems.empty() ? "" : DecodeName(rdata_name, interner_);
       rrs.push_back(std::move(item));
     }
     return rrs;
   };
-  view.answer = decode_section("answer");
-  view.authority = decode_section("authority");
-  view.additional = decode_section("additional");
+  view.answer = decode_section(f_answer_);
+  view.authority = decode_section(f_authority_);
+  view.additional = decode_section(f_additional_);
   return view;
+}
+
+ResponseView DecodeResponse(const Value& response, const ConcreteMemory& memory,
+                            const LabelInterner& interner, const TypeTable& types) {
+  return ResponseDecoder(types, interner).Decode(response, memory);
 }
 
 Value QnameValue(const DnsName& name, LabelInterner* interner) {

@@ -80,6 +80,26 @@ struct ResponseView {
 ResponseView DecodeResponse(const Value& response, const ConcreteMemory& memory,
                             const LabelInterner& interner, const TypeTable& types);
 
+// The serving hot path decodes one response per query; resolving the struct
+// layouts and field indices by name each time is measurable once the engine
+// itself runs at compiled-backend speed. A ResponseDecoder does the name
+// resolution once and is then reusable for every query against the same
+// TypeTable + interner (both must outlive the decoder). DecodeResponse above
+// is the one-shot convenience wrapper.
+class ResponseDecoder {
+ public:
+  ResponseDecoder(const TypeTable& types, const LabelInterner& interner);
+
+  ResponseView Decode(const Value& response, const ConcreteMemory& memory) const;
+
+ private:
+  const LabelInterner& interner_;
+  StructLayout response_layout_;
+  StructLayout rr_layout_;
+  int f_rcode_, f_flags_, f_answer_, f_authority_, f_additional_;
+  int f_rname_, f_rtype_, f_rdata_int_, f_rdata_name_;
+};
+
 // Builds the engine-order []int value for a query name.
 Value QnameValue(const DnsName& name, LabelInterner* interner);
 

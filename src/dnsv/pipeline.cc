@@ -404,7 +404,9 @@ std::shared_ptr<const CompiledEngine> VerifyContext::GetEngine(EngineVersion ver
     ++stats_.engine_cache_hits;
     return it->second;
   }
-  std::shared_ptr<const CompiledEngine> engine = CompiledEngine::Compile(version);
+  std::unique_ptr<CompiledEngine> compiled = CompiledEngine::Compile(version);
+  compiled->Freeze();  // shared below; callers must see the frontend's exact output
+  std::shared_ptr<const CompiledEngine> engine = std::move(compiled);
   ++stats_.engine_compiles;
   engines_.emplace(version, engine);
   return engine;
@@ -427,8 +429,9 @@ std::shared_ptr<const PrunedEngine> VerifyContext::GetPrunedEngine(EngineVersion
   std::unique_ptr<CompiledEngine> fresh = CompiledEngine::Compile(version);
   pruned->compile_seconds = ElapsedSeconds() - start;
   start = ElapsedSeconds();
-  pruned->stats = PruneModule(&fresh->module());
+  pruned->stats = PruneModule(&fresh->mutable_module());
   pruned->prune_seconds = ElapsedSeconds() - start;
+  fresh->Freeze();
   pruned->engine = std::shared_ptr<const CompiledEngine>(std::move(fresh));
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = pruned_engines_.emplace(version, pruned);

@@ -1,0 +1,56 @@
+// CompiledEngine: MiniGo sources -> AbsIR, plus the process-wide cache.
+//
+// Kept in its own translation unit (and its own library target,
+// dnsv_engine_compile) so build-time tools that only need to *compile* engine
+// versions — absir-codegen foremost — can link it without pulling in the
+// serving layer, whose dnsv_exec dependency is itself produced by
+// absir-codegen.
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "src/engine/engine.h"
+#include "src/support/logging.h"
+
+namespace dnsv {
+
+namespace {
+std::atomic<int64_t> g_num_compiles{0};
+}  // namespace
+
+std::unique_ptr<CompiledEngine> CompiledEngine::Compile(EngineVersion version) {
+  g_num_compiles.fetch_add(1, std::memory_order_relaxed);
+  auto engine = std::unique_ptr<CompiledEngine>(new CompiledEngine());
+  engine->version_ = version;
+  engine->types_ = std::make_unique<TypeTable>();
+  engine->module_ = std::make_unique<Module>(engine->types_.get());
+  Result<CompileOutput> compiled = CompileMiniGo(EngineSources(version), engine->module_.get());
+  DNSV_CHECK_MSG(compiled.ok(), "embedded engine sources must compile: " + compiled.error());
+  DNSV_CHECK_MSG(ValidateEngineLayout(*engine->types_).ok(), "engine layout contract violated");
+  DNSV_CHECK(engine->module_->GetFunction("resolve") != nullptr);
+  DNSV_CHECK(engine->module_->GetFunction("rrlookup") != nullptr);
+  return engine;
+}
+
+std::shared_ptr<const CompiledEngine> CompiledEngine::GetCached(EngineVersion version) {
+  static std::mutex mu;
+  static std::map<EngineVersion, std::shared_ptr<const CompiledEngine>>* cache =
+      new std::map<EngineVersion, std::shared_ptr<const CompiledEngine>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(version);
+  if (it == cache->end()) {
+    std::unique_ptr<CompiledEngine> engine = Compile(version);
+    engine->Freeze();  // shared from here on; no more rewrites
+    it = cache->emplace(version, std::move(engine)).first;
+  }
+  return it->second;
+}
+
+int64_t CompiledEngine::num_compiles() {
+  return g_num_compiles.load(std::memory_order_relaxed);
+}
+
+const Function& CompiledEngine::resolve_fn() const { return *module_->GetFunction("resolve"); }
+const Function& CompiledEngine::rrlookup_fn() const { return *module_->GetFunction("rrlookup"); }
+
+}  // namespace dnsv

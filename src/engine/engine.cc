@@ -1,77 +1,56 @@
+// AuthoritativeServer: one loaded zone served through an ExecutionBackend.
+// (CompiledEngine itself lives in compile.cc — see the note there.)
 #include "src/engine/engine.h"
-
-#include <atomic>
-#include <map>
-#include <mutex>
 
 #include "src/support/logging.h"
 
 namespace dnsv {
 
-namespace {
-std::atomic<int64_t> g_num_compiles{0};
-}  // namespace
-
-std::unique_ptr<CompiledEngine> CompiledEngine::Compile(EngineVersion version) {
-  g_num_compiles.fetch_add(1, std::memory_order_relaxed);
-  auto engine = std::unique_ptr<CompiledEngine>(new CompiledEngine());
-  engine->version_ = version;
-  engine->types_ = std::make_unique<TypeTable>();
-  engine->module_ = std::make_unique<Module>(engine->types_.get());
-  Result<CompileOutput> compiled = CompileMiniGo(EngineSources(version), engine->module_.get());
-  DNSV_CHECK_MSG(compiled.ok(), "embedded engine sources must compile: " + compiled.error());
-  DNSV_CHECK_MSG(ValidateEngineLayout(*engine->types_).ok(), "engine layout contract violated");
-  DNSV_CHECK(engine->module_->GetFunction("resolve") != nullptr);
-  DNSV_CHECK(engine->module_->GetFunction("rrlookup") != nullptr);
-  return engine;
-}
-
-std::shared_ptr<const CompiledEngine> CompiledEngine::GetCached(EngineVersion version) {
-  static std::mutex mu;
-  static std::map<EngineVersion, std::shared_ptr<const CompiledEngine>>* cache =
-      new std::map<EngineVersion, std::shared_ptr<const CompiledEngine>>();
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache->find(version);
-  if (it == cache->end()) {
-    it = cache->emplace(version, Compile(version)).first;
-  }
-  return it->second;
-}
-
-int64_t CompiledEngine::num_compiles() {
-  return g_num_compiles.load(std::memory_order_relaxed);
-}
-
-const Function& CompiledEngine::resolve_fn() const { return *module_->GetFunction("resolve"); }
-const Function& CompiledEngine::rrlookup_fn() const { return *module_->GetFunction("rrlookup"); }
-
 Result<std::unique_ptr<AuthoritativeServer>> AuthoritativeServer::Create(
-    EngineVersion version, const ZoneConfig& zone) {
+    EngineVersion version, const ZoneConfig& zone, BackendKind backend) {
   Result<ZoneConfig> canonical = CanonicalizeZone(zone);
   if (!canonical.ok()) {
     return Result<std::unique_ptr<AuthoritativeServer>>::Error(canonical.error());
   }
   auto server = std::unique_ptr<AuthoritativeServer>(new AuthoritativeServer());
   server->engine_ = CompiledEngine::GetCached(version);
+  server->backend_kind_ = backend;
+  if (backend == BackendKind::kCompiled) {
+    Result<std::unique_ptr<ExecutionBackend>> compiled = MakeCompiledBackend(version);
+    if (!compiled.ok()) {
+      return Result<std::unique_ptr<AuthoritativeServer>>::Error(compiled.error());
+    }
+    server->backend_ = std::move(compiled).value();
+  } else {
+    server->backend_ = MakeInterpBackend(&server->engine_->module());
+  }
   server->zone_ = std::move(canonical).value();
   server->image_ = BuildHeapImage(server->zone_, &server->interner_, server->engine_->types(),
                                   &server->memory_);
+  server->decoder_ =
+      std::make_unique<ResponseDecoder>(server->engine_->types(), server->interner_);
   return server;
 }
 
 QueryResult AuthoritativeServer::RunLookup(const Function& fn, std::vector<Value> args) {
-  Interpreter interp(&engine_->module(), &memory_);
-  ExecOutcome outcome = interp.Run(fn, args);
+  // Blocks allocated past this point are query-scoped: a resolve run is a
+  // pure lookup over the zone image (it never stores into zone blocks), so
+  // after the response is decoded into plain RrViews nothing references
+  // them. Reclaiming here keeps a long-lived shard's heap flat instead of
+  // growing per query until the serving shell's hygiene rebuild.
+  const size_t watermark = memory_.num_blocks();
+  ExecOutcome outcome = backend_->Run(fn, args, &memory_);
   QueryResult result;
   if (!outcome.ok()) {
     result.panicked = true;
     result.panic_message = outcome.kind == ExecOutcome::Kind::kStepLimit
                                ? "step limit exceeded"
                                : outcome.panic_message;
+    memory_.TruncateTo(watermark);
     return result;
   }
-  result.response =
-      DecodeResponse(outcome.return_value, memory_, interner_, engine_->types());
+  result.response = decoder_->Decode(outcome.return_value, memory_);
+  memory_.TruncateTo(watermark);
   return result;
 }
 

@@ -16,13 +16,15 @@
 #include "src/dns/zone.h"
 #include "src/engine/sources/sources.h"
 #include "src/frontend/frontend.h"
+#include "src/exec/backend.h"
 #include "src/interp/interp.h"
 #include "src/ir/function.h"
+#include "src/support/logging.h"
 
 namespace dnsv {
 
 // One compiled engine version: its AbsIR module plus the shared type table.
-// Immutable after Compile() returns, so a single instance can be shared
+// Immutable once shared (see Freeze below), so a single instance can be used
 // across threads and verification runs.
 class CompiledEngine {
  public:
@@ -41,15 +43,26 @@ class CompiledEngine {
 
   EngineVersion version() const { return version_; }
   const Module& module() const { return *module_; }
-  Module& module() { return *module_; }
   const TypeTable& types() const { return *types_; }
-  TypeTable& types() { return *types_; }
   const Function& resolve_fn() const;
   const Function& rrlookup_fn() const;
+
+  // Post-compile rewrites (the dataflow pruner, src/analysis) happen between
+  // Compile() and the instance becoming shared; mutable access is gated on
+  // that window. Freeze() ends it — afterwards mutable_module() aborts, which
+  // is what makes the "immutable once shared" contract above enforceable
+  // rather than aspirational. GetCached() freezes before publishing.
+  Module& mutable_module() {
+    DNSV_CHECK_MSG(!frozen_, "CompiledEngine mutated after Freeze()");
+    return *module_;
+  }
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
 
  private:
   CompiledEngine() = default;
   EngineVersion version_ = EngineVersion::kGolden;
+  bool frozen_ = false;
   std::unique_ptr<TypeTable> types_;
   std::unique_ptr<Module> module_;
 };
@@ -61,13 +74,18 @@ struct QueryResult {
 };
 
 // A loaded authoritative zone served by one engine version. Runs queries
-// through the concrete interpreter — both via the engine's Resolve and via
-// the executable specification (for differential testing).
+// through a pluggable ExecutionBackend (src/exec) — both via the engine's
+// Resolve and via the executable specification (for differential testing).
+// The default backend is the reference interpreter; kCompiled swaps in the
+// AOT-generated native code for the same version.
 class AuthoritativeServer {
  public:
-  // `zone` is canonicalized internally; fails on invalid zones.
-  static Result<std::unique_ptr<AuthoritativeServer>> Create(EngineVersion version,
-                                                             const ZoneConfig& zone);
+  // `zone` is canonicalized internally; fails on invalid zones, or when
+  // `backend` is kCompiled and this binary carries no generated code for
+  // `version`.
+  static Result<std::unique_ptr<AuthoritativeServer>> Create(
+      EngineVersion version, const ZoneConfig& zone,
+      BackendKind backend = BackendKind::kInterp);
 
   // Resolves qname/qtype through the engine implementation.
   QueryResult Query(const DnsName& qname, RrType qtype);
@@ -75,6 +93,8 @@ class AuthoritativeServer {
   QueryResult QuerySpec(const DnsName& qname, RrType qtype);
 
   const CompiledEngine& engine() const { return *engine_; }
+  BackendKind backend_kind() const { return backend_kind_; }
+  const ExecutionBackend& backend() const { return *backend_; }
   const ZoneConfig& zone() const { return zone_; }
   const LabelInterner& interner() const { return interner_; }
   LabelInterner& interner() { return interner_; }
@@ -86,10 +106,14 @@ class AuthoritativeServer {
   QueryResult RunLookup(const Function& fn, std::vector<Value> args);
 
   std::shared_ptr<const CompiledEngine> engine_;
+  BackendKind backend_kind_ = BackendKind::kInterp;
+  std::unique_ptr<ExecutionBackend> backend_;
   ZoneConfig zone_;
   LabelInterner interner_;
   ConcreteMemory memory_;
   HeapImage image_;
+  // Field layouts resolved once at Create; decoding runs once per query.
+  std::unique_ptr<ResponseDecoder> decoder_;
 };
 
 }  // namespace dnsv

@@ -1,0 +1,83 @@
+// The execution-backend seam (docs/BACKEND.md).
+//
+// "How AbsIR runs" is pluggable: the serving layers (AuthoritativeServer,
+// ServePacket, the src/server worker shards) hold an ExecutionBackend and
+// never touch interpreter internals. Two backends exist:
+//
+//   * interp   — the reference AbsIR interpreter (src/interp), executing the
+//                frontend's exact module. This is the backend the verifier's
+//                concrete cross-checks use; it is always available.
+//   * compiled — AOT-generated native code: absir-codegen lowers the
+//                post-prune AbsIR of every engine version to C++ at build
+//                time (one translation unit per version, compiled into this
+//                library). Each generated module embeds the ModuleFingerprint
+//                of the IR it was produced from, so the differential harness
+//                (src/fuzz) can prove the compiled artifact and the verified
+//                IR are byte-identical.
+//
+// Both backends run over the same Value/ConcreteMemory model, so responses
+// and panics are identical — equivalence enforced mechanically by
+// RunBackendDifferential and the loopback tests. Heap traffic is NOT part
+// of that contract: the compiled backend promotes non-escaping allocas to
+// C++ locals (docs/BACKEND.md), so it allocates far fewer blocks per query
+// than the interpreter and block numbering differs between the two. Block
+// ids never reach wire output, and pointer equality only needs
+// distinctness, which promotion preserves.
+#ifndef DNSV_EXEC_BACKEND_H_
+#define DNSV_EXEC_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/sources/sources.h"  // EngineVersion (enum only; no link dep)
+#include "src/interp/interp.h"
+#include "src/interp/value.h"
+#include "src/ir/function.h"
+#include "src/support/status.h"
+
+namespace dnsv {
+
+enum class BackendKind { kInterp, kCompiled };
+
+const char* BackendKindName(BackendKind kind);
+
+// Parses "interp" / "compiled"; anything else is a descriptive error (the
+// CLI contract: reject unknown values the way ParsePort rejects bad ports).
+Result<BackendKind> ParseBackendKind(const std::string& text);
+
+// Executes AbsIR functions against a concrete memory. One backend instance
+// is bound to one engine version's module; like the raw Interpreter it is
+// not thread-safe — each serving shard owns its own backend.
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  // Runs `function` (of the module this backend was built for) with `args`;
+  // allocations go to `memory`. Query/QuerySpec-shaped: AuthoritativeServer
+  // funnels both its entry points through exactly this call.
+  virtual ExecOutcome Run(const Function& function, const std::vector<Value>& args,
+                          ConcreteMemory* memory) = 0;
+};
+
+// The reference interpreter over `module` (not owned; must outlive the
+// backend). Never fails to construct.
+std::unique_ptr<ExecutionBackend> MakeInterpBackend(const Module* module);
+
+// The AOT-compiled backend for `version`. Fails when this binary carries no
+// generated code for the version (absir-codegen emits all engine versions at
+// build time, so this only happens in hand-rolled build setups).
+Result<std::unique_ptr<ExecutionBackend>> MakeCompiledBackend(EngineVersion version);
+
+bool CompiledBackendAvailable(EngineVersion version);
+
+// The ModuleFingerprint of the post-prune AbsIR that the generated code for
+// `version` was produced from (embedded at codegen time).
+Result<uint64_t> CompiledBackendFingerprint(EngineVersion version);
+
+}  // namespace dnsv
+
+#endif  // DNSV_EXEC_BACKEND_H_

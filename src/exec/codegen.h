@@ -1,0 +1,46 @@
+// AOT AbsIR -> C++ translation (the `compiled` execution backend).
+//
+// absir-codegen runs this at build time: for every engine version it
+// compiles the MiniGo sources, applies the same PruneModule pass the
+// verifier applies, and lowers the resulting post-prune AbsIR to one C++
+// translation unit. The generated code mirrors the concrete interpreter
+// (src/interp) instruction by instruction over the same Value/ConcreteMemory
+// model — identical results, identical panic messages, identical call-depth
+// limit — but with direct calls and goto-based control flow instead of an
+// instruction-dispatch loop.
+//
+// Each generated module embeds the ModuleFingerprint of the IR it was
+// lowered from; the differential harness (src/fuzz) recompiles + reprunes at
+// test time and compares fingerprints, proving the served artifact and the
+// verified IR are byte-identical.
+#ifndef DNSV_EXEC_CODEGEN_H_
+#define DNSV_EXEC_CODEGEN_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/engine/sources/sources.h"
+#include "src/ir/function.h"
+
+namespace dnsv {
+
+// "v1.0" -> "v1_0": the version name as a C++ identifier fragment, used for
+// the generated namespace (gen_v1_0) and file name (gen_v1_0.cc).
+std::string VersionToken(const std::string& version_name);
+
+// Lowers `module` (the post-prune AbsIR of `version`) into one translation
+// unit that defines gen_<token>::kModule, a GenModule carrying an entry for
+// every AbsIR function. `fingerprint` must be ModuleFingerprint(module).
+void EmitGenModule(const Module& module, EngineVersion version,
+                   const std::string& version_name, uint64_t fingerprint,
+                   std::ostream& out);
+
+// Emits the manifest translation unit defining execgen::AllGenModules() over
+// the generated per-version modules.
+void EmitGenManifest(const std::vector<std::string>& version_names, std::ostream& out);
+
+}  // namespace dnsv
+
+#endif  // DNSV_EXEC_CODEGEN_H_

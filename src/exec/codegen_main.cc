@@ -1,0 +1,65 @@
+// absir-codegen: build-time AOT translation of every engine version.
+//
+//   absir-codegen <output-dir>
+//
+// For each EngineVersion: compile the embedded MiniGo sources, apply the
+// same PruneModule pass the verifier applies (so the generated code is the
+// post-prune, i.e. verified, IR), fingerprint the result, and write
+// gen_<token>.cc. Finishes with gen_manifest.cc defining AllGenModules().
+// The emitted files are compiled into dnsv_exec by src/exec/CMakeLists.txt.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/prune.h"
+#include "src/engine/engine.h"
+#include "src/exec/codegen.h"
+#include "src/ir/printer.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string outdir = argv[1];
+  std::vector<std::string> version_names;
+  for (dnsv::EngineVersion version : dnsv::AllEngineVersions()) {
+    const std::string name = dnsv::EngineVersionName(version);
+    std::unique_ptr<dnsv::CompiledEngine> engine = dnsv::CompiledEngine::Compile(version);
+    dnsv::PruneStats stats = dnsv::PruneModule(&engine->mutable_module());
+    engine->Freeze();
+    uint64_t fingerprint = dnsv::ModuleFingerprint(engine->module());
+
+    const std::string path = outdir + "/gen_" + dnsv::VersionToken(name) + ".cc";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "absir-codegen: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    dnsv::EmitGenModule(engine->module(), version, name, fingerprint, out);
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "absir-codegen: write failed for %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "absir-codegen: %s -> %s (fingerprint %016llx, %lld checks pruned)\n",
+                 name.c_str(), path.c_str(), (unsigned long long)fingerprint,
+                 (long long)stats.panics_discharged);
+    version_names.push_back(name);
+  }
+
+  const std::string manifest_path = outdir + "/gen_manifest.cc";
+  std::ofstream manifest(manifest_path);
+  if (!manifest) {
+    std::fprintf(stderr, "absir-codegen: cannot write %s\n", manifest_path.c_str());
+    return 1;
+  }
+  dnsv::EmitGenManifest(version_names, manifest);
+  manifest.close();
+  if (!manifest) {
+    std::fprintf(stderr, "absir-codegen: write failed for %s\n", manifest_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,9 +1,12 @@
 #include "src/fuzz/fuzzer.h"
 
+#include <cstdio>
 #include <set>
 #include <utility>
 
+#include "src/analysis/prune.h"
 #include "src/engine/engine.h"
+#include "src/ir/printer.h"
 #include "src/support/strings.h"
 #include "src/zonegen/zonegen.h"
 
@@ -263,27 +266,62 @@ bool DivergesAt(AuthoritativeServer* server, const DnsName& qname, RrType qtype)
   return Diverges(engine, spec);
 }
 
-// Greedy minimization: drop labels while the divergence persists, then try
-// collapsing the qtype to A. Every step re-runs both sides concretely, so
-// the reported packet provably still diverges.
-void Minimize(AuthoritativeServer* server, DnsName* qname, RrType* qtype) {
+// Greedy minimization: drop labels while the divergence (whatever `diverges`
+// tests) persists, then try collapsing the qtype to A. Every step re-runs
+// both sides concretely, so the reported packet provably still diverges.
+template <typename DivergesFn>
+void MinimizeWith(DivergesFn diverges, DnsName* qname, RrType* qtype) {
   bool changed = true;
   while (changed) {
     changed = false;
     for (size_t i = 0; i < qname->labels.size(); ++i) {
       DnsName candidate = *qname;
       candidate.labels.erase(candidate.labels.begin() + static_cast<long>(i));
-      if (DivergesAt(server, candidate, *qtype)) {
+      if (diverges(candidate, *qtype)) {
         *qname = candidate;
         changed = true;
         break;
       }
     }
-    if (*qtype != RrType::kA && DivergesAt(server, *qname, RrType::kA)) {
+    if (*qtype != RrType::kA && diverges(*qname, RrType::kA)) {
       *qtype = RrType::kA;
       changed = true;
     }
   }
+}
+
+void Minimize(AuthoritativeServer* server, DnsName* qname, RrType* qtype) {
+  MinimizeWith(
+      [server](const DnsName& q, RrType t) { return DivergesAt(server, q, t); }, qname,
+      qtype);
+}
+
+// The shared probe list: zone-derived interesting names x query types, plus
+// random wire packets round-tripped through the parser. One list per run so
+// per-version results are comparable and the pass is a function of the seed.
+Result<std::vector<std::pair<DnsName, RrType>>> BuildProbes(
+    const ZoneConfig& zone, const DifferentialOptions& options) {
+  std::vector<std::pair<DnsName, RrType>> probes;
+  if (options.include_interesting_probes) {
+    for (const DnsName& qname : InterestingQueryNames(zone, options.seed, 8)) {
+      for (RrType qtype : AllQueryTypes()) {
+        probes.emplace_back(qname, qtype);
+      }
+    }
+  }
+  PacketGenerator gen(options.seed, zone);
+  for (int64_t i = 0; i < options.random_queries; ++i) {
+    GeneratedPacket packet = gen.NextQueryPacket();
+    // Every probe travels as a real packet: what the engine sees is what
+    // ParseWireQuery recovered from the wire, not the generator's intent.
+    Result<WireQuery> parsed = ParseWireQuery(packet.bytes);
+    if (!parsed.ok()) {
+      return Result<std::vector<std::pair<DnsName, RrType>>>::Error(
+          "generated query packet does not parse: " + parsed.error());
+    }
+    probes.emplace_back(parsed.value().qname, parsed.value().qtype);
+  }
+  return probes;
 }
 
 }  // namespace
@@ -311,28 +349,11 @@ std::string DifferentialStats::Summary() const {
 Result<DifferentialStats> RunDifferentialFuzz(const std::vector<EngineVersion>& versions,
                                               const ZoneConfig& zone,
                                               const DifferentialOptions& options) {
-  // One probe list shared by every version, so per-version results are
-  // comparable and the whole pass is a function of the seed.
-  std::vector<std::pair<DnsName, RrType>> probes;
-  if (options.include_interesting_probes) {
-    for (const DnsName& qname : InterestingQueryNames(zone, options.seed, 8)) {
-      for (RrType qtype : AllQueryTypes()) {
-        probes.emplace_back(qname, qtype);
-      }
-    }
+  Result<std::vector<std::pair<DnsName, RrType>>> built = BuildProbes(zone, options);
+  if (!built.ok()) {
+    return Result<DifferentialStats>::Error(built.error());
   }
-  PacketGenerator gen(options.seed, zone);
-  for (int64_t i = 0; i < options.random_queries; ++i) {
-    GeneratedPacket packet = gen.NextQueryPacket();
-    // Every probe travels as a real packet: what the engine sees is what
-    // ParseWireQuery recovered from the wire, not the generator's intent.
-    Result<WireQuery> parsed = ParseWireQuery(packet.bytes);
-    if (!parsed.ok()) {
-      return Result<DifferentialStats>::Error(
-          "generated query packet does not parse: " + parsed.error());
-    }
-    probes.emplace_back(parsed.value().qname, parsed.value().qtype);
-  }
+  const std::vector<std::pair<DnsName, RrType>>& probes = built.value();
 
   DifferentialStats stats;
   stats.queries_per_version = static_cast<int64_t>(probes.size());
@@ -376,6 +397,141 @@ Result<DifferentialStats> RunDifferentialFuzz(const std::vector<EngineVersion>& 
       divergence.engine_behavior = BehaviorText(s->Query(min_qname, min_qtype));
       divergence.spec_behavior = BehaviorText(s->QuerySpec(min_qname, min_qtype));
       stats.divergences.push_back(std::move(divergence));
+    }
+  }
+  return stats;
+}
+
+std::string BackendDivergence::ToString() const {
+  return StrCat(EngineVersionName(version), spec ? " (spec)" : " (engine)", ": ",
+                qname.empty() ? "." : qname, " ", RrTypeDisplay(qtype), " (",
+                query_packet.size(), "-byte query)\n  interp:   ", interp_behavior,
+                "\n  compiled: ", compiled_behavior, "\n");
+}
+
+std::string BackendDifferentialStats::Summary() const {
+  std::string out =
+      StrCat("backend differential: ", queries_per_version, " queries per version x 2 entry points\n");
+  for (const auto& [version, fingerprint] : fingerprints) {
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(fingerprint));
+    auto it = divergent_queries.find(version);
+    int64_t divergent = it == divergent_queries.end() ? 0 : it->second;
+    out += StrCat("  ", EngineVersionName(version), ": fingerprint ", hex, " verified, ",
+                  divergent, " divergent queries\n");
+  }
+  out += StrCat("  minimized distinct divergences: ", divergences.size(), "\n");
+  for (const BackendDivergence& divergence : divergences) {
+    out += divergence.ToString();
+  }
+  return out;
+}
+
+Result<uint64_t> VerifyCompiledArtifact(EngineVersion version) {
+  Result<uint64_t> embedded = CompiledBackendFingerprint(version);
+  if (!embedded.ok()) {
+    return Result<uint64_t>::Error(StrCat("no compiled artifact for ",
+                                          EngineVersionName(version), ": ", embedded.error()));
+  }
+  // Reproduce exactly what absir-codegen hashed: frontend output + the
+  // verifier's prune pass. Byte-identical IR is the claim, so the comparison
+  // is over the full printed module, not any summary of it.
+  std::unique_ptr<CompiledEngine> fresh = CompiledEngine::Compile(version);
+  PruneModule(&fresh->mutable_module());
+  uint64_t recomputed = ModuleFingerprint(fresh->module());
+  if (recomputed != embedded.value()) {
+    char want[24], got[24];
+    std::snprintf(want, sizeof(want), "%016llx",
+                  static_cast<unsigned long long>(recomputed));
+    std::snprintf(got, sizeof(got), "%016llx",
+                  static_cast<unsigned long long>(embedded.value()));
+    return Result<uint64_t>::Error(
+        StrCat("compiled artifact for ", EngineVersionName(version),
+               " was generated from different IR: embedded fingerprint ", got,
+               ", recompiled+pruned IR hashes to ", want, " (stale absir-codegen output?)"));
+  }
+  return embedded.value();
+}
+
+Result<BackendDifferentialStats> RunBackendDifferential(
+    const std::vector<EngineVersion>& versions, const ZoneConfig& zone,
+    const DifferentialOptions& options) {
+  Result<std::vector<std::pair<DnsName, RrType>>> built = BuildProbes(zone, options);
+  if (!built.ok()) {
+    return Result<BackendDifferentialStats>::Error(built.error());
+  }
+  const std::vector<std::pair<DnsName, RrType>>& probes = built.value();
+
+  BackendDifferentialStats stats;
+  stats.queries_per_version = static_cast<int64_t>(probes.size());
+  for (EngineVersion version : versions) {
+    Result<uint64_t> fingerprint = VerifyCompiledArtifact(version);
+    if (!fingerprint.ok()) {
+      return Result<BackendDifferentialStats>::Error(fingerprint.error());
+    }
+    stats.fingerprints[version] = fingerprint.value();
+
+    Result<std::unique_ptr<AuthoritativeServer>> interp =
+        AuthoritativeServer::Create(version, zone, BackendKind::kInterp);
+    if (!interp.ok()) {
+      return Result<BackendDifferentialStats>::Error(
+          StrCat("cannot serve zone on ", EngineVersionName(version), ": ", interp.error()));
+    }
+    Result<std::unique_ptr<AuthoritativeServer>> compiled =
+        AuthoritativeServer::Create(version, zone, BackendKind::kCompiled);
+    if (!compiled.ok()) {
+      return Result<BackendDifferentialStats>::Error(StrCat(
+          "cannot serve zone compiled on ", EngineVersionName(version), ": ", compiled.error()));
+    }
+    AuthoritativeServer* a = interp.value().get();
+    AuthoritativeServer* b = compiled.value().get();
+    auto run = [&](bool spec, const DnsName& qname, RrType qtype, QueryResult* ia,
+                   QueryResult* cb) {
+      *ia = spec ? a->QuerySpec(qname, qtype) : a->Query(qname, qtype);
+      *cb = spec ? b->QuerySpec(qname, qtype) : b->Query(qname, qtype);
+    };
+
+    std::set<std::string> seen;
+    int64_t collected = 0;
+    for (bool spec : {false, true}) {
+      auto diverges_at = [&](const DnsName& qname, RrType qtype) {
+        QueryResult ia, cb;
+        run(spec, qname, qtype, &ia, &cb);
+        return Diverges(ia, cb);
+      };
+      for (const auto& [qname, qtype] : probes) {
+        if (!diverges_at(qname, qtype)) {
+          continue;
+        }
+        ++stats.divergent_queries[version];
+        if (collected >= options.max_divergences) {
+          continue;
+        }
+        DnsName min_qname = qname;
+        RrType min_qtype = qtype;
+        MinimizeWith(diverges_at, &min_qname, &min_qtype);
+        std::string key = StrCat(spec, "/", min_qname.ToString(), "/",
+                                 static_cast<int64_t>(min_qtype));
+        if (!seen.insert(key).second) {
+          continue;
+        }
+        ++collected;
+        BackendDivergence divergence;
+        divergence.version = version;
+        divergence.spec = spec;
+        divergence.qname = min_qname.ToString();
+        divergence.qtype = min_qtype;
+        WireQuery wire_query;
+        wire_query.id = 0xFADE;
+        wire_query.qname = min_qname;
+        wire_query.qtype = min_qtype;
+        divergence.query_packet = EncodeWireQuery(wire_query);
+        QueryResult ia, cb;
+        run(spec, min_qname, min_qtype, &ia, &cb);
+        divergence.interp_behavior = BehaviorText(ia);
+        divergence.compiled_behavior = BehaviorText(cb);
+        stats.divergences.push_back(std::move(divergence));
+      }
     }
   }
   return stats;

@@ -1,6 +1,6 @@
 // The wire-level conformance and differential fuzzing harness (docs/WIRE.md).
 //
-// Two passes, both deterministic for a given seed:
+// Three passes, all deterministic for a given seed:
 //
 //   Round-trip (codec conformance) — generated canonical packets must be
 //   parse/encode fixpoints; mutated packets must either be rejected cleanly
@@ -14,6 +14,11 @@
 //   minimized query packet. On the clean versions (golden, v4.0) this must
 //   find nothing; on v1.0–dev it rediscovers the Table-2 bugs from the
 //   packet side, complementing the verifier's symbolic search.
+//
+//   Backend differential (interp vs AOT-compiled; docs/BACKEND.md) — the
+//   same probes run through both ExecutionBackends on every version, after a
+//   fingerprint provenance gate ties the compiled artifact to the verified
+//   IR. Any divergence here, buggy versions included, is a codegen bug.
 #ifndef DNSV_FUZZ_FUZZER_H_
 #define DNSV_FUZZ_FUZZER_H_
 
@@ -98,6 +103,53 @@ struct DifferentialStats {
 Result<DifferentialStats> RunDifferentialFuzz(const std::vector<EngineVersion>& versions,
                                               const ZoneConfig& zone,
                                               const DifferentialOptions& options);
+
+// --- Backend differential (interp vs AOT-compiled; docs/BACKEND.md) ---
+//
+// Unlike the engine-vs-spec pass above, ANY divergence here is a harness or
+// codegen bug: the two backends execute the same verified engine, so every
+// probe must produce byte-identical behavior on every version — buggy
+// versions included (a buggy engine must be buggy identically on both).
+
+// One interp-vs-compiled disagreement, minimized like WireDivergence.
+struct BackendDivergence {
+  EngineVersion version = EngineVersion::kGolden;
+  bool spec = false;  // diverged on QuerySpec (rrlookup) rather than Query (resolve)
+  std::string qname;  // minimized; "." for the root
+  RrType qtype = RrType::kA;
+  std::vector<uint8_t> query_packet;  // EncodeWireQuery of the minimized query
+  std::string interp_behavior;  // response text, or "panic: ..."
+  std::string compiled_behavior;
+
+  std::string ToString() const;
+};
+
+struct BackendDifferentialStats {
+  int64_t queries_per_version = 0;  // x2 entry points (resolve + rrlookup)
+  std::map<EngineVersion, int64_t> divergent_queries;  // pre-minimization counts
+  std::vector<BackendDivergence> divergences;
+  // Per version, the ModuleFingerprint shared by the compiled artifact and
+  // the recompiled + repruned IR (the provenance gate passed).
+  std::map<EngineVersion, uint64_t> fingerprints;
+
+  bool ok() const { return divergent_queries.empty(); }
+  std::string Summary() const;
+};
+
+// Recompiles `version` from the embedded sources, applies the verifier's
+// PruneModule pass, and compares the resulting ModuleFingerprint against the
+// fingerprint absir-codegen embedded in this binary's compiled artifact.
+// Proves the code being served and the IR being verified are byte-identical
+// modules, not merely behaviorally close. Ok value = the common fingerprint.
+Result<uint64_t> VerifyCompiledArtifact(EngineVersion version);
+
+// Runs every probe through two shards per version — one on the interpreter,
+// one on the AOT-compiled backend — through both entry points (Query and
+// QuerySpec), and records any behavioral difference. Each version passes
+// VerifyCompiledArtifact first; a fingerprint mismatch is a setup error.
+Result<BackendDifferentialStats> RunBackendDifferential(
+    const std::vector<EngineVersion>& versions, const ZoneConfig& zone,
+    const DifferentialOptions& options);
 
 }  // namespace dnsv
 

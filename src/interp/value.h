@@ -99,6 +99,18 @@ class ConcreteMemory {
 
   size_t num_blocks() const { return blocks_.size(); }
 
+  // Frees every block allocated after the watermark (a prior num_blocks()
+  // reading). The engine facade uses this to reclaim query-scoped garbage
+  // once a response has been decoded: a resolve run is a pure lookup, so
+  // nothing durable can point at blocks it allocated. Any stale pointer a
+  // bug *did* leave behind fails closed — Resolve bounds-checks the block
+  // index and returns nullptr, the same "invalid memory access" a dangling
+  // pointer always produced.
+  void TruncateTo(size_t watermark) {
+    DNSV_CHECK(watermark >= 1 && watermark <= blocks_.size());
+    blocks_.resize(watermark);
+  }
+
  private:
   std::vector<Value> blocks_;
 };

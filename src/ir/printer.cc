@@ -136,4 +136,15 @@ std::string PrintModule(const Module& module) {
   return out;
 }
 
+uint64_t ModuleFingerprint(const Module& module) {
+  // FNV-1a over the printed form: the printer spells out every instruction,
+  // operand, and type, so two modules hash equal iff they print identically.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : PrintModule(module)) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
 }  // namespace dnsv

@@ -2,6 +2,7 @@
 #ifndef DNSV_IR_PRINTER_H_
 #define DNSV_IR_PRINTER_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/ir/function.h"
@@ -10,6 +11,12 @@ namespace dnsv {
 
 std::string PrintFunction(const Module& module, const Function& function);
 std::string PrintModule(const Module& module);
+
+// Content hash (FNV-1a over PrintModule) identifying one exact AbsIR module.
+// The AOT backend (src/exec) embeds the fingerprint of the post-prune module
+// it was generated from, and the differential harness recomputes it to prove
+// the compiled artifact and the verified IR are the same bytes.
+uint64_t ModuleFingerprint(const Module& module);
 
 }  // namespace dnsv
 

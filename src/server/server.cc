@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -123,7 +124,8 @@ Result<std::unique_ptr<DnsServer>> DnsServer::Start(const ServerConfig& config,
   sigaddset(&blocked, SIGHUP);
   pthread_sigmask(SIG_BLOCK, &blocked, nullptr);
 
-  Status published = server->snapshots_.Publish(server->config_.version, zone, "<initial>");
+  Status published = server->snapshots_.Publish(server->config_.version, zone, "<initial>",
+                                                server->config_.backend);
   if (!published.ok()) {
     return Result<std::unique_ptr<DnsServer>>::Error(published.message());
   }
@@ -135,11 +137,12 @@ Result<std::unique_ptr<DnsServer>> DnsServer::Start(const ServerConfig& config,
   // Pre-build every shard so the first packet is not a zone materialization.
   std::shared_ptr<const ZoneSnapshot> snapshot = server->snapshots_.Load();
   for (auto& worker : server->udp_workers_) {
-    worker->shard = snapshot->BuildShard(server->config_.version);
+    worker->shard = snapshot->BuildShard(server->config_.version, server->config_.backend);
     worker->shard_generation = snapshot->generation;
   }
   if (server->tcp_worker_ != nullptr) {
-    server->tcp_worker_->shard = snapshot->BuildShard(server->config_.version);
+    server->tcp_worker_->shard =
+        snapshot->BuildShard(server->config_.version, server->config_.backend);
     server->tcp_worker_->shard_generation = snapshot->generation;
   }
 
@@ -257,23 +260,37 @@ void DnsServer::RefreshShard(std::unique_ptr<AuthoritativeServer>* shard,
   uint64_t generation = snapshots_.generation();
   if (generation != *shard_generation) {
     std::shared_ptr<const ZoneSnapshot> snapshot = snapshots_.Load();
-    *shard = snapshot->BuildShard(config_.version);
+    *shard = snapshot->BuildShard(config_.version, config_.backend);
     *shard_generation = snapshot->generation;
     return;
   }
   if ((*shard)->memory().num_blocks() > config_.shard_memory_limit_blocks) {
-    // Interpreter-heap hygiene: the concrete interpreter allocates per query
-    // and never frees, so periodically rebuild the shard from the snapshot.
+    // Heap hygiene, defense in depth: the engine reclaims query-scoped
+    // blocks after each lookup, so a steady-state shard should never grow —
+    // but if it does anyway, rebuild it from the snapshot rather than let
+    // it balloon.
     std::shared_ptr<const ZoneSnapshot> snapshot = snapshots_.Load();
-    *shard = snapshot->BuildShard(config_.version);
+    *shard = snapshot->BuildShard(config_.version, config_.backend);
     *shard_generation = snapshot->generation;
     stats->shard_rebuilds.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void DnsServer::UdpLoop(UdpWorker* worker) {
+  // Datagrams are pulled and answered in batches of up to kUdpBatch via
+  // recvmmsg/sendmmsg, so a loaded socket pays one syscall pair per batch
+  // instead of per query. Responses stay in arrival order, and an empty
+  // batch falls back to epoll_wait exactly like the one-at-a-time loop did.
+  constexpr int kUdpBatch = 16;
   epoll_event events[8];
-  uint8_t buffer[4096];
+  static_assert(kUdpBatch >= 1);
+  std::vector<std::array<uint8_t, 4096>> buffers(kUdpBatch);
+  std::vector<ServeOutcome> outcomes(kUdpBatch);
+  mmsghdr recv_msgs[kUdpBatch];
+  mmsghdr send_msgs[kUdpBatch];
+  iovec recv_iovs[kUdpBatch];
+  iovec send_iovs[kUdpBatch];
+  sockaddr_in peers[kUdpBatch];
   while (!stopping_.load(std::memory_order_relaxed)) {
     int ready = ::epoll_wait(worker->epoll_fd, events, 8, 500);
     if (ready < 0 && errno != EINTR) {
@@ -292,24 +309,50 @@ void DnsServer::UdpLoop(UdpWorker* worker) {
       continue;
     }
     while (true) {
-      sockaddr_in peer{};
-      socklen_t peer_len = sizeof(peer);
-      ssize_t n = ::recvfrom(worker->fd, buffer, sizeof(buffer), 0,
-                             reinterpret_cast<sockaddr*>(&peer), &peer_len);
-      if (n < 0) {
+      // recvmmsg rewrites msg_len/msg_namelen, so the headers are rebuilt
+      // for every batch.
+      for (int i = 0; i < kUdpBatch; ++i) {
+        recv_iovs[i] = {buffers[i].data(), buffers[i].size()};
+        std::memset(&recv_msgs[i], 0, sizeof(recv_msgs[i]));
+        recv_msgs[i].msg_hdr.msg_name = &peers[i];
+        recv_msgs[i].msg_hdr.msg_namelen = sizeof(peers[i]);
+        recv_msgs[i].msg_hdr.msg_iov = &recv_iovs[i];
+        recv_msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      int got = ::recvmmsg(worker->fd, recv_msgs, kUdpBatch, MSG_DONTWAIT, nullptr);
+      if (got <= 0) {
         break;  // EAGAIN: drained
       }
-      if (n == 0) {
-        continue;  // zero-length datagram: nothing to parse, nothing owed
+      int to_send = 0;
+      for (int i = 0; i < got; ++i) {
+        size_t n = recv_msgs[i].msg_len;
+        if (n == 0) {
+          continue;  // zero-length datagram: nothing to parse, nothing owed
+        }
+        RefreshShard(&worker->shard, &worker->shard_generation, &worker->stats);
+        Clock::time_point started = Clock::now();
+        outcomes[to_send] = ServePacket(worker->shard.get(), buffers[i].data(), n,
+                                        config_.udp_payload_limit, &worker->stats);
+        worker->stats.udp_queries.fetch_add(1, std::memory_order_relaxed);
+        worker->stats.RecordLatencyUs(ElapsedUs(started));
+        const std::vector<uint8_t>& wire = outcomes[to_send].wire;
+        send_iovs[to_send] = {const_cast<uint8_t*>(wire.data()), wire.size()};
+        std::memset(&send_msgs[to_send], 0, sizeof(send_msgs[to_send]));
+        send_msgs[to_send].msg_hdr.msg_name = &peers[i];
+        send_msgs[to_send].msg_hdr.msg_namelen = recv_msgs[i].msg_hdr.msg_namelen;
+        send_msgs[to_send].msg_hdr.msg_iov = &send_iovs[to_send];
+        send_msgs[to_send].msg_hdr.msg_iovlen = 1;
+        ++to_send;
       }
-      RefreshShard(&worker->shard, &worker->shard_generation, &worker->stats);
-      Clock::time_point started = Clock::now();
-      ServeOutcome outcome = ServePacket(worker->shard.get(), buffer, static_cast<size_t>(n),
-                                         config_.udp_payload_limit, &worker->stats);
-      worker->stats.udp_queries.fetch_add(1, std::memory_order_relaxed);
-      worker->stats.RecordLatencyUs(ElapsedUs(started));
-      ::sendto(worker->fd, outcome.wire.data(), outcome.wire.size(), 0,
-               reinterpret_cast<sockaddr*>(&peer), peer_len);
+      // Best-effort like the old sendto: a failed send drops that response
+      // and the client retries, but later responses still go out.
+      for (int done = 0; done < to_send;) {
+        int sent = ::sendmmsg(worker->fd, send_msgs + done, to_send - done, 0);
+        if (sent <= 0) {
+          break;
+        }
+        done += sent;
+      }
     }
   }
 }
@@ -506,7 +549,7 @@ void DnsServer::Stop() {
 DnsServer::~DnsServer() { Stop(); }
 
 Status DnsServer::Reload(const ZoneConfig& zone, std::string source) {
-  return snapshots_.Publish(config_.version, zone, std::move(source));
+  return snapshots_.Publish(config_.version, zone, std::move(source), config_.backend);
 }
 
 Status DnsServer::ReloadFromFile(const std::string& path) {

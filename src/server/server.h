@@ -3,8 +3,10 @@
 //
 // The data plane stays the exact AbsIR program DNS-V verified — every packet
 // goes wire bytes -> ParseWireQuery -> AuthoritativeServer::Query (the
-// concrete interpreter over the compiled engine) -> EncodeWireResponse. The
-// shell adds what the paper leaves to conventional engineering:
+// configured ExecutionBackend over the compiled engine: the reference
+// interpreter, or the AOT-compiled native code — docs/BACKEND.md) ->
+// EncodeWireResponse. The shell adds what the paper leaves to conventional
+// engineering:
 //
 //   * N sharded UDP workers, each with its own SO_REUSEPORT socket, epoll
 //     loop, and private AuthoritativeServer shard (the interpreter mutates
@@ -47,6 +49,10 @@ struct ServerConfig {
   int tcp_idle_timeout_ms = 5000;  // idle connections are reaped
   int drain_timeout_ms = 2000;     // graceful-shutdown budget for TCP drain
   EngineVersion version = EngineVersion::kGolden;
+  // How shards execute AbsIR: the reference interpreter or the AOT-compiled
+  // native code (docs/BACKEND.md). Behaviorally identical — enforced by the
+  // interp-vs-compiled differential — but compiled shards answer much faster.
+  BackendKind backend = BackendKind::kInterp;
   size_t udp_payload_limit = kMaxUdpPayload;
   // A worker rebuilds its shard once the shard's interpreter heap exceeds
   // this many blocks: the concrete interpreter allocates per query and never

@@ -4,18 +4,22 @@
 
 namespace dnsv {
 
-std::unique_ptr<AuthoritativeServer> ZoneSnapshot::BuildShard(EngineVersion version) const {
-  Result<std::unique_ptr<AuthoritativeServer>> shard = AuthoritativeServer::Create(version, zone);
+std::unique_ptr<AuthoritativeServer> ZoneSnapshot::BuildShard(EngineVersion version,
+                                                              BackendKind backend) const {
+  Result<std::unique_ptr<AuthoritativeServer>> shard =
+      AuthoritativeServer::Create(version, zone, backend);
   DNSV_CHECK_MSG(shard.ok(), "published snapshot must build: " + shard.error());
   return std::move(shard).value();
 }
 
 Status SnapshotHolder::Publish(EngineVersion version, const ZoneConfig& zone,
-                               std::string source) {
+                               std::string source, BackendKind backend) {
   // The expensive part — canonicalization + heap materialization — runs
   // before the swap and off every worker's packet loop. A zone this rejects
-  // never becomes visible.
-  Result<std::unique_ptr<AuthoritativeServer>> probe = AuthoritativeServer::Create(version, zone);
+  // never becomes visible. Probing with the serving backend also makes a
+  // missing compiled module a Start/Reload-time error, not a worker abort.
+  Result<std::unique_ptr<AuthoritativeServer>> probe =
+      AuthoritativeServer::Create(version, zone, backend);
   if (!probe.ok()) {
     return Status::Error("zone rejected: " + probe.error());
   }

@@ -29,16 +29,20 @@ struct ZoneSnapshot {
   uint64_t generation = 0;
   std::string source;  // human-readable provenance ("<initial>", a file path)
 
-  // Builds a fresh serving shard for this snapshot. Cannot fail: the zone
-  // was validated at Publish time and the engine is compile-cached.
-  std::unique_ptr<AuthoritativeServer> BuildShard(EngineVersion version) const;
+  // Builds a fresh serving shard for this snapshot on the given execution
+  // backend. Cannot fail: the zone (and backend availability) was validated
+  // at Publish time and the engine is compile-cached.
+  std::unique_ptr<AuthoritativeServer> BuildShard(
+      EngineVersion version, BackendKind backend = BackendKind::kInterp) const;
 };
 
 class SnapshotHolder {
  public:
-  // Validates `zone` end to end and atomically publishes it. On error the
+  // Validates `zone` end to end — including that `backend` can actually be
+  // constructed for `version` — and atomically publishes it. On error the
   // previous snapshot (if any) keeps serving and the holder is unchanged.
-  Status Publish(EngineVersion version, const ZoneConfig& zone, std::string source);
+  Status Publish(EngineVersion version, const ZoneConfig& zone, std::string source,
+                 BackendKind backend = BackendKind::kInterp);
 
   std::shared_ptr<const ZoneSnapshot> Load() const { return snapshot_.load(); }
 

@@ -74,7 +74,7 @@ int ExpectPrunedMatchesBaseline(EngineVersion version, const ZoneConfig& zone,
   ModuleHarness baseline(CompiledEngine::Compile(version), canonical);
 
   std::unique_ptr<CompiledEngine> pruned_engine = CompiledEngine::Compile(version);
-  PruneStats stats = PruneModule(&pruned_engine->module());
+  PruneStats stats = PruneModule(&pruned_engine->mutable_module());
   EXPECT_GT(stats.panics_discharged, 0) << EngineVersionName(version);
   ModuleHarness pruned(std::move(pruned_engine), canonical);
 

@@ -1,0 +1,138 @@
+// Tests of the execution-backend seam (docs/BACKEND.md): kind parsing, the
+// AOT artifact inventory and its fingerprint provenance, and interp/compiled
+// behavioral parity — responses, panics, and the call-depth contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/prune.h"
+#include "src/dns/example_zones.h"
+#include "src/engine/engine.h"
+#include "src/exec/backend.h"
+#include "src/interp/value.h"
+#include "src/ir/printer.h"
+
+namespace dnsv {
+namespace {
+
+TEST(BackendKindTest, NamesRoundTrip) {
+  EXPECT_STREQ(BackendKindName(BackendKind::kInterp), "interp");
+  EXPECT_STREQ(BackendKindName(BackendKind::kCompiled), "compiled");
+
+  Result<BackendKind> interp = ParseBackendKind("interp");
+  ASSERT_TRUE(interp.ok()) << interp.error();
+  EXPECT_EQ(interp.value(), BackendKind::kInterp);
+
+  Result<BackendKind> compiled = ParseBackendKind("compiled");
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+  EXPECT_EQ(compiled.value(), BackendKind::kCompiled);
+}
+
+TEST(BackendKindTest, RejectsUnknownKind) {
+  Result<BackendKind> bad = ParseBackendKind("jit");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().find("jit"), std::string::npos) << bad.error();
+  EXPECT_NE(bad.error().find("interp"), std::string::npos) << bad.error();
+  EXPECT_FALSE(ParseBackendKind("").ok());
+  EXPECT_FALSE(ParseBackendKind("Interp").ok());  // case-sensitive, like ports
+}
+
+TEST(CompiledBackendTest, EveryEngineVersionIsCompiledIn) {
+  for (EngineVersion version : AllEngineVersions()) {
+    EXPECT_TRUE(CompiledBackendAvailable(version)) << EngineVersionName(version);
+    Result<std::unique_ptr<ExecutionBackend>> backend = MakeCompiledBackend(version);
+    ASSERT_TRUE(backend.ok()) << backend.error();
+    EXPECT_STREQ(backend.value()->name(), "compiled");
+  }
+}
+
+// The provenance gate, stated directly: the fingerprint absir-codegen
+// embedded at build time must equal the fingerprint of compiling the same
+// embedded sources now and applying the verifier's prune pass. This is what
+// makes "the code being served is the IR that was verified" a checked fact.
+TEST(CompiledBackendTest, FingerprintMatchesRecompiledPrunedModule) {
+  for (EngineVersion version : AllEngineVersions()) {
+    Result<uint64_t> embedded = CompiledBackendFingerprint(version);
+    ASSERT_TRUE(embedded.ok()) << embedded.error();
+
+    std::unique_ptr<CompiledEngine> engine = CompiledEngine::Compile(version);
+    PruneModule(&engine->mutable_module());
+    engine->Freeze();
+    EXPECT_EQ(embedded.value(), ModuleFingerprint(engine->module()))
+        << EngineVersionName(version);
+  }
+}
+
+// Same queries through AuthoritativeServer on both backends: identical
+// responses, on every version, through both entry points.
+TEST(CompiledBackendTest, MatchesInterpOnSampleQueries) {
+  const ZoneConfig zone = KitchenSinkZone();
+  const char* qnames[] = {"www.example.com", "ent.example.com", "missing.example.com",
+                          "a.wild.example.com", "sub.example.com", "other.org", ""};
+  for (EngineVersion version : {EngineVersion::kGolden, EngineVersion::kV4}) {
+    auto interp = AuthoritativeServer::Create(version, zone, BackendKind::kInterp);
+    auto compiled = AuthoritativeServer::Create(version, zone, BackendKind::kCompiled);
+    ASSERT_TRUE(interp.ok()) << interp.error();
+    ASSERT_TRUE(compiled.ok()) << compiled.error();
+    for (const char* qname : qnames) {
+      for (RrType qtype : {RrType::kA, RrType::kNs, RrType::kTxt, RrType::kSoa}) {
+        DnsName name = DnsName::Parse(qname).value();
+        QueryResult a = interp.value()->Query(name, qtype);
+        QueryResult b = compiled.value()->Query(name, qtype);
+        ASSERT_FALSE(a.panicked) << qname << ": " << a.panic_message;
+        ASSERT_FALSE(b.panicked) << qname << ": " << b.panic_message;
+        EXPECT_EQ(a.response.ToString(), b.response.ToString())
+            << EngineVersionName(version) << " " << qname;
+
+        QueryResult sa = interp.value()->QuerySpec(name, qtype);
+        QueryResult sb = compiled.value()->QuerySpec(name, qtype);
+        ASSERT_FALSE(sa.panicked) << qname << ": " << sa.panic_message;
+        ASSERT_FALSE(sb.panicked) << qname << ": " << sb.panic_message;
+        EXPECT_EQ(sa.response.ToString(), sb.response.ToString())
+            << EngineVersionName(version) << " " << qname;
+      }
+    }
+  }
+}
+
+// The dev version's known bug (tests/engine/bugs_test.cc) panics with
+// "index out of range" on the interpreter; the compiled backend must produce
+// the exact same panic message — bugs are preserved bug-for-bug.
+TEST(CompiledBackendTest, PanicMessageParityOnDevBug) {
+  const ZoneConfig zone = KitchenSinkZone();
+  auto interp = AuthoritativeServer::Create(EngineVersion::kDev, zone, BackendKind::kInterp);
+  auto compiled =
+      AuthoritativeServer::Create(EngineVersion::kDev, zone, BackendKind::kCompiled);
+  ASSERT_TRUE(interp.ok()) << interp.error();
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+
+  DnsName name = DnsName::Parse("missing.example.com").value();
+  QueryResult a = interp.value()->Query(name, RrType::kA);
+  QueryResult b = compiled.value()->Query(name, RrType::kA);
+  ASSERT_TRUE(a.panicked);
+  ASSERT_TRUE(b.panicked);
+  EXPECT_EQ(a.panic_message, "index out of range");
+  EXPECT_EQ(b.panic_message, a.panic_message);
+}
+
+// Running an entry with the wrong arity must panic (the backend's "no entry"
+// guard), not crash: the generated wrappers check before unpacking args.
+TEST(CompiledBackendTest, UnknownEntryArityPanics) {
+  Result<std::unique_ptr<ExecutionBackend>> backend =
+      MakeCompiledBackend(EngineVersion::kGolden);
+  ASSERT_TRUE(backend.ok()) << backend.error();
+
+  std::shared_ptr<const CompiledEngine> engine =
+      CompiledEngine::GetCached(EngineVersion::kGolden);
+  ConcreteMemory memory;
+  ExecOutcome outcome =
+      backend.value()->Run(engine->resolve_fn(), /*args=*/{}, &memory);
+  EXPECT_EQ(outcome.kind, ExecOutcome::Kind::kPanicked);
+  EXPECT_NE(outcome.panic_message.find("no entry"), std::string::npos)
+      << outcome.panic_message;
+}
+
+}  // namespace
+}  // namespace dnsv

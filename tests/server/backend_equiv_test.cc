@@ -1,0 +1,186 @@
+// Loopback proof that ServerConfig::backend is behaviorally invisible
+// (docs/BACKEND.md): the same query stream served by an interp-backed and a
+// compiled-backed DnsServer must produce byte-identical wire responses —
+// normal answers, the SERVFAIL a panicking engine version degrades to, and
+// the TC=1 truncation whose TCP retry serves the full answer. Every test
+// skips cleanly in sandboxes where loopback sockets cannot be bound.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/dns/example_zones.h"
+#include "src/server/server.h"
+
+namespace dnsv {
+namespace {
+
+#define START_OR_SKIP(server, config, zone)                                  \
+  std::unique_ptr<DnsServer> server;                                         \
+  {                                                                          \
+    Result<std::unique_ptr<DnsServer>> started = DnsServer::Start(config, zone); \
+    if (!started.ok()) {                                                     \
+      GTEST_SKIP() << "cannot bind loopback sockets: " << started.error();   \
+    }                                                                        \
+    server = std::move(started).value();                                     \
+  }
+
+sockaddr_in Loopback(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+void SetRecvTimeout(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+std::vector<uint8_t> UdpExchange(uint16_t port, const std::vector<uint8_t>& request) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    return {};
+  }
+  SetRecvTimeout(fd, 5);
+  sockaddr_in addr = Loopback(port);
+  ::sendto(fd, request.data(), request.size(), 0, reinterpret_cast<sockaddr*>(&addr),
+           sizeof(addr));
+  uint8_t buffer[65536];
+  ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+  ::close(fd);
+  if (n <= 0) {
+    return {};
+  }
+  return std::vector<uint8_t>(buffer, buffer + n);
+}
+
+std::vector<uint8_t> TcpExchange(uint16_t port, const std::vector<uint8_t>& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return {};
+  }
+  SetRecvTimeout(fd, 5);
+  sockaddr_in addr = Loopback(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::vector<uint8_t> framed;
+  if (!AppendTcpFrame(&framed, request).ok()) {
+    ::close(fd);
+    return {};
+  }
+  ::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL);
+  TcpFrameDecoder decoder;
+  std::vector<uint8_t> message;
+  uint8_t buffer[65536];
+  while (true) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    decoder.Feed(buffer, static_cast<size_t>(n));
+    if (decoder.Next(&message)) {
+      ::close(fd);
+      return message;
+    }
+  }
+}
+
+std::vector<uint8_t> QueryPacket(const std::string& qname, RrType qtype, uint16_t id) {
+  WireQuery query;
+  query.id = id;
+  query.qname = DnsName::Parse(qname).value();
+  query.qtype = qtype;
+  return EncodeWireQuery(query);
+}
+
+// Two servers, identical except for the backend; replies must match byte for
+// byte on every probe because the request (including its ID) is identical.
+TEST(BackendEquivTest, UdpStreamIsByteIdenticalAcrossBackends) {
+  ZoneConfig zone = KitchenSinkZone();
+  ServerConfig interp_config;
+  interp_config.backend = BackendKind::kInterp;
+  ServerConfig compiled_config;
+  compiled_config.backend = BackendKind::kCompiled;
+  START_OR_SKIP(interp_server, interp_config, zone);
+  START_OR_SKIP(compiled_server, compiled_config, zone);
+  EXPECT_EQ(compiled_server->config().backend, BackendKind::kCompiled);
+
+  const char* qnames[] = {"www.example.com",       "ent.example.com",
+                          "leaf.ent.example.com",  "missing.example.com",
+                          "a.wild.example.com",    "sub.example.com",
+                          "deep.sub.example.com",  "other.org"};
+  uint16_t id = 0x6000;
+  for (const char* qname : qnames) {
+    for (RrType qtype : {RrType::kA, RrType::kNs, RrType::kTxt, RrType::kCname}) {
+      std::vector<uint8_t> request = QueryPacket(qname, qtype, id++);
+      std::vector<uint8_t> interp_reply = UdpExchange(interp_server->udp_port(), request);
+      std::vector<uint8_t> compiled_reply =
+          UdpExchange(compiled_server->udp_port(), request);
+      ASSERT_FALSE(interp_reply.empty()) << qname;
+      EXPECT_EQ(interp_reply, compiled_reply) << qname;
+    }
+  }
+}
+
+// The dev version panics on this query (tests/engine/bugs_test.cc); the
+// serving shell degrades a panic to SERVFAIL. Both backends must panic the
+// same way and therefore serve the same SERVFAIL bytes.
+TEST(BackendEquivTest, ServfailOnPanicIsByteIdenticalAcrossBackends) {
+  ZoneConfig zone = KitchenSinkZone();
+  ServerConfig interp_config;
+  interp_config.version = EngineVersion::kDev;
+  interp_config.backend = BackendKind::kInterp;
+  ServerConfig compiled_config = interp_config;
+  compiled_config.backend = BackendKind::kCompiled;
+  START_OR_SKIP(interp_server, interp_config, zone);
+  START_OR_SKIP(compiled_server, compiled_config, zone);
+
+  std::vector<uint8_t> request = QueryPacket("missing.example.com", RrType::kA, 0x6100);
+  std::vector<uint8_t> interp_reply = UdpExchange(interp_server->udp_port(), request);
+  std::vector<uint8_t> compiled_reply = UdpExchange(compiled_server->udp_port(), request);
+  ASSERT_GE(interp_reply.size(), 4u);
+  EXPECT_EQ(interp_reply[3] & 0x0f, static_cast<uint8_t>(Rcode::kServFail));
+  EXPECT_EQ(interp_reply, compiled_reply);
+  EXPECT_EQ(interp_server->Stats().engine_panics, 1u);
+  EXPECT_EQ(compiled_server->Stats().engine_panics, 1u);
+}
+
+// A 40-record RRset overflows 512 bytes: the UDP answer arrives TC=1 and the
+// TCP retry serves it in full — identically on both backends at both stages.
+TEST(BackendEquivTest, TruncationAndTcpRetryAreByteIdenticalAcrossBackends) {
+  ZoneConfig zone = WideRrsetZone(40);
+  ServerConfig interp_config;
+  interp_config.backend = BackendKind::kInterp;
+  ServerConfig compiled_config;
+  compiled_config.backend = BackendKind::kCompiled;
+  START_OR_SKIP(interp_server, interp_config, zone);
+  START_OR_SKIP(compiled_server, compiled_config, zone);
+
+  std::vector<uint8_t> request = QueryPacket("www.example.com", RrType::kA, 0x6200);
+  std::vector<uint8_t> interp_udp = UdpExchange(interp_server->udp_port(), request);
+  std::vector<uint8_t> compiled_udp = UdpExchange(compiled_server->udp_port(), request);
+  ASSERT_GE(interp_udp.size(), 4u);
+  EXPECT_NE(interp_udp[2] & 0x02, 0) << "expected TC=1";  // TC bit, header byte 2
+  EXPECT_EQ(interp_udp, compiled_udp);
+
+  std::vector<uint8_t> interp_tcp = TcpExchange(interp_server->tcp_port(), request);
+  std::vector<uint8_t> compiled_tcp = TcpExchange(compiled_server->tcp_port(), request);
+  ASSERT_GT(interp_tcp.size(), interp_udp.size());
+  EXPECT_EQ(interp_tcp[2] & 0x02, 0) << "TCP answer must not truncate";
+  EXPECT_EQ(interp_tcp, compiled_tcp);
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -1,12 +1,16 @@
 // dnsv-fuzz: wire-level conformance + differential fuzzing CLI (docs/WIRE.md).
 //
-// Two passes, both deterministic for a given --seed:
+// Three passes, all deterministic for a given --seed:
 //   1. round-trip — generated canonical packets are parse/encode fixpoints;
 //      mutants (header-field, compression-pointer, rdlength, truncation,
 //      byte-flip) are rejected cleanly or normalize.
 //   2. differential — generated in-bounds queries run through the concrete
 //      interpreter on every selected engine version, engine vs spec;
 //      divergences are reported as minimized query packets.
+//   3. backend differential — the same queries, interp vs AOT-compiled
+//      backend, both entry points, after the fingerprint provenance gate
+//      (docs/BACKEND.md). ANY divergence or fingerprint mismatch fails the
+//      run, on buggy versions too: the backends must agree bug-for-bug.
 //
 // Modes:
 //   dnsv-fuzz --smoke            fixed-seed CI gate: >= 10k round-trip
@@ -163,6 +167,25 @@ int RunFuzz(int argc, char** argv) {
     }
   }
 
+  // --- pass 3: interp vs compiled backend differential ---
+  // The fingerprint provenance gate runs inside: each version's compiled
+  // artifact must carry the ModuleFingerprint of the recompiled + repruned
+  // IR, or the pass fails as a setup error (stale absir-codegen output).
+  Result<BackendDifferentialStats> backend =
+      RunBackendDifferential(versions, zone, diff_options);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "backend differential pass failed: %s\n",
+                 backend.error().c_str());
+    return 2;
+  }
+  std::printf("%s", backend.value().Summary().c_str());
+  for (const BackendDivergence& divergence : backend.value().divergences) {
+    std::printf("%s", divergence.ToString().c_str());
+    if (hex) {
+      std::printf("%s", WirePacketToHex(divergence.query_packet).c_str());
+    }
+  }
+
   int failures = 0;
   if (!rt.ok()) {
     std::fprintf(stderr, "FAIL: %lld round-trip violations\n",
@@ -185,6 +208,13 @@ int RunFuzz(int argc, char** argv) {
         ++failures;
       }
     }
+  }
+  // Interp-vs-compiled divergence is a bug in every mode, on every version:
+  // the backends execute the same verified module and must agree bug-for-bug.
+  for (const auto& entry : backend.value().divergent_queries) {
+    std::fprintf(stderr, "FAIL: %s interp and compiled backends diverged on %lld queries\n",
+                 EngineVersionName(entry.first), static_cast<long long>(entry.second));
+    ++failures;
   }
   if (failures == 0) {
     std::printf("%s: all invariants hold\n", smoke ? "smoke" : "fuzz");
