@@ -1,13 +1,18 @@
 // Prune ablation: what the AbsIR dataflow pruner (src/analysis) buys the
 // symbolic-execution stage. For each engine version the same zone is verified
-// twice — pruning off, then on — and the table compares paths explored,
-// solver checks, and wall-clock. The pruner is sound (a guard is rewritten
-// only when its panic side is proved infeasible), so both runs must agree on
-// the verdict and every issue; the harness asserts exactly that before it
-// reports any numbers.
+// three times — pruning off, baseline (intraprocedural) pruning, and pruning
+// fed by the interprocedural analysis suite (callgraph + summaries + SCCP +
+// escape facts) — and the table compares paths explored, solver checks, and
+// wall-clock across the `analysis: baseline|interproc` axis. The pruner is
+// sound in both modes (a guard is rewritten only when its panic side is
+// proved infeasible), so all three runs must agree on the verdict and every
+// issue; the harness asserts exactly that before it reports any numbers, and
+// additionally asserts the interprocedural mode never discharges fewer
+// guards or leaves more solver checks than the baseline.
 //
 // Besides the human-readable table, the harness writes BENCH_prune.json
-// (machine-readable, one record per version) into the working directory.
+// (machine-readable, one record per version and analysis mode) into the
+// working directory.
 #include <cstdio>
 #include <string>
 
@@ -46,20 +51,23 @@ std::string IssueDigest(const VerificationReport& report) {
 struct Row {
   const char* version = "";
   VerificationReport off;
-  VerificationReport on;
-  int64_t panics_discharged = 0;
-  int64_t paths_pruned = 0;
+  VerificationReport baseline;
+  VerificationReport interproc;
 };
 
 int RunAblation() {
   std::printf("Prune ablation: dataflow-discharged panic guards vs. plain exploration\n");
-  std::printf("zone: example.com (wildcard + delegation + CNAME)\n\n");
-  std::printf("%-8s %9s %9s | %13s %13s | %9s %9s | %s\n", "version", "paths", "paths'",
-              "solver checks", "checks'", "wall (s)", "wall' (s)", "discharged/pruned");
+  std::printf("zone: example.com (wildcard + delegation + CNAME)\n");
+  std::printf("analysis axis: baseline = PR-2 intraprocedural pruner; interproc =\n");
+  std::printf("SCCP + callee summaries + escape facts feeding the same pruner\n\n");
+  std::printf("%-8s %7s | %8s %10s %10s | %10s %10s | %s\n", "version", "paths",
+              "checks", "checks.base", "checks.ipa", "disch.base", "disch.ipa",
+              "pruned base/ipa");
 
   VerifyContext context;
   std::vector<Row> rows;
   bool sound = true;
+  bool interproc_dominates = true;
   for (EngineVersion version : AllEngineVersions()) {
     Row row;
     row.version = EngineVersionName(version);
@@ -67,42 +75,63 @@ int RunAblation() {
     options.prune = false;
     row.off = RunVerifyPipeline(&context, version, AblationZone(), options);
     options.prune = true;
-    row.on = RunVerifyPipeline(&context, version, AblationZone(), options);
-    row.panics_discharged = row.on.panics_discharged;
-    row.paths_pruned = row.on.paths_pruned;
+    options.prune_interproc = false;
+    row.baseline = RunVerifyPipeline(&context, version, AblationZone(), options);
+    options.prune_interproc = true;
+    row.interproc = RunVerifyPipeline(&context, version, AblationZone(), options);
 
-    // Soundness gate: identical verdict and identical issue list, or the
-    // numbers below are meaningless.
-    if (row.off.verified != row.on.verified || row.off.aborted != row.on.aborted ||
-        IssueDigest(row.off) != IssueDigest(row.on)) {
-      std::printf("%-8s SOUNDNESS VIOLATION: pruned run disagrees with baseline\n",
-                  row.version);
-      sound = false;
+    // Soundness gate: identical verdict and identical issue list across all
+    // three modes, or the numbers below are meaningless.
+    for (const VerificationReport* pruned : {&row.baseline, &row.interproc}) {
+      if (row.off.verified != pruned->verified || row.off.aborted != pruned->aborted ||
+          IssueDigest(row.off) != IssueDigest(*pruned)) {
+        std::printf("%-8s SOUNDNESS VIOLATION: pruned run disagrees with baseline\n",
+                    row.version);
+        sound = false;
+      }
     }
-    std::printf("%-8s %9lld %9lld | %13lld %13lld | %9.3f %9.3f | %lld/%lld\n", row.version,
-                static_cast<long long>(row.off.engine_paths),
-                static_cast<long long>(row.on.engine_paths),
+    // Monotonicity gate: the interprocedural facts may only help.
+    if (row.interproc.panics_discharged < row.baseline.panics_discharged ||
+        row.interproc.solver_checks > row.baseline.solver_checks) {
+      std::printf("%-8s REGRESSION: interproc analysis did worse than baseline\n",
+                  row.version);
+      interproc_dominates = false;
+    }
+    std::printf("%-8s %7lld | %8lld %10lld %10lld | %10lld %10lld | %lld/%lld\n",
+                row.version, static_cast<long long>(row.off.engine_paths),
                 static_cast<long long>(row.off.solver_checks),
-                static_cast<long long>(row.on.solver_checks), row.off.total_seconds,
-                row.on.total_seconds, static_cast<long long>(row.panics_discharged),
-                static_cast<long long>(row.paths_pruned));
+                static_cast<long long>(row.baseline.solver_checks),
+                static_cast<long long>(row.interproc.solver_checks),
+                static_cast<long long>(row.baseline.panics_discharged),
+                static_cast<long long>(row.interproc.panics_discharged),
+                static_cast<long long>(row.baseline.paths_pruned),
+                static_cast<long long>(row.interproc.paths_pruned));
     rows.push_back(std::move(row));
   }
 
   std::string json = "[\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
-    json += StrCat("  {\"version\": \"", row.version,
-                   "\", \"paths_off\": ", row.off.engine_paths,
-                   ", \"paths_on\": ", row.on.engine_paths,
-                   ", \"solver_checks_off\": ", row.off.solver_checks,
-                   ", \"solver_checks_on\": ", row.on.solver_checks,
-                   ", \"seconds_off\": ", row.off.total_seconds,
-                   ", \"seconds_on\": ", row.on.total_seconds,
-                   ", \"panics_discharged\": ", row.panics_discharged,
-                   ", \"paths_pruned\": ", row.paths_pruned,
-                   ", \"verdicts_agree\": ", sound ? "true" : "false", "}",
-                   i + 1 < rows.size() ? "," : "", "\n");
+    struct Mode {
+      const char* analysis;
+      const VerificationReport* report;
+    };
+    const Mode modes[] = {{"baseline", &row.baseline}, {"interproc", &row.interproc}};
+    for (size_t m = 0; m < 2; ++m) {
+      const Mode& mode = modes[m];
+      json += StrCat("  {\"version\": \"", row.version, "\", \"analysis\": \"",
+                     mode.analysis, "\", \"paths_off\": ", row.off.engine_paths,
+                     ", \"paths_on\": ", mode.report->engine_paths,
+                     ", \"solver_checks_off\": ", row.off.solver_checks,
+                     ", \"solver_checks_on\": ", mode.report->solver_checks,
+                     ", \"seconds_off\": ", row.off.total_seconds,
+                     ", \"seconds_on\": ", mode.report->total_seconds,
+                     ", \"panics_discharged\": ", mode.report->panics_discharged,
+                     ", \"paths_pruned\": ", mode.report->paths_pruned,
+                     ", \"sccp_branches_folded\": ", mode.report->analysis.sccp_branches_folded,
+                     ", \"verdicts_agree\": ", sound ? "true" : "false", "}",
+                     i + 1 < rows.size() || m + 1 < 2 ? "," : "", "\n");
+    }
   }
   json += "]\n";
   std::FILE* out = std::fopen("BENCH_prune.json", "w");
@@ -113,8 +142,10 @@ int RunAblation() {
   }
 
   std::printf("expectation: identical verdicts, strictly fewer solver checks with\n");
-  std::printf("pruning on; path counts match (discharged guards were never feasible).\n");
-  return sound ? 0 : 1;
+  std::printf("pruning on, and interproc discharging at least as many guards as the\n");
+  std::printf("baseline on every version; path counts match (discharged guards were\n");
+  std::printf("never feasible).\n");
+  return sound && interproc_dominates ? 0 : 1;
 }
 
 }  // namespace

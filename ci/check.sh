@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 test suite in the normal configuration, then again under
-# AddressSanitizer + UndefinedBehaviorSanitizer (DNSV_SANITIZE). The sanitized
-# pass exists mainly for the concurrent exploration workers: data races on a
-# TermArena or a Z3 context show up as ASan/UBSan reports long before they
-# show up as wrong verdicts.
+# AddressSanitizer + UndefinedBehaviorSanitizer (DNSV_SANITIZE), then a
+# ThreadSanitizer build (DNSV_TSAN — TSan cannot share a binary with ASan)
+# driving the threaded serving shell: the tests/server/ loopback suite plus
+# the multi-worker throughput smoke, where the epoll workers, per-worker
+# stats, and snapshot swaps actually race if they are going to.
 #
-#   $ ci/check.sh            # both passes
+#   $ ci/check.sh            # all passes
 #   $ ci/check.sh --fast     # normal pass only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,6 +44,14 @@ run_pass() {
 echo "=== pass 1: normal build + ctest ==="
 run_pass build
 
+# Prune-ablation gate: over all six engine versions, the interprocedural
+# analysis suite must discharge at least as many panic guards as the PR-2
+# baseline pruner and never leave more solver checks, with byte-identical
+# verdicts in all three modes (off / baseline / interproc). The harness
+# itself asserts all of that and exits non-zero on any regression; it also
+# refreshes BENCH_prune.json with one record per (version, analysis) pair.
+build/bench/prune_ablation
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "=== --fast: skipping sanitizer pass ==="
   exit 0
@@ -54,5 +63,18 @@ echo "=== pass 2: DNSV_SANITIZE=address,undefined build + ctest ==="
 # exit, so it does not trip LeakSanitizer).
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 run_pass build-asan -DDNSV_SANITIZE=address,undefined
+
+echo "=== pass 3: DNSV_TSAN=ON build + threaded server suite ==="
+# halt_on_error: a single race report fails the run. second_deadlock_stack
+# makes lock-order reports actionable. The pass is scoped to the threaded
+# serving shell — TSan slows Z3-heavy verification tests by an order of
+# magnitude for no additional coverage (the explore workers share no state
+# by construction, and the ASan pass already runs them threaded).
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+cmake -B build-tsan -S . -DDNSV_TSAN=ON
+cmake --build build-tsan -j "$jobs" --target server_test server_throughput
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+  -R 'DnsServerTest|ServerStatsTest|ServePacketTest'
+build-tsan/bench/server_throughput --smoke
 
 echo "=== all checks passed ==="

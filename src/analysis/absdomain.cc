@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "src/analysis/callgraph.h"
+#include "src/analysis/summary.h"
 #include "src/support/logging.h"
 #include "src/support/strings.h"
 
@@ -142,6 +144,19 @@ ValueId ValueTable::Pure(Opcode op, BinOp bin_op, UnOp un_op, std::vector<ValueI
   return Intern(std::move(key), std::move(def));
 }
 
+ValueId ValueTable::PureCall(const std::string& callee, std::vector<ValueId> args) {
+  std::string key = StrCat("pc:", callee);
+  for (ValueId a : args) {
+    key += StrCat(",", a);
+  }
+  Def def;
+  def.kind = Def::Kind::kPure;
+  def.op = Opcode::kCall;
+  def.args = std::move(args);
+  def.text = callee;
+  return Intern(std::move(key), std::move(def));
+}
+
 ValueId ValueTable::Fresh(uint32_t instr, bool nonnull) {
   Def def;
   def.kind = Def::Kind::kFresh;
@@ -194,8 +209,18 @@ bool PreflightAllocasDontEscape(const Function& fn) {
 }
 
 AbsState PruneDomain::EntryState(const Function& fn) {
-  (void)fn;
-  return AbsState{};
+  AbsState state;
+  if (interproc_ != nullptr) {
+    const std::vector<AbsFacts>* facts = interproc_->ParamFactsFor(fn.name());
+    if (facts != nullptr) {
+      for (size_t i = 0; i < facts->size() && i < fn.params().size(); ++i) {
+        if (!(*facts)[i].IsTop()) {
+          state.facts[values_->Param(static_cast<uint32_t>(i))] = (*facts)[i];
+        }
+      }
+    }
+  }
+  return state;
 }
 
 ValueId PruneDomain::OperandValue(State* state, const Operand& op) {
@@ -248,14 +273,40 @@ void PruneDomain::EraseRootedAt(State* state, ValueId root) {
   }
 }
 
-void PruneDomain::EraseHeapEntries(State* state) {
+bool PruneDomain::RootTakesStrongUpdates(const Function& fn, ValueId root) const {
+  const ValueTable::Def& def = values_->def(root);
+  if (def.kind == ValueTable::Def::Kind::kCell) return true;
+  // A protected allocation behaves like a stack slot: the escape analysis
+  // proved its address never leaves this function, so no callee and no other
+  // tracked pointer can alias it. (An untracked in-function alias would root
+  // at a non-newobject Fresh value and clobber conservatively instead.)
+  return def.kind == ValueTable::Def::Kind::kFresh && interproc_ != nullptr &&
+         def.imm >= 0 && static_cast<size_t>(def.imm) < fn.num_instrs() &&
+         fn.instr(static_cast<uint32_t>(def.imm)).op == Opcode::kNewObject &&
+         interproc_->IsProtectedAlloc(fn.name(), static_cast<uint32_t>(def.imm));
+}
+
+void PruneDomain::EraseHeapEntries(State* state, const Function& fn, bool protect_local) {
   for (auto it = state->mem.begin(); it != state->mem.end();) {
-    if (!RootIsCell(it->first)) {
+    ValueId root = AddressRoot(it->first);
+    bool keep = values_->def(root).kind == ValueTable::Def::Kind::kCell ||
+                (protect_local && RootTakesStrongUpdates(fn, root));
+    if (!keep) {
       it = state->mem.erase(it);
     } else {
       ++it;
     }
   }
+}
+
+bool PruneDomain::AddressIsLocal(const State& state, const Function& fn, ValueId addr) const {
+  (void)state;
+  ValueId root = AddressRoot(addr);
+  const ValueTable::Def& def = values_->def(root);
+  if (def.kind == ValueTable::Def::Kind::kCell) return true;
+  return def.kind == ValueTable::Def::Kind::kFresh && def.imm >= 0 &&
+         static_cast<size_t>(def.imm) < fn.num_instrs() &&
+         fn.instr(static_cast<uint32_t>(def.imm)).op == Opcode::kNewObject;
 }
 
 void PruneDomain::ExecInstr(State* state, const Function& fn, uint32_t index) {
@@ -292,13 +343,17 @@ void PruneDomain::ExecInstr(State* state, const Function& fn, uint32_t index) {
       ValueId addr = operand(0);
       ValueId value = operand(1);
       ValueId root = AddressRoot(addr);
-      if (values_->def(root).kind == ValueTable::Def::Kind::kCell) {
+      if (RootTakesStrongUpdates(fn, root)) {
         // Strong update: the preflight guarantees nothing else aliases a
-        // stack slot. A partial (gep) store first drops everything known
+        // stack slot, and the escape analysis guarantees it for protected
+        // allocations. A partial (gep) store first drops everything known
         // about the slot, then records the one written component.
         EraseRootedAt(state, root);
       } else {
-        EraseHeapEntries(state);  // any heap location may alias `addr`
+        // Any heap location may alias `addr` — including a protected
+        // allocation this unknown pointer secretly points at, so
+        // protect_local must stay off here.
+        EraseHeapEntries(state, fn, /*protect_local=*/false);
       }
       state->mem[addr] = value;
       break;
@@ -310,10 +365,44 @@ void PruneDomain::ExecInstr(State* state, const Function& fn, uint32_t index) {
       state->regs[index] = values_->Pure(instr.op, BinOp::kAdd, UnOp::kNot, std::move(args), 0);
       break;
     }
-    case Opcode::kCall:
-      EraseHeapEntries(state);  // the callee may mutate any heap object
-      state->regs[index] = values_->Fresh(index, false);
+    case Opcode::kCall: {
+      const CalleeSummary* summary =
+          interproc_ != nullptr ? interproc_->SummaryFor(instr.text) : nullptr;
+      bool intrinsic = interproc_ != nullptr && IsIntrinsicCallee(instr.text);
+      bool pure = intrinsic || (summary != nullptr && summary->pure);
+      // Evaluate arguments before any clobber so the interned value reflects
+      // the pre-call state.
+      ValueId result;
+      if (pure && (intrinsic || summary->heap_independent)) {
+        std::vector<ValueId> args;
+        args.reserve(instr.operands.size());
+        for (size_t i = 0; i < instr.operands.size(); ++i) args.push_back(operand(i));
+        result = values_->PureCall(instr.text, std::move(args));
+      } else {
+        result = values_->Fresh(index, summary != nullptr && summary->returns_nonnull);
+      }
+      if (!pure) {
+        // The callee may mutate any heap object it can reach; protected
+        // allocations of this function are by construction out of reach.
+        EraseHeapEntries(state, fn, /*protect_local=*/true);
+      }
+      state->regs[index] = result;
+      if (summary != nullptr && summary->analyzed) {
+        AbsFacts& facts = state->facts[result];
+        if (summary->returns_nonnull && facts.nullness == Null3::kMaybe) {
+          facts.nullness = Null3::kNonNull;
+        }
+        if (!summary->return_range.IsTop()) {
+          std::optional<Interval> met = Meet(facts.range, summary->return_range);
+          if (met) facts.range = *met;
+        }
+        if (summary->return_bool != Bool3::kUnknown && facts.boolean == Bool3::kUnknown) {
+          facts.boolean = summary->return_bool;
+        }
+        if (facts.IsTop()) state->facts.erase(result);
+      }
       break;
+    }
     case Opcode::kHavoc:
       state->regs[index] = values_->Fresh(index, false);
       break;
@@ -345,6 +434,18 @@ AbsState PruneDomain::ExecuteBody(const Function& fn, const State& in, BlockId b
   State state = in;
   const BasicBlock& bb = fn.block(block);
   for (size_t i = 0; i + 1 < bb.instrs.size(); ++i) {
+    ExecInstr(&state, fn, bb.instrs[i]);
+  }
+  return state;
+}
+
+AbsState PruneDomain::ExecuteBodyObserved(
+    const Function& fn, const State& in, BlockId block,
+    const std::function<void(uint32_t, State*)>& observer) {
+  State state = in;
+  const BasicBlock& bb = fn.block(block);
+  for (size_t i = 0; i + 1 < bb.instrs.size(); ++i) {
+    observer(bb.instrs[i], &state);
     ExecInstr(&state, fn, bb.instrs[i]);
   }
   return state;

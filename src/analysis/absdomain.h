@@ -36,6 +36,7 @@
 #define DNSV_ANALYSIS_ABSDOMAIN_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -46,6 +47,8 @@
 #include "src/ir/function.h"
 
 namespace dnsv {
+
+struct InterprocContext;  // summary.h; absdomain.h stays include-cycle-free
 
 enum class Bool3 : uint8_t { kFalse, kTrue, kUnknown };
 enum class Null3 : uint8_t { kNull, kNonNull, kMaybe };
@@ -73,6 +76,7 @@ class ValueTable {
     UnOp un_op = UnOp::kNot;      // kPure kUnOp
     std::vector<ValueId> args;    // kPure operands
     bool nonnull = false;         // kFresh from newobject: address is non-nil
+    std::string text;             // kPure kCall: callee name
   };
 
   ValueId IntConst(int64_t value);
@@ -81,6 +85,9 @@ class ValueTable {
   ValueId Param(uint32_t index);
   ValueId Cell(uint32_t instr);
   ValueId Pure(Opcode op, BinOp bin_op, UnOp un_op, std::vector<ValueId> args, int64_t imm);
+  // A call to a pure, heap-independent callee: interned like any other pure
+  // operator, so two calls on equal abstract arguments share one value.
+  ValueId PureCall(const std::string& callee, std::vector<ValueId> args);
   ValueId Fresh(uint32_t instr, bool nonnull);
   ValueId JoinValue(BlockId block, char space, uint64_t key);
 
@@ -120,11 +127,17 @@ struct AbsState {
 bool PreflightAllocasDontEscape(const Function& fn);
 
 // The dataflow Domain (see dataflow.h) that computes panic-discharge facts.
+// With a non-null InterprocContext the transfer function consumes callee
+// summaries (purity, non-nil returns, constant returns), seeds parameter
+// facts into the entry state, and lets protected allocations survive call
+// clobbers; without one it reproduces the PR 2 intraprocedural baseline
+// exactly.
 class PruneDomain {
  public:
   using State = AbsState;
 
-  explicit PruneDomain(ValueTable* values) : values_(values) {}
+  explicit PruneDomain(ValueTable* values, const InterprocContext* interproc = nullptr)
+      : values_(values), interproc_(interproc) {}
 
   State EntryState(const Function& fn);
   void Transfer(const Function& fn, BlockId block, const State& in,
@@ -135,6 +148,15 @@ class PruneDomain {
 
   // Executes the non-terminator instructions of `block` on a copy of `in`.
   State ExecuteBody(const Function& fn, const State& in, BlockId block);
+  // Same, invoking `observer(index, state)` immediately BEFORE each
+  // instruction executes — the hook summary.cc uses to read argument facts at
+  // call sites and classify store/load addresses under the flow state.
+  State ExecuteBodyObserved(const Function& fn, const State& in, BlockId block,
+                            const std::function<void(uint32_t, State*)>& observer);
+  // True when `addr` roots at memory this function owns (an alloca cell or
+  // one of its own kNewObject allocations): a store through it is invisible
+  // to callers, a load through it cannot observe caller-owned heap.
+  bool AddressIsLocal(const State& state, const Function& fn, ValueId addr) const;
   // Value of an operand in `state` (interns constants on demand).
   ValueId OperandValue(State* state, const Operand& op);
   // Three-valued query of a boolean value under `state`'s facts.
@@ -165,11 +187,20 @@ class PruneDomain {
   bool RootIsCell(ValueId id) const;
   // Drops mem entries whose address is rooted at `root`.
   void EraseRootedAt(State* state, ValueId root);
-  // Drops every mem entry not rooted at an alloca cell (heap clobber).
-  void EraseHeapEntries(State* state);
+  // Drops every mem entry not rooted at an alloca cell (heap clobber). With
+  // `protect_local`, entries rooted at this function's protected allocations
+  // (InterprocContext::protected_allocs) survive: a callee cannot reach an
+  // allocation whose address never escapes this function. Stores through
+  // unknown pointers must pass protect_local=false — an unknown in-function
+  // pointer may still alias a local allocation the dataflow lost track of.
+  void EraseHeapEntries(State* state, const Function& fn, bool protect_local);
+  // True when `root` is exempt from heap clobbers and takes strong updates:
+  // an alloca cell, or a protected allocation of this function.
+  bool RootTakesStrongUpdates(const Function& fn, ValueId root) const;
   AbsFacts FactsOf(const State& state, ValueId id) const;
 
   ValueTable* values_;
+  const InterprocContext* interproc_;
   uint32_t generation_ = 0;
 };
 

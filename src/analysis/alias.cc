@@ -1,0 +1,247 @@
+#include "src/analysis/alias.h"
+
+#include <utility>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/summary.h"
+#include "src/support/logging.h"
+
+namespace dnsv {
+
+namespace {
+const std::set<int>& EmptySet() {
+  static const std::set<int> empty;
+  return empty;
+}
+}  // namespace
+
+// Builds the constraint graph for one module and iterates it to a fixpoint.
+// Sets are small (tens of objects) and the module has a few thousand
+// instructions, so the naive round-robin schedule converges in a handful of
+// sweeps; no need for a worklist keyed on changed variables.
+class PointsToSolver {
+ public:
+  explicit PointsToSolver(PointsTo* out) : out_(out) {
+    // Object 0 is the unknown object; it contains itself so that loading
+    // through unknown memory yields unknown memory.
+    out_->contents_.push_back({PointsTo::kUnknownObject});
+    out_->object_is_stack_slot_.push_back(false);
+  }
+
+  void Generate(const Module& module, const CallGraph& graph,
+                const std::vector<std::string>& entry_points) {
+    // The variable whose points-to set is pinned to {unknown}: the address
+    // operand for modeling unknown-callee effects.
+    unknown_var_ = NewVar();
+    out_->var_pts_[unknown_var_] = {PointsTo::kUnknownObject};
+
+    for (const auto& fn : module.functions()) GenerateFunction(*fn, graph);
+
+    for (const std::string& root : entry_points) {
+      const Function* fn = module.GetFunction(root);
+      if (fn == nullptr) continue;
+      for (uint32_t i = 0; i < fn->params().size(); ++i) {
+        out_->var_pts_[ParamVar(fn->name(), i)].insert(PointsTo::kUnknownObject);
+      }
+    }
+  }
+
+  void Run() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [src, dst] : copies_) {
+        changed |= Include(&out_->var_pts_[dst], out_->var_pts_[src]);
+      }
+      for (const auto& [addr, dst] : loads_) {
+        for (int obj : out_->var_pts_[addr]) {
+          changed |= Include(&out_->var_pts_[dst], out_->contents_[obj]);
+        }
+      }
+      for (const auto& [addr, src] : stores_) {
+        for (int obj : out_->var_pts_[addr]) {
+          changed |= Include(&out_->contents_[obj], out_->var_pts_[src]);
+        }
+      }
+    }
+  }
+
+ private:
+  int NewVar() {
+    out_->var_pts_.emplace_back();
+    return static_cast<int>(out_->var_pts_.size() - 1);
+  }
+
+  int RegVar(const std::string& fn, uint32_t reg) {
+    auto [it, fresh] = out_->reg_vars_.try_emplace({fn, reg}, 0);
+    if (fresh) it->second = NewVar();
+    return it->second;
+  }
+  int ParamVar(const std::string& fn, uint32_t index) {
+    auto [it, fresh] = out_->param_vars_.try_emplace({fn, index}, 0);
+    if (fresh) it->second = NewVar();
+    return it->second;
+  }
+  int RetVar(const std::string& fn) {
+    auto [it, fresh] = out_->ret_vars_.try_emplace(fn, 0);
+    if (fresh) it->second = NewVar();
+    return it->second;
+  }
+  int NewObject(const std::string& fn, uint32_t instr, bool stack_slot) {
+    int id = static_cast<int>(out_->contents_.size());
+    out_->contents_.emplace_back();
+    out_->object_is_stack_slot_.push_back(stack_slot);
+    out_->objects_[{fn, instr}] = id;
+    return id;
+  }
+
+  // Variable of a register operand, or -1 for literals/null (point at
+  // nothing).
+  int OperandVar(const std::string& fn, const Operand& op) {
+    if (op.kind != Operand::Kind::kReg) return -1;
+    if (Function::IsParamReg(op.reg)) return ParamVar(fn, Function::ParamIndex(op.reg));
+    return RegVar(fn, op.reg);
+  }
+
+  void Copy(int src, int dst) {
+    if (src >= 0 && dst >= 0) copies_.emplace_back(src, dst);
+  }
+
+  void GenerateFunction(const Function& fn, const CallGraph& graph) {
+    const std::string& name = fn.name();
+    for (uint32_t i = 0; i < fn.num_instrs(); ++i) {
+      const Instr& instr = fn.instr(i);
+      switch (instr.op) {
+        case Opcode::kAlloca:
+          out_->var_pts_[RegVar(name, i)].insert(NewObject(name, i, /*stack_slot=*/true));
+          break;
+        case Opcode::kNewObject:
+          out_->var_pts_[RegVar(name, i)].insert(NewObject(name, i, /*stack_slot=*/false));
+          break;
+        case Opcode::kGep:
+        case Opcode::kFieldGet:
+        case Opcode::kListGet:
+          Copy(OperandVar(name, instr.operands[0]), RegVar(name, i));
+          break;
+        case Opcode::kListSet:
+          // result = list with [idx] = value: carries the old elements and
+          // the new one.
+          Copy(OperandVar(name, instr.operands[0]), RegVar(name, i));
+          Copy(OperandVar(name, instr.operands[2]), RegVar(name, i));
+          break;
+        case Opcode::kListAppend:
+          Copy(OperandVar(name, instr.operands[0]), RegVar(name, i));
+          Copy(OperandVar(name, instr.operands[1]), RegVar(name, i));
+          break;
+        case Opcode::kLoad:
+          loads_.emplace_back(OperandVar(name, instr.operands[0]), RegVar(name, i));
+          break;
+        case Opcode::kStore: {
+          int src = OperandVar(name, instr.operands[1]);
+          int addr = OperandVar(name, instr.operands[0]);
+          if (src >= 0 && addr >= 0) stores_.emplace_back(addr, src);
+          break;
+        }
+        case Opcode::kCall: {
+          if (IsIntrinsicCallee(instr.text)) break;  // listEq: bool of values
+          int callee = graph.NodeOf(instr.text);
+          if (callee >= 0) {
+            const Function& target = graph.function(callee);
+            for (uint32_t j = 0; j < instr.operands.size(); ++j) {
+              if (j < target.params().size()) {
+                Copy(OperandVar(name, instr.operands[j]), ParamVar(target.name(), j));
+              }
+            }
+            Copy(RetVar(target.name()), RegVar(name, i));
+          } else {
+            // Unknown callee: arguments escape into the unknown object, the
+            // result may be anything reachable from it.
+            for (const Operand& op : instr.operands) {
+              int v = OperandVar(name, op);
+              if (v >= 0) stores_.emplace_back(unknown_var_, v);
+            }
+            loads_.emplace_back(unknown_var_, RegVar(name, i));
+            out_->var_pts_[RegVar(name, i)].insert(PointsTo::kUnknownObject);
+          }
+          break;
+        }
+        case Opcode::kHavoc:
+          out_->var_pts_[RegVar(name, i)].insert(PointsTo::kUnknownObject);
+          break;
+        case Opcode::kRet:
+          if (!instr.operands.empty() && instr.operands[0].valid()) {
+            Copy(OperandVar(name, instr.operands[0]), RetVar(name));
+          }
+          break;
+        default:
+          break;  // ints, bools, branches: no pointers
+      }
+    }
+  }
+
+  PointsTo* out_;
+  int unknown_var_ = -1;
+  std::vector<std::pair<int, int>> copies_;  // (src var, dst var)
+  std::vector<std::pair<int, int>> loads_;   // (addr var, dst var)
+  std::vector<std::pair<int, int>> stores_;  // (addr var, src var)
+
+  static bool Include(std::set<int>* into, const std::set<int>& from) {
+    size_t before = into->size();
+    into->insert(from.begin(), from.end());
+    return into->size() != before;
+  }
+};
+
+PointsTo PointsTo::Solve(const Module& module, const CallGraph& graph,
+                         const std::vector<std::string>& entry_points,
+                         AnalysisStats* stats) {
+  double start = ElapsedSeconds();
+  PointsTo result;
+  PointsToSolver solver(&result);
+  solver.Generate(module, graph, entry_points);
+  solver.Run();
+  if (stats != nullptr) stats->alias_seconds += ElapsedSeconds() - start;
+  return result;
+}
+
+int PointsTo::ObjectOf(const std::string& fn, uint32_t instr) const {
+  auto it = objects_.find({fn, instr});
+  return it == objects_.end() ? -1 : it->second;
+}
+
+bool PointsTo::ObjectIsStackSlot(int object) const {
+  DNSV_CHECK(object >= 0 && object < static_cast<int>(object_is_stack_slot_.size()));
+  return object_is_stack_slot_[object];
+}
+
+const std::set<int>& PointsTo::RegPointsTo(const std::string& fn, uint32_t reg) const {
+  if (Function::IsParamReg(reg)) return ParamPointsTo(fn, Function::ParamIndex(reg));
+  auto it = reg_vars_.find({fn, reg});
+  return it == reg_vars_.end() ? EmptySet() : var_pts_[it->second];
+}
+
+const std::set<int>& PointsTo::ParamPointsTo(const std::string& fn, uint32_t index) const {
+  auto it = param_vars_.find({fn, index});
+  return it == param_vars_.end() ? EmptySet() : var_pts_[it->second];
+}
+
+const std::set<int>& PointsTo::RetPointsTo(const std::string& fn) const {
+  auto it = ret_vars_.find(fn);
+  return it == ret_vars_.end() ? EmptySet() : var_pts_[it->second];
+}
+
+const std::set<int>& PointsTo::Contents(int object) const {
+  DNSV_CHECK(object >= 0 && object < static_cast<int>(contents_.size()));
+  return contents_[object];
+}
+
+bool PointsTo::MayAlias(const std::set<int>& a, const std::set<int>& b) {
+  if (a.empty() || b.empty()) return false;
+  if (a.count(kUnknownObject) > 0 || b.count(kUnknownObject) > 0) return true;
+  for (int obj : a) {
+    if (b.count(obj) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace dnsv

@@ -1,0 +1,101 @@
+// Flow-insensitive, field-insensitive Andersen-style points-to analysis over
+// a whole AbsIR module.
+//
+// Abstract objects are allocation sites — one per kAlloca / kNewObject
+// instruction — plus a single "unknown" object (id 0) standing for everything
+// outside the module: driver-owned zone snapshots, query buffers, anything an
+// unknown callee could hand back. Pointer variables are the instruction
+// registers, parameters, and return channel of every function. The analysis
+// is inclusion-based (subset constraints, iterated to a fixpoint) and
+// deliberately coarse:
+//
+//   * field-insensitive — a kGep result aliases its base object, so a
+//     pointer to any field of an object is "the object";
+//   * flow-insensitive — one points-to set per variable, valid at every
+//     program point;
+//   * value-aggregate transparent — MiniGo lists and struct values have copy
+//     semantics, so a list register's points-to set is the union over every
+//     pointer ever put into any list that flowed into it (kListAppend /
+//     kListSet add, kListGet / kFieldGet propagate).
+//
+// Calls to in-module functions connect argument registers to callee
+// parameters and the callee's return channel to the result register
+// (context-insensitive). The listEq intrinsic takes value lists, retains
+// nothing, and returns a bool — it contributes no constraints. Unknown
+// callees are modeled through the unknown object: every argument flows into
+// its contents, and the result points at it.
+//
+// Everything here over-approximates: a pointer the analysis misses would
+// require a value to materialize from outside the constraint graph, and
+// every AbsIR producer of a pointer value is covered above (audited against
+// instr.h). The two consumers — escape analysis (escape.h) and the
+// stack-promotion gate in the C++ backend — both only act on allocations
+// whose points-to footprint is provably confined, so coarseness costs
+// precision, never soundness.
+#ifndef DNSV_ANALYSIS_ALIAS_H_
+#define DNSV_ANALYSIS_ALIAS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace dnsv {
+
+class CallGraph;
+struct AnalysisStats;
+
+class PointsTo {
+ public:
+  // The object standing for all module-external memory.
+  static constexpr int kUnknownObject = 0;
+
+  // Solves the constraint system for `module`. Parameters of every function
+  // named in `entry_points` start pointing at the unknown object (drivers
+  // pass snapshot/query pointers the module never allocated). Fills
+  // `stats->alias_seconds` when `stats` is non-null.
+  static PointsTo Solve(const Module& module, const CallGraph& graph,
+                        const std::vector<std::string>& entry_points,
+                        AnalysisStats* stats);
+
+  // Object id of the allocation site at instruction `instr` of `fn`
+  // (kAlloca or kNewObject), or -1 when that instruction is not a site.
+  int ObjectOf(const std::string& fn, uint32_t instr) const;
+  // True when the object is a kAlloca site (stack slot, address never
+  // escapes per PreflightAllocasDontEscape).
+  bool ObjectIsStackSlot(int object) const;
+
+  // Points-to sets. Empty set = provably points at nothing tracked (e.g. an
+  // integer register). All three return a reference to a shared empty set
+  // for unknown names/indices.
+  const std::set<int>& RegPointsTo(const std::string& fn, uint32_t reg) const;
+  const std::set<int>& ParamPointsTo(const std::string& fn, uint32_t index) const;
+  const std::set<int>& RetPointsTo(const std::string& fn) const;
+  // What has been stored into `object` (field-insensitively).
+  const std::set<int>& Contents(int object) const;
+
+  // May the two sets name a common location? Either containing the unknown
+  // object aliases anything non-empty.
+  static bool MayAlias(const std::set<int>& a, const std::set<int>& b);
+
+  size_t num_objects() const { return contents_.size(); }
+
+ private:
+  PointsTo() = default;
+
+  friend class PointsToSolver;
+
+  std::map<std::pair<std::string, uint32_t>, int> reg_vars_;    // (fn, instr reg)
+  std::map<std::pair<std::string, uint32_t>, int> param_vars_;  // (fn, param index)
+  std::map<std::string, int> ret_vars_;
+  std::map<std::pair<std::string, uint32_t>, int> objects_;     // (fn, alloc instr)
+  std::vector<bool> object_is_stack_slot_;
+  std::vector<std::set<int>> var_pts_;
+  std::vector<std::set<int>> contents_;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_ANALYSIS_ALIAS_H_

@@ -1,0 +1,137 @@
+#include "src/analysis/callgraph.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace dnsv {
+namespace {
+
+// Iterative Tarjan SCC. Components are emitted callees-first (Tarjan pops a
+// component only once everything reachable from it is done), which is exactly
+// the bottom-up order summary computation wants.
+struct TarjanState {
+  const std::vector<std::set<int>>& succ;
+  std::vector<int> index, lowlink;
+  std::vector<bool> on_stack;
+  std::vector<int> stack;
+  std::vector<std::vector<int>> components;
+  int next_index = 0;
+
+  explicit TarjanState(const std::vector<std::set<int>>& successors)
+      : succ(successors),
+        index(successors.size(), -1),
+        lowlink(successors.size(), 0),
+        on_stack(successors.size(), false) {}
+
+  void Run(int root) {
+    // Explicit frame stack: (node, iterator position into succ[node]).
+    std::vector<std::pair<int, std::set<int>::const_iterator>> frames;
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    frames.push_back({root, succ[root].begin()});
+    while (!frames.empty()) {
+      auto& [node, it] = frames.back();
+      if (it != succ[node].end()) {
+        int next = *it++;
+        if (index[next] < 0) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back({next, succ[next].begin()});
+        } else if (on_stack[next]) {
+          lowlink[node] = std::min(lowlink[node], index[next]);
+        }
+        continue;
+      }
+      if (lowlink[node] == index[node]) {
+        std::vector<int> component;
+        int member;
+        do {
+          member = stack.back();
+          stack.pop_back();
+          on_stack[member] = false;
+          component.push_back(member);
+        } while (member != node);
+        components.push_back(std::move(component));
+      }
+      int finished = node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        int parent = frames.back().first;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CallGraph CallGraph::Build(const Module& module) {
+  CallGraph graph;
+  for (const auto& fn : module.functions()) {
+    graph.node_of_.emplace(fn->name(), static_cast<int>(graph.functions_.size()));
+    graph.functions_.push_back(fn.get());
+  }
+  size_t n = graph.functions_.size();
+  graph.callees_.resize(n);
+  graph.callers_.resize(n);
+  graph.has_unknown_callee_.assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    const Function& fn = *graph.functions_[i];
+    for (uint32_t j = 0; j < fn.num_instrs(); ++j) {
+      const Instr& instr = fn.instr(j);
+      if (instr.op != Opcode::kCall) continue;
+      auto it = graph.node_of_.find(instr.text);
+      if (it == graph.node_of_.end()) {
+        if (!IsIntrinsicCallee(instr.text)) graph.has_unknown_callee_[i] = true;
+        continue;
+      }
+      graph.callees_[i].insert(it->second);
+      graph.callers_[it->second].insert(static_cast<int>(i));
+    }
+  }
+
+  TarjanState tarjan(graph.callees_);
+  for (size_t i = 0; i < n; ++i) {
+    if (tarjan.index[i] < 0) tarjan.Run(static_cast<int>(i));
+  }
+  graph.sccs_ = std::move(tarjan.components);
+  graph.scc_of_.assign(n, -1);
+  for (size_t c = 0; c < graph.sccs_.size(); ++c) {
+    for (int member : graph.sccs_[c]) graph.scc_of_[member] = static_cast<int>(c);
+  }
+  return graph;
+}
+
+int CallGraph::NodeOf(const std::string& name) const {
+  auto it = node_of_.find(name);
+  return it == node_of_.end() ? -1 : it->second;
+}
+
+bool CallGraph::SccIsTrivial(int scc) const {
+  DNSV_CHECK(scc >= 0 && static_cast<size_t>(scc) < sccs_.size());
+  if (sccs_[scc].size() != 1) return false;
+  int node = sccs_[scc][0];
+  return callees_[node].count(node) == 0;
+}
+
+std::set<int> CallGraph::ReachableFrom(const std::vector<std::string>& roots) const {
+  std::set<int> reached;
+  std::vector<int> worklist;
+  for (const std::string& root : roots) {
+    int node = NodeOf(root);
+    if (node >= 0 && reached.insert(node).second) worklist.push_back(node);
+  }
+  while (!worklist.empty()) {
+    int node = worklist.back();
+    worklist.pop_back();
+    for (int callee : callees_[node]) {
+      if (reached.insert(callee).second) worklist.push_back(callee);
+    }
+  }
+  return reached;
+}
+
+}  // namespace dnsv

@@ -1,0 +1,67 @@
+// Call graph over one AbsIR module.
+//
+// AbsIR calls are direct (kCall names its callee in `Instr::text`; MiniGo has
+// no function values), so the graph is exact: one node per module function,
+// one edge per distinct (caller, callee) pair. The only callee without a body
+// is the `listEq` intrinsic (src/ir/validate.cc special-cases it the same
+// way); it is tracked as a leaf flag rather than a node.
+//
+// On top of the edges the graph precomputes what every interprocedural pass
+// needs: Tarjan SCCs with a bottom-up (callee-first) component order for
+// summary computation, a topological caller-first order for propagating
+// call-site facts down, and reachability from a set of entry roots for
+// dead-function detection.
+#ifndef DNSV_ANALYSIS_CALLGRAPH_H_
+#define DNSV_ANALYSIS_CALLGRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace dnsv {
+
+// The one callee every module may name without defining it.
+inline bool IsIntrinsicCallee(const std::string& name) { return name == "listEq"; }
+
+class CallGraph {
+ public:
+  static CallGraph Build(const Module& module);
+
+  size_t size() const { return functions_.size(); }
+  const Function& function(int node) const { return *functions_[node]; }
+  // -1 when `name` is not a module function (intrinsics, typos).
+  int NodeOf(const std::string& name) const;
+
+  const std::set<int>& Callees(int node) const { return callees_[node]; }
+  const std::set<int>& Callers(int node) const { return callers_[node]; }
+  // True when `node` contains a kCall whose callee is neither a module
+  // function nor a known intrinsic; summaries must go pessimistic on it.
+  bool HasUnknownCallee(int node) const { return has_unknown_callee_[node]; }
+
+  // SCC id per node; ids are numbered so that scc_of(callee) <= scc_of(caller)
+  // for every edge — iterating components by ascending id is bottom-up.
+  int SccOf(int node) const { return scc_of_[node]; }
+  const std::vector<std::vector<int>>& SccsBottomUp() const { return sccs_; }
+  // A component that cannot recurse: a single member without a self edge.
+  bool SccIsTrivial(int scc) const;
+
+  // Every node reachable from the named roots (roots included). Root names
+  // that are not module functions are ignored.
+  std::set<int> ReachableFrom(const std::vector<std::string>& roots) const;
+
+ private:
+  std::vector<const Function*> functions_;
+  std::map<std::string, int> node_of_;
+  std::vector<std::set<int>> callees_;
+  std::vector<std::set<int>> callers_;
+  std::vector<bool> has_unknown_callee_;
+  std::vector<int> scc_of_;
+  std::vector<std::vector<int>> sccs_;  // ascending id = bottom-up
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_ANALYSIS_CALLGRAPH_H_

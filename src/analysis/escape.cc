@@ -1,0 +1,63 @@
+#include "src/analysis/escape.h"
+
+#include "src/analysis/alias.h"
+#include "src/analysis/callgraph.h"
+#include "src/analysis/summary.h"
+#include "src/support/logging.h"
+
+namespace dnsv {
+
+EscapeResult ComputeEscapes(const Module& module, const CallGraph& graph,
+                            const PointsTo& points_to, AnalysisStats* stats) {
+  double start = ElapsedSeconds();
+
+  // Objects that some escaping channel can name. One pass over the solved
+  // sets; the points-to solution already closed all transitive flows, so no
+  // further iteration is needed here.
+  std::set<int> escaped;
+
+  // Channel 1: stored into a non-stack-slot object (heap contents, or the
+  // unknown object's contents). Contents of stack slots stay local — the
+  // slot's address itself never escapes (PreflightAllocasDontEscape).
+  for (size_t obj = 0; obj < points_to.num_objects(); ++obj) {
+    int id = static_cast<int>(obj);
+    if (points_to.ObjectIsStackSlot(id)) continue;
+    const std::set<int>& inside = points_to.Contents(id);
+    escaped.insert(inside.begin(), inside.end());
+  }
+
+  for (const auto& fn : module.functions()) {
+    // Channel 2: returned.
+    const std::set<int>& ret = points_to.RetPointsTo(fn->name());
+    escaped.insert(ret.begin(), ret.end());
+
+    // Channel 3: passed as a call argument (any callee could retain it).
+    for (uint32_t i = 0; i < fn->num_instrs(); ++i) {
+      const Instr& instr = fn->instr(i);
+      if (instr.op != Opcode::kCall || IsIntrinsicCallee(instr.text)) continue;
+      for (const Operand& op : instr.operands) {
+        if (op.kind != Operand::Kind::kReg) continue;
+        const std::set<int>& arg = points_to.RegPointsTo(fn->name(), op.reg);
+        escaped.insert(arg.begin(), arg.end());
+      }
+    }
+  }
+
+  EscapeResult result;
+  for (const auto& fn : module.functions()) {
+    for (uint32_t i = 0; i < fn->num_instrs(); ++i) {
+      if (fn->instr(i).op != Opcode::kNewObject) continue;
+      int obj = points_to.ObjectOf(fn->name(), i);
+      DNSV_CHECK(obj >= 0);
+      if (escaped.count(obj) == 0) result.local_allocs[fn->name()].insert(i);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->escape_seconds += ElapsedSeconds() - start;
+    stats->protected_allocs += result.TotalLocal();
+  }
+  return result;
+}
+
+}  // namespace dnsv

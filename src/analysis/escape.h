@@ -1,0 +1,67 @@
+// Escape analysis over the module-wide points-to solution (alias.h).
+//
+// Classifies every kNewObject allocation site as query-local or
+// snapshot-reachable. An allocation is LOCAL exactly when the points-to
+// solution proves no reference to it survives outside the frame that made
+// it:
+//
+//   1. it is never stored into any heap object (it may sit in the owning
+//      function's own stack slots — that is how the frontend lowers
+//      `x := new(T)` — but never in another object's contents, and never in
+//      the unknown object's contents);
+//   2. it is never returned (by any function — reaching another function's
+//      return channel would require an escaping flow already);
+//   3. it is never passed as a call argument (so no callee — analyzed or
+//      not — can reach it; the listEq intrinsic is exempt: it compares value
+//      lists and retains nothing).
+//
+// Everything else is treated as escaping, including every allocation made by
+// functions outside the module and anything reachable from the unknown
+// object (zone snapshots, query state).
+//
+// Consumers:
+//   * the interprocedural prune context marks local allocations "protected":
+//     the abstract domain lets facts about their fields survive call
+//     clobbers and gives them strong updates (absdomain.h);
+//   * the C++ backend stack-promotes local allocations — a `new T` whose
+//     object provably dies with the frame becomes a C++ local.
+#ifndef DNSV_ANALYSIS_ESCAPE_H_
+#define DNSV_ANALYSIS_ESCAPE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/ir/function.h"
+
+namespace dnsv {
+
+class CallGraph;
+class PointsTo;
+struct AnalysisStats;
+
+struct EscapeResult {
+  // fn name -> kNewObject instruction indices proven query-local.
+  std::map<std::string, std::set<uint32_t>> local_allocs;
+
+  bool IsLocal(const std::string& fn, uint32_t instr) const {
+    auto it = local_allocs.find(fn);
+    return it != local_allocs.end() && it->second.count(instr) > 0;
+  }
+  int64_t TotalLocal() const {
+    int64_t n = 0;
+    for (const auto& [fn, allocs] : local_allocs) n += static_cast<int64_t>(allocs.size());
+    return n;
+  }
+};
+
+// Classifies every kNewObject site of `module` against the solved `points_to`
+// facts. Fills `stats->escape_seconds` / `stats->protected_allocs` when
+// `stats` is non-null.
+EscapeResult ComputeEscapes(const Module& module, const CallGraph& graph,
+                            const PointsTo& points_to, AnalysisStats* stats);
+
+}  // namespace dnsv
+
+#endif  // DNSV_ANALYSIS_ESCAPE_H_

@@ -6,6 +6,9 @@
 #include <set>
 #include <tuple>
 
+#include "src/analysis/callgraph.h"
+#include "src/analysis/summary.h"
+#include "src/frontend/lower.h"
 #include "src/frontend/parser.h"
 #include "src/frontend/typecheck.h"
 #include "src/support/strings.h"
@@ -13,31 +16,47 @@
 namespace dnsv {
 namespace {
 
-// Constant folding over literal expressions only. References to named
-// constants return nullopt on purpose — see the header: constant conditions
-// built from feature flags are configuration, not bugs.
+// Constant folding over literal expressions. References to named constants
+// return nullopt on purpose — see the header: constant conditions built from
+// feature flags are configuration, not bugs. With `summaries` (the
+// interprocedural mode), a call additionally folds to its callee's constant
+// return fact when the summary proves one; the constant is joined over every
+// kRet of the body, so it holds for all arguments and the fold never depends
+// on them.
 struct FoldedValue {
   bool is_bool = false;
   int64_t value = 0;  // bools: 0/1
 };
 
-std::optional<FoldedValue> FoldLiteral(const Expr* expr) {
+std::optional<FoldedValue> FoldExpr(const Expr* expr, const InterprocContext* summaries) {
   if (expr == nullptr) return std::nullopt;
   switch (expr->kind) {
     case Expr::Kind::kIntLit:
       return FoldedValue{false, expr->int_value};
     case Expr::Kind::kBoolLit:
       return FoldedValue{true, expr->bool_value ? 1 : 0};
+    case Expr::Kind::kCall: {
+      if (summaries == nullptr) return std::nullopt;
+      const CalleeSummary* summary = summaries->SummaryFor(expr->name);
+      if (summary == nullptr || !summary->analyzed) return std::nullopt;
+      if (summary->return_bool != Bool3::kUnknown) {
+        return FoldedValue{true, summary->return_bool == Bool3::kTrue ? 1 : 0};
+      }
+      if (summary->return_range.IsConst()) {
+        return FoldedValue{false, summary->return_range.lo};
+      }
+      return std::nullopt;
+    }
     case Expr::Kind::kUnary: {
-      std::optional<FoldedValue> v = FoldLiteral(expr->lhs.get());
+      std::optional<FoldedValue> v = FoldExpr(expr->lhs.get(), summaries);
       if (!v) return std::nullopt;
       if (expr->op == Tok::kBang && v->is_bool) return FoldedValue{true, v->value ? 0 : 1};
       if (expr->op == Tok::kMinus && !v->is_bool) return FoldedValue{false, -v->value};
       return std::nullopt;
     }
     case Expr::Kind::kBinary: {
-      std::optional<FoldedValue> a = FoldLiteral(expr->lhs.get());
-      std::optional<FoldedValue> b = FoldLiteral(expr->rhs.get());
+      std::optional<FoldedValue> a = FoldExpr(expr->lhs.get(), summaries);
+      std::optional<FoldedValue> b = FoldExpr(expr->rhs.get(), summaries);
       if (!a || !b || a->is_bool != b->is_bool) return std::nullopt;
       int64_t x = a->value;
       int64_t y = b->value;
@@ -77,8 +96,14 @@ std::optional<FoldedValue> FoldLiteral(const Expr* expr) {
 // analyzed against the loop-entry environment (the body may not run).
 class FunctionLinter {
  public:
-  FunctionLinter(const TypeTable& types, const FuncDecl& fn, std::vector<LintDiagnostic>* out)
-      : types_(types), fn_(fn), out_(out) {}
+  // `summaries` may be null (intraprocedural-only mode); `discardable` maps
+  // callee name -> true for value-returning callees that are pure and
+  // panic-free, i.e. whose discarded call is provably a no-op.
+  FunctionLinter(const TypeTable& types, const FuncDecl& fn,
+                 const InterprocContext* summaries,
+                 const std::map<std::string, bool>* discardable,
+                 std::vector<LintDiagnostic>* out)
+      : types_(types), fn_(fn), summaries_(summaries), discardable_(discardable), out_(out) {}
 
   void Run() {
     // `unassigned` holds locals declared without an initializer that no
@@ -137,10 +162,20 @@ class FunctionLinter {
 
   void CheckCondition(const Expr* cond) {
     if (cond == nullptr) return;
-    std::optional<FoldedValue> folded = FoldLiteral(cond);
+    std::optional<FoldedValue> folded = FoldExpr(cond, nullptr);
     if (folded && folded->is_bool) {
       Report(cond->line, "constant-condition",
              StrCat("condition is always ", folded->value ? "true" : "false"));
+      return;
+    }
+    // Interprocedural refinement: the guard did not literal-fold, but does
+    // once calls stand in for their summaries' constant return facts.
+    if (summaries_ == nullptr) return;
+    std::optional<FoldedValue> with_calls = FoldExpr(cond, summaries_);
+    if (with_calls && with_calls->is_bool) {
+      Report(cond->line, "constant-foldable-guard",
+             StrCat("guard is always ", with_calls->value ? "true" : "false",
+                    " given the callee summaries"));
     }
   }
 
@@ -218,6 +253,15 @@ class FunctionLinter {
         return true;
       case Stmt::Kind::kExpr:
         ReadExpr(stmt->init.get(), *unassigned);
+        if (discardable_ != nullptr && stmt->init != nullptr &&
+            stmt->init->kind == Expr::Kind::kCall) {
+          auto it = discardable_->find(stmt->init->name);
+          if (it != discardable_->end() && it->second) {
+            Report(stmt->line, "unused-result",
+                   StrCat("result of pure, panic-free function '", stmt->init->name,
+                          "' is discarded; the call has no effect"));
+          }
+        }
         return false;
       case Stmt::Kind::kBlock:
         return WalkStmts(stmt->body, unassigned);
@@ -244,6 +288,8 @@ class FunctionLinter {
 
   const TypeTable& types_;
   const FuncDecl& fn_;
+  const InterprocContext* summaries_;
+  const std::map<std::string, bool>* discardable_;
   std::vector<LintDiagnostic>* out_;
   std::map<std::string, Local> locals_;
   std::set<std::string> reported_;  // use-before-assign: once per variable
@@ -256,7 +302,8 @@ std::string LintDiagnostic::ToString() const {
 }
 
 Result<std::vector<LintDiagnostic>> LintMiniGoSources(
-    const std::vector<std::pair<std::string, std::string>>& sources) {
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const LintConfig& config) {
   Result<ProgramAst> ast = ParseMiniGoSources(sources);
   if (!ast.ok()) {
     return Result<std::vector<LintDiagnostic>>::Error(ast.error());
@@ -267,9 +314,51 @@ Result<std::vector<LintDiagnostic>> LintMiniGoSources(
   if (!checked.ok()) {
     return Result<std::vector<LintDiagnostic>>::Error(checked.error());
   }
+
+  // Interprocedural facts: lower the (well-formed) unit to AbsIR and compute
+  // callee summaries over the call graph. Summary facts are invariants of
+  // the bodies, so they apply no matter which functions the config roots.
+  Module module(&types);
+  Status lowered = LowerMiniGo(program, checked.value(), &module);
+  if (!lowered.ok()) {
+    return Result<std::vector<LintDiagnostic>>::Error(lowered.message());
+  }
+  CallGraph graph = CallGraph::Build(module);
+  std::vector<std::string> roots = config.entry_roots;
+  if (roots.empty()) {
+    for (const auto& fn : module.functions()) roots.push_back(fn->name());
+  }
+  InterprocContext interproc = ComputeInterprocContext(module, graph, roots, nullptr);
+  std::map<std::string, bool> discardable;
+  for (const auto& [name, summary] : interproc.summaries) {
+    const Function* fn = module.GetFunction(name);
+    bool returns_value =
+        fn != nullptr && types.kind(fn->return_type()) != TypeKind::kVoid;
+    discardable[name] =
+        summary.analyzed && summary.pure && !summary.may_panic && returns_value;
+  }
+
   std::vector<LintDiagnostic> diagnostics;
+  // unreachable-function: only meaningful when the caller declared which
+  // functions external drivers enter.
+  if (!config.entry_roots.empty()) {
+    std::set<int> reachable = graph.ReachableFrom(config.entry_roots);
+    for (const FuncDecl& fn : program.funcs) {
+      int node = graph.NodeOf(fn.name);
+      if (node >= 0 && reachable.count(node) == 0) {
+        LintDiagnostic diag;
+        diag.file = fn.file;
+        diag.line = fn.line;
+        diag.category = "unreachable-function";
+        diag.function = fn.name;
+        diag.message =
+            StrCat("function '", fn.name, "' is unreachable from every analysis entry root");
+        diagnostics.push_back(std::move(diag));
+      }
+    }
+  }
   for (const FuncDecl& fn : program.funcs) {
-    FunctionLinter(types, fn, &diagnostics).Run();
+    FunctionLinter(types, fn, &interproc, &discardable, &diagnostics).Run();
   }
   std::sort(diagnostics.begin(), diagnostics.end(),
             [](const LintDiagnostic& a, const LintDiagnostic& b) {
@@ -280,8 +369,9 @@ Result<std::vector<LintDiagnostic>> LintMiniGoSources(
 }
 
 Result<std::vector<LintDiagnostic>> LintMiniGoSource(const std::string& file_name,
-                                                     const std::string& source) {
-  return LintMiniGoSources({{file_name, source}});
+                                                     const std::string& source,
+                                                     const LintConfig& config) {
+  return LintMiniGoSources({{file_name, source}}, config);
 }
 
 }  // namespace dnsv

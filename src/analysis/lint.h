@@ -19,6 +19,25 @@
 //                       engine versions configure themselves, the MiniGo
 //                       analogue of Go's `if debug { ... }`.
 //
+// Three further categories are interprocedural: the unit is additionally
+// lowered to AbsIR and the call graph + bottom-up callee summaries
+// (src/analysis/{callgraph,summary}.h) are consulted:
+//
+//   unused-result       an expression statement discards the result of a
+//                       call whose summary proves the callee pure and
+//                       panic-free — the statement provably has no effect.
+//                       Callees that may panic are exempt: a discarded
+//                       panicking call is an assertion.
+//   unreachable-function  a function no analysis entry root (LintConfig)
+//                       reaches in the call graph. Skipped when the config
+//                       names no roots — reachability of a bare file is
+//                       meaningless.
+//   constant-foldable-guard  an if/for condition that does not literal-fold
+//                       but DOES fold once calls are replaced by their
+//                       summaries' constant return facts (`if two() == 2`).
+//                       Named constants still never fold, so feature gates
+//                       stay unflagged here too.
+//
 // Surfaced through the dnsv-lint CLI (tools/dnsv_lint.cpp) and the ci/check
 // `--werror` gate over src/engine/sources/.
 #ifndef DNSV_ANALYSIS_LINT_H_
@@ -35,7 +54,7 @@ namespace dnsv {
 struct LintDiagnostic {
   std::string file;
   int line = 0;
-  std::string category;  // one of the four categories above
+  std::string category;  // one of the categories above
   std::string function;  // enclosing function
   std::string message;
 
@@ -43,15 +62,25 @@ struct LintDiagnostic {
   std::string ToString() const;
 };
 
+struct LintConfig {
+  // Functions outside drivers may invoke directly (for the engine:
+  // EngineAnalysisRoots()). Non-empty enables unreachable-function; the
+  // other interprocedural categories run regardless, since summaries are
+  // facts of the bodies alone.
+  std::vector<std::string> entry_roots;
+};
+
 // Lints several sources parsed and typechecked together as one unit (the
 // engine is one package split across files). Diagnostics come back sorted by
 // (file, line, category, message). Parse/typecheck failures are errors — the
 // lint only runs on well-formed programs.
 Result<std::vector<LintDiagnostic>> LintMiniGoSources(
-    const std::vector<std::pair<std::string, std::string>>& sources);
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const LintConfig& config = {});
 
 Result<std::vector<LintDiagnostic>> LintMiniGoSource(const std::string& file_name,
-                                                     const std::string& source);
+                                                     const std::string& source,
+                                                     const LintConfig& config = {});
 
 }  // namespace dnsv
 

@@ -6,8 +6,12 @@
 #include <vector>
 
 #include "src/analysis/absdomain.h"
+#include "src/analysis/alias.h"
+#include "src/analysis/callgraph.h"
 #include "src/analysis/cfg.h"
 #include "src/analysis/dataflow.h"
+#include "src/analysis/escape.h"
+#include "src/analysis/sccp.h"
 #include "src/ir/validate.h"
 #include "src/support/logging.h"
 #include "src/support/strings.h"
@@ -58,9 +62,16 @@ int64_t DischargePanicGuards(const Function& const_fn, Function* fn, PruneDomain
 
 // Deletes CFG-unreachable blocks and compacts the function. Returns the
 // number of removed blocks (panic subset in *panic_blocks_removed), or 0 if
-// nothing was removed. Bails out (returns nullopt) when a surviving operand
-// references an instruction of a removed block — rebuilding would dangle.
-std::optional<int64_t> RemoveUnreachableBlocks(Function* fn, int64_t* panic_blocks_removed) {
+// nothing was removed. Bails out (returns nullopt, function untouched) when a
+// surviving operand references an instruction of a removed block —
+// rebuilding would dangle. Reachability is recomputed here, on the CFG as it
+// stands after whatever rewrites (SCCP, discharge) preceded the call; no
+// traversal order from before those edge deletions is reused. On success,
+// `instr_map_out` (when non-null) receives old-index -> new-index (UINT32_MAX
+// for removed instructions) so callers can renumber side tables keyed by
+// instruction index.
+std::optional<int64_t> RemoveUnreachableBlocks(Function* fn, int64_t* panic_blocks_removed,
+                                               std::vector<uint32_t>* instr_map_out = nullptr) {
   std::vector<bool> reachable = ReachableBlocks(*fn);
   int64_t removed = 0;
   for (BlockId b = 0; b < fn->num_blocks(); ++b) {
@@ -108,11 +119,18 @@ std::optional<int64_t> RemoveUnreachableBlocks(Function* fn, int64_t* panic_bloc
         op.reg = instr_map[op.reg];
       }
     }
+    // Every surviving edge must land in a surviving block: a reachable
+    // block's successors are reachable by definition, so a kInvalidBlock
+    // mapping here means the reachability sweep and the rebuild disagree.
     if (instr.target_true != kInvalidBlock) {
       instr.target_true = block_map[instr.target_true];
+      DNSV_CHECK_MSG(instr.target_true != kInvalidBlock,
+                     "pruned edge into a removed block in " + fn->name());
     }
     if (instr.target_false != kInvalidBlock) {
       instr.target_false = block_map[instr.target_false];
+      DNSV_CHECK_MSG(instr.target_false != kInvalidBlock,
+                     "pruned edge into a removed block in " + fn->name());
     }
     new_instrs.push_back(std::move(instr));
   }
@@ -126,9 +144,25 @@ std::optional<int64_t> RemoveUnreachableBlocks(Function* fn, int64_t* panic_bloc
     }
     new_blocks.push_back(std::move(block));
   }
+  if (instr_map_out != nullptr) *instr_map_out = instr_map;
   fn->ReplaceBody(std::move(new_blocks), std::move(new_instrs));
   *panic_blocks_removed += panic_removed;
   return removed;
+}
+
+// SCCP renumbers instructions when it orphans blocks; the protected-alloc
+// side table is keyed by instruction index and must follow.
+void RemapProtectedAllocs(InterprocContext* interproc, const std::string& fn_name,
+                          const std::vector<uint32_t>& instr_map) {
+  auto it = interproc->protected_allocs.find(fn_name);
+  if (it == interproc->protected_allocs.end()) return;
+  std::set<uint32_t> remapped;
+  for (uint32_t old_index : it->second) {
+    if (old_index < instr_map.size() && instr_map[old_index] != UINT32_MAX) {
+      remapped.insert(instr_map[old_index]);
+    }
+  }
+  it->second = std::move(remapped);
 }
 
 }  // namespace
@@ -149,13 +183,42 @@ std::string PruneStats::ToString() const {
 }
 
 PruneStats PruneFunction(const Module& module, Function* fn) {
+  return PruneFunction(module, fn, nullptr, nullptr);
+}
+
+PruneStats PruneFunction(const Module& module, Function* fn, InterprocContext* interproc,
+                         AnalysisStats* analysis) {
   PruneStats stats;
+
+  // Phase 0 (interproc only): fold constant branches and delete the dead
+  // sides up front. The fixpoint below then runs on the already-shrunk CFG —
+  // its reverse postorder and reachability are computed fresh from the
+  // rewritten terminators, never reusing an ordering derived before the edge
+  // deletions.
+  if (interproc != nullptr) {
+    double sccp_start = ElapsedSeconds();
+    SccpResult sccp = RunSccp(fn, interproc);
+    if (analysis != nullptr) {
+      analysis->sccp_seconds += ElapsedSeconds() - sccp_start;
+      analysis->sccp_branches_folded += sccp.branches_folded;
+    }
+    if (sccp.changed) {
+      std::vector<uint32_t> instr_map;
+      std::optional<int64_t> removed =
+          RemoveUnreachableBlocks(fn, &stats.panic_blocks_removed, &instr_map);
+      if (removed.has_value() && *removed > 0) {
+        stats.blocks_removed += *removed;
+        RemapProtectedAllocs(interproc, fn->name(), instr_map);
+      }
+    }
+  }
+
   // Phase 1: discharge, gated on the soundness preconditions.
   if (!PreflightAllocasDontEscape(*fn)) {
     ++stats.functions_skipped;
   } else {
     ValueTable values;
-    PruneDomain domain(&values);
+    PruneDomain domain(&values, interproc);
     DataflowResult<PruneDomain> solved = SolveForwardDataflow(*fn, &domain);
     if (!solved.converged) {
       ++stats.functions_skipped;
@@ -164,15 +227,23 @@ PruneStats PruneFunction(const Module& module, Function* fn) {
       stats.panics_discharged = DischargePanicGuards(*fn, fn, &domain, solved);
     }
   }
+
   // Phase 2: unreachable-block elimination (independent of phase 1; also
   // collects frontend-emitted dead continuations).
-  std::optional<int64_t> removed = RemoveUnreachableBlocks(fn, &stats.panic_blocks_removed);
-  bool compacted = removed.has_value();
-  if (compacted) {
-    stats.blocks_removed = *removed;
+  std::vector<uint32_t> instr_map;
+  std::optional<int64_t> removed =
+      RemoveUnreachableBlocks(fn, &stats.panic_blocks_removed, &instr_map);
+  if (removed.has_value()) {
+    stats.blocks_removed += *removed;
+    if (*removed > 0 && interproc != nullptr) {
+      RemapProtectedAllocs(interproc, fn->name(), instr_map);
+    }
   }
   ValidateOptions options;
-  options.require_reachable = compacted;
+  // The final removal pass succeeding means no unreachable block survives —
+  // the invariant the validator then enforces (together with the in-range,
+  // no-stale-edge terminator checks it always runs).
+  options.require_reachable = removed.has_value();
   Status status = ValidateFunction(module, *fn, options);
   DNSV_CHECK_MSG(status.ok(), StrCat("pruning broke ", fn->name(), ": ", status.message()));
   return stats;
@@ -182,6 +253,36 @@ PruneStats PruneModule(Module* module) {
   PruneStats stats;
   for (const auto& fn : module->functions()) {
     stats += PruneFunction(*module, fn.get());
+  }
+  return stats;
+}
+
+PruneStats PruneModule(Module* module, const PruneOptions& options, AnalysisStats* analysis) {
+  if (!options.interproc) {
+    PruneStats stats;
+    for (const auto& fn : module->functions()) {
+      stats += PruneFunction(*module, fn.get(), nullptr, analysis);
+    }
+    return stats;
+  }
+
+  // Whole-module facts first. Summaries and points-to are computed on the
+  // module as lifted; SCCP runs per function inside PruneFunction, after
+  // which the context's instruction-indexed side table is renumbered along
+  // with the function.
+  double graph_start = ElapsedSeconds();
+  CallGraph graph = CallGraph::Build(*module);
+  if (analysis != nullptr) {
+    analysis->callgraph_seconds += ElapsedSeconds() - graph_start;
+  }
+  InterprocContext ctx = ComputeInterprocContext(*module, graph, options.entry_points, analysis);
+  PointsTo points_to = PointsTo::Solve(*module, graph, options.entry_points, analysis);
+  EscapeResult escapes = ComputeEscapes(*module, graph, points_to, analysis);
+  ctx.protected_allocs = escapes.local_allocs;
+
+  PruneStats stats;
+  for (const auto& fn : module->functions()) {
+    stats += PruneFunction(*module, fn.get(), &ctx, analysis);
   }
   return stats;
 }

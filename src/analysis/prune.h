@@ -1,7 +1,8 @@
 // Prove-and-prune: statically discharge GoLLVM safety checks before the
 // symbolic executor sees them.
 //
-// Two passes over each function, both driven by the PruneDomain fixpoint:
+// Baseline mode (PR 2 behavior, the default): two passes over each function,
+// both driven by the intraprocedural PruneDomain fixpoint:
 //
 //  1. Panic discharge — a conditional branch guarding a panic block whose
 //     panic side the abstract state proves infeasible (index in [0, len),
@@ -16,6 +17,19 @@
 //     (orphaned panic blocks after discharge, plus frontend-emitted dead
 //     continuations) are deleted and the function is compactly rebuilt.
 //
+// Interprocedural mode (PruneOptions::interproc) front-loads the whole-module
+// analyses from callgraph.h / summary.h / alias.h / escape.h:
+//
+//  a. SCCP (sccp.h) folds every constant branch — feature gates first of
+//     all — and the dead sides are deleted BEFORE the fixpoint runs, so the
+//     domain never wastes precision joining states from disabled features.
+//     The dataflow re-derives reverse postorder and reachability from the
+//     rewritten CFG; nothing from before the edge deletion is reused.
+//  b. The PruneDomain consumes callee summaries (purity, non-nil and
+//     constant returns), entry facts for functions no driver calls directly,
+//     and escape-proven protected allocations — discharging strictly more
+//     guards than the baseline while every verdict stays byte-identical.
+//
 // PruneFunction re-validates the result (with the reachability invariant on)
 // before returning; soundness is additionally guarded by the differential
 // interpreter tests in tests/analysis/.
@@ -24,7 +38,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "src/analysis/summary.h"
 #include "src/ir/function.h"
 
 namespace dnsv {
@@ -45,11 +61,33 @@ struct PruneStats {
   std::string ToString() const;
 };
 
-// Prunes one function in place. The module is needed for re-validation.
+struct PruneOptions {
+  // Run SCCP and the interprocedural analyses before discharging. false
+  // reproduces the PR 2 intraprocedural baseline exactly.
+  bool interproc = false;
+  // Functions external drivers may call directly (interproc mode only):
+  // their parameters are never specialized to in-module call-site facts and
+  // their allocations may escape to the caller. See EngineAnalysisRoots().
+  std::vector<std::string> entry_points;
+};
+
+// Prunes one function in place using the baseline intraprocedural domain.
+// The module is needed for re-validation.
 PruneStats PruneFunction(const Module& module, Function* fn);
 
-// Prunes every function of the module and aggregates the stats.
+// Same, consuming (and — for allocation-site renumbering — updating) a
+// precomputed interprocedural context. `interproc` may be null. Analysis
+// timings/counters accumulate into `analysis` when non-null.
+PruneStats PruneFunction(const Module& module, Function* fn, InterprocContext* interproc,
+                         AnalysisStats* analysis);
+
+// Prunes every function of the module and aggregates the stats (baseline).
 PruneStats PruneModule(Module* module);
+
+// Prunes per `options`; in interproc mode builds the call graph, summaries,
+// points-to, and escape facts for the module first. Analysis pass stats land
+// in `analysis` when non-null (zero in baseline mode).
+PruneStats PruneModule(Module* module, const PruneOptions& options, AnalysisStats* analysis);
 
 }  // namespace dnsv
 

@@ -1,0 +1,241 @@
+#include "src/analysis/sccp.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/analysis/summary.h"
+#include "src/support/logging.h"
+
+namespace dnsv {
+namespace {
+
+struct Lattice {
+  enum class Level : uint8_t { kUnexecuted, kConst, kOverdefined };
+  Level level = Level::kUnexecuted;
+  int64_t value = 0;  // int payload, or 0/1 for bools
+};
+
+class Solver {
+ public:
+  Solver(const Function& fn, const InterprocContext* interproc)
+      : fn_(fn), interproc_(interproc), regs_(fn.num_instrs()),
+        block_executable_(fn.num_blocks(), false) {
+    // Structural single-def registers: uses are found by scanning once.
+    users_.resize(fn.num_instrs());
+    for (uint32_t j = 0; j < fn_.num_instrs(); ++j) {
+      for (const Operand& op : fn_.instr(j).operands) {
+        if (op.kind == Operand::Kind::kReg && !Function::IsParamReg(op.reg)) {
+          users_[op.reg].push_back(j);
+        }
+      }
+    }
+  }
+
+  void Run() {
+    MarkBlock(fn_.entry());
+    while (!block_work_.empty() || !instr_work_.empty()) {
+      while (!instr_work_.empty()) {
+        uint32_t index = instr_work_.back();
+        instr_work_.pop_back();
+        Visit(index);
+      }
+      if (!block_work_.empty()) {
+        BlockId block = block_work_.back();
+        block_work_.pop_back();
+        for (uint32_t index : fn_.block(block).instrs) Visit(index);
+      }
+    }
+  }
+
+  bool BlockExecutable(BlockId b) const { return block_executable_[b]; }
+  const Lattice& RegState(uint32_t r) const { return regs_[r]; }
+
+ private:
+  // Operand value under the current lattice; level kConst with payload when
+  // known. Parameters and everything else are overdefined.
+  Lattice OperandState(const Operand& op) const {
+    Lattice out;
+    switch (op.kind) {
+      case Operand::Kind::kIntConst:
+      case Operand::Kind::kBoolConst:
+        out.level = Lattice::Level::kConst;
+        out.value = op.imm;
+        return out;
+      case Operand::Kind::kReg:
+        if (Function::IsParamReg(op.reg)) {
+          out.level = Lattice::Level::kOverdefined;
+          return out;
+        }
+        return regs_[op.reg];
+      default:
+        out.level = Lattice::Level::kOverdefined;
+        return out;
+    }
+  }
+
+  void MarkBlock(BlockId block) {
+    if (block_executable_[block]) return;
+    block_executable_[block] = true;
+    block_work_.push_back(block);
+  }
+
+  // Raises `index` to `next`; never lowers. Requeues users on change.
+  void Update(uint32_t index, Lattice next) {
+    Lattice& cur = regs_[index];
+    if (cur.level == Lattice::Level::kOverdefined) return;
+    if (next.level == Lattice::Level::kUnexecuted) return;
+    if (cur.level == Lattice::Level::kConst && next.level == Lattice::Level::kConst &&
+        cur.value == next.value) {
+      return;
+    }
+    if (cur.level == Lattice::Level::kConst && next.level == Lattice::Level::kConst) {
+      next.level = Lattice::Level::kOverdefined;  // conflicting constants
+    }
+    cur = next;
+    for (uint32_t user : users_[index]) instr_work_.push_back(user);
+  }
+
+  void Visit(uint32_t index) {
+    const Instr& instr = fn_.instr(index);
+    switch (instr.op) {
+      case Opcode::kBinOp:
+        VisitBinOp(index, instr);
+        break;
+      case Opcode::kUnOp: {
+        Lattice a = OperandState(instr.operands[0]);
+        if (a.level == Lattice::Level::kConst) {
+          int64_t v = instr.un_op == UnOp::kNot ? (a.value == 0 ? 1 : 0) : -a.value;
+          Update(index, {Lattice::Level::kConst, v});
+        } else if (a.level == Lattice::Level::kOverdefined) {
+          Update(index, {Lattice::Level::kOverdefined, 0});
+        }
+        break;
+      }
+      case Opcode::kCall: {
+        const CalleeSummary* summary =
+            interproc_ != nullptr ? interproc_->SummaryFor(instr.text) : nullptr;
+        if (summary != nullptr && summary->analyzed && summary->return_range.IsConst()) {
+          Update(index, {Lattice::Level::kConst, summary->return_range.lo});
+        } else if (summary != nullptr && summary->analyzed &&
+                   summary->return_bool != Bool3::kUnknown) {
+          Update(index, {Lattice::Level::kConst,
+                         summary->return_bool == Bool3::kTrue ? 1 : 0});
+        } else {
+          Update(index, {Lattice::Level::kOverdefined, 0});
+        }
+        break;
+      }
+      case Opcode::kBr: {
+        if (instr.target_true == instr.target_false) {
+          MarkBlock(instr.target_true);
+          break;
+        }
+        Lattice cond = OperandState(instr.operands[0]);
+        if (cond.level == Lattice::Level::kConst) {
+          MarkBlock(cond.value != 0 ? instr.target_true : instr.target_false);
+        } else if (cond.level == Lattice::Level::kOverdefined) {
+          MarkBlock(instr.target_true);
+          MarkBlock(instr.target_false);
+        }
+        // kUnexecuted: the condition's def has not run yet; its Update will
+        // requeue this branch.
+        break;
+      }
+      case Opcode::kJmp:
+        MarkBlock(instr.target_true);
+        break;
+      case Opcode::kRet:
+      case Opcode::kPanic:
+      case Opcode::kStore:
+        break;
+      default:
+        // Loads, geps, allocations, list ops, havoc: never constant.
+        Update(index, {Lattice::Level::kOverdefined, 0});
+        break;
+    }
+  }
+
+  void VisitBinOp(uint32_t index, const Instr& instr) {
+    Lattice a = OperandState(instr.operands[0]);
+    Lattice b = OperandState(instr.operands[1]);
+    if (a.level == Lattice::Level::kUnexecuted || b.level == Lattice::Level::kUnexecuted) {
+      return;
+    }
+    if (a.level == Lattice::Level::kOverdefined || b.level == Lattice::Level::kOverdefined) {
+      Update(index, {Lattice::Level::kOverdefined, 0});
+      return;
+    }
+    int64_t x = a.value;
+    int64_t y = b.value;
+    int64_t v = 0;
+    switch (instr.bin_op) {
+      case BinOp::kAdd: v = x + y; break;
+      case BinOp::kSub: v = x - y; break;
+      case BinOp::kMul: v = x * y; break;
+      case BinOp::kDiv:
+      case BinOp::kMod:
+        // A constant zero divisor is a genuine panic; folding would hide it.
+        if (y == 0) {
+          Update(index, {Lattice::Level::kOverdefined, 0});
+          return;
+        }
+        v = instr.bin_op == BinOp::kDiv ? x / y : x % y;
+        if (instr.bin_op == BinOp::kMod && v < 0) v += y < 0 ? -y : y;  // Go semantics
+        break;
+      case BinOp::kEq: case BinOp::kBoolEq: v = x == y; break;
+      case BinOp::kNe: case BinOp::kBoolNe: v = x != y; break;
+      case BinOp::kLt: v = x < y; break;
+      case BinOp::kLe: v = x <= y; break;
+      case BinOp::kGt: v = x > y; break;
+      case BinOp::kGe: v = x >= y; break;
+      case BinOp::kAnd: v = (x != 0 && y != 0); break;
+      case BinOp::kOr: v = (x != 0 || y != 0); break;
+      case BinOp::kPtrEq:
+      case BinOp::kPtrNe:
+        Update(index, {Lattice::Level::kOverdefined, 0});
+        return;
+    }
+    Update(index, {Lattice::Level::kConst, v});
+  }
+
+  const Function& fn_;
+  const InterprocContext* interproc_;
+  std::vector<Lattice> regs_;
+  std::vector<bool> block_executable_;
+  std::vector<std::vector<uint32_t>> users_;
+  std::vector<uint32_t> instr_work_;
+  std::vector<BlockId> block_work_;
+};
+
+}  // namespace
+
+SccpResult RunSccp(Function* fn, const InterprocContext* interproc) {
+  Solver solver(*fn, interproc);
+  solver.Run();
+  SccpResult result;
+  for (BlockId b = 0; b < fn->num_blocks(); ++b) {
+    if (!solver.BlockExecutable(b)) continue;
+    uint32_t term_index = fn->block(b).instrs.back();
+    const Instr& term = fn->instr(term_index);
+    if (term.op != Opcode::kBr || term.target_true == term.target_false) continue;
+    Lattice cond{Lattice::Level::kOverdefined, 0};
+    const Operand& op = term.operands[0];
+    if (op.kind == Operand::Kind::kIntConst || op.kind == Operand::Kind::kBoolConst) {
+      cond = {Lattice::Level::kConst, op.imm};
+    } else if (op.kind == Operand::Kind::kReg && !Function::IsParamReg(op.reg)) {
+      cond = solver.RegState(op.reg);
+    }
+    if (cond.level != Lattice::Level::kConst) continue;
+    Instr& rewritten = fn->mutable_instr(term_index);
+    rewritten.op = Opcode::kJmp;
+    rewritten.target_true = cond.value != 0 ? term.target_true : term.target_false;
+    rewritten.target_false = kInvalidBlock;
+    rewritten.operands.clear();
+    result.branches_folded++;
+    result.changed = true;
+  }
+  return result;
+}
+
+}  // namespace dnsv

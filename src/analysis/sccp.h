@@ -1,0 +1,45 @@
+// Sparse conditional constant propagation over one AbsIR function.
+//
+// Classic three-level lattice per register (unexecuted / constant /
+// overdefined) driven by an executable-edge worklist: a conditional branch
+// whose condition is constant marks only the taken edge executable, so
+// constants are propagated along feasible paths only. Interprocedural inputs
+// come from the summary layer: a call to a function with a constant return
+// value is a constant, exactly like a literal.
+//
+// The transformation is the part the intraprocedural pruner cannot do: a
+// kBr whose condition folded to a constant is rewritten into a kJmp — ANY
+// constant branch, not just panic guards. The frontend lowers version
+// feature gates (`if FEATURE_GLUE == 1`, src/engine/sources/features.mg)
+// into exactly such branches, so SCCP is what finally deletes the disabled
+// side of every feature gate from the CFG before the symbolic executor and
+// the discharge pass run. Unreachable blocks are left in place; callers run
+// RemoveUnreachableBlocks (prune.cc) afterwards.
+//
+// Soundness: the lattice only ever claims "this register holds exactly k on
+// every execution"; division/modulo by a constant zero goes overdefined
+// instead of folding (the panic stays). Rewriting a constant branch removes
+// edges no concrete execution takes.
+#ifndef DNSV_ANALYSIS_SCCP_H_
+#define DNSV_ANALYSIS_SCCP_H_
+
+#include <cstdint>
+
+#include "src/ir/function.h"
+
+namespace dnsv {
+
+struct InterprocContext;
+
+struct SccpResult {
+  int64_t branches_folded = 0;  // constant kBrs rewritten into kJmps
+  bool changed = false;
+};
+
+// Folds constant branches of `fn` in place. `interproc` may be null (literal
+// constants still fold); with summaries, constant-returning calls fold too.
+SccpResult RunSccp(Function* fn, const InterprocContext* interproc);
+
+}  // namespace dnsv
+
+#endif  // DNSV_ANALYSIS_SCCP_H_

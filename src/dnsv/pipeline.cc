@@ -412,10 +412,12 @@ std::shared_ptr<const CompiledEngine> VerifyContext::GetEngine(EngineVersion ver
   return engine;
 }
 
-std::shared_ptr<const PrunedEngine> VerifyContext::GetPrunedEngine(EngineVersion version) {
+std::shared_ptr<const PrunedEngine> VerifyContext::GetPrunedEngine(EngineVersion version,
+                                                                   bool interproc) {
+  std::pair<EngineVersion, bool> key{version, interproc};
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = pruned_engines_.find(version);
+    auto it = pruned_engines_.find(key);
     if (it != pruned_engines_.end()) {
       ++stats_.prune_cache_hits;
       return it->second;
@@ -429,12 +431,15 @@ std::shared_ptr<const PrunedEngine> VerifyContext::GetPrunedEngine(EngineVersion
   std::unique_ptr<CompiledEngine> fresh = CompiledEngine::Compile(version);
   pruned->compile_seconds = ElapsedSeconds() - start;
   start = ElapsedSeconds();
-  pruned->stats = PruneModule(&fresh->mutable_module());
+  PruneOptions prune_options;
+  prune_options.interproc = interproc;
+  if (interproc) prune_options.entry_points = EngineAnalysisRoots();
+  pruned->stats = PruneModule(&fresh->mutable_module(), prune_options, &pruned->analysis);
   pruned->prune_seconds = ElapsedSeconds() - start;
   fresh->Freeze();
   pruned->engine = std::shared_ptr<const CompiledEngine>(std::move(fresh));
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = pruned_engines_.emplace(version, pruned);
+  auto [it, inserted] = pruned_engines_.emplace(key, pruned);
   if (inserted) {
     ++stats_.engine_prunes;
   } else {
@@ -445,13 +450,14 @@ std::shared_ptr<const PrunedEngine> VerifyContext::GetPrunedEngine(EngineVersion
 
 Result<std::shared_ptr<const LiftedZone>> VerifyContext::GetLiftedZone(EngineVersion version,
                                                                        const ZoneConfig& zone,
-                                                                       bool pruned) {
+                                                                       bool pruned,
+                                                                       bool interproc) {
   Result<ZoneConfig> canonical = CanonicalizeZone(zone);
   if (!canonical.ok()) {
     return Result<std::shared_ptr<const LiftedZone>>::Error(canonical.error());
   }
-  std::string key = StrCat(EngineVersionName(version), pruned ? "|pruned|" : "|",
-                           canonical.value().ToText());
+  const char* mode_key = !pruned ? "|" : (interproc ? "|pruned-interproc|" : "|pruned|");
+  std::string key = StrCat(EngineVersionName(version), mode_key, canonical.value().ToText());
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = zones_.find(key);
@@ -463,7 +469,7 @@ Result<std::shared_ptr<const LiftedZone>> VerifyContext::GetLiftedZone(EngineVer
   // Build outside the lock: lifting is the expensive part and GetEngine
   // below takes the same mutex.
   std::shared_ptr<const CompiledEngine> engine =
-      pruned ? GetPrunedEngine(version)->engine : GetEngine(version);
+      pruned ? GetPrunedEngine(version, interproc)->engine : GetEngine(version);
   auto lifted = std::make_shared<LiftedZone>();
   lifted->zone = std::move(canonical).value();
   lifted->image =
@@ -500,7 +506,8 @@ VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion versi
   VerifyContext::CacheStats stats_before = context->cache_stats();
   std::shared_ptr<const CompiledEngine> engine;
   if (options.prune) {
-    std::shared_ptr<const PrunedEngine> pruned = context->GetPrunedEngine(version);
+    std::shared_ptr<const PrunedEngine> pruned =
+        context->GetPrunedEngine(version, options.prune_interproc);
     engine = pruned->engine;
     VerifyContext::CacheStats stats_mid = context->cache_stats();
     bool cached = stats_mid.prune_cache_hits > stats_before.prune_cache_hits;
@@ -514,6 +521,7 @@ VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion versi
     report.pruned = true;
     report.panics_discharged = pruned->stats.panics_discharged;
     report.paths_pruned = pruned->stats.PathsPruned();
+    report.analysis = pruned->analysis;
   } else {
     engine = context->GetEngine(version);
     VerifyContext::CacheStats stats_mid = context->cache_stats();
@@ -526,7 +534,7 @@ VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion versi
   VerifyContext::CacheStats stats_mid = context->cache_stats();
   double lift_start = ElapsedSeconds();
   Result<std::shared_ptr<const LiftedZone>> lifted_result =
-      context->GetLiftedZone(version, zone, options.prune);
+      context->GetLiftedZone(version, zone, options.prune, options.prune_interproc);
   if (!lifted_result.ok()) {
     report.aborted = true;
     report.abort_reason = lifted_result.error();

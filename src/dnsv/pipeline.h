@@ -54,10 +54,12 @@ struct LiftedZone {
 // One engine version with the dataflow pruner applied (options.prune). A
 // separate compilation from the unpruned cache entry: pruning mutates the
 // module in place, and callers that did not opt in must keep seeing the
-// frontend's exact output.
+// frontend's exact output. Baseline and interprocedural prunes are distinct
+// cache entries — the ablation axis compares them on the same version.
 struct PrunedEngine {
   std::shared_ptr<const CompiledEngine> engine;
   PruneStats stats;
+  AnalysisStats analysis;  // zero for baseline prunes
   double compile_seconds = 0;
   double prune_seconds = 0;
 };
@@ -76,16 +78,21 @@ class VerifyContext {
   std::shared_ptr<const CompiledEngine> GetEngine(EngineVersion version);
 
   // PruneStage input: compiles a private copy of `version` and runs
-  // PruneModule over it on first use, then serves the cached result.
-  std::shared_ptr<const PrunedEngine> GetPrunedEngine(EngineVersion version);
+  // PruneModule over it on first use, then serves the cached result. With
+  // `interproc`, the interprocedural suite (SCCP + summaries + escape facts,
+  // rooted at EngineAnalysisRoots) drives the pruner; the two modes are
+  // cached independently.
+  std::shared_ptr<const PrunedEngine> GetPrunedEngine(EngineVersion version,
+                                                      bool interproc = false);
 
   // ZoneLiftStage: canonicalizes + materializes on first use. Errors
-  // (invalid zones) are not cached. Pruned and unpruned lifts are cached
-  // under distinct keys — the heap image is built against the respective
-  // engine's type table.
+  // (invalid zones) are not cached. Unpruned / baseline-pruned /
+  // interproc-pruned lifts are cached under distinct keys — the heap image
+  // is built against the respective engine instance's type table.
   Result<std::shared_ptr<const LiftedZone>> GetLiftedZone(EngineVersion version,
                                                           const ZoneConfig& zone,
-                                                          bool pruned = false);
+                                                          bool pruned = false,
+                                                          bool interproc = false);
 
   struct CacheStats {
     int64_t engine_compiles = 0;
@@ -100,7 +107,8 @@ class VerifyContext {
  private:
   mutable std::mutex mu_;
   std::map<EngineVersion, std::shared_ptr<const CompiledEngine>> engines_;
-  std::map<EngineVersion, std::shared_ptr<const PrunedEngine>> pruned_engines_;
+  // Keyed by (version, interproc mode).
+  std::map<std::pair<EngineVersion, bool>, std::shared_ptr<const PrunedEngine>> pruned_engines_;
   std::map<std::string, std::shared_ptr<const LiftedZone>> zones_;
   CacheStats stats_;
 };

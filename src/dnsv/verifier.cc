@@ -79,6 +79,9 @@ std::string VerificationReport::ToString() const {
     out += StrCat("  prune: ", panics_discharged, " panics discharged, ", paths_pruned,
                   " paths pruned\n");
   }
+  if (!analysis.IsZero()) {
+    out += StrCat("  analysis: ", analysis.ToString(), "\n");
+  }
   if (solver.cache_hits + solver.cache_misses + solver.presolver_discharges +
           solver.shadow_checks >
       0) {

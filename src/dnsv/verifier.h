@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/summary.h"
 #include "src/dns/example_zones.h"
 #include "src/engine/engine.h"
 #include "src/smt/backend.h"
@@ -56,6 +57,13 @@ struct VerifyOptions {
   // infeasible — so verdicts and counterexamples are identical with the flag
   // on or off; only the solver-check count shrinks.
   bool prune = false;
+  // With `prune`: feed the pruner the interprocedural analysis suite
+  // (src/analysis/{callgraph,summary,sccp,alias,escape}.h). SCCP folds the
+  // version feature gates out of the CFG and callee summaries / escape facts
+  // discharge strictly more guards than the intraprocedural baseline —
+  // verdicts stay byte-identical either way, only more solver checks vanish.
+  // false pins the exact PR 2 baseline pruner (the ablation axis).
+  bool prune_interproc = true;
   // Solver-access policy (src/smt/backend.h): which layers sit between the
   // sessions and Z3 (query cache, interval pre-solver), shadow validation,
   // and the per-check timeout. Every session the pipeline creates — explore
@@ -144,6 +152,10 @@ struct VerificationReport {
   bool pruned = false;                 // exploration ran on the pruned module
   int64_t panics_discharged = 0;       // guards proved safe by the pruner
   int64_t paths_pruned = 0;            // discharged guards + removed blocks
+  // Interprocedural-analysis breakdown (per-pass wall clock + outcome
+  // counters), zero unless the prune stage ran in interproc mode. Printed
+  // alongside the SolverStats lines.
+  AnalysisStats analysis;
   // Per-stage observability: one entry per executed pipeline stage, in
   // execution order (explore.engine/explore.spec may have run concurrently).
   std::vector<StageStats> stages;

@@ -25,6 +25,22 @@ bool EngineHasGlue(EngineVersion version) { return version != EngineVersion::kV1
 
 bool EngineHasNotImp(EngineVersion version) { return version == EngineVersion::kV4; }
 
+std::vector<std::string> EngineAnalysisRoots() {
+  return {
+      // Verification pipeline entries (implementation and specification).
+      "resolve", "rrlookup",
+      // Layer-harness entries (src/dnsv/layers.cc), explored standalone.
+      "nameEq", "nameIsSubdomain", "nameStrip", "nameCompare", "namePrefix", "nameChild",
+      "newNodeStack", "pushNode", "topNode", "nodeAtDepth",
+      "hasType", "getRRs", "isEmptyNode",
+      "newResponse", "appendAll", "synthesizeRR", "setAuthoritative",
+      "findChild", "treeSearch", "answerExact", "chaseCname", "wildcardAnswer",
+      "addAdditional",
+      // Manual Name-layer specs, compared as units by the refinement checks.
+      "nameEqSpec", "findChildSpec",
+  };
+}
+
 std::vector<std::pair<std::string, std::string>> EngineSources(EngineVersion version) {
   const char* resolve_source = nullptr;
   switch (version) {

@@ -64,6 +64,16 @@ bool EngineHasGlue(EngineVersion version);
 // (the v4.0 feature).
 bool EngineHasNotImp(EngineVersion version);
 
+// Functions external drivers invoke directly on a compiled engine module:
+// the layer harness (MeasureLayers) explores each of these standalone with
+// fully symbolic arguments, the verification pipeline enters resolve and
+// rrlookup, and the manual Name-layer specs are compared as units. The
+// interprocedural analyses must treat every one of them as an entry point —
+// a function in this list never gets parameter facts inferred from its
+// in-module call sites, because a driver may call it with arguments those
+// sites never produce.
+std::vector<std::string> EngineAnalysisRoots();
+
 }  // namespace dnsv
 
 #endif  // DNSV_ENGINE_SOURCES_SOURCES_H_

@@ -1,9 +1,9 @@
 // AOT AbsIR -> C++ translation (the `compiled` execution backend).
 //
 // absir-codegen runs this at build time: for every engine version it
-// compiles the MiniGo sources, applies the same PruneModule pass the
-// verifier applies, and lowers the resulting post-prune AbsIR to one C++
-// translation unit. The generated code mirrors the concrete interpreter
+// compiles the MiniGo sources, applies PruneForCodegen — the exact
+// interprocedural PruneModule configuration the verifier's pipeline applies
+// — and lowers the resulting post-prune AbsIR to one C++ translation unit. The generated code mirrors the concrete interpreter
 // (src/interp) instruction by instruction over the same Value/ConcreteMemory
 // model — identical results, identical panic messages, identical call-depth
 // limit — but with direct calls and goto-based control flow instead of an
@@ -21,10 +21,19 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/prune.h"
 #include "src/engine/sources/sources.h"
 #include "src/ir/function.h"
 
 namespace dnsv {
+
+// The AOT pipeline's canonical prune configuration: interprocedural mode
+// rooted at EngineAnalysisRoots(), i.e. exactly what the verifier's
+// PruneStage runs. Every fingerprint participant — absir-codegen at build
+// time, the differential fuzzer's provenance gate, and the backend tests —
+// must prune through this one entry point, or "the served artifact is the
+// verified IR" stops being a checked fact.
+PruneStats PruneForCodegen(Module* module);
 
 // "v1.0" -> "v1_0": the version name as a C++ identifier fragment, used for
 // the generated namespace (gen_v1_0) and file name (gen_v1_0.cc).

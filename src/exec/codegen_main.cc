@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   for (dnsv::EngineVersion version : dnsv::AllEngineVersions()) {
     const std::string name = dnsv::EngineVersionName(version);
     std::unique_ptr<dnsv::CompiledEngine> engine = dnsv::CompiledEngine::Compile(version);
-    dnsv::PruneStats stats = dnsv::PruneModule(&engine->mutable_module());
+    dnsv::PruneStats stats = dnsv::PruneForCodegen(&engine->mutable_module());
     engine->Freeze();
     uint64_t fingerprint = dnsv::ModuleFingerprint(engine->module());
 

@@ -4,8 +4,8 @@
 #include <set>
 #include <utility>
 
-#include "src/analysis/prune.h"
 #include "src/engine/engine.h"
+#include "src/exec/codegen.h"
 #include "src/ir/printer.h"
 #include "src/support/strings.h"
 #include "src/zonegen/zonegen.h"
@@ -437,7 +437,7 @@ Result<uint64_t> VerifyCompiledArtifact(EngineVersion version) {
   // verifier's prune pass. Byte-identical IR is the claim, so the comparison
   // is over the full printed module, not any summary of it.
   std::unique_ptr<CompiledEngine> fresh = CompiledEngine::Compile(version);
-  PruneModule(&fresh->mutable_module());
+  PruneForCodegen(&fresh->mutable_module());
   uint64_t recomputed = ModuleFingerprint(fresh->module());
   if (recomputed != embedded.value()) {
     char want[24], got[24];

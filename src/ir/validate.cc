@@ -217,6 +217,12 @@ Status CheckInstr(const Module& module, const Function& fn, uint32_t index) {
       if (instr.target_true >= fn.num_blocks()) {
         return Fail(fn, index, "jmp target out of range");
       }
+      // A jmp carries exactly one edge. The pruning passes rewrite brs into
+      // jmps; a leftover else-target here would be an edge into a block the
+      // rebuild may have removed.
+      if (instr.target_false != kInvalidBlock) {
+        return Fail(fn, index, "jmp retains a stale else edge");
+      }
       break;
     case Opcode::kRet:
       if (fn.return_type() == types.VoidType()) {

@@ -9,6 +9,11 @@
 //
 // Plus the profit check: on the golden engine, pruning must strictly reduce
 // exploration solver checks and report paths_pruned > 0.
+//
+// The interprocedural mode (PruneOptions::interproc) gets the same treatment
+// against two baselines: the unpruned module (concrete differential) and the
+// PR-2 intraprocedural pruner (verdict differential + the strictly-more-
+// guards dominance check the analysis suite exists for).
 #include <gtest/gtest.h>
 
 #include "src/analysis/prune.h"
@@ -16,6 +21,7 @@
 #include "src/dns/heap.h"
 #include "src/dnsv/pipeline.h"
 #include "src/engine/engine.h"
+#include "src/engine/sources/sources.h"
 #include "src/interp/interp.h"
 #include "src/zonegen/zonegen.h"
 
@@ -67,14 +73,23 @@ class ModuleHarness {
   HeapImage image_;
 };
 
+// The interprocedural configuration the verifier's pipeline uses: SCCP +
+// summaries + escape facts, rooted at what the drivers actually invoke.
+PruneOptions InterprocOptions() {
+  PruneOptions options;
+  options.interproc = true;
+  options.entry_points = EngineAnalysisRoots();
+  return options;
+}
+
 // Runs the probe matrix on baseline vs pruned; returns the probe count.
 int ExpectPrunedMatchesBaseline(EngineVersion version, const ZoneConfig& zone,
-                                uint64_t seed) {
+                                uint64_t seed, const PruneOptions& options = {}) {
   ZoneConfig canonical = CanonicalizeZone(zone).value();
   ModuleHarness baseline(CompiledEngine::Compile(version), canonical);
 
   std::unique_ptr<CompiledEngine> pruned_engine = CompiledEngine::Compile(version);
-  PruneStats stats = PruneModule(&pruned_engine->mutable_module());
+  PruneStats stats = PruneModule(&pruned_engine->mutable_module(), options, nullptr);
   EXPECT_GT(stats.panics_discharged, 0) << EngineVersionName(version);
   ModuleHarness pruned(std::move(pruned_engine), canonical);
 
@@ -101,6 +116,14 @@ int ExpectPrunedMatchesBaseline(EngineVersion version, const ZoneConfig& zone,
   return probes;
 }
 
+std::string VersionTestName(const ::testing::TestParamInfo<EngineVersion>& param_info) {
+  std::string name = EngineVersionName(param_info.param);
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  return name;
+}
+
 class PrunedInterpreterDifferential : public ::testing::TestWithParam<EngineVersion> {};
 
 TEST_P(PrunedInterpreterDifferential, ProbeMatrixIdentical) {
@@ -109,14 +132,22 @@ TEST_P(PrunedInterpreterDifferential, ProbeMatrixIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Versions, PrunedInterpreterDifferential,
-                         ::testing::ValuesIn(AllEngineVersions()),
-                         [](const ::testing::TestParamInfo<EngineVersion>& info) {
-                           std::string name = EngineVersionName(info.param);
-                           for (char& c : name) {
-                             if (c == '.') c = '_';
-                           }
-                           return name;
-                         });
+                         ::testing::ValuesIn(AllEngineVersions()), VersionTestName);
+
+// The interprocedurally pruned module (SCCP + summaries + escape facts) must
+// also be observably identical to the unpruned one under the interpreter.
+class InterprocPrunedInterpreterDifferential
+    : public ::testing::TestWithParam<EngineVersion> {};
+
+TEST_P(InterprocPrunedInterpreterDifferential, ProbeMatrixIdentical) {
+  EXPECT_GT(ExpectPrunedMatchesBaseline(GetParam(), Figure11Zone(), 11, InterprocOptions()),
+            100);
+  EXPECT_GT(ExpectPrunedMatchesBaseline(GetParam(), BugHuntZone(), 13, InterprocOptions()),
+            100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, InterprocPrunedInterpreterDifferential,
+                         ::testing::ValuesIn(AllEngineVersions()), VersionTestName);
 
 std::string IssueDigest(const VerificationReport& report) {
   std::string digest;
@@ -149,14 +180,63 @@ TEST_P(PrunedVerifierDifferential, VerdictAndIssuesUnchangedOnBugHuntZone) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Versions, PrunedVerifierDifferential,
-                         ::testing::ValuesIn(AllEngineVersions()),
-                         [](const ::testing::TestParamInfo<EngineVersion>& info) {
-                           std::string name = EngineVersionName(info.param);
-                           for (char& c : name) {
-                             if (c == '.') c = '_';
-                           }
-                           return name;
-                         });
+                         ::testing::ValuesIn(AllEngineVersions()), VersionTestName);
+
+// Interprocedural vs intraprocedural pruning under the full pipeline: the
+// extra facts may only remove infeasible paths, so verdicts and issue lists
+// stay byte-identical while the analysis stage shows up in the report.
+class InterprocVerifierDifferential : public ::testing::TestWithParam<EngineVersion> {};
+
+TEST_P(InterprocVerifierDifferential, VerdictAndIssuesMatchBaselinePruner) {
+  VerifyContext context;
+  VerifyOptions baseline;
+  baseline.prune = true;
+  baseline.prune_interproc = false;
+  VerifyOptions interproc;
+  interproc.prune = true;
+  interproc.prune_interproc = true;
+  VerificationReport base = RunVerifyPipeline(&context, GetParam(), BugHuntZone(), baseline);
+  VerificationReport inter = RunVerifyPipeline(&context, GetParam(), BugHuntZone(), interproc);
+  ASSERT_FALSE(base.aborted) << base.abort_reason;
+  ASSERT_FALSE(inter.aborted) << inter.abort_reason;
+  EXPECT_EQ(base.verified, inter.verified);
+  EXPECT_EQ(IssueDigest(base), IssueDigest(inter));
+  // Dominance: the analysis suite never discharges less than the baseline
+  // and never leaves the executor more solver work.
+  EXPECT_GE(inter.panics_discharged, base.panics_discharged);
+  EXPECT_LE(inter.solver_checks, base.solver_checks);
+  // The per-pass analysis stats are reported only in interproc mode.
+  EXPECT_TRUE(base.analysis.IsZero());
+  EXPECT_FALSE(inter.analysis.IsZero());
+  EXPECT_GT(inter.analysis.sccp_branches_folded, 0)
+      << "feature gates must fold on every version";
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, InterprocVerifierDifferential,
+                         ::testing::ValuesIn(AllEngineVersions()), VersionTestName);
+
+// The acceptance criterion of the analysis suite, measured directly on the
+// prune stats without the pipeline: strictly more guards discharged than the
+// PR-2 baseline on at least three of the six versions (in practice: all six),
+// never fewer on any.
+TEST(InterprocPrune, DischargesStrictlyMoreGuardsThanBaseline) {
+  int strictly_more = 0;
+  for (EngineVersion version : AllEngineVersions()) {
+    std::unique_ptr<CompiledEngine> base_engine = CompiledEngine::Compile(version);
+    PruneStats base = PruneModule(&base_engine->mutable_module());
+
+    std::unique_ptr<CompiledEngine> inter_engine = CompiledEngine::Compile(version);
+    AnalysisStats analysis;
+    PruneStats inter =
+        PruneModule(&inter_engine->mutable_module(), InterprocOptions(), &analysis);
+
+    EXPECT_GE(inter.panics_discharged, base.panics_discharged) << EngineVersionName(version);
+    if (inter.panics_discharged > base.panics_discharged) ++strictly_more;
+    EXPECT_GT(analysis.sccp_branches_folded, 0) << EngineVersionName(version);
+    EXPECT_GT(analysis.pure_functions, 0) << EngineVersionName(version);
+  }
+  EXPECT_GE(strictly_more, 3);
+}
 
 TEST(PrunedVerifier, StrictlyFewerSolverChecksOnGolden) {
   VerifyContext context;

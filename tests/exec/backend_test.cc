@@ -7,10 +7,10 @@
 #include <string>
 #include <vector>
 
-#include "src/analysis/prune.h"
 #include "src/dns/example_zones.h"
 #include "src/engine/engine.h"
 #include "src/exec/backend.h"
+#include "src/exec/codegen.h"
 #include "src/interp/value.h"
 #include "src/ir/printer.h"
 
@@ -58,7 +58,7 @@ TEST(CompiledBackendTest, FingerprintMatchesRecompiledPrunedModule) {
     ASSERT_TRUE(embedded.ok()) << embedded.error();
 
     std::unique_ptr<CompiledEngine> engine = CompiledEngine::Compile(version);
-    PruneModule(&engine->mutable_module());
+    PruneForCodegen(&engine->mutable_module());
     engine->Freeze();
     EXPECT_EQ(embedded.value(), ModuleFingerprint(engine->module()))
         << EngineVersionName(version);

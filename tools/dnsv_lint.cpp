@@ -24,8 +24,14 @@ namespace {
 
 int LintEngineSources(bool werror) {
   std::set<std::string> rendered;
+  // The engine is linted with the verifier's analysis roots: interprocedural
+  // categories (unreachable-function in particular) are judged against what
+  // the drivers can actually invoke.
+  LintConfig config;
+  config.entry_roots = EngineAnalysisRoots();
   for (EngineVersion version : AllEngineVersions()) {
-    Result<std::vector<LintDiagnostic>> diags = LintMiniGoSources(EngineSources(version));
+    Result<std::vector<LintDiagnostic>> diags =
+        LintMiniGoSources(EngineSources(version), config);
     if (!diags.ok()) {
       std::fprintf(stderr, "dnsv-lint: engine %s does not build: %s\n",
                    EngineVersionName(version), diags.error().c_str());
@@ -74,6 +80,9 @@ int LintFiles(const std::vector<std::string>& files, bool werror) {
 struct Fixture {
   const char* category;
   const char* source;
+  // Optional analysis entry root for the interprocedural categories; null
+  // lints with the default (empty) config.
+  const char* root = nullptr;
 };
 
 const Fixture kFixtures[] = {
@@ -109,13 +118,51 @@ func f() int {
   return 0
 }
 )mg"},
+    // Interprocedural: `two` is pure, panic-free, and returns a value, so a
+    // bare `two()` statement provably does nothing.
+    {"unused-result", R"mg(
+func two() int {
+  return 2
+}
+func f() int {
+  two()
+  return 0
+}
+)mg"},
+    // Interprocedural: with `f` as the only entry root, `orphan` is dead.
+    {"unreachable-function", R"mg(
+func orphan() int {
+  return 1
+}
+func f() int {
+  return 0
+}
+)mg", "f"},
+    // Interprocedural: the guard does not literal-fold, but two()'s summary
+    // (constant return 2) folds it. A feature-gate condition over a named
+    // constant must NOT fire this — checked by the engine --werror gate,
+    // whose sources are full of `if featureX == 1`.
+    {"constant-foldable-guard", R"mg(
+func two() int {
+  return 2
+}
+func f() int {
+  x := two()
+  if two() == 2 {
+    return x
+  }
+  return 0
+}
+)mg"},
 };
 
 int SelfTest() {
   int failures = 0;
   for (const Fixture& fixture : kFixtures) {
+    LintConfig config;
+    if (fixture.root != nullptr) config.entry_roots.push_back(fixture.root);
     Result<std::vector<LintDiagnostic>> diags =
-        LintMiniGoSource("fixture.mg", fixture.source);
+        LintMiniGoSource("fixture.mg", fixture.source, config);
     if (!diags.ok()) {
       std::fprintf(stderr, "FAIL %s: fixture does not build: %s\n", fixture.category,
                    diags.error().c_str());
