@@ -39,6 +39,14 @@ run_pass() {
   # multi-worker queries/sec; under the sanitized pass this doubles as a race
   # check on the epoll workers, the stats blocks, and the snapshot swap.
   "$build_dir"/bench/server_throughput --smoke
+  # Incremental-verification gate (docs/INCREMENTAL.md): cold-verify into a
+  # fresh store, then re-verify warm. The harness exits non-zero unless every
+  # warm run replays byte-identically with zero new Z3 checks and >=95% layer
+  # reuse, and the edited-version scenario recomputes only the dirty cone.
+  # Inside run_pass the whole store stack — container parsing, tamper
+  # rejection, report codec — also executes under ASan/UBSan in pass 2 (the
+  # tests/store/ suite, tamper tests included, runs in the ctest line above).
+  "$build_dir"/bench/incremental_verify --smoke
 }
 
 echo "=== pass 1: normal build + ctest ==="
@@ -51,6 +59,17 @@ run_pass build
 # itself asserts all of that and exits non-zero on any regression; it also
 # refreshes BENCH_prune.json with one record per (version, analysis) pair.
 build/bench/prune_ablation
+
+# Store-binding gate: the DNSV_STORE_DIR environment path, twice against a
+# fresh store. The second run must be served from the store (replayed) with
+# every layer reused — the operator-visible form of the incremental_verify
+# assertions above.
+store_dir=$(mktemp -d)
+DNSV_STORE_DIR="$store_dir" build/examples/verify_zone golden > /dev/null
+warm_out=$(DNSV_STORE_DIR="$store_dir" build/examples/verify_zone golden)
+rm -rf "$store_dir"
+grep -q "incremental: replayed" <<<"$warm_out"
+grep -Eq "layers ([0-9]+)/\1 reused" <<<"$warm_out"
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "=== --fast: skipping sanitizer pass ==="

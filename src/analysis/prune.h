@@ -69,6 +69,17 @@ struct PruneOptions {
   // their parameters are never specialized to in-module call-site facts and
   // their allocations may escape to the caller. See EngineAnalysisRoots().
   std::vector<std::string> entry_points;
+  // Interproc mode only: replay these whole-module facts instead of running
+  // the call-graph / summary / points-to / escape passes. Must have been
+  // computed (or round-tripped, src/store/summary_io.h) from a module with
+  // the same pre-prune fingerprint; the caller owns that key discipline. The
+  // context is copied internally — prune renumbers allocation indices in its
+  // working copy, never through this pointer.
+  const InterprocContext* precomputed = nullptr;
+  // Interproc mode only: receives a copy of the whole-module facts exactly
+  // as the prune loop first consumed them (pre-renumbering), suitable for
+  // persisting and replaying via `precomputed`.
+  InterprocContext* capture = nullptr;
 };
 
 // Prunes one function in place using the baseline intraprocedural domain.

@@ -1,11 +1,20 @@
 #include "src/dnsv/pipeline.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <thread>
 #include <utility>
 
+#include "src/analysis/callgraph.h"
 #include "src/dns/wire.h"
+#include "src/dnsv/incremental.h"
+#include "src/dnsv/layers.h"
+#include "src/ir/printer.h"
+#include "src/smt/query_cache.h"
+#include "src/store/codec.h"
+#include "src/store/qcache_io.h"
+#include "src/store/summary_io.h"
 #include "src/sym/refine.h"
 #include "src/sym/specsub.h"
 #include "src/sym/summary.h"
@@ -413,7 +422,9 @@ std::shared_ptr<const CompiledEngine> VerifyContext::GetEngine(EngineVersion ver
 }
 
 std::shared_ptr<const PrunedEngine> VerifyContext::GetPrunedEngine(EngineVersion version,
-                                                                   bool interproc) {
+                                                                   bool interproc,
+                                                                   ArtifactStore* store,
+                                                                   bool replay_from_store) {
   std::pair<EngineVersion, bool> key{version, interproc};
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -430,11 +441,94 @@ std::shared_ptr<const PrunedEngine> VerifyContext::GetPrunedEngine(EngineVersion
   double start = ElapsedSeconds();
   std::unique_ptr<CompiledEngine> fresh = CompiledEngine::Compile(version);
   pruned->compile_seconds = ElapsedSeconds() - start;
+
+  uint64_t pre_fingerprint = 0;
+  std::string interproc_key;
+  if (store != nullptr) {
+    pre_fingerprint = ModuleFingerprint(fresh->module());
+    if (interproc) {
+      interproc_key = InterprocKey(pre_fingerprint, EngineAnalysisRoots());
+    }
+  }
+
+  // Runs the prune over the current `fresh` module. With a store and
+  // `allow_replay`, the whole-module interprocedural passes are replaced by
+  // the stored facts (a pure function of the pre-prune module, so replay is
+  // sound whenever the fingerprint-addressed artifact parses); otherwise the
+  // computed facts are captured and persisted for the next process.
+  auto run_prune = [&](bool allow_replay) {
+    PruneOptions prune_options;
+    prune_options.interproc = interproc;
+    InterprocContext replayed;
+    InterprocContext captured;
+    AnalysisStats restored;
+    bool from_store = false;
+    if (interproc) {
+      prune_options.entry_points = EngineAnalysisRoots();
+      if (allow_replay && store != nullptr) {
+        if (std::optional<std::string> payload =
+                store->Get(kInterprocArtifactKind, interproc_key)) {
+          if (ParseInterprocContext(*payload, &replayed, &restored)) {
+            prune_options.precomputed = &replayed;
+            from_store = true;
+          }
+        }
+      }
+      if (!from_store && store != nullptr) {
+        prune_options.capture = &captured;
+      }
+    }
+    pruned->analysis = AnalysisStats{};
+    pruned->stats = PruneModule(&fresh->mutable_module(), prune_options, &pruned->analysis);
+    if (from_store) {
+      // The replayed path skips the whole-module passes, so their outcome
+      // counters come from the artifact; SCCP folds re-ran during pruning and
+      // are already in pruned->analysis.
+      pruned->analysis += restored;
+    } else if (store != nullptr && interproc) {
+      store->Put(kInterprocArtifactKind, interproc_key,
+                 SerializeInterprocContext(captured, pruned->analysis));
+    }
+    pruned->summaries_from_store = from_store;
+  };
+
   start = ElapsedSeconds();
-  PruneOptions prune_options;
-  prune_options.interproc = interproc;
-  if (interproc) prune_options.entry_points = EngineAnalysisRoots();
-  pruned->stats = PruneModule(&fresh->mutable_module(), prune_options, &pruned->analysis);
+  run_prune(replay_from_store);
+  if (store != nullptr) {
+    // Hash-stability cross-check: the post-prune fingerprint recorded by the
+    // first (cold) prune of this exact pre-prune module must be reproduced.
+    // A mismatch after a replayed prune means the stored facts steered the
+    // rewrite differently — distrust them and recompute from scratch. A
+    // mismatch on a cold prune can only be a stale record; overwrite it.
+    uint64_t post_fingerprint = ModuleFingerprint(fresh->module());
+    std::string prune_key = PruneCheckKey(pre_fingerprint, interproc);
+    bool matched = false;
+    bool have_record = false;
+    if (std::optional<std::string> payload = store->Get(kPruneCheckKind, prune_key)) {
+      ArtifactDecoder dec(*payload);
+      dec.Tag("prune-check");
+      uint64_t recorded = dec.U64();
+      if (dec.ok() && dec.AtEnd()) {
+        have_record = true;
+        matched = recorded == post_fingerprint;
+      }
+    }
+    if (have_record && !matched && pruned->summaries_from_store) {
+      fresh = CompiledEngine::Compile(version);
+      run_prune(/*allow_replay=*/false);
+      post_fingerprint = ModuleFingerprint(fresh->module());
+      matched = false;  // the record disagreed with a replay; rewrite it below
+      have_record = false;
+    }
+    if (have_record && matched) {
+      pruned->prune_fingerprint_checked = true;
+    } else {
+      ArtifactEncoder enc;
+      enc.Tag("prune-check");
+      enc.U64(post_fingerprint);
+      store->Put(kPruneCheckKind, prune_key, enc.Take());
+    }
+  }
   pruned->prune_seconds = ElapsedSeconds() - start;
   fresh->Freeze();
   pruned->engine = std::shared_ptr<const CompiledEngine>(std::move(fresh));
@@ -493,22 +587,80 @@ VerifyContext::CacheStats VerifyContext::cache_stats() const {
 VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion version,
                                      const ZoneConfig& zone,
                                      const VerifyOptions& caller_options) {
+  VerifyOptions options = caller_options;
+  // Store resolution first: an active store upgrades a kDirect layering to
+  // the full cache+presolve stack (persistence with nothing to persist would
+  // be pointless), but DNSV_SOLVER_FORCE is applied after and still wins.
+  StoreBinding binding = ResolveStore(options);
+  if (binding.active() && options.solver.layering == SolverLayering::kDirect) {
+    options.solver.layering = SolverLayering::kCachePresolve;
+  }
   // DNSV_SOLVER_FORCE lets CI and ad-hoc runs override the solver layering
   // without touching call sites (e.g. forcing shadow validation).
-  VerifyOptions options = caller_options;
   options.solver = ApplySolverEnvOverride(options.solver);
+
+  double start = ElapsedSeconds();
+
+  // Content keys for this run. An invalid zone cannot be hashed; the store
+  // is dropped and the lift stage reports the abort exactly as before.
+  std::string zone_hash;
+  std::string options_digest;
+  std::string report_key;
+  if (binding.active()) {
+    Result<std::string> hashed = CanonicalZoneHashHex(zone);
+    if (hashed.ok()) {
+      zone_hash = hashed.value();
+      options_digest = VerifyOptionsDigest(options);
+      report_key = ReportKey(EngineSourceHashHex(version), zone_hash, options_digest);
+    } else {
+      binding = StoreBinding{};
+    }
+  }
 
   VerificationReport report;
   report.version = version;
-  double start = ElapsedSeconds();
+  report.incremental.store_enabled = binding.active();
+
+  QueryCache* query_cache =
+      options.solver.cache != nullptr ? options.solver.cache : QueryCache::Global();
+  if (binding.read_allowed() && options.solver.layering != SolverLayering::kDirect) {
+    report.incremental.qcache_entries_loaded =
+        EnsureQueryCacheLoaded(binding.store, query_cache);
+  }
+
+  // Janus-style replay: when the (sources, zone, options) key has a stored
+  // report, nothing this run could compute differs from it — serve it
+  // verbatim. A malformed or version-mismatched payload is a miss (the
+  // corruption policy), and the run proceeds cold.
+  if (binding.read_allowed()) {
+    if (std::optional<std::string> stored =
+            binding.store->Get(kReportArtifactKind, report_key)) {
+      VerificationReport replayed;
+      int64_t functions_total = 0;
+      int64_t layers_total = 0;
+      if (ParseReport(*stored, &replayed, &functions_total, &layers_total) &&
+          replayed.version == version) {
+        replayed.incremental = report.incremental;
+        replayed.incremental.replayed = true;
+        replayed.incremental.functions_total = functions_total;
+        replayed.incremental.functions_reused = functions_total;
+        replayed.incremental.layers_total = layers_total;
+        replayed.incremental.layers_reused = layers_total;
+        replayed.total_seconds = ElapsedSeconds() - start;
+        return replayed;
+      }
+    }
+  }
 
   // --- CompileStage (+ PruneStage when options.prune) ---
   VerifyContext::CacheStats stats_before = context->cache_stats();
   std::shared_ptr<const CompiledEngine> engine;
   if (options.prune) {
-    std::shared_ptr<const PrunedEngine> pruned =
-        context->GetPrunedEngine(version, options.prune_interproc);
+    std::shared_ptr<const PrunedEngine> pruned = context->GetPrunedEngine(
+        version, options.prune_interproc, binding.store, binding.read_allowed());
     engine = pruned->engine;
+    report.incremental.summaries_reused = pruned->summaries_from_store;
+    report.incremental.prune_fingerprint_checked = pruned->prune_fingerprint_checked;
     VerifyContext::CacheStats stats_mid = context->cache_stats();
     bool cached = stats_mid.prune_cache_hits > stats_before.prune_cache_hits;
     report.stages.push_back(
@@ -546,6 +698,55 @@ VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion versi
   report.stages.push_back(MakeStage(
       "lift", ElapsedSeconds() - lift_start, 0, 0,
       stats_after.zone_cache_hits > stats_mid.zone_cache_hits));
+
+  // --- DiffStage (store only): structural hashes -> dirty set ---
+  // Cone hashes over the module actually being explored, checked against the
+  // store's per-function / per-layer exploration markers for this
+  // (zone, options) pair. In incremental mode a marker hit means "this cone
+  // was fully explored by an earlier run under identical conditions"; cold
+  // and shadow modes treat everything as dirty by not reading. Markers for
+  // shared library layers are keyed purely by content, so a warm run of one
+  // version reuses the markers another version wrote.
+  std::vector<std::pair<std::string, uint64_t>> function_cones;
+  std::vector<std::pair<std::string, uint64_t>> layer_cones;
+  if (binding.active()) {
+    double diff_start = ElapsedSeconds();
+    ModuleManifest manifest = BuildModuleManifest(engine->module());
+    CallGraph graph = CallGraph::Build(engine->module());
+    for (int node : graph.ReachableFrom(EngineAnalysisRoots())) {
+      const std::string& name = graph.function(node).name();
+      auto it = manifest.cone_hash.find(name);
+      if (it != manifest.cone_hash.end()) {
+        function_cones.emplace_back(name, it->second);
+      }
+    }
+    std::sort(function_cones.begin(), function_cones.end());
+    for (const LayerInfo& layer : EngineLayers(version)) {
+      layer_cones.emplace_back(layer.name, CombineConeHashes(manifest, layer.functions));
+    }
+    IncrementalStats& inc = report.incremental;
+    inc.functions_total = static_cast<int64_t>(function_cones.size());
+    inc.layers_total = static_cast<int64_t>(layer_cones.size());
+    for (const auto& [name, cone] : function_cones) {
+      if (binding.read_allowed() &&
+          binding.store->Contains(kFunctionMarkerKind,
+                                  FunctionMarkerKey(cone, zone_hash, options_digest))) {
+        ++inc.functions_reused;
+      } else {
+        inc.dirty_functions.push_back(name);
+      }
+    }
+    for (const auto& [name, cone] : layer_cones) {
+      if (binding.read_allowed() &&
+          binding.store->Contains(kLayerMarkerKind,
+                                  LayerMarkerKey(cone, zone_hash, options_digest))) {
+        ++inc.layers_reused;
+      } else {
+        inc.dirty_layers.push_back(name);
+      }
+    }
+    report.stages.push_back(MakeStage("diff", ElapsedSeconds() - diff_start));
+  }
 
   // --- ExploreStage: engine and spec workers, serial or concurrent ---
   // Workers are fully isolated (private TermArena + SolverSession + lifted
@@ -706,6 +907,52 @@ VerificationReport RunVerifyPipeline(VerifyContext* context, EngineVersion versi
 
   report.total_seconds = ElapsedSeconds() - start;
   report.verified = !report.aborted && report.issues.empty();
+
+  // --- Store write-back (successful full runs only) ---
+  if (binding.active() && !report.aborted) {
+    // Shadow mode: before overwriting, assert this fresh run agrees byte for
+    // byte (on the normalized text) with what an earlier run stored under
+    // the same key — the end-to-end staleness gate for the whole store.
+    if (binding.mode == StoreMode::kShadow) {
+      if (std::optional<std::string> stored =
+              binding.store->Get(kReportArtifactKind, report_key)) {
+        VerificationReport prior;
+        int64_t prior_functions = 0;
+        int64_t prior_layers = 0;
+        if (ParseReport(*stored, &prior, &prior_functions, &prior_layers)) {
+          DNSV_CHECK_MSG(NormalizedReportText(prior) == NormalizedReportText(report),
+                         StrCat("artifact-store shadow mismatch: stored report for ",
+                                EngineVersionName(version),
+                                " disagrees with a fresh verification"));
+          report.incremental.shadow_checked = true;
+        }
+      }
+    }
+    // Every marker is (re)written — reused ones too, so a hit refreshes the
+    // GC's LRU clock and an interrupted earlier run cannot leave holes.
+    for (const auto& [name, cone] : function_cones) {
+      ArtifactEncoder enc;
+      enc.Tag("fnmark");
+      enc.Str(name);
+      enc.U64(cone);
+      binding.store->Put(kFunctionMarkerKind,
+                         FunctionMarkerKey(cone, zone_hash, options_digest), enc.Take());
+    }
+    for (const auto& [name, cone] : layer_cones) {
+      ArtifactEncoder enc;
+      enc.Tag("laymark");
+      enc.Str(name);
+      enc.U64(cone);
+      binding.store->Put(kLayerMarkerKind,
+                         LayerMarkerKey(cone, zone_hash, options_digest), enc.Take());
+    }
+    binding.store->Put(kReportArtifactKind, report_key,
+                       SerializeReport(report, report.incremental.functions_total,
+                                       report.incremental.layers_total));
+    if (options.solver.layering != SolverLayering::kDirect) {
+      FlushQueryCache(binding.store, query_cache);
+    }
+  }
   return report;
 }
 

@@ -62,6 +62,12 @@ struct PrunedEngine {
   AnalysisStats analysis;  // zero for baseline prunes
   double compile_seconds = 0;
   double prune_seconds = 0;
+  // Artifact-store provenance (docs/INCREMENTAL.md): whether the
+  // interprocedural facts were replayed from a stored artifact instead of
+  // recomputed, and whether the post-prune ModuleFingerprint matched the
+  // recorded cold prune (the hash-stability cross-check).
+  bool summaries_from_store = false;
+  bool prune_fingerprint_checked = false;
 };
 
 // Cross-run state of the pipeline: compiled engines per version, lifted
@@ -82,8 +88,18 @@ class VerifyContext {
   // `interproc`, the interprocedural suite (SCCP + summaries + escape facts,
   // rooted at EngineAnalysisRoots) drives the pruner; the two modes are
   // cached independently.
+  //
+  // With a `store`, the first computation persists the interprocedural facts
+  // keyed by the pre-prune ModuleFingerprint (and replays them when
+  // `replay_from_store`, skipping the whole-module passes), then cross-checks
+  // the post-prune fingerprint against the recorded cold prune; a mismatch
+  // discards the replay and recomputes from scratch. The in-memory cache key
+  // stays (version, interproc): the store only changes how the result is
+  // obtained, never what it is.
   std::shared_ptr<const PrunedEngine> GetPrunedEngine(EngineVersion version,
-                                                      bool interproc = false);
+                                                      bool interproc = false,
+                                                      ArtifactStore* store = nullptr,
+                                                      bool replay_from_store = true);
 
   // ZoneLiftStage: canonicalizes + materializes on first use. Errors
   // (invalid zones) are not cached. Unpruned / baseline-pruned /

@@ -53,6 +53,31 @@ std::string StageStats::ToString() const {
   return out;
 }
 
+std::string IncrementalStats::ToString() const {
+  if (!store_enabled) {
+    return "store off";
+  }
+  std::string out = replayed ? "replayed" : "recomputed";
+  out += StrCat(", functions ", functions_reused, "/", functions_total, " reused, layers ",
+                layers_reused, "/", layers_total, " reused");
+  if (qcache_entries_loaded > 0) {
+    out += StrCat(", ", qcache_entries_loaded, " solver verdicts from disk");
+  }
+  if (summaries_reused) {
+    out += ", interproc facts replayed";
+  }
+  if (prune_fingerprint_checked) {
+    out += ", prune fingerprint checked";
+  }
+  if (shadow_checked) {
+    out += ", shadow-checked against store";
+  }
+  if (!dirty_layers.empty()) {
+    out += StrCat(", dirty layers: ", JoinStrings(dirty_layers, " "));
+  }
+  return out;
+}
+
 std::string VerificationReport::ToString() const {
   std::string out = StrCat("=== DNS-V report: engine ", EngineVersionName(version), " ===\n");
   if (aborted) {
@@ -89,6 +114,11 @@ std::string VerificationReport::ToString() const {
                   " reached Z3, ", solver.cache_hits, " cache hits, ",
                   solver.presolver_discharges, " presolver discharges, ",
                   solver.asserts_deduped, " asserts deduped\n");
+    if (solver.cache_disk_hits > 0) {
+      // Cross-process share of the cache saving (store-loaded entries); zero
+      // without a store, keeping the historical output byte-identical.
+      out += StrCat("  solver cache from disk: ", solver.cache_disk_hits, " hits\n");
+    }
     if (solver.shadow_checks > 0) {
       out += StrCat("  shadow validation: ", solver.shadow_checks, " checks, ",
                     solver.shadow_mismatches, " mismatches\n");
@@ -97,6 +127,11 @@ std::string VerificationReport::ToString() const {
   if (solver.unknowns > 0 || solver.timeout_retries > 0) {
     out += StrCat("  solver unknowns: ", solver.unknowns, " (", solver.timeout_retries,
                   " timeout retries)\n");
+  }
+  // Printed only when a store was bound, so store-free reports stay
+  // byte-identical to the pre-store format.
+  if (incremental.store_enabled) {
+    out += StrCat("  incremental: ", incremental.ToString(), "\n");
   }
   if (!stages.empty()) {
     out += StrCat("  stages (", explored_in_parallel ? "parallel" : "serial",

@@ -139,12 +139,11 @@ std::string PrintModule(const Module& module) {
 uint64_t ModuleFingerprint(const Module& module) {
   // FNV-1a over the printed form: the printer spells out every instruction,
   // operand, and type, so two modules hash equal iff they print identically.
-  uint64_t hash = 0xcbf29ce484222325ull;
-  for (unsigned char c : PrintModule(module)) {
-    hash ^= c;
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
+  return Fnv1a64(PrintModule(module));
+}
+
+uint64_t FunctionFingerprint(const Module& module, const Function& function) {
+  return Fnv1a64(PrintFunction(module, function));
 }
 
 }  // namespace dnsv

@@ -18,6 +18,15 @@ std::string PrintModule(const Module& module);
 // the compiled artifact and the verified IR are the same bytes.
 uint64_t ModuleFingerprint(const Module& module);
 
+// Content hash of one function's printed form. The printer spells out the
+// parameter/return types by name and names callees in the instruction text,
+// so the hash is self-contained: two functions hash equal iff their bodies,
+// signatures, and block structure print identically — even when they live in
+// different modules with differently-numbered type tables. This is the
+// structural identity the artifact store's dirty-set diffing is built on
+// (docs/INCREMENTAL.md).
+uint64_t FunctionFingerprint(const Module& module, const Function& function);
+
 }  // namespace dnsv
 
 #endif  // DNSV_IR_PRINTER_H_

@@ -89,6 +89,9 @@ struct SolverStats {
   double solve_seconds = 0;  // wall time spent inside Z3
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  // Subset of cache_hits answered by entries the artifact store loaded from
+  // disk (src/store/qcache_io.h) — the cross-process share of the saving.
+  int64_t cache_disk_hits = 0;
   int64_t presolver_discharges = 0;
   int64_t asserts_deduped = 0;   // re-asserts skipped by the facade
   int64_t unknowns = 0;          // kUnknown surfaced to callers
@@ -103,6 +106,7 @@ struct SolverStats {
     solve_seconds += other.solve_seconds;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    cache_disk_hits += other.cache_disk_hits;
     presolver_discharges += other.presolver_discharges;
     asserts_deduped += other.asserts_deduped;
     unknowns += other.unknowns;

@@ -43,8 +43,10 @@ SatResult CachingBackend::RunCheck(Term assumption) {
   std::string key = canon_.CanonicalKey(conjunction);
 
   SatResult cached = SatResult::kUnknown;
-  if (cache_->Lookup(key, &cached)) {
+  bool from_disk = false;
+  if (cache_->Lookup(key, &cached, &from_disk)) {
     ++cache_hits_;
+    if (from_disk) ++cache_disk_hits_;
     if (shadow_validate_) {
       ++shadow_checks_;
       SatResult truth =

@@ -36,6 +36,7 @@ class CachingBackend : public SolverBackend {
 
   int64_t cache_hits() const { return cache_hits_; }
   int64_t cache_misses() const { return cache_misses_; }
+  int64_t cache_disk_hits() const { return cache_disk_hits_; }
   int64_t model_replays() const { return model_replays_; }
   int64_t shadow_checks() const { return shadow_checks_; }
   int64_t shadow_mismatches() const { return shadow_mismatches_; }
@@ -60,6 +61,7 @@ class CachingBackend : public SolverBackend {
 
   int64_t cache_hits_ = 0;
   int64_t cache_misses_ = 0;
+  int64_t cache_disk_hits_ = 0;
   int64_t model_replays_ = 0;
   int64_t shadow_checks_ = 0;
   int64_t shadow_mismatches_ = 0;

@@ -112,6 +112,7 @@ SolverStats SolverSession::stats() const {
   if (caching_ != nullptr) {
     s.cache_hits = caching_->cache_hits();
     s.cache_misses = caching_->cache_misses();
+    s.cache_disk_hits = caching_->cache_disk_hits();
     s.model_replays = caching_->model_replays();
     s.shadow_checks += caching_->shadow_checks();
     s.shadow_mismatches += caching_->shadow_mismatches();

@@ -2,12 +2,23 @@
 
 #include <z3++.h>
 
+#include <atomic>
 #include <chrono>
 #include <vector>
 
 #include "src/support/strings.h"
 
 namespace dnsv {
+namespace {
+
+// Shared by every Z3Backend instance on every thread; see TotalChecks().
+std::atomic<int64_t> g_total_z3_checks{0};
+
+}  // namespace
+
+int64_t Z3Backend::TotalChecks() {
+  return g_total_z3_checks.load(std::memory_order_relaxed);
+}
 
 struct Z3Backend::Impl {
   explicit Impl(TermArena* arena_in) : arena(arena_in), solver(ctx) {}
@@ -167,6 +178,7 @@ SatResult Z3Backend::RunCheck(Term assumption) {
     solve_seconds_ +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     ++num_checks_;
+    g_total_z3_checks.fetch_add(1, std::memory_order_relaxed);
     return r;
   };
   z3::check_result r = run_once();

@@ -36,6 +36,12 @@ class Z3Backend : public SolverBackend {
   int64_t unknowns() const { return unknowns_; }
   int64_t timeout_retries() const { return timeout_retries_; }
 
+  // Process-wide count of checks that reached Z3, across every backend
+  // instance on every thread. The ground truth the incremental-verification
+  // gates assert against ("warm re-run performed zero new Z3 checks"): this
+  // counter cannot be fooled by per-session accounting.
+  static int64_t TotalChecks();
+
  private:
   // `assumption` may be invalid (plain Check).
   SatResult RunCheck(Term assumption);

@@ -1,0 +1,136 @@
+#include "src/store/codec.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/support/strings.h"
+
+namespace dnsv {
+
+void ArtifactEncoder::Tag(std::string_view tag) {
+  out_ += "T ";
+  out_ += tag;
+  out_ += '\n';
+}
+
+void ArtifactEncoder::Int(int64_t value) {
+  out_ += "N ";
+  out_ += StrCat(value);
+  out_ += '\n';
+}
+
+void ArtifactEncoder::U64(uint64_t value) {
+  out_ += "U ";
+  out_ += HexU64(value);
+  out_ += '\n';
+}
+
+void ArtifactEncoder::Double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "F %.17g\n", value);
+  out_ += buf;
+}
+
+void ArtifactEncoder::Str(std::string_view value) {
+  out_ += "S ";
+  out_ += StrCat(value.size());
+  out_ += '\n';
+  out_ += value;
+  out_ += '\n';
+}
+
+std::string_view ArtifactDecoder::NextLine() {
+  if (!ok_) return {};
+  size_t pos = rest_.find('\n');
+  if (pos == std::string_view::npos) {
+    Fail();
+    return {};
+  }
+  std::string_view line = rest_.substr(0, pos);
+  rest_.remove_prefix(pos + 1);
+  return line;
+}
+
+std::string_view ArtifactDecoder::Field(char kind) {
+  std::string_view line = NextLine();
+  if (!ok_) return {};
+  if (line.size() < 2 || line[0] != kind || line[1] != ' ') {
+    Fail();
+    return {};
+  }
+  return line.substr(2);
+}
+
+void ArtifactDecoder::Tag(std::string_view expected) {
+  std::string_view got = Field('T');
+  if (ok_ && got != expected) Fail();
+}
+
+int64_t ArtifactDecoder::Int() {
+  std::string_view text = Field('N');
+  if (!ok_) return 0;
+  int64_t value = 0;
+  if (!ParseInt64(text, &value)) {
+    Fail();
+    return 0;
+  }
+  return value;
+}
+
+uint64_t ArtifactDecoder::U64() {
+  std::string_view text = Field('U');
+  if (!ok_) return 0;
+  if (text.size() != 16) {
+    Fail();
+    return 0;
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      Fail();
+      return 0;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return value;
+}
+
+double ArtifactDecoder::Double() {
+  std::string_view text = Field('F');
+  if (!ok_) return 0;
+  // strtod needs a terminated buffer; field lines are short.
+  std::string buf(text);
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end == nullptr || *end != '\0' || buf.empty()) {
+    Fail();
+    return 0;
+  }
+  return value;
+}
+
+std::string ArtifactDecoder::Str() {
+  std::string_view len_text = Field('S');
+  if (!ok_) return {};
+  int64_t len = 0;
+  if (!ParseInt64(len_text, &len) || len < 0 ||
+      static_cast<size_t>(len) + 1 > rest_.size()) {
+    Fail();
+    return {};
+  }
+  std::string value(rest_.substr(0, static_cast<size_t>(len)));
+  rest_.remove_prefix(static_cast<size_t>(len));
+  if (rest_.empty() || rest_[0] != '\n') {
+    Fail();
+    return {};
+  }
+  rest_.remove_prefix(1);
+  return value;
+}
+
+}  // namespace dnsv

@@ -1,0 +1,72 @@
+// Line-oriented token codec for artifact payloads (docs/INCREMENTAL.md).
+//
+// Artifacts must survive two hostile conditions: schema drift between repo
+// revisions and on-disk corruption. The codec therefore refuses silently
+// instead of guessing — every read is tagged, every string is
+// length-prefixed, and the decoder carries a sticky ok() flag. A consumer
+// that finishes decoding with ok() false treats the artifact as absent and
+// falls back to cold computation; no partially-decoded value is ever used.
+//
+// Wire forms (one record per line; S carries raw bytes after its line):
+//   T <tag>            record-type marker, decoder must ask for it by name
+//   N <decimal>        int64
+//   U <16 hex digits>  uint64 (hashes)
+//   F <%.17g>          double (round-trips every finite IEEE value)
+//   S <len>\n<bytes>\n string, arbitrary content including newlines
+#ifndef DNSV_STORE_CODEC_H_
+#define DNSV_STORE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dnsv {
+
+class ArtifactEncoder {
+ public:
+  void Tag(std::string_view tag);
+  void Int(int64_t value);
+  void U64(uint64_t value);
+  void Double(double value);
+  void Str(std::string_view value);
+  void Bool(bool value) { Int(value ? 1 : 0); }
+
+  const std::string& payload() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ArtifactDecoder {
+ public:
+  explicit ArtifactDecoder(std::string_view payload) : rest_(payload) {}
+
+  // Each reader returns a default value and latches ok() to false on any
+  // mismatch (wrong record type, wrong tag, malformed number, truncation).
+  void Tag(std::string_view expected);
+  int64_t Int();
+  uint64_t U64();
+  double Double();
+  std::string Str();
+  bool Bool() { return Int() != 0; }
+
+  // True when every read so far matched and consumed well-formed input.
+  bool ok() const { return ok_; }
+  // True when the input is fully consumed (trailing data is schema drift).
+  bool AtEnd() const { return rest_.empty(); }
+
+ private:
+  // Takes the next line (without the newline); fails on missing newline.
+  std::string_view NextLine();
+  // Takes the next line and checks its leading "<kind> " marker.
+  std::string_view Field(char kind);
+  void Fail() { ok_ = false; }
+
+  std::string_view rest_;
+  bool ok_ = true;
+};
+
+}  // namespace dnsv
+
+#endif  // DNSV_STORE_CODEC_H_

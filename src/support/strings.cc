@@ -81,4 +81,23 @@ bool ParseInt64(std::string_view text, int64_t* out) {
   return true;
 }
 
+uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
+  uint64_t hash = seed;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string HexU64(uint64_t value) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
 }  // namespace dnsv

@@ -36,6 +36,16 @@ std::string StrCat(const Args&... args) {
 // non-digit character or empty input.
 bool ParseInt64(std::string_view text, int64_t* out);
 
+// FNV-1a over `data`, continuing from `seed`. This is the one content hash
+// the toolchain uses (ModuleFingerprint, the artifact store's keys and
+// checksums); chaining calls via the seed hashes the concatenation.
+inline constexpr uint64_t kFnv1a64Seed = 0xcbf29ce484222325ull;
+uint64_t Fnv1a64(std::string_view data, uint64_t seed = kFnv1a64Seed);
+
+// The 16-hex-digit lowercase spelling used wherever a hash becomes a file
+// name or a stable key fragment.
+std::string HexU64(uint64_t value);
+
 }  // namespace dnsv
 
 #endif  // DNSV_SUPPORT_STRINGS_H_
