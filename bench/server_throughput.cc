@@ -1,13 +1,17 @@
 // UDP throughput of the serving shell (docs/SERVER.md): queries/sec against
-// a loopback DnsServer across two axes — 1 worker vs N workers, and the
-// interp vs AOT-compiled execution backend (docs/BACKEND.md). Not a paper
-// figure — the numbers demonstrate that SO_REUSEPORT sharding actually
-// scales the verified engine, and that compiling the verified AbsIR buys the
-// serving path a real single-worker speedup over interpreting it.
+// a loopback DnsServer across three axes — 1 worker vs N workers, the interp
+// vs AOT-compiled execution backend (docs/BACKEND.md), and the response
+// packet cache on vs off (docs/SERVER.md) under a Zipf(1.0) query mix. Not a
+// paper figure — the numbers demonstrate that SO_REUSEPORT sharding actually
+// scales the verified engine, that compiling the verified AbsIR buys the
+// serving path a real single-worker speedup over interpreting it, and that
+// the packet cache converts a skewed query distribution into hash-lookup
+// latencies without changing a byte of the answers.
 //
 // Besides the human-readable table, the harness writes BENCH_server.json
-// (array of {backend, workers, clients, warmup, seconds, queries, qps,
-// p50_us, p99_us}) into the working directory for the CI gate.
+// (array of {backend, workers, workload, cache, clients, warmup, seconds,
+// queries, qps, p50_us, p99_us, cache_hits, cache_misses, hit_rate}) into
+// the working directory for the CI gate.
 //
 //   $ bench/server_throughput                        # ~2s per configuration
 //   $ bench/server_throughput --smoke                # ~0.3s per configuration (CI)
@@ -20,12 +24,20 @@
 // background build) then taxes every configuration instead of whichever
 // happened to run last, and best-of-N discards the taxed trials — external
 // interference only ever makes a run slower, never faster.
+//
+// The Zipf configurations double as a transparency gate: after the timed
+// window every distinct query is served twice back to back and the two
+// answers must be byte-identical — with the cache on, the second answer is a
+// splice from the cached entry, so any divergence is a cache bug. The run
+// (smoke included) exits non-zero if a cache-on configuration records zero
+// hits or any spot check mismatches.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -41,9 +53,21 @@
 namespace dnsv {
 namespace {
 
-struct BenchResult {
+enum class Workload { kPingPong, kZipf };
+
+const char* WorkloadName(Workload workload) {
+  return workload == Workload::kPingPong ? "pingpong" : "zipf";
+}
+
+struct BenchConfig {
   BackendKind backend = BackendKind::kInterp;
   int workers = 0;
+  Workload workload = Workload::kPingPong;
+  size_t cache_entries = 0;
+};
+
+struct BenchResult {
+  BenchConfig config;
   int clients = 0;
   double warmup = 0;
   double seconds = 0;
@@ -51,20 +75,61 @@ struct BenchResult {
   double qps = 0;
   uint64_t p50_us = 0;
   uint64_t p99_us = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double hit_rate = 0;
+  int spot_mismatches = 0;
 };
 
-// One ping-pong client: a connected UDP socket issuing the same query as
-// fast as the server answers it. Fresh sockets per client give SO_REUSEPORT
-// distinct 4-tuples to shard across workers.
-void ClientLoop(uint16_t port, const std::vector<uint8_t>& request,
-                std::chrono::steady_clock::time_point deadline, std::atomic<uint64_t>* answered,
-                std::atomic<uint64_t>* lost) {
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// The Zipf vocabulary: 256 names under the kitchen-sink zone's *.dyn
+// wildcard, so every query resolves to the same NOERROR answer shape and the
+// cache axis is isolated from any rcode mix.
+constexpr int kZipfNames = 256;
+
+std::vector<std::vector<uint8_t>> BuildZipfRequests() {
+  std::vector<std::vector<uint8_t>> requests;
+  requests.reserve(kZipfNames);
+  for (int i = 0; i < kZipfNames; ++i) {
+    WireQuery query;
+    query.id = 0x5a50;
+    query.qname = DnsName::Parse("host" + std::to_string(i) + ".dyn.example.com").value();
+    query.qtype = RrType::kA;
+    requests.push_back(EncodeWireQuery(query));
+  }
+  return requests;
+}
+
+// CDF of Zipf(s=1.0) over ranks 1..kZipfNames: P(rank k) proportional to 1/k.
+std::vector<double> BuildZipfCdf() {
+  std::vector<double> cdf(kZipfNames);
+  double total = 0;
+  for (int i = 0; i < kZipfNames; ++i) {
+    total += 1.0 / (i + 1);
+  }
+  double acc = 0;
+  for (int i = 0; i < kZipfNames; ++i) {
+    acc += 1.0 / (i + 1) / total;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;  // float roundoff must not strand the last rank
+  return cdf;
+}
+
+int OpenClientSocket(uint16_t port, int recv_timeout_ms) {
   int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) {
-    return;
+    return -1;
   }
   timeval tv{};
-  tv.tv_usec = 100 * 1000;  // lost datagrams must not wedge the loop
+  tv.tv_sec = recv_timeout_ms / 1000;
+  tv.tv_usec = (recv_timeout_ms % 1000) * 1000;  // lost datagrams must not wedge the loop
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -72,10 +137,32 @@ void ClientLoop(uint16_t port, const std::vector<uint8_t>& request,
   addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// One ping-pong client: a connected UDP socket issuing queries as fast as
+// the server answers them. Fresh sockets per client give SO_REUSEPORT
+// distinct 4-tuples to shard across workers. With a single request the
+// client replays it; with several it samples Zipf(1.0) ranks via `cdf`.
+void ClientLoop(uint16_t port, const std::vector<std::vector<uint8_t>>* requests,
+                const std::vector<double>* cdf, uint64_t seed,
+                std::chrono::steady_clock::time_point deadline, std::atomic<uint64_t>* answered,
+                std::atomic<uint64_t>* lost) {
+  int fd = OpenClientSocket(port, 100);
+  if (fd < 0) {
     return;
   }
+  uint64_t state = seed;
   uint8_t buffer[4096];
   while (std::chrono::steady_clock::now() < deadline) {
+    size_t rank = 0;
+    if (requests->size() > 1) {
+      double u = static_cast<double>(SplitMix64Next(&state) >> 11) * 0x1.0p-53;
+      rank = std::lower_bound(cdf->begin(), cdf->end(), u) - cdf->begin();
+    }
+    const std::vector<uint8_t>& request = (*requests)[rank];
     if (::send(fd, request.data(), request.size(), 0) < 0) {
       break;
     }
@@ -90,14 +177,16 @@ void ClientLoop(uint16_t port, const std::vector<uint8_t>& request,
 
 // Runs `clients` ping-pong clients against `port` until `deadline`; returns
 // the number of answered queries.
-uint64_t DriveClients(uint16_t port, const std::vector<uint8_t>& request, int clients,
+uint64_t DriveClients(uint16_t port, const std::vector<std::vector<uint8_t>>& requests,
+                      const std::vector<double>& cdf, int clients,
                       std::chrono::steady_clock::time_point deadline,
                       std::atomic<uint64_t>* lost) {
   std::atomic<uint64_t> answered{0};
   std::vector<std::thread> pool;
   pool.reserve(clients);
   for (int c = 0; c < clients; ++c) {
-    pool.emplace_back(ClientLoop, port, std::cref(request), deadline, &answered, lost);
+    pool.emplace_back(ClientLoop, port, &requests, &cdf, 0x5a50f00d + uint64_t{13} * c, deadline,
+                      &answered, lost);
   }
   for (std::thread& client : pool) {
     client.join();
@@ -105,37 +194,84 @@ uint64_t DriveClients(uint16_t port, const std::vector<uint8_t>& request, int cl
   return answered.load();
 }
 
-Result<BenchResult> RunConfig(BackendKind backend, int workers, int clients, double warmup,
+// One request/response exchange with a bounded retry: after the timed window
+// the server is idle, so a recv timeout means an actually lost datagram, and
+// one resend settles it.
+ssize_t Exchange(int fd, const std::vector<uint8_t>& request, uint8_t* buffer, size_t size) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (::send(fd, request.data(), request.size(), 0) < 0) {
+      return -1;
+    }
+    ssize_t n = ::recv(fd, buffer, size, 0);
+    if (n > 0) {
+      return n;
+    }
+  }
+  return -1;
+}
+
+// Byte-identity spot check: every distinct query served twice back to back
+// must answer identically. With the cache on the second answer is spliced
+// from the cached entry, so any divergence is a cache transparency bug; with
+// it off this asserts the engine itself is deterministic.
+int SpotCheckMismatches(uint16_t port, const std::vector<std::vector<uint8_t>>& requests) {
+  int fd = OpenClientSocket(port, 500);
+  if (fd < 0) {
+    return static_cast<int>(requests.size());
+  }
+  int mismatches = 0;
+  uint8_t first[4096];
+  uint8_t second[4096];
+  for (const std::vector<uint8_t>& request : requests) {
+    ssize_t n1 = Exchange(fd, request, first, sizeof(first));
+    ssize_t n2 = Exchange(fd, request, second, sizeof(second));
+    if (n1 <= 0 || n1 != n2 || std::memcmp(first, second, static_cast<size_t>(n1)) != 0) {
+      ++mismatches;
+    }
+  }
+  ::close(fd);
+  return mismatches;
+}
+
+Result<BenchResult> RunConfig(const BenchConfig& bench_config, int clients, double warmup,
                               double seconds) {
   ServerConfig config;
-  config.udp_workers = workers;
+  config.udp_workers = bench_config.workers;
   config.enable_tcp = false;  // UDP throughput only
-  config.backend = backend;
+  config.backend = bench_config.backend;
+  config.cache_entries = bench_config.cache_entries;
   Result<std::unique_ptr<DnsServer>> started = DnsServer::Start(config, KitchenSinkZone());
   if (!started.ok()) {
     return Result<BenchResult>::Error(started.error());
   }
   std::unique_ptr<DnsServer> server = std::move(started).value();
 
-  WireQuery query;
-  query.id = 0x5353;
-  query.qname = DnsName::Parse("www.example.com").value();
-  query.qtype = RrType::kA;
-  std::vector<uint8_t> request = EncodeWireQuery(query);
+  std::vector<std::vector<uint8_t>> requests;
+  std::vector<double> cdf{1.0};
+  if (bench_config.workload == Workload::kZipf) {
+    requests = BuildZipfRequests();
+    cdf = BuildZipfCdf();
+  } else {
+    WireQuery query;
+    query.id = 0x5353;
+    query.qname = DnsName::Parse("www.example.com").value();
+    query.qtype = RrType::kA;
+    requests.push_back(EncodeWireQuery(query));
+  }
 
   BenchResult result;
-  result.backend = backend;
-  result.workers = workers;
+  result.config = bench_config;
   result.clients = clients;
   result.warmup = warmup;
   std::atomic<uint64_t> lost{0};
 
-  // Warmup: same client pool, unmeasured. Brings sockets, worker shards, and
-  // branch predictors to steady state before the timed window. (The server's
-  // latency histogram still sees warmup samples — same query, same
-  // distribution, so the percentiles stay representative.)
+  // Warmup: same client pool, unmeasured. Brings sockets, worker shards,
+  // branch predictors — and on the cache configurations, the hot cache
+  // entries — to steady state before the timed window. (The server's latency
+  // histogram still sees warmup samples — same query mix, so the percentiles
+  // stay representative.)
   if (warmup > 0) {
-    DriveClients(server->udp_port(), request, clients,
+    DriveClients(server->udp_port(), requests, cdf, clients,
                  std::chrono::steady_clock::now() +
                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                          std::chrono::duration<double>(warmup)),
@@ -146,12 +282,21 @@ Result<BenchResult> RunConfig(BackendKind backend, int workers, int clients, dou
   auto start = std::chrono::steady_clock::now();
   auto deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                               std::chrono::duration<double>(seconds));
-  result.queries = DriveClients(server->udp_port(), request, clients, deadline, &lost);
+  result.queries = DriveClients(server->udp_port(), requests, cdf, clients, deadline, &lost);
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   result.qps = result.queries / result.seconds;
+  if (bench_config.workload == Workload::kZipf) {
+    result.spot_mismatches = SpotCheckMismatches(server->udp_port(), requests);
+  }
   StatsSnapshot stats = server->Stats();
   result.p50_us = stats.LatencyPercentileUs(0.50);
   result.p99_us = stats.LatencyPercentileUs(0.99);
+  result.cache_hits = stats.cache_hits;
+  result.cache_misses = stats.cache_misses;
+  if (stats.cache_hits + stats.cache_misses > 0) {
+    result.hit_rate =
+        static_cast<double>(stats.cache_hits) / (stats.cache_hits + stats.cache_misses);
+  }
   server->Stop();
   if (result.queries == 0) {
     return Result<BenchResult>::Error("no queries were answered");
@@ -178,58 +323,84 @@ int RunBench(double seconds, double warmup, int trials) {
       seconds, warmup, trials, trials == 1 ? "" : "s");
 
   // The same client pool drives every configuration, so each comparison
-  // isolates one axis: worker count (SO_REUSEPORT scaling) or backend
-  // (interp vs compiled). The pool is sized to keep one worker saturated
-  // even on the compiled backend, whose per-query cost is a fraction of the
-  // interpreter's — too few ping-pong clients and the measurement caps at
-  // the client pool's round-trip rate instead of the server's capacity, and
-  // the worker's recvmmsg batches run partially empty, charging the fast
-  // backend more syscalls per query than the slow one (a saturated interp
-  // worker always has a full socket queue; a compiled one drains it).
+  // isolates one axis: worker count (SO_REUSEPORT scaling), backend (interp
+  // vs compiled), or packet cache (on vs off under Zipf). The pool is sized
+  // to keep one worker saturated even on the compiled backend, whose
+  // per-query cost is a fraction of the interpreter's — too few ping-pong
+  // clients and the measurement caps at the client pool's round-trip rate
+  // instead of the server's capacity, and the worker's recvmmsg batches run
+  // partially empty, charging the fast backend more syscalls per query than
+  // the slow one (a saturated interp worker always has a full socket queue;
+  // a compiled one drains it).
   // On a single hardware thread the multi-worker run measures contention
   // overhead rather than scaling — the JSON records whichever the host can
   // show.
   const int clients = max_workers * 16;
-  struct Config {
-    BackendKind backend;
-    int workers;
-  };
-  std::vector<Config> configs;
+  std::vector<BenchConfig> configs;
+  // Backend axis: the single hot query with the cache off, so the numbers
+  // measure the execution backends and not the cache fast path (with the
+  // cache on, a single-name ping-pong is ~100% hits and every backend
+  // measures the same memcpy).
   for (BackendKind backend : {BackendKind::kInterp, BackendKind::kCompiled}) {
     for (int workers : {1, max_workers}) {
-      configs.push_back({backend, workers});
+      configs.push_back({backend, workers, Workload::kPingPong, 0});
+    }
+  }
+  // Cache axis: Zipf(1.0) over 256 wildcard names on the interp backend,
+  // where per-query engine cost dominates and the cache win is the signal
+  // rather than the noise.
+  for (int workers : {1, max_workers}) {
+    for (size_t cache_entries : {size_t{0}, size_t{4096}}) {
+      configs.push_back({BackendKind::kInterp, workers, Workload::kZipf, cache_entries});
     }
   }
   std::vector<BenchResult> results(configs.size());
   for (int trial = 0; trial < trials; ++trial) {
     for (size_t i = 0; i < configs.size(); ++i) {
-      Result<BenchResult> run =
-          RunConfig(configs[i].backend, configs[i].workers, clients, warmup, seconds);
+      Result<BenchResult> run = RunConfig(configs[i], clients, warmup, seconds);
       if (!run.ok()) {
         // Sandboxes without loopback sockets still pass the CI gate.
         std::fprintf(stderr, "skipping: %s\n", run.error().c_str());
         return 0;
       }
       if (run.value().qps > results[i].qps) {
-        results[i] = run.value();
+        BenchResult best = run.value();
+        // Spot-check failures must fail the gate even if a cleaner trial
+        // later posts a better qps.
+        best.spot_mismatches += results[i].spot_mismatches;
+        results[i] = best;
+      } else {
+        results[i].spot_mismatches += run.value().spot_mismatches;
       }
     }
   }
   for (const BenchResult& r : results) {
-    std::printf("backend=%-8s workers=%d  clients=%d  %8llu queries in %.2fs  = %8.0f q/s  "
-                "p50=%lluus p99=%lluus\n",
-                BackendKindName(r.backend), r.workers, r.clients,
-                static_cast<unsigned long long>(r.queries), r.seconds, r.qps,
+    std::printf("backend=%-8s workers=%d  workload=%-8s cache=%-3s clients=%d  "
+                "%8llu queries in %.2fs  = %8.0f q/s  p50=%lluus p99=%lluus",
+                BackendKindName(r.config.backend), r.config.workers,
+                WorkloadName(r.config.workload), r.config.cache_entries > 0 ? "on" : "off",
+                r.clients, static_cast<unsigned long long>(r.queries), r.seconds, r.qps,
                 static_cast<unsigned long long>(r.p50_us),
                 static_cast<unsigned long long>(r.p99_us));
+    if (r.config.cache_entries > 0) {
+      std::printf("  hit_rate=%.1f%%", 100.0 * r.hit_rate);
+    }
+    std::printf("\n");
   }
-  if (results.size() == 4 && results[0].qps > 0 && results[2].qps > 0) {
+  if (results.size() >= 4 && results[0].qps > 0 && results[2].qps > 0) {
     std::printf("\nscaling: interp %.2fx, compiled %.2fx at %d workers over 1\n",
                 results[1].qps / results[0].qps, results[3].qps / results[2].qps,
-                results[1].workers);
+                results[1].config.workers);
     std::printf("backend: compiled is %.1fx interp at 1 worker, %.1fx at %d workers\n",
                 results[2].qps / results[0].qps, results[3].qps / results[1].qps,
-                results[1].workers);
+                results[1].config.workers);
+  }
+  if (results.size() >= 8 && results[4].qps > 0 && results[6].qps > 0) {
+    std::printf("cache:   Zipf(1.0) on/off = %.2fx at 1 worker (hit rate %.1f%%), "
+                "%.2fx at %d workers (hit rate %.1f%%)\n",
+                results[5].qps / results[4].qps, 100.0 * results[5].hit_rate,
+                results[7].qps / results[6].qps, results[7].config.workers,
+                100.0 * results[7].hit_rate);
   }
 
   std::FILE* out = std::fopen("BENCH_server.json", "w");
@@ -241,18 +412,47 @@ int RunBench(double seconds, double warmup, int trials) {
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     std::fprintf(out,
-                 "  {\"backend\": \"%s\", \"workers\": %d, \"clients\": %d, \"warmup\": %g, "
+                 "  {\"backend\": \"%s\", \"workers\": %d, \"workload\": \"%s\", "
+                 "\"cache\": \"%s\", \"clients\": %d, \"warmup\": %g, "
                  "\"seconds\": %g, \"queries\": %llu, \"qps\": %.0f, \"p50_us\": %llu, "
-                 "\"p99_us\": %llu}%s\n",
-                 BackendKindName(r.backend), r.workers, r.clients, r.warmup, r.seconds,
-                 static_cast<unsigned long long>(r.queries), r.qps,
-                 static_cast<unsigned long long>(r.p50_us),
-                 static_cast<unsigned long long>(r.p99_us), i + 1 < results.size() ? "," : "");
+                 "\"p99_us\": %llu, \"cache_hits\": %llu, \"cache_misses\": %llu, "
+                 "\"hit_rate\": %.4f}%s\n",
+                 BackendKindName(r.config.backend), r.config.workers,
+                 WorkloadName(r.config.workload), r.config.cache_entries > 0 ? "on" : "off",
+                 r.clients, r.warmup, r.seconds, static_cast<unsigned long long>(r.queries),
+                 r.qps, static_cast<unsigned long long>(r.p50_us),
+                 static_cast<unsigned long long>(r.p99_us),
+                 static_cast<unsigned long long>(r.cache_hits),
+                 static_cast<unsigned long long>(r.cache_misses), r.hit_rate,
+                 i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);
   std::printf("wrote BENCH_server.json\n");
-  return 0;
+
+  // Cache gate (smoke and full runs alike): cache-on Zipf configurations
+  // must actually hit, and no Zipf configuration may ever answer the same
+  // query two different ways.
+  int failures = 0;
+  for (const BenchResult& r : results) {
+    if (r.config.workload != Workload::kZipf) {
+      continue;
+    }
+    if (r.spot_mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %d byte-identity spot-check mismatch(es) at backend=%s workers=%d "
+                   "cache=%s\n",
+                   r.spot_mismatches, BackendKindName(r.config.backend), r.config.workers,
+                   r.config.cache_entries > 0 ? "on" : "off");
+      ++failures;
+    }
+    if (r.config.cache_entries > 0 && r.cache_hits == 0) {
+      std::fprintf(stderr, "FAIL: cache-on Zipf run recorded zero hits at workers=%d\n",
+                   r.config.workers);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 bool ParseDoubleFlag(const char* arg, const char* name, double* value) {
@@ -290,7 +490,7 @@ int main(int argc, char** argv) {
         warmup = 0.1;
       }
       if (!trials_set) {
-        trials = 1;  // the CI gate checks liveness, not the ratio
+        trials = 1;  // the CI gate checks liveness + cache transparency, not ratios
       }
     } else if (dnsv::ParseDoubleFlag(argv[i], "seconds", &value)) {
       seconds = value;

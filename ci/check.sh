@@ -93,7 +93,7 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 cmake -B build-tsan -S . -DDNSV_TSAN=ON
 cmake --build build-tsan -j "$jobs" --target server_test server_throughput
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'DnsServerTest|ServerStatsTest|ServePacketTest'
+  -R 'DnsServerTest|ServerStatsTest|ServePacketTest|CacheKey|PacketCacheTest|CachedServeTest|CacheDifferentialTest|DnsServerCacheTest|MinimumResponseTtl'
 build-tsan/bench/server_throughput --smoke
 
 echo "=== all checks passed ==="

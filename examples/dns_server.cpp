@@ -33,10 +33,12 @@ using namespace dnsv;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [zone-file] [port] [--workers N] [--no-tcp]\n"
-               "          [--backend interp|compiled]\n"
+               "          [--backend interp|compiled] [--cache-entries N]\n"
                "       %s --selftest\n"
                "port must be 1..65535 (default 5533); --workers defaults to 2;\n"
-               "--backend defaults to compiled (docs/BACKEND.md)\n",
+               "--backend defaults to compiled (docs/BACKEND.md);\n"
+               "--cache-entries sizes the response packet cache, 0 disables\n"
+               "(default 4096, docs/SERVER.md)\n",
                argv0, argv0);
   return 2;
 }
@@ -92,6 +94,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.backend = backend.value();
+    } else if (arg == "--cache-entries") {
+      if (i + 1 >= argc) {
+        return Usage(argv[0]);
+      }
+      int64_t entries = 0;
+      if (!ParseInt64(argv[++i], &entries) || entries < 0 || entries > (int64_t{1} << 24)) {
+        std::fprintf(stderr, "--cache-entries must be 0..%lld, got '%s'\n",
+                     static_cast<long long>(int64_t{1} << 24), argv[i]);
+        return 2;
+      }
+      config.cache_entries = static_cast<size_t>(entries);
     } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
       return Usage(argv[0]);
     } else {
@@ -140,10 +153,10 @@ int main(int argc, char** argv) {
   if (!zone_path.empty()) {
     reloader = std::make_unique<SignalReloader>(server.get(), zone_path);
   }
-  std::fprintf(stderr, "serving %s on %s:%u (UDP x%d%s, %s backend)%s\n",
+  std::fprintf(stderr, "serving %s on %s:%u (UDP x%d%s, %s backend, cache %zu)%s\n",
                zone.origin.ToString().c_str(), config.bind_ip.c_str(), server->udp_port(),
                config.udp_workers, config.enable_tcp ? " + TCP" : "",
-               BackendKindName(config.backend),
+               BackendKindName(config.backend), config.cache_entries,
                zone_path.empty() ? "" : "; SIGHUP reloads the zone file");
 
   while (true) {

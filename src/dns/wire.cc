@@ -59,10 +59,14 @@ Result<DnsName> WireNameFromString(const std::string& text) {
 
 class Reader {
  public:
-  explicit Reader(const std::vector<uint8_t>& packet) : packet_(packet) {}
+  // A non-owning view: the serving path parses straight out of the worker's
+  // receive buffer, so the reader must not force a copy.
+  Reader(const uint8_t* packet, size_t size) : packet_(packet), size_(size) {}
+  explicit Reader(const std::vector<uint8_t>& packet)
+      : Reader(packet.data(), packet.size()) {}
 
   bool U8(uint8_t* value) {
-    if (pos_ >= packet_.size()) {
+    if (pos_ >= size_) {
       return false;
     }
     *value = packet_[pos_++];
@@ -85,7 +89,7 @@ class Reader {
     return true;
   }
   bool Skip(size_t n) {
-    if (pos_ + n > packet_.size()) {
+    if (pos_ + n > size_) {
       return false;
     }
     pos_ += n;
@@ -99,7 +103,7 @@ class Reader {
     bool jumped = false;
     int hops = 0;
     while (true) {
-      if (pos >= packet_.size() || ++hops > 128) {
+      if (pos >= size_ || ++hops > 128) {
         return false;  // truncated or compression loop
       }
       uint8_t len = packet_[pos];
@@ -110,7 +114,7 @@ class Reader {
         return true;
       }
       if ((len & 0xC0) == 0xC0) {
-        if (pos + 1 >= packet_.size()) {
+        if (pos + 1 >= size_) {
           return false;
         }
         size_t target = static_cast<size_t>((len & 0x3F) << 8 | packet_[pos + 1]);
@@ -124,11 +128,10 @@ class Reader {
         pos = target;
         continue;
       }
-      if ((len & 0xC0) != 0 || pos + 1 + len > packet_.size()) {
+      if ((len & 0xC0) != 0 || pos + 1 + len > size_) {
         return false;
       }
-      name->labels.emplace_back(packet_.begin() + static_cast<long>(pos) + 1,
-                                packet_.begin() + static_cast<long>(pos) + 1 + len);
+      name->labels.emplace_back(packet_ + pos + 1, packet_ + pos + 1 + len);
       pos += 1 + static_cast<size_t>(len);
     }
   }
@@ -136,7 +139,8 @@ class Reader {
   size_t pos() const { return pos_; }
 
  private:
-  const std::vector<uint8_t>& packet_;
+  const uint8_t* packet_;
+  size_t size_;
   size_t pos_ = 0;
 };
 
@@ -343,11 +347,11 @@ std::vector<uint8_t> EncodeWireQuery(const WireQuery& query) {
   return out;
 }
 
-Result<WireQuery> ParseWireQuery(const std::vector<uint8_t>& packet) {
-  if (packet.size() < kHeaderSize) {
+Result<WireQuery> ParseWireQuery(const uint8_t* packet, size_t size) {
+  if (size < kHeaderSize) {
     return Result<WireQuery>::Error("packet shorter than the DNS header");
   }
-  Reader reader(packet);
+  Reader reader(packet, size);
   WireQuery query;
   uint16_t flags = 0, qdcount = 0, other = 0;
   reader.U16(&query.id);

@@ -46,7 +46,13 @@ struct WireQuery {
 
 // Parses a wire-format query packet. Fails on truncated packets, non-query
 // opcodes, QDCOUNT != 1, or malformed names (including compression loops).
-Result<WireQuery> ParseWireQuery(const std::vector<uint8_t>& packet);
+// The view form is the primary entry point: the serving hot path hands the
+// worker's receive buffer straight to the parser, so no per-packet copy is
+// made (the parsed WireQuery owns its labels and does not alias `packet`).
+Result<WireQuery> ParseWireQuery(const uint8_t* packet, size_t size);
+inline Result<WireQuery> ParseWireQuery(const std::vector<uint8_t>& packet) {
+  return ParseWireQuery(packet.data(), packet.size());
+}
 
 // Encodes `response` (the engine's decoded view) as a wire-format answer to
 // `query`. rdata encodings: A = 4 bytes; AAAA = 16 bytes (our int payload in

@@ -29,16 +29,40 @@ std::vector<uint8_t> BuildErrorResponse(const uint8_t* packet, size_t size, Rcod
 }
 
 ServeOutcome ServePacket(AuthoritativeServer* shard, const uint8_t* packet, size_t size,
-                         size_t max_payload, ServerStats* stats) {
+                         size_t max_payload, ServerStats* stats, const ServeContext& ctx) {
   ServeOutcome outcome;
-  std::vector<uint8_t> bytes(packet, packet + size);
-  Result<WireQuery> query = ParseWireQuery(bytes);
+  Result<WireQuery> query = ParseWireQuery(packet, size);
   if (!query.ok()) {
+    // RFC 1035 §4.1.1: a request whose opcode the server does not implement
+    // gets NOTIMP, not FORMERR — the packet is well-formed, the operation is
+    // unsupported. Detect it from the raw header: a full header arrived, QR
+    // is clear (it is a request), and OPCODE != QUERY.
+    if (size >= 12 && (packet[2] & kByte2Qr) == 0 &&
+        ((packet[2] & kByte2OpcodeMask) >> 3) != 0) {
+      outcome.not_implemented = true;
+      outcome.wire = BuildErrorResponse(packet, size, Rcode::kNotImp);
+      if (stats != nullptr) {
+        stats->CountRcode(static_cast<uint8_t>(Rcode::kNotImp));
+      }
+      return outcome;
+    }
     outcome.parse_error = true;
     outcome.wire = BuildErrorResponse(packet, size, Rcode::kFormErr);
     if (stats != nullptr) {
       stats->parse_failures.fetch_add(1, std::memory_order_relaxed);
       stats->CountRcode(static_cast<uint8_t>(Rcode::kFormErr));
+    }
+    return outcome;
+  }
+
+  CacheKey cache_key;
+  bool cacheable_query =
+      ctx.cache != nullptr && BuildCacheKey(query.value(), max_payload, &cache_key);
+  if (cacheable_query &&
+      ctx.cache->Lookup(cache_key, ctx.generation, query.value().id, &outcome.wire, stats)) {
+    outcome.cache_hit = true;
+    if (stats != nullptr) {
+      stats->CountRcode(outcome.wire[3] & 0xF);
     }
     return outcome;
   }
@@ -79,6 +103,20 @@ ServeOutcome ServePacket(AuthoritativeServer* shard, const uint8_t* packet, size
       stats->truncated_responses.fetch_add(1, std::memory_order_relaxed);
     }
     stats->CountRcode(outcome.wire[3] & 0xF);
+  }
+
+  // Cache only clean answers: no TC bit (truncation is the transport's retry
+  // contract), no engine panic, and an rcode the engine actually computed
+  // (NOERROR / NXDOMAIN). The TTL gate rejects zero-TTL and record-free
+  // responses via MinimumResponseTtl's 0 return.
+  uint8_t rcode = outcome.wire[3] & 0xF;
+  if (cacheable_query && !outcome.truncated && !result.panicked &&
+      (rcode == static_cast<uint8_t>(Rcode::kNoError) ||
+       rcode == static_cast<uint8_t>(Rcode::kNxDomain))) {
+    uint32_t ttl = MinimumResponseTtl(outcome.wire);
+    if (ttl > 0) {
+      ctx.cache->Insert(cache_key, ctx.generation, ttl, outcome.wire, stats);
+    }
   }
   return outcome;
 }

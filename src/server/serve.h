@@ -12,6 +12,7 @@
 
 #include "src/dns/wire.h"
 #include "src/engine/engine.h"
+#include "src/server/cache.h"
 #include "src/server/stats.h"
 
 namespace dnsv {
@@ -30,17 +31,33 @@ struct ServeOutcome {
   std::vector<uint8_t> wire;  // never empty; worst case the 12-byte header
   bool truncated = false;     // TC=1 was set (response exceeded max_payload)
   bool parse_error = false;   // FORMERR for an unparseable packet
+  bool not_implemented = false;    // NOTIMP for a non-QUERY opcode
   bool servfail_fallback = false;  // static SERVFAIL template was used
+  bool cache_hit = false;          // answered from the packet cache
 };
 
-// Serves one wire packet through `shard`: parse -> verified engine ->
-// encode, with FORMERR / SERVFAIL fallbacks that cannot fail. `max_payload`
-// is kMaxUdpPayload on the UDP path and kMaxTcpPayload on TCP (the TCP path
-// carries answers the UDP clamp would truncate — that is its purpose).
-// Updates parse/encode/rcode/truncation counters on `stats` when non-null;
-// transport-level counters (udp_queries, latency, ...) are the caller's.
+// Optional front-end state threaded into ServePacket by the serving loops.
+// `generation` is the worker's current zone-snapshot generation (the value
+// its shard was built against after RefreshShard) — cache entries stamped
+// under any other generation are treated as misses, which is how a hot zone
+// reload invalidates every cached answer without touching the cache.
+struct ServeContext {
+  PacketCache* cache = nullptr;  // null: cache disabled
+  uint64_t generation = 0;
+};
+
+// Serves one wire packet through `shard`: cache probe -> parse -> verified
+// engine -> encode, with NOTIMP / FORMERR / SERVFAIL fallbacks that cannot
+// fail. `max_payload` is kMaxUdpPayload on the UDP path and kMaxTcpPayload
+// on TCP (the TCP path carries answers the UDP clamp would truncate — that
+// is its purpose). Updates parse/encode/rcode/truncation/cache counters on
+// `stats` when non-null; transport-level counters (udp_queries, latency,
+// ...) are the caller's. Only clean NOERROR/NXDOMAIN answers with a nonzero
+// minimum TTL are inserted into the cache; TC=1 and every error path are
+// never cached (src/server/cache.h).
 ServeOutcome ServePacket(AuthoritativeServer* shard, const uint8_t* packet, size_t size,
-                         size_t max_payload, ServerStats* stats);
+                         size_t max_payload, ServerStats* stats,
+                         const ServeContext& ctx = ServeContext{});
 
 // Parses a decimal port, rejecting empty/non-numeric input and values
 // outside 1..65535 with a descriptive error. (The old CLI used std::atoi,

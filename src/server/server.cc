@@ -114,6 +114,9 @@ Result<std::unique_ptr<DnsServer>> DnsServer::Start(const ServerConfig& config,
   if (server->config_.udp_workers > 64) {
     server->config_.udp_workers = 64;
   }
+  if (server->config_.cache_entries > 0) {
+    server->cache_ = std::make_unique<PacketCache>(server->config_.cache_entries);
+  }
 
   // Workers inherit this thread's mask: a TCP peer resetting mid-write must
   // not raise SIGPIPE in a worker, and SIGHUP must stay deliverable only to
@@ -331,8 +334,12 @@ void DnsServer::UdpLoop(UdpWorker* worker) {
         }
         RefreshShard(&worker->shard, &worker->shard_generation, &worker->stats);
         Clock::time_point started = Clock::now();
+        // The cache generation is the generation this worker's shard was
+        // just refreshed to: a cached answer is served only if it matches
+        // what this shard would compute right now.
+        ServeContext ctx{cache_.get(), worker->shard_generation};
         outcomes[to_send] = ServePacket(worker->shard.get(), buffers[i].data(), n,
-                                        config_.udp_payload_limit, &worker->stats);
+                                        config_.udp_payload_limit, &worker->stats, ctx);
         worker->stats.udp_queries.fetch_add(1, std::memory_order_relaxed);
         worker->stats.RecordLatencyUs(ElapsedUs(started));
         const std::vector<uint8_t>& wire = outcomes[to_send].wire;
@@ -482,9 +489,12 @@ void DnsServer::TcpLoop() {
         RefreshShard(&tcp->shard, &tcp->shard_generation, &tcp->stats);
         Clock::time_point started = Clock::now();
         // The TCP path encodes against kMaxTcpPayload — this is the channel
-        // that serves in full what the UDP clamp truncated (TC=1).
+        // that serves in full what the UDP clamp truncated (TC=1). The
+        // payload limit is part of the cache key, so TCP-sized answers never
+        // leak into UDP-sized lookups (or vice versa).
+        ServeContext ctx{cache_.get(), tcp->shard_generation};
         ServeOutcome outcome = ServePacket(tcp->shard.get(), message.data(), message.size(),
-                                           kMaxTcpPayload, &tcp->stats);
+                                           kMaxTcpPayload, &tcp->stats, ctx);
         tcp->stats.tcp_queries.fetch_add(1, std::memory_order_relaxed);
         tcp->stats.RecordLatencyUs(ElapsedUs(started));
         Status framed = AppendTcpFrame(&conn->outbound, outcome.wire);

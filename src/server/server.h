@@ -32,6 +32,7 @@
 #include "src/dns/wire.h"
 #include "src/dns/zone.h"
 #include "src/engine/engine.h"
+#include "src/server/cache.h"
 #include "src/server/serve.h"
 #include "src/server/snapshot.h"
 #include "src/server/stats.h"
@@ -58,6 +59,11 @@ struct ServerConfig {
   // this many blocks: the concrete interpreter allocates per query and never
   // frees, so unbounded serving would otherwise balloon memory.
   size_t shard_memory_limit_blocks = size_t{1} << 20;
+  // Capacity of the shared response packet cache (src/server/cache.h); 0
+  // disables it. All workers share one cache — entries are keyed on the
+  // case-folded question and stamped with the worker's snapshot generation,
+  // so reloads invalidate everything without a sweep.
+  size_t cache_entries = 4096;
 };
 
 class DnsServer {
@@ -109,6 +115,7 @@ class DnsServer {
 
   ServerConfig config_;
   SnapshotHolder snapshots_;
+  std::unique_ptr<PacketCache> cache_;  // null when cache_entries == 0
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
   int stop_event_ = -1;  // eventfd in every epoll set; written once by Stop()

@@ -29,6 +29,11 @@ void StatsSnapshot::Add(const ServerStats& worker) {
   tcp_rejected += get(worker.tcp_rejected);
   tcp_timeouts += get(worker.tcp_timeouts);
   shard_rebuilds += get(worker.shard_rebuilds);
+  cache_hits += get(worker.cache_hits);
+  cache_misses += get(worker.cache_misses);
+  cache_stale += get(worker.cache_stale);
+  cache_inserts += get(worker.cache_inserts);
+  cache_evictions += get(worker.cache_evictions);
   for (size_t i = 0; i < rcodes.size(); ++i) {
     rcodes[i] += get(worker.rcodes[i]);
   }
@@ -80,6 +85,11 @@ std::string StatsSnapshot::ToJson() const {
   field("tcp_rejected", tcp_rejected);
   field("tcp_timeouts", tcp_timeouts);
   field("shard_rebuilds", shard_rebuilds);
+  field("cache_hits", cache_hits);
+  field("cache_misses", cache_misses);
+  field("cache_stale", cache_stale);
+  field("cache_inserts", cache_inserts);
+  field("cache_evictions", cache_evictions);
   out += ", \"rcodes\": {";
   bool first_rcode = true;
   for (size_t i = 0; i < rcodes.size(); ++i) {

@@ -34,6 +34,11 @@ struct alignas(64) ServerStats {
   std::atomic<uint64_t> tcp_rejected{0};      // refused over the connection cap
   std::atomic<uint64_t> tcp_timeouts{0};      // idle connections reaped
   std::atomic<uint64_t> shard_rebuilds{0};    // interpreter-heap hygiene rebuilds
+  std::atomic<uint64_t> cache_hits{0};        // served from the packet cache
+  std::atomic<uint64_t> cache_misses{0};      // cache consulted, engine ran
+  std::atomic<uint64_t> cache_stale{0};       // expired or wrong-generation entry erased
+  std::atomic<uint64_t> cache_inserts{0};     // cacheable response stored
+  std::atomic<uint64_t> cache_evictions{0};   // entry displaced from a full shard
   std::array<std::atomic<uint64_t>, 16> rcodes{};
   std::array<std::atomic<uint64_t>, kLatencyBuckets> latency{};
 
@@ -56,6 +61,11 @@ struct StatsSnapshot {
   uint64_t tcp_rejected = 0;
   uint64_t tcp_timeouts = 0;
   uint64_t shard_rebuilds = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_stale = 0;
+  uint64_t cache_inserts = 0;
+  uint64_t cache_evictions = 0;
   uint64_t generation = 0;  // zone snapshot generation at capture time
   std::array<uint64_t, 16> rcodes{};
   std::array<uint64_t, kLatencyBuckets> latency{};

@@ -7,6 +7,9 @@
 //   query_accept_*  ParseWireQuery must accept, and the parsed query must
 //                   round-trip through EncodeWireQuery byte-identically
 //   query_reject_*  ParseWireQuery must reject with a clean error
+//   query_notimp_*  ParseWireQuery must reject (well-formed packet, opcode
+//                   outside the QUERY subset); the serving shell answers
+//                   NOTIMP for these, which tests/server/serve_test.cc pins
 //   resp_accept_*   ParseWireResponse must accept, and the view must survive
 //                   re-encode -> re-parse (compressed packets re-encode
 //                   uncompressed, so equality is at the view level)
@@ -77,7 +80,7 @@ TEST(WireCorpusTest, EveryPacketMeetsItsFilenameExpectation) {
       // Canonical queries are encode fixpoints.
       EXPECT_EQ(EncodeWireQuery(as_query.value()), file.packet);
       ++accepts;
-    } else if (HasPrefix(file.name, "query_reject_")) {
+    } else if (HasPrefix(file.name, "query_reject_") || HasPrefix(file.name, "query_notimp_")) {
       EXPECT_FALSE(as_query.ok());
       EXPECT_FALSE(as_query.error().empty());
       ++rejects;

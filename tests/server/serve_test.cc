@@ -87,23 +87,63 @@ TEST(ServePacketTest, ServfailFallbackIsInfallibleOnUnencodableQname) {
 // never set it).
 TEST(ServePacketTest, FormerrEchoesOpcodeAndRdBit) {
   auto shard = MakeShard();
-  // OPCODE 2 (STATUS), RD set, QDCOUNT 0 -> ParseWireQuery rejects it.
-  std::vector<uint8_t> packet = {0xAB, 0xCD, 0x11, 0x00, 0, 0, 0, 0, 0, 0, 0, 0};
+  // OPCODE 0, RD set, QDCOUNT 0 -> ParseWireQuery rejects it as malformed.
+  std::vector<uint8_t> packet = {0xAB, 0xCD, 0x01, 0x00, 0, 0, 0, 0, 0, 0, 0, 0};
   ServeOutcome outcome =
       ServePacket(shard.get(), packet.data(), packet.size(), kMaxUdpPayload, nullptr);
   EXPECT_TRUE(outcome.parse_error);
   ASSERT_EQ(outcome.wire.size(), 12u);
   EXPECT_EQ(outcome.wire[0], 0xAB);
   EXPECT_EQ(outcome.wire[1], 0xCD);
-  EXPECT_EQ(outcome.wire[2], 0x80 | 0x11);  // QR + echoed OPCODE=2 + echoed RD
+  EXPECT_EQ(outcome.wire[2], 0x80 | 0x01);  // QR + echoed RD
   EXPECT_EQ(outcome.wire[3], 0x01);         // FORMERR
 
   // A query without RD must NOT get RD reflected back.
-  std::vector<uint8_t> no_rd = {0x00, 0x01, 0x10, 0x00, 0, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<uint8_t> no_rd = {0x00, 0x01, 0x00, 0x00, 0, 0, 0, 0, 0, 0, 0, 0};
   outcome = ServePacket(shard.get(), no_rd.data(), no_rd.size(), kMaxUdpPayload, nullptr);
   EXPECT_TRUE(outcome.parse_error);
-  EXPECT_EQ(outcome.wire[2], 0x80 | 0x10);
+  EXPECT_EQ(outcome.wire[2], 0x80);
   EXPECT_EQ(outcome.wire[2] & 0x01, 0);
+}
+
+// ISSUE 9 bugfix: a well-formed packet whose OPCODE is not QUERY used to be
+// lumped in with unparseable garbage and answered FORMERR. RFC 1035 §4.1.1
+// says an unimplemented kind of request gets NOTIMP — the packet parsed
+// fine, the operation is just unsupported.
+TEST(ServePacketTest, NonQueryOpcodesGetNotimpNotFormerr) {
+  auto shard = MakeShard();
+  for (uint8_t opcode : {uint8_t{1}, uint8_t{2}, uint8_t{4}}) {  // IQUERY, STATUS, NOTIFY
+    SCOPED_TRACE(static_cast<int>(opcode));
+    std::vector<uint8_t> packet = {0xAB, 0xCD, static_cast<uint8_t>(opcode << 3 | 0x01),
+                                   0x00, 0,    1,
+                                   0,    0,    0,
+                                   0,    0,    0};
+    // Well-formed question section, so only the opcode is objectionable.
+    const uint8_t question[] = {3, 'w', 'w', 'w', 4, 'c', 'o', 'r', 'p',
+                               4, 't', 'e', 's', 't', 0, 0, 1, 0, 1};
+    packet.insert(packet.end(), question, question + sizeof(question));
+    ServerStats stats;
+    ServeOutcome outcome =
+        ServePacket(shard.get(), packet.data(), packet.size(), kMaxUdpPayload, &stats);
+    EXPECT_TRUE(outcome.not_implemented);
+    EXPECT_FALSE(outcome.parse_error);
+    ASSERT_EQ(outcome.wire.size(), 12u);
+    EXPECT_EQ(outcome.wire[0], 0xAB);
+    EXPECT_EQ(outcome.wire[1], 0xCD);
+    EXPECT_EQ(outcome.wire[2], 0x80 | (opcode << 3) | 0x01);  // QR + opcode + RD echoed
+    EXPECT_EQ(outcome.wire[3], 0x04);                         // NOTIMP
+    EXPECT_EQ(stats.parse_failures.load(), 0u);  // not a parse failure
+    EXPECT_EQ(stats.rcodes[4].load(), 1u);
+  }
+
+  // A *response* (QR=1) with a weird opcode is not a request at all — that
+  // stays FORMERR, so reflected responses cannot farm NOTIMPs.
+  std::vector<uint8_t> reflected = {0xAB, 0xCD, 0x90, 0x00, 0, 0, 0, 0, 0, 0, 0, 0};
+  ServeOutcome outcome =
+      ServePacket(shard.get(), reflected.data(), reflected.size(), kMaxUdpPayload, nullptr);
+  EXPECT_TRUE(outcome.parse_error);
+  EXPECT_FALSE(outcome.not_implemented);
+  EXPECT_EQ(outcome.wire[3], 0x01);
 }
 
 TEST(BuildErrorResponseTest, TruncatedHeadersGetBestEffortEcho) {
@@ -156,7 +196,43 @@ TEST(ServePacketTest, CorpusRejectPacketsGetConformantFormerr) {
     EXPECT_EQ(stats.parse_failures.load(), 1u) << name;
     ++tested;
   }
-  EXPECT_GE(tested, 4);  // the corpus ships at least 4 reject queries
+  EXPECT_GE(tested, 3);  // the corpus ships at least 3 reject queries
+}
+
+// Every query_notimp_* packet (well-formed, OPCODE outside the QUERY
+// subset: IQUERY, STATUS, NOTIFY) must produce a NOTIMP with the header
+// echo rules of BuildErrorResponse.
+TEST(ServePacketTest, CorpusNotimpPacketsGetNotimp) {
+  auto shard = MakeShard();
+  int tested = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(DNSV_WIRE_CORPUS_DIR)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("query_notimp_", 0) != 0) {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<std::vector<uint8_t>> packet = HexToWirePacket(text.str());
+    ASSERT_TRUE(packet.ok()) << name << ": " << packet.error();
+    const std::vector<uint8_t>& bytes = packet.value();
+    ServerStats stats;
+    ServeOutcome outcome =
+        ServePacket(shard.get(), bytes.data(), bytes.size(), kMaxUdpPayload, &stats);
+    EXPECT_TRUE(outcome.not_implemented) << name;
+    EXPECT_FALSE(outcome.parse_error) << name;
+    ASSERT_EQ(outcome.wire.size(), 12u) << name;
+    EXPECT_EQ(outcome.wire[3], 0x04) << name;                    // NOTIMP
+    EXPECT_EQ(outcome.wire[2] & 0x80, 0x80) << name;             // QR set
+    EXPECT_EQ(outcome.wire[0], bytes[0]) << name;
+    EXPECT_EQ(outcome.wire[1], bytes[1]) << name;
+    EXPECT_EQ(outcome.wire[2] & 0x79, bytes[2] & 0x79) << name;  // OPCODE + RD echoed
+    EXPECT_NE(bytes[2] & 0x78, 0) << name;  // the corpus packet really is non-QUERY
+    EXPECT_EQ(stats.parse_failures.load(), 0u) << name;
+    EXPECT_EQ(stats.rcodes[4].load(), 1u) << name;
+    ++tested;
+  }
+  EXPECT_GE(tested, 3);  // IQUERY, STATUS, NOTIFY
 }
 
 // Regression (ISSUE 5 bug 3): `dns_server zone.txt 99999` used to truncate

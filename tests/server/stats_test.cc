@@ -47,9 +47,15 @@ TEST(ServerStatsTest, AggregateFoldsWorkerBlocks) {
   a.parse_failures = 2;
   a.CountRcode(0);
   a.CountRcode(3);
+  a.cache_hits = 4;
+  a.cache_misses = 6;
   b.udp_queries = 5;
   b.tcp_queries = 7;
   b.truncated_responses = 1;
+  b.cache_hits = 1;
+  b.cache_inserts = 5;
+  b.cache_stale = 2;
+  b.cache_evictions = 3;
   b.CountRcode(0);
 
   StatsSnapshot snapshot;
@@ -60,6 +66,11 @@ TEST(ServerStatsTest, AggregateFoldsWorkerBlocks) {
   EXPECT_EQ(snapshot.queries(), 22u);
   EXPECT_EQ(snapshot.parse_failures, 2u);
   EXPECT_EQ(snapshot.truncated_responses, 1u);
+  EXPECT_EQ(snapshot.cache_hits, 5u);
+  EXPECT_EQ(snapshot.cache_misses, 6u);
+  EXPECT_EQ(snapshot.cache_inserts, 5u);
+  EXPECT_EQ(snapshot.cache_stale, 2u);
+  EXPECT_EQ(snapshot.cache_evictions, 3u);
   EXPECT_EQ(snapshot.rcodes[0], 2u);
   EXPECT_EQ(snapshot.rcodes[3], 1u);
 }
@@ -73,11 +84,21 @@ TEST(ServerStatsTest, JsonCarriesEveryCounterAndOnlyNonZeroRcodes) {
   snapshot.rcodes[0] = 40;
   snapshot.rcodes[2] = 2;
   snapshot.latency[3] = 42;
+  snapshot.cache_hits = 30;
+  snapshot.cache_misses = 11;
+  snapshot.cache_stale = 4;
+  snapshot.cache_inserts = 9;
+  snapshot.cache_evictions = 1;
   std::string json = snapshot.ToJson();
   EXPECT_NE(json.find("\"generation\": 3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"udp_queries\": 41"), std::string::npos) << json;
   EXPECT_NE(json.find("\"tcp_queries\": 1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"truncated_responses\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_hits\": 30"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_misses\": 11"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_stale\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_inserts\": 9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_evictions\": 1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"rcodes\": {\"0\": 40, \"2\": 2}"), std::string::npos) << json;
   EXPECT_NE(json.find("\"p99_us\": 8"), std::string::npos) << json;
   EXPECT_EQ(json.find("\"3\":"), std::string::npos) << "zero rcodes must be omitted: " << json;
