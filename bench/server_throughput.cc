@@ -1,17 +1,19 @@
 // UDP throughput of the serving shell (docs/SERVER.md): queries/sec against
-// a loopback DnsServer across three axes — 1 worker vs N workers, the interp
-// vs AOT-compiled execution backend (docs/BACKEND.md), and the response
-// packet cache on vs off (docs/SERVER.md) under a Zipf(1.0) query mix. Not a
-// paper figure — the numbers demonstrate that SO_REUSEPORT sharding actually
-// scales the verified engine, that compiling the verified AbsIR buys the
-// serving path a real single-worker speedup over interpreting it, and that
-// the packet cache converts a skewed query distribution into hash-lookup
-// latencies without changing a byte of the answers.
+// a loopback DnsServer across four axes — 1 worker vs N workers, the interp
+// vs AOT-compiled execution backend (docs/BACKEND.md), the response packet
+// cache on vs off (docs/SERVER.md) under a Zipf(1.0) query mix, and EDNS
+// off vs a 1232/4096 advertised payload (RFC 6891). Not a paper figure —
+// the numbers demonstrate that SO_REUSEPORT sharding actually scales the
+// verified engine, that compiling the verified AbsIR buys the serving path
+// a real single-worker speedup over interpreting it, that the packet cache
+// converts a skewed query distribution into hash-lookup latencies without
+// changing a byte of the answers, and that OPT parse/echo plus the
+// EDNS-aware cache key cost roughly nothing.
 //
 // Besides the human-readable table, the harness writes BENCH_server.json
-// (array of {backend, workers, workload, cache, clients, warmup, seconds,
-// queries, qps, p50_us, p99_us, cache_hits, cache_misses, hit_rate}) into
-// the working directory for the CI gate.
+// (array of {backend, workers, workload, cache, edns, clients, warmup,
+// seconds, queries, qps, p50_us, p99_us, cache_hits, cache_misses,
+// hit_rate}) into the working directory for the CI gate.
 //
 //   $ bench/server_throughput                        # ~2s per configuration
 //   $ bench/server_throughput --smoke                # ~0.3s per configuration (CI)
@@ -64,7 +66,14 @@ struct BenchConfig {
   int workers = 0;
   Workload workload = Workload::kPingPong;
   size_t cache_entries = 0;
+  // 0 = plain queries; otherwise every query carries an OPT advertising this
+  // payload, and the responses grow an 11-byte OPT echo.
+  uint16_t edns_payload = 0;
 };
+
+std::string EdnsName(uint16_t edns_payload) {
+  return edns_payload == 0 ? "off" : std::to_string(edns_payload);
+}
 
 struct BenchResult {
   BenchConfig config;
@@ -93,7 +102,7 @@ uint64_t SplitMix64Next(uint64_t* state) {
 // cache axis is isolated from any rcode mix.
 constexpr int kZipfNames = 256;
 
-std::vector<std::vector<uint8_t>> BuildZipfRequests() {
+std::vector<std::vector<uint8_t>> BuildZipfRequests(uint16_t edns_payload) {
   std::vector<std::vector<uint8_t>> requests;
   requests.reserve(kZipfNames);
   for (int i = 0; i < kZipfNames; ++i) {
@@ -101,6 +110,10 @@ std::vector<std::vector<uint8_t>> BuildZipfRequests() {
     query.id = 0x5a50;
     query.qname = DnsName::Parse("host" + std::to_string(i) + ".dyn.example.com").value();
     query.qtype = RrType::kA;
+    if (edns_payload != 0) {
+      query.edns.present = true;
+      query.edns.udp_payload = edns_payload;
+    }
     requests.push_back(EncodeWireQuery(query));
   }
   return requests;
@@ -249,13 +262,17 @@ Result<BenchResult> RunConfig(const BenchConfig& bench_config, int clients, doub
   std::vector<std::vector<uint8_t>> requests;
   std::vector<double> cdf{1.0};
   if (bench_config.workload == Workload::kZipf) {
-    requests = BuildZipfRequests();
+    requests = BuildZipfRequests(bench_config.edns_payload);
     cdf = BuildZipfCdf();
   } else {
     WireQuery query;
     query.id = 0x5353;
     query.qname = DnsName::Parse("www.example.com").value();
     query.qtype = RrType::kA;
+    if (bench_config.edns_payload != 0) {
+      query.edns.present = true;
+      query.edns.udp_payload = bench_config.edns_payload;
+    }
     requests.push_back(EncodeWireQuery(query));
   }
 
@@ -354,6 +371,13 @@ int RunBench(double seconds, double warmup, int trials) {
       configs.push_back({BackendKind::kInterp, workers, Workload::kZipf, cache_entries});
     }
   }
+  // EDNS axis (ISSUE 10): the cache-on Zipf mix with every client
+  // advertising 1232 then 4096. Measures OPT parse + echo overhead, and the
+  // spot check now runs against EDNS answers — any cache entry leaking
+  // across the plain/EDNS key split would fail byte identity.
+  for (uint16_t edns_payload : {uint16_t{1232}, uint16_t{4096}}) {
+    configs.push_back({BackendKind::kInterp, 1, Workload::kZipf, 4096, edns_payload});
+  }
   std::vector<BenchResult> results(configs.size());
   for (int trial = 0; trial < trials; ++trial) {
     for (size_t i = 0; i < configs.size(); ++i) {
@@ -375,11 +399,12 @@ int RunBench(double seconds, double warmup, int trials) {
     }
   }
   for (const BenchResult& r : results) {
-    std::printf("backend=%-8s workers=%d  workload=%-8s cache=%-3s clients=%d  "
+    std::printf("backend=%-8s workers=%d  workload=%-8s cache=%-3s edns=%-4s clients=%d  "
                 "%8llu queries in %.2fs  = %8.0f q/s  p50=%lluus p99=%lluus",
                 BackendKindName(r.config.backend), r.config.workers,
                 WorkloadName(r.config.workload), r.config.cache_entries > 0 ? "on" : "off",
-                r.clients, static_cast<unsigned long long>(r.queries), r.seconds, r.qps,
+                EdnsName(r.config.edns_payload).c_str(), r.clients,
+                static_cast<unsigned long long>(r.queries), r.seconds, r.qps,
                 static_cast<unsigned long long>(r.p50_us),
                 static_cast<unsigned long long>(r.p99_us));
     if (r.config.cache_entries > 0) {
@@ -402,6 +427,10 @@ int RunBench(double seconds, double warmup, int trials) {
                 results[7].qps / results[6].qps, results[7].config.workers,
                 100.0 * results[7].hit_rate);
   }
+  if (results.size() >= 10 && results[5].qps > 0) {
+    std::printf("edns:    Zipf cache-on at 1 worker, vs plain: 1232 = %.2fx, 4096 = %.2fx\n",
+                results[8].qps / results[5].qps, results[9].qps / results[5].qps);
+  }
 
   std::FILE* out = std::fopen("BENCH_server.json", "w");
   if (out == nullptr) {
@@ -413,12 +442,13 @@ int RunBench(double seconds, double warmup, int trials) {
     const BenchResult& r = results[i];
     std::fprintf(out,
                  "  {\"backend\": \"%s\", \"workers\": %d, \"workload\": \"%s\", "
-                 "\"cache\": \"%s\", \"clients\": %d, \"warmup\": %g, "
+                 "\"cache\": \"%s\", \"edns\": \"%s\", \"clients\": %d, \"warmup\": %g, "
                  "\"seconds\": %g, \"queries\": %llu, \"qps\": %.0f, \"p50_us\": %llu, "
                  "\"p99_us\": %llu, \"cache_hits\": %llu, \"cache_misses\": %llu, "
                  "\"hit_rate\": %.4f}%s\n",
                  BackendKindName(r.config.backend), r.config.workers,
                  WorkloadName(r.config.workload), r.config.cache_entries > 0 ? "on" : "off",
+                 EdnsName(r.config.edns_payload).c_str(),
                  r.clients, r.warmup, r.seconds, static_cast<unsigned long long>(r.queries),
                  r.qps, static_cast<unsigned long long>(r.p50_us),
                  static_cast<unsigned long long>(r.p99_us),

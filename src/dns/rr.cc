@@ -54,6 +54,7 @@ const char* RcodeName(Rcode rcode) {
     case Rcode::kNxDomain: return "NXDOMAIN";
     case Rcode::kNotImp: return "NOTIMP";
     case Rcode::kRefused: return "REFUSED";
+    case Rcode::kBadVers: return "BADVERS";
   }
   return "?";
 }

@@ -21,7 +21,8 @@ enum class RrType : int64_t {
   kAny = 255,  // query-only pseudo-type
 };
 
-// Response codes.
+// Response codes. Values above 15 need EDNS: the header RCODE field is four
+// bits, so the high eight bits travel in the OPT TTL (RFC 6891 §6.1.3).
 enum class Rcode : int64_t {
   kNoError = 0,
   kFormErr = 1,  // wire-level only: the serving shell's answer to unparseable packets
@@ -29,6 +30,7 @@ enum class Rcode : int64_t {
   kNxDomain = 3,
   kNotImp = 4,
   kRefused = 5,
+  kBadVers = 16,  // EDNS version not supported (RFC 6891 §6.1.3)
 };
 
 // Response flag bits (Response.flags in the engine).

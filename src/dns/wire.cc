@@ -13,6 +13,13 @@ constexpr uint16_t kFlagRd = 0x0100;
 constexpr int64_t kDefaultTtl = 300;
 constexpr size_t kMaxNameWireBytes = 255;  // RFC 1035 §2.3.4
 constexpr size_t kMaxSectionCount = 0xffff;
+constexpr uint16_t kTypeOpt = 41;  // RFC 6891 OPT pseudo-RR
+// OPT TTL layout (RFC 6891 §6.1.3): EXT-RCODE (8) | VERSION (8) | DO + Z (16).
+constexpr uint32_t kEdnsDoBit = 0x8000;
+
+uint16_t ClampEdnsPayload(uint16_t advertised) {
+  return advertised < kEdnsMinPayload ? kEdnsMinPayload : advertised;
+}
 
 void PutU16(std::vector<uint8_t>* out, uint16_t value) {
   out->push_back(static_cast<uint8_t>(value >> 8));
@@ -32,6 +39,19 @@ void PutName(std::vector<uint8_t>* out, const DnsName& name) {
     out->insert(out->end(), label.begin(), label.end());
   }
   out->push_back(0);
+}
+
+// Appends an empty-RDATA OPT record (RFC 6891 §6.1.2): root name, TYPE 41,
+// the advertised payload in CLASS, extended RCODE / version / DO in TTL.
+void PutOptRecord(std::vector<uint8_t>* out, uint16_t payload, uint8_t ext_rcode,
+                  uint8_t version, bool dnssec_ok) {
+  out->push_back(0);  // root owner name
+  PutU16(out, kTypeOpt);
+  PutU16(out, payload);
+  uint32_t ttl = (static_cast<uint32_t>(ext_rcode) << 24) |
+                 (static_cast<uint32_t>(version) << 16) | (dnssec_ok ? kEdnsDoBit : 0);
+  PutU32(out, ttl);
+  PutU16(out, 0);  // RDLENGTH: no options
 }
 
 // Splits a dotted owner string (as produced by DnsName::ToString /
@@ -290,12 +310,12 @@ bool ReadRdata(Reader* reader, uint16_t rdlength, RrView* rr) {
   }
 }
 
-bool ReadRecord(Reader* reader, RrView* rr) {
-  DnsName owner;
-  uint16_t type = 0, klass = 0, rdlength = 0;
+// Reads the record fields after the owner name and TYPE, which the caller
+// consumed (the response parser peeks TYPE to divert OPT records).
+bool ReadRecordAfterType(Reader* reader, const DnsName& owner, uint16_t type, RrView* rr) {
+  uint16_t klass = 0, rdlength = 0;
   uint32_t ttl = 0;
-  if (!reader->Name(&owner) || !reader->U16(&type) || !reader->U16(&klass) ||
-      !reader->U32(&ttl) || !reader->U16(&rdlength)) {
+  if (!reader->U16(&klass) || !reader->U32(&ttl) || !reader->U16(&rdlength)) {
     return false;
   }
   rr->name = owner.ToString();
@@ -310,6 +330,24 @@ bool ReadRecord(Reader* reader, RrView* rr) {
     return false;
   }
   return reader->pos() - rdata_start == rdlength;
+}
+
+// Reads the OPT fields after the owner name and TYPE into `edns`; the raw
+// TTL's extended-RCODE byte lands in `ext_rcode`. OPT options (RDATA) are
+// skipped — none are modeled — but must be present in full.
+bool ReadOptAfterType(Reader* reader, EdnsInfo* edns, uint8_t* ext_rcode) {
+  uint16_t klass = 0, rdlength = 0;
+  uint32_t ttl = 0;
+  if (!reader->U16(&klass) || !reader->U32(&ttl) || !reader->U16(&rdlength) ||
+      !reader->Skip(rdlength)) {
+    return false;
+  }
+  edns->present = true;
+  edns->udp_payload = ClampEdnsPayload(klass);
+  edns->version = static_cast<uint8_t>((ttl >> 16) & 0xff);
+  edns->dnssec_ok = (ttl & kEdnsDoBit) != 0;
+  *ext_rcode = static_cast<uint8_t>(ttl >> 24);
+  return true;
 }
 
 }  // namespace
@@ -340,10 +378,16 @@ std::vector<uint8_t> EncodeWireQuery(const WireQuery& query) {
   PutU16(&out, 1);  // QDCOUNT
   PutU16(&out, 0);
   PutU16(&out, 0);
-  PutU16(&out, 0);
+  PutU16(&out, query.edns.present ? 1 : 0);  // ARCOUNT: the OPT, if any
   PutName(&out, query.qname);
   PutU16(&out, static_cast<uint16_t>(query.qtype));
   PutU16(&out, query.qclass);
+  if (query.edns.present) {
+    // Clamp at encode time too, so encode∘parse is the identity even for a
+    // hand-built sub-512 payload.
+    PutOptRecord(&out, ClampEdnsPayload(query.edns.udp_payload), /*ext_rcode=*/0,
+                 query.edns.version, query.edns.dnssec_ok);
+  }
   return out;
 }
 
@@ -353,13 +397,13 @@ Result<WireQuery> ParseWireQuery(const uint8_t* packet, size_t size) {
   }
   Reader reader(packet, size);
   WireQuery query;
-  uint16_t flags = 0, qdcount = 0, other = 0;
+  uint16_t flags = 0, qdcount = 0, ancount = 0, nscount = 0, arcount = 0;
   reader.U16(&query.id);
   reader.U16(&flags);
   reader.U16(&qdcount);
-  reader.U16(&other);
-  reader.U16(&other);
-  reader.U16(&other);
+  reader.U16(&ancount);
+  reader.U16(&nscount);
+  reader.U16(&arcount);
   if ((flags & kFlagQr) != 0) {
     return Result<WireQuery>::Error("not a query (QR set)");
   }
@@ -368,6 +412,12 @@ Result<WireQuery> ParseWireQuery(const uint8_t* packet, size_t size) {
   }
   if (qdcount != 1) {
     return Result<WireQuery>::Error(StrCat("QDCOUNT must be 1, got ", qdcount));
+  }
+  // A query carries no answers and no authority; a nonzero count either lies
+  // about bytes that are not there or smuggles records no query may hold.
+  if (ancount != 0 || nscount != 0) {
+    return Result<WireQuery>::Error(
+        StrCat("query with nonzero ANCOUNT/NSCOUNT (", ancount, "/", nscount, ")"));
   }
   query.recursion_desired = (flags & kFlagRd) != 0;
   DnsName qname;
@@ -380,6 +430,41 @@ Result<WireQuery> ParseWireQuery(const uint8_t* packet, size_t size) {
   }
   query.qname = qname;
   query.qtype = static_cast<RrType>(qtype);
+  // Additional section: at most one OPT (root name required, RFC 6891
+  // §6.1.1); anything else (TSIG-shaped trailers) is skipped structurally,
+  // with the same exact-RDLENGTH accounting records get elsewhere.
+  for (int i = 0; i < arcount; ++i) {
+    DnsName owner;
+    uint16_t type = 0;
+    if (!reader.Name(&owner) || !reader.U16(&type)) {
+      return Result<WireQuery>::Error("malformed additional section");
+    }
+    if (type == kTypeOpt) {
+      if (!owner.labels.empty()) {
+        return Result<WireQuery>::Error("OPT record with a non-root name");
+      }
+      if (query.edns.present) {
+        return Result<WireQuery>::Error("multiple OPT records");
+      }
+      uint8_t ext_rcode = 0;  // meaningless in a query; ignored
+      if (!ReadOptAfterType(&reader, &query.edns, &ext_rcode)) {
+        return Result<WireQuery>::Error("truncated OPT record");
+      }
+      continue;
+    }
+    uint16_t klass = 0, rdlength = 0;
+    uint32_t ttl = 0;
+    if (!reader.U16(&klass) || !reader.U32(&ttl) || !reader.U16(&rdlength) ||
+        !reader.Skip(rdlength)) {
+      return Result<WireQuery>::Error("truncated additional record");
+    }
+  }
+  // Every declared section has been consumed; whatever remains is garbage
+  // the counts never accounted for.
+  if (reader.pos() != size) {
+    return Result<WireQuery>::Error(
+        StrCat(size - reader.pos(), " trailing bytes after the declared sections"));
+  }
   return query;
 }
 
@@ -391,11 +476,23 @@ Result<std::vector<uint8_t>> EncodeWireResponse(const WireQuery& query,
                                             &response.additional};
   const char* section_names[3] = {"answer", "authority", "additional"};
   for (int s = 0; s < 3; ++s) {
-    if (sections[s]->size() > kMaxSectionCount) {
+    // The response OPT rides in the additional section's count, so with EDNS
+    // the section itself gets one slot fewer.
+    size_t limit = (s == 2 && query.edns.present) ? kMaxSectionCount - 1 : kMaxSectionCount;
+    if (sections[s]->size() > limit) {
       return Result<std::vector<uint8_t>>::Error(
           StrCat(section_names[s], " section count ", sections[s]->size(),
                  " overflows the 16-bit header field"));
     }
+  }
+  const auto rcode_bits = static_cast<uint16_t>(response.rcode);
+  if (rcode_bits > 0xFFF) {
+    return Result<std::vector<uint8_t>>::Error(
+        StrCat("rcode ", rcode_bits, " does not fit 4 header + 8 extended bits"));
+  }
+  if (rcode_bits > 0xF && !query.edns.present) {
+    return Result<std::vector<uint8_t>>::Error(
+        StrCat("extended rcode ", rcode_bits, " needs EDNS, and the query carried no OPT"));
   }
   Status qname_ok = ValidateWireName(query.qname);
   if (!qname_ok.ok()) {
@@ -419,12 +516,14 @@ Result<std::vector<uint8_t>> EncodeWireResponse(const WireQuery& query,
   }
 
   // Fixed part: header + the echoed question (always retained, RFC 1035
-  // §4.1.1 — truncation drops records, never the question).
+  // §4.1.1 — truncation drops records, never the question) + the response
+  // OPT when the query carried one (RFC 6891 §7 — an EDNS response keeps its
+  // OPT through any truncation, so its bytes are reserved up front).
   std::vector<uint8_t> question;
   PutName(&question, query.qname);
   PutU16(&question, static_cast<uint16_t>(query.qtype));
   PutU16(&question, query.qclass);
-  size_t fixed = kHeaderSize + question.size();
+  size_t fixed = kHeaderSize + question.size() + (query.edns.present ? kEdnsOptWireSize : 0);
   if (fixed > max_size) {
     return Result<std::vector<uint8_t>>::Error(
         StrCat("header and question alone need ", fixed, " bytes, over the limit of ",
@@ -463,17 +562,24 @@ Result<std::vector<uint8_t>> EncodeWireResponse(const WireQuery& query,
   if (query.recursion_desired) {
     flags |= kFlagRd;
   }
-  flags |= static_cast<uint16_t>(response.rcode) & 0xF;
+  flags |= rcode_bits & 0xF;
   PutU16(&out, flags);
   PutU16(&out, 1);  // question echo
   for (int s = 0; s < 3; ++s) {
-    PutU16(&out, static_cast<uint16_t>(encoded[s].size()));
+    size_t count = encoded[s].size() + (s == 2 && query.edns.present ? 1 : 0);
+    PutU16(&out, static_cast<uint16_t>(count));
   }
   out.insert(out.end(), question.begin(), question.end());
   for (int s = 0; s < 3; ++s) {
     for (const std::vector<uint8_t>& record : encoded[s]) {
       out.insert(out.end(), record.begin(), record.end());
     }
+  }
+  if (query.edns.present) {
+    // The responder advertises its own receive capacity and echoes the
+    // client's DO bit; the rcode's high bits travel here (RFC 6891 §6.1.3).
+    PutOptRecord(&out, kEdnsResponderPayload, static_cast<uint8_t>(rcode_bits >> 4),
+                 /*version=*/0, query.edns.dnssec_ok);
   }
   return out;
 }
@@ -495,7 +601,6 @@ Result<ResponseView> ParseWireResponse(const std::vector<uint8_t>& packet,
     return Result<ResponseView>::Error("not a response (QR clear)");
   }
   ResponseView view;
-  view.rcode = static_cast<Rcode>(flags & 0xF);
   view.aa = (flags & kFlagAaBit) != 0;
   if (truncated != nullptr) {
     *truncated = (flags & kFlagTcBit) != 0;
@@ -516,21 +621,113 @@ Result<ResponseView> ParseWireResponse(const std::vector<uint8_t>& packet,
       echoed_query->qclass = qclass;
     }
   }
-  auto read_section = [&](int count, std::vector<RrView>* section) {
+  EdnsInfo edns;
+  uint8_t ext_rcode = 0;
+  // Returns nullptr on success, else the rejection reason. `allow_opt` is
+  // true only for the additional section — an OPT anywhere else is malformed.
+  auto read_section = [&](int count, std::vector<RrView>* section,
+                          bool allow_opt) -> const char* {
     for (int i = 0; i < count; ++i) {
+      DnsName owner;
+      uint16_t type = 0;
+      if (!reader.Name(&owner) || !reader.U16(&type)) {
+        return "malformed record section";
+      }
+      if (type == kTypeOpt) {
+        if (!allow_opt) {
+          return "OPT record outside the additional section";
+        }
+        if (!owner.labels.empty()) {
+          return "OPT record with a non-root name";
+        }
+        if (edns.present) {
+          return "multiple OPT records";
+        }
+        if (!ReadOptAfterType(&reader, &edns, &ext_rcode)) {
+          return "truncated OPT record";
+        }
+        continue;
+      }
       RrView rr;
-      if (!ReadRecord(&reader, &rr)) {
-        return false;
+      if (!ReadRecordAfterType(&reader, owner, type, &rr)) {
+        return "malformed record section";
       }
       section->push_back(std::move(rr));
     }
-    return true;
+    return nullptr;
   };
-  if (!read_section(ancount, &view.answer) || !read_section(nscount, &view.authority) ||
-      !read_section(arcount, &view.additional)) {
-    return Result<ResponseView>::Error("malformed record section");
+  const char* error = read_section(ancount, &view.answer, false);
+  if (error == nullptr) {
+    error = read_section(nscount, &view.authority, false);
+  }
+  if (error == nullptr) {
+    error = read_section(arcount, &view.additional, true);
+  }
+  if (error != nullptr) {
+    return Result<ResponseView>::Error(error);
+  }
+  // The header RCODE is only the low nibble; with EDNS the OPT TTL's top
+  // byte supplies the high bits (how BADVERS = 16 comes back).
+  view.rcode = static_cast<Rcode>((edns.present ? (static_cast<int64_t>(ext_rcode) << 4) : 0) |
+                                  (flags & 0xF));
+  if (echoed_query != nullptr) {
+    echoed_query->edns = edns;
   }
   return view;
+}
+
+size_t EffectivePayloadLimit(const EdnsInfo& edns, size_t transport_limit) {
+  if (transport_limit >= kMaxTcpPayload) {
+    return transport_limit;  // TCP: the EDNS payload size governs UDP only
+  }
+  if (!edns.present) {
+    return transport_limit;
+  }
+  uint16_t advertised = ClampEdnsPayload(edns.udp_payload);
+  return static_cast<size_t>(advertised);
+}
+
+bool ScanQueryForOpt(const uint8_t* packet, size_t size, EdnsInfo* out) {
+  if (size < kHeaderSize) {
+    return false;
+  }
+  Reader reader(packet, size);
+  uint16_t id = 0, flags = 0, qdcount = 0, ancount = 0, nscount = 0, arcount = 0;
+  reader.U16(&id);
+  reader.U16(&flags);
+  reader.U16(&qdcount);
+  reader.U16(&ancount);
+  reader.U16(&nscount);
+  reader.U16(&arcount);
+  for (int q = 0; q < qdcount; ++q) {
+    DnsName qname;
+    uint16_t qtype = 0, qclass = 0;
+    if (!reader.Name(&qname) || !reader.U16(&qtype) || !reader.U16(&qclass)) {
+      return false;
+    }
+  }
+  // Unlike ParseWireQuery, the walk is deliberately tolerant: the caller is
+  // about to send FORMERR, and only needs to know whether a usable OPT was
+  // advertised. Every record gets the same uniform name/fixed-fields/RDATA
+  // treatment; the first root-named OPT wins.
+  int records = ancount + nscount + arcount;
+  for (int i = 0; i < records; ++i) {
+    DnsName owner;
+    uint16_t type = 0, klass = 0, rdlength = 0;
+    uint32_t ttl = 0;
+    if (!reader.Name(&owner) || !reader.U16(&type) || !reader.U16(&klass) ||
+        !reader.U32(&ttl) || !reader.U16(&rdlength) || !reader.Skip(rdlength)) {
+      return false;
+    }
+    if (type == kTypeOpt && owner.labels.empty()) {
+      out->present = true;
+      out->udp_payload = ClampEdnsPayload(klass);
+      out->version = static_cast<uint8_t>((ttl >> 16) & 0xff);
+      out->dnssec_ok = (ttl & kEdnsDoBit) != 0;
+      return true;
+    }
+  }
+  return false;
 }
 
 Status AppendTcpFrame(std::vector<uint8_t>* out, const std::vector<uint8_t>& message) {

@@ -36,16 +36,66 @@ inline constexpr size_t kMaxUdpPayload = 512;
 // docs/SERVER.md TCP fallback).
 inline constexpr size_t kMaxTcpPayload = 0xffff;
 
+// EDNS(0), RFC 6891. The OPT pseudo-RR's CLASS field advertises the
+// requestor's UDP payload capacity; values below 512 are clamped up to 512
+// at parse time (§6.2.3: "values lower than 512 MUST be treated as equal to
+// 512"), so `udp_payload` is always a usable limit.
+inline constexpr uint16_t kEdnsMinPayload = 512;
+// The payload size this implementation advertises in the OPT it emits —
+// matches the 4 KiB receive buffers on the server's UDP path.
+inline constexpr uint16_t kEdnsResponderPayload = 4096;
+// Wire size of the OPT record the encoder emits: root name (1) + TYPE (2) +
+// CLASS (2) + TTL (4) + RDLENGTH (2), empty RDATA.
+inline constexpr size_t kEdnsOptWireSize = 11;
+
+// The EDNS state carried by one DNS message. For a parsed query this is what
+// the client advertised; for a parsed response, what the responder emitted.
+struct EdnsInfo {
+  bool present = false;
+  uint16_t udp_payload = kEdnsMinPayload;  // clamped to [512, 65535]
+  uint8_t version = 0;                     // >0 ⇒ the server answers BADVERS
+  bool dnssec_ok = false;                  // the DO bit (TTL bit 0x8000)
+
+  friend bool operator==(const EdnsInfo& a, const EdnsInfo& b) {
+    return a.present == b.present && a.udp_payload == b.udp_payload &&
+           a.version == b.version && a.dnssec_ok == b.dnssec_ok;
+  }
+  friend bool operator!=(const EdnsInfo& a, const EdnsInfo& b) { return !(a == b); }
+};
+
 struct WireQuery {
   uint16_t id = 0;
   DnsName qname;
   RrType qtype = RrType::kA;
   uint16_t qclass = 1;  // IN
   bool recursion_desired = false;
+  EdnsInfo edns;
 };
+
+// The size limit a response to `edns` must honor on a channel whose
+// transport-level ceiling is `transport_limit` (RFC 6891 §6.2.3/§6.2.4):
+//   TCP (transport_limit == kMaxTcpPayload)  — EDNS payload does not apply
+//   UDP with an OPT                          — the clamped advertised payload
+//   UDP without an OPT                       — the transport's classic limit
+size_t EffectivePayloadLimit(const EdnsInfo& edns, size_t transport_limit);
+
+// Best-effort scan of a (possibly malformed) query packet for a well-formed
+// root-named OPT record, so the FORMERR/NOTIMP fallback paths can honor
+// RFC 6891 §7 (error responses carry an OPT when the query did). Walks the
+// declared sections tolerantly and returns true with *out filled on the
+// first recognizable OPT; returns false when the walk dies before finding
+// one. Never reads past `size`.
+bool ScanQueryForOpt(const uint8_t* packet, size_t size, EdnsInfo* out);
 
 // Parses a wire-format query packet. Fails on truncated packets, non-query
 // opcodes, QDCOUNT != 1, or malformed names (including compression loops).
+// Section accounting is strict: ANCOUNT/NSCOUNT must be zero, the additional
+// section must hold exactly the ARCOUNT records it declares, and no bytes
+// may trail the last section. At most one OPT record is accepted, and only
+// with the root name (RFC 6891 §6.1.1); its advertised payload, version, and
+// DO bit land in WireQuery::edns (a version > 0 still parses — the caller
+// answers BADVERS, which needs the parsed question to echo). Non-OPT
+// additional records (e.g. TSIG) are skipped structurally.
 // The view form is the primary entry point: the serving hot path hands the
 // worker's receive buffer straight to the parser, so no per-packet copy is
 // made (the parsed WireQuery owns its labels and does not alias `packet`).
@@ -66,6 +116,16 @@ inline Result<WireQuery> ParseWireQuery(const std::vector<uint8_t>& packet) {
 // `max_size` are truncated per RFC 1035 §4.1.1: whole records are dropped
 // back to front (additional, then authority, then answer) and the TC bit is
 // set; the question is always retained.
+//
+// When `query.edns.present`, the response carries an OPT record (root name,
+// kEdnsResponderPayload, the query's DO bit echoed, extended-RCODE high bits
+// from `response.rcode`) appended after the additional section. The OPT is
+// part of the fixed portion for truncation purposes — it survives any TC=1
+// clamp, per RFC 6891 §7. Callers pass the EDNS-negotiated limit as
+// `max_size` (EffectivePayloadLimit); the 512 default is the plain-UDP case.
+// An rcode above 15 (e.g. BADVERS) requires `query.edns.present` — without
+// an OPT there is nowhere to put the extended bits — and is rejected
+// otherwise.
 Result<std::vector<uint8_t>> EncodeWireResponse(const WireQuery& query,
                                                 const ResponseView& response,
                                                 size_t max_size = kMaxUdpPayload);
@@ -74,6 +134,12 @@ Result<std::vector<uint8_t>> EncodeWireResponse(const WireQuery& query,
 // fuzzer, and client tooling). TTLs and classes are validated but not
 // represented. Rejects records whose rdata does not consume exactly RDLENGTH
 // bytes. When `truncated` is non-null it receives the header's TC bit.
+//
+// An additional-section OPT record (at most one, root name required) is
+// diverted into `echoed_query->edns` instead of the view's additional
+// section; its TTL's extended-RCODE bits are folded into the view's rcode
+// (rcode = ext << 4 | header low bits), which is how BADVERS comes back as
+// Rcode::kBadVers. OPT records outside the additional section are rejected.
 Result<ResponseView> ParseWireResponse(const std::vector<uint8_t>& packet,
                                        WireQuery* echoed_query, bool* truncated = nullptr);
 
@@ -106,7 +172,9 @@ std::string HexDump(const std::vector<uint8_t>& packet);
 
 // Builds a query packet (client side). Names that violate the wire limits
 // produce a packet ParseWireQuery rejects; use ValidateWireName first when
-// the name is untrusted.
+// the name is untrusted. When `query.edns.present`, an OPT record advertising
+// `edns.udp_payload` (clamped up to 512 so encode∘parse is the identity) with
+// the version and DO bit is appended and ARCOUNT is set to 1.
 std::vector<uint8_t> EncodeWireQuery(const WireQuery& query);
 
 // Checks that every label is 1..63 bytes and the encoded name fits in 255

@@ -276,7 +276,7 @@ bool ParseReport(const std::string& payload, VerificationReport* report,
   VerificationReport out;
   dec.Tag("report");
   int64_t version = dec.Int();
-  if (version < 0 || version > static_cast<int64_t>(EngineVersion::kV4)) {
+  if (version < 0 || version > static_cast<int64_t>(EngineVersion::kV5)) {
     return false;
   }
   out.version = static_cast<EngineVersion>(version);

@@ -324,6 +324,12 @@ class Confirmer {
       query.qname.labels.push_back(lifted_.interner.DecodeApprox(it->i));
     }
     query.qtype = static_cast<RrType>(ct);
+    // Replay as a modern resolver would ask: with an OPT advertising 4 KiB.
+    // The OPT bytes then ride through encode -> parse -> encode on both the
+    // engine's and the spec's packets, and truncation at 512 cannot mask a
+    // divergence in the dropped records.
+    query.edns.present = true;
+    query.edns.udp_payload = kEdnsResponderPayload;
     Status name_ok = ValidateWireName(query.qname);
     if (!name_ok.ok()) {
       replay.error = name_ok.message();
@@ -356,7 +362,8 @@ class Confirmer {
       } else {
         view.rcode = Rcode::kServFail;  // a panic is served as SERVFAIL (dns_server)
       }
-      return EncodeWireResponse(parsed.value(), view);
+      return EncodeWireResponse(parsed.value(), view,
+                                EffectivePayloadLimit(parsed.value().edns, kMaxUdpPayload));
     };
     Result<std::vector<uint8_t>> engine_packet = encode(engine_run);
     Result<std::vector<uint8_t>> spec_packet = encode(spec_run);

@@ -12,18 +12,24 @@ const char* EngineVersionName(EngineVersion version) {
     case EngineVersion::kDev: return "dev";
     case EngineVersion::kGolden: return "golden";
     case EngineVersion::kV4: return "v4.0";
+    case EngineVersion::kV5: return "v5.0";
   }
   return "?";
 }
 
 std::vector<EngineVersion> AllEngineVersions() {
   return {EngineVersion::kV1, EngineVersion::kV2, EngineVersion::kV3, EngineVersion::kDev,
-          EngineVersion::kGolden, EngineVersion::kV4};
+          EngineVersion::kGolden, EngineVersion::kV4, EngineVersion::kV5};
 }
 
 bool EngineHasGlue(EngineVersion version) { return version != EngineVersion::kV1; }
 
-bool EngineHasNotImp(EngineVersion version) { return version == EngineVersion::kV4; }
+bool EngineHasNotImp(EngineVersion version) {
+  // v5.0 builds on v4.0, so it keeps the meta-type NOTIMP behaviour.
+  return version == EngineVersion::kV4 || version == EngineVersion::kV5;
+}
+
+bool EngineHasEdns(EngineVersion version) { return version == EngineVersion::kV5; }
 
 std::vector<std::string> EngineAnalysisRoots() {
   return {
@@ -62,11 +68,15 @@ std::vector<std::pair<std::string, std::string>> EngineSources(EngineVersion ver
     case EngineVersion::kV4:
       resolve_source = kEngineResolveV4Mg;
       break;
+    case EngineVersion::kV5:
+      resolve_source = kEngineResolveV5Mg;
+      break;
   }
   DNSV_CHECK(resolve_source != nullptr);
   std::string feature_flags =
       std::string(EngineHasGlue(version) ? kSpecFeatureGlueOn : kSpecFeatureGlueOff) +
-      (EngineHasNotImp(version) ? kSpecFeatureNotImpOn : kSpecFeatureNotImpOff);
+      (EngineHasNotImp(version) ? kSpecFeatureNotImpOn : kSpecFeatureNotImpOff) +
+      (EngineHasEdns(version) ? kSpecFeatureEdnsOn : kSpecFeatureEdnsOff);
   return {
       {"features.mg", feature_flags},
       {"types.mg", kEngineTypesMg},

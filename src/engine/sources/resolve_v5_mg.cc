@@ -1,0 +1,228 @@
+// MiniGo source: engine v5.0 — the EDNS(0) iteration, landed through the
+// same porting workflow as v4.0 (§7, Table 3): the wire layer grows OPT
+// handling, and the data plane gains the one rule RFC 6891 asks of it — OPT
+// is additional-section metadata, never a question, so a query asking FOR
+// type OPT (qtype 41) is malformed and answered FORMERR (§6.1.1: "OPT RRs
+// MUST NOT be cached, forwarded, or stored"; a qtype of OPT has no defined
+// meaning). The spec is adapted by the FEATURE_EDNS flag, and the new
+// version re-verifies clean.
+//
+// The diff against v4.0 is the OPT-qtype guard at the top of resolve() —
+// everything else is byte-identical, the same shape of iteration Table 3
+// measures. Payload negotiation itself lives in the wire codec and the
+// serving shell (src/dns/wire.cc, src/server/serve.cc); the engine's decoded
+// view never sees the OPT record, only the qtype.
+#include "src/engine/sources/sources.h"
+
+namespace dnsv {
+
+const char kEngineResolveV5Mg[] = R"mg(
+// ---- resolve.mg (v5.0): v4.0 + EDNS OPT-qtype handling ----
+
+func findChild(bst *TreeNode, label int) *TreeNode {
+  cur := bst
+  for cur != nil {
+    if label == cur.label {
+      return cur
+    }
+    if label < cur.label {
+      cur = cur.left
+    } else {
+      cur = cur.right
+    }
+  }
+  return nil
+}
+
+func treeSearch(apex *TreeNode, rel []int, stopAtNS bool, out *SearchResult, stack *NodeStack) {
+  cur := apex
+  depth := 0
+  out.cut = nil
+  pushNode(stack, cur)
+  for depth < len(rel) {
+    child := findChild(cur.down, rel[depth])
+    if child == nil {
+      out.match = MATCH_PARTIAL
+      out.node = cur
+      out.depth = depth
+      return
+    }
+    cur = child
+    depth = depth + 1
+    pushNode(stack, cur)
+    if stopAtNS && hasType(cur, TYPE_NS) {
+      out.match = MATCH_PARTIAL
+      out.node = cur
+      out.depth = depth
+      out.cut = cur
+      return
+    }
+  }
+  out.match = MATCH_EXACT
+  out.node = cur
+  out.depth = depth
+}
+
+func addAdditional(apex *TreeNode, origin []int, resp *Response, rrs []RR) {
+  for i := 0; i < len(rrs); i = i + 1 {
+    t := rrs[i].rtype
+    if t == TYPE_NS || t == TYPE_MX {
+      target := rrs[i].rdataName
+      if nameIsSubdomain(target, origin) {
+        relt := nameStrip(target, origin)
+        sr := new(SearchResult)
+        st := newNodeStack()
+        treeSearch(apex, relt, false, sr, st)
+        if sr.match == MATCH_EXACT {
+          resp.additional = appendAll(resp.additional, getRRs(sr.node, TYPE_A))
+          resp.additional = appendAll(resp.additional, getRRs(sr.node, TYPE_AAAA))
+        }
+      }
+    }
+  }
+}
+
+func chaseCname(apex *TreeNode, origin []int, start RR, qtype int, resp *Response) {
+  resp.answer = append(resp.answer, start)
+  target := start.rdataName
+  count := 0
+  for count < MAX_CNAME_CHASE {
+    if !nameIsSubdomain(target, origin) {
+      return
+    }
+    relt := nameStrip(target, origin)
+    sr := new(SearchResult)
+    st := newNodeStack()
+    treeSearch(apex, relt, true, sr, st)
+    if sr.cut != nil {
+      return
+    }
+    if sr.match != MATCH_EXACT {
+      return
+    }
+    rrs := getRRs(sr.node, qtype)
+    if len(rrs) > 0 {
+      resp.answer = appendAll(resp.answer, rrs)
+      addAdditional(apex, origin, resp, rrs)
+      return
+    }
+    next := getRRs(sr.node, TYPE_CNAME)
+    if len(next) == 0 {
+      return
+    }
+    resp.answer = append(resp.answer, next[0])
+    target = next[0].rdataName
+    count = count + 1
+  }
+}
+
+func answerExact(apex *TreeNode, origin []int, node *TreeNode, qname []int, qtype int, resp *Response) {
+  resp.rcode = RCODE_NOERROR
+  setAuthoritative(resp)
+  if qtype == TYPE_ANY {
+    for i := 0; i < len(node.rrsets); i = i + 1 {
+      resp.answer = appendAll(resp.answer, node.rrsets[i].rrs)
+    }
+    if len(resp.answer) == 0 {
+      resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+      return
+    }
+    addAdditional(apex, origin, resp, resp.answer)
+    return
+  }
+  rrs := getRRs(node, qtype)
+  if len(rrs) > 0 {
+    resp.answer = appendAll(resp.answer, rrs)
+    addAdditional(apex, origin, resp, rrs)
+    return
+  }
+  cnames := getRRs(node, TYPE_CNAME)
+  if len(cnames) > 0 {
+    chaseCname(apex, origin, cnames[0], qtype, resp)
+    return
+  }
+  resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+}
+
+func wildcardAnswer(apex *TreeNode, origin []int, wc *TreeNode, qname []int, qtype int, resp *Response) {
+  resp.rcode = RCODE_NOERROR
+  setAuthoritative(resp)
+  if qtype == TYPE_ANY {
+    for i := 0; i < len(wc.rrsets); i = i + 1 {
+      src := wc.rrsets[i].rrs
+      for j := 0; j < len(src); j = j + 1 {
+        resp.answer = append(resp.answer, synthesizeRR(src[j], qname))
+      }
+    }
+    if len(resp.answer) == 0 {
+      resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+      return
+    }
+    addAdditional(apex, origin, resp, resp.answer)
+    return
+  }
+  rrs := getRRs(wc, qtype)
+  if len(rrs) > 0 {
+    syn := make([]RR)
+    for j := 0; j < len(rrs); j = j + 1 {
+      syn = append(syn, synthesizeRR(rrs[j], qname))
+    }
+    resp.answer = appendAll(resp.answer, syn)
+    addAdditional(apex, origin, resp, syn)
+    return
+  }
+  cnames := getRRs(wc, TYPE_CNAME)
+  if len(cnames) > 0 {
+    chaseCname(apex, origin, synthesizeRR(cnames[0], qname), qtype, resp)
+    return
+  }
+  resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+}
+
+func resolve(apex *TreeNode, origin []int, qname []int, qtype int) *Response {
+  resp := newResponse()
+  // NEW in v5.0: OPT is EDNS metadata carried in the additional section
+  // (RFC 6891), never a meaningful question type. A query asking FOR type
+  // OPT is malformed; answer FORMERR before any zone logic runs.
+  if qtype == TYPE_OPT {
+    resp.rcode = RCODE_FORMERR
+    return resp
+  }
+  // From v4.0: meta query types (zone transfers and legacy mail queries)
+  // are not implemented by the data plane; answer NOTIMP instead of treating
+  // them as ordinary record types.
+  if qtype >= TYPE_META_FIRST && qtype <= TYPE_META_LAST {
+    resp.rcode = RCODE_NOTIMP
+    return resp
+  }
+  if !nameIsSubdomain(qname, origin) {
+    resp.rcode = RCODE_REFUSED
+    return resp
+  }
+  rel := nameStrip(qname, origin)
+  sr := new(SearchResult)
+  stack := newNodeStack()
+  treeSearch(apex, rel, true, sr, stack)
+  if sr.cut != nil {
+    resp.rcode = RCODE_NOERROR
+    resp.authority = appendAll(resp.authority, getRRs(sr.cut, TYPE_NS))
+    addAdditional(apex, origin, resp, resp.authority)
+    return resp
+  }
+  if sr.match == MATCH_EXACT {
+    answerExact(apex, origin, sr.node, qname, qtype, resp)
+    return resp
+  }
+  wc := findChild(sr.node.down, LABEL_STAR)
+  if wc != nil {
+    wildcardAnswer(apex, origin, wc, qname, qtype, resp)
+    return resp
+  }
+  resp.rcode = RCODE_NXDOMAIN
+  setAuthoritative(resp)
+  resp.authority = appendAll(resp.authority, getRRs(apex, TYPE_SOA))
+  return resp
+}
+)mg";
+
+}  // namespace dnsv

@@ -1,12 +1,15 @@
 // Embedded MiniGo sources for the DNS authoritative engine, its stable
 // library modules, and the specifications.
 //
-// The engine exists in five versions, mirroring the paper's Table 2:
+// The engine exists in seven versions: five mirroring the paper's Table 2,
+// plus two post-repair iterations landed through the §7 porting workflow:
 //   v1.0    — base version (bugs #1 #2 #3)
 //   v2.0    — adds delegation glue / additional-section processing (#4-#7)
 //   v3.0    — fixes v2 bugs, adds an ENT fast path (bug #8)
 //   dev     — iteration after v3.0: attempted fix for #8 (#8 remains, adds #9)
 //   golden  — the fully repaired engine; verifies clean against the spec
+//   v4.0    — golden + NOTIMP for meta query types; verifies clean
+//   v5.0    — v4.0 + EDNS(0): qtype OPT answered FORMERR; verifies clean
 #ifndef DNSV_ENGINE_SOURCES_SOURCES_H_
 #define DNSV_ENGINE_SOURCES_SOURCES_H_
 
@@ -31,6 +34,7 @@ extern const char kEngineResolveV3Mg[];
 extern const char kEngineResolveDevMg[];
 extern const char kEngineResolveGoldenMg[];
 extern const char kEngineResolveV4Mg[];
+extern const char kEngineResolveV5Mg[];
 
 // Byte-level compareRaw (paper Fig. 4) and its abstract counterpart
 // compareAbs (Fig. 10), used by the refinement case study.
@@ -44,8 +48,10 @@ extern const char kSpecFeatureGlueOn[];
 extern const char kSpecFeatureGlueOff[];
 extern const char kSpecFeatureNotImpOn[];
 extern const char kSpecFeatureNotImpOff[];
+extern const char kSpecFeatureEdnsOn[];
+extern const char kSpecFeatureEdnsOff[];
 
-enum class EngineVersion { kV1, kV2, kV3, kDev, kGolden, kV4 };
+enum class EngineVersion { kV1, kV2, kV3, kDev, kGolden, kV4, kV5 };
 
 const char* EngineVersionName(EngineVersion version);
 
@@ -63,6 +69,10 @@ bool EngineHasGlue(EngineVersion version);
 // True when this engine version answers meta query types with NOTIMP
 // (the v4.0 feature).
 bool EngineHasNotImp(EngineVersion version);
+
+// True when this engine version implements EDNS(0) qtype handling — a query
+// asking FOR type OPT is answered FORMERR (the v5.0 feature).
+bool EngineHasEdns(EngineVersion version);
 
 // Functions external drivers invoke directly on a compiled engine module:
 // the layer harness (MeasureLayers) explores each of these standalone with

@@ -14,6 +14,8 @@ const char kSpecFeatureGlueOn[] = "const FEATURE_GLUE = 1\n";
 const char kSpecFeatureGlueOff[] = "const FEATURE_GLUE = 0\n";
 const char kSpecFeatureNotImpOn[] = "const FEATURE_NOTIMP = 1\n";
 const char kSpecFeatureNotImpOff[] = "const FEATURE_NOTIMP = 0\n";
+const char kSpecFeatureEdnsOn[] = "const FEATURE_EDNS = 1\n";
+const char kSpecFeatureEdnsOff[] = "const FEATURE_EDNS = 0\n";
 
 const char kSpecRrlookupMg[] = R"mg(
 // ---- rrlookup.mg: top-level specification of authoritative resolution ----
@@ -197,8 +199,17 @@ func specAnswerAt(zone []RR, origin []int, owner []int, qname []int, qtype int, 
 // engine must produce.
 func rrlookup(zone []RR, origin []int, qname []int, qtype int) *Response {
   resp := newResponse()
-  // v4.0 spec adaptation (Table 3's O(10)-line per-version change): meta
-  // query types are answered NOTIMP once the engine implements the feature.
+  // v5.0 spec adaptation (Table 3's O(10)-line per-version change): OPT is
+  // EDNS additional-section metadata (RFC 6891), never a question type, so
+  // qtype OPT is malformed once the engine implements EDNS.
+  if FEATURE_EDNS == 1 {
+    if qtype == TYPE_OPT {
+      resp.rcode = RCODE_FORMERR
+      return resp
+    }
+  }
+  // v4.0 spec adaptation: meta query types are answered NOTIMP once the
+  // engine implements the feature.
   if FEATURE_NOTIMP == 1 {
     if qtype >= TYPE_META_FIRST && qtype <= TYPE_META_LAST {
       resp.rcode = RCODE_NOTIMP

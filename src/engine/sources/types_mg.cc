@@ -74,8 +74,13 @@ const TYPE_ANY = 255
 const TYPE_META_FIRST = 251
 const TYPE_META_LAST = 254
 
+// The EDNS OPT pseudo-type (RFC 6891). OPT is additional-section metadata,
+// never a question: a query asking FOR type OPT is malformed (FORMERR).
+const TYPE_OPT = 41
+
 // Response codes.
 const RCODE_NOERROR = 0
+const RCODE_FORMERR = 1
 const RCODE_NXDOMAIN = 3
 const RCODE_NOTIMP = 4
 const RCODE_REFUSED = 5

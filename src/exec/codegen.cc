@@ -25,6 +25,7 @@ const char* VersionEnumerator(EngineVersion version) {
     case EngineVersion::kDev: return "EngineVersion::kDev";
     case EngineVersion::kGolden: return "EngineVersion::kGolden";
     case EngineVersion::kV4: return "EngineVersion::kV4";
+    case EngineVersion::kV5: return "EngineVersion::kV5";
   }
   DNSV_CHECK(false);
   return "?";

@@ -48,19 +48,22 @@ void CheckResponseFixpoint(const GeneratedPacket& packet, RoundTripStats* stats,
   }
 }
 
-// RFC-1035 truncation property: any parsed view re-encoded at the UDP limit
-// must fit, keep the question, set TC exactly when records were dropped, and
-// the surviving records must be a back-to-front prefix cut.
-void CheckTruncationProperty(const WireQuery& query, const ResponseView& view,
+// RFC-1035 truncation property, generalized over the EDNS-negotiated limits
+// (RFC 6891 §4.3): any parsed view re-encoded at `limit` must fit, keep the
+// question — and the OPT echo, which is part of the fixed portion and must
+// survive any truncation — set TC exactly when records were dropped, and the
+// surviving records must be a back-to-front prefix cut.
+void CheckTruncationProperty(const WireQuery& query, const ResponseView& view, size_t limit,
                              RoundTripStats* stats, const RoundTripOptions& options,
                              const std::vector<uint8_t>& origin_packet) {
-  Result<std::vector<uint8_t>> at_udp = EncodeWireResponse(query, view, kMaxUdpPayload);
+  Result<std::vector<uint8_t>> at_udp = EncodeWireResponse(query, view, limit);
   if (!at_udp.ok()) {
     Violation(stats, options, "truncating encode failed: " + at_udp.error(), origin_packet);
     return;
   }
-  if (at_udp.value().size() > kMaxUdpPayload) {
-    Violation(stats, options, "truncated response exceeds 512 bytes", at_udp.value());
+  if (at_udp.value().size() > limit) {
+    Violation(stats, options, StrCat("truncated response exceeds the ", limit, "-byte limit"),
+              at_udp.value());
     return;
   }
   WireQuery echoed;
@@ -69,6 +72,10 @@ void CheckTruncationProperty(const WireQuery& query, const ResponseView& view,
   if (!parsed.ok()) {
     Violation(stats, options, "truncated response does not parse: " + parsed.error(),
               at_udp.value());
+    return;
+  }
+  if (query.edns.present && !echoed.edns.present) {
+    Violation(stats, options, "truncation dropped the OPT record", at_udp.value());
     return;
   }
   const ResponseView& small = parsed.value();
@@ -134,7 +141,8 @@ void CheckQueryMutant(const std::vector<uint8_t>& mutant, RoundTripStats* stats,
   }
   if (again.value().qname != parsed.value().qname ||
       again.value().qtype != parsed.value().qtype ||
-      again.value().qclass != parsed.value().qclass || again.value().id != parsed.value().id) {
+      again.value().qclass != parsed.value().qclass || again.value().id != parsed.value().id ||
+      again.value().edns != parsed.value().edns) {
     Violation(stats, options, "accepted query mutant does not normalize", mutant);
   }
 }
@@ -211,7 +219,8 @@ RoundTripStats RunRoundTripFuzz(const RoundTripOptions& options,
     }
 
     // Canonical response: parse -> encode -> byte-identical, plus the
-    // truncation property at the UDP limit.
+    // truncation property at the classic UDP limit and both common
+    // EDNS-negotiated limits (the flag-day 1232 and the responder's 4096).
     GeneratedPacket response_packet = gen.NextResponsePacket();
     ++stats.packets;
     ++stats.responses;
@@ -220,7 +229,10 @@ RoundTripStats RunRoundTripFuzz(const RoundTripOptions& options,
       WireQuery echoed;
       Result<ResponseView> parsed = ParseWireResponse(response_packet.bytes, &echoed);
       if (parsed.ok()) {
-        CheckTruncationProperty(echoed, parsed.value(), &stats, options, response_packet.bytes);
+        for (size_t limit : {size_t{kMaxUdpPayload}, size_t{1232}, size_t{kEdnsResponderPayload}}) {
+          CheckTruncationProperty(echoed, parsed.value(), limit, &stats, options,
+                                  response_packet.bytes);
+        }
       }
     }
 

@@ -11,8 +11,8 @@
 //   parsed from its wire packet and executed on the concrete interpreter
 //   through both the engine's Resolve and the zone-lifted rrlookup spec;
 //   response-view disagreement (or a panic) is a divergence, reported as a
-//   minimized query packet. On the clean versions (golden, v4.0) this must
-//   find nothing; on v1.0–dev it rediscovers the Table-2 bugs from the
+//   minimized query packet. On the clean versions (golden, v4.0, v5.0) this
+//   must find nothing; on v1.0–dev it rediscovers the Table-2 bugs from the
 //   packet side, complementing the verifier's symbolic search.
 //
 //   Backend differential (interp vs AOT-compiled; docs/BACKEND.md) — the
@@ -51,7 +51,7 @@ struct RoundTripStats {
   int64_t mutants_rejected = 0;        // parser refused (expected for most)
   int64_t mutants_parsed = 0;          // parser accepted the mutant
   int64_t mutants_encode_rejected = 0; // accepted view failed to re-encode (clean error)
-  int64_t truncations = 0;             // oversized responses exercised at 512 bytes
+  int64_t truncations = 0;  // oversized responses exercised at 512/1232/4096 bytes
   int64_t mutation_counts[kNumMutationKinds] = {};
   int64_t violations = 0;
   std::vector<std::string> reports;  // first max_reports violations, with hex dumps

@@ -53,6 +53,8 @@ const char* MutationKindName(MutationKind kind) {
       return "truncate";
     case MutationKind::kByteFlip:
       return "byte-flip";
+    case MutationKind::kEdnsOpt:
+      return "edns-opt";
   }
   return "unknown";
 }
@@ -141,7 +143,15 @@ RrType PacketGenerator::RandomType(bool query_position) {
   static constexpr RrType kKnown[] = {RrType::kA,  RrType::kNs,  RrType::kCname, RrType::kSoa,
                                       RrType::kMx, RrType::kTxt, RrType::kAaaa};
   if (rng_.NextChance(1, 8)) {
-    return static_cast<RrType>(rng_.NextInRange(1, 255));  // arbitrary code
+    uint16_t code = static_cast<uint16_t>(rng_.NextInRange(1, 255));  // arbitrary code
+    if (!query_position && code == 41) {
+      // A record claiming TYPE=OPT is an OPT to the parser (RFC 6891 leaves
+      // no other reading), so 41 cannot masquerade as generic rdata in a
+      // canonical packet. As a *qtype* it stays in the pool: that is a
+      // legitimate query the v5.0 engine answers with FORMERR.
+      code = 42;
+    }
+    return static_cast<RrType>(code);
   }
   if (query_position && rng_.NextChance(1, 5)) {
     return RrType::kAny;
@@ -156,6 +166,29 @@ WireQuery PacketGenerator::NextQuery() {
   query.qtype = RandomType(/*query_position=*/true);
   query.qclass = rng_.NextChance(1, 16) ? static_cast<uint16_t>(rng_.Next()) : 1;
   query.recursion_desired = rng_.NextChance(1, 2);
+  if (rng_.NextChance(1, 2)) {
+    query.edns.present = true;
+    switch (rng_.NextBelow(4)) {
+      case 0:
+        query.edns.udp_payload = kEdnsMinPayload;
+        break;
+      case 1:
+        query.edns.udp_payload = 1232;  // the flag-day default
+        break;
+      case 2:
+        query.edns.udp_payload = kEdnsResponderPayload;
+        break;
+      default:
+        // Arbitrary, including sub-512 values: the encoder clamps, so the
+        // emitted packet is still a parse/encode fixpoint.
+        query.edns.udp_payload = static_cast<uint16_t>(rng_.Next());
+        break;
+    }
+    query.edns.dnssec_ok = rng_.NextChance(1, 4);
+    if (rng_.NextChance(1, 16)) {
+      query.edns.version = static_cast<uint8_t>(rng_.NextInRange(1, 255));
+    }
+  }
   return query;
 }
 
@@ -242,6 +275,9 @@ std::vector<uint8_t> PacketGenerator::Mutate(const GeneratedPacket& packet,
       (kind == MutationKind::kCompressionPointer || kind == MutationKind::kTruncate)) {
     kind = MutationKind::kByteFlip;
   }
+  if (bytes.size() < kHeaderSize && kind == MutationKind::kEdnsOpt) {
+    kind = MutationKind::kByteFlip;  // no ARCOUNT field to bump
+  }
   switch (kind) {
     case MutationKind::kHeaderField: {
       size_t field = rng_.NextBelow(6);  // id, flags, qd, an, ns, ar
@@ -309,6 +345,40 @@ std::vector<uint8_t> PacketGenerator::Mutate(const GeneratedPacket& packet,
       for (size_t i = 0; i < flips && !bytes.empty(); ++i) {
         bytes[rng_.NextBelow(bytes.size())] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
       }
+      break;
+    }
+    case MutationKind::kEdnsOpt: {
+      // Graft an OPT pseudo-record onto the tail and bump ARCOUNT. On a
+      // packet that already carries one this makes a duplicate (must be
+      // refused); the hostile shapes probe each RFC 6891 validity rule the
+      // parser enforces separately.
+      enum { kWellFormed, kNonRootName, kSubMinPayload, kBadVersion, kTruncatedOpt };
+      int shape = static_cast<int>(rng_.NextBelow(5));
+      std::vector<uint8_t> opt;
+      if (shape == kNonRootName) {
+        opt.push_back(1);
+        opt.push_back('x');
+      }
+      opt.push_back(0);  // root (or final label terminator)
+      opt.push_back(0);
+      opt.push_back(41);  // TYPE = OPT
+      uint16_t payload = shape == kSubMinPayload
+                             ? static_cast<uint16_t>(rng_.NextBelow(512))
+                             : static_cast<uint16_t>(512 + rng_.NextBelow(65536 - 512));
+      opt.push_back(static_cast<uint8_t>(payload >> 8));
+      opt.push_back(static_cast<uint8_t>(payload & 0xff));
+      opt.push_back(0);  // extended RCODE
+      opt.push_back(shape == kBadVersion ? static_cast<uint8_t>(rng_.NextInRange(1, 255)) : 0);
+      opt.push_back(rng_.NextChance(1, 4) ? 0x80 : 0);  // DO + upper Z
+      opt.push_back(0);
+      opt.push_back(0);  // RDLENGTH = 0
+      opt.push_back(0);
+      if (shape == kTruncatedOpt) {
+        opt.resize(1 + rng_.NextBelow(opt.size() - 1));  // cut inside the record
+      }
+      uint16_t arcount = ReadU16(bytes, 10);
+      WriteU16(&bytes, 10, static_cast<uint16_t>(arcount + 1));
+      bytes.insert(bytes.end(), opt.begin(), opt.end());
       break;
     }
   }

@@ -4,7 +4,8 @@
 // generated packet is a ground-truth fixpoint witness; the mutator then
 // applies the adversarial families the codec historically got wrong:
 // header-field rewrites, name-compression pointers (loops, forward jumps),
-// RDLENGTH lies, truncation, and plain byte flips.
+// RDLENGTH lies, truncation, OPT pseudo-record grafts (duplicate, non-root,
+// version > 0, sub-512 payload, truncated — RFC 6891), and plain byte flips.
 //
 // Everything is seed-driven (SplitMix64) and platform-independent: the same
 // seed produces the same packet sequence on every run, which is what lets CI
@@ -30,8 +31,9 @@ enum class MutationKind : uint8_t {
   kRdlength,            // make an RDLENGTH field lie about its rdata
   kTruncate,            // chop the packet at a random byte
   kByteFlip,            // flip random bytes anywhere
+  kEdnsOpt,             // graft an OPT pseudo-record (well-formed or hostile)
 };
-inline constexpr int kNumMutationKinds = 5;
+inline constexpr int kNumMutationKinds = 6;
 const char* MutationKindName(MutationKind kind);
 
 // A canonical packet plus the structural offsets the mutator targets.
@@ -57,7 +59,10 @@ class PacketGenerator {
   PacketGenerator(uint64_t seed, const ZoneConfig& vocabulary_zone);
 
   // A random in-bounds query: vocabulary-biased qname, qtype mixing the
-  // engine's types with arbitrary codes in [1, 255].
+  // engine's types with arbitrary codes in [1, 255], and (about half the
+  // time) an EDNS OPT advertising 512/1232/4096 or an arbitrary payload —
+  // occasionally a version above 0, which stays parseable (BADVERS needs an
+  // addressable sender).
   WireQuery NextQuery();
   GeneratedPacket NextQueryPacket(WireQuery* query = nullptr);
 

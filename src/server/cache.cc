@@ -91,7 +91,7 @@ bool BuildCacheKey(const WireQuery& query, size_t max_payload, CacheKey* out) {
   out->qname_wire.clear();
   out->qname_wire.reserve(wire_bytes);
   out->key.clear();
-  out->key.reserve(wire_bytes + 9);
+  out->key.reserve(wire_bytes + 10);
   for (const std::string& label : query.qname.labels) {
     out->qname_wire.push_back(static_cast<uint8_t>(label.size()));
     out->key.push_back(static_cast<char>(label.size()));
@@ -115,6 +115,12 @@ bool BuildCacheKey(const WireQuery& query, size_t max_payload, CacheKey* out) {
   for (int shift = 24; shift >= 0; shift -= 8) {
     out->key.push_back(static_cast<char>((limit >> shift) & 0xff));
   }
+  // EDNS presence and the DO bit change the response bytes (OPT echo, DO
+  // echo) even at the same payload limit — an EDNS and a plain client must
+  // not share an entry. The advertised payload itself is already covered by
+  // the limit above (EffectivePayloadLimit feeds it).
+  out->key.push_back(static_cast<char>((query.edns.present ? 1 : 0) |
+                                       (query.edns.dnssec_ok ? 2 : 0)));
   return true;
 }
 
@@ -135,10 +141,8 @@ uint32_t MinimumResponseTtl(const std::vector<uint8_t>& wire) {
     pos += 4;  // qtype + qclass
   }
   uint32_t records = static_cast<uint32_t>(ancount) + nscount + arcount;
-  if (records == 0) {
-    return 0;  // nothing to derive an expiry from: uncacheable
-  }
   uint32_t min_ttl = 0xffffffff;
+  uint32_t data_records = 0;
   for (uint32_t r = 0; r < records; ++r) {
     uint16_t type = 0, klass = 0, rdlength = 0;
     uint32_t ttl = 0;
@@ -148,9 +152,19 @@ uint32_t MinimumResponseTtl(const std::vector<uint8_t>& wire) {
       return 0;
     }
     pos += rdlength;
+    if (type == 41) {
+      // The OPT pseudo-record's TTL field holds EDNS flags, not a lifetime
+      // (RFC 6891 §6.1.3) — folding its ~0 value into the minimum would make
+      // every EDNS response uncacheable.
+      continue;
+    }
+    ++data_records;
     if (ttl < min_ttl) {
       min_ttl = ttl;
     }
+  }
+  if (data_records == 0) {
+    return 0;  // nothing to derive an expiry from: uncacheable
   }
   return min_ttl;
 }

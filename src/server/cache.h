@@ -3,10 +3,12 @@
 // Most authoritative traffic is a small set of hot names, so the serving
 // shell answers repeats without touching the verified engine at all: a
 // mutex-sharded map from (case-folded wire qname, qtype, qclass, RD bit,
-// payload limit) to the full encoded response. A hit splices the client's ID
-// and the client's original qname casing into a copy of the cached wire
-// bytes — no re-encoding, no engine run. The design follows dnsdist's packet
-// cache (sharded hash map, TTL expiry, ID/name splice-back).
+// effective payload limit, EDNS presence + DO bit) to the full encoded
+// response. A hit splices the client's ID and the client's original qname
+// casing into a copy of the cached wire bytes — no re-encoding, no engine
+// run; the trailing OPT echo (when present) is identical for every client
+// sharing a key, so the splice never has to touch it. The design follows
+// dnsdist's packet cache (sharded hash map, TTL expiry, ID/name splice-back).
 //
 // The cache lives entirely outside the verified engine, so its correctness
 // is established the same way the compiled backend's was: a differential
@@ -57,9 +59,11 @@ struct CacheKey {
 // such queries end on the uncacheable SERVFAIL fallback path anyway.
 bool BuildCacheKey(const WireQuery& query, size_t max_payload, CacheKey* out);
 
-// Minimum TTL across every record of an encoded response, or 0 when the
-// packet carries no records or does not have the canonical encoder shape.
-// 0 means "do not cache" — the caller never stores zero-TTL answers.
+// Minimum TTL across every data record of an encoded response, or 0 when
+// the packet carries no data records or does not have the canonical encoder
+// shape. OPT pseudo-records are excluded: their TTL field holds EDNS flags,
+// not a lifetime (RFC 6891 §6.1.3), and counting it would make every EDNS
+// response uncacheable. 0 means "do not cache".
 uint32_t MinimumResponseTtl(const std::vector<uint8_t>& wire);
 
 class PacketCache {

@@ -25,7 +25,13 @@ namespace dnsv {
 // construction: this is also the terminal SERVFAIL fallback for the case
 // where even encoding a minimal response fails, which used to crash the
 // server via `.value()` on an error Result.
-std::vector<uint8_t> BuildErrorResponse(const uint8_t* packet, size_t size, Rcode rcode);
+//
+// When `edns` is non-null and present, the response additionally carries an
+// OPT record (ARCOUNT 1, 23 bytes total): RFC 6891 §7 requires FORMERR /
+// BADVERS responses to carry an OPT when the query did. The rcode's high
+// bits (e.g. BADVERS = 16) travel in the OPT's extended-RCODE byte.
+std::vector<uint8_t> BuildErrorResponse(const uint8_t* packet, size_t size, Rcode rcode,
+                                        const EdnsInfo* edns = nullptr);
 
 struct ServeOutcome {
   std::vector<uint8_t> wire;  // never empty; worst case the 12-byte header
@@ -34,6 +40,7 @@ struct ServeOutcome {
   bool not_implemented = false;    // NOTIMP for a non-QUERY opcode
   bool servfail_fallback = false;  // static SERVFAIL template was used
   bool cache_hit = false;          // answered from the packet cache
+  bool badvers = false;            // BADVERS for an EDNS version > 0
 };
 
 // Optional front-end state threaded into ServePacket by the serving loops.
@@ -50,7 +57,12 @@ struct ServeContext {
 // engine -> encode, with NOTIMP / FORMERR / SERVFAIL fallbacks that cannot
 // fail. `max_payload` is kMaxUdpPayload on the UDP path and kMaxTcpPayload
 // on TCP (the TCP path carries answers the UDP clamp would truncate — that
-// is its purpose). Updates parse/encode/rcode/truncation/cache counters on
+// is its purpose); when the parsed query carries an OPT, the response is
+// encoded — and cached — under the EDNS-negotiated EffectivePayloadLimit
+// instead, and every response path echoes an OPT (RFC 6891 §7), including
+// the FORMERR/NOTIMP/SERVFAIL fallbacks (via a tolerant ScanQueryForOpt of
+// the raw bytes). An EDNS version above 0 short-circuits to BADVERS before
+// the engine runs. Updates parse/encode/rcode/truncation/cache counters on
 // `stats` when non-null; transport-level counters (udp_queries, latency,
 // ...) are the caller's. Only clean NOERROR/NXDOMAIN answers with a nonzero
 // minimum TTL are inserted into the cache; TC=1 and every error path are

@@ -25,6 +25,8 @@ void StatsSnapshot::Add(const ServerStats& worker) {
   servfail_fallbacks += get(worker.servfail_fallbacks);
   engine_panics += get(worker.engine_panics);
   truncated_responses += get(worker.truncated_responses);
+  edns_queries += get(worker.edns_queries);
+  badvers_responses += get(worker.badvers_responses);
   tcp_connections += get(worker.tcp_connections);
   tcp_rejected += get(worker.tcp_rejected);
   tcp_timeouts += get(worker.tcp_timeouts);
@@ -81,6 +83,8 @@ std::string StatsSnapshot::ToJson() const {
   field("servfail_fallbacks", servfail_fallbacks);
   field("engine_panics", engine_panics);
   field("truncated_responses", truncated_responses);
+  field("edns_queries", edns_queries);
+  field("badvers_responses", badvers_responses);
   field("tcp_connections", tcp_connections);
   field("tcp_rejected", tcp_rejected);
   field("tcp_timeouts", tcp_timeouts);

@@ -30,6 +30,8 @@ struct alignas(64) ServerStats {
   std::atomic<uint64_t> servfail_fallbacks{0};  // static SERVFAIL template sent
   std::atomic<uint64_t> engine_panics{0};     // data plane panicked (SERVFAIL)
   std::atomic<uint64_t> truncated_responses{0};  // TC=1 sent (UDP clamp hit)
+  std::atomic<uint64_t> edns_queries{0};      // parsed queries carrying an OPT
+  std::atomic<uint64_t> badvers_responses{0};  // BADVERS sent (EDNS version > 0)
   std::atomic<uint64_t> tcp_connections{0};   // accepted
   std::atomic<uint64_t> tcp_rejected{0};      // refused over the connection cap
   std::atomic<uint64_t> tcp_timeouts{0};      // idle connections reaped
@@ -57,6 +59,8 @@ struct StatsSnapshot {
   uint64_t servfail_fallbacks = 0;
   uint64_t engine_panics = 0;
   uint64_t truncated_responses = 0;
+  uint64_t edns_queries = 0;
+  uint64_t badvers_responses = 0;
   uint64_t tcp_connections = 0;
   uint64_t tcp_rejected = 0;
   uint64_t tcp_timeouts = 0;

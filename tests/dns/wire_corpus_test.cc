@@ -10,6 +10,13 @@
 //   query_notimp_*  ParseWireQuery must reject (well-formed packet, opcode
 //                   outside the QUERY subset); the serving shell answers
 //                   NOTIMP for these, which tests/server/serve_test.cc pins
+//   query_badvers_* ParseWireQuery must accept with edns.version > 0 (the
+//                   serving shell answers BADVERS, pinned in serve_test.cc);
+//                   still a byte fixpoint
+//   query_clamp_*   ParseWireQuery must accept with the sub-512 advertised
+//                   payload clamped to 512 (RFC 6891 §6.2.3); deliberately
+//                   NOT a byte fixpoint — the canonical re-encode advertises
+//                   the clamp and must re-parse to the same query
 //   resp_accept_*   ParseWireResponse must accept, and the view must survive
 //                   re-encode -> re-parse (compressed packets re-encode
 //                   uncompressed, so equality is at the view level)
@@ -84,6 +91,23 @@ TEST(WireCorpusTest, EveryPacketMeetsItsFilenameExpectation) {
       EXPECT_FALSE(as_query.ok());
       EXPECT_FALSE(as_query.error().empty());
       ++rejects;
+    } else if (HasPrefix(file.name, "query_badvers_")) {
+      ASSERT_TRUE(as_query.ok()) << as_query.error();
+      EXPECT_TRUE(as_query.value().edns.present);
+      EXPECT_NE(as_query.value().edns.version, 0);
+      EXPECT_EQ(EncodeWireQuery(as_query.value()), file.packet);
+      ++accepts;
+    } else if (HasPrefix(file.name, "query_clamp_")) {
+      ASSERT_TRUE(as_query.ok()) << as_query.error();
+      EXPECT_TRUE(as_query.value().edns.present);
+      EXPECT_EQ(as_query.value().edns.udp_payload, kEdnsMinPayload);
+      std::vector<uint8_t> canonical = EncodeWireQuery(as_query.value());
+      EXPECT_NE(canonical, file.packet) << "a sub-512 advertisement cannot be a fixpoint";
+      Result<WireQuery> again = ParseWireQuery(canonical);
+      ASSERT_TRUE(again.ok()) << again.error();
+      EXPECT_EQ(again.value().qname, as_query.value().qname);
+      EXPECT_EQ(again.value().edns, as_query.value().edns);
+      ++accepts;
     } else if (HasPrefix(file.name, "resp_accept_")) {
       ASSERT_TRUE(as_response.ok()) << as_response.error();
       // The view survives re-encode -> re-parse. Byte equality is not
@@ -107,8 +131,8 @@ TEST(WireCorpusTest, EveryPacketMeetsItsFilenameExpectation) {
     }
   }
   // The corpus must keep exercising both sides of the codec's judgment.
-  EXPECT_GE(accepts, 3);
-  EXPECT_GE(rejects, 7);
+  EXPECT_GE(accepts, 6);
+  EXPECT_GE(rejects, 11);
 }
 
 // The three historical codec bugs each have a dedicated corpus witness; if
@@ -130,6 +154,15 @@ TEST(WireCorpusTest, HistoricalBugWitnessesArePresent) {
   // Compression loops / forward pointers must stay rejected, not hang.
   EXPECT_TRUE(has("resp_reject_compression_self_loop.hex"));
   EXPECT_TRUE(has("resp_reject_forward_pointer.hex"));
+  // The EDNS-blind era (ISSUE 10): ParseWireQuery accepted trailing garbage
+  // and silently dropped OPT records; these witnesses pin the strict regime.
+  EXPECT_TRUE(has("query_reject_trailing_garbage.hex"));
+  EXPECT_TRUE(has("query_reject_ancount_nonzero.hex"));
+  EXPECT_TRUE(has("query_accept_opt_4096.hex"));
+  EXPECT_TRUE(has("query_reject_opt_multiple.hex"));
+  EXPECT_TRUE(has("query_reject_opt_nonroot.hex"));
+  EXPECT_TRUE(has("query_badvers_version1.hex"));
+  EXPECT_TRUE(has("query_clamp_payload_100.hex"));
 }
 
 }  // namespace

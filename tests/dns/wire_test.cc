@@ -65,6 +65,136 @@ TEST(WireQueryCodec, RejectsCompressionLoop) {
   EXPECT_FALSE(ParseWireQuery(packet).ok());
 }
 
+// --- regression: the EDNS-blind parser (ISSUE 10) ---
+//
+// Before the fix, ParseWireQuery stopped reading after the question: OPT
+// records were silently dropped (so clients negotiated payloads the server
+// never saw) and arbitrary trailing bytes were accepted. Now every byte must
+// be accounted for and the additional section is parsed strictly.
+TEST(WireQueryCodec, RejectsTrailingGarbageAndAnswerCounts) {
+  std::vector<uint8_t> packet = EncodeWireQuery(MakeQuery("a.b", RrType::kA));
+  std::vector<uint8_t> garbage = packet;
+  garbage.push_back(0xde);
+  Result<WireQuery> parsed = ParseWireQuery(garbage);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("trailing"), std::string::npos) << parsed.error();
+
+  std::vector<uint8_t> answers = packet;
+  answers[7] = 1;  // ANCOUNT = 1: queries carry no answer section
+  EXPECT_FALSE(ParseWireQuery(answers).ok());
+  std::vector<uint8_t> authority = packet;
+  authority[9] = 1;  // NSCOUNT = 1
+  EXPECT_FALSE(ParseWireQuery(authority).ok());
+}
+
+TEST(WireEdnsCodec, OptRoundTripsPayloadVersionAndDo) {
+  WireQuery query = MakeQuery("www.example.com", RrType::kA);
+  query.edns.present = true;
+  query.edns.udp_payload = 1232;
+  query.edns.dnssec_ok = true;
+  std::vector<uint8_t> packet = EncodeWireQuery(query);
+  Result<WireQuery> parsed = ParseWireQuery(packet);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_TRUE(parsed.value().edns.present);
+  EXPECT_EQ(parsed.value().edns.udp_payload, 1232);
+  EXPECT_TRUE(parsed.value().edns.dnssec_ok);
+  EXPECT_EQ(parsed.value().edns.version, 0);
+  EXPECT_EQ(parsed.value().edns, query.edns);
+  // And the canonical form is a byte fixpoint.
+  EXPECT_EQ(EncodeWireQuery(parsed.value()), packet);
+}
+
+TEST(WireEdnsCodec, KnownOptBytes) {
+  // Hand-checked OPT for a 4096-payload DO query: root owner, TYPE 41,
+  // CLASS = payload, TTL = ext-rcode | version | DO+Z, RDLENGTH 0.
+  WireQuery query;
+  query.id = 1;
+  query.qname = DnsName::Parse("ab.c").value();
+  query.qtype = RrType::kA;
+  query.edns.present = true;
+  query.edns.udp_payload = 4096;
+  query.edns.dnssec_ok = true;
+  std::vector<uint8_t> packet = EncodeWireQuery(query);
+  const uint8_t expected[] = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1,  // header, ARCOUNT=1
+                              2, 'a', 'b', 1, 'c', 0, 0, 1, 0, 1,  // question
+                              0,                                   // root owner
+                              0, 41,                               // TYPE = OPT
+                              0x10, 0x00,                          // CLASS = 4096
+                              0, 0, 0x80, 0,                       // TTL: DO set
+                              0, 0};                               // RDLENGTH = 0
+  ASSERT_EQ(packet.size(), sizeof(expected));
+  for (size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(packet[i], expected[i]) << "byte " << i << "\n" << HexDump(packet);
+  }
+}
+
+TEST(WireEdnsCodec, SubMinimumPayloadClampsAtParseAndEncode) {
+  // RFC 6891 §6.2.3: an advertisement below 512 is treated as 512. The clamp
+  // lands at parse time (EdnsInfo always holds the effective value) and the
+  // encoder never emits a sub-512 advertisement.
+  WireQuery query = MakeQuery("a.b", RrType::kA);
+  query.edns.present = true;
+  query.edns.udp_payload = 100;
+  std::vector<uint8_t> packet = EncodeWireQuery(query);
+  Result<WireQuery> parsed = ParseWireQuery(packet);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().edns.udp_payload, kEdnsMinPayload);
+}
+
+TEST(WireEdnsCodec, RejectsMultipleOptAndNonRootOwner) {
+  WireQuery query = MakeQuery("a.b", RrType::kA);
+  query.edns.present = true;
+  std::vector<uint8_t> packet = EncodeWireQuery(query);
+  // Duplicate the 11-byte OPT tail and bump ARCOUNT: RFC 6891 §6.1.1 allows
+  // at most one.
+  std::vector<uint8_t> doubled = packet;
+  doubled.insert(doubled.end(), packet.end() - 11, packet.end());
+  doubled[11] = 2;
+  Result<WireQuery> two = ParseWireQuery(doubled);
+  ASSERT_FALSE(two.ok());
+  EXPECT_NE(two.error().find("multiple OPT"), std::string::npos) << two.error();
+  // Replace the root owner (first byte of the 11-byte OPT tail) with the
+  // one-label name "x".
+  ASSERT_GE(packet.size(), 11u);
+  std::vector<uint8_t> nonroot(packet.begin(), packet.end() - 11);
+  nonroot.insert(nonroot.end(), {1, 'x', 0});
+  nonroot.insert(nonroot.end(), packet.end() - 10, packet.end());
+  Result<WireQuery> named = ParseWireQuery(nonroot);
+  ASSERT_FALSE(named.ok());
+  EXPECT_NE(named.error().find("non-root"), std::string::npos) << named.error();
+}
+
+TEST(WireEdnsCodec, BadVersionStillParsesSoItCanBeAnswered) {
+  // RFC 6891 §6.1.3: BADVERS must be *sent*, which means the parser cannot
+  // reject an unknown version — the serving shell needs the query addressed.
+  WireQuery query = MakeQuery("a.b", RrType::kA);
+  query.edns.present = true;
+  query.edns.version = 3;
+  Result<WireQuery> parsed = ParseWireQuery(EncodeWireQuery(query));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().edns.version, 3);
+}
+
+TEST(WireEdnsCodec, ScanQueryForOptRecoversFromUnparseablePackets) {
+  // The tolerant scanner backs the RFC 6891 §7 error paths: a FORMERR-bound
+  // packet still gets its OPT echoed if one can be found.
+  WireQuery query = MakeQuery("a.b", RrType::kA);
+  query.edns.present = true;
+  query.edns.dnssec_ok = true;
+  std::vector<uint8_t> packet = EncodeWireQuery(query);
+  packet.push_back(0xde);  // trailing garbage: the strict parser rejects this
+  ASSERT_FALSE(ParseWireQuery(packet).ok());
+  EdnsInfo scanned;
+  EXPECT_TRUE(ScanQueryForOpt(packet.data(), packet.size(), &scanned));
+  EXPECT_TRUE(scanned.present);
+  EXPECT_TRUE(scanned.dnssec_ok);
+  // And on a packet with no OPT at all, it reports absence without rejecting.
+  std::vector<uint8_t> plain = EncodeWireQuery(MakeQuery("a.b", RrType::kA));
+  EdnsInfo none;
+  EXPECT_FALSE(ScanQueryForOpt(plain.data(), plain.size(), &none));
+  EXPECT_FALSE(none.present);
+}
+
 class WireResponseTest : public ::testing::Test {
  protected:
   WireResponseTest() {
@@ -266,6 +396,42 @@ TEST(WireTruncation, SetsTcAndDropsWholeRecordsBackToFront) {
   ASSERT_TRUE(small_encoded.ok());
   ASSERT_TRUE(ParseWireResponse(small_encoded.value(), &echoed, &small_truncated).ok());
   EXPECT_FALSE(small_truncated);
+}
+
+TEST(WireTruncation, NegotiatedLimitGovernsAndTheOptAlwaysSurvives) {
+  // ISSUE 10: truncation was hardwired to 512 bytes regardless of what the
+  // client advertised. Now EncodeWireResponse truncates at the caller's limit,
+  // and the OPT record is budgeted for up front — it is never the record that
+  // gets dropped (RFC 6891 requires the response to stay an EDNS response).
+  WireQuery query = MakeQuery("big.example.com", RrType::kAny);
+  query.edns.present = true;
+  query.edns.udp_payload = 4096;
+  ResponseView response;
+  response.aa = true;
+  for (int i = 0; i < 40; ++i) {
+    response.answer.push_back(RrView{.name = "big.example.com",
+                                     .type = RrType::kA,
+                                     .rdata_value = 0x0A000000 + i,
+                                     .rdata_name = ""});
+  }
+  size_t prev_answers = 0;
+  for (size_t limit : {size_t{512}, size_t{1232}, size_t{4096}}) {
+    SCOPED_TRACE(limit);
+    Result<std::vector<uint8_t>> encoded = EncodeWireResponse(query, response, limit);
+    ASSERT_TRUE(encoded.ok()) << encoded.error();
+    EXPECT_LE(encoded.value().size(), limit);
+    WireQuery echoed;
+    bool truncated = false;
+    Result<ResponseView> parsed = ParseWireResponse(encoded.value(), &echoed, &truncated);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    EXPECT_TRUE(echoed.edns.present) << "truncation dropped the OPT";
+    // A bigger advertisement keeps strictly more of the ~1160-byte answer,
+    // and 4096 holds all of it.
+    EXPECT_GT(parsed.value().answer.size(), prev_answers);
+    prev_answers = parsed.value().answer.size();
+    EXPECT_EQ(truncated, limit < 4096);
+  }
+  EXPECT_EQ(prev_answers, 40u);
 }
 
 TEST(WireTruncation, QuestionAloneOverLimitIsAnError) {

@@ -5,7 +5,7 @@
 //
 // The zones are the distilled Table-2 pair from bench/table2_bug_finding:
 // together they reveal all nine bugs across v1.0, v2.0, v3.0, and dev, while
-// golden and v4.0 verify clean.
+// golden, v4.0, and v5.0 verify clean.
 #include <gtest/gtest.h>
 
 #include "src/dns/wire.h"
@@ -93,7 +93,8 @@ TEST(ConfirmWireTest, EveryTable2CounterexampleReplaysOnTheWire) {
 
 TEST(ConfirmWireTest, CleanVersionsVerifyWithNothingToReplay) {
   VerifyContext context;
-  for (EngineVersion version : {EngineVersion::kGolden, EngineVersion::kV4}) {
+  for (EngineVersion version :
+       {EngineVersion::kGolden, EngineVersion::kV4, EngineVersion::kV5}) {
     for (const ZoneConfig& zone : {WildcardZone(), DelegationZone()}) {
       VerifyOptions options;
       options.max_issues = 6;

@@ -70,10 +70,10 @@ TEST(PipelineCache, AllVersionsOneZoneCompileOncePerVersion) {
     EXPECT_FALSE(report.aborted) << report.abort_reason;
     ++num_versions;
   }
-  EXPECT_EQ(num_versions, 6);
-  EXPECT_EQ(CompiledEngine::num_compiles() - compiles_before, 6)
-      << "verifying all 6 versions over one zone must perform exactly 6 compilations";
-  EXPECT_EQ(context.cache_stats().engine_compiles, 6);
+  EXPECT_EQ(num_versions, 7);
+  EXPECT_EQ(CompiledEngine::num_compiles() - compiles_before, 7)
+      << "verifying all 7 versions over one zone must perform exactly 7 compilations";
+  EXPECT_EQ(context.cache_stats().engine_compiles, 7);
 }
 
 TEST(PipelineCache, RepeatedRunHitsBothCaches) {

@@ -107,6 +107,15 @@ TEST(VerifyV4, NewFeatureVerifiesWithAdaptedSpec) {
 }
 
 
+TEST(VerifyV5, EdnsIterationVerifiesWithAdaptedSpec) {
+  // Second run of the same workflow: v5.0's qtype-OPT FORMERR guard plus the
+  // FEATURE_EDNS spec gate re-verify clean — Explore/Compare/Confirm prove
+  // the EDNS-era engine against the EDNS-era spec.
+  VerificationReport report = VerifyEngine(EngineVersion::kV5, SmallVerificationZone());
+  EXPECT_TRUE(report.verified) << report.ToString();
+}
+
+
 TEST(PathCoverage, GoldenPathsPartitionTheInputSpace) {
   VerifyOptions options;
   options.check_path_coverage = true;

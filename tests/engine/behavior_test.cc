@@ -238,6 +238,32 @@ TEST_F(GoldenEngineTest, V4AnswersMetaQueriesNotImp) {
   EXPECT_EQ(server->Query(qname, RrType::kAny).response.answer.size(), 3u);
 }
 
+TEST_F(GoldenEngineTest, V5AnswersQtypeOptFormErr) {
+  // v5.0's feature iteration: a question asking for TYPE=OPT is a protocol
+  // error — OPT is a pseudo-RR that may only appear in the additional
+  // section (RFC 6891 §6.1.1) — so the engine answers FORMERR and the
+  // adapted spec agrees. v4.0's NOTIMP meta-type behaviour is retained.
+  auto server =
+      std::move(AuthoritativeServer::Create(EngineVersion::kV5, KitchenSinkZone()).value());
+  DnsName qname = DnsName::Parse("www.example.com").value();
+  QueryResult impl = server->Query(qname, static_cast<RrType>(41));
+  QueryResult spec = server->QuerySpec(qname, static_cast<RrType>(41));
+  ASSERT_FALSE(impl.panicked);
+  EXPECT_EQ(impl.response.rcode, Rcode::kFormErr);
+  EXPECT_TRUE(impl.response.answer.empty());
+  EXPECT_EQ(impl.response, spec.response);
+  for (int64_t meta = 251; meta <= 254; ++meta) {
+    EXPECT_EQ(server->Query(qname, static_cast<RrType>(meta)).response.rcode, Rcode::kNotImp);
+  }
+  // Earlier versions answer qtype OPT like any unknown type: clean NODATA.
+  auto v4 =
+      std::move(AuthoritativeServer::Create(EngineVersion::kV4, KitchenSinkZone()).value());
+  EXPECT_EQ(v4->Query(qname, static_cast<RrType>(41)).response.rcode, Rcode::kNoError);
+  // Ordinary and ANY queries still resolve.
+  EXPECT_EQ(server->Query(qname, RrType::kA).response.rcode, Rcode::kNoError);
+  EXPECT_EQ(server->Query(qname, RrType::kAny).response.answer.size(), 3u);
+}
+
 TEST_F(GoldenEngineTest, AllVersionsCompile) {
   for (EngineVersion version : AllEngineVersions()) {
     std::unique_ptr<CompiledEngine> engine = CompiledEngine::Compile(version);

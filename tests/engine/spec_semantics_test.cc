@@ -188,6 +188,24 @@ TEST_F(SpecSemanticsTest, V4SpecAnswersMetaNotImp) {
   EXPECT_TRUE(resp.answer.empty());
 }
 
+TEST_F(SpecSemanticsTest, V5SpecAnswersQtypeOptFormErr) {
+  // FEATURE_EDNS = 1 for the v5 era: asking *for* TYPE=OPT is a protocol
+  // error (RFC 6891 §6.1.1), so the adapted spec answers FORMERR. Earlier
+  // eras treat 41 as just another unknown type (clean NODATA).
+  Load(kSpecZone, EngineVersion::kV5);
+  ResponseView resp = Spec("www.spec.test", static_cast<RrType>(41));
+  EXPECT_EQ(resp.rcode, Rcode::kFormErr);
+  EXPECT_TRUE(resp.answer.empty());
+  // The v4 NOTIMP gate is still on in the v5 era.
+  ResponseView axfr = Spec("www.spec.test", static_cast<RrType>(252));
+  EXPECT_EQ(axfr.rcode, Rcode::kNotImp);
+
+  Load(kSpecZone, EngineVersion::kV4);
+  ResponseView v4 = Spec("www.spec.test", static_cast<RrType>(41));
+  EXPECT_EQ(v4.rcode, Rcode::kNoError);
+  EXPECT_TRUE(v4.answer.empty());
+}
+
 TEST_F(SpecSemanticsTest, UnknownQtypeIsNodataNotError) {
   Load(kSpecZone);
   ResponseView resp = Spec("www.spec.test", static_cast<RrType>(77));

@@ -71,7 +71,8 @@ TEST(CompiledBackendTest, MatchesInterpOnSampleQueries) {
   const ZoneConfig zone = KitchenSinkZone();
   const char* qnames[] = {"www.example.com", "ent.example.com", "missing.example.com",
                           "a.wild.example.com", "sub.example.com", "other.org", ""};
-  for (EngineVersion version : {EngineVersion::kGolden, EngineVersion::kV4}) {
+  for (EngineVersion version :
+       {EngineVersion::kGolden, EngineVersion::kV4, EngineVersion::kV5}) {
     auto interp = AuthoritativeServer::Create(version, zone, BackendKind::kInterp);
     auto compiled = AuthoritativeServer::Create(version, zone, BackendKind::kCompiled);
     ASSERT_TRUE(interp.ok()) << interp.error();

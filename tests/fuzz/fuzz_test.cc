@@ -70,10 +70,14 @@ TEST(PacketGeneratorTest, IndexedOffsetsMatchTheParsedStructure) {
   PacketGenerator gen(11, KitchenSinkZone());
   for (int i = 0; i < 50; ++i) {
     GeneratedPacket packet = gen.NextResponsePacket();
-    Result<ResponseView> view = ParseWireResponse(packet.bytes, nullptr);
+    WireQuery echoed;
+    Result<ResponseView> view = ParseWireResponse(packet.bytes, &echoed);
     ASSERT_TRUE(view.ok()) << view.error();
+    // The parser diverts the OPT into echoed.edns rather than a section, but
+    // on the wire it is a real record with an owner name and an RDLENGTH —
+    // the index must expose it so the mutator can target it.
     size_t records = view.value().answer.size() + view.value().authority.size() +
-                     view.value().additional.size();
+                     view.value().additional.size() + (echoed.edns.present ? 1 : 0);
     // One RDLENGTH per record; one name per record owner plus the question.
     EXPECT_EQ(packet.rdlength_offsets.size(), records);
     EXPECT_EQ(packet.name_offsets.size(), records + 1);
@@ -154,11 +158,12 @@ TEST(DifferentialFuzzTest, CleanVersionsNeverDivergeFromTheSpec) {
   DifferentialOptions options;
   options.random_queries = 80;
   Result<DifferentialStats> stats = RunDifferentialFuzz(
-      {EngineVersion::kGolden, EngineVersion::kV4}, BugHuntZone(), options);
+      {EngineVersion::kGolden, EngineVersion::kV4, EngineVersion::kV5}, BugHuntZone(), options);
   ASSERT_TRUE(stats.ok()) << stats.error();
   EXPECT_GT(stats.value().queries_per_version, options.random_queries);
   EXPECT_EQ(stats.value().DivergenceCount(EngineVersion::kGolden), 0);
   EXPECT_EQ(stats.value().DivergenceCount(EngineVersion::kV4), 0);
+  EXPECT_EQ(stats.value().DivergenceCount(EngineVersion::kV5), 0);
   EXPECT_TRUE(stats.value().divergences.empty());
 }
 

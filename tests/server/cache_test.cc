@@ -3,8 +3,9 @@
 // loopback integration (shared cache across 4 workers, reload-under-load
 // invalidation, the 0x20 mixed-case regression of ISSUE 9), and the
 // differential harness proving transparency: every cached answer is
-// byte-identical to what the engine would serve cold, across all six engine
-// versions and across a mid-stream zone reload.
+// byte-identical to what the engine would serve cold, across every engine
+// version, across a mid-stream zone reload, and (ISSUE 10) across the
+// EDNS-negotiated payload limits 512/1232/4096.
 #include "src/server/cache.h"
 
 #include <arpa/inet.h>
@@ -364,6 +365,16 @@ TEST(CacheDifferentialTest, ColdVsWarmByteIdenticalAcrossVersionsAndReload) {
       }
       WireQuery query;
       GeneratedPacket packet = gen.NextQueryPacket(&query);
+      if (i % 3 == 0 && !zone.records.empty()) {
+        // Anchor a deterministic share of in-zone hits: purely random names
+        // are mostly REFUSED/NXDOMAIN (record-free, so uncacheable), and the
+        // hit-exercising floor below must not depend on generator luck.
+        query.qname = zone.records[static_cast<size_t>(i) % zone.records.size()].name;
+        query.qtype = RrType::kA;
+        query.qclass = 1;
+        query.edns.version = 0;
+        packet.bytes = EncodeWireQuery(query);
+      }
 
       ServeOutcome cold = ServePacket(cold_shard.get(), packet.bytes.data(), packet.bytes.size(),
                                       kMaxUdpPayload, nullptr);
@@ -403,6 +414,65 @@ TEST(CacheDifferentialTest, ColdVsWarmByteIdenticalAcrossVersionsAndReload) {
     total_hits += stats.cache_hits.load();
   }
   EXPECT_GT(total_hits, 0u);
+}
+
+// EDNS transparency: for OPT-bearing queries the cache must be byte-for-byte
+// invisible at every negotiated payload limit. A wide RRset makes the limit
+// decisive — the answer truncates at 512 and 1232 but fits at 4096 — so any
+// key aliasing across limits (or between EDNS and plain clients at the same
+// name) would replay the wrong TC bit or the wrong OPT and break equality.
+TEST(CacheDifferentialTest, EdnsColdVsWarmByteIdenticalAtEveryPayload) {
+  ZoneConfig zone = WideRrsetZone(48);
+  DnsName www = DnsName::Parse("www.example.com").value();
+  for (EngineVersion version : AllEngineVersions()) {
+    SCOPED_TRACE(EngineVersionName(version));
+    auto cold_shard = MakeShard(zone, version);
+    auto warm_shard = MakeShard(zone, version);
+    PacketCache cache(64);
+    ServerStats stats;
+    ServeContext ctx{&cache, 1};
+    for (uint16_t payload : {uint16_t{512}, uint16_t{1232}, uint16_t{4096}}) {
+      SCOPED_TRACE(payload);
+      WireQuery query;
+      query.id = payload;
+      query.qname = www;
+      query.qtype = RrType::kA;
+      query.edns.present = true;
+      query.edns.udp_payload = payload;
+      query.edns.dnssec_ok = payload == 1232;  // one DO variant in the sweep
+      std::vector<uint8_t> packet = EncodeWireQuery(query);
+      ServeOutcome cold =
+          ServePacket(cold_shard.get(), packet.data(), packet.size(), kMaxUdpPayload, nullptr);
+      ServeOutcome warm1 = ServePacket(warm_shard.get(), packet.data(), packet.size(),
+                                       kMaxUdpPayload, &stats, ctx);
+      ServeOutcome warm2 = ServePacket(warm_shard.get(), packet.data(), packet.size(),
+                                       kMaxUdpPayload, &stats, ctx);
+      EXPECT_EQ(cold.wire, warm1.wire);
+      EXPECT_EQ(cold.wire, warm2.wire);
+      if (payload == 4096 && !cold.truncated && (cold.wire[3] & 0xF) == 0 &&
+          !cold.servfail_fallback) {
+        EXPECT_TRUE(warm2.cache_hit) << "untruncated NOERROR answers must be cache-served";
+      }
+      if (payload == 512) {
+        EXPECT_EQ(cold.truncated, warm2.truncated);
+      }
+    }
+    // A plain client asking the same name must never see the EDNS entries:
+    // its response carries no OPT, so aliasing would be a visible wire bug.
+    WireQuery plain;
+    plain.id = 7;
+    plain.qname = www;
+    plain.qtype = RrType::kA;
+    std::vector<uint8_t> packet = EncodeWireQuery(plain);
+    ServeOutcome cold =
+        ServePacket(cold_shard.get(), packet.data(), packet.size(), kMaxUdpPayload, nullptr);
+    ServeOutcome warm = ServePacket(warm_shard.get(), packet.data(), packet.size(),
+                                    kMaxUdpPayload, &stats, ctx);
+    EXPECT_EQ(cold.wire, warm.wire);
+    WireQuery echoed;
+    ASSERT_TRUE(ParseWireResponse(warm.wire, &echoed).ok());
+    EXPECT_FALSE(echoed.edns.present) << "a plain client must not be served an OPT";
+  }
 }
 
 // ---- Loopback integration ------------------------------------------------

@@ -1,0 +1,213 @@
+// EDNS(0) acceptance tests over real loopback sockets (ISSUE 10): a client
+// advertising a 4096-byte payload receives the wide answer in full over UDP
+// where a plain client gets TC=1 at 512, the negotiated limit is honored
+// byte-identically against the engine's reference encoding, BADVERS is
+// served without touching the engine, and the stats JSON exposes the new
+// counters. Every test skips cleanly in sandboxes without loopback sockets.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/dns/example_zones.h"
+#include "src/server/server.h"
+
+namespace dnsv {
+namespace {
+
+#define START_OR_SKIP(server, config, zone)                                  \
+  std::unique_ptr<DnsServer> server;                                         \
+  {                                                                          \
+    Result<std::unique_ptr<DnsServer>> started = DnsServer::Start(config, zone); \
+    if (!started.ok()) {                                                     \
+      GTEST_SKIP() << "cannot bind loopback sockets: " << started.error();   \
+    }                                                                        \
+    server = std::move(started).value();                                     \
+  }
+
+sockaddr_in Loopback(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+std::vector<uint8_t> UdpExchange(uint16_t port, const std::vector<uint8_t>& request) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    return {};
+  }
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr = Loopback(port);
+  ::sendto(fd, request.data(), request.size(), 0, reinterpret_cast<sockaddr*>(&addr),
+           sizeof(addr));
+  uint8_t buffer[65536];
+  ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+  ::close(fd);
+  if (n <= 0) {
+    return {};
+  }
+  return std::vector<uint8_t>(buffer, buffer + n);
+}
+
+std::vector<uint8_t> TcpExchange(uint16_t port, const std::vector<uint8_t>& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return {};
+  }
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr = Loopback(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::vector<uint8_t> framed;
+  if (!AppendTcpFrame(&framed, request).ok()) {
+    ::close(fd);
+    return {};
+  }
+  ::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL);
+  TcpFrameDecoder decoder;
+  std::vector<uint8_t> message;
+  uint8_t buffer[65536];
+  while (true) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    decoder.Feed(buffer, static_cast<size_t>(n));
+    if (decoder.Next(&message)) {
+      ::close(fd);
+      return message;
+    }
+  }
+}
+
+WireQuery WideQuery(uint16_t id) {
+  WireQuery query;
+  query.id = id;
+  query.qname = DnsName::Parse("www.example.com").value();
+  query.qtype = RrType::kA;
+  return query;
+}
+
+// The engine's reference encoding of the wide answer at `max_size` for
+// exactly `query` — EDNS negotiation must reproduce these bytes.
+std::vector<uint8_t> ReferenceAnswer(const ZoneConfig& zone, const WireQuery& query,
+                                     size_t max_size) {
+  Result<std::unique_ptr<AuthoritativeServer>> reference =
+      AuthoritativeServer::Create(EngineVersion::kV5, zone);
+  EXPECT_TRUE(reference.ok()) << reference.error();
+  QueryResult result = reference.value()->Query(query.qname, query.qtype);
+  EXPECT_FALSE(result.panicked);
+  Result<std::vector<uint8_t>> encoded = EncodeWireResponse(query, result.response, max_size);
+  EXPECT_TRUE(encoded.ok()) << encoded.error();
+  return std::move(encoded).value();
+}
+
+// The ISSUE 10 acceptance path: the wide RRset that forced a TCP retry for
+// every client now fits in one UDP datagram for an EDNS client — and the
+// plain client's behavior is unchanged.
+TEST(EdnsAcceptanceTest, Payload4096ServesTheWideAnswerInOneUdpDatagram) {
+  ServerConfig config;
+  config.udp_workers = 2;
+  config.version = EngineVersion::kV5;
+  ZoneConfig zone = WideRrsetZone();
+  START_OR_SKIP(server, config, zone);
+
+  // Plain 512-byte client: TC=1, partial answer — the pre-EDNS contract.
+  WireQuery plain = WideQuery(0x1001);
+  std::vector<uint8_t> plain_reply = UdpExchange(server->udp_port(), EncodeWireQuery(plain));
+  ASSERT_FALSE(plain_reply.empty());
+  ASSERT_LE(plain_reply.size(), kMaxUdpPayload);
+  bool truncated = false;
+  WireQuery echoed;
+  Result<ResponseView> plain_view = ParseWireResponse(plain_reply, &echoed, &truncated);
+  ASSERT_TRUE(plain_view.ok()) << plain_view.error();
+  EXPECT_TRUE(truncated);
+  EXPECT_FALSE(echoed.edns.present) << "a plain query must not grow an OPT";
+  EXPECT_EQ(plain_reply, ReferenceAnswer(zone, plain, kMaxUdpPayload));
+
+  // EDNS 4096 client: the same question, served in full over UDP.
+  WireQuery edns = WideQuery(0x1002);
+  edns.edns.present = true;
+  edns.edns.udp_payload = 4096;
+  std::vector<uint8_t> edns_reply = UdpExchange(server->udp_port(), EncodeWireQuery(edns));
+  ASSERT_FALSE(edns_reply.empty());
+  EXPECT_GT(edns_reply.size(), kMaxUdpPayload);
+  Result<ResponseView> edns_view = ParseWireResponse(edns_reply, &echoed, &truncated);
+  ASSERT_TRUE(edns_view.ok()) << edns_view.error();
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ(edns_view.value().answer.size(), 40u);
+  EXPECT_TRUE(echoed.edns.present) << "the response must echo the OPT";
+  EXPECT_EQ(edns_reply, ReferenceAnswer(zone, edns, 4096));
+
+  // The plain client's TCP retry still gets the full answer, byte-identical
+  // to the engine's unclamped encoding.
+  std::vector<uint8_t> tcp_reply = TcpExchange(server->tcp_port(), EncodeWireQuery(plain));
+  ASSERT_FALSE(tcp_reply.empty());
+  EXPECT_EQ(tcp_reply, ReferenceAnswer(zone, plain, kMaxTcpPayload));
+
+  StatsSnapshot stats = server->Stats();
+  EXPECT_EQ(stats.edns_queries, 1u);
+  EXPECT_EQ(stats.truncated_responses, 1u);  // only the plain UDP answer
+}
+
+// RFC 6891 §6.2.5: the advertised payload governs UDP only — over TCP the
+// transport limit wins, even when the client advertises 512.
+TEST(EdnsAcceptanceTest, TcpIgnoresTheAdvertisedPayload) {
+  ServerConfig config;
+  config.version = EngineVersion::kV5;
+  ZoneConfig zone = WideRrsetZone();
+  START_OR_SKIP(server, config, zone);
+  WireQuery query = WideQuery(0x2001);
+  query.edns.present = true;
+  query.edns.udp_payload = 512;
+  std::vector<uint8_t> reply = TcpExchange(server->tcp_port(), EncodeWireQuery(query));
+  ASSERT_FALSE(reply.empty());
+  bool truncated = true;
+  WireQuery echoed;
+  Result<ResponseView> view = ParseWireResponse(reply, &echoed, &truncated);
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ(view.value().answer.size(), 40u);
+  EXPECT_TRUE(echoed.edns.present);
+}
+
+TEST(EdnsAcceptanceTest, BadversIsServedOverLoopbackAndCounted) {
+  ServerConfig config;
+  config.version = EngineVersion::kV5;
+  START_OR_SKIP(server, config, KitchenSinkZone());
+  WireQuery query = WideQuery(0x3001);
+  query.edns.present = true;
+  query.edns.version = 1;
+  std::vector<uint8_t> reply = UdpExchange(server->udp_port(), EncodeWireQuery(query));
+  ASSERT_EQ(reply.size(), 23u);  // header + OPT echo, no question section
+  EXPECT_EQ(reply[0], 0x30);     // the client's ID survives
+  EXPECT_EQ(reply[1], 0x01);
+  EXPECT_EQ(reply[3] & 0xF, 0);  // BADVERS: header nibble 0 ...
+  EXPECT_EQ(reply[17], 1);       // ... extended-RCODE byte 1
+  EXPECT_EQ(reply[18], 0);       // the version we do implement
+
+  StatsSnapshot stats = server->Stats();
+  EXPECT_EQ(stats.badvers_responses, 1u);
+  EXPECT_EQ(stats.edns_queries, 1u);
+  std::string json = server->StatsJson();
+  EXPECT_NE(json.find("\"edns_queries\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"badvers_responses\": 1"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace dnsv

@@ -35,6 +35,19 @@ std::vector<uint8_t> QueryPacket(const std::string& qname, RrType qtype, uint16_
   return EncodeWireQuery(query);
 }
 
+std::vector<uint8_t> EdnsQueryPacket(const std::string& qname, RrType qtype, uint16_t payload,
+                                     bool dnssec_ok = false, uint8_t version = 0) {
+  WireQuery query;
+  query.id = 0x1234;
+  query.qname = DnsName::Parse(qname).value();
+  query.qtype = qtype;
+  query.edns.present = true;
+  query.edns.udp_payload = payload;
+  query.edns.dnssec_ok = dnssec_ok;
+  query.edns.version = version;
+  return EncodeWireQuery(query);
+}
+
 TEST(ServePacketTest, AnswersOverTheSamePathAsTheOldServer) {
   auto shard = MakeShard();
   ServerStats stats;
@@ -183,7 +196,17 @@ TEST(ServePacketTest, CorpusRejectPacketsGetConformantFormerr) {
     ServeOutcome outcome =
         ServePacket(shard.get(), bytes.data(), bytes.size(), kMaxUdpPayload, &stats);
     EXPECT_TRUE(outcome.parse_error) << name;
-    ASSERT_EQ(outcome.wire.size(), 12u) << name;
+    // RFC 6891 §7: when the (tolerantly scanned) query carried an OPT, the
+    // FORMERR echoes one — 11 extra bytes and ARCOUNT 1.
+    EdnsInfo scanned;
+    ScanQueryForOpt(bytes.data(), bytes.size(), &scanned);
+    ASSERT_EQ(outcome.wire.size(), scanned.present ? 23u : 12u) << name;
+    EXPECT_EQ(outcome.wire[11], scanned.present ? 1 : 0) << name;  // ARCOUNT
+    if (scanned.present) {
+      EXPECT_EQ(outcome.wire[12], 0x00) << name;  // root owner
+      EXPECT_EQ(outcome.wire[13], 0x00) << name;
+      EXPECT_EQ(outcome.wire[14], 41) << name;  // TYPE=OPT
+    }
     EXPECT_EQ(outcome.wire[3], 0x01) << name;                   // FORMERR
     EXPECT_EQ(outcome.wire[2] & 0x80, 0x80) << name;            // QR set
     if (bytes.size() >= 2) {
@@ -253,6 +276,77 @@ TEST(ParsePortTest, RejectsWhatAtoiSilentlyMangled) {
   EXPECT_EQ(ParsePort("65535").value(), 65535);
   ASSERT_TRUE(ParsePort("1").ok());
   EXPECT_EQ(ParsePort("1").value(), 1);
+}
+
+// RFC 6891 §6.1.3: an EDNS version we do not implement gets BADVERS — header
+// rcode nibble 0, extended-RCODE byte 1 in the echoed OPT — without running
+// the engine, and the dedicated counter (not the 4-bit histogram) records it.
+TEST(ServePacketTest, EdnsVersionAboveZeroGetsBadvers) {
+  auto shard = MakeShard();
+  ServerStats stats;
+  std::vector<uint8_t> packet =
+      EdnsQueryPacket("www.example.com", RrType::kA, 4096, /*dnssec_ok=*/true, /*version=*/1);
+  ServeOutcome outcome =
+      ServePacket(shard.get(), packet.data(), packet.size(), kMaxUdpPayload, &stats);
+  EXPECT_TRUE(outcome.badvers);
+  EXPECT_FALSE(outcome.parse_error);
+  ASSERT_EQ(outcome.wire.size(), 23u);  // header + OPT echo
+  EXPECT_EQ(outcome.wire[3] & 0xF, 0);  // header nibble: the low 4 bits of 16
+  EXPECT_EQ(outcome.wire[11], 1);       // ARCOUNT
+  EXPECT_EQ(outcome.wire[14], 41);      // TYPE=OPT
+  EXPECT_EQ(outcome.wire[17], 1);       // extended RCODE: BADVERS >> 4
+  EXPECT_EQ(outcome.wire[18], 0);       // our version
+  EXPECT_EQ(outcome.wire[19] & 0x80, 0x80);  // DO echoed
+  EXPECT_EQ(stats.badvers_responses.load(), 1u);
+  EXPECT_EQ(stats.edns_queries.load(), 1u);
+}
+
+// The negotiated limit governs: an OPT advertising 4096 lets a wide answer
+// through UDP untruncated, while the same query without an OPT truncates at
+// 512 — and every EDNS answer echoes exactly one OPT.
+TEST(ServePacketTest, EdnsPayloadLiftsTheUdpClamp) {
+  Result<std::unique_ptr<AuthoritativeServer>> shard =
+      AuthoritativeServer::Create(EngineVersion::kV5, WideRrsetZone());
+  ASSERT_TRUE(shard.ok()) << shard.error();
+  ServerStats stats;
+
+  std::vector<uint8_t> edns = EdnsQueryPacket("www.example.com", RrType::kA, 4096);
+  ServeOutcome big =
+      ServePacket(shard.value().get(), edns.data(), edns.size(), kMaxUdpPayload, &stats);
+  EXPECT_FALSE(big.truncated);
+  EXPECT_GT(big.wire.size(), kMaxUdpPayload);
+  WireQuery echoed;
+  Result<ResponseView> view = ParseWireResponse(big.wire, &echoed);
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_TRUE(echoed.edns.present);
+  EXPECT_EQ(view.value().answer.size(), 40u);
+  EXPECT_EQ(stats.edns_queries.load(), 1u);
+
+  // A 1232 advertisement truncates the same answer midway — and keeps the OPT.
+  std::vector<uint8_t> mid = EdnsQueryPacket("www.example.com", RrType::kA, 1232);
+  ServeOutcome flag_day =
+      ServePacket(shard.value().get(), mid.data(), mid.size(), kMaxUdpPayload, &stats);
+  EXPECT_TRUE(flag_day.truncated);
+  EXPECT_LE(flag_day.wire.size(), 1232u);
+  WireQuery echoed_mid;
+  ASSERT_TRUE(ParseWireResponse(flag_day.wire, &echoed_mid).ok());
+  EXPECT_TRUE(echoed_mid.edns.present);
+
+  // No OPT, no negotiation: the classic 512 clamp, and no OPT in the answer.
+  std::vector<uint8_t> plain = QueryPacket("www.example.com", RrType::kA);
+  ServeOutcome clamped =
+      ServePacket(shard.value().get(), plain.data(), plain.size(), kMaxUdpPayload, &stats);
+  EXPECT_TRUE(clamped.truncated);
+  EXPECT_LE(clamped.wire.size(), kMaxUdpPayload);
+  WireQuery echoed_plain;
+  ASSERT_TRUE(ParseWireResponse(clamped.wire, &echoed_plain).ok());
+  EXPECT_FALSE(echoed_plain.edns.present);
+  // EDNS governs UDP only: over TCP the transport limit wins (RFC 6891
+  // §6.2.5), even for a 512-advertising client.
+  std::vector<uint8_t> small = EdnsQueryPacket("www.example.com", RrType::kA, 512);
+  ServeOutcome tcp =
+      ServePacket(shard.value().get(), small.data(), small.size(), kMaxTcpPayload, &stats);
+  EXPECT_FALSE(tcp.truncated);
 }
 
 TEST(ServePacketTest, UdpClampTruncatesAndTcpLimitServesInFull) {
